@@ -1,0 +1,404 @@
+(* gcsim — drive the GC-coprocessor simulator from the command line.
+
+   Subcommands:
+     gcsim list                         — available workloads
+     gcsim run -w db -n 8               — one collection, full statistics
+     gcsim sweep -w db                  — core-count sweep with speedups
+     gcsim cycles -w db -n 8 -g 3       — repeated GC cycles with mutator churn
+*)
+
+module Workloads = Hsgc_objgraph.Workloads
+module Mutator = Hsgc_objgraph.Mutator
+module Coprocessor = Hsgc_coproc.Coprocessor
+module Counters = Hsgc_coproc.Counters
+module Trace = Hsgc_coproc.Trace
+module Concurrent = Hsgc_coproc.Concurrent
+module Memsys = Hsgc_memsim.Memsys
+module Experiment = Hsgc_core.Experiment
+module Verify = Hsgc_heap.Verify
+module Table = Hsgc_util.Table
+module Rng = Hsgc_util.Rng
+open Cmdliner
+
+let workload_conv =
+  Arg.conv
+    ( (fun s ->
+        match Workloads.find s with
+        | Some w -> Ok w
+        | None ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown workload %S (try `gcsim list')" s))),
+      fun ppf w -> Format.pp_print_string ppf w.Workloads.name )
+
+let workload_arg =
+  Arg.(
+    required
+    & opt (some workload_conv) None
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to collect.")
+
+let cores_arg =
+  Arg.(value & opt int 8 & info [ "n"; "cores" ] ~doc:"Number of GC cores.")
+
+let scale_arg =
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Workload size multiplier.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload random seed.")
+
+let latency_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "extra-latency" ]
+        ~doc:"Extra cycles added to every memory access (paper Fig. 6 uses 20).")
+
+let fifo_arg =
+  Arg.(
+    value & opt int Memsys.default_config.Memsys.fifo_capacity
+    & info [ "fifo" ] ~doc:"Header FIFO capacity in entries.")
+
+let bandwidth_arg =
+  Arg.(
+    value & opt int Memsys.default_config.Memsys.bandwidth
+    & info [ "bandwidth" ] ~doc:"Memory transactions accepted per cycle.")
+
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ] ~doc:"Check heap invariants after each collection.")
+
+let scan_unit_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "scan-unit" ]
+        ~doc:
+          "Sub-object work distribution (paper Section VII): hand out \
+           objects bigger than N body words in N-word pieces. 0 disables.")
+
+let header_cache_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "header-cache" ]
+        ~doc:
+          "On-chip header cache entries (paper Section VII). 0 disables.")
+
+let mem_config extra_latency fifo bandwidth header_cache =
+  let c =
+    {
+      Memsys.default_config with
+      Memsys.fifo_capacity = fifo;
+      bandwidth;
+      header_cache_entries = header_cache;
+    }
+  in
+  Memsys.with_extra_latency c extra_latency
+
+let scan_unit_opt n = if n <= 0 then None else Some n
+
+let print_stats (stats : Coprocessor.gc_stats) =
+  let total = stats.Coprocessor.total_cycles in
+  Printf.printf "total cycles        %d\n" total;
+  Printf.printf "root phase cycles   %d\n" stats.Coprocessor.root_cycles;
+  Printf.printf "worklist empty      %s\n"
+    (Table.pct
+       (float_of_int stats.Coprocessor.empty_worklist_cycles /. float_of_int total));
+  Printf.printf "live objects        %d\n" stats.Coprocessor.live_objects;
+  Printf.printf "live words          %d\n" stats.Coprocessor.live_words;
+  Printf.printf "header FIFO         hits=%d misses=%d overflows=%d\n"
+    stats.Coprocessor.fifo_hits stats.Coprocessor.fifo_misses
+    stats.Coprocessor.fifo_overflows;
+  if stats.Coprocessor.header_cache_hits + stats.Coprocessor.header_cache_misses > 0
+  then
+    Printf.printf "header cache        hits=%d misses=%d\n"
+      stats.Coprocessor.header_cache_hits stats.Coprocessor.header_cache_misses;
+  Printf.printf "memory              loads=%d stores=%d bw-rejects=%d order-holds=%d\n"
+    stats.Coprocessor.mem_loads stats.Coprocessor.mem_stores
+    stats.Coprocessor.mem_rejected_bandwidth stats.Coprocessor.mem_rejected_order;
+  let mean = Coprocessor.stalls_mean_per_core stats in
+  print_endline "stalls (mean per core):";
+  List.iter
+    (fun s ->
+      Printf.printf "  %-20s %s\n" (Counters.stall_name s)
+        (Table.count_with_pct ~total (Counters.get mean s)))
+    Counters.all_stalls
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun w -> Printf.printf "%-9s %s\n" w.Workloads.name w.Workloads.description)
+      Workloads.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"list available workloads") Term.(const run $ const ())
+
+let run_cmd =
+  let run workload n_cores scale seed extra_latency fifo bandwidth header_cache
+      scan_unit verify =
+    let mem = mem_config extra_latency fifo bandwidth header_cache in
+    let heap = Workloads.build_heap ~scale ~seed workload in
+    let pre = if verify then Some (Verify.snapshot heap) else None in
+    let stats =
+      Coprocessor.collect
+        (Coprocessor.config ~mem ?scan_unit:(scan_unit_opt scan_unit) ~n_cores ())
+        heap
+    in
+    Printf.printf "workload %s, %d cores\n" workload.Workloads.name n_cores;
+    print_stats stats;
+    match pre with
+    | None -> 0
+    | Some pre -> (
+      match Verify.check_collection ~pre heap with
+      | Ok () ->
+        print_endline "verification        OK (graph isomorphic, compacted)";
+        0
+      | Error f ->
+        Format.eprintf "verification FAILED: %a@." Verify.pp_failure f;
+        1)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"run one collection and print full statistics")
+    Term.(
+      const run $ workload_arg $ cores_arg $ scale_arg $ seed_arg $ latency_arg
+      $ fifo_arg $ bandwidth_arg $ header_cache_arg $ scan_unit_arg $ verify_arg)
+
+let sweep_cmd =
+  let run workload scale seed extra_latency fifo bandwidth header_cache verify =
+    let mem = mem_config extra_latency fifo bandwidth header_cache in
+    let points =
+      Experiment.sweep ~verify ~scale ~seeds:[| seed |] ~mem workload
+    in
+    let rows =
+      List.map2
+        (fun p (_, s) ->
+          [
+            string_of_int p.Experiment.n_cores;
+            Printf.sprintf "%.0f" p.Experiment.cycles;
+            Table.fixed 2 s;
+            Table.pct p.Experiment.empty_frac;
+          ])
+        points (Experiment.speedups points)
+    in
+    Printf.printf "workload %s\n" workload.Workloads.name;
+    Table.print ~header:[ "cores"; "cycles"; "speedup"; "worklist empty" ] ~rows;
+    0
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"sweep core counts and report speedups")
+    Term.(
+      const run $ workload_arg $ scale_arg $ seed_arg $ latency_arg $ fifo_arg
+      $ bandwidth_arg $ header_cache_arg $ verify_arg)
+
+let cycles_cmd =
+  let run workload n_cores scale seed gcs churn verify =
+    let heap = Workloads.build_heap ~scale ~seed workload in
+    let mut = Mutator.create heap (Rng.create (seed + 1)) in
+    let cfg = Coprocessor.config ~n_cores () in
+    let header = [ "gc"; "cycles"; "live objects"; "live words"; "allocated" ] in
+    let rows = ref [] in
+    for gc = 1 to gcs do
+      (match Mutator.churn mut ~allocs:churn with `Ok | `Heap_full -> ());
+      let pre = if verify then Some (Verify.snapshot heap) else None in
+      let stats = Coprocessor.collect cfg heap in
+      (match pre with
+      | Some pre -> (
+        match Verify.check_collection ~pre heap with
+        | Ok () -> ()
+        | Error f ->
+          Format.eprintf "gc %d verification FAILED: %a@." gc Verify.pp_failure f;
+          exit 1)
+      | None -> ());
+      rows :=
+        [
+          string_of_int gc;
+          string_of_int stats.Coprocessor.total_cycles;
+          string_of_int stats.Coprocessor.live_objects;
+          string_of_int stats.Coprocessor.live_words;
+          string_of_int (Mutator.allocated mut);
+        ]
+        :: !rows
+    done;
+    Printf.printf "workload %s, %d cores, %d GC cycles with mutator churn\n"
+      workload.Workloads.name n_cores gcs;
+    Table.print ~header ~rows:(List.rev !rows);
+    0
+  in
+  let gcs_arg =
+    Arg.(value & opt int 5 & info [ "g"; "gcs" ] ~doc:"Number of GC cycles.")
+  in
+  let churn_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "churn" ] ~doc:"Objects the mutator allocates between GCs.")
+  in
+  Cmd.v
+    (Cmd.info "cycles"
+       ~doc:"run repeated collections with mutator churn in between")
+    Term.(
+      const run $ workload_arg $ cores_arg $ scale_arg $ seed_arg $ gcs_arg
+      $ churn_arg $ verify_arg)
+
+let trace_cmd =
+  let run workload n_cores scale seed interval csv_out =
+    let heap = Workloads.build_heap ~scale ~seed workload in
+    let trace = Trace.create ~interval () in
+    let stats =
+      Coprocessor.collect ~trace (Coprocessor.config ~n_cores ()) heap
+    in
+    Printf.printf "workload %s, %d cores, %d cycles, %d live objects\n\n"
+      workload.Workloads.name n_cores stats.Coprocessor.total_cycles
+      stats.Coprocessor.live_objects;
+    print_string (Trace.timeline trace);
+    (match csv_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Trace.to_csv trace);
+      close_out oc;
+      Printf.printf "\n%d samples written to %s\n" (Trace.length trace) path);
+    0
+  in
+  let interval_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "interval" ] ~doc:"Cycles between trace samples.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "csv" ] ~docv:"FILE" ~doc:"Also dump the samples as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "collect once while sampling internal signals; print an activity \
+          timeline (the paper's monitoring framework)")
+    Term.(
+      const run $ workload_arg $ cores_arg $ scale_arg $ seed_arg $ interval_arg
+      $ csv_arg)
+
+let ablate_cmd =
+  let run scale seed =
+    (* FIFO capacity on cup: the overflow -> scan-lock-stall mechanism. *)
+    print_endline
+      "FIFO capacity ablation (cup, 16 cores): smaller FIFOs overflow more,\n\
+       lengthening the scan-lock critical section.\n";
+    let cup = Option.get (Workloads.find "cup") in
+    let rows =
+      List.map
+        (fun fifo ->
+          let mem = { Memsys.default_config with Memsys.fifo_capacity = fifo } in
+          let heap = Workloads.build_heap ~scale ~seed cup in
+          let s = Coprocessor.collect (Coprocessor.config ~mem ~n_cores:16 ()) heap in
+          let mean = Coprocessor.stalls_mean_per_core s in
+          [
+            string_of_int fifo;
+            string_of_int s.Coprocessor.total_cycles;
+            string_of_int s.Coprocessor.fifo_overflows;
+            Table.count_with_pct ~total:s.Coprocessor.total_cycles
+              (Counters.get mean Counters.Scan_lock);
+          ])
+        [ 128; 1024; 8192; 32768; 131072 ]
+    in
+    Table.print
+      ~header:[ "FIFO entries"; "cycles"; "overflows"; "scan-lock stall" ]
+      ~rows;
+    print_newline ();
+    (* Bandwidth on db at 16 cores: the paper's second limiter. *)
+    print_endline
+      "Memory bandwidth ablation (db, 16 cores): the second scalability\n\
+       limiter the paper identifies.\n";
+    let db = Option.get (Workloads.find "db") in
+    let base =
+      let heap = Workloads.build_heap ~scale ~seed db in
+      (Coprocessor.collect (Coprocessor.config ~n_cores:1 ()) heap)
+        .Coprocessor.total_cycles
+    in
+    let rows =
+      List.map
+        (fun bandwidth ->
+          let mem = { Memsys.default_config with Memsys.bandwidth } in
+          let heap = Workloads.build_heap ~scale ~seed db in
+          let s = Coprocessor.collect (Coprocessor.config ~mem ~n_cores:16 ()) heap in
+          [
+            string_of_int bandwidth;
+            string_of_int s.Coprocessor.total_cycles;
+            Printf.sprintf "%.2fx"
+              (float_of_int base /. float_of_int s.Coprocessor.total_cycles);
+            string_of_int s.Coprocessor.mem_rejected_bandwidth;
+          ])
+        [ 1; 2; 4; 8; 16 ]
+    in
+    Table.print
+      ~header:
+        [ "words/cycle"; "cycles @16 cores"; "speedup vs 1 core"; "bw rejections" ]
+      ~rows;
+    0
+  in
+  Cmd.v
+    (Cmd.info "ablate"
+       ~doc:"sweep the design parameters DESIGN.md calls out (FIFO, bandwidth)")
+    Term.(const run $ scale_arg $ seed_arg)
+
+let concurrent_cmd =
+  let run workload n_cores scale seed period alloc_percent =
+    let heap = Workloads.build_heap ~scale ~seed workload in
+    let orig_roots = Array.length heap.Hsgc_heap.Heap.roots in
+    let pre = Verify.snapshot heap in
+    let cfg =
+      {
+        (Concurrent.default_config ~n_cores ()) with
+        Concurrent.mutator_period = period;
+        alloc_percent;
+        seed;
+      }
+    in
+    let stats = Concurrent.collect cfg heap in
+    let all = heap.Hsgc_heap.Heap.roots in
+    Hsgc_heap.Heap.set_roots heap (Array.sub all 0 orig_roots);
+    let iso = Verify.equal_snapshot pre (Verify.snapshot heap) in
+    Hsgc_heap.Heap.set_roots heap all;
+    Printf.printf "workload %s, %d cores, mutator op every %d cycles\n"
+      workload.Workloads.name n_cores period;
+    Printf.printf "pause (root phase)    %d cycles\n" stats.Concurrent.pause_cycles;
+    Printf.printf "whole cycle           %d cycles\n"
+      stats.Concurrent.gc.Coprocessor.total_cycles;
+    Printf.printf "mutator ops during GC %d reads, %d allocations\n"
+      stats.Concurrent.mutator_reads stats.Concurrent.mutator_allocs;
+    Printf.printf "read-barrier evacs    %d\n" stats.Concurrent.barrier_evacuations;
+    Printf.printf "mutator lock waits    %d cycles\n"
+      stats.Concurrent.mutator_wait_cycles;
+    let space_ok = Verify.check_space heap = Ok () in
+    let new_ok = Concurrent.check_new_objects heap stats = Ok () in
+    Printf.printf "verified              old graph %s, space %s, new objects %s\n"
+      (if iso then "isomorphic" else "CORRUPT")
+      (if space_ok then "well-formed" else "CORRUPT")
+      (if new_ok then "intact" else "CORRUPT");
+    if iso && space_ok && new_ok then 0 else 1
+  in
+  let period_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "period" ] ~doc:"Coprocessor cycles between mutator operations.")
+  in
+  let alloc_arg =
+    Arg.(
+      value & opt int 30
+      & info [ "alloc-percent" ] ~doc:"Share of mutator operations that allocate.")
+  in
+  Cmd.v
+    (Cmd.info "concurrent"
+       ~doc:"collect while the main processor keeps running (Section VII next step)")
+    Term.(
+      const run $ workload_arg $ cores_arg $ scale_arg $ seed_arg $ period_arg
+      $ alloc_arg)
+
+let () =
+  let doc = "fine-grained parallel compacting GC coprocessor simulator" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "gcsim" ~doc)
+          [
+            list_cmd; run_cmd; sweep_cmd; cycles_cmd; trace_cmd; ablate_cmd;
+            concurrent_cmd;
+          ]))

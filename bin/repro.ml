@@ -1,0 +1,112 @@
+(* Regenerate every table and figure of the paper's evaluation section.
+
+   Usage:
+     repro                 — everything at the default scale
+     repro fig5|table1|table2|fig6|fifo
+     repro --scale 0.3 --seeds 3 fig5
+*)
+
+module Report = Hsgc_core.Report
+module Experiment = Hsgc_core.Experiment
+module Memsys = Hsgc_memsim.Memsys
+open Cmdliner
+
+type artifact =
+  | Fig5
+  | Table1
+  | Table2
+  | Fig6
+  | Fifo
+  | Heapsize
+  | Baselines
+  | Future_work
+  | Concurrent
+  | All
+
+let artifact_of_string = function
+  | "fig5" | "figure5" -> Ok Fig5
+  | "table1" -> Ok Table1
+  | "table2" -> Ok Table2
+  | "fig6" | "figure6" -> Ok Fig6
+  | "fifo" -> Ok Fifo
+  | "heapsize" -> Ok Heapsize
+  | "baselines" | "e5" -> Ok Baselines
+  | "future-work" | "e7" -> Ok Future_work
+  | "concurrent" | "e8" -> Ok Concurrent
+  | "all" -> Ok All
+  | s -> Error (`Msg (Printf.sprintf "unknown artifact %S" s))
+
+let artifact_conv =
+  Arg.conv
+    ( artifact_of_string,
+      fun ppf a ->
+        Format.pp_print_string ppf
+          (match a with
+          | Fig5 -> "fig5"
+          | Table1 -> "table1"
+          | Table2 -> "table2"
+          | Fig6 -> "fig6"
+          | Fifo -> "fifo"
+          | Heapsize -> "heapsize"
+          | Baselines -> "baselines"
+          | Future_work -> "future-work"
+          | Concurrent -> "concurrent"
+          | All -> "all") )
+
+let run artifact scale seeds verify =
+  let seeds = Array.init seeds (fun i -> 42 + (1000 * i)) in
+  let base_sweep =
+    lazy (Report.run_sweeps ~verify ~scale ~seeds ())
+  in
+  let latency_sweep =
+    lazy
+      (Report.run_sweeps ~verify ~scale ~seeds
+         ~mem:(Memsys.with_extra_latency Memsys.default_config 20)
+         ())
+  in
+  let emit = function
+    | Fig5 -> print_endline (Report.figure5 (Lazy.force base_sweep))
+    | Table1 -> print_endline (Report.table1 (Lazy.force base_sweep))
+    | Table2 -> print_endline (Report.table2 (Lazy.force base_sweep))
+    | Fig6 -> print_endline (Report.figure6 (Lazy.force latency_sweep))
+    | Fifo -> print_endline (Report.fifo_summary (Lazy.force base_sweep))
+    | Heapsize -> print_endline (Report.heap_size_invariance ~scale ())
+    | Baselines -> print_endline (Report.baselines ~scale:(0.2 *. scale) ())
+    | Future_work -> print_endline (Report.future_work ~scale ())
+    | Concurrent -> print_endline (Report.concurrent_pauses ~scale:(0.5 *. scale) ())
+    | All -> assert false
+  in
+  (match artifact with
+  | All ->
+    List.iter emit
+      [ Fig5; Table1; Table2; Fig6; Fifo; Heapsize; Baselines; Future_work;
+        Concurrent ]
+  | a -> emit a);
+  0
+
+let cmd =
+  let artifact =
+    Arg.(value & pos 0 artifact_conv All & info [] ~docv:"ARTIFACT")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "scale" ] ~doc:"Workload size multiplier (1.0 = paper-like).")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~doc:"Number of random seeds to average over.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Check graph isomorphism after every collection (slower).")
+  in
+  let doc = "regenerate the paper's tables and figures" in
+  Cmd.v
+    (Cmd.info "repro" ~doc)
+    Term.(const run $ artifact $ scale $ seeds $ verify)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,66 @@
+(* Concurrent collection: the coprocessor runs while the application
+   keeps executing — the authors' announced next step (Sections V-B and
+   VII), and the point of their whole research program: GC pauses of a
+   couple hundred cycles instead of whole collection cycles.
+
+     dune exec examples/concurrent_gc.exe *)
+
+module Heap = Hsgc_heap.Heap
+module Verify = Hsgc_heap.Verify
+module Coprocessor = Hsgc_coproc.Coprocessor
+module Concurrent = Hsgc_coproc.Concurrent
+module Workloads = Hsgc_objgraph.Workloads
+module Table = Hsgc_util.Table
+
+let () =
+  print_endline
+    "Stop-the-world vs concurrent collection (8 GC cores; the mutator\n\
+     performs one operation every 4 cycles while the collectors run).\n\
+     In STW mode the application pause is the whole cycle; in concurrent\n\
+     mode it is only the root phase, plus occasional read-barrier work.\n";
+  let header =
+    [
+      "workload"; "STW pause"; "concurrent pause"; "cycle length";
+      "barrier evacs"; "mutator ops during GC";
+    ]
+  in
+  let rows =
+    List.map
+      (fun w ->
+        (* stop-the-world reference *)
+        let heap = Workloads.build_heap ~scale:0.5 ~seed:42 w in
+        let stw = Coprocessor.collect (Coprocessor.config ~n_cores:8 ()) heap in
+        (* concurrent run, fully checked *)
+        let heap = Workloads.build_heap ~scale:0.5 ~seed:42 w in
+        let orig_roots = Array.length heap.Heap.roots in
+        let pre = Verify.snapshot heap in
+        let stats = Concurrent.collect (Concurrent.default_config ()) heap in
+        let all = heap.Heap.roots in
+        Heap.set_roots heap (Array.sub all 0 orig_roots);
+        let iso = Verify.equal_snapshot pre (Verify.snapshot heap) in
+        Heap.set_roots heap all;
+        let ok =
+          iso
+          && Verify.check_space heap = Ok ()
+          && Concurrent.check_new_objects heap stats = Ok ()
+        in
+        if not ok then failwith ("verification failed for " ^ w.Workloads.name);
+        [
+          w.Workloads.name;
+          string_of_int stw.Coprocessor.total_cycles;
+          string_of_int stats.Concurrent.pause_cycles;
+          string_of_int stats.Concurrent.gc.Coprocessor.total_cycles;
+          string_of_int stats.Concurrent.barrier_evacuations;
+          string_of_int
+            (stats.Concurrent.mutator_reads + stats.Concurrent.mutator_allocs);
+        ])
+      [ Workloads.db; Workloads.javac; Workloads.javacc; Workloads.search ]
+  in
+  Table.print ~header ~rows;
+  print_newline ();
+  print_endline
+    "Every run is verified: the pre-existing graph is isomorphic to its\n\
+     copy, the new space is contiguously well-formed, and every object\n\
+     the mutator allocated mid-cycle survived with exactly the contents\n\
+     written. The pause column is the paper's real-time story: hundreds\n\
+     of cycles instead of hundreds of thousands."

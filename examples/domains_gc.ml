@@ -1,0 +1,60 @@
+(* Real parallelism: the same fine-grained parallel copying algorithm,
+   running on OCaml 5 domains with commodity synchronization (CAS +
+   fetch-and-add + a lock-free shared worklist) instead of the simulated
+   hardware synchronization block.
+
+     dune exec examples/domains_gc.exe *)
+
+module Workloads = Hsgc_objgraph.Workloads
+module Verify = Hsgc_heap.Verify
+module Parallel_copy = Hsgc_swgc.Parallel_copy
+module Par = Hsgc_swgc.Par
+module Table = Hsgc_util.Table
+
+let () =
+  Printf.printf
+    "This machine recommends %d domain(s). The collector is correct at any\n\
+     domain count; speedup needs real cores.\n\n"
+    (Domain.recommended_domain_count ());
+  let w = Workloads.javac in
+  Printf.printf "workload: %s\n\n" w.Workloads.description;
+  let header =
+    [ "domains"; "live objects"; "wall time (ms)"; "CAS races lost"; "balance" ]
+  in
+  let rows =
+    List.map
+      (fun domains ->
+        let heap = Workloads.build_heap ~scale:2.0 ~seed:42 w in
+        let pre = Verify.snapshot heap in
+        let stats = Parallel_copy.collect ~domains heap in
+        (match Verify.check_collection ~pre heap with
+        | Ok () -> ()
+        | Error f ->
+          Format.printf "verification FAILED at %d domains: %a@." domains
+            Verify.pp_failure f;
+          exit 1);
+        (* Balance: share of objects scanned by the busiest domain
+           (1/domains = perfect). *)
+        let busiest =
+          Array.fold_left max 0 stats.Parallel_copy.per_domain_objects
+        in
+        [
+          string_of_int domains;
+          string_of_int stats.Parallel_copy.live_objects;
+          Printf.sprintf "%.2f" (1000.0 *. stats.Parallel_copy.elapsed_s);
+          string_of_int stats.Parallel_copy.cas_races_lost;
+          Table.pct
+            (float_of_int busiest
+            /. float_of_int (max 1 stats.Parallel_copy.live_objects));
+        ])
+      [ 1; 2; 4; 8 ]
+  in
+  Table.print ~header ~rows;
+  print_newline ();
+  print_endline
+    "Every run is verified: the copied graph is isomorphic to the\n\
+     original and the new space is contiguously compacted — regardless\n\
+     of how the domains interleave. The object-by-object distribution\n\
+     through one shared worklist keeps the balance column near\n\
+     1/domains; what commodity hardware charges for it is the CAS/fence\n\
+     traffic that the paper's synchronization block eliminates."

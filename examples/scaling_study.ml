@@ -1,0 +1,45 @@
+(* Scaling study: how collection time scales with coprocessor cores for
+   two opposite workloads — the paper's headline experiment (Figure 5) on
+   a wide graph (db) and on a linear one (search).
+
+     dune exec examples/scaling_study.exe *)
+
+module Experiment = Hsgc_core.Experiment
+module Workloads = Hsgc_objgraph.Workloads
+module Table = Hsgc_util.Table
+
+let study workload =
+  Printf.printf "workload: %s — %s\n" workload.Workloads.name
+    workload.Workloads.description;
+  let points =
+    Experiment.sweep ~verify:true ~scale:0.5 ~seeds:[| 42; 1042 |] workload
+  in
+  let speedups = Experiment.speedups points in
+  let rows =
+    List.map2
+      (fun p (_, s) ->
+        [
+          string_of_int p.Experiment.n_cores;
+          Printf.sprintf "%.0f" p.Experiment.cycles;
+          Table.fixed 2 s;
+          Table.pct p.Experiment.empty_frac;
+        ])
+      points speedups
+  in
+  Table.print
+    ~header:[ "cores"; "cycles"; "speedup"; "worklist empty" ]
+    ~rows;
+  print_newline ()
+
+let () =
+  print_endline
+    "Every collection below is verified against a pre-GC snapshot\n\
+     (graph isomorphism + compaction), averaged over two seeds.\n";
+  study Workloads.db;
+  study Workloads.search;
+  print_endline
+    "Reading: db's wide object graph keeps the single shared worklist\n\
+     full, so object-level distribution scales almost linearly to 8\n\
+     cores; search's linked list admits no object-level parallelism at\n\
+     all — its worklist is empty nearly every cycle at >= 4 cores, so\n\
+     extra cores only watch."

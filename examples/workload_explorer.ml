@@ -1,0 +1,103 @@
+(* Workload explorer: what the eight synthetic benchmark graphs look
+   like, and how each one's shape shows up in the collector's counters.
+
+     dune exec examples/workload_explorer.exe *)
+
+module Plan = Hsgc_objgraph.Plan
+module Workloads = Hsgc_objgraph.Workloads
+module Coprocessor = Hsgc_coproc.Coprocessor
+module Counters = Hsgc_coproc.Counters
+module Table = Hsgc_util.Table
+
+let graph_shape plan =
+  (* live objects, mean size, max fan-out, max in-degree (sharing) *)
+  let n = Plan.n_objects plan in
+  let indeg = Array.make n 0 in
+  let seen = Array.make n false in
+  let live = ref 0 and words = ref 0 and max_pi = ref 0 in
+  let rec visit id =
+    if id >= 0 && not seen.(id) then begin
+      seen.(id) <- true;
+      incr live;
+      words := !words + 2 + Plan.pi_of plan id + Plan.delta_of plan id;
+      max_pi := max !max_pi (Plan.pi_of plan id);
+      for s = 0 to Plan.pi_of plan id - 1 do
+        let c = Plan.child_of plan id s in
+        if c >= 0 then begin
+          indeg.(c) <- indeg.(c) + 1;
+          visit c
+        end
+      done
+    end
+  in
+  Array.iter visit (Plan.roots plan);
+  let max_indeg = Array.fold_left max 0 indeg in
+  (!live, !words, !max_pi, max_indeg)
+
+let () =
+  print_endline "Graph shape of each synthetic workload (at scale 0.3):\n";
+  let header =
+    [
+      "workload"; "live objs"; "live words"; "mean size"; "max fan-out";
+      "max sharing";
+    ]
+  in
+  let plans =
+    List.map (fun w -> (w, w.Workloads.build ~scale:0.3 ~seed:42)) Workloads.all
+  in
+  let rows =
+    List.map
+      (fun (w, plan) ->
+        let live, words, max_pi, max_indeg = graph_shape plan in
+        [
+          w.Workloads.name;
+          string_of_int live;
+          string_of_int words;
+          Printf.sprintf "%.1f" (float_of_int words /. float_of_int (max 1 live));
+          string_of_int max_pi;
+          string_of_int max_indeg;
+        ])
+      plans
+  in
+  Table.print ~header ~rows;
+  print_newline ();
+  print_endline
+    "...and how each shape shows up when collected on 16 cores (dominant\n\
+     stall category, mean per core):\n";
+  let header = [ "workload"; "cycles"; "speedup vs 1"; "dominant stall"; "share" ] in
+  let rows =
+    List.map
+      (fun (w, _plan) ->
+        let collect n =
+          let heap = Workloads.build_heap ~scale:0.3 ~seed:42 w in
+          Coprocessor.collect (Coprocessor.config ~n_cores:n ()) heap
+        in
+        let s1 = collect 1 and s16 = collect 16 in
+        let mean = Coprocessor.stalls_mean_per_core s16 in
+        let dominant, amount =
+          List.fold_left
+            (fun (bs, bv) s ->
+              let v = Counters.get mean s in
+              if v > bv then (s, v) else (bs, bv))
+            (Counters.Scan_lock, -1)
+            Counters.all_stalls
+        in
+        [
+          w.Workloads.name;
+          string_of_int s16.Coprocessor.total_cycles;
+          Printf.sprintf "%.2fx"
+            (float_of_int s1.Coprocessor.total_cycles
+            /. float_of_int s16.Coprocessor.total_cycles);
+          Counters.stall_name dominant;
+          Table.pct
+            (float_of_int amount /. float_of_int s16.Coprocessor.total_cycles);
+        ])
+      plans
+  in
+  Table.print ~header ~rows;
+  print_newline ();
+  print_endline
+    "Reading: javac's hot shared symbols surface as header-lock stalls;\n\
+     cup's enormous gray backlog overflows the header FIFO and turns\n\
+     into scan-lock stalls; the data-heavy workloads stall on body\n\
+     loads; the linear ones barely speed up at all."

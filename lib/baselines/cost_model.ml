@@ -1,0 +1,21 @@
+type t = {
+  cas : int;
+  fence : int;
+  lock_pair : int;
+  local_op : int;
+  steal : int;
+}
+
+let default = { cas = 30; fence = 50; lock_pair = 80; local_op = 2; steal = 120 }
+
+let free_hardware = { cas = 0; fence = 0; lock_pair = 1; local_op = 1; steal = 1 }
+
+let scaled t f =
+  let s x = int_of_float (Float.round (float_of_int x *. f)) in
+  {
+    cas = s t.cas;
+    fence = s t.fence;
+    lock_pair = s t.lock_pair;
+    local_op = s t.local_op;
+    steal = s t.steal;
+  }

@@ -1,0 +1,32 @@
+(** Synchronization cost model for commodity shared-memory machines.
+
+    The paper's Section III argues that object-level work distribution is
+    prohibitively expensive on standard platforms because every pool
+    access and every object-graph access must be protected by
+    synchronization whose cost — atomic read-modify-write plus the memory
+    fences and coherence traffic it implies — is tens of cycles. This
+    module parameterizes those costs so the baseline simulations in
+    {!Engine} can replay the argument quantitatively.
+
+    The default numbers are representative of the multi-socket SMPs of
+    the paper's era (and are not far off modern parts once cross-core
+    coherence misses are counted): an uncontended CAS with its implied
+    ordering ≈ 30 cycles, a full fence ≈ 50, a lock/unlock pair ≈ 80. *)
+
+type t = {
+  cas : int;  (** atomic compare-and-swap, uncontended, incl. ordering *)
+  fence : int;  (** full memory barrier *)
+  lock_pair : int;  (** acquire + release of a contended-capable mutex *)
+  local_op : int;  (** push/pop on a worker-local structure *)
+  steal : int;  (** one steal attempt on a remote deque *)
+}
+
+val default : t
+
+val free_hardware : t
+(** The hardware-supported counterpart: synchronization is free (the
+    paper's coprocessor acquires uncontended locks in zero cycles);
+    structural serialization is still enforced by the engine. *)
+
+val scaled : t -> float -> t
+(** Scale every cost (sensitivity analysis). *)

@@ -1,0 +1,467 @@
+module Plan = Hsgc_objgraph.Plan
+module Header = Hsgc_heap.Header
+
+type scheme =
+  | Fine_grained_software
+  | Chunked of int
+  | Work_packets of int
+  | Work_stealing
+  | Task_pushing
+  | Hardware_fine_grained
+
+let scheme_name = function
+  | Fine_grained_software -> "sw-object"
+  | Chunked n -> Printf.sprintf "sw-chunk-%d" n
+  | Work_packets n -> Printf.sprintf "sw-packet-%d" n
+  | Work_stealing -> "sw-steal"
+  | Task_pushing -> "sw-push"
+  | Hardware_fine_grained -> "hw-object"
+
+let all_schemes =
+  [
+    Fine_grained_software;
+    Chunked 32;
+    Work_packets 16;
+    Work_stealing;
+    Task_pushing;
+    Hardware_fine_grained;
+  ]
+
+type result = {
+  scheme : scheme;
+  workers : int;
+  total_cycles : int;
+  busy_cycles : int;
+  sync_cycles : int;
+  idle_cycles : int;
+  pool_ops : int;
+  steals : int;
+  objects : int;
+}
+
+(* Minimal binary min-heap of (time, task). *)
+module Heap_q = struct
+  type t = { mutable a : (int * int) array; mutable n : int }
+
+  let create () = { a = Array.make 64 (0, 0); n = 0 }
+  let size h = h.n
+
+  let push h x =
+    if h.n = Array.length h.a then begin
+      let bigger = Array.make (2 * h.n) (0, 0) in
+      Array.blit h.a 0 bigger 0 h.n;
+      h.a <- bigger
+    end;
+    h.a.(h.n) <- x;
+    h.n <- h.n + 1;
+    let i = ref (h.n - 1) in
+    while !i > 0 && fst h.a.((!i - 1) / 2) > fst h.a.(!i) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let min_time h = if h.n = 0 then None else Some (fst h.a.(0))
+
+  let pop h =
+    if h.n = 0 then invalid_arg "Heap_q.pop";
+    let top = h.a.(0) in
+    h.n <- h.n - 1;
+    h.a.(0) <- h.a.(h.n);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.n && fst h.a.(l) < fst h.a.(!smallest) then smallest := l;
+      if r < h.n && fst h.a.(r) < fst h.a.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = h.a.(!i) in
+        h.a.(!i) <- h.a.(!smallest);
+        h.a.(!smallest) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+end
+
+(* Per-scheme knobs derived from the cost model. *)
+type distribution =
+  | Shared_pool  (* one central structure, exclusive access *)
+  | Stealing  (* per-worker deques, idle workers raid the fullest *)
+  | Pushing
+      (* Wu & Li: a single-writer/single-reader queue per worker pair;
+         producers scatter discoveries round-robin, consumers poll only
+         their own inboxes — no exclusive structure at all *)
+
+type knobs = {
+  distribution : distribution;
+  unit_size : int;  (* tasks exchanged per shared-pool operation *)
+  pool_op_cost : int;  (* one exclusive access to the shared pool *)
+  claim_cost : int;  (* atomically claiming one child object *)
+  local_cost : int;  (* worker-local queue operation *)
+  push_free : bool;
+      (* hardware scheme: publishing a gray object is a side effect of
+         the evacuation itself (the worklist is the tospace region), so
+         pushes cost nothing and need no pool access *)
+}
+
+let knobs_of costs = function
+  | Fine_grained_software ->
+    {
+      unit_size = 1;
+      pool_op_cost = costs.Cost_model.lock_pair;
+      claim_cost = costs.Cost_model.cas;
+      local_cost = 0;
+      distribution = Shared_pool;
+      push_free = false;
+    }
+  | Chunked n ->
+    {
+      unit_size = max 1 n;
+      pool_op_cost = costs.Cost_model.lock_pair;
+      claim_cost = costs.Cost_model.cas;
+      local_cost = costs.Cost_model.local_op;
+      distribution = Shared_pool;
+      push_free = false;
+    }
+  | Work_packets n ->
+    {
+      unit_size = max 1 n;
+      (* get and put are distinct pool visits in the packet scheme *)
+      pool_op_cost = costs.Cost_model.lock_pair + costs.Cost_model.fence;
+      claim_cost = costs.Cost_model.cas;
+      local_cost = costs.Cost_model.local_op;
+      distribution = Shared_pool;
+      push_free = false;
+    }
+  | Work_stealing ->
+    {
+      unit_size = 1;
+      pool_op_cost = costs.Cost_model.steal;
+      claim_cost = costs.Cost_model.cas;
+      local_cost = costs.Cost_model.local_op;
+      distribution = Stealing;
+      push_free = false;
+    }
+  | Task_pushing ->
+    {
+      unit_size = 1;
+      (* an SPSC enqueue is a couple of plain stores plus a lightweight
+         publication fence — no atomic read-modify-write *)
+      pool_op_cost = 2 * costs.Cost_model.local_op;
+      claim_cost = costs.Cost_model.cas;
+      local_cost = costs.Cost_model.local_op;
+      distribution = Pushing;
+      push_free = false;
+    }
+  | Hardware_fine_grained ->
+    {
+      unit_size = 1;
+      pool_op_cost = 1;
+      claim_cost = 0;
+      local_cost = 0;
+      distribution = Shared_pool;
+      push_free = true;
+    }
+
+(* Productive work to scan one object: a pickup overhead plus one cycle
+   per body word copied plus a translation effort per pointer slot. *)
+let scan_work plan id =
+  let pi = Plan.pi_of plan id in
+  4 + pi + Plan.delta_of plan id + (2 * pi)
+
+type worker = {
+  mutable clock : int;
+  mutable local : (int * int) list;  (* (available_at, task), newest first *)
+  mutable local_n : int;
+  mutable out : int list;  (* chunked/packet: discovered, not yet flushed *)
+  mutable out_n : int;
+  mutable busy : int;
+  mutable sync : int;
+  mutable idle : int;
+}
+
+let simulate ?(costs = Cost_model.default) ~plan ~workers scheme =
+  if workers < 1 then invalid_arg "Engine.simulate: workers";
+  let k = knobs_of costs scheme in
+  let n = Plan.n_objects plan in
+  let claimed = Array.make (max n 1) false in
+  let remaining = ref 0 in
+  let pool = Heap_q.create () in
+  let pool_free = ref 0 in
+  let pool_ops = ref 0 in
+  let steals = ref 0 in
+  let ws =
+    Array.init workers (fun _ ->
+        {
+          clock = 0;
+          local = [];
+          local_n = 0;
+          out = [];
+          out_n = 0;
+          busy = 0;
+          sync = 0;
+          idle = 0;
+        })
+  in
+  let victim_free = Array.make workers 0 in
+  let inboxes = Array.init workers (fun _ -> Heap_q.create ()) in
+  let push_rr = ref 0 in
+  (* Claim the roots and seed the pool (or the deques, for stealing). *)
+  let seed = ref 0 in
+  Array.iter
+    (fun r ->
+      if r >= 0 && not claimed.(r) then begin
+        claimed.(r) <- true;
+        incr remaining;
+        (match k.distribution with
+        | Stealing ->
+          let w = ws.(!seed mod workers) in
+          w.local <- (0, r) :: w.local;
+          w.local_n <- w.local_n + 1;
+          incr seed
+        | Pushing ->
+          Heap_q.push inboxes.(!seed mod workers) (0, r);
+          incr seed
+        | Shared_pool -> Heap_q.push pool (0, r))
+      end)
+    (Plan.roots plan);
+  let flush_out w t =
+    (* Publish the buffered discoveries, one pool operation per unit of
+       [k.unit_size] tasks (object-granularity schemes pay one op per
+       object). Called only when [w] is the earliest worker, so pool
+       operations are serialized in time order. *)
+    let t' = ref t in
+    while w.out_n > 0 do
+      let start = max !t' !pool_free in
+      let fin = start + k.pool_op_cost in
+      pool_free := fin;
+      incr pool_ops;
+      w.sync <- w.sync + (fin - !t');
+      let taken = ref 0 in
+      while w.out_n > 0 && !taken < k.unit_size do
+        (match w.out with
+        | task :: rest ->
+          Heap_q.push pool (fin, task);
+          w.out <- rest;
+          w.out_n <- w.out_n - 1
+        | [] -> assert false);
+        incr taken
+      done;
+      t' := fin
+    done;
+    !t'
+  in
+  let process w =
+    match w.local with
+    | [] -> invalid_arg "process: no local task"
+    | (avail, id) :: rest ->
+      w.local <- rest;
+      w.local_n <- w.local_n - 1;
+      (* A stolen or handed-over task cannot be scanned before the scan
+         that discovered it published it. *)
+      if avail > w.clock then begin
+        w.idle <- w.idle + (avail - w.clock);
+        w.clock <- avail
+      end;
+      let t0 = w.clock in
+      let work = ref (scan_work plan id) in
+      let discovered = ref [] in
+      for slot = 0 to Plan.pi_of plan id - 1 do
+        let c = Plan.child_of plan id slot in
+        if c >= 0 && not claimed.(c) then begin
+          claimed.(c) <- true;
+          incr remaining;
+          work := !work + k.claim_cost;
+          discovered := c :: !discovered
+        end
+      done;
+      let t_end = t0 + !work in
+      w.busy <- w.busy + scan_work plan id;
+      w.sync <- w.sync + (!work - scan_work plan id);
+      w.clock <- t_end;
+      decr remaining;
+      (* Publish the discovered children. Stealing publishes into the
+         local deque immediately; shared-pool schemes buffer them and
+         publish on the worker's next scheduling turn so pool operations
+         stay in time order across workers. *)
+      (match k.distribution with
+      | Stealing ->
+        List.iter
+          (fun c ->
+            w.clock <- w.clock + k.local_cost;
+            w.busy <- w.busy + k.local_cost;
+            w.local <- (w.clock, c) :: w.local;
+            w.local_n <- w.local_n + 1)
+          !discovered
+      | Pushing ->
+        (* Scatter the discoveries round-robin over the per-pair SPSC
+           queues (keeping one for ourselves each round). The producer
+           pays the enqueue; the consumer polls for free. *)
+        List.iter
+          (fun c ->
+            w.clock <- w.clock + k.pool_op_cost;
+            w.sync <- w.sync + k.pool_op_cost;
+            let target = !push_rr mod workers in
+            incr push_rr;
+            Heap_q.push inboxes.(target) (w.clock, c))
+          !discovered
+      | Shared_pool ->
+        if k.push_free then
+          List.iter (fun c -> Heap_q.push pool (w.clock, c)) !discovered
+        else
+          List.iter
+            (fun c ->
+              w.clock <- w.clock + k.local_cost;
+              w.busy <- w.busy + k.local_cost;
+              w.out <- c :: w.out;
+              w.out_n <- w.out_n + 1)
+            !discovered)
+  in
+  let try_acquire_shared w =
+    (* Returns true if the worker obtained at least one task. *)
+    let access = max w.clock !pool_free in
+    match Heap_q.min_time pool with
+    | Some avail when avail <= access ->
+      let start = max access avail in
+      let fin = start + k.pool_op_cost in
+      pool_free := fin;
+      incr pool_ops;
+      w.sync <- w.sync + (fin - w.clock);
+      let taken = ref 0 in
+      while
+        !taken < k.unit_size
+        && match Heap_q.min_time pool with Some t -> t <= start | None -> false
+      do
+        let avail, task = Heap_q.pop pool in
+        w.local <- (avail, task) :: w.local;
+        w.local_n <- w.local_n + 1;
+        incr taken
+      done;
+      w.clock <- fin;
+      true
+    | Some avail ->
+      (* Work exists but only in the future: idle until it lands. *)
+      w.idle <- w.idle + (avail - w.clock);
+      w.clock <- avail;
+      false
+    | None -> false
+  in
+  let try_poll_inbox wi w =
+    let inbox = inboxes.(wi) in
+    match Heap_q.min_time inbox with
+    | Some avail when avail <= w.clock ->
+      let _, task = Heap_q.pop inbox in
+      w.clock <- w.clock + k.local_cost;
+      w.local <- (avail, task) :: w.local;
+      w.local_n <- w.local_n + 1;
+      true
+    | Some avail ->
+      w.idle <- w.idle + (avail - w.clock);
+      w.clock <- avail;
+      false
+    | None -> false
+  in
+  let try_steal w =
+    let best = ref (-1) in
+    Array.iteri
+      (fun i v ->
+        if v != w && v.local_n > 0 then
+          if !best < 0 || v.local_n > ws.(!best).local_n then best := i)
+      ws;
+    if !best < 0 then false
+    else begin
+      let vi = !best in
+      let v = ws.(vi) in
+      let start = max w.clock victim_free.(vi) in
+      let fin = start + k.pool_op_cost in
+      victim_free.(vi) <- fin;
+      incr steals;
+      w.sync <- w.sync + (fin - w.clock);
+      w.clock <- fin;
+      (* Take half the victim's queue (from the back, as stealers do). *)
+      let take = max 1 (v.local_n / 2) in
+      let keep = v.local_n - take in
+      let rec split i acc = function
+        | rest when i = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> split (i - 1) (x :: acc) rest
+      in
+      let kept, stolen = split keep [] v.local in
+      v.local <- kept;
+      v.local_n <- keep;
+      w.local <- stolen @ w.local;
+      w.local_n <- w.local_n + List.length stolen;
+      w.local_n > 0
+    end
+  in
+  (* Main loop: schedule the earliest worker. *)
+  let active i =
+    let v = ws.(i) in
+    v.local_n > 0 || v.out_n > 0 || Heap_q.size inboxes.(i) > 0
+  in
+  while !remaining > 0 do
+    (* earliest worker that can possibly act *)
+    let wi = ref 0 in
+    Array.iteri (fun i w -> if w.clock < ws.(!wi).clock then wi := i) ws;
+    let w = ws.(!wi) in
+    if w.out_n > 0 && (w.out_n >= k.unit_size || Heap_q.size pool = 0) then
+      w.clock <- flush_out w w.clock
+    else if w.local_n > 0 then process w
+    else if w.out_n > 0 then w.clock <- flush_out w w.clock
+    else begin
+      let got =
+        match k.distribution with
+        | Stealing -> try_steal w
+        | Pushing -> try_poll_inbox !wi w
+        | Shared_pool -> try_acquire_shared w
+      in
+      (* A successful acquisition is followed by processing one task in
+         the same step — otherwise a stolen task can be re-stolen forever
+         by the other idle workers without anyone ever scanning it. *)
+      if got && w.local_n > 0 then process w
+      else if not got then begin
+        (* Nothing obtainable now. Wait for the next event: a future
+           pool entry or another active worker's progress. *)
+        let next = ref max_int in
+        (match Heap_q.min_time pool with Some t -> next := t | None -> ());
+        (match Heap_q.min_time inboxes.(!wi) with
+        | Some t -> next := min !next t
+        | None -> ());
+        Array.iteri
+          (fun i v -> if i <> !wi && active i then next := min !next (v.clock + 1))
+          ws;
+        if !next = max_int then
+          (* No work anywhere, yet remaining > 0 — impossible unless the
+             graph was inconsistent. *)
+          failwith "Engine.simulate: starvation with work remaining"
+        else begin
+          let target = max !next (w.clock + 1) in
+          w.idle <- w.idle + (target - w.clock);
+          w.clock <- target
+        end
+      end
+    end
+  done;
+  let total = Array.fold_left (fun acc w -> max acc w.clock) 0 ws in
+  let sum f = Array.fold_left (fun acc w -> acc + f w) 0 ws in
+  let objects =
+    Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 claimed
+  in
+  {
+    scheme;
+    workers;
+    total_cycles = total;
+    busy_cycles = sum (fun w -> w.busy);
+    sync_cycles = sum (fun w -> w.sync);
+    idle_cycles = sum (fun w -> w.idle);
+    pool_ops = !pool_ops;
+    steals = !steals;
+    objects;
+  }
+
+let speedup base r = float_of_int base.total_cycles /. float_of_int r.total_cycles

@@ -1,0 +1,58 @@
+(** Trace-driven simulation of the software parallel-collection schemes
+    the paper surveys in Section III, plus the hardware-supported scheme
+    as an idealized reference — all over the same workload {!Plan}s the
+    coprocessor simulator uses.
+
+    The engine models what matters for the paper's argument: {i who pays
+    how much synchronization, at which granularity, and how well the work
+    balances}. Each live object is a task whose processing costs its copy
+    work plus a per-child claim; schemes differ in how tasks reach
+    workers (one shared list at object granularity, shared chunks, work
+    packets, per-worker deques with stealing) and in what each access to
+    the shared structures costs under the {!Cost_model}. Memory timing is
+    deliberately abstracted away (the coprocessor simulator covers it);
+    this engine isolates the synchronization-and-balance dimension. *)
+
+module Plan = Hsgc_objgraph.Plan
+
+type scheme =
+  | Fine_grained_software
+      (** the paper's algorithm, naively on commodity hardware: one
+          shared worklist accessed object-by-object under a lock *)
+  | Chunked of int
+      (** Imai & Tick: the pool exchanges chunks of [n] objects *)
+  | Work_packets of int
+      (** Ossia et al.: get/put packets of [n] references *)
+  | Work_stealing
+      (** Flood et al. / Endo et al.: per-worker deques, idle workers
+          steal half a victim's queue *)
+  | Task_pushing
+      (** Wu & Li: one single-writer/single-reader queue per worker pair;
+          producers scatter discoveries round-robin at plain-store cost,
+          consumers poll only their own inboxes *)
+  | Hardware_fine_grained
+      (** the paper's coprocessor: object granularity with free
+          synchronization (structural serialization still applies) *)
+
+val scheme_name : scheme -> string
+val all_schemes : scheme list
+(** A representative instance of each family. *)
+
+type result = {
+  scheme : scheme;
+  workers : int;
+  total_cycles : int;  (** finish time of the last worker *)
+  busy_cycles : int;  (** productive copy/translate work, all workers *)
+  sync_cycles : int;  (** synchronization cost + waiting on shared structures *)
+  idle_cycles : int;  (** waiting for work to exist *)
+  pool_ops : int;
+  steals : int;
+  objects : int;
+}
+
+val simulate :
+  ?costs:Cost_model.t -> plan:Plan.t -> workers:int -> scheme -> result
+(** Deterministic simulation of one collection of [plan]'s live graph. *)
+
+val speedup : result -> result -> float
+(** [speedup base r] = base time / r time. *)

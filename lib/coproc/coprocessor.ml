@@ -1,0 +1,692 @@
+module H = Hsgc_heap.Heap
+module Hdr = Hsgc_heap.Header
+module Semispace = Hsgc_heap.Semispace
+module SB = Hsgc_hwsync.Sync_block
+module Mem = Hsgc_memsim.Memsys
+module Port = Hsgc_memsim.Port
+module Fifo = Hsgc_memsim.Header_fifo
+
+type config = {
+  n_cores : int;
+  mem : Mem.config;
+  max_cycles : int;
+  scan_unit : int option;
+      (* paper Section VII future work: when [Some u], an object whose
+         body exceeds [u] words is handed out in [u]-word pieces so that
+         several cores can copy one large object concurrently. [None]
+         (the default) is the published object-granularity design. *)
+}
+
+let default_config =
+  {
+    n_cores = 8;
+    mem = Mem.default_config;
+    max_cycles = 2_000_000_000;
+    scan_unit = None;
+  }
+
+let config ?(mem = Mem.default_config) ?scan_unit ~n_cores () =
+  { default_config with n_cores; mem; scan_unit }
+
+exception Heap_overflow
+exception Simulation_diverged of string
+
+type gc_stats = {
+  total_cycles : int;
+  root_cycles : int;
+  empty_worklist_cycles : int;
+  per_core : Counters.t array;
+  live_objects : int;
+  live_words : int;
+  fifo_hits : int;
+  fifo_misses : int;
+  fifo_overflows : int;
+  mem_loads : int;
+  mem_stores : int;
+  mem_rejected_bandwidth : int;
+  mem_rejected_order : int;
+  header_cache_hits : int;
+  header_cache_misses : int;
+}
+
+let stalls_total stats =
+  Array.fold_left Counters.add (Counters.create ()) stats.per_core
+
+let stalls_mean_per_core stats =
+  let n = Array.length stats.per_core in
+  Counters.scale (stalls_total stats) (1.0 /. float_of_int n)
+
+(* Where the evacuation sub-machine returns once both header stores of the
+   freshly grayed object have been issued. *)
+type return_point = Ret_slot | Ret_root
+
+type state =
+  | Init  (* core 0: initialize scan and free *)
+  | Root_next  (* core 0: evacuate the next root slot *)
+  | Root_header_wait
+  | Start_barrier
+  | Try_lock_scan
+  | Scan_header_wait  (* scan lock held, gray header load in flight *)
+  | Body_issue_load
+  | Body_wait
+  | Lock_child
+  | Child_header_wait
+  | Lock_free
+  | Evac_store_fwd
+  | Evac_store_gray
+  | Store_slot
+  | Piece_done  (* sub-object mode: retire one piece of a split frame *)
+  | Blacken
+  | Flush
+  | End_barrier
+  | Halt
+
+type core = {
+  id : int;
+  mutable state : state;
+  (* register file *)
+  mutable obj_to : int;  (* tospace frame of the object being scanned *)
+  mutable obj_from : int;  (* its fromspace original (via backlink) *)
+  mutable h0 : int;  (* header word 0 of the object being scanned *)
+  mutable slot : int;  (* body word index within the object *)
+  mutable slot_limit : int;  (* exclusive end of this work item *)
+  mutable whole : bool;  (* item covers the whole object (usual case) *)
+  mutable child : int;  (* pointer value under translation *)
+  mutable child_h0 : int;
+  mutable value : int;  (* word about to be stored into the copy *)
+  mutable evac_new : int;  (* frame claimed for an evacuation *)
+  mutable root_idx : int;
+  mutable ret : return_point;
+  (* the four memory buffers *)
+  hl : Port.t;
+  hs : Port.t;
+  bl : Port.t;
+  bs : Port.t;
+  counters : Counters.t;
+}
+
+type t = {
+  cfg : config;
+  heap : H.t;
+  sb : SB.t;
+  mem : Mem.t;
+  fifo : Fifo.t;
+  cores : core array;
+  tospace_limit : int;
+  mutable now : int;
+  mutable finished : bool;  (* termination detected, broadcast to all cores *)
+  mutable saw_empty : bool;  (* set during the current cycle *)
+  mutable parallel_phase : bool;
+  mutable parallel_start : int;
+  mutable empty_cycles : int;
+  (* Sub-object mode: the frame currently being handed out in pieces.
+     All four registers are guarded by the scan lock. *)
+  mutable cur_frame : int;  (* 0 = none *)
+  mutable cur_h0 : int;
+  mutable cur_from : int;
+  mutable cur_next_slot : int;
+  pieces_left : (int, int ref) Hashtbl.t;  (* frame -> outstanding pieces *)
+}
+
+type sim = t
+
+let make_core id =
+  {
+    id;
+    state = (if id = 0 then Init else Start_barrier);
+    obj_to = 0;
+    obj_from = 0;
+    h0 = 0;
+    slot = 0;
+    slot_limit = 0;
+    whole = true;
+    child = 0;
+    child_h0 = 0;
+    value = 0;
+    evac_new = 0;
+    root_idx = 0;
+    ret = Ret_slot;
+    hl = Port.create Port.Header_load;
+    hs = Port.create Port.Header_store;
+    bl = Port.create Port.Body_load;
+    bs = Port.create Port.Body_store;
+    counters = Counters.create ();
+  }
+
+let issue_exn port mem ~now ~addr =
+  if not (Port.issue port mem ~now ~addr) then
+    failwith "coprocessor: issued into a busy buffer (microprogram bug)"
+
+let stall core kind = Counters.bump core.counters kind
+
+(* Write one body word into the tospace copy and advance the slot loop.
+   Issues the body store and, when another slot remains, the next body
+   load in the same cycle (the cores can initiate several memory
+   operations per cycle). *)
+let store_and_advance t core v =
+  H.write t.heap (core.obj_to + Hdr.header_words + core.slot) v;
+  issue_exn core.bs t.mem ~now:t.now ~addr:(core.obj_to + Hdr.header_words + core.slot);
+  core.counters.words_copied <- core.counters.words_copied + 1;
+  core.slot <- core.slot + 1;
+  if core.slot >= core.slot_limit then
+    core.state <- (if core.whole then Blacken else Piece_done)
+  else if Port.is_idle core.bl then begin
+    issue_exn core.bl t.mem ~now:t.now
+      ~addr:(core.obj_from + Hdr.header_words + core.slot);
+    core.state <- Body_wait
+  end
+  else core.state <- Body_issue_load
+
+(* Take the gray object whose frame sits at [scan]: record its registers,
+   advance [scan] past it, release the scan lock and raise the busy bit.
+   The caller has already obtained the frame's header (FIFO or memory).
+   In sub-object mode a large object is only partially taken: [scan]
+   advances by one piece and the frame's registers stay latched in the
+   synchronization block for the next grabber. *)
+let rec begin_object t core ~frame =
+  let h0 = H.header0 t.heap frame in
+  if Hdr.state h0 = Black then begin
+    (* A frame allocated black by the main processor during a concurrent
+       cycle: nothing to scan, step over it. *)
+    SB.advance_scan t.sb ~core:core.id (Hdr.size h0);
+    SB.unlock_scan t.sb ~core:core.id;
+    core.state <- Try_lock_scan
+  end
+  else begin_gray_object t core ~frame ~h0
+
+and begin_gray_object t core ~frame ~h0 =
+  let body = Hdr.pi h0 + Hdr.delta h0 in
+  let split_over =
+    match t.cfg.scan_unit with
+    | Some u when body > u -> Some u
+    | Some _ | None -> None
+  in
+  core.h0 <- h0;
+  core.obj_to <- frame;
+  core.obj_from <- H.header1 t.heap frame;
+  core.slot <- 0;
+  (match split_over with
+  | None ->
+    core.slot_limit <- body;
+    core.whole <- true;
+    SB.advance_scan t.sb ~core:core.id (Hdr.size h0)
+  | Some u ->
+    core.slot_limit <- u;
+    core.whole <- false;
+    t.cur_frame <- frame;
+    t.cur_h0 <- h0;
+    t.cur_from <- core.obj_from;
+    t.cur_next_slot <- u;
+    Hashtbl.replace t.pieces_left frame (ref (((body - 1) / u) + 1));
+    (* the first piece carries the two header words *)
+    SB.advance_scan t.sb ~core:core.id (Hdr.header_words + u));
+  SB.unlock_scan t.sb ~core:core.id;
+  SB.set_busy t.sb ~core:core.id true;
+  core.counters.objects_scanned <- core.counters.objects_scanned + 1;
+  if body = 0 then core.state <- Blacken else core.state <- Body_issue_load
+
+(* Hand out the next piece of the frame latched in [cur_frame]; the
+   caller holds the scan lock. Costs one cycle and no header access. *)
+let begin_piece t core =
+  let u = Option.get t.cfg.scan_unit in
+  let body = Hdr.pi t.cur_h0 + Hdr.delta t.cur_h0 in
+  let start = t.cur_next_slot in
+  let stop = min body (start + u) in
+  core.h0 <- t.cur_h0;
+  core.obj_to <- t.cur_frame;
+  core.obj_from <- t.cur_from;
+  core.slot <- start;
+  core.slot_limit <- stop;
+  core.whole <- false;
+  SB.advance_scan t.sb ~core:core.id (stop - start);
+  t.cur_next_slot <- stop;
+  if stop = body then t.cur_frame <- 0;
+  SB.unlock_scan t.sb ~core:core.id;
+  SB.set_busy t.sb ~core:core.id true;
+  core.state <- Body_issue_load
+
+let step_init t core =
+  let base = (H.to_space t.heap).Semispace.base in
+  SB.set_scan t.sb base;
+  SB.set_free t.sb base;
+  core.root_idx <- 0;
+  core.state <- Root_next
+
+let step_root_next t core =
+  let roots = t.heap.H.roots in
+  if core.root_idx >= Array.length roots then core.state <- Start_barrier
+  else begin
+    let r = roots.(core.root_idx) in
+    if r = H.null then core.root_idx <- core.root_idx + 1
+    else begin
+      (* Uncontended during the root phase, but the protocol is kept
+         identical to the scanning loop. *)
+      if not (SB.try_lock_header t.sb ~core:core.id ~addr:r) then stall core Header_lock
+      else if Port.is_idle core.hl then begin
+        issue_exn core.hl t.mem ~now:t.now ~addr:r;
+        core.state <- Root_header_wait
+      end
+      else begin
+        SB.unlock_header t.sb ~core:core.id;
+        stall core Header_load
+      end
+    end
+  end
+
+let step_root_header_wait t core =
+  if not (Port.load_ready core.hl) then stall core Header_load
+  else begin
+    Port.consume core.hl;
+    let r = t.heap.H.roots.(core.root_idx) in
+    let w0 = H.header0 t.heap r in
+    match Hdr.state w0 with
+    | White | Black ->
+      (* Black here is a survivor of the previous cycle: only Gray means
+         "evacuated in this cycle", so states never need resetting
+         between cycles. *)
+      core.child <- r;
+      core.child_h0 <- w0;
+      core.ret <- Ret_root;
+      core.state <- Lock_free
+    | Gray ->
+      (* Another root slot already evacuated this object: follow the
+         forwarding pointer installed in its header. *)
+      t.heap.H.roots.(core.root_idx) <- H.header1 t.heap r;
+      SB.unlock_header t.sb ~core:core.id;
+      core.root_idx <- core.root_idx + 1;
+      core.state <- Root_next
+  end
+
+let step_start_barrier t core =
+  if SB.barrier_arrive t.sb ~core:core.id then begin
+    if not t.parallel_phase then begin
+      t.parallel_phase <- true;
+      t.parallel_start <- t.now
+    end;
+    core.state <- Try_lock_scan
+  end
+
+let step_try_lock_scan t core =
+  if t.finished then core.state <- Flush
+  else if not (SB.try_lock_scan t.sb ~core:core.id) then begin
+    stall core Scan_lock;
+    if SB.scan t.sb = SB.free t.sb then t.saw_empty <- true
+  end
+  else if SB.scan t.sb = SB.free t.sb then begin
+    t.saw_empty <- true;
+    (* Termination: the worklist is empty and no core is scanning an
+       object (its evacuations could refill the worklist). Checked while
+       holding the scan lock, so no evacuation can race with it. *)
+    if SB.none_busy_except t.sb ~core:core.id then begin
+      t.finished <- true;
+      SB.unlock_scan t.sb ~core:core.id;
+      core.state <- Flush
+    end
+    else SB.unlock_scan t.sb ~core:core.id
+  end
+  else if t.cur_frame <> 0 then begin_piece t core
+  else begin
+    let frame = SB.scan t.sb in
+    if Fifo.try_pop t.fifo frame then begin_object t core ~frame
+    else begin
+      issue_exn core.hl t.mem ~now:t.now ~addr:frame;
+      core.state <- Scan_header_wait
+    end
+  end
+
+let step_scan_header_wait t core =
+  if Port.load_ready core.hl then begin
+    Port.consume core.hl;
+    begin_object t core ~frame:(SB.scan t.sb)
+  end
+  else stall core Header_load
+
+let step_body_issue_load t core =
+  if Port.is_idle core.bl then begin
+    issue_exn core.bl t.mem ~now:t.now
+      ~addr:(core.obj_from + Hdr.header_words + core.slot);
+    core.state <- Body_wait
+  end
+  else stall core Body_load
+
+let step_body_wait t core =
+  if not (Port.load_ready core.bl) then stall core Body_load
+  else begin
+    let v = H.read t.heap (core.obj_from + Hdr.header_words + core.slot) in
+    if core.slot < Hdr.pi core.h0 && v <> H.null then begin
+      Port.consume core.bl;
+      core.child <- v;
+      core.state <- Lock_child
+    end
+    else if Port.is_idle core.bs then begin
+      (* Data word (or null pointer): copied verbatim. Store of this word
+         and load of the next are initiated in the same cycle. *)
+      Port.consume core.bl;
+      store_and_advance t core v
+    end
+    else stall core Body_store
+  end
+
+let step_lock_child t core =
+  if not (SB.try_lock_header t.sb ~core:core.id ~addr:core.child) then
+    stall core Header_lock
+  else begin
+    (* Acquisition is free in the uncontended case: the header load is
+       initiated in the same cycle. *)
+    issue_exn core.hl t.mem ~now:t.now ~addr:core.child;
+    core.state <- Child_header_wait
+  end
+
+let step_child_header_wait t core =
+  if not (Port.load_ready core.hl) then stall core Header_load
+  else begin
+    Port.consume core.hl;
+    let w0 = H.header0 t.heap core.child in
+    match Hdr.state w0 with
+    | White | Black ->
+      (* Not yet evacuated in this cycle (Black = survivor of the
+         previous cycle). *)
+      core.child_h0 <- w0;
+      core.ret <- Ret_slot;
+      core.state <- Lock_free
+    | Gray ->
+      (* Already evacuated: take the forwarding pointer. *)
+      core.value <- H.header1 t.heap core.child;
+      SB.unlock_header t.sb ~core:core.id;
+      core.state <- Store_slot
+  end
+
+let step_lock_free t core =
+  if not (SB.try_lock_free t.sb ~core:core.id) then stall core Free_lock
+  else begin
+    (* One-cycle critical section: the lock only guards the read-increment
+       of the free register. The header stores happen outside it; the
+       comparator array orders any subsequent load behind them. *)
+    let size = Hdr.size core.child_h0 in
+    let addr = SB.claim_free t.sb ~core:core.id size in
+    if SB.free t.sb > t.tospace_limit then raise Heap_overflow;
+    (* The gray tospace header is captured into the on-chip FIFO before
+       [free] is incremented becomes visible (the paper installs the
+       backlink inside the free critical section for exactly this
+       ordering), so a frame below [free] always has its FIFO entry — a
+       grabber never takes the slow memory path unless the FIFO
+       overflowed. The header's memory store is issued afterwards
+       (Evac_store_gray) and only models timing. *)
+    H.set_header0 t.heap addr
+      (Hdr.encode ~state:Gray ~pi:(Hdr.pi core.child_h0)
+         ~delta:(Hdr.delta core.child_h0));
+    H.set_header1 t.heap addr core.child;
+    ignore (Fifo.push t.fifo addr);
+    SB.unlock_free t.sb ~core:core.id;
+    core.evac_new <- addr;
+    core.counters.objects_evacuated <- core.counters.objects_evacuated + 1;
+    core.state <- Evac_store_fwd
+  end
+
+let step_evac_store_fwd t core =
+  if not (Port.is_idle core.hs) then stall core Header_store
+  else begin
+    (* Gray the fromspace original: mark + forwarding pointer. *)
+    H.set_header0 t.heap core.child (Hdr.with_state core.child_h0 Gray);
+    H.set_header1 t.heap core.child core.evac_new;
+    issue_exn core.hs t.mem ~now:t.now ~addr:core.child;
+    core.state <- Evac_store_gray
+  end
+
+let step_evac_store_gray t core =
+  if not (Port.is_idle core.hs) then stall core Header_store
+  else begin
+    (* Gray tospace frame store: contents were captured at claim time;
+       this transaction carries the timing (and arms the comparator array
+       for readers that missed the FIFO). *)
+    issue_exn core.hs t.mem ~now:t.now ~addr:core.evac_new;
+    SB.unlock_header t.sb ~core:core.id;
+    match core.ret with
+    | Ret_slot ->
+      core.value <- core.evac_new;
+      core.state <- Store_slot
+    | Ret_root ->
+      t.heap.H.roots.(core.root_idx) <- core.evac_new;
+      core.root_idx <- core.root_idx + 1;
+      core.state <- Root_next
+  end
+
+let step_store_slot t core =
+  if Port.is_idle core.bs then store_and_advance t core core.value
+  else stall core Body_store
+
+let step_piece_done t core =
+  (* Retire one piece: the outstanding-piece register of the frame is
+     decremented under the frame's header lock (the hardware keeps it in
+     the header word); the last piece blackens the object. *)
+  if not (SB.try_lock_header t.sb ~core:core.id ~addr:core.obj_to) then
+    stall core Header_lock
+  else begin
+    let left =
+      match Hashtbl.find_opt t.pieces_left core.obj_to with
+      | Some r -> r
+      | None -> failwith "coprocessor: piece accounting lost (bug)"
+    in
+    decr left;
+    SB.unlock_header t.sb ~core:core.id;
+    if !left = 0 then begin
+      Hashtbl.remove t.pieces_left core.obj_to;
+      core.state <- Blacken
+    end
+    else begin
+      SB.set_busy t.sb ~core:core.id false;
+      core.state <- Try_lock_scan
+    end
+  end
+
+let step_blacken t core =
+  if not (Port.is_idle core.hs) then stall core Header_store
+  else begin
+    H.set_header0 t.heap core.obj_to
+      (Hdr.encode ~state:Black ~pi:(Hdr.pi core.h0) ~delta:(Hdr.delta core.h0));
+    H.set_header1 t.heap core.obj_to 0;
+    issue_exn core.hs t.mem ~now:t.now ~addr:core.obj_to;
+    SB.set_busy t.sb ~core:core.id false;
+    core.state <- Try_lock_scan
+  end
+
+let step_flush _t core =
+  if
+    Port.is_idle core.hl && Port.is_idle core.hs && Port.is_idle core.bl
+    && Port.is_idle core.bs
+  then core.state <- End_barrier
+
+let step_end_barrier t core =
+  if SB.barrier_arrive t.sb ~core:core.id then begin
+    SB.assert_no_locks t.sb ~core:core.id;
+    core.state <- Halt
+  end
+
+(* One-character activity code per core for the signal trace. *)
+let state_code = function
+  | Init -> 'I'
+  | Root_next | Root_header_wait -> 'R'
+  | Start_barrier | End_barrier -> 'B'
+  | Try_lock_scan -> '.'
+  | Scan_header_wait -> 's'
+  | Body_issue_load | Body_wait | Store_slot -> 'c'
+  | Lock_child -> 'l'
+  | Child_header_wait -> 'h'
+  | Lock_free | Evac_store_fwd | Evac_store_gray -> 'e'
+  | Piece_done -> 'p'
+  | Blacken -> 'k'
+  | Flush -> 'f'
+  | Halt -> ' '
+
+let step_core t core =
+  (match core.state with
+  | Init -> step_init t core
+  | Root_next -> step_root_next t core
+  | Root_header_wait -> step_root_header_wait t core
+  | Start_barrier -> step_start_barrier t core
+  | Try_lock_scan -> step_try_lock_scan t core
+  | Scan_header_wait -> step_scan_header_wait t core
+  | Body_issue_load -> step_body_issue_load t core
+  | Body_wait -> step_body_wait t core
+  | Lock_child -> step_lock_child t core
+  | Child_header_wait -> step_child_header_wait t core
+  | Lock_free -> step_lock_free t core
+  | Evac_store_fwd -> step_evac_store_fwd t core
+  | Evac_store_gray -> step_evac_store_gray t core
+  | Store_slot -> step_store_slot t core
+  | Piece_done -> step_piece_done t core
+  | Blacken -> step_blacken t core
+  | Flush -> step_flush t core
+  | End_barrier -> step_end_barrier t core
+  | Halt -> ());
+  if SB.busy t.sb ~core:core.id then
+    core.counters.busy_cycles <- core.counters.busy_cycles + 1
+
+let tick_ports t core =
+  Port.tick core.hl t.mem ~now:t.now;
+  Port.tick core.hs t.mem ~now:t.now;
+  Port.tick core.bl t.mem ~now:t.now;
+  Port.tick core.bs t.mem ~now:t.now
+
+let all_halted t =
+  Array.for_all (fun c -> c.state = Halt) t.cores
+
+let start cfg heap =
+  if cfg.n_cores < 1 then invalid_arg "Coprocessor.start: n_cores must be >= 1";
+  let mem = Mem.create cfg.mem in
+  {
+    cfg;
+    heap;
+    sb = SB.create ~n_cores:cfg.n_cores;
+    mem;
+    fifo = Mem.fifo mem;
+    cores = Array.init cfg.n_cores make_core;
+    tospace_limit = (H.to_space heap).Semispace.limit;
+    now = 0;
+    finished = false;
+    saw_empty = false;
+    parallel_phase = false;
+    parallel_start = 0;
+    empty_cycles = 0;
+    cur_frame = 0;
+    cur_h0 = 0;
+    cur_from = 0;
+    cur_next_slot = 0;
+    pieces_left = Hashtbl.create 16;
+  }
+
+let halted = all_halted
+let now t = t.now
+let roots_done t = t.parallel_phase
+
+let step ?trace t =
+  if t.now > t.cfg.max_cycles then
+    raise
+      (Simulation_diverged
+         (Printf.sprintf "exceeded %d cycles (scan=%d free=%d)" t.cfg.max_cycles
+            (SB.scan t.sb) (SB.free t.sb)));
+  Mem.begin_cycle t.mem ~now:t.now;
+  (* Static prioritization: buffers retry, then cores execute, both in
+     core-index order — the lowest index wins simultaneous claims, and a
+     lock released by an earlier core is acquirable by a later core in
+     the same cycle. *)
+  Array.iter (fun c -> tick_ports t c) t.cores;
+  t.saw_empty <- false;
+  Array.iter (fun c -> step_core t c) t.cores;
+  if t.parallel_phase && (not t.finished) && t.saw_empty then
+    t.empty_cycles <- t.empty_cycles + 1;
+  (match trace with
+  | Some tr when Trace.due tr ~cycle:t.now ->
+    let activity =
+      String.init t.cfg.n_cores (fun i -> state_code t.cores.(i).state)
+    in
+    Trace.record tr ~cycle:t.now ~scan:(SB.scan t.sb) ~free:(SB.free t.sb)
+      ~fifo_depth:(Fifo.length t.fifo) ~activity
+  | Some _ | None -> ());
+  t.now <- t.now + 1
+
+let finalize t =
+  if not (all_halted t) then invalid_arg "Coprocessor.finalize: not halted";
+  (* Commit the free register into the heap and swap the spaces. *)
+  (H.to_space t.heap).Semispace.free <- SB.free t.sb;
+  H.flip t.heap;
+  let live_objects =
+    Array.fold_left (fun acc c -> acc + c.counters.objects_evacuated) 0 t.cores
+  in
+  {
+    total_cycles = t.now;
+    root_cycles = t.parallel_start;
+    empty_worklist_cycles = t.empty_cycles;
+    per_core = Array.map (fun c -> c.counters) t.cores;
+    live_objects;
+    live_words = Semispace.used (H.from_space t.heap);
+    fifo_hits = Fifo.hits t.fifo;
+    fifo_misses = Fifo.misses t.fifo;
+    fifo_overflows = Fifo.overflows t.fifo;
+    mem_loads = Mem.loads t.mem;
+    mem_stores = Mem.stores t.mem;
+    mem_rejected_bandwidth = Mem.rejected_bandwidth t.mem;
+    mem_rejected_order = Mem.rejected_order t.mem;
+    header_cache_hits = Mem.header_cache_hits t.mem;
+    header_cache_misses = Mem.header_cache_misses t.mem;
+  }
+
+let collect ?trace cfg heap =
+  let t = start cfg heap in
+  while not (all_halted t) do
+    step ?trace t
+  done;
+  finalize t
+
+(* ------------------------------------------------------------------ *)
+(* Main-processor hooks for concurrent collection (paper Section VII:
+   "allow the multicore coprocessor to run concurrently to the main
+   processor"). Called between cycles, so within-cycle atomicity of the
+   simulation makes the register manipulations safe; lock conflicts with
+   the cores surface as [`Wait]. *)
+(* ------------------------------------------------------------------ *)
+
+let mutator_evacuate t addr =
+  let w0 = H.header0 t.heap addr in
+  match Hdr.state w0 with
+  | Gray ->
+    (* already evacuated: the read barrier just follows the forwarding
+       pointer *)
+    `Done (H.header1 t.heap addr, 2)
+  | White | Black ->
+    if SB.free_lock_owner t.sb <> None || SB.header_locked_by_any t.sb ~addr
+    then `Wait
+    else begin
+      let size = Hdr.size w0 in
+      let naddr = SB.free t.sb in
+      if naddr + size > t.tospace_limit then raise Heap_overflow;
+      SB.set_free t.sb (naddr + size);
+      H.set_header0 t.heap addr (Hdr.with_state w0 Gray);
+      H.set_header1 t.heap addr naddr;
+      H.set_header0 t.heap naddr
+        (Hdr.encode ~state:Gray ~pi:(Hdr.pi w0) ~delta:(Hdr.delta w0));
+      H.set_header1 t.heap naddr addr;
+      ignore (Fifo.push t.fifo naddr);
+      (* a read-barrier evacuation costs the main processor roughly what
+         it costs a GC core: a header read, the free claim, two header
+         stores *)
+      `Done (naddr, 6)
+    end
+
+let mutator_alloc t ~pi ~delta =
+  if SB.free_lock_owner t.sb <> None then `Wait
+  else begin
+    let size = Hdr.size_of ~pi ~delta in
+    let naddr = SB.free t.sb in
+    if naddr + size > t.tospace_limit then raise Heap_overflow;
+    SB.set_free t.sb (naddr + size);
+    (* Allocated black: the scan loop skips it (its contents are already
+       tospace-only by the allocation-invariant). *)
+    H.set_header0 t.heap naddr (Hdr.encode ~state:Black ~pi ~delta);
+    H.set_header1 t.heap naddr 0;
+    for i = 0 to size - Hdr.header_words - 1 do
+      H.write t.heap (naddr + Hdr.header_words + i) 0
+    done;
+    ignore (Fifo.push t.fifo naddr);
+    `Done (naddr, 3 + size)
+  end

@@ -1,0 +1,134 @@
+(** The multi-core garbage collection coprocessor (paper Sections IV–V).
+
+    [collect] runs one complete stop-the-world collection cycle of the
+    fine-grained parallel Cheney algorithm at clock-cycle granularity:
+
+    - core 0 initializes [scan] and [free] and evacuates the root set;
+    - a hardware barrier releases all cores into the scanning loop;
+    - every core repeatedly: locks [scan], takes the gray object at
+      [scan] (header via the on-chip FIFO when possible), advances [scan]
+      past it, releases the lock, and copies the object's body from the
+      fromspace original (found through the backlink), translating each
+      pointer-area word by locking the child's header and either following
+      the forwarding pointer or evacuating the child (claiming tospace
+      through the [free] register, one-cycle critical section);
+    - termination: the holder of the scan lock observes [scan = free]
+      with every busy bit clear;
+    - all cores flush their memory buffers and meet an end barrier.
+
+    Work is distributed strictly object-by-object through the single
+    shared worklist (the gray region between [scan] and [free]); the only
+    synchronization costs are the cycle-level stalls that the counters
+    record. *)
+
+type config = {
+  n_cores : int;
+  mem : Hsgc_memsim.Memsys.config;
+  max_cycles : int;
+      (** safety bound; [collect] raises [Simulation_diverged] beyond it *)
+  scan_unit : int option;
+      (** paper Section VII future work: when [Some u], an object whose
+          body exceeds [u] words is handed out in [u]-word pieces, so
+          several cores copy one large object concurrently ("distribute
+          work at the granularity of cache lines"). [scan] advances
+          piece-wise through the frame; the frame's header stays latched
+          in the synchronization block between pieces, so non-initial
+          pieces cost one cycle and no header access; the last piece to
+          retire blackens the object (an outstanding-piece count kept
+          under the frame's header lock). [None] (the default) is the
+          published object-granularity design. *)
+}
+
+val default_config : config
+(** 8 cores, default memory model, generous cycle bound, no sub-object
+    splitting. *)
+
+val config :
+  ?mem:Hsgc_memsim.Memsys.config -> ?scan_unit:int -> n_cores:int -> unit -> config
+
+exception Heap_overflow
+(** Tospace could not hold the live data. *)
+
+exception Simulation_diverged of string
+(** The cycle bound was exceeded — indicates a simulator bug; the
+    algorithm itself is deadlock-free by lock ordering. *)
+
+(** Result of one collection cycle. *)
+type gc_stats = {
+  total_cycles : int;
+  root_cycles : int;  (** cycles spent before the start barrier opened *)
+  empty_worklist_cycles : int;
+      (** cycles in which at least one core was looking for work while
+          [scan = free] — no gray object was available for processing
+          (the paper's Table I metric) *)
+  per_core : Counters.t array;
+  live_objects : int;
+  live_words : int;
+  fifo_hits : int;
+  fifo_misses : int;
+  fifo_overflows : int;
+  mem_loads : int;
+  mem_stores : int;
+  mem_rejected_bandwidth : int;
+  mem_rejected_order : int;
+  header_cache_hits : int;
+  header_cache_misses : int;
+}
+
+val stalls_total : gc_stats -> Counters.t
+(** Sum of the per-core counters. *)
+
+val stalls_mean_per_core : gc_stats -> Counters.t
+(** Mean per core — the form the paper's Table II reports. *)
+
+val collect : ?trace:Trace.t -> config -> Hsgc_heap.Heap.t -> gc_stats
+(** Run one collection cycle: evacuate everything reachable from the
+    heap's roots into the other semispace, update the roots, flip the
+    heap. Raises {!Heap_overflow} if the live data does not fit. An
+    attached {!Trace} samples the internal signals while the cycle
+    runs. *)
+
+(** {2 Cycle-stepped interface}
+
+    [collect] is [start] + [step] to completion + [finalize]. The
+    stepped form lets a driver interleave other agents with the
+    coprocessor — {!Concurrent} uses it to run the main processor
+    {i during} the collection (the paper's announced next step). *)
+
+type sim
+
+val start : config -> Hsgc_heap.Heap.t -> sim
+(** Set up a collection without running it. *)
+
+val step : ?trace:Trace.t -> sim -> unit
+(** Advance the coprocessor by one clock cycle. *)
+
+val halted : sim -> bool
+(** All cores have passed the end barrier. *)
+
+val finalize : sim -> gc_stats
+(** Commit [free], flip the heap, report. Only valid once [halted]. *)
+
+val now : sim -> int
+(** Current clock cycle. *)
+
+val roots_done : sim -> bool
+(** The root phase has completed and the start barrier has opened — in
+    concurrent mode, the point at which the main processor resumes. *)
+
+(** {2 Main-processor hooks for concurrent collection}
+
+    Both hooks must be called {i between} [step]s. They return [`Wait]
+    when a GC core currently holds a conflicting lock — the main
+    processor retries on a later cycle (a real stall). Costs returned
+    with [`Done] are in main-processor cycles. *)
+
+val mutator_evacuate : sim -> int -> [ `Done of int * int | `Wait ]
+(** Read-barrier evacuation: ensure the fromspace object at the given
+    address has a tospace copy and return [`Done (tospace_addr, cost)].
+    Raises {!Heap_overflow} if tospace is exhausted. *)
+
+val mutator_alloc : sim -> pi:int -> delta:int -> [ `Done of int * int | `Wait ]
+(** Allocate a new object {i black} in tospace (its body must only ever
+    receive tospace references); the scanning cores step over it.
+    Returns [`Done (addr, cost)]. *)

@@ -1,0 +1,101 @@
+type stall =
+  | Scan_lock
+  | Free_lock
+  | Header_lock
+  | Body_load
+  | Body_store
+  | Header_load
+  | Header_store
+
+let all_stalls =
+  [ Scan_lock; Free_lock; Header_lock; Body_load; Body_store; Header_load; Header_store ]
+
+let stall_name = function
+  | Scan_lock -> "Scan-lock stall"
+  | Free_lock -> "Free-lock stall"
+  | Header_lock -> "Header-lock stall"
+  | Body_load -> "Body load stall"
+  | Body_store -> "Body store stall"
+  | Header_load -> "Header load stall"
+  | Header_store -> "Header store stall"
+
+type t = {
+  mutable scan_lock : int;
+  mutable free_lock : int;
+  mutable header_lock : int;
+  mutable body_load : int;
+  mutable body_store : int;
+  mutable header_load : int;
+  mutable header_store : int;
+  mutable objects_scanned : int;
+  mutable objects_evacuated : int;
+  mutable words_copied : int;
+  mutable busy_cycles : int;
+}
+
+let create () =
+  {
+    scan_lock = 0;
+    free_lock = 0;
+    header_lock = 0;
+    body_load = 0;
+    body_store = 0;
+    header_load = 0;
+    header_store = 0;
+    objects_scanned = 0;
+    objects_evacuated = 0;
+    words_copied = 0;
+    busy_cycles = 0;
+  }
+
+let get t = function
+  | Scan_lock -> t.scan_lock
+  | Free_lock -> t.free_lock
+  | Header_lock -> t.header_lock
+  | Body_load -> t.body_load
+  | Body_store -> t.body_store
+  | Header_load -> t.header_load
+  | Header_store -> t.header_store
+
+let bump t = function
+  | Scan_lock -> t.scan_lock <- t.scan_lock + 1
+  | Free_lock -> t.free_lock <- t.free_lock + 1
+  | Header_lock -> t.header_lock <- t.header_lock + 1
+  | Body_load -> t.body_load <- t.body_load + 1
+  | Body_store -> t.body_store <- t.body_store + 1
+  | Header_load -> t.header_load <- t.header_load + 1
+  | Header_store -> t.header_store <- t.header_store + 1
+
+let total_stalls t =
+  List.fold_left (fun acc s -> acc + get t s) 0 all_stalls
+
+let add a b =
+  {
+    scan_lock = a.scan_lock + b.scan_lock;
+    free_lock = a.free_lock + b.free_lock;
+    header_lock = a.header_lock + b.header_lock;
+    body_load = a.body_load + b.body_load;
+    body_store = a.body_store + b.body_store;
+    header_load = a.header_load + b.header_load;
+    header_store = a.header_store + b.header_store;
+    objects_scanned = a.objects_scanned + b.objects_scanned;
+    objects_evacuated = a.objects_evacuated + b.objects_evacuated;
+    words_copied = a.words_copied + b.words_copied;
+    busy_cycles = a.busy_cycles + b.busy_cycles;
+  }
+
+let scale t f =
+  let s x = int_of_float (Float.round (float_of_int x *. f)) in
+  {
+    scan_lock = s t.scan_lock;
+    free_lock = s t.free_lock;
+    header_lock = s t.header_lock;
+    body_load = s t.body_load;
+    body_store = s t.body_store;
+    header_load = s t.header_load;
+    header_store = s t.header_store;
+    objects_scanned = s t.objects_scanned;
+    objects_evacuated = s t.objects_evacuated;
+    words_copied = s t.words_copied;
+    busy_cycles = s t.busy_cycles;
+  }

@@ -1,0 +1,44 @@
+(** Performance counters, mirroring the paper's FPGA monitoring framework.
+
+    The stall categories are exactly the columns of the paper's Table II.
+    Every simulated cycle, a core either makes progress or is stalled on
+    exactly one resource; stalled cycles increment the corresponding
+    counter. *)
+
+type stall =
+  | Scan_lock
+  | Free_lock
+  | Header_lock
+  | Body_load
+  | Body_store
+  | Header_load
+  | Header_store
+
+val all_stalls : stall list
+(** In the paper's column order. *)
+
+val stall_name : stall -> string
+
+type t = {
+  mutable scan_lock : int;
+  mutable free_lock : int;
+  mutable header_lock : int;
+  mutable body_load : int;
+  mutable body_store : int;
+  mutable header_load : int;
+  mutable header_store : int;
+  mutable objects_scanned : int;
+  mutable objects_evacuated : int;
+  mutable words_copied : int;
+  mutable busy_cycles : int;  (** cycles spent inside the scanning loop *)
+}
+
+val create : unit -> t
+val get : t -> stall -> int
+val bump : t -> stall -> unit
+val total_stalls : t -> int
+val add : t -> t -> t
+(** Component-wise sum (for aggregating across cores or cycles). *)
+
+val scale : t -> float -> t
+(** Component-wise scaling, rounding to nearest (for means). *)

@@ -1,0 +1,108 @@
+type sample = {
+  cycle : int;
+  scan : int;
+  free : int;
+  backlog_words : int;
+  fifo_depth : int;
+  core_activity : string;
+}
+
+type t = {
+  mutable interval : int;
+  capacity : int;
+  mutable rev_samples : sample list;
+  mutable n : int;
+  mutable next_due : int;
+}
+
+let create ?(interval = 64) ?(capacity = 100_000) () =
+  if interval < 1 || capacity < 2 then invalid_arg "Trace.create";
+  { interval; capacity; rev_samples = []; n = 0; next_due = 0 }
+
+let interval t = t.interval
+let length t = t.n
+
+(* Keep every second sample; called when capacity is hit. *)
+let thin t =
+  let keep = ref [] and odd = ref false in
+  List.iter
+    (fun s ->
+      if !odd then keep := s :: !keep;
+      odd := not !odd)
+    t.rev_samples;
+  t.rev_samples <- List.rev !keep;
+  t.n <- List.length t.rev_samples;
+  t.interval <- t.interval * 2
+
+let due t ~cycle = cycle >= t.next_due
+
+let record t ~cycle ~scan ~free ~fifo_depth ~activity =
+  if cycle >= t.next_due then begin
+    t.rev_samples <-
+      {
+        cycle;
+        scan;
+        free;
+        backlog_words = free - scan;
+        fifo_depth;
+        core_activity = activity;
+      }
+      :: t.rev_samples;
+    t.n <- t.n + 1;
+    t.next_due <- cycle + t.interval;
+    if t.n >= t.capacity then thin t
+  end
+
+let samples t = List.rev t.rev_samples
+
+let timeline ?(width = 100) t =
+  match samples t with
+  | [] -> "(no samples)\n"
+  | all ->
+    let arr = Array.of_list all in
+    let n = Array.length arr in
+    let cores = String.length arr.(0).core_activity in
+    let width = min width n in
+    let pick col = arr.(col * (n - 1) / max 1 (width - 1)) in
+    let buf = Buffer.create ((cores + 4) * (width + 16)) in
+    let first = arr.(0).cycle and last = arr.(n - 1).cycle in
+    Buffer.add_string buf
+      (Printf.sprintf "cycles %d..%d, %d samples every %d cycles\n" first last n
+         t.interval);
+    (* Backlog sparkline. *)
+    let max_backlog =
+      Array.fold_left (fun acc s -> max acc s.backlog_words) 1 arr
+    in
+    let spark = " .:-=+*#%@" in
+    Buffer.add_string buf (Printf.sprintf "%7s " "backlog");
+    for col = 0 to width - 1 do
+      let s = pick col in
+      let lvl =
+        s.backlog_words * (String.length spark - 1) / max 1 max_backlog
+      in
+      Buffer.add_char buf spark.[lvl]
+    done;
+    Buffer.add_string buf (Printf.sprintf "  (max %d words)\n" max_backlog);
+    for core = 0 to cores - 1 do
+      Buffer.add_string buf (Printf.sprintf "core %-2d " core);
+      for col = 0 to width - 1 do
+        Buffer.add_char buf (pick col).core_activity.[core]
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf
+      "legend: .=seeking work  c=copying  l/h=child header  e=evacuating\n\
+      \        s=scan-header wait  k=blacken  p=piece retire  B=barrier  \
+       f=flush\n";
+    Buffer.contents buf
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "cycle,scan,free,backlog_words,fifo_depth,core_activity\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%d,%d,%s\n" s.cycle s.scan s.free
+           s.backlog_words s.fifo_depth s.core_activity))
+    (samples t);
+  Buffer.contents buf

@@ -1,0 +1,58 @@
+(** Signal tracing — the simulator's stand-in for the paper's FPGA
+    monitoring framework ("trace up to 32 internal signals in each clock
+    cycle ... analyzed offline").
+
+    When a trace is attached to {!Coprocessor.collect}, the coprocessor
+    records, every [interval] cycles: the [scan] and [free] registers,
+    the gray backlog ([free - scan], in words), the header-FIFO depth,
+    and a one-character activity code per core:
+
+    {v
+    I init     R roots    B barrier   . looking for work
+    s scan-header wait    c copying body        l locking child header
+    h child-header wait   e evacuating          k blackening
+    p retiring a piece    f flushing buffers    (space) halted
+    v}
+
+    [timeline] renders the samples as an ASCII Gantt chart (one row per
+    core, time left to right) with a gray-backlog sparkline — the
+    quickest way to {i see} why a workload does or does not scale.
+    [to_csv] dumps everything for offline analysis, like the paper's
+    measurement PC. *)
+
+type sample = {
+  cycle : int;
+  scan : int;
+  free : int;
+  backlog_words : int;
+  fifo_depth : int;
+  core_activity : string;  (** one code character per core *)
+}
+
+type t
+
+val create : ?interval:int -> ?capacity:int -> unit -> t
+(** A trace sampling every [interval] cycles (default 64), keeping at
+    most [capacity] samples (default 100_000; beyond it the interval is
+    doubled and existing samples thinned, so long runs stay bounded). *)
+
+val interval : t -> int
+val length : t -> int
+
+val due : t -> cycle:int -> bool
+(** Whether a sample is due at [cycle] — lets the caller skip building
+    the activity string on off-interval cycles. *)
+
+val record :
+  t -> cycle:int -> scan:int -> free:int -> fifo_depth:int -> activity:string -> unit
+(** Called by the coprocessor; [cycle] must be non-decreasing. Samples
+    arriving between interval points are ignored. *)
+
+val samples : t -> sample list
+(** In chronological order. *)
+
+val timeline : ?width:int -> t -> string
+(** ASCII rendering: a backlog sparkline plus one activity row per core. *)
+
+val to_csv : t -> string
+(** Header line plus one line per sample. *)

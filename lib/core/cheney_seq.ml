@@ -1,0 +1,55 @@
+module Heap = Hsgc_heap.Heap
+module Header = Hsgc_heap.Header
+module Semispace = Hsgc_heap.Semispace
+
+type stats = { live_objects : int; live_words : int }
+
+exception Heap_overflow
+
+let collect heap =
+  let to_sp = Heap.to_space heap in
+  let free = ref to_sp.Semispace.base in
+  let scan = ref to_sp.Semispace.base in
+  let live_objects = ref 0 in
+  (* Copy [obj] to tospace (unless already copied this cycle) and return
+     the tospace address. Gray marks "copied in this cycle"; White and
+     Black (a survivor of the previous cycle) both mean "not yet". *)
+  let evacuate obj =
+    let w0 = Heap.header0 heap obj in
+    match Header.state w0 with
+    | Gray -> Heap.header1 heap obj
+    | White | Black ->
+      let size = Header.size w0 in
+      if !free + size > to_sp.Semispace.limit then raise Heap_overflow;
+      let copy = !free in
+      free := !free + size;
+      incr live_objects;
+      Heap.set_header0 heap copy
+        (Header.encode ~state:Black ~pi:(Header.pi w0) ~delta:(Header.delta w0));
+      Heap.set_header1 heap copy 0;
+      for i = 0 to size - Header.header_words - 1 do
+        Heap.write heap
+          (copy + Header.header_words + i)
+          (Heap.read heap (obj + Header.header_words + i))
+      done;
+      Heap.set_header0 heap obj (Header.with_state w0 Gray);
+      Heap.set_header1 heap obj copy;
+      copy
+  in
+  let roots = heap.Heap.roots in
+  Array.iteri
+    (fun i r -> if r <> Heap.null then roots.(i) <- evacuate r)
+    roots;
+  while !scan < !free do
+    let obj = !scan in
+    let w0 = Heap.header0 heap obj in
+    let pi = Header.pi w0 in
+    for slot = 0 to pi - 1 do
+      let child = Heap.get_pointer heap obj slot in
+      if child <> Heap.null then Heap.set_pointer heap obj slot (evacuate child)
+    done;
+    scan := obj + Header.size w0
+  done;
+  to_sp.Semispace.free <- !free;
+  Heap.flip heap;
+  { live_objects = !live_objects; live_words = Semispace.used (Heap.from_space heap) }

@@ -1,0 +1,20 @@
+(** Reference implementation: Cheney's sequential copying collector
+    (paper Section II).
+
+    This is a direct software transcription of the classic algorithm —
+    the whole object (header and body) is copied at evacuation time and
+    tospace is scanned with a simple cursor — deliberately {i not} the
+    backlink scheme the coprocessor uses. Independent implementation,
+    identical specification: both must produce isomorphic tospace graphs,
+    which the test suite checks on random heaps. It is also the
+    single-core performance baseline in spirit; the paper's 1-core
+    coprocessor configuration "performs like the original sequential
+    implementation" because uncontended synchronization is free. *)
+
+type stats = { live_objects : int; live_words : int }
+
+exception Heap_overflow
+
+val collect : Hsgc_heap.Heap.t -> stats
+(** Evacuate everything reachable from the roots into the other
+    semispace, update the roots, flip the heap. *)

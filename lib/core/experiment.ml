@@ -1,0 +1,96 @@
+module Workloads = Hsgc_objgraph.Workloads
+module Plan = Hsgc_objgraph.Plan
+module Coprocessor = Hsgc_coproc.Coprocessor
+module Counters = Hsgc_coproc.Counters
+module Memsys = Hsgc_memsim.Memsys
+module Verify = Hsgc_heap.Verify
+
+exception Verification_failed of string
+
+type measurement = {
+  workload : string;
+  n_cores : int;
+  cycles : float;
+  empty_frac : float;
+  stalls_mean_core : Counters.t;
+  root_cycles : float;
+  live_objects : float;
+  live_words : float;
+  fifo_overflows : float;
+  fifo_hits : float;
+  mem_rejected_bandwidth : float;
+}
+
+let default_cores = [ 1; 2; 4; 8; 16 ]
+
+let collect_once ~verify ~cfg heap =
+  if verify then begin
+    let pre = Verify.snapshot heap in
+    let stats = Coprocessor.collect cfg heap in
+    (match Verify.check_collection ~pre heap with
+    | Ok () -> ()
+    | Error failure ->
+      raise (Verification_failed (Format.asprintf "%a" Verify.pp_failure failure)));
+    stats
+  end
+  else Coprocessor.collect cfg heap
+
+let measure ?(verify = false) ?(scale = 1.0) ?(seeds = [| 42 |])
+    ?(mem = Memsys.default_config) ~workload ~n_cores () =
+  if Array.length seeds = 0 then invalid_arg "Experiment.measure: no seeds";
+  let cfg = Coprocessor.config ~mem ~n_cores () in
+  let n = float_of_int (Array.length seeds) in
+  let acc_cycles = ref 0.0
+  and acc_empty = ref 0.0
+  and acc_root = ref 0.0
+  and acc_objects = ref 0.0
+  and acc_words = ref 0.0
+  and acc_overflow = ref 0.0
+  and acc_hits = ref 0.0
+  and acc_rejected = ref 0.0
+  and acc_stalls = ref (Counters.create ()) in
+  Array.iter
+    (fun seed ->
+      let heap = Workloads.build_heap ~scale ~seed workload in
+      let stats = collect_once ~verify ~cfg heap in
+      acc_cycles := !acc_cycles +. float_of_int stats.Coprocessor.total_cycles;
+      acc_empty :=
+        !acc_empty
+        +. float_of_int stats.Coprocessor.empty_worklist_cycles
+           /. float_of_int (max 1 stats.Coprocessor.total_cycles);
+      acc_root := !acc_root +. float_of_int stats.Coprocessor.root_cycles;
+      acc_objects := !acc_objects +. float_of_int stats.Coprocessor.live_objects;
+      acc_words := !acc_words +. float_of_int stats.Coprocessor.live_words;
+      acc_overflow := !acc_overflow +. float_of_int stats.Coprocessor.fifo_overflows;
+      acc_hits := !acc_hits +. float_of_int stats.Coprocessor.fifo_hits;
+      acc_rejected :=
+        !acc_rejected +. float_of_int stats.Coprocessor.mem_rejected_bandwidth;
+      acc_stalls :=
+        Counters.add !acc_stalls (Coprocessor.stalls_mean_per_core stats))
+    seeds;
+  {
+    workload = workload.Workloads.name;
+    n_cores;
+    cycles = !acc_cycles /. n;
+    empty_frac = !acc_empty /. n;
+    stalls_mean_core = Counters.scale !acc_stalls (1.0 /. n);
+    root_cycles = !acc_root /. n;
+    live_objects = !acc_objects /. n;
+    live_words = !acc_words /. n;
+    fifo_overflows = !acc_overflow /. n;
+    fifo_hits = !acc_hits /. n;
+    mem_rejected_bandwidth = !acc_rejected /. n;
+  }
+
+let sweep ?verify ?scale ?seeds ?mem ?(cores = default_cores) workload =
+  List.map (fun n_cores -> measure ?verify ?scale ?seeds ?mem ~workload ~n_cores ()) cores
+
+let speedups points =
+  match points with
+  | [] -> []
+  | _ ->
+    let base =
+      List.fold_left (fun acc p -> if p.n_cores < acc.n_cores then p else acc)
+        (List.hd points) points
+    in
+    List.map (fun p -> (p.n_cores, base.cycles /. p.cycles)) points

@@ -1,0 +1,60 @@
+(** The experiment runner: builds workload heaps, runs collections on the
+    simulated coprocessor, and aggregates the measurements the paper's
+    evaluation section reports. *)
+
+module Workloads = Hsgc_objgraph.Workloads
+module Coprocessor = Hsgc_coproc.Coprocessor
+module Counters = Hsgc_coproc.Counters
+module Memsys = Hsgc_memsim.Memsys
+
+exception Verification_failed of string
+(** Raised (with the failure description) when [verify] is requested and
+    the post-collection heap fails {!Hsgc_heap.Verify.check_collection}. *)
+
+(** Aggregated result of collecting one workload at one configuration,
+    averaged over the seeds. *)
+type measurement = {
+  workload : string;
+  n_cores : int;
+  cycles : float;  (** mean collection duration in clock cycles *)
+  empty_frac : float;
+      (** mean fraction of cycles with the worklist empty (Table I) *)
+  stalls_mean_core : Counters.t;
+      (** stall cycles, mean per core (Table II style) *)
+  root_cycles : float;
+  live_objects : float;
+  live_words : float;
+  fifo_overflows : float;
+  fifo_hits : float;
+  mem_rejected_bandwidth : float;
+}
+
+val measure :
+  ?verify:bool ->
+  ?scale:float ->
+  ?seeds:int array ->
+  ?mem:Memsys.config ->
+  workload:Workloads.t ->
+  n_cores:int ->
+  unit ->
+  measurement
+(** Build the workload at each seed (default [[|42|]]), collect once on a
+    fresh coprocessor, average. [verify] (default false) additionally
+    checks graph isomorphism against a pre-collection snapshot and the
+    compaction invariants. *)
+
+val sweep :
+  ?verify:bool ->
+  ?scale:float ->
+  ?seeds:int array ->
+  ?mem:Memsys.config ->
+  ?cores:int list ->
+  Workloads.t ->
+  measurement list
+(** [measure] at each core count (default [[1; 2; 4; 8; 16]]). *)
+
+val speedups : measurement list -> (int * float) list
+(** Collection-time speedup of each point relative to the measurement
+    with the fewest cores (the paper's Figure 5/6 y-axis). *)
+
+val default_cores : int list

@@ -1,0 +1,53 @@
+(** Renders the paper's evaluation artifacts from experiment data.
+
+    Each function returns the artifact as printable text (an aligned
+    table, or an ASCII chart plus its data table). [bin/repro.exe] and
+    the bench harness print them. *)
+
+type sweep_data = (string * Experiment.measurement list) list
+(** Per workload: measurements across core counts. *)
+
+val run_sweeps :
+  ?verify:bool ->
+  ?scale:float ->
+  ?seeds:int array ->
+  ?mem:Experiment.Memsys.config ->
+  ?cores:int list ->
+  unit ->
+  sweep_data
+(** One sweep over all eight workloads (the data behind Figure 5 and
+    Table I; the 16-core column doubles as Table II). *)
+
+val figure5 : sweep_data -> string
+(** "Scaling behavior": speedup vs. core count, all workloads. *)
+
+val table1 : sweep_data -> string
+(** "Fraction of clock cycles during which work list is empty". *)
+
+val table2 : ?n_cores:int -> sweep_data -> string
+(** "Clock cycle distribution (for 16 cores)": total plus the seven
+    stall columns, absolute and percent, mean per core. *)
+
+val figure6 : sweep_data -> string
+(** "Scaling behavior (more realistic memory latency)": the caller passes
+    a sweep obtained with [mem = with_extra_latency default 20]. *)
+
+val fifo_summary : sweep_data -> string
+(** Extension table: header-FIFO hits/overflows per workload — the
+    mechanism behind cup's scan-lock stalls. *)
+
+val heap_size_invariance : ?scale:float -> ?seed:int -> unit -> string
+(** Section VI-B opening remark: collection cost is independent of heap
+    size — db at 8 cores with the semispace at 1.2×..8× the data. *)
+
+val baselines : ?scale:float -> ?seed:int -> unit -> string
+(** E5: the Section III software schemes vs hardware support, simulated
+    under the commodity synchronization cost model, on search/db/javac. *)
+
+val future_work : ?scale:float -> ?seed:int -> unit -> string
+(** E7: the Section VII proposals as ablations — sub-object scan units on
+    a large-array heap, and the header cache on javac at 16 cores. *)
+
+val concurrent_pauses : ?scale:float -> ?seed:int -> unit -> string
+(** E8: stop-the-world pause vs concurrent pause (root phase only), with
+    read-barrier and mutator-progress counts; every run verified. *)

@@ -1,0 +1,40 @@
+type state = White | Gray | Black
+
+let equal_state a b =
+  match (a, b) with
+  | White, White | Gray, Gray | Black, Black -> true
+  | (White | Gray | Black), _ -> false
+
+let pp_state ppf = function
+  | White -> Format.pp_print_string ppf "White"
+  | Gray -> Format.pp_print_string ppf "Gray"
+  | Black -> Format.pp_print_string ppf "Black"
+
+(* Word-0 layout: bits 0-1 state, bits 2-21 pi, bits 22-41 delta. *)
+let area_bits = 20
+let max_area = (1 lsl area_bits) - 1
+let pi_shift = 2
+let delta_shift = 2 + area_bits
+let area_mask = max_area
+
+let state_to_int = function White -> 0 | Gray -> 1 | Black -> 2
+let state_of_int = function
+  | 0 -> White
+  | 1 -> Gray
+  | 2 -> Black
+  | n -> invalid_arg (Printf.sprintf "Header.state: bad tag %d" n)
+
+let encode ~state ~pi ~delta =
+  if pi < 0 || pi > max_area then invalid_arg "Header.encode: pi out of range";
+  if delta < 0 || delta > max_area then
+    invalid_arg "Header.encode: delta out of range";
+  state_to_int state lor (pi lsl pi_shift) lor (delta lsl delta_shift)
+
+let state w0 = state_of_int (w0 land 3)
+let pi w0 = (w0 lsr pi_shift) land area_mask
+let delta w0 = (w0 lsr delta_shift) land area_mask
+let with_state w0 s = w0 land lnot 3 lor state_to_int s
+
+let header_words = 2
+let size_of ~pi ~delta = header_words + pi + delta
+let size w0 = size_of ~pi:(pi w0) ~delta:(delta w0)

@@ -1,0 +1,50 @@
+(** Two-word object headers (paper Fig. 3 / Fig. 4).
+
+    Every object starts with a two-word header. Word 0 packs the object's
+    tricolor state and the lengths of its two body areas: the pointer area
+    (π words) and the data area (δ words). Word 1 holds, depending on the
+    object's role in the current collection cycle:
+
+    - in fromspace, once the object has been evacuated ({i grayed}): the
+      forwarding pointer to the tospace copy;
+    - in tospace, while the copy is gray: the backlink to the fromspace
+      original (the body has not been copied yet);
+    - otherwise: unused (zero).
+
+    The packing must round-trip exactly; a qcheck property in the test
+    suite checks [decode (encode h) = h] over the full supported range. *)
+
+type state =
+  | White  (** not yet visited by the collector *)
+  | Gray  (** evacuated but not yet scanned (tospace), or evacuated original (fromspace) *)
+  | Black  (** fully scanned and copied *)
+
+val equal_state : state -> state -> bool
+val pp_state : Format.formatter -> state -> unit
+
+val max_area : int
+(** Maximum supported value of π and of δ (20 bits each). *)
+
+val encode : state:state -> pi:int -> delta:int -> int
+(** Pack word 0. Raises [Invalid_argument] if π or δ exceed [max_area]. *)
+
+val state : int -> state
+(** Tricolor state of a word-0 value. *)
+
+val pi : int -> int
+(** Pointer-area length of a word-0 value. *)
+
+val delta : int -> int
+(** Data-area length of a word-0 value. *)
+
+val with_state : int -> state -> int
+(** [with_state w0 s] is [w0] with the state field replaced. *)
+
+val header_words : int
+(** Number of header words per object (2). *)
+
+val size_of : pi:int -> delta:int -> int
+(** Total object footprint in words: [header_words + pi + delta]. *)
+
+val size : int -> int
+(** Footprint computed from a word-0 value. *)

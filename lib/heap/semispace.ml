@@ -1,0 +1,20 @@
+type t = { base : int; limit : int; mutable free : int }
+
+let create ~base ~words =
+  if base < 0 || words < 0 then invalid_arg "Semispace.create";
+  { base; limit = base + words; free = base }
+
+let words t = t.limit - t.base
+let used t = t.free - t.base
+let available t = t.limit - t.free
+let contains t addr = addr >= t.base && addr < t.limit
+let reset t = t.free <- t.base
+
+let bump t n =
+  if n < 0 then invalid_arg "Semispace.bump";
+  if t.free + n > t.limit then None
+  else begin
+    let addr = t.free in
+    t.free <- t.free + n;
+    Some addr
+  end

@@ -1,0 +1,32 @@
+(** One semispace: a contiguous word range with a bump allocator.
+
+    Cheney-style collection divides the heap into two semispaces; objects
+    are allocated (and evacuated) by advancing a [free] pointer from the
+    bottom of the space. *)
+
+type t = {
+  base : int;  (** first word address belonging to the space *)
+  limit : int;  (** one past the last word address *)
+  mutable free : int;  (** next unallocated word; [base <= free <= limit] *)
+}
+
+val create : base:int -> words:int -> t
+(** An empty space of [words] words starting at [base]. *)
+
+val words : t -> int
+(** Capacity in words. *)
+
+val used : t -> int
+(** Words currently allocated ([free - base]). *)
+
+val available : t -> int
+
+val contains : t -> int -> bool
+(** [contains t addr] — does [addr] fall inside the space's range? *)
+
+val reset : t -> unit
+(** Rewind [free] to [base] (the space becomes empty; contents stale). *)
+
+val bump : t -> int -> int option
+(** [bump t n] allocates [n] words and returns the base address of the
+    allocation, or [None] if fewer than [n] words remain. *)

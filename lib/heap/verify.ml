@@ -1,0 +1,148 @@
+type obj_desc = {
+  pi : int;
+  delta : int;
+  children : int array;
+  data : int array;
+}
+
+type snapshot = { objects : obj_desc array; root_ids : int array }
+
+let snapshot heap =
+  let ids = Hashtbl.create 1024 in
+  let order = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let id_of obj =
+    if obj = Heap.null then -1
+    else
+      match Hashtbl.find_opt ids obj with
+      | Some id -> id
+      | None ->
+        let id = !count in
+        incr count;
+        Hashtbl.add ids obj id;
+        order := obj :: !order;
+        Queue.add obj queue;
+        id
+  in
+  let root_ids = Array.map id_of heap.Heap.roots in
+  (* BFS so that canonical ids depend only on graph shape and root order,
+     not on heap addresses. *)
+  let descs = ref [] in
+  while not (Queue.is_empty queue) do
+    let obj = Queue.pop queue in
+    let pi = Heap.obj_pi heap obj in
+    let delta = Heap.obj_delta heap obj in
+    let children = Array.init pi (fun i -> id_of (Heap.get_pointer heap obj i)) in
+    let data = Array.init delta (fun i -> Heap.get_data heap obj i) in
+    descs := { pi; delta; children; data } :: !descs
+  done;
+  { objects = Array.of_list (List.rev !descs); root_ids }
+
+let equal_obj_desc a b =
+  a.pi = b.pi && a.delta = b.delta && a.children = b.children && a.data = b.data
+
+let equal_snapshot a b =
+  a.root_ids = b.root_ids
+  && Array.length a.objects = Array.length b.objects
+  && Array.for_all2 equal_obj_desc a.objects b.objects
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf "@[<v>roots: %a@,"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_int)
+    (Array.to_list s.root_ids);
+  Array.iteri
+    (fun id d ->
+      Format.fprintf ppf "#%d pi=%d delta=%d children=[%a]@," id d.pi d.delta
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+           Format.pp_print_int)
+        (Array.to_list d.children))
+    s.objects;
+  Format.fprintf ppf "@]"
+
+type failure =
+  | Graph_mismatch of string
+  | Not_compacted of string
+  | Bad_state of { obj : int; state : Header.state }
+  | Dangling_pointer of { obj : int; slot : int; target : int }
+
+let pp_failure ppf = function
+  | Graph_mismatch msg -> Format.fprintf ppf "graph mismatch: %s" msg
+  | Not_compacted msg -> Format.fprintf ppf "not compacted: %s" msg
+  | Bad_state { obj; state } ->
+    Format.fprintf ppf "object %d has state %a (expected Black)" obj
+      Header.pp_state state
+  | Dangling_pointer { obj; slot; target } ->
+    Format.fprintf ppf "object %d slot %d points to %d outside the new space"
+      obj slot target
+
+let check_space heap =
+  let space = Heap.from_space heap in
+  let exception Fail of failure in
+  try
+    (* Wall-to-wall scan: the space must parse as a contiguous sequence
+       of Black objects ending exactly at [free], with all pointers
+       inside the space (or null). *)
+    let addr = ref space.Semispace.base in
+    while !addr < space.Semispace.free do
+      let obj = !addr in
+      let w0 = Heap.header0 heap obj in
+      (match Header.state w0 with
+      | Black -> ()
+      | (White | Gray) as state -> raise (Fail (Bad_state { obj; state })));
+      let size = Header.size w0 in
+      if size < Header.header_words || obj + size > space.Semispace.free then
+        raise
+          (Fail
+             (Not_compacted
+                (Printf.sprintf "object %d of size %d overruns free=%d" obj size
+                   space.Semispace.free)));
+      let pi = Header.pi w0 in
+      for slot = 0 to pi - 1 do
+        let target = Heap.get_pointer heap obj slot in
+        if target <> Heap.null && not (Semispace.contains space target) then
+          raise (Fail (Dangling_pointer { obj; slot; target }))
+      done;
+      addr := obj + size
+    done;
+    if !addr <> space.Semispace.free then
+      raise
+        (Fail
+           (Not_compacted
+              (Printf.sprintf "scan ended at %d but free=%d" !addr
+                 space.Semispace.free)));
+    Ok ()
+  with Fail f -> Error f
+
+let check_collection ~pre heap =
+  let space = Heap.from_space heap in
+  let exception Fail of failure in
+  try
+    (match check_space heap with Ok () -> () | Error f -> raise (Fail f));
+    (* 2. Graph isomorphism with the pre-collection snapshot. *)
+    let post = snapshot heap in
+    if not (equal_snapshot pre post) then begin
+      let detail =
+        if Array.length pre.objects <> Array.length post.objects then
+          Printf.sprintf "object count %d -> %d" (Array.length pre.objects)
+            (Array.length post.objects)
+        else "same object count but shape or data differs"
+      in
+      raise (Fail (Graph_mismatch detail))
+    end;
+    (* 3. All live words accounted for: copies exactly fill [base, free).
+       (Redundant with 1+2 but cheap and catches double-copies.) *)
+    let live =
+      Array.fold_left
+        (fun acc d -> acc + Header.size_of ~pi:d.pi ~delta:d.delta)
+        0 pre.objects
+    in
+    if live <> Semispace.used space then
+      raise
+        (Fail
+           (Not_compacted
+              (Printf.sprintf "live words %d but space used %d" live
+                 (Semispace.used space))));
+    Ok ()
+  with Fail f -> Error f

@@ -1,0 +1,49 @@
+(** Heap verification: canonical snapshots and post-collection checks.
+
+    A collection is correct iff the object graph reachable from the roots
+    after the cycle is isomorphic to the one before it, all live objects
+    were copied exactly once, and the new space is contiguously compacted.
+    The snapshot is a canonical (BFS-ordered) serialization of the
+    reachable subgraph, so isomorphism reduces to structural equality. *)
+
+type obj_desc = {
+  pi : int;
+  delta : int;
+  children : int array;
+      (** canonical id per pointer slot; [-1] encodes a null pointer *)
+  data : int array;  (** the δ data words *)
+}
+
+type snapshot = {
+  objects : obj_desc array;  (** indexed by canonical id (BFS discovery order) *)
+  root_ids : int array;  (** canonical id per root slot; [-1] for null roots *)
+}
+
+val snapshot : Heap.t -> snapshot
+(** Canonical serialization of the graph reachable from the heap's roots
+    (in the current space). *)
+
+val equal_snapshot : snapshot -> snapshot -> bool
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+type failure =
+  | Graph_mismatch of string
+  | Not_compacted of string
+  | Bad_state of { obj : int; state : Header.state }
+  | Dangling_pointer of { obj : int; slot : int; target : int }
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val check_space : Heap.t -> (unit, failure) result
+(** The wall-to-wall structural half of {!check_collection}: the current
+    space parses as a contiguous sequence of Black objects ending at
+    [free], with every pointer either null or inside the space. Useful
+    on its own when the graph changed during collection (concurrent
+    mode), making a whole-snapshot comparison inapplicable. *)
+
+val check_collection : pre:snapshot -> Heap.t -> (unit, failure) result
+(** [check_collection ~pre heap] validates the heap {i after} a collection
+    cycle (the copies live in the now-current space): graph isomorphic to
+    [pre], space wall-to-wall well-formed Black objects, no pointer into
+    the other (from-) space, total live words preserved. *)

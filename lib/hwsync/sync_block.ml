@@ -1,0 +1,152 @@
+type t = {
+  n : int;
+  mutable scan : int;
+  mutable free : int;
+  mutable scan_owner : int; (* -1 = unlocked *)
+  mutable free_owner : int;
+  header_regs : int array; (* 0 = no header locked by that core *)
+  busy : bool array;
+  arrived : bool array;
+  mutable release_count : int;
+}
+
+let create ~n_cores =
+  if n_cores <= 0 then invalid_arg "Sync_block.create";
+  {
+    n = n_cores;
+    scan = 0;
+    free = 0;
+    scan_owner = -1;
+    free_owner = -1;
+    header_regs = Array.make n_cores 0;
+    busy = Array.make n_cores false;
+    arrived = Array.make n_cores false;
+    release_count = 0;
+  }
+
+let n_cores t = t.n
+
+let scan t = t.scan
+let free t = t.free
+let set_scan t v = t.scan <- v
+let set_free t v = t.free <- v
+
+let check_core t core =
+  if core < 0 || core >= t.n then invalid_arg "Sync_block: bad core index"
+
+let try_lock_scan t ~core =
+  check_core t core;
+  if t.scan_owner = core then invalid_arg "Sync_block: scan lock re-entry";
+  (* Lock ordering scan < header < free: scan is the first lock taken. *)
+  if t.header_regs.(core) <> 0 || t.free_owner = core then
+    invalid_arg "Sync_block: lock-order violation acquiring scan";
+  if t.scan_owner = -1 then begin
+    t.scan_owner <- core;
+    true
+  end
+  else false
+
+let unlock_scan t ~core =
+  if t.scan_owner <> core then invalid_arg "Sync_block: unlock_scan by non-owner";
+  t.scan_owner <- -1
+
+let advance_scan t ~core n =
+  if t.scan_owner <> core then invalid_arg "Sync_block: advance_scan without lock";
+  t.scan <- t.scan + n
+
+let try_lock_free t ~core =
+  check_core t core;
+  if t.free_owner = core then invalid_arg "Sync_block: free lock re-entry";
+  if t.free_owner = -1 then begin
+    t.free_owner <- core;
+    true
+  end
+  else false
+
+let unlock_free t ~core =
+  if t.free_owner <> core then invalid_arg "Sync_block: unlock_free by non-owner";
+  t.free_owner <- -1
+
+let claim_free t ~core n =
+  if t.free_owner <> core then invalid_arg "Sync_block: claim_free without lock";
+  let addr = t.free in
+  t.free <- t.free + n;
+  addr
+
+let scan_lock_owner t = if t.scan_owner = -1 then None else Some t.scan_owner
+let free_lock_owner t = if t.free_owner = -1 then None else Some t.free_owner
+
+let try_lock_header t ~core ~addr =
+  check_core t core;
+  if addr = 0 then invalid_arg "Sync_block: cannot lock the null header";
+  if t.header_regs.(core) <> 0 then
+    invalid_arg "Sync_block: header lock re-entry (one header lock per core)";
+  if t.free_owner = core then
+    invalid_arg "Sync_block: lock-order violation acquiring header after free";
+  let conflict = ref false in
+  for other = 0 to t.n - 1 do
+    if other <> core && t.header_regs.(other) = addr then conflict := true
+  done;
+  if !conflict then false
+  else begin
+    t.header_regs.(core) <- addr;
+    true
+  end
+
+let unlock_header t ~core =
+  if t.header_regs.(core) = 0 then
+    invalid_arg "Sync_block: unlock_header without lock";
+  t.header_regs.(core) <- 0
+
+let header_lock_of t ~core =
+  let a = t.header_regs.(core) in
+  if a = 0 then None else Some a
+
+let header_locked_by_any t ~addr =
+  let hit = ref false in
+  for core = 0 to t.n - 1 do
+    if t.header_regs.(core) = addr then hit := true
+  done;
+  !hit
+
+let set_busy t ~core b =
+  check_core t core;
+  t.busy.(core) <- b
+
+let busy t ~core = t.busy.(core)
+let any_busy t = Array.exists Fun.id t.busy
+
+let none_busy_except t ~core =
+  let ok = ref true in
+  for other = 0 to t.n - 1 do
+    if other <> core && t.busy.(other) then ok := false
+  done;
+  !ok
+
+let barrier_arrive t ~core =
+  check_core t core;
+  if t.release_count > 0 then
+    if t.arrived.(core) then begin
+      t.arrived.(core) <- false;
+      t.release_count <- t.release_count - 1;
+      true
+    end
+    else
+      (* This core already passed and reached the next barrier; it must
+         wait for the previous one to fully drain. *)
+      false
+  else begin
+    if not t.arrived.(core) then t.arrived.(core) <- true;
+    if Array.for_all Fun.id t.arrived then begin
+      t.release_count <- t.n;
+      t.arrived.(core) <- false;
+      t.release_count <- t.release_count - 1;
+      true
+    end
+    else false
+  end
+
+let assert_no_locks t ~core =
+  if t.scan_owner = core then failwith "core still holds scan lock";
+  if t.free_owner = core then failwith "core still holds free lock";
+  if t.header_regs.(core) <> 0 then failwith "core still holds a header lock"

@@ -1,0 +1,97 @@
+(** The synchronization block (SB) of the GC coprocessor (paper Section
+    V-C).
+
+    The SB holds the global synchronization state:
+
+    - the [scan] and [free] registers, readable by every core in every
+      cycle, each guarded by a dedicated lock;
+    - one header-lock register per core — a core locks an object header by
+      writing the header's address into its own register; the SB compares
+      it against all other cores' registers in parallel and stalls the
+      core on a match;
+    - the [ScanState] register with one busy bit per core;
+    - a barrier: a micro-instruction marked as synchronizing stalls its
+      core until all cores have reached one.
+
+    Contention resolution is a static prioritization: the lowest core
+    index wins. Acquire/release cost no cycles when uncontended, and a
+    lock released by one core can be re-acquired by another in the same
+    clock cycle. The simulation obtains both properties by stepping cores
+    in priority order within a cycle and resolving lock operations
+    immediately.
+
+    Lock ordering [scan < header < free] (paper Section IV) is asserted:
+    a core acquiring [scan] must hold no other lock; a core acquiring a
+    header lock must not hold [free]. *)
+
+type t
+
+val create : n_cores:int -> t
+
+val n_cores : t -> int
+
+(** {2 The scan and free registers} *)
+
+val scan : t -> int
+val free : t -> int
+val set_scan : t -> int -> unit
+(** Unsynchronized initialization (used by core 1 before the barrier). *)
+
+val set_free : t -> int -> unit
+
+val try_lock_scan : t -> core:int -> bool
+(** Acquire the scan lock; [false] = already held by another core (the
+    caller stalls this cycle). Re-acquiring a lock already held by the
+    same core is an error (the microprogram never does it). *)
+
+val unlock_scan : t -> core:int -> unit
+
+val advance_scan : t -> core:int -> int -> unit
+(** [advance_scan t ~core n] — add [n] to [scan]; the caller must hold the
+    scan lock. *)
+
+val try_lock_free : t -> core:int -> bool
+val unlock_free : t -> core:int -> unit
+
+val claim_free : t -> core:int -> int -> int
+(** [claim_free t ~core n] — current [free], advancing it by [n]; the
+    caller must hold the free lock. *)
+
+val scan_lock_owner : t -> int option
+val free_lock_owner : t -> int option
+
+(** {2 Header locks} *)
+
+val try_lock_header : t -> core:int -> addr:int -> bool
+(** Write [addr] into the core's header-lock register unless another
+    core's register already holds [addr]. A core can hold at most one
+    header lock; acquiring while holding one is an error. *)
+
+val unlock_header : t -> core:int -> unit
+
+val header_lock_of : t -> core:int -> int option
+
+val header_locked_by_any : t -> addr:int -> bool
+(** Is [addr] currently in any core's header-lock register? (Used by the
+    main processor's read barrier in concurrent mode.) *)
+
+(** {2 Busy bits and termination} *)
+
+val set_busy : t -> core:int -> bool -> unit
+val busy : t -> core:int -> bool
+val any_busy : t -> bool
+val none_busy_except : t -> core:int -> bool
+(** All busy bits clear, ignoring [core]'s own bit. *)
+
+(** {2 Barrier} *)
+
+val barrier_arrive : t -> core:int -> bool
+(** Core reaches a synchronizing micro-instruction. Returns [true] once
+    the barrier has opened (all cores arrived); until then the core calls
+    this again every cycle and stalls. The barrier resets itself once all
+    cores have passed. *)
+
+(** {2 Invariant checking} *)
+
+val assert_no_locks : t -> core:int -> unit
+(** Raise if the core holds any lock — used at cycle boundaries. *)

@@ -1,0 +1,55 @@
+type t = {
+  capacity : int;
+  buf : int array; (* ring buffer of frame addresses *)
+  mutable head : int; (* index of front entry *)
+  mutable len : int;
+  mutable overflows : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Header_fifo.create";
+  {
+    capacity;
+    buf = Array.make capacity 0;
+    head = 0;
+    len = 0;
+    overflows = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let capacity t = t.capacity
+let length t = t.len
+
+let push t addr =
+  if t.len >= t.capacity then begin
+    t.overflows <- t.overflows + 1;
+    false
+  end
+  else begin
+    t.buf.((t.head + t.len) mod t.capacity) <- addr;
+    t.len <- t.len + 1;
+    true
+  end
+
+let try_pop t addr =
+  if t.len > 0 && t.buf.(t.head) = addr then begin
+    t.head <- (t.head + 1) mod t.capacity;
+    t.len <- t.len - 1;
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let overflows t = t.overflows
+let hits t = t.hits
+let misses t = t.misses
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0

@@ -1,0 +1,39 @@
+(** The on-chip header FIFO (paper Section V-D, last paragraph).
+
+    Gray tospace headers are read by the scanning cores in exactly the
+    order they were written by the evacuating cores, so the coprocessor
+    buffers them in an on-chip FIFO: as long as the number of gray objects
+    does not exceed its capacity, advancing [scan] needs no memory access
+    for the header read. On overflow the entry is simply not buffered and
+    the later read falls through to memory (this is what makes the paper's
+    {i cup} benchmark lose time inside the scan-lock critical section).
+
+    The FIFO stores only the frame address: header {i contents} live in the
+    heap; timing is what this module models. *)
+
+type t
+
+val create : capacity:int -> t
+
+val capacity : t -> int
+val length : t -> int
+
+val push : t -> int -> bool
+(** [push t addr] appends the gray frame address; [false] (and a recorded
+    overflow) if the FIFO is full. *)
+
+val try_pop : t -> int -> bool
+(** [try_pop t addr] — if the front entry is [addr], pop it and return
+    [true] (FIFO hit: the header read costs no memory access). Otherwise
+    [false]: the entry was dropped at push time, the read must go to
+    memory. Reads arrive in write order, so a present entry is always at
+    the front when requested. *)
+
+val overflows : t -> int
+(** Number of pushes rejected so far. *)
+
+val hits : t -> int
+val misses : t -> int
+
+val clear : t -> unit
+(** Empty the FIFO (between collection cycles); counters are kept. *)

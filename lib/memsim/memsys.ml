@@ -1,0 +1,169 @@
+type config = {
+  header_load_latency : int;
+  body_load_latency : int;
+  store_latency : int;
+  bandwidth : int;
+  fifo_capacity : int;
+  header_cache_entries : int;
+}
+
+let default_config =
+  {
+    header_load_latency = 6;
+    body_load_latency = 2;
+    store_latency = 1;
+    bandwidth = 8;
+    fifo_capacity = 32768;
+    header_cache_entries = 0;
+  }
+
+let with_header_cache c entries =
+  if entries < 0 then invalid_arg "Memsys.with_header_cache";
+  { c with header_cache_entries = entries }
+
+let with_extra_latency c n =
+  {
+    c with
+    header_load_latency = c.header_load_latency + n;
+    body_load_latency = c.body_load_latency + n;
+    store_latency = c.store_latency + n;
+  }
+
+type t = {
+  config : config;
+  fifo : Header_fifo.t;
+  (* Direct-mapped header cache: slot i holds the address cached there
+     (0 = empty). Contents live in the heap; only presence is modeled. *)
+  header_cache : int array;
+  (* Comparator array: header-store addresses still in flight, mapped to
+     their commit cycle. Entries are purged lazily. *)
+  pending_header_stores : (int, int) Hashtbl.t;
+  mutable accepted_this_cycle : int;
+  mutable cycle : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable rejected_bandwidth : int;
+  mutable rejected_order : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+let create config =
+  if
+    config.header_load_latency < 1 || config.body_load_latency < 1
+    || config.store_latency < 1
+  then invalid_arg "Memsys.create: latencies must be >= 1";
+  if config.bandwidth < 1 then invalid_arg "Memsys.create: bandwidth must be >= 1";
+  {
+    config;
+    fifo = Header_fifo.create ~capacity:config.fifo_capacity;
+    header_cache = Array.make (max 1 config.header_cache_entries) 0;
+    pending_header_stores = Hashtbl.create 64;
+    accepted_this_cycle = 0;
+    cycle = 0;
+    loads = 0;
+    stores = 0;
+    rejected_bandwidth = 0;
+    rejected_order = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+  }
+
+let fifo t = t.fifo
+
+let begin_cycle t ~now =
+  t.cycle <- now;
+  t.accepted_this_cycle <- 0
+
+let store_pending t addr =
+  match Hashtbl.find_opt t.pending_header_stores addr with
+  | None -> false
+  | Some commit ->
+    if commit > t.cycle then true
+    else begin
+      Hashtbl.remove t.pending_header_stores addr;
+      false
+    end
+
+let bandwidth_ok t =
+  if t.accepted_this_cycle < t.config.bandwidth then true
+  else begin
+    t.rejected_bandwidth <- t.rejected_bandwidth + 1;
+    false
+  end
+
+let cache_slot t addr = addr mod Array.length t.header_cache
+
+let cache_lookup t addr =
+  t.config.header_cache_entries > 0 && t.header_cache.(cache_slot t addr) = addr
+
+let cache_fill t addr =
+  if t.config.header_cache_entries > 0 then
+    t.header_cache.(cache_slot t addr) <- addr
+
+let try_accept_load t ~now ~header ~addr =
+  assert (now = t.cycle);
+  if header && cache_lookup t addr then begin
+    (* Cache hit: on-chip, no bandwidth, no comparator hold (stores
+       update the cache at initiation, so the cached value is current). *)
+    t.cache_hits <- t.cache_hits + 1;
+    Some (now + 1)
+  end
+  else if header && store_pending t addr then begin
+    t.rejected_order <- t.rejected_order + 1;
+    None
+  end
+  else if not (bandwidth_ok t) then None
+  else begin
+    t.accepted_this_cycle <- t.accepted_this_cycle + 1;
+    t.loads <- t.loads + 1;
+    let latency =
+      if header then begin
+        if t.config.header_cache_entries > 0 then begin
+          t.cache_misses <- t.cache_misses + 1;
+          cache_fill t addr
+        end;
+        t.config.header_load_latency
+      end
+      else t.config.body_load_latency
+    in
+    Some (now + latency)
+  end
+
+let try_accept_store t ~now ~header ~addr =
+  assert (now = t.cycle);
+  if not (bandwidth_ok t) then None
+  else begin
+    t.accepted_this_cycle <- t.accepted_this_cycle + 1;
+    t.stores <- t.stores + 1;
+    let commit = now + t.config.store_latency in
+    if header then begin
+      cache_fill t addr;
+      (* Keep the later commit if a store to this address is already
+         pending (cannot happen under the locking protocol, but the model
+         stays safe without it). *)
+      let commit =
+        match Hashtbl.find_opt t.pending_header_stores addr with
+        | Some c when c > commit -> c
+        | _ -> commit
+      in
+      Hashtbl.replace t.pending_header_stores addr commit
+    end;
+    Some commit
+  end
+
+let loads t = t.loads
+let stores t = t.stores
+let rejected_bandwidth t = t.rejected_bandwidth
+let rejected_order t = t.rejected_order
+
+let header_cache_hits t = t.cache_hits
+let header_cache_misses t = t.cache_misses
+
+let reset_stats t =
+  t.loads <- 0;
+  t.stores <- 0;
+  t.rejected_bandwidth <- 0;
+  t.rejected_order <- 0;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0

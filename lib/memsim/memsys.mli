@@ -1,0 +1,82 @@
+(** The memory interface and access scheduler (paper Section V-D).
+
+    A split-transaction pipelined memory: it accepts up to [bandwidth] new
+    transactions per clock cycle; a load completes [load_latency] cycles
+    after acceptance, a store [store_latency] cycles after. Transactions
+    are initiated from the per-core port buffers ({!Port}); a rejected
+    initiation is retried on subsequent cycles.
+
+    Ordering rules, straight from the paper:
+    - body accesses need no ordering (each body word is written once and
+      read once, by a single core);
+    - header loads are held back while a header store to the same address
+      is pending (the "comparator array");
+    - write-after-write ordering needs no hardware because the locking
+      protocol guarantees a single writer per header.
+
+    The scheduler also owns the header FIFO: gray-header stores push their
+    frame address; the scan loop's header reads consult the FIFO first. *)
+
+type config = {
+  header_load_latency : int;
+      (** cycles from acceptance to data available; headers show no
+          spatial locality, so they pay a full random access *)
+  body_load_latency : int;
+      (** body reads are sequential (open-row hits), hence faster *)
+  store_latency : int;  (** cycles from acceptance to commit (posted) *)
+  bandwidth : int;  (** transactions accepted per cycle *)
+  fifo_capacity : int;  (** header FIFO entries *)
+  header_cache_entries : int;
+      (** paper Section VII future work: an on-chip direct-mapped cache
+          for header accesses. 0 (the default, matching the published
+          prototype) disables it. Header stores update the cache at
+          initiation, so a cached header is always current and a hit
+          bypasses both the memory latency and the comparator-array
+          hold. *)
+}
+
+val default_config : config
+(** Prototype-like: fast memory relative to the 25 MHz cores (header
+    loads 6 cycles, body loads 2, stores 1, bandwidth 8/cycle, FIFO
+    32768). *)
+
+val with_extra_latency : config -> int -> config
+(** [with_extra_latency c n] adds [n] cycles to every access — the
+    paper's Figure 6 experiment uses [n = 20]. *)
+
+val with_header_cache : config -> int -> config
+(** Enable the future-work header cache with the given entry count. *)
+
+type t
+
+val create : config -> t
+
+val fifo : t -> Header_fifo.t
+
+val begin_cycle : t -> now:int -> unit
+(** Reset the per-cycle acceptance budget. Must be called once per
+    simulated cycle before any [try_accept]. *)
+
+val try_accept_load : t -> now:int -> header:bool -> addr:int -> int option
+(** Attempt to start a load; [Some c] is the completion cycle. [None] when
+    the cycle's bandwidth is exhausted or (for header loads) a header
+    store to [addr] is still pending. *)
+
+val try_accept_store : t -> now:int -> header:bool -> addr:int -> int option
+(** Attempt to start a store; [Some c] is the commit cycle. Header stores
+    are tracked for the comparator array until they commit. *)
+
+(** {2 Statistics} *)
+
+val loads : t -> int
+val stores : t -> int
+val rejected_bandwidth : t -> int
+(** Initiations rejected because the cycle's budget was exhausted. *)
+
+val rejected_order : t -> int
+(** Header loads held by the comparator array. *)
+
+val header_cache_hits : t -> int
+val header_cache_misses : t -> int
+
+val reset_stats : t -> unit

@@ -1,0 +1,73 @@
+type kind = Header_load | Header_store | Body_load | Body_store
+
+let pp_kind ppf k =
+  Format.pp_print_string ppf
+    (match k with
+    | Header_load -> "header-load"
+    | Header_store -> "header-store"
+    | Body_load -> "body-load"
+    | Body_store -> "body-store")
+
+let is_load = function
+  | Header_load | Body_load -> true
+  | Header_store | Body_store -> false
+
+let is_header = function
+  | Header_load | Header_store -> true
+  | Body_load | Body_store -> false
+
+type status =
+  | Idle
+  | Waiting of int  (* deposited with this address, not yet accepted *)
+  | In_flight of { addr : int; done_at : int }
+  | Ready  (* loads only: data arrived, awaiting consumption *)
+
+type t = { kind : kind; mutable status : status }
+
+let create kind = { kind; status = Idle }
+
+let kind t = t.kind
+
+let is_idle t = match t.status with Idle -> true | Waiting _ | In_flight _ | Ready -> false
+
+let try_accept t mem ~now ~addr =
+  let accepted =
+    if is_load t.kind then Memsys.try_accept_load mem ~now ~header:(is_header t.kind) ~addr
+    else Memsys.try_accept_store mem ~now ~header:(is_header t.kind) ~addr
+  in
+  match accepted with
+  | Some done_at -> t.status <- In_flight { addr; done_at }
+  | None -> t.status <- Waiting addr
+
+let issue t mem ~now ~addr =
+  match t.status with
+  | Idle ->
+    try_accept t mem ~now ~addr;
+    true
+  | Waiting _ | In_flight _ | Ready -> false
+
+let issue_immediate t =
+  assert (is_load t.kind);
+  match t.status with
+  | Idle -> t.status <- Ready
+  | Waiting _ | In_flight _ | Ready -> invalid_arg "Port.issue_immediate: busy"
+
+let tick t mem ~now =
+  match t.status with
+  | Idle | Ready -> ()
+  | Waiting addr -> try_accept t mem ~now ~addr
+  | In_flight { addr = _; done_at } ->
+    if done_at <= now then t.status <- (if is_load t.kind then Ready else Idle)
+
+let load_ready t = match t.status with Ready -> true | Idle | Waiting _ | In_flight _ -> false
+
+let consume t =
+  match t.status with
+  | Ready -> t.status <- Idle
+  | Idle | Waiting _ | In_flight _ -> invalid_arg "Port.consume: no data ready"
+
+let busy_addr t =
+  match t.status with
+  | Idle | Ready -> None
+  | Waiting addr -> Some addr
+  | In_flight { addr; _ } -> Some addr

@@ -1,0 +1,48 @@
+(** A per-core memory buffer (paper Section V-D).
+
+    Each coprocessor core owns four single-entry buffers: header load,
+    header store, body load, body store. A core initiates a transfer by
+    depositing it in a buffer and continues executing; it only stalls when
+    it re-uses a store buffer whose previous store has not completed, or
+    consumes a load buffer whose data has not arrived. The buffer retries
+    memory acceptance on its own every cycle (split transactions). *)
+
+type kind = Header_load | Header_store | Body_load | Body_store
+
+val pp_kind : Format.formatter -> kind -> unit
+val is_load : kind -> bool
+val is_header : kind -> bool
+
+type t
+
+val create : kind -> t
+
+val kind : t -> kind
+
+val is_idle : t -> bool
+(** A new transfer may be deposited. For a load buffer this also requires
+    that the previous result has been consumed. *)
+
+val issue : t -> Memsys.t -> now:int -> addr:int -> bool
+(** Deposit a transfer. Returns [false] (nothing happens) when the buffer
+    is occupied — the caller stalls. Acceptance by memory is attempted
+    immediately and retried by [tick] on later cycles. *)
+
+val issue_immediate : t -> unit
+(** Loads only: mark the buffer [Ready] without any memory transaction —
+    used for header-FIFO hits, which bypass memory entirely. The buffer
+    must be idle. *)
+
+val tick : t -> Memsys.t -> now:int -> unit
+(** Advance the buffer one cycle: retry memory acceptance, mark completed
+    loads ready, release completed stores. Call once per cycle, in core
+    priority order, before stepping the cores. *)
+
+val load_ready : t -> bool
+(** Data has arrived and can be consumed this cycle. *)
+
+val consume : t -> unit
+(** Consume a ready load result, freeing the buffer. *)
+
+val busy_addr : t -> int option
+(** Address of the in-progress transfer, if any (for tracing). *)

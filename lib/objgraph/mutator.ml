@@ -1,0 +1,74 @@
+module Rng = Hsgc_util.Rng
+module Heap = Hsgc_heap.Heap
+
+type t = {
+  heap : Heap.t;
+  rng : Rng.t;
+  mutable live : int array; (* cached addresses of some reachable objects *)
+  mutable allocated : int;
+}
+
+let refresh_live t =
+  let table = Heap.reachable t.heap in
+  let arr = Array.make (Hashtbl.length table) Heap.null in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun addr _ ->
+      arr.(!i) <- addr;
+      incr i)
+    table;
+  t.live <- arr
+
+let create heap rng =
+  let t = { heap; rng; live = [||]; allocated = 0 } in
+  refresh_live t;
+  t
+
+let random_live t =
+  if Array.length t.live = 0 then Heap.null else Rng.choose t.rng t.live
+
+let churn t ~allocs =
+  (* The cache goes stale after a collection (addresses moved); detect by
+     checking that a cached entry is still inside the current space. *)
+  let space = Heap.from_space t.heap in
+  let stale =
+    Array.length t.live > 0
+    && not (Hsgc_heap.Semispace.contains space t.live.(0))
+  in
+  if stale || Array.length t.live = 0 then refresh_live t;
+  let exception Full in
+  try
+    for _ = 1 to allocs do
+      let pi = Rng.int t.rng 4 in
+      let delta = Rng.int t.rng 8 in
+      match Heap.alloc t.heap ~pi ~delta with
+      | None -> raise Full
+      | Some obj ->
+        t.allocated <- t.allocated + 1;
+        (* Fill data so copies are checkable. *)
+        for i = 0 to delta - 1 do
+          Heap.set_data t.heap obj i (Plan.data_word obj i)
+        done;
+        (* Link the new object's slots to random live objects. *)
+        for i = 0 to pi - 1 do
+          if Rng.bool t.rng then Heap.set_pointer t.heap obj i (random_live t)
+        done;
+        (* With some probability, publish the new object: either as a new
+           root or by overwriting a pointer field of a live object (which
+           may orphan a subtree — future garbage). *)
+        let publish = Rng.int t.rng 100 in
+        if publish < 5 then Heap.add_root t.heap obj
+        else if publish < 60 then begin
+          let target = random_live t in
+          if target <> Heap.null then begin
+            let tpi = Heap.obj_pi t.heap target in
+            if tpi > 0 then
+              Heap.set_pointer t.heap target (Rng.int t.rng tpi) obj
+          end
+        end
+        (* else: the object stays unreachable — immediate garbage. *)
+    done;
+    `Ok
+  with Full -> `Heap_full
+
+let allocated t = t.allocated

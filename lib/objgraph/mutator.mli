@@ -1,0 +1,26 @@
+(** A mutator model: allocation and pointer churn between collections.
+
+    The paper's benchmarks run a Java application whose allocation fills
+    fromspace and triggers collection cycles; this module plays that role
+    for multi-cycle experiments. Between collections it allocates new
+    objects (linking some into the live graph and leaving some garbage),
+    rewrites pointer fields, and occasionally drops root subtrees —
+    exercising the collector across cycles where survivors carry Black
+    headers from the previous cycle. *)
+
+module Rng = Hsgc_util.Rng
+
+type t
+
+val create : Hsgc_heap.Heap.t -> Rng.t -> t
+(** Attach a mutator to a heap (the heap may already be populated). *)
+
+val churn : t -> allocs:int -> [ `Ok | `Heap_full ]
+(** Allocate about [allocs] objects, mutating the graph along the way.
+    Returns [`Heap_full] when an allocation no longer fits — time to
+    collect (the churn performed so far remains valid). After a
+    collection, simply call [churn] again: the mutator re-discovers the
+    live graph from the roots. *)
+
+val allocated : t -> int
+(** Total objects allocated through this mutator. *)

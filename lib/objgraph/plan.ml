@@ -1,0 +1,126 @@
+module Heap = Hsgc_heap.Heap
+module Semispace = Hsgc_heap.Semispace
+module Header = Hsgc_heap.Header
+
+type t = {
+  mutable pis : int array;
+  mutable deltas : int array;
+  mutable children : int array array; (* per object: child id per slot, -1 = null *)
+  mutable n : int;
+  mutable rev_roots : int list;
+  mutable n_roots : int;
+  mutable words : int;
+}
+
+let create () =
+  {
+    pis = Array.make 16 0;
+    deltas = Array.make 16 0;
+    children = Array.make 16 [||];
+    n = 0;
+    rev_roots = [];
+    n_roots = 0;
+    words = 0;
+  }
+
+let grow t =
+  let cap = Array.length t.pis in
+  if t.n >= cap then begin
+    let cap' = 2 * cap in
+    let extend a fill =
+      let a' = Array.make cap' fill in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    t.pis <- extend t.pis 0;
+    t.deltas <- extend t.deltas 0;
+    t.children <- extend t.children [||]
+  end
+
+let obj t ~pi ~delta =
+  if pi < 0 || delta < 0 then invalid_arg "Plan.obj";
+  grow t;
+  let id = t.n in
+  t.pis.(id) <- pi;
+  t.deltas.(id) <- delta;
+  t.children.(id) <- Array.make pi (-1);
+  t.n <- id + 1;
+  t.words <- t.words + Header.size_of ~pi ~delta;
+  id
+
+let check_id t id = if id < 0 || id >= t.n then invalid_arg "Plan: bad object id"
+
+let link t ~parent ~slot ~child =
+  check_id t parent;
+  check_id t child;
+  if slot < 0 || slot >= t.pis.(parent) then invalid_arg "Plan.link: bad slot";
+  t.children.(parent).(slot) <- child
+
+let add_root t id =
+  check_id t id;
+  t.rev_roots <- id :: t.rev_roots;
+  t.n_roots <- t.n_roots + 1
+
+let n_objects t = t.n
+let n_roots t = t.n_roots
+let size_words t = t.words
+
+let pi_of t id =
+  check_id t id;
+  t.pis.(id)
+
+let delta_of t id =
+  check_id t id;
+  t.deltas.(id)
+
+let child_of t id slot =
+  check_id t id;
+  t.children.(id).(slot)
+
+let roots t = Array.of_list (List.rev t.rev_roots)
+
+let iter_objects t f =
+  for id = 0 to t.n - 1 do
+    f id
+  done
+
+let live_words t =
+  let seen = Array.make t.n false in
+  let rec visit id acc =
+    if id < 0 || seen.(id) then acc
+    else begin
+      seen.(id) <- true;
+      let acc = acc + Header.size_of ~pi:t.pis.(id) ~delta:t.deltas.(id) in
+      Array.fold_left (fun acc c -> visit c acc) acc t.children.(id)
+    end
+  in
+  List.fold_left (fun acc id -> visit id acc) 0 t.rev_roots
+
+(* A cheap integer mix so every data word is a distinct, reproducible
+   function of (object, slot); copy bugs then break graph isomorphism. *)
+let data_word id slot = (((id * 2654435761) lxor (slot * 40503)) + 77) land 0x3FFFFFFFFFFF
+
+let materialize ?(heap_factor = 2.0) t =
+  if heap_factor < 1.0 then invalid_arg "Plan.materialize: heap_factor < 1.0";
+  let words =
+    int_of_float (Float.ceil (float_of_int t.words *. heap_factor)) + 64
+  in
+  let heap = Heap.create ~semispace_words:words in
+  let addr = Array.make (max t.n 1) Heap.null in
+  for id = 0 to t.n - 1 do
+    match Heap.alloc heap ~pi:t.pis.(id) ~delta:t.deltas.(id) with
+    | None -> failwith "Plan.materialize: sized heap too small (bug)"
+    | Some a ->
+      addr.(id) <- a;
+      for slot = 0 to t.deltas.(id) - 1 do
+        Heap.set_data heap a slot (data_word id slot)
+      done
+  done;
+  for id = 0 to t.n - 1 do
+    Array.iteri
+      (fun slot child ->
+        if child >= 0 then Heap.set_pointer heap addr.(id) slot addr.(child))
+      t.children.(id)
+  done;
+  Heap.set_roots heap (Array.map (fun id -> addr.(id)) (roots t));
+  heap

@@ -1,0 +1,48 @@
+(** The eight synthetic workloads standing in for the paper's Java
+    benchmarks.
+
+    The original programs (SPECjvm98's {i compress} and {i db}, the
+    {i javac}/{i javacc}/{i jflex} compiler tools, {i cup}, {i jlisp} and
+    a {i search} kernel) cannot run here; what the paper's evaluation
+    actually depends on is the {i shape} of each benchmark's live object
+    graph. Each workload below reconstructs the property the paper
+    reports for its namesake:
+
+    - [compress], [search] — (nearly) linear graphs with no object-level
+      parallelism: no speedup, worklist almost always empty at ≥ 4 cores;
+    - [db] — wide, record-heavy graph: scales well, header-load heavy;
+    - [javac] — AST with hot shared symbols: header-lock contention;
+    - [cup] — huge flat live set whose gray backlog overflows the header
+      FIFO: scan-lock stalls;
+    - [javacc], [jlisp] — moderately wide trees: good scaling;
+    - [jflex] — bounded-width graph: scaling saturates near 8 cores. *)
+
+module Rng = Hsgc_util.Rng
+
+type t = {
+  name : string;
+  description : string;
+  build : scale:float -> seed:int -> Plan.t;
+      (** [scale] multiplies object counts (1.0 ≈ tens of thousands of
+          objects); [seed] drives every random choice. *)
+}
+
+val compress : t
+val cup : t
+val db : t
+val javac : t
+val javacc : t
+val jflex : t
+val jlisp : t
+val search : t
+
+val all : t list
+(** In the paper's (alphabetical) table order. *)
+
+val find : string -> t option
+(** Look up by [name]. *)
+
+val build_heap : ?scale:float -> ?seed:int -> t -> Hsgc_heap.Heap.t
+(** Convenience: build the plan and materialize it with the default heap
+    factor (2× the rule-of-thumb minimal heap). Default [scale] 1.0,
+    [seed] 42. *)

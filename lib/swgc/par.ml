@@ -1,0 +1,9 @@
+let run ~domains f =
+  if domains < 1 then invalid_arg "Par.run: domains";
+  let others =
+    Array.init (domains - 1) (fun i -> Domain.spawn (fun () -> f (i + 1)))
+  in
+  let own = f 0 in
+  Array.append [| own |] (Array.map Domain.join others)
+
+let recommended_domain_count () = min 16 (Domain.recommended_domain_count ())

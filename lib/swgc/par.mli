@@ -1,0 +1,13 @@
+(** Minimal fork/join over OCaml 5 domains.
+
+    domainslib is not available in this environment; the collector only
+    needs "run [n] workers to completion", which this provides. *)
+
+val run : domains:int -> (int -> 'a) -> 'a array
+(** [run ~domains f] runs [f i] for [i] in [0, domains) — [f 0] on the
+    calling domain, the rest on fresh domains — and returns the results
+    in index order after joining them all. *)
+
+val recommended_domain_count : unit -> int
+(** [Domain.recommended_domain_count], capped at 16 (the coprocessor's
+    largest configuration). *)

@@ -1,0 +1,45 @@
+(** A real fine-grained parallel copying collector on OCaml 5 domains —
+    the commodity-hardware counterpart of the simulated coprocessor.
+
+    Same algorithm, same granularity: a single shared worklist of gray
+    objects, work distributed object-by-object, tospace claimed through a
+    shared allocation pointer. Where the coprocessor gets its three
+    synchronization points for free from the synchronization block, this
+    implementation pays for them with what commodity hardware offers:
+
+    - {i every object evacuated once}: a CAS per object on a forwarding
+      table (standing in for the CAS-on-header of production collectors);
+    - {i exclusive tospace allocation}: [Atomic.fetch_and_add] on the
+      free pointer;
+    - {i every gray object scanned once}: a lock-free Treiber stack as
+      the shared worklist, with an in-flight counter for termination.
+
+    Fromspace is never written during a collection (forwarding pointers
+    live in the side table), so the flat heap itself needs no atomics:
+    every tospace word has exactly one writer, and the worklist hand-off
+    provides the happens-before edge between an object's evacuator and
+    its scanner.
+
+    Limitation (documented, inherent to the side-table design): the heap
+    must have been materialized from a {!Plan} (objects allocated in
+    id order), because forwarding slots are found by binary search over
+    the object base addresses. That covers every benchmark and example in
+    this repository. *)
+
+type stats = {
+  domains : int;
+  live_objects : int;
+  live_words : int;
+  elapsed_s : float;  (** wall-clock time of the parallel phase *)
+  per_domain_objects : int array;  (** objects scanned by each domain *)
+  cas_claims : int;  (** successful forwarding-table claims *)
+  cas_races_lost : int;  (** claims that lost the race and had to wait *)
+}
+
+val collect : domains:int -> Hsgc_heap.Heap.t -> stats
+(** Collect the heap with [domains] parallel workers: evacuate everything
+    reachable, update the roots, flip — observationally identical to
+    [Hsgc_core.Cheney_seq.collect] and to the coprocessor. Raises
+    [Invalid_argument] if the heap's current space is not a wall-to-wall
+    sequence of objects (see the limitation above) and [Failure] on
+    tospace overflow. *)

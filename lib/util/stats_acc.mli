@@ -1,0 +1,38 @@
+(** Streaming statistics accumulators.
+
+    Used by the experiment harness to aggregate per-GC-cycle measurements
+    (cycle counts, stall counts, queue depths) without storing every
+    sample. Mean and variance use Welford's online algorithm, which is
+    numerically stable for long runs. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one sample. *)
+
+val add_int : t -> int -> unit
+
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** Mean of the samples; 0 if empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 with fewer than two samples. *)
+
+val stddev : t -> float
+val min_value : t -> float
+(** Smallest sample; +∞ if empty. *)
+
+val max_value : t -> float
+(** Largest sample; -∞ if empty. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh accumulator equivalent to having seen both
+    sample streams (Chan et al. parallel combination). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render as [n=… mean=… sd=… min=… max=…]. *)

@@ -1,0 +1,114 @@
+let render ~header ~rows =
+  let all = header :: rows in
+  let arity = List.length header in
+  List.iter (fun r -> assert (List.length r = arity)) rows;
+  let widths = Array.make arity 0 in
+  let note_widths row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter note_widths all;
+  let buf = Buffer.create 1024 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        (* First column left-aligned (names), the rest right-aligned
+           (numbers), matching the paper's table style. *)
+        let w = widths.(i) in
+        let pad = w - String.length cell in
+        if i = 0 then begin
+          Buffer.add_string buf cell;
+          Buffer.add_string buf (String.make pad ' ')
+        end
+        else begin
+          Buffer.add_string buf (String.make pad ' ');
+          Buffer.add_string buf cell
+        end)
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  let rule_width = Array.fold_left ( + ) 0 widths + (2 * (arity - 1)) in
+  Buffer.add_string buf (String.make rule_width '-');
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ~header ~rows = print_string (render ~header ~rows)
+
+let pct r = Printf.sprintf "%.2f %%" (100.0 *. r)
+
+let fixed d x = Printf.sprintf "%.*f" d x
+
+let count_with_pct ~total n =
+  let r = if total = 0 then 0.0 else float_of_int n /. float_of_int total in
+  Printf.sprintf "%d (%.2f %%)" n (100.0 *. r)
+
+module Chart = struct
+  type series = { label : string; points : (float * float) list }
+
+  let marks = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&'; '$'; '~' |]
+
+  let render ?(width = 60) ?(height = 20) ~title ~x_label ~y_label series =
+    let all_points = List.concat_map (fun s -> s.points) series in
+    if all_points = [] then title ^ "\n(no data)\n"
+    else begin
+      let xs = List.map fst all_points and ys = List.map snd all_points in
+      let xmin = List.fold_left Float.min infinity xs in
+      let xmax = List.fold_left Float.max neg_infinity xs in
+      let ymin = Float.min 0.0 (List.fold_left Float.min infinity ys) in
+      let ymax = List.fold_left Float.max neg_infinity ys in
+      let ymax = if ymax <= ymin then ymin +. 1.0 else ymax in
+      let xspan = if xmax <= xmin then 1.0 else xmax -. xmin in
+      let grid = Array.make_matrix height width ' ' in
+      let plot mark (x, y) =
+        let cx =
+          int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1) +. 0.5)
+        in
+        let cy =
+          int_of_float
+            ((y -. ymin) /. (ymax -. ymin) *. float_of_int (height - 1) +. 0.5)
+        in
+        let cx = max 0 (min (width - 1) cx) in
+        let cy = max 0 (min (height - 1) cy) in
+        (* Row 0 of the grid is the top of the chart. *)
+        grid.(height - 1 - cy).(cx) <- mark
+      in
+      List.iteri
+        (fun i s ->
+          let mark = marks.(i mod Array.length marks) in
+          List.iter (plot mark) s.points)
+        series;
+      let buf = Buffer.create 2048 in
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Printf.sprintf "%s (max %.2f)\n" y_label ymax);
+      Array.iteri
+        (fun row line ->
+          let y_here =
+            ymax -. (float_of_int row /. float_of_int (height - 1) *. (ymax -. ymin))
+          in
+          Buffer.add_string buf (Printf.sprintf "%8.2f |" y_here);
+          Buffer.add_string buf (String.init width (fun c -> line.(c)));
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_string buf (String.make 9 ' ');
+      Buffer.add_char buf '+';
+      Buffer.add_string buf (String.make width '-');
+      Buffer.add_char buf '\n';
+      let left = Printf.sprintf "%.2f" xmin and right = Printf.sprintf "%.2f" xmax in
+      let gap = max 1 (width - String.length left - String.length right) in
+      Buffer.add_string buf
+        (Printf.sprintf "%10s%s%s%s  (%s)\n" "" left (String.make gap ' ') right x_label);
+      Buffer.add_string buf "legend: ";
+      List.iteri
+        (fun i s ->
+          if i > 0 then Buffer.add_string buf "  ";
+          Buffer.add_char buf marks.(i mod Array.length marks);
+          Buffer.add_char buf '=';
+          Buffer.add_string buf s.label)
+        series;
+      Buffer.add_char buf '\n';
+      Buffer.contents buf
+    end
+end

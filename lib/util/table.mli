@@ -1,0 +1,40 @@
+(** ASCII rendering of tables and figures for the reproduction harness.
+
+    The paper's evaluation artifacts are two tables and two line charts.
+    The bench harness prints them as aligned text tables and as ASCII
+    charts (speedup vs. core count), so that `dune exec bench/main.exe`
+    regenerates every artifact on a terminal. *)
+
+val render : header:string list -> rows:string list list -> string
+(** [render ~header ~rows] is a column-aligned table with a separator rule
+    under the header. All rows must have the same arity as the header. *)
+
+val print : header:string list -> rows:string list list -> unit
+(** [render] to stdout. *)
+
+val pct : float -> string
+(** Format a ratio in [0,1] as a percentage with two decimals, e.g.
+    ["98.58 %"] — the paper's Table I style. *)
+
+val fixed : int -> float -> string
+(** [fixed d x] formats [x] with [d] decimals. *)
+
+val count_with_pct : total:int -> int -> string
+(** Table II cell style: ["75023 (1.58 %)"]. *)
+
+(** Line chart over a shared x-axis, one series per label. *)
+module Chart : sig
+  type series = { label : string; points : (float * float) list }
+
+  val render :
+    ?width:int ->
+    ?height:int ->
+    title:string ->
+    x_label:string ->
+    y_label:string ->
+    series list ->
+    string
+  (** ASCII scatter/line chart. Each series is drawn with a distinct mark
+      character; a legend maps marks to labels. The y-range spans all
+      series and always includes 0. *)
+end

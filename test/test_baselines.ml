@@ -1,0 +1,239 @@
+(* Tests for the software-scheme baseline simulations. *)
+
+module Engine = Hsgc_baselines.Engine
+module Cost_model = Hsgc_baselines.Cost_model
+module Plan = Hsgc_objgraph.Plan
+module Graph_gen = Hsgc_objgraph.Graph_gen
+module Workloads = Hsgc_objgraph.Workloads
+module Rng = Hsgc_util.Rng
+
+let chain_plan n =
+  let p = Plan.create () in
+  let head, _ = Graph_gen.chain p ~n ~pi:1 ~delta:2 in
+  Plan.add_root p head;
+  p
+
+let wide_plan () =
+  let p = Plan.create () in
+  let rng = Rng.create 3 in
+  let hub = Graph_gen.layered p rng ~widths:[| 16; 256; 2048 |] ~delta:4 in
+  Plan.add_root p hub;
+  p
+
+let test_all_objects_processed () =
+  let plan = wide_plan () in
+  let live = 1 + 16 + 256 + 2048 in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun workers ->
+          let r = Engine.simulate ~plan ~workers scheme in
+          Alcotest.(check int)
+            (Printf.sprintf "%s/%d objects" (Engine.scheme_name scheme) workers)
+            live r.Engine.objects)
+        [ 1; 3; 8 ])
+    Engine.all_schemes
+
+let test_garbage_not_processed () =
+  let p = chain_plan 50 in
+  Graph_gen.garbage p (Rng.create 9) ~n:30 ~max_pi:2 ~max_delta:3;
+  let r = Engine.simulate ~plan:p ~workers:4 Engine.Work_stealing in
+  Alcotest.(check int) "only live objects" 50 r.Engine.objects
+
+let test_deterministic () =
+  let plan = wide_plan () in
+  let run () =
+    (Engine.simulate ~plan ~workers:8 (Engine.Chunked 16)).Engine.total_cycles
+  in
+  Alcotest.(check int) "deterministic" (run ()) (run ())
+
+let test_single_worker_equals_busy () =
+  (* With one worker there is no idling; total = busy + sync. *)
+  let plan = chain_plan 100 in
+  let r = Engine.simulate ~plan ~workers:1 Engine.Fine_grained_software in
+  Alcotest.(check int) "total = busy + sync + idle"
+    r.Engine.total_cycles
+    (r.Engine.busy_cycles + r.Engine.sync_cycles + r.Engine.idle_cycles)
+
+let test_busy_independent_of_workers () =
+  let plan = wide_plan () in
+  let busy w =
+    (Engine.simulate ~plan ~workers:w Engine.Hardware_fine_grained).Engine.busy_cycles
+  in
+  Alcotest.(check int) "busy work conserved" (busy 1) (busy 8)
+
+let test_fine_grained_software_is_prohibitive () =
+  let plan = wide_plan () in
+  let r1 = Engine.simulate ~plan ~workers:1 Engine.Fine_grained_software in
+  let r16 = Engine.simulate ~plan ~workers:16 Engine.Fine_grained_software in
+  Alcotest.(check bool) "sync dominates" true
+    (r1.Engine.sync_cycles > r1.Engine.busy_cycles);
+  Alcotest.(check bool) "no meaningful speedup at 16 workers" true
+    (Engine.speedup r1 r16 < 2.0)
+
+let test_hardware_scales () =
+  let plan = wide_plan () in
+  let r1 = Engine.simulate ~plan ~workers:1 Engine.Hardware_fine_grained in
+  let r8 = Engine.simulate ~plan ~workers:8 Engine.Hardware_fine_grained in
+  Alcotest.(check bool) "hardware scheme scales" true (Engine.speedup r1 r8 > 5.0)
+
+let test_hardware_beats_software () =
+  let plan = wide_plan () in
+  let at scheme =
+    (Engine.simulate ~plan ~workers:8 scheme).Engine.total_cycles
+  in
+  List.iter
+    (fun scheme ->
+      Alcotest.(check bool)
+        (Printf.sprintf "hw faster than %s" (Engine.scheme_name scheme))
+        true
+        (at Engine.Hardware_fine_grained <= at scheme))
+    [
+      Engine.Fine_grained_software;
+      Engine.Chunked 32;
+      Engine.Work_packets 16;
+      Engine.Work_stealing;
+    ]
+
+let test_chain_defeats_everyone () =
+  let plan = chain_plan 400 in
+  List.iter
+    (fun scheme ->
+      let r1 = Engine.simulate ~plan ~workers:1 scheme in
+      let r16 = Engine.simulate ~plan ~workers:16 scheme in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s gains nothing on a chain" (Engine.scheme_name scheme))
+        true
+        (Engine.speedup r1 r16 < 1.5))
+    Engine.all_schemes
+
+let test_task_pushing_scales () =
+  let plan = wide_plan () in
+  let r1 = Engine.simulate ~plan ~workers:1 Engine.Task_pushing in
+  let r8 = Engine.simulate ~plan ~workers:8 Engine.Task_pushing in
+  Alcotest.(check bool) "pushing scales" true (Engine.speedup r1 r8 > 4.0);
+  (* and beats the chunked shared pool, as Wu & Li designed it to *)
+  let chunked = Engine.simulate ~plan ~workers:8 (Engine.Chunked 32) in
+  Alcotest.(check bool) "pushing beats chunked" true
+    (r8.Engine.total_cycles < chunked.Engine.total_cycles)
+
+let test_stealing_beats_shared_pool_software () =
+  let plan = wide_plan () in
+  let steal = Engine.simulate ~plan ~workers:16 Engine.Work_stealing in
+  let pool = Engine.simulate ~plan ~workers:16 Engine.Fine_grained_software in
+  Alcotest.(check bool) "stealing beats the shared pool" true
+    (steal.Engine.total_cycles < pool.Engine.total_cycles);
+  Alcotest.(check bool) "steals happened" true (steal.Engine.steals > 0)
+
+let test_cost_scaling_matters () =
+  let plan = wide_plan () in
+  let cheap = Cost_model.scaled Cost_model.default 0.1 in
+  let r_exp = Engine.simulate ~plan ~workers:8 Engine.Fine_grained_software in
+  let r_cheap =
+    Engine.simulate ~costs:cheap ~plan ~workers:8 Engine.Fine_grained_software
+  in
+  Alcotest.(check bool) "cheaper sync shortens collections" true
+    (r_cheap.Engine.total_cycles < r_exp.Engine.total_cycles)
+
+let test_free_hardware_costs () =
+  Alcotest.(check int) "cas free" 0 Cost_model.free_hardware.Cost_model.cas;
+  Alcotest.(check int) "scaled default" 15
+    (Cost_model.scaled Cost_model.default 0.5).Cost_model.cas
+
+let test_workload_plans_run () =
+  List.iter
+    (fun w ->
+      let plan = w.Workloads.build ~scale:0.02 ~seed:3 in
+      let r = Engine.simulate ~plan ~workers:4 Engine.Work_stealing in
+      Alcotest.(check bool)
+        (w.Workloads.name ^ " processed")
+        true
+        (r.Engine.objects > 0))
+    Workloads.all
+
+let test_invalid_workers () =
+  let plan = chain_plan 3 in
+  Alcotest.check_raises "zero workers"
+    (Invalid_argument "Engine.simulate: workers") (fun () ->
+      ignore (Engine.simulate ~plan ~workers:0 Engine.Work_stealing))
+
+(* Random graphs: every scheme must process exactly the live objects. *)
+let gen_random_plan =
+  QCheck.Gen.(
+    let* n = int_range 1 80 in
+    let* seed = small_nat in
+    return (n, seed))
+
+let build_random_plan (n, seed) =
+  let rng = Rng.create (seed + 17) in
+  let p = Plan.create () in
+  let ids =
+    Array.init n (fun _ -> Plan.obj p ~pi:(Rng.int rng 4) ~delta:(Rng.int rng 4))
+  in
+  Array.iter
+    (fun id ->
+      for slot = 0 to Plan.pi_of p id - 1 do
+        if Rng.int rng 100 < 60 then
+          Plan.link p ~parent:id ~slot ~child:ids.(Rng.int rng n)
+      done)
+    ids;
+  Plan.add_root p ids.(0);
+  if n > 1 then Plan.add_root p ids.(n / 2);
+  p
+
+(* Count reachable objects independently of the engine. *)
+let live_count p =
+  let n = Plan.n_objects p in
+  let seen = Array.make n false in
+  let rec visit id =
+    if id >= 0 && not seen.(id) then begin
+      seen.(id) <- true;
+      for s = 0 to Plan.pi_of p id - 1 do
+        visit (Plan.child_of p id s)
+      done
+    end
+  in
+  Array.iter visit (Plan.roots p);
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 seen
+
+let qcheck_all_schemes_process_live =
+  QCheck.Test.make ~name:"every scheme processes exactly the live objects"
+    ~count:80
+    (QCheck.make
+       ~print:(fun (n, s) -> Printf.sprintf "n=%d seed=%d" n s)
+       gen_random_plan)
+    (fun param ->
+      let plan = build_random_plan param in
+      let live = live_count plan in
+      List.for_all
+        (fun scheme ->
+          List.for_all
+            (fun workers ->
+              let r = Engine.simulate ~plan ~workers scheme in
+              r.Engine.objects = live
+              && r.Engine.total_cycles
+                 >= r.Engine.busy_cycles / max 1 workers)
+            [ 1; 3; 7 ])
+        Engine.all_schemes)
+
+let suite =
+  [
+    Alcotest.test_case "all objects processed" `Quick test_all_objects_processed;
+    Alcotest.test_case "garbage not processed" `Quick test_garbage_not_processed;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "time accounting" `Quick test_single_worker_equals_busy;
+    Alcotest.test_case "busy conserved" `Quick test_busy_independent_of_workers;
+    Alcotest.test_case "sw fine-grained prohibitive" `Quick
+      test_fine_grained_software_is_prohibitive;
+    Alcotest.test_case "hardware scales" `Quick test_hardware_scales;
+    Alcotest.test_case "hardware beats software" `Quick test_hardware_beats_software;
+    Alcotest.test_case "chain defeats everyone" `Quick test_chain_defeats_everyone;
+    Alcotest.test_case "task pushing scales" `Quick test_task_pushing_scales;
+    Alcotest.test_case "stealing beats shared pool" `Quick
+      test_stealing_beats_shared_pool_software;
+    Alcotest.test_case "cost scaling" `Quick test_cost_scaling_matters;
+    Alcotest.test_case "cost model values" `Quick test_free_hardware_costs;
+    Alcotest.test_case "workload plans run" `Quick test_workload_plans_run;
+    Alcotest.test_case "invalid workers" `Quick test_invalid_workers;
+    QCheck_alcotest.to_alcotest qcheck_all_schemes_process_live;
+  ]

@@ -1,0 +1,106 @@
+(* Tests for the sequential reference collector. *)
+
+module Heap = Hsgc_heap.Heap
+module Semispace = Hsgc_heap.Semispace
+module Verify = Hsgc_heap.Verify
+module Cheney_seq = Hsgc_core.Cheney_seq
+
+let alloc_exn heap ~pi ~delta =
+  match Heap.alloc heap ~pi ~delta with
+  | Some a -> a
+  | None -> Alcotest.fail "allocation failed"
+
+let test_empty () =
+  let heap = Heap.create ~semispace_words:20 in
+  let s = Cheney_seq.collect heap in
+  Alcotest.(check int) "no objects" 0 s.Cheney_seq.live_objects;
+  Alcotest.(check int) "no words" 0 s.Cheney_seq.live_words
+
+let test_simple_graph () =
+  let heap = Heap.create ~semispace_words:100 in
+  let b = alloc_exn heap ~pi:0 ~delta:2 in
+  let a = alloc_exn heap ~pi:1 ~delta:1 in
+  Heap.set_pointer heap a 0 b;
+  Heap.set_data heap a 0 77;
+  Heap.set_data heap b 1 88;
+  Heap.set_roots heap [| a |];
+  let pre = Verify.snapshot heap in
+  let s = Cheney_seq.collect heap in
+  Alcotest.(check int) "two live" 2 s.Cheney_seq.live_objects;
+  Alcotest.(check int) "words" (4 + 4) s.Cheney_seq.live_words;
+  (match Verify.check_collection ~pre heap with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "%a" Verify.pp_failure f);
+  (* Roots updated to the new space. *)
+  Alcotest.(check bool) "root moved" true
+    (Semispace.contains (Heap.from_space heap) heap.Heap.roots.(0))
+
+let test_breadth_first_order () =
+  (* Cheney copies in BFS order: root, then its children in slot order. *)
+  let heap = Heap.create ~semispace_words:100 in
+  let c1 = alloc_exn heap ~pi:0 ~delta:1 in
+  let c2 = alloc_exn heap ~pi:0 ~delta:2 in
+  let r = alloc_exn heap ~pi:2 ~delta:0 in
+  Heap.set_pointer heap r 0 c1;
+  Heap.set_pointer heap r 1 c2;
+  Heap.set_roots heap [| r |];
+  ignore (Cheney_seq.collect heap);
+  let space = Heap.from_space heap in
+  let order = ref [] in
+  Heap.iter_objects heap space (fun o -> order := Heap.obj_delta heap o :: !order);
+  (* r (delta 0) first, then c1 (1), then c2 (2). *)
+  Alcotest.(check (list int)) "BFS copy order" [ 0; 1; 2 ] (List.rev !order)
+
+let test_garbage_reclaimed () =
+  let heap = Heap.create ~semispace_words:200 in
+  let live = alloc_exn heap ~pi:0 ~delta:1 in
+  for _ = 1 to 20 do
+    ignore (alloc_exn heap ~pi:0 ~delta:2)
+  done;
+  Heap.set_roots heap [| live |];
+  let s = Cheney_seq.collect heap in
+  Alcotest.(check int) "one survivor" 1 s.Cheney_seq.live_objects;
+  (* The freed space is available again. *)
+  Alcotest.(check int) "space compacted" 3 (Semispace.used (Heap.from_space heap))
+
+let test_overflow () =
+  (* A live set larger than a semispace cannot happen through alloc, but
+     a hostile tospace can be simulated by shrinking it. *)
+  let heap = Heap.create ~semispace_words:30 in
+  let a = alloc_exn heap ~pi:1 ~delta:10 in
+  let b = alloc_exn heap ~pi:0 ~delta:10 in
+  Heap.set_pointer heap a 0 b;
+  Heap.set_roots heap [| a |];
+  (* Shrink tospace so 25 live words cannot fit. *)
+  let to_sp = Heap.to_space heap in
+  let shrunk = Semispace.create ~base:to_sp.Semispace.base ~words:20 in
+  if heap.Heap.a_is_current then heap.Heap.space_b <- shrunk
+  else heap.Heap.space_a <- shrunk;
+  Alcotest.check_raises "overflow raised" Cheney_seq.Heap_overflow (fun () ->
+      ignore (Cheney_seq.collect heap))
+
+let test_repeated_cycles () =
+  let heap = Heap.create ~semispace_words:300 in
+  let b = alloc_exn heap ~pi:1 ~delta:1 in
+  let a = alloc_exn heap ~pi:1 ~delta:1 in
+  Heap.set_pointer heap a 0 b;
+  Heap.set_pointer heap b 0 a;
+  Heap.set_roots heap [| a |];
+  for i = 1 to 5 do
+    let pre = Verify.snapshot heap in
+    let s = Cheney_seq.collect heap in
+    Alcotest.(check int) (Printf.sprintf "cycle %d live" i) 2 s.Cheney_seq.live_objects;
+    match Verify.check_collection ~pre heap with
+    | Ok () -> ()
+    | Error f -> Alcotest.failf "cycle %d: %a" i Verify.pp_failure f
+  done
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "simple graph" `Quick test_simple_graph;
+    Alcotest.test_case "BFS copy order" `Quick test_breadth_first_order;
+    Alcotest.test_case "garbage reclaimed" `Quick test_garbage_reclaimed;
+    Alcotest.test_case "tospace overflow" `Quick test_overflow;
+    Alcotest.test_case "repeated cycles" `Quick test_repeated_cycles;
+  ]

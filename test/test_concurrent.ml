@@ -1,0 +1,187 @@
+(* Tests for concurrent collection (mutator running during the cycle). *)
+
+module Heap = Hsgc_heap.Heap
+module Verify = Hsgc_heap.Verify
+module Coprocessor = Hsgc_coproc.Coprocessor
+module Concurrent = Hsgc_coproc.Concurrent
+module Workloads = Hsgc_objgraph.Workloads
+
+let config ?(n_cores = 4) ?(mutator_period = 3) ?(alloc_percent = 30) ?(seed = 7)
+    () =
+  {
+    (Concurrent.default_config ~n_cores ()) with
+    Concurrent.mutator_period;
+    alloc_percent;
+    seed;
+  }
+
+(* Run one concurrent cycle and check all its invariants:
+   - the pre-existing graph (from the original roots) is isomorphic;
+   - the new space is wall-to-wall well-formed;
+   - every mutator-allocated object survived with the exact contents
+     written. *)
+let collect_checked ?n_cores ?alloc_percent ?seed heap =
+  let orig_roots = Array.length heap.Heap.roots in
+  let pre = Verify.snapshot heap in
+  let stats = Concurrent.collect (config ?n_cores ?alloc_percent ?seed ()) heap in
+  let all_roots = heap.Heap.roots in
+  Heap.set_roots heap (Array.sub all_roots 0 orig_roots);
+  let iso = Verify.equal_snapshot pre (Verify.snapshot heap) in
+  Heap.set_roots heap all_roots;
+  if not iso then Alcotest.fail "pre-existing graph not isomorphic";
+  (match Verify.check_space heap with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "space: %a" Verify.pp_failure f);
+  (match Concurrent.check_new_objects heap stats with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "new objects: %s" msg);
+  stats
+
+let test_basic_invariants () =
+  let heap = Workloads.build_heap ~scale:0.1 ~seed:3 Workloads.javacc in
+  let stats = collect_checked heap in
+  Alcotest.(check bool) "mutator did work" true
+    (stats.Concurrent.mutator_reads + stats.Concurrent.mutator_allocs > 0);
+  Alcotest.(check int) "allocation count matches records"
+    stats.Concurrent.mutator_allocs
+    (List.length stats.Concurrent.new_objects)
+
+let test_all_core_counts () =
+  List.iter
+    (fun n_cores ->
+      let heap = Workloads.build_heap ~scale:0.05 ~seed:5 Workloads.db in
+      ignore (collect_checked ~n_cores heap))
+    [ 1; 2; 4; 8; 16 ]
+
+let test_pause_is_root_phase_only () =
+  let heap = Workloads.build_heap ~scale:0.2 ~seed:3 Workloads.db in
+  let stats = collect_checked heap in
+  Alcotest.(check bool) "pause is tiny vs the whole cycle" true
+    (stats.Concurrent.pause_cycles * 20 < stats.Concurrent.gc.Coprocessor.total_cycles);
+  Alcotest.(check bool) "pause covers the root phase" true
+    (stats.Concurrent.pause_cycles >= stats.Concurrent.gc.Coprocessor.root_cycles)
+
+let test_allocations_survive_next_cycle () =
+  let heap = Workloads.build_heap ~scale:0.05 ~seed:9 Workloads.jlisp in
+  let stats = collect_checked heap in
+  let allocated = stats.Concurrent.mutator_allocs in
+  (* The register file was appended to the roots, so a follow-up
+     stop-the-world collection must keep every register-reachable new
+     object alive and verify cleanly. *)
+  let pre = Verify.snapshot heap in
+  let gc2 = Coprocessor.collect (Coprocessor.config ~n_cores:4 ()) heap in
+  (match Verify.check_collection ~pre heap with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "follow-up STW cycle: %a" Verify.pp_failure f);
+  Alcotest.(check bool) "next cycle sees a live heap" true
+    (gc2.Coprocessor.live_objects > 0);
+  Alcotest.(check bool) "some allocation happened" true (allocated > 0)
+
+let test_heavy_allocation () =
+  let heap = Workloads.build_heap ~scale:0.1 ~seed:11 Workloads.javacc in
+  let stats = collect_checked ~alloc_percent:90 heap in
+  Alcotest.(check bool) "many allocations" true (stats.Concurrent.mutator_allocs > 20)
+
+let test_read_only_mutator () =
+  let heap = Workloads.build_heap ~scale:0.1 ~seed:13 Workloads.javacc in
+  let stats = collect_checked ~alloc_percent:0 heap in
+  Alcotest.(check int) "no allocations" 0 stats.Concurrent.mutator_allocs;
+  Alcotest.(check bool) "reads happened" true (stats.Concurrent.mutator_reads > 0)
+
+let test_deterministic () =
+  let run () =
+    let heap = Workloads.build_heap ~scale:0.05 ~seed:5 Workloads.db in
+    let stats = Concurrent.collect (config ()) heap in
+    ( stats.Concurrent.gc.Coprocessor.total_cycles,
+      stats.Concurrent.mutator_allocs,
+      stats.Concurrent.barrier_evacuations )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "deterministic" true (a = b)
+
+let test_barrier_evacuations_possible () =
+  (* With a slow coprocessor (1 core) and a hot mutator, reads should
+     catch gray objects and trigger barrier evacuations. *)
+  let heap = Workloads.build_heap ~scale:0.2 ~seed:3 Workloads.db in
+  let cfg =
+    { (config ~n_cores:1 ~alloc_percent:0 ()) with Concurrent.mutator_period = 1 }
+  in
+  let orig_roots = Array.length heap.Heap.roots in
+  let pre = Verify.snapshot heap in
+  let stats = Concurrent.collect cfg heap in
+  let all_roots = heap.Heap.roots in
+  Heap.set_roots heap (Array.sub all_roots 0 orig_roots);
+  Alcotest.(check bool) "still isomorphic" true
+    (Verify.equal_snapshot pre (Verify.snapshot heap));
+  Heap.set_roots heap all_roots;
+  Alcotest.(check bool) "read barrier fired" true
+    (stats.Concurrent.barrier_evacuations > 0)
+
+let test_with_scan_unit () =
+  (* Concurrent mode composes with sub-object work distribution. *)
+  let heap = Workloads.build_heap ~scale:0.1 ~seed:3 Workloads.compress in
+  let orig_roots = Array.length heap.Heap.roots in
+  let pre = Verify.snapshot heap in
+  let cfg =
+    {
+      (Concurrent.default_config ~n_cores:8 ()) with
+      Concurrent.gc = Coprocessor.config ~scan_unit:16 ~n_cores:8 ();
+    }
+  in
+  let stats = Concurrent.collect cfg heap in
+  let all = heap.Heap.roots in
+  Heap.set_roots heap (Array.sub all 0 orig_roots);
+  Alcotest.(check bool) "isomorphic with pieces + mutator" true
+    (Verify.equal_snapshot pre (Verify.snapshot heap));
+  Heap.set_roots heap all;
+  (match Verify.check_space heap with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "space: %a" Verify.pp_failure f);
+  match Concurrent.check_new_objects heap stats with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_with_header_cache () =
+  let heap = Workloads.build_heap ~scale:0.1 ~seed:3 Workloads.javac in
+  let mem =
+    Hsgc_memsim.Memsys.with_header_cache Hsgc_memsim.Memsys.default_config 512
+  in
+  let cfg =
+    {
+      (Concurrent.default_config ~n_cores:8 ()) with
+      Concurrent.gc = Coprocessor.config ~mem ~n_cores:8 ();
+    }
+  in
+  let orig_roots = Array.length heap.Heap.roots in
+  let pre = Verify.snapshot heap in
+  ignore (Concurrent.collect cfg heap);
+  let all = heap.Heap.roots in
+  Heap.set_roots heap (Array.sub all 0 orig_roots);
+  Alcotest.(check bool) "isomorphic with cache + mutator" true
+    (Verify.equal_snapshot pre (Verify.snapshot heap));
+  Heap.set_roots heap all
+
+let test_invalid_config () =
+  let heap = Workloads.build_heap ~scale:0.02 ~seed:1 Workloads.jlisp in
+  Alcotest.check_raises "bad period"
+    (Invalid_argument "Concurrent.collect: period") (fun () ->
+      ignore
+        (Concurrent.collect
+           { (Concurrent.default_config ()) with Concurrent.mutator_period = 0 }
+           heap))
+
+let suite =
+  [
+    Alcotest.test_case "basic invariants" `Quick test_basic_invariants;
+    Alcotest.test_case "all core counts" `Quick test_all_core_counts;
+    Alcotest.test_case "pause = root phase" `Quick test_pause_is_root_phase_only;
+    Alcotest.test_case "allocations survive next cycle" `Quick
+      test_allocations_survive_next_cycle;
+    Alcotest.test_case "heavy allocation" `Quick test_heavy_allocation;
+    Alcotest.test_case "read-only mutator" `Quick test_read_only_mutator;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "barrier evacuations" `Quick test_barrier_evacuations_possible;
+    Alcotest.test_case "composes with scan-unit" `Quick test_with_scan_unit;
+    Alcotest.test_case "composes with header cache" `Quick test_with_header_cache;
+    Alcotest.test_case "invalid config" `Quick test_invalid_config;
+  ]

@@ -1,0 +1,124 @@
+(* Bounded-exhaustive verification: enumerate EVERY object graph within a
+   small bound (all π/δ combinations, all edge assignments including
+   self-loops, cycles and sharing) and check the coprocessor against the
+   sequential oracle on each one. Random testing samples this space;
+   here we cover it. *)
+
+module Plan = Hsgc_objgraph.Plan
+module Verify = Hsgc_heap.Verify
+module Coprocessor = Hsgc_coproc.Coprocessor
+module Cheney_seq = Hsgc_core.Cheney_seq
+
+(* Enumerate every assignment of [slots] pointer slots over targets
+   [-1 (null), 0, .., n-1] as an integer in mixed radix (n+1)^slots. *)
+let assignment ~n ~slots code =
+  Array.init slots (fun i ->
+      let digit = code / int_of_float ((float_of_int (n + 1)) ** float_of_int i) in
+      (digit mod (n + 1)) - 1)
+
+let build ~shapes ~edges =
+  let plan = Plan.create () in
+  let ids =
+    Array.map (fun (pi, delta) -> Plan.obj plan ~pi ~delta) shapes
+  in
+  let k = ref 0 in
+  Array.iteri
+    (fun obj (pi, _) ->
+      for slot = 0 to pi - 1 do
+        let target = edges.(!k) in
+        incr k;
+        if target >= 0 then
+          Plan.link plan ~parent:ids.(obj) ~slot ~child:ids.(target)
+      done)
+    shapes;
+  Plan.add_root plan ids.(0);
+  plan
+
+let check_one ~shapes ~edges ~n_cores =
+  let plan = build ~shapes ~edges in
+  let oracle_heap = Plan.materialize plan in
+  ignore (Cheney_seq.collect oracle_heap);
+  let oracle_snap = Verify.snapshot oracle_heap in
+  let heap = Plan.materialize plan in
+  let pre = Verify.snapshot heap in
+  ignore (Coprocessor.collect (Coprocessor.config ~n_cores ()) heap);
+  (match Verify.check_collection ~pre heap with
+  | Ok () -> ()
+  | Error f ->
+    Alcotest.failf "invariant (%d cores): %a" n_cores Verify.pp_failure f);
+  if not (Verify.equal_snapshot oracle_snap (Verify.snapshot heap)) then
+    Alcotest.failf "oracle mismatch at %d cores" n_cores
+
+(* Every 2-object graph: π ∈ {0,1,2}, δ ∈ {0,1} per object, every edge
+   assignment. 36 shape pairs × up to 3^4 assignments. *)
+let test_all_two_object_graphs () =
+  let shapes_of o = (o mod 3, o / 3 mod 2) in
+  let count = ref 0 in
+  for s0 = 0 to 5 do
+    for s1 = 0 to 5 do
+      let shapes = [| shapes_of s0; shapes_of s1 |] in
+      let slots = fst shapes.(0) + fst shapes.(1) in
+      let codes = int_of_float (3.0 ** float_of_int slots) in
+      for code = 0 to codes - 1 do
+        let edges = assignment ~n:2 ~slots code in
+        check_one ~shapes ~edges ~n_cores:3;
+        incr count
+      done
+    done
+  done;
+  (* 36 shape pairs, 3^slots assignments each: 676 distinct graphs. *)
+  Alcotest.(check int) "complete enumeration" 676 !count
+
+(* Every 3-object graph with π ∈ {0,1}, δ = 0: 8 shape triples × up to
+   4^3 assignments, at two core counts. *)
+let test_all_three_object_graphs () =
+  let count = ref 0 in
+  for mask = 0 to 7 do
+    let shapes = Array.init 3 (fun i -> ((mask lsr i) land 1, 0)) in
+    let slots = Array.fold_left (fun acc (pi, _) -> acc + pi) 0 shapes in
+    let codes = int_of_float (4.0 ** float_of_int slots) in
+    for code = 0 to codes - 1 do
+      let edges = assignment ~n:3 ~slots code in
+      List.iter (fun n_cores -> check_one ~shapes ~edges ~n_cores) [ 1; 4 ];
+      incr count
+    done
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "covered %d graphs" !count)
+    true (!count > 100)
+
+(* The same 2-object enumeration under sub-object splitting with the
+   smallest unit, which maximally exercises the piece machinery. *)
+let test_two_object_graphs_with_unit_1 () =
+  let shapes_of o = (o mod 3, o / 3 mod 2) in
+  for s0 = 0 to 5 do
+    for s1 = 0 to 5 do
+      let shapes = [| shapes_of s0; shapes_of s1 |] in
+      let slots = fst shapes.(0) + fst shapes.(1) in
+      let codes = int_of_float (3.0 ** float_of_int slots) in
+      for code = 0 to codes - 1 do
+        let edges = assignment ~n:2 ~slots code in
+        let plan = build ~shapes ~edges in
+        let oracle_heap = Plan.materialize plan in
+        ignore (Cheney_seq.collect oracle_heap);
+        let oracle_snap = Verify.snapshot oracle_heap in
+        let heap = Plan.materialize plan in
+        let pre = Verify.snapshot heap in
+        ignore
+          (Coprocessor.collect (Coprocessor.config ~scan_unit:1 ~n_cores:2 ()) heap);
+        (match Verify.check_collection ~pre heap with
+        | Ok () -> ()
+        | Error f -> Alcotest.failf "unit-1 invariant: %a" Verify.pp_failure f);
+        if not (Verify.equal_snapshot oracle_snap (Verify.snapshot heap)) then
+          Alcotest.fail "unit-1 oracle mismatch"
+      done
+    done
+  done
+
+let suite =
+  [
+    Alcotest.test_case "all 2-object graphs" `Slow test_all_two_object_graphs;
+    Alcotest.test_case "all 3-object graphs" `Slow test_all_three_object_graphs;
+    Alcotest.test_case "all 2-object graphs, scan-unit 1" `Slow
+      test_two_object_graphs_with_unit_1;
+  ]

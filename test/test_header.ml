@@ -1,0 +1,93 @@
+(* Tests for two-word header packing. *)
+
+module Header = Hsgc_heap.Header
+
+let state_t : Header.state Alcotest.testable =
+  Alcotest.testable Header.pp_state Header.equal_state
+
+let test_roundtrip_basic () =
+  let w = Header.encode ~state:Gray ~pi:3 ~delta:7 in
+  Alcotest.check state_t "state" Header.Gray (Header.state w);
+  Alcotest.(check int) "pi" 3 (Header.pi w);
+  Alcotest.(check int) "delta" 7 (Header.delta w)
+
+let test_roundtrip_extremes () =
+  List.iter
+    (fun (pi, delta) ->
+      let w = Header.encode ~state:White ~pi ~delta in
+      Alcotest.(check int) "pi" pi (Header.pi w);
+      Alcotest.(check int) "delta" delta (Header.delta w))
+    [
+      (0, 0);
+      (Header.max_area, 0);
+      (0, Header.max_area);
+      (Header.max_area, Header.max_area);
+    ]
+
+let test_all_states () =
+  List.iter
+    (fun s ->
+      let w = Header.encode ~state:s ~pi:1 ~delta:2 in
+      Alcotest.check state_t "state roundtrip" s (Header.state w))
+    [ Header.White; Header.Gray; Header.Black ]
+
+let test_with_state () =
+  let w = Header.encode ~state:White ~pi:5 ~delta:9 in
+  let w' = Header.with_state w Header.Black in
+  Alcotest.check state_t "new state" Header.Black (Header.state w');
+  Alcotest.(check int) "pi preserved" 5 (Header.pi w');
+  Alcotest.(check int) "delta preserved" 9 (Header.delta w')
+
+let test_size () =
+  Alcotest.(check int) "size_of" 12 (Header.size_of ~pi:4 ~delta:6);
+  let w = Header.encode ~state:Gray ~pi:4 ~delta:6 in
+  Alcotest.(check int) "size from word" 12 (Header.size w);
+  Alcotest.(check int) "header_words" 2 Header.header_words
+
+let test_out_of_range () =
+  Alcotest.check_raises "pi too large"
+    (Invalid_argument "Header.encode: pi out of range") (fun () ->
+      ignore (Header.encode ~state:White ~pi:(Header.max_area + 1) ~delta:0));
+  Alcotest.check_raises "negative delta"
+    (Invalid_argument "Header.encode: delta out of range") (fun () ->
+      ignore (Header.encode ~state:White ~pi:0 ~delta:(-1)))
+
+let qcheck_roundtrip =
+  let gen_state =
+    QCheck.Gen.oneofl [ Header.White; Header.Gray; Header.Black ]
+  in
+  QCheck.Test.make ~name:"header encode/decode roundtrip" ~count:2_000
+    QCheck.(
+      triple
+        (make ~print:(fun s -> Format.asprintf "%a" Header.pp_state s) gen_state)
+        (int_range 0 Header.max_area)
+        (int_range 0 Header.max_area))
+    (fun (state, pi, delta) ->
+      let w = Header.encode ~state ~pi ~delta in
+      Header.equal_state (Header.state w) state
+      && Header.pi w = pi && Header.delta w = delta
+      && Header.size w = Header.header_words + pi + delta)
+
+let qcheck_with_state_preserves =
+  QCheck.Test.make ~name:"with_state preserves areas" ~count:1_000
+    QCheck.(pair (int_range 0 Header.max_area) (int_range 0 Header.max_area))
+    (fun (pi, delta) ->
+      let w = Header.encode ~state:White ~pi ~delta in
+      List.for_all
+        (fun s ->
+          let w' = Header.with_state w s in
+          Header.pi w' = pi && Header.delta w' = delta
+          && Header.equal_state (Header.state w') s)
+        [ Header.White; Header.Gray; Header.Black ])
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip basic" `Quick test_roundtrip_basic;
+    Alcotest.test_case "roundtrip extremes" `Quick test_roundtrip_extremes;
+    Alcotest.test_case "all states" `Quick test_all_states;
+    Alcotest.test_case "with_state" `Quick test_with_state;
+    Alcotest.test_case "size" `Quick test_size;
+    Alcotest.test_case "out of range rejected" `Quick test_out_of_range;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_with_state_preserves;
+  ]

@@ -1,0 +1,171 @@
+(* Tests for the object heap. *)
+
+module Heap = Hsgc_heap.Heap
+module Header = Hsgc_heap.Header
+module Semispace = Hsgc_heap.Semispace
+
+let alloc_exn heap ~pi ~delta =
+  match Heap.alloc heap ~pi ~delta with
+  | Some a -> a
+  | None -> Alcotest.fail "allocation unexpectedly failed"
+
+let test_null_reserved () =
+  let heap = Heap.create ~semispace_words:100 in
+  let a = alloc_exn heap ~pi:1 ~delta:1 in
+  Alcotest.(check bool) "first object is not at null" true (a <> Heap.null);
+  Alcotest.(check int) "null is 0" 0 Heap.null
+
+let test_alloc_layout () =
+  let heap = Heap.create ~semispace_words:100 in
+  let a = alloc_exn heap ~pi:2 ~delta:3 in
+  let b = alloc_exn heap ~pi:0 ~delta:0 in
+  Alcotest.(check int) "objects contiguous" (a + 2 + 2 + 3) b;
+  Alcotest.(check int) "pi" 2 (Heap.obj_pi heap a);
+  Alcotest.(check int) "delta" 3 (Heap.obj_delta heap a);
+  Alcotest.(check int) "size" 7 (Heap.obj_size heap a);
+  Alcotest.(check bool) "white" true (Heap.obj_state heap a = Header.White)
+
+let test_alloc_zeroed () =
+  let heap = Heap.create ~semispace_words:100 in
+  let a = alloc_exn heap ~pi:2 ~delta:2 in
+  Alcotest.(check int) "pointer slot null" Heap.null (Heap.get_pointer heap a 0);
+  Alcotest.(check int) "data slot zero" 0 (Heap.get_data heap a 1);
+  Alcotest.(check int) "header1 zero" 0 (Heap.header1 heap a)
+
+let test_pointer_data_accessors () =
+  let heap = Heap.create ~semispace_words:100 in
+  let a = alloc_exn heap ~pi:2 ~delta:2 in
+  let b = alloc_exn heap ~pi:0 ~delta:1 in
+  Heap.set_pointer heap a 1 b;
+  Heap.set_data heap a 0 4242;
+  Alcotest.(check int) "pointer readback" b (Heap.get_pointer heap a 1);
+  Alcotest.(check int) "data readback" 4242 (Heap.get_data heap a 0);
+  (* Pointer and data areas do not overlap. *)
+  Alcotest.(check int) "slot 0 pointer untouched" Heap.null
+    (Heap.get_pointer heap a 0);
+  Alcotest.(check int) "data 1 untouched" 0 (Heap.get_data heap a 1)
+
+let test_alloc_exhaustion () =
+  let heap = Heap.create ~semispace_words:10 in
+  (* size 2+0+4 = 6 fits; another 6 does not. *)
+  Alcotest.(check bool) "first fits" true (Heap.alloc heap ~pi:0 ~delta:4 <> None);
+  Alcotest.(check bool) "second rejected" true
+    (Heap.alloc heap ~pi:0 ~delta:4 = None)
+
+let test_flip () =
+  let heap = Heap.create ~semispace_words:50 in
+  let from0 = Heap.from_space heap and to0 = Heap.to_space heap in
+  Alcotest.(check bool) "disjoint" true (from0.Semispace.base <> to0.Semispace.base);
+  ignore (alloc_exn heap ~pi:0 ~delta:1);
+  Heap.flip heap;
+  Alcotest.(check bool) "roles swapped" true
+    (Heap.from_space heap == to0 && Heap.to_space heap == from0);
+  Alcotest.(check int) "new tospace reset" 0 (Semispace.used (Heap.to_space heap))
+
+let test_roots () =
+  let heap = Heap.create ~semispace_words:100 in
+  let a = alloc_exn heap ~pi:0 ~delta:1 in
+  Alcotest.(check int) "no roots" 0 (Heap.root_count heap);
+  Heap.add_root heap a;
+  Alcotest.(check int) "one root" 1 (Heap.root_count heap);
+  Heap.set_roots heap [| a; a |];
+  Alcotest.(check int) "replaced" 2 (Heap.root_count heap)
+
+let test_iter_objects () =
+  let heap = Heap.create ~semispace_words:100 in
+  let a = alloc_exn heap ~pi:1 ~delta:0 in
+  let b = alloc_exn heap ~pi:0 ~delta:5 in
+  let c = alloc_exn heap ~pi:2 ~delta:2 in
+  let seen = ref [] in
+  Heap.iter_objects heap (Heap.from_space heap) (fun o -> seen := o :: !seen);
+  Alcotest.(check (list int)) "address order" [ a; b; c ] (List.rev !seen)
+
+let build_diamond heap =
+  (* r -> a, b; a -> c; b -> c *)
+  let c = alloc_exn heap ~pi:0 ~delta:1 in
+  let a = alloc_exn heap ~pi:1 ~delta:0 in
+  let b = alloc_exn heap ~pi:1 ~delta:0 in
+  let r = alloc_exn heap ~pi:2 ~delta:0 in
+  Heap.set_pointer heap a 0 c;
+  Heap.set_pointer heap b 0 c;
+  Heap.set_pointer heap r 0 a;
+  Heap.set_pointer heap r 1 b;
+  Heap.set_roots heap [| r |];
+  (r, a, b, c)
+
+let test_reachable_diamond () =
+  let heap = Heap.create ~semispace_words:100 in
+  let r, a, b, c = build_diamond heap in
+  let garbage = alloc_exn heap ~pi:0 ~delta:3 in
+  let reach = Heap.reachable heap in
+  Alcotest.(check int) "four reachable" 4 (Hashtbl.length reach);
+  List.iter
+    (fun o -> Alcotest.(check bool) "reachable member" true (Hashtbl.mem reach o))
+    [ r; a; b; c ];
+  Alcotest.(check bool) "garbage excluded" false (Hashtbl.mem reach garbage)
+
+let test_reachable_cycle () =
+  let heap = Heap.create ~semispace_words:100 in
+  let a = alloc_exn heap ~pi:1 ~delta:0 in
+  let b = alloc_exn heap ~pi:1 ~delta:0 in
+  Heap.set_pointer heap a 0 b;
+  Heap.set_pointer heap b 0 a;
+  Heap.set_roots heap [| a |];
+  Alcotest.(check int) "cycle terminates" 2 (Hashtbl.length (Heap.reachable heap))
+
+let test_live_words () =
+  let heap = Heap.create ~semispace_words:100 in
+  let _ = build_diamond heap in
+  ignore (alloc_exn heap ~pi:0 ~delta:9);
+  (* diamond footprint: c=3, a=3, b=3, r=4 *)
+  Alcotest.(check int) "live words" 13 (Heap.live_words heap)
+
+let test_null_roots_ignored () =
+  let heap = Heap.create ~semispace_words:100 in
+  Heap.set_roots heap [| Heap.null; Heap.null |];
+  Alcotest.(check int) "nothing reachable" 0 (Hashtbl.length (Heap.reachable heap))
+
+let qcheck_accessor_roundtrip =
+  QCheck.Test.make ~name:"pointer/data slots are independent cells" ~count:200
+    QCheck.(triple (int_range 0 6) (int_range 0 6) small_nat)
+    (fun (pi, delta, seed) ->
+      let heap = Heap.create ~semispace_words:200 in
+      match Heap.alloc heap ~pi ~delta with
+      | None -> false
+      | Some a ->
+        let target =
+          match Heap.alloc heap ~pi:0 ~delta:0 with Some t -> t | None -> a
+        in
+        (* write a distinct value everywhere, then read everything back *)
+        for i = 0 to pi - 1 do
+          Heap.set_pointer heap a i (if i mod 2 = 0 then target else Heap.null)
+        done;
+        for i = 0 to delta - 1 do
+          Heap.set_data heap a i (seed + (i * 31))
+        done;
+        let ok = ref true in
+        for i = 0 to pi - 1 do
+          let expected = if i mod 2 = 0 then target else Heap.null in
+          if Heap.get_pointer heap a i <> expected then ok := false
+        done;
+        for i = 0 to delta - 1 do
+          if Heap.get_data heap a i <> seed + (i * 31) then ok := false
+        done;
+        !ok && Heap.obj_pi heap a = pi && Heap.obj_delta heap a = delta)
+
+let suite =
+  [
+    Alcotest.test_case "null reserved" `Quick test_null_reserved;
+    Alcotest.test_case "alloc layout" `Quick test_alloc_layout;
+    Alcotest.test_case "alloc zeroed" `Quick test_alloc_zeroed;
+    Alcotest.test_case "pointer/data accessors" `Quick test_pointer_data_accessors;
+    Alcotest.test_case "alloc exhaustion" `Quick test_alloc_exhaustion;
+    Alcotest.test_case "flip" `Quick test_flip;
+    Alcotest.test_case "roots" `Quick test_roots;
+    Alcotest.test_case "iter_objects" `Quick test_iter_objects;
+    Alcotest.test_case "reachable diamond" `Quick test_reachable_diamond;
+    Alcotest.test_case "reachable cycle" `Quick test_reachable_cycle;
+    Alcotest.test_case "live words" `Quick test_live_words;
+    Alcotest.test_case "null roots ignored" `Quick test_null_roots_ignored;
+    QCheck_alcotest.to_alcotest qcheck_accessor_roundtrip;
+  ]

@@ -1,0 +1,172 @@
+(* Tests for the memory interface and access scheduler. *)
+
+module Memsys = Hsgc_memsim.Memsys
+
+let config ?(header_load_latency = 4) ?(body_load_latency = 2)
+    ?(store_latency = 1) ?(bandwidth = 2) ?(fifo_capacity = 8)
+    ?(header_cache_entries = 0) () =
+  {
+    Memsys.header_load_latency;
+    body_load_latency;
+    store_latency;
+    bandwidth;
+    fifo_capacity;
+    header_cache_entries;
+  }
+
+let test_load_latencies () =
+  let m = Memsys.create (config ()) in
+  Memsys.begin_cycle m ~now:10;
+  Alcotest.(check (option int)) "header load" (Some 14)
+    (Memsys.try_accept_load m ~now:10 ~header:true ~addr:1);
+  Alcotest.(check (option int)) "body load" (Some 12)
+    (Memsys.try_accept_load m ~now:10 ~header:false ~addr:2)
+
+let test_store_latency () =
+  let m = Memsys.create (config ()) in
+  Memsys.begin_cycle m ~now:5;
+  Alcotest.(check (option int)) "store commit" (Some 6)
+    (Memsys.try_accept_store m ~now:5 ~header:false ~addr:1)
+
+let test_bandwidth_limit () =
+  let m = Memsys.create (config ~bandwidth:2 ()) in
+  Memsys.begin_cycle m ~now:0;
+  Alcotest.(check bool) "1st" true
+    (Memsys.try_accept_load m ~now:0 ~header:false ~addr:1 <> None);
+  Alcotest.(check bool) "2nd" true
+    (Memsys.try_accept_load m ~now:0 ~header:false ~addr:2 <> None);
+  Alcotest.(check (option int)) "3rd rejected" None
+    (Memsys.try_accept_load m ~now:0 ~header:false ~addr:3);
+  Alcotest.(check int) "rejection counted" 1 (Memsys.rejected_bandwidth m);
+  (* Budget resets with the cycle. *)
+  Memsys.begin_cycle m ~now:1;
+  Alcotest.(check bool) "next cycle accepts" true
+    (Memsys.try_accept_load m ~now:1 ~header:false ~addr:3 <> None)
+
+let test_comparator_holds_header_load () =
+  let m = Memsys.create (config ~store_latency:3 ()) in
+  Memsys.begin_cycle m ~now:0;
+  (* Header store to addr 7 commits at cycle 3. *)
+  Alcotest.(check (option int)) "store" (Some 3)
+    (Memsys.try_accept_store m ~now:0 ~header:true ~addr:7);
+  Memsys.begin_cycle m ~now:1;
+  Alcotest.(check (option int)) "load held" None
+    (Memsys.try_accept_load m ~now:1 ~header:true ~addr:7);
+  Alcotest.(check int) "order rejection counted" 1 (Memsys.rejected_order m);
+  (* Loads to other addresses are unaffected. *)
+  Alcotest.(check bool) "other addr fine" true
+    (Memsys.try_accept_load m ~now:1 ~header:true ~addr:8 <> None);
+  (* After commit the load proceeds. *)
+  Memsys.begin_cycle m ~now:3;
+  Alcotest.(check bool) "after commit" true
+    (Memsys.try_accept_load m ~now:3 ~header:true ~addr:7 <> None)
+
+let test_body_loads_not_ordered () =
+  let m = Memsys.create (config ~store_latency:3 ()) in
+  Memsys.begin_cycle m ~now:0;
+  ignore (Memsys.try_accept_store m ~now:0 ~header:false ~addr:7);
+  Memsys.begin_cycle m ~now:1;
+  (* Body accesses need no ordering (single reader/writer per word). *)
+  Alcotest.(check bool) "body load not held" true
+    (Memsys.try_accept_load m ~now:1 ~header:false ~addr:7 <> None)
+
+let test_counters () =
+  let m = Memsys.create (config ()) in
+  Memsys.begin_cycle m ~now:0;
+  ignore (Memsys.try_accept_load m ~now:0 ~header:false ~addr:1);
+  ignore (Memsys.try_accept_store m ~now:0 ~header:false ~addr:2);
+  Alcotest.(check int) "loads" 1 (Memsys.loads m);
+  Alcotest.(check int) "stores" 1 (Memsys.stores m);
+  Memsys.reset_stats m;
+  Alcotest.(check int) "reset" 0 (Memsys.loads m)
+
+let test_fifo_attached () =
+  let m = Memsys.create (config ~fifo_capacity:3 ()) in
+  let f = Memsys.fifo m in
+  Alcotest.(check int) "fifo capacity" 3 (Hsgc_memsim.Header_fifo.capacity f)
+
+let test_invalid_config () =
+  Alcotest.check_raises "zero latency"
+    (Invalid_argument "Memsys.create: latencies must be >= 1") (fun () ->
+      ignore (Memsys.create (config ~store_latency:0 ())));
+  Alcotest.check_raises "zero bandwidth"
+    (Invalid_argument "Memsys.create: bandwidth must be >= 1") (fun () ->
+      ignore (Memsys.create (config ~bandwidth:0 ())))
+
+let test_header_cache_hit () =
+  let m = Memsys.create (config ~header_cache_entries:16 ()) in
+  Memsys.begin_cycle m ~now:0;
+  (* first access misses and fills *)
+  Alcotest.(check (option int)) "miss costs full latency" (Some 4)
+    (Memsys.try_accept_load m ~now:0 ~header:true ~addr:33);
+  Alcotest.(check int) "miss counted" 1 (Memsys.header_cache_misses m);
+  Memsys.begin_cycle m ~now:5;
+  Alcotest.(check (option int)) "hit costs one cycle" (Some 6)
+    (Memsys.try_accept_load m ~now:5 ~header:true ~addr:33);
+  Alcotest.(check int) "hit counted" 1 (Memsys.header_cache_hits m)
+
+let test_header_cache_store_updates () =
+  let m = Memsys.create (config ~header_cache_entries:16 ~store_latency:5 ()) in
+  Memsys.begin_cycle m ~now:0;
+  ignore (Memsys.try_accept_store m ~now:0 ~header:true ~addr:7);
+  Memsys.begin_cycle m ~now:1;
+  (* Without the cache this load would be held by the comparator; the
+     store updated the cache, so the load hits and proceeds. *)
+  Alcotest.(check (option int)) "hit despite pending store" (Some 2)
+    (Memsys.try_accept_load m ~now:1 ~header:true ~addr:7);
+  Alcotest.(check int) "no order rejection" 0 (Memsys.rejected_order m)
+
+let test_header_cache_conflict_eviction () =
+  let m = Memsys.create (config ~header_cache_entries:4 ()) in
+  Memsys.begin_cycle m ~now:0;
+  ignore (Memsys.try_accept_load m ~now:0 ~header:true ~addr:5);
+  (* addr 9 maps to the same slot (5 mod 4 = 9 mod 4): evicts. *)
+  ignore (Memsys.try_accept_load m ~now:0 ~header:true ~addr:9);
+  Memsys.begin_cycle m ~now:10;
+  Alcotest.(check (option int)) "5 was evicted, full latency" (Some 14)
+    (Memsys.try_accept_load m ~now:10 ~header:true ~addr:5)
+
+let test_header_cache_disabled_by_default () =
+  let m = Memsys.create (config ()) in
+  Memsys.begin_cycle m ~now:0;
+  ignore (Memsys.try_accept_load m ~now:0 ~header:true ~addr:5);
+  Memsys.begin_cycle m ~now:10;
+  Alcotest.(check (option int)) "no caching" (Some 14)
+    (Memsys.try_accept_load m ~now:10 ~header:true ~addr:5);
+  Alcotest.(check int) "no hits" 0 (Memsys.header_cache_hits m)
+
+let test_body_loads_not_cached () =
+  let m = Memsys.create (config ~header_cache_entries:16 ()) in
+  Memsys.begin_cycle m ~now:0;
+  ignore (Memsys.try_accept_load m ~now:0 ~header:false ~addr:5);
+  Memsys.begin_cycle m ~now:10;
+  Alcotest.(check (option int)) "body load unaffected" (Some 12)
+    (Memsys.try_accept_load m ~now:10 ~header:false ~addr:5)
+
+let test_with_extra_latency () =
+  let c = Memsys.with_extra_latency (config ()) 20 in
+  Alcotest.(check int) "header" 24 c.Memsys.header_load_latency;
+  Alcotest.(check int) "body" 22 c.Memsys.body_load_latency;
+  Alcotest.(check int) "store" 21 c.Memsys.store_latency
+
+let suite =
+  [
+    Alcotest.test_case "load latencies" `Quick test_load_latencies;
+    Alcotest.test_case "store latency" `Quick test_store_latency;
+    Alcotest.test_case "bandwidth limit" `Quick test_bandwidth_limit;
+    Alcotest.test_case "comparator holds header load" `Quick
+      test_comparator_holds_header_load;
+    Alcotest.test_case "body loads not ordered" `Quick test_body_loads_not_ordered;
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "fifo attached" `Quick test_fifo_attached;
+    Alcotest.test_case "invalid config" `Quick test_invalid_config;
+    Alcotest.test_case "with_extra_latency" `Quick test_with_extra_latency;
+    Alcotest.test_case "header cache hit" `Quick test_header_cache_hit;
+    Alcotest.test_case "header cache store-update" `Quick
+      test_header_cache_store_updates;
+    Alcotest.test_case "header cache eviction" `Quick
+      test_header_cache_conflict_eviction;
+    Alcotest.test_case "header cache off by default" `Quick
+      test_header_cache_disabled_by_default;
+    Alcotest.test_case "body loads not cached" `Quick test_body_loads_not_cached;
+  ]

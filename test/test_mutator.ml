@@ -1,0 +1,83 @@
+(* Tests for the mutator model. *)
+
+module Mutator = Hsgc_objgraph.Mutator
+module Workloads = Hsgc_objgraph.Workloads
+module Heap = Hsgc_heap.Heap
+module Verify = Hsgc_heap.Verify
+module Rng = Hsgc_util.Rng
+module Cheney_seq = Hsgc_core.Cheney_seq
+module Coprocessor = Hsgc_coproc.Coprocessor
+
+let test_churn_keeps_heap_collectable () =
+  let heap = Workloads.build_heap ~scale:0.2 ~seed:1 Workloads.jlisp in
+  let mut = Mutator.create heap (Rng.create 2) in
+  (match Mutator.churn mut ~allocs:200 with
+  | `Ok -> ()
+  | `Heap_full -> Alcotest.fail "unexpected heap full");
+  Alcotest.(check int) "allocation counted" 200 (Mutator.allocated mut);
+  let pre = Verify.snapshot heap in
+  ignore (Cheney_seq.collect heap);
+  match Verify.check_collection ~pre heap with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "churned heap fails: %a" Verify.pp_failure f
+
+let test_heap_full () =
+  let heap = Heap.create ~semispace_words:64 in
+  (match Heap.alloc heap ~pi:1 ~delta:1 with
+  | Some a -> Heap.set_roots heap [| a |]
+  | None -> Alcotest.fail "seed alloc");
+  let mut = Mutator.create heap (Rng.create 3) in
+  match Mutator.churn mut ~allocs:1_000 with
+  | `Heap_full -> ()
+  | `Ok -> Alcotest.fail "tiny heap should fill up"
+
+let test_churn_across_gcs () =
+  let heap = Workloads.build_heap ~scale:0.02 ~seed:4 Workloads.javacc in
+  let mut = Mutator.create heap (Rng.create 5) in
+  let cfg = Coprocessor.config ~n_cores:4 () in
+  for _ = 1 to 3 do
+    (match Mutator.churn mut ~allocs:300 with `Ok | `Heap_full -> ());
+    let pre = Verify.snapshot heap in
+    ignore (Coprocessor.collect cfg heap);
+    match Verify.check_collection ~pre heap with
+    | Ok () -> ()
+    | Error f -> Alcotest.failf "cycle failed: %a" Verify.pp_failure f
+  done
+
+let test_churn_creates_garbage () =
+  let heap = Workloads.build_heap ~scale:0.3 ~seed:6 Workloads.jlisp in
+  let live_before = Heap.live_words heap in
+  let used_before = Hsgc_heap.Semispace.used (Heap.from_space heap) in
+  let mut = Mutator.create heap (Rng.create 7) in
+  (match Mutator.churn mut ~allocs:500 with
+  | `Ok -> ()
+  | `Heap_full -> Alcotest.fail "heap too small for churn");
+  let live_after = Heap.live_words heap in
+  let used_after = Hsgc_heap.Semispace.used (Heap.from_space heap) in
+  Alcotest.(check bool) "allocated words" true (used_after > used_before);
+  (* Some of the new objects are garbage: live grows less than used. *)
+  Alcotest.(check bool) "garbage produced" true
+    (live_after - live_before < used_after - used_before)
+
+let qcheck_churn_preserves_collectability =
+  QCheck.Test.make ~name:"random churn never corrupts the heap" ~count:40
+    QCheck.(pair small_nat (int_range 0 400))
+    (fun (seed, allocs) ->
+      let heap = Workloads.build_heap ~scale:0.1 ~seed:(seed + 1) Workloads.jlisp in
+      let mut = Mutator.create heap (Rng.create (seed + 2)) in
+      (match Mutator.churn mut ~allocs with `Ok | `Heap_full -> ());
+      let pre = Verify.snapshot heap in
+      ignore (Cheney_seq.collect heap);
+      match Verify.check_collection ~pre heap with
+      | Ok () -> true
+      | Error f -> QCheck.Test.fail_reportf "%a" Verify.pp_failure f)
+
+let suite =
+  [
+    Alcotest.test_case "churn keeps heap collectable" `Quick
+      test_churn_keeps_heap_collectable;
+    Alcotest.test_case "heap full detected" `Quick test_heap_full;
+    Alcotest.test_case "churn across GCs" `Quick test_churn_across_gcs;
+    Alcotest.test_case "churn creates garbage" `Quick test_churn_creates_garbage;
+    QCheck_alcotest.to_alcotest qcheck_churn_preserves_collectability;
+  ]

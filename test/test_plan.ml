@@ -1,0 +1,131 @@
+(* Tests for the workload plan and its materialization. *)
+
+module Plan = Hsgc_objgraph.Plan
+module Heap = Hsgc_heap.Heap
+module Header = Hsgc_heap.Header
+module Semispace = Hsgc_heap.Semispace
+
+let test_obj_and_sizes () =
+  let p = Plan.create () in
+  let a = Plan.obj p ~pi:2 ~delta:3 in
+  let b = Plan.obj p ~pi:0 ~delta:0 in
+  Alcotest.(check int) "ids dense" 0 a;
+  Alcotest.(check int) "ids dense 2" 1 b;
+  Alcotest.(check int) "n_objects" 2 (Plan.n_objects p);
+  Alcotest.(check int) "size_words" (7 + 2) (Plan.size_words p);
+  Alcotest.(check int) "pi_of" 2 (Plan.pi_of p a);
+  Alcotest.(check int) "delta_of" 3 (Plan.delta_of p a)
+
+let test_links () =
+  let p = Plan.create () in
+  let a = Plan.obj p ~pi:2 ~delta:0 in
+  let b = Plan.obj p ~pi:0 ~delta:0 in
+  Plan.link p ~parent:a ~slot:1 ~child:b;
+  Alcotest.(check int) "linked" b (Plan.child_of p a 1);
+  Alcotest.(check int) "unlinked is -1" (-1) (Plan.child_of p a 0)
+
+let test_link_errors () =
+  let p = Plan.create () in
+  let a = Plan.obj p ~pi:1 ~delta:0 in
+  Alcotest.check_raises "bad slot" (Invalid_argument "Plan.link: bad slot")
+    (fun () -> Plan.link p ~parent:a ~slot:1 ~child:a);
+  Alcotest.check_raises "bad id" (Invalid_argument "Plan: bad object id")
+    (fun () -> Plan.link p ~parent:5 ~slot:0 ~child:a)
+
+let test_roots () =
+  let p = Plan.create () in
+  let a = Plan.obj p ~pi:0 ~delta:0 in
+  let b = Plan.obj p ~pi:0 ~delta:0 in
+  Plan.add_root p a;
+  Plan.add_root p b;
+  Alcotest.(check (array int)) "roots in order" [| a; b |] (Plan.roots p);
+  Alcotest.(check int) "n_roots" 2 (Plan.n_roots p)
+
+let test_live_words () =
+  let p = Plan.create () in
+  let a = Plan.obj p ~pi:1 ~delta:1 in
+  let b = Plan.obj p ~pi:0 ~delta:2 in
+  let _garbage = Plan.obj p ~pi:0 ~delta:10 in
+  Plan.link p ~parent:a ~slot:0 ~child:b;
+  Plan.add_root p a;
+  Alcotest.(check int) "live words exclude garbage" (4 + 4) (Plan.live_words p);
+  Alcotest.(check int) "size words include garbage" (4 + 4 + 12) (Plan.size_words p)
+
+let test_live_words_cycle () =
+  let p = Plan.create () in
+  let a = Plan.obj p ~pi:1 ~delta:0 in
+  let b = Plan.obj p ~pi:1 ~delta:0 in
+  Plan.link p ~parent:a ~slot:0 ~child:b;
+  Plan.link p ~parent:b ~slot:0 ~child:a;
+  Plan.add_root p a;
+  Alcotest.(check int) "cycle counted once" 6 (Plan.live_words p)
+
+let test_materialize_structure () =
+  let p = Plan.create () in
+  let a = Plan.obj p ~pi:1 ~delta:2 in
+  let b = Plan.obj p ~pi:0 ~delta:1 in
+  Plan.link p ~parent:a ~slot:0 ~child:b;
+  Plan.add_root p a;
+  let heap = Plan.materialize p in
+  Alcotest.(check int) "one root" 1 (Heap.root_count heap);
+  let ra = heap.Heap.roots.(0) in
+  Alcotest.(check int) "root pi" 1 (Heap.obj_pi heap ra);
+  let rb = Heap.get_pointer heap ra 0 in
+  Alcotest.(check bool) "child linked" true (rb <> Heap.null);
+  Alcotest.(check int) "child delta" 1 (Heap.obj_delta heap rb);
+  (* Data filled deterministically. *)
+  Alcotest.(check int) "data word" (Plan.data_word a 1) (Heap.get_data heap ra 1);
+  Alcotest.(check int) "child data" (Plan.data_word b 0) (Heap.get_data heap rb 0)
+
+let test_materialize_heap_factor () =
+  let p = Plan.create () in
+  ignore (Plan.obj p ~pi:0 ~delta:8);
+  let h2 = Plan.materialize ~heap_factor:2.0 p in
+  let h3 = Plan.materialize ~heap_factor:3.0 p in
+  Alcotest.(check bool) "factor grows the space" true
+    (Semispace.words (Heap.from_space h3) > Semispace.words (Heap.from_space h2));
+  Alcotest.check_raises "factor below 1 rejected"
+    (Invalid_argument "Plan.materialize: heap_factor < 1.0") (fun () ->
+      ignore (Plan.materialize ~heap_factor:0.5 p))
+
+let test_materialize_empty_plan () =
+  let p = Plan.create () in
+  let heap = Plan.materialize p in
+  Alcotest.(check int) "no objects allocated" 0
+    (Semispace.used (Heap.from_space heap))
+
+let test_data_word_distinct () =
+  (* Different (id, slot) pairs give different fill values in practice. *)
+  let seen = Hashtbl.create 64 in
+  let collisions = ref 0 in
+  for id = 0 to 50 do
+    for slot = 0 to 10 do
+      let v = Plan.data_word id slot in
+      if Hashtbl.mem seen v then incr collisions;
+      Hashtbl.replace seen v ()
+    done
+  done;
+  Alcotest.(check int) "no collisions in small range" 0 !collisions
+
+let test_iter_objects () =
+  let p = Plan.create () in
+  let _ = Plan.obj p ~pi:0 ~delta:0 in
+  let _ = Plan.obj p ~pi:0 ~delta:0 in
+  let count = ref 0 in
+  Plan.iter_objects p (fun _ -> incr count);
+  Alcotest.(check int) "visits all" 2 !count
+
+let suite =
+  [
+    Alcotest.test_case "obj and sizes" `Quick test_obj_and_sizes;
+    Alcotest.test_case "links" `Quick test_links;
+    Alcotest.test_case "link errors" `Quick test_link_errors;
+    Alcotest.test_case "roots" `Quick test_roots;
+    Alcotest.test_case "live words" `Quick test_live_words;
+    Alcotest.test_case "live words with cycle" `Quick test_live_words_cycle;
+    Alcotest.test_case "materialize structure" `Quick test_materialize_structure;
+    Alcotest.test_case "materialize heap factor" `Quick test_materialize_heap_factor;
+    Alcotest.test_case "materialize empty plan" `Quick test_materialize_empty_plan;
+    Alcotest.test_case "data_word distinct" `Quick test_data_word_distinct;
+    Alcotest.test_case "iter_objects" `Quick test_iter_objects;
+  ]

@@ -1,0 +1,127 @@
+(* Tests for the per-core memory buffers. *)
+
+module Memsys = Hsgc_memsim.Memsys
+module Port = Hsgc_memsim.Port
+
+let mem () =
+  Memsys.create
+    {
+      Memsys.header_load_latency = 3;
+      body_load_latency = 2;
+      store_latency = 1;
+      bandwidth = 4;
+      fifo_capacity = 8;
+      header_cache_entries = 0;
+    }
+
+let test_load_lifecycle () =
+  let m = mem () in
+  let p = Port.create Port.Body_load in
+  Alcotest.(check bool) "idle" true (Port.is_idle p);
+  Memsys.begin_cycle m ~now:0;
+  Alcotest.(check bool) "issue" true (Port.issue p m ~now:0 ~addr:42);
+  Alcotest.(check bool) "busy after issue" false (Port.is_idle p);
+  Alcotest.(check bool) "not ready yet" false (Port.load_ready p);
+  Memsys.begin_cycle m ~now:1;
+  Port.tick p m ~now:1;
+  Alcotest.(check bool) "still in flight" false (Port.load_ready p);
+  Memsys.begin_cycle m ~now:2;
+  Port.tick p m ~now:2;
+  Alcotest.(check bool) "ready at latency" true (Port.load_ready p);
+  Port.consume p;
+  Alcotest.(check bool) "idle after consume" true (Port.is_idle p)
+
+let test_store_lifecycle () =
+  let m = mem () in
+  let p = Port.create Port.Header_store in
+  Memsys.begin_cycle m ~now:0;
+  Alcotest.(check bool) "issue" true (Port.issue p m ~now:0 ~addr:7);
+  Alcotest.(check bool) "busy" false (Port.is_idle p);
+  Memsys.begin_cycle m ~now:1;
+  Port.tick p m ~now:1;
+  Alcotest.(check bool) "idle after commit" true (Port.is_idle p)
+
+let test_double_issue_rejected () =
+  let m = mem () in
+  let p = Port.create Port.Body_store in
+  Memsys.begin_cycle m ~now:0;
+  Alcotest.(check bool) "first" true (Port.issue p m ~now:0 ~addr:1);
+  Alcotest.(check bool) "second rejected" false (Port.issue p m ~now:0 ~addr:2)
+
+let test_bandwidth_retry () =
+  (* Bandwidth 1: second port's request waits a cycle in the buffer. *)
+  let m =
+    Memsys.create
+      {
+        Memsys.header_load_latency = 3;
+        body_load_latency = 2;
+        store_latency = 1;
+        bandwidth = 1;
+        fifo_capacity = 8;
+        header_cache_entries = 0;
+      }
+  in
+  let p1 = Port.create Port.Body_load and p2 = Port.create Port.Body_load in
+  Memsys.begin_cycle m ~now:0;
+  Alcotest.(check bool) "p1 issue" true (Port.issue p1 m ~now:0 ~addr:1);
+  Alcotest.(check bool) "p2 deposit accepted" true (Port.issue p2 m ~now:0 ~addr:2);
+  (* p2 was deposited but memory rejected it this cycle; it retries. *)
+  Memsys.begin_cycle m ~now:1;
+  Port.tick p1 m ~now:1;
+  Port.tick p2 m ~now:1;
+  Memsys.begin_cycle m ~now:2;
+  Port.tick p1 m ~now:2;
+  Port.tick p2 m ~now:2;
+  Alcotest.(check bool) "p1 ready at 2" true (Port.load_ready p1);
+  Alcotest.(check bool) "p2 not yet (accepted at 1)" false (Port.load_ready p2);
+  Memsys.begin_cycle m ~now:3;
+  Port.tick p2 m ~now:3;
+  Alcotest.(check bool) "p2 ready at 3" true (Port.load_ready p2)
+
+let test_issue_immediate () =
+  let p = Port.create Port.Header_load in
+  Port.issue_immediate p;
+  Alcotest.(check bool) "ready at once" true (Port.load_ready p);
+  Port.consume p;
+  Alcotest.(check bool) "idle" true (Port.is_idle p)
+
+let test_issue_immediate_busy () =
+  let m = mem () in
+  let p = Port.create Port.Header_load in
+  Memsys.begin_cycle m ~now:0;
+  ignore (Port.issue p m ~now:0 ~addr:3);
+  Alcotest.check_raises "immediate on busy"
+    (Invalid_argument "Port.issue_immediate: busy") (fun () ->
+      Port.issue_immediate p)
+
+let test_consume_not_ready () =
+  let p = Port.create Port.Body_load in
+  Alcotest.check_raises "consume idle"
+    (Invalid_argument "Port.consume: no data ready") (fun () -> Port.consume p)
+
+let test_kind_predicates () =
+  Alcotest.(check bool) "hl is load" true (Port.is_load Port.Header_load);
+  Alcotest.(check bool) "hs not load" false (Port.is_load Port.Header_store);
+  Alcotest.(check bool) "hl is header" true (Port.is_header Port.Header_load);
+  Alcotest.(check bool) "bl not header" false (Port.is_header Port.Body_load)
+
+let test_busy_addr () =
+  let m = mem () in
+  let p = Port.create Port.Body_load in
+  Alcotest.(check (option int)) "idle none" None (Port.busy_addr p);
+  Memsys.begin_cycle m ~now:0;
+  ignore (Port.issue p m ~now:0 ~addr:55);
+  Alcotest.(check (option int)) "in flight addr" (Some 55) (Port.busy_addr p)
+
+let suite =
+  [
+    Alcotest.test_case "load lifecycle" `Quick test_load_lifecycle;
+    Alcotest.test_case "store lifecycle" `Quick test_store_lifecycle;
+    Alcotest.test_case "double issue rejected" `Quick test_double_issue_rejected;
+    Alcotest.test_case "bandwidth retry" `Quick test_bandwidth_retry;
+    Alcotest.test_case "issue_immediate" `Quick test_issue_immediate;
+    Alcotest.test_case "issue_immediate busy" `Quick test_issue_immediate_busy;
+    Alcotest.test_case "consume not ready" `Quick test_consume_not_ready;
+    Alcotest.test_case "kind predicates" `Quick test_kind_predicates;
+    Alcotest.test_case "busy_addr" `Quick test_busy_addr;
+  ]

@@ -1,0 +1,76 @@
+(* Tests for the semispace bump allocator. *)
+
+module Semispace = Hsgc_heap.Semispace
+
+let test_create () =
+  let s = Semispace.create ~base:10 ~words:100 in
+  Alcotest.(check int) "words" 100 (Semispace.words s);
+  Alcotest.(check int) "used" 0 (Semispace.used s);
+  Alcotest.(check int) "available" 100 (Semispace.available s)
+
+let test_bump_sequence () =
+  let s = Semispace.create ~base:10 ~words:100 in
+  Alcotest.(check (option int)) "first" (Some 10) (Semispace.bump s 30);
+  Alcotest.(check (option int)) "second" (Some 40) (Semispace.bump s 20);
+  Alcotest.(check int) "used" 50 (Semispace.used s);
+  Alcotest.(check int) "available" 50 (Semispace.available s)
+
+let test_bump_exhaustion () =
+  let s = Semispace.create ~base:0 ~words:10 in
+  Alcotest.(check (option int)) "fits" (Some 0) (Semispace.bump s 10);
+  Alcotest.(check (option int)) "full" None (Semispace.bump s 1);
+  Alcotest.(check (option int)) "zero still fits" (Some 10) (Semispace.bump s 0)
+
+let test_bump_too_big () =
+  let s = Semispace.create ~base:0 ~words:10 in
+  Alcotest.(check (option int)) "oversize" None (Semispace.bump s 11);
+  Alcotest.(check int) "nothing consumed" 0 (Semispace.used s)
+
+let test_reset () =
+  let s = Semispace.create ~base:5 ~words:50 in
+  ignore (Semispace.bump s 20);
+  Semispace.reset s;
+  Alcotest.(check int) "empty again" 0 (Semispace.used s);
+  Alcotest.(check (option int)) "allocates from base" (Some 5) (Semispace.bump s 1)
+
+let test_contains () =
+  let s = Semispace.create ~base:10 ~words:5 in
+  Alcotest.(check bool) "below" false (Semispace.contains s 9);
+  Alcotest.(check bool) "base" true (Semispace.contains s 10);
+  Alcotest.(check bool) "last" true (Semispace.contains s 14);
+  Alcotest.(check bool) "limit" false (Semispace.contains s 15)
+
+let test_invalid () =
+  Alcotest.check_raises "negative words" (Invalid_argument "Semispace.create")
+    (fun () -> ignore (Semispace.create ~base:0 ~words:(-1)));
+  let s = Semispace.create ~base:0 ~words:10 in
+  Alcotest.check_raises "negative bump" (Invalid_argument "Semispace.bump")
+    (fun () -> ignore (Semispace.bump s (-1)))
+
+let qcheck_bump_contiguous =
+  QCheck.Test.make ~name:"bumps are contiguous and within bounds" ~count:300
+    QCheck.(list (int_range 0 20))
+    (fun sizes ->
+      let s = Semispace.create ~base:3 ~words:100 in
+      let expected = ref 3 in
+      List.for_all
+        (fun n ->
+          match Semispace.bump s n with
+          | Some a ->
+            let ok = a = !expected && a + n <= 103 in
+            expected := !expected + n;
+            ok
+          | None -> !expected + n > 103)
+        sizes)
+
+let suite =
+  [
+    Alcotest.test_case "create" `Quick test_create;
+    Alcotest.test_case "bump sequence" `Quick test_bump_sequence;
+    Alcotest.test_case "bump exhaustion" `Quick test_bump_exhaustion;
+    Alcotest.test_case "bump too big" `Quick test_bump_too_big;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "contains" `Quick test_contains;
+    Alcotest.test_case "invalid args" `Quick test_invalid;
+    QCheck_alcotest.to_alcotest qcheck_bump_contiguous;
+  ]

@@ -1,0 +1,115 @@
+(* Tests for the streaming statistics accumulator. *)
+
+module Stats_acc = Hsgc_util.Stats_acc
+
+let feq msg expected actual =
+  Alcotest.(check (float 1e-9)) msg expected actual
+
+let test_empty () =
+  let t = Stats_acc.create () in
+  Alcotest.(check int) "count" 0 (Stats_acc.count t);
+  feq "mean" 0.0 (Stats_acc.mean t);
+  feq "variance" 0.0 (Stats_acc.variance t);
+  Alcotest.(check bool) "min is +inf" true (Stats_acc.min_value t = infinity);
+  Alcotest.(check bool) "max is -inf" true (Stats_acc.max_value t = neg_infinity)
+
+let test_single () =
+  let t = Stats_acc.create () in
+  Stats_acc.add t 4.0;
+  Alcotest.(check int) "count" 1 (Stats_acc.count t);
+  feq "mean" 4.0 (Stats_acc.mean t);
+  feq "variance" 0.0 (Stats_acc.variance t);
+  feq "min" 4.0 (Stats_acc.min_value t);
+  feq "max" 4.0 (Stats_acc.max_value t)
+
+let test_known_series () =
+  let t = Stats_acc.create () in
+  List.iter (Stats_acc.add t) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  feq "mean" 5.0 (Stats_acc.mean t);
+  (* Sample variance of this classic series is 32/7. *)
+  feq "variance" (32.0 /. 7.0) (Stats_acc.variance t);
+  feq "total" 40.0 (Stats_acc.total t);
+  feq "min" 2.0 (Stats_acc.min_value t);
+  feq "max" 9.0 (Stats_acc.max_value t)
+
+let test_add_int () =
+  let t = Stats_acc.create () in
+  Stats_acc.add_int t 3;
+  Stats_acc.add_int t 5;
+  feq "mean" 4.0 (Stats_acc.mean t)
+
+let test_merge_matches_bulk () =
+  let a = Stats_acc.create () and b = Stats_acc.create () in
+  let all = Stats_acc.create () in
+  List.iter
+    (fun x ->
+      Stats_acc.add a x;
+      Stats_acc.add all x)
+    [ 1.0; 2.0; 3.0 ];
+  List.iter
+    (fun x ->
+      Stats_acc.add b x;
+      Stats_acc.add all x)
+    [ 10.0; 20.0; 30.0; 40.0 ];
+  let m = Stats_acc.merge a b in
+  Alcotest.(check int) "count" (Stats_acc.count all) (Stats_acc.count m);
+  feq "mean" (Stats_acc.mean all) (Stats_acc.mean m);
+  Alcotest.(check (float 1e-6)) "variance" (Stats_acc.variance all)
+    (Stats_acc.variance m);
+  feq "min" (Stats_acc.min_value all) (Stats_acc.min_value m);
+  feq "max" (Stats_acc.max_value all) (Stats_acc.max_value m)
+
+let test_merge_empty () =
+  let a = Stats_acc.create () in
+  Stats_acc.add a 5.0;
+  let e = Stats_acc.create () in
+  let m1 = Stats_acc.merge a e and m2 = Stats_acc.merge e a in
+  feq "merge right empty" 5.0 (Stats_acc.mean m1);
+  feq "merge left empty" 5.0 (Stats_acc.mean m2)
+
+let test_stddev () =
+  let t = Stats_acc.create () in
+  List.iter (Stats_acc.add t) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  feq "stddev = sqrt variance" (sqrt (32.0 /. 7.0)) (Stats_acc.stddev t)
+
+let test_pp () =
+  let t = Stats_acc.create () in
+  Stats_acc.add t 1.0;
+  let s = Format.asprintf "%a" Stats_acc.pp t in
+  Alcotest.(check bool) "pp mentions n=1" true
+    (String.length s > 0
+    && (try String.sub s 0 3 = "n=1" with Invalid_argument _ -> false))
+
+let qcheck_merge_consistent =
+  QCheck.Test.make ~name:"merge equals bulk accumulation" ~count:200
+    QCheck.(pair (list (float_range (-1e3) 1e3)) (list (float_range (-1e3) 1e3)))
+    (fun (xs, ys) ->
+      let a = Stats_acc.create () and b = Stats_acc.create () in
+      let all = Stats_acc.create () in
+      List.iter
+        (fun x ->
+          Stats_acc.add a x;
+          Stats_acc.add all x)
+        xs;
+      List.iter
+        (fun y ->
+          Stats_acc.add b y;
+          Stats_acc.add all y)
+        ys;
+      let m = Stats_acc.merge a b in
+      Stats_acc.count m = Stats_acc.count all
+      && abs_float (Stats_acc.mean m -. Stats_acc.mean all) < 1e-6
+      && abs_float (Stats_acc.variance m -. Stats_acc.variance all) < 1e-3)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "single sample" `Quick test_single;
+    Alcotest.test_case "known series" `Quick test_known_series;
+    Alcotest.test_case "add_int" `Quick test_add_int;
+    Alcotest.test_case "merge matches bulk" `Quick test_merge_matches_bulk;
+    Alcotest.test_case "merge with empty" `Quick test_merge_empty;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "pp" `Quick test_pp;
+    QCheck_alcotest.to_alcotest qcheck_merge_consistent;
+  ]

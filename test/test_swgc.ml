@@ -1,0 +1,119 @@
+(* Tests for the real Domains-based parallel copying collector. *)
+
+module Parallel_copy = Hsgc_swgc.Parallel_copy
+module Par = Hsgc_swgc.Par
+module Plan = Hsgc_objgraph.Plan
+module Workloads = Hsgc_objgraph.Workloads
+module Heap = Hsgc_heap.Heap
+module Verify = Hsgc_heap.Verify
+module Cheney_seq = Hsgc_core.Cheney_seq
+
+let collect_ok ~domains heap =
+  let pre = Verify.snapshot heap in
+  let stats = Parallel_copy.collect ~domains heap in
+  (match Verify.check_collection ~pre heap with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "verification: %a" Verify.pp_failure f);
+  stats
+
+let test_par_run () =
+  let results = Par.run ~domains:4 (fun i -> i * i) in
+  Alcotest.(check (array int)) "results in order" [| 0; 1; 4; 9 |] results
+
+let test_par_run_single () =
+  let results = Par.run ~domains:1 (fun i -> i + 10) in
+  Alcotest.(check (array int)) "runs on caller" [| 10 |] results
+
+let test_recommended_capped () =
+  Alcotest.(check bool) "within [1,16]" true
+    (let n = Par.recommended_domain_count () in
+     n >= 1 && n <= 16)
+
+let test_matches_oracle () =
+  List.iter
+    (fun w ->
+      let oracle = Workloads.build_heap ~scale:0.02 ~seed:7 w in
+      ignore (Cheney_seq.collect oracle);
+      let oracle_snap = Verify.snapshot oracle in
+      List.iter
+        (fun domains ->
+          let heap = Workloads.build_heap ~scale:0.02 ~seed:7 w in
+          let _ = collect_ok ~domains heap in
+          if not (Verify.equal_snapshot oracle_snap (Verify.snapshot heap)) then
+            Alcotest.failf "%s at %d domains differs from oracle"
+              w.Workloads.name domains)
+        [ 1; 2; 4 ])
+    Workloads.all
+
+let test_stats_accounting () =
+  let heap = Workloads.build_heap ~scale:0.05 ~seed:3 Workloads.db in
+  let live = Heap.live_words heap in
+  let stats = collect_ok ~domains:3 heap in
+  Alcotest.(check int) "live words" live stats.Parallel_copy.live_words;
+  Alcotest.(check int) "claims = objects" stats.Parallel_copy.live_objects
+    stats.Parallel_copy.cas_claims;
+  Alcotest.(check int) "per-domain scans sum to total"
+    stats.Parallel_copy.live_objects
+    (Array.fold_left ( + ) 0 stats.Parallel_copy.per_domain_objects);
+  Alcotest.(check int) "per-domain array sized" 3
+    (Array.length stats.Parallel_copy.per_domain_objects)
+
+let test_cycles_and_sharing () =
+  let p = Plan.create () in
+  let a = Plan.obj p ~pi:2 ~delta:1 in
+  let b = Plan.obj p ~pi:1 ~delta:0 in
+  let c = Plan.obj p ~pi:1 ~delta:2 in
+  Plan.link p ~parent:a ~slot:0 ~child:b;
+  Plan.link p ~parent:a ~slot:1 ~child:c;
+  Plan.link p ~parent:b ~slot:0 ~child:c;
+  Plan.link p ~parent:c ~slot:0 ~child:a;
+  Plan.add_root p a;
+  let heap = Plan.materialize p in
+  let stats = collect_ok ~domains:4 heap in
+  Alcotest.(check int) "three objects, copied once each" 3
+    stats.Parallel_copy.live_objects
+
+let test_empty_roots () =
+  let p = Plan.create () in
+  ignore (Plan.obj p ~pi:0 ~delta:4);
+  let heap = Plan.materialize p in
+  let stats = collect_ok ~domains:2 heap in
+  Alcotest.(check int) "nothing live" 0 stats.Parallel_copy.live_objects
+
+let test_repeated_collections () =
+  let heap = Workloads.build_heap ~scale:0.02 ~seed:9 Workloads.jlisp in
+  for _ = 1 to 3 do
+    ignore (collect_ok ~domains:2 heap)
+  done
+
+let test_invalid_domains () =
+  let heap = Workloads.build_heap ~scale:0.02 ~seed:1 Workloads.jlisp in
+  Alcotest.check_raises "zero domains"
+    (Invalid_argument "Parallel_copy.collect: domains") (fun () ->
+      ignore (Parallel_copy.collect ~domains:0 heap))
+
+let test_determinism_of_result () =
+  (* Copy ORDER differs between runs, but the resulting graph must always
+     be isomorphic to the input. *)
+  let reference = Workloads.build_heap ~scale:0.05 ~seed:11 Workloads.javac in
+  let pre = Verify.snapshot reference in
+  for _ = 1 to 3 do
+    let heap = Workloads.build_heap ~scale:0.05 ~seed:11 Workloads.javac in
+    ignore (Parallel_copy.collect ~domains:4 heap);
+    Alcotest.(check bool) "isomorphic to input" true
+      (Verify.equal_snapshot pre (Verify.snapshot heap))
+  done
+
+let suite =
+  [
+    Alcotest.test_case "Par.run" `Quick test_par_run;
+    Alcotest.test_case "Par.run single" `Quick test_par_run_single;
+    Alcotest.test_case "recommended domains capped" `Quick test_recommended_capped;
+    Alcotest.test_case "matches oracle (all workloads)" `Slow test_matches_oracle;
+    Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+    Alcotest.test_case "cycles and sharing" `Quick test_cycles_and_sharing;
+    Alcotest.test_case "empty roots" `Quick test_empty_roots;
+    Alcotest.test_case "repeated collections" `Quick test_repeated_collections;
+    Alcotest.test_case "invalid domains" `Quick test_invalid_domains;
+    Alcotest.test_case "result always isomorphic" `Quick test_determinism_of_result;
+  ]

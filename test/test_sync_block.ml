@@ -1,0 +1,166 @@
+(* Tests for the synchronization block. *)
+
+module SB = Hsgc_hwsync.Sync_block
+
+let test_scan_free_registers () =
+  let sb = SB.create ~n_cores:4 in
+  SB.set_scan sb 100;
+  SB.set_free sb 200;
+  Alcotest.(check int) "scan" 100 (SB.scan sb);
+  Alcotest.(check int) "free" 200 (SB.free sb)
+
+let test_scan_lock_exclusion () =
+  let sb = SB.create ~n_cores:4 in
+  Alcotest.(check bool) "core0 acquires" true (SB.try_lock_scan sb ~core:0);
+  Alcotest.(check bool) "core1 blocked" false (SB.try_lock_scan sb ~core:1);
+  Alcotest.(check (option int)) "owner" (Some 0) (SB.scan_lock_owner sb);
+  SB.unlock_scan sb ~core:0;
+  Alcotest.(check bool) "core1 acquires after release" true
+    (SB.try_lock_scan sb ~core:1)
+
+let test_advance_scan_requires_lock () =
+  let sb = SB.create ~n_cores:2 in
+  SB.set_scan sb 10;
+  Alcotest.check_raises "advance without lock"
+    (Invalid_argument "Sync_block: advance_scan without lock") (fun () ->
+      SB.advance_scan sb ~core:0 5);
+  ignore (SB.try_lock_scan sb ~core:0);
+  SB.advance_scan sb ~core:0 5;
+  Alcotest.(check int) "advanced" 15 (SB.scan sb)
+
+let test_free_lock_and_claim () =
+  let sb = SB.create ~n_cores:2 in
+  SB.set_free sb 50;
+  ignore (SB.try_lock_free sb ~core:1);
+  Alcotest.(check int) "claim returns old free" 50 (SB.claim_free sb ~core:1 8);
+  Alcotest.(check int) "free advanced" 58 (SB.free sb);
+  Alcotest.(check bool) "other core blocked" false (SB.try_lock_free sb ~core:0);
+  SB.unlock_free sb ~core:1;
+  Alcotest.(check bool) "acquirable again" true (SB.try_lock_free sb ~core:0)
+
+let test_lock_reentry_rejected () =
+  let sb = SB.create ~n_cores:2 in
+  ignore (SB.try_lock_scan sb ~core:0);
+  Alcotest.check_raises "scan re-entry"
+    (Invalid_argument "Sync_block: scan lock re-entry") (fun () ->
+      ignore (SB.try_lock_scan sb ~core:0))
+
+let test_lock_order_enforced () =
+  let sb = SB.create ~n_cores:2 in
+  (* Holding a header lock forbids acquiring scan (scan < header). *)
+  ignore (SB.try_lock_header sb ~core:0 ~addr:42);
+  Alcotest.check_raises "header then scan"
+    (Invalid_argument "Sync_block: lock-order violation acquiring scan")
+    (fun () -> ignore (SB.try_lock_scan sb ~core:0));
+  SB.unlock_header sb ~core:0;
+  (* Holding free forbids acquiring a header (header < free). *)
+  ignore (SB.try_lock_free sb ~core:0);
+  Alcotest.check_raises "free then header"
+    (Invalid_argument "Sync_block: lock-order violation acquiring header after free")
+    (fun () -> ignore (SB.try_lock_header sb ~core:0 ~addr:1))
+
+let test_header_lock_conflict () =
+  let sb = SB.create ~n_cores:4 in
+  Alcotest.(check bool) "core0 locks 42" true (SB.try_lock_header sb ~core:0 ~addr:42);
+  Alcotest.(check bool) "core1 blocked on 42" false
+    (SB.try_lock_header sb ~core:1 ~addr:42);
+  Alcotest.(check bool) "core1 locks 43" true (SB.try_lock_header sb ~core:1 ~addr:43);
+  Alcotest.(check (option int)) "core0 register" (Some 42)
+    (SB.header_lock_of sb ~core:0);
+  SB.unlock_header sb ~core:0;
+  Alcotest.(check bool) "42 free again" true (SB.try_lock_header sb ~core:2 ~addr:42)
+
+let test_header_lock_one_per_core () =
+  let sb = SB.create ~n_cores:2 in
+  ignore (SB.try_lock_header sb ~core:0 ~addr:1);
+  Alcotest.check_raises "second header lock"
+    (Invalid_argument "Sync_block: header lock re-entry (one header lock per core)")
+    (fun () -> ignore (SB.try_lock_header sb ~core:0 ~addr:2))
+
+let test_header_lock_null_rejected () =
+  let sb = SB.create ~n_cores:2 in
+  Alcotest.check_raises "null header"
+    (Invalid_argument "Sync_block: cannot lock the null header") (fun () ->
+      ignore (SB.try_lock_header sb ~core:0 ~addr:0))
+
+let test_busy_bits () =
+  let sb = SB.create ~n_cores:3 in
+  Alcotest.(check bool) "none busy" false (SB.any_busy sb);
+  SB.set_busy sb ~core:1 true;
+  Alcotest.(check bool) "any busy" true (SB.any_busy sb);
+  Alcotest.(check bool) "busy 1" true (SB.busy sb ~core:1);
+  Alcotest.(check bool) "others clear except 1" true (SB.none_busy_except sb ~core:1);
+  Alcotest.(check bool) "not clear from 0's view" false
+    (SB.none_busy_except sb ~core:0);
+  SB.set_busy sb ~core:1 false;
+  Alcotest.(check bool) "cleared" false (SB.any_busy sb)
+
+let test_barrier_all_arrive () =
+  let sb = SB.create ~n_cores:3 in
+  Alcotest.(check bool) "0 waits" false (SB.barrier_arrive sb ~core:0);
+  Alcotest.(check bool) "1 waits" false (SB.barrier_arrive sb ~core:1);
+  (* Last arrival opens the barrier and passes immediately. *)
+  Alcotest.(check bool) "2 passes" true (SB.barrier_arrive sb ~core:2);
+  Alcotest.(check bool) "0 passes" true (SB.barrier_arrive sb ~core:0);
+  Alcotest.(check bool) "1 passes" true (SB.barrier_arrive sb ~core:1)
+
+let test_barrier_reusable () =
+  let sb = SB.create ~n_cores:2 in
+  (* round 1 *)
+  ignore (SB.barrier_arrive sb ~core:0);
+  Alcotest.(check bool) "1 opens round 1" true (SB.barrier_arrive sb ~core:1);
+  Alcotest.(check bool) "0 passes round 1" true (SB.barrier_arrive sb ~core:0);
+  (* round 2 *)
+  Alcotest.(check bool) "0 waits round 2" false (SB.barrier_arrive sb ~core:0);
+  Alcotest.(check bool) "1 opens round 2" true (SB.barrier_arrive sb ~core:1);
+  Alcotest.(check bool) "0 passes round 2" true (SB.barrier_arrive sb ~core:0)
+
+let test_barrier_early_rearrival () =
+  let sb = SB.create ~n_cores:2 in
+  ignore (SB.barrier_arrive sb ~core:0);
+  Alcotest.(check bool) "1 opens" true (SB.barrier_arrive sb ~core:1);
+  (* Core 1 races ahead to the next barrier before core 0 passed the
+     first: it must wait for the drain. *)
+  Alcotest.(check bool) "1 early re-arrival waits" false
+    (SB.barrier_arrive sb ~core:1);
+  Alcotest.(check bool) "0 passes first barrier" true (SB.barrier_arrive sb ~core:0);
+  (* Now the next round can form. *)
+  Alcotest.(check bool) "1 waits in round 2" false (SB.barrier_arrive sb ~core:1);
+  Alcotest.(check bool) "0 opens round 2" true (SB.barrier_arrive sb ~core:0)
+
+let test_single_core_barrier () =
+  let sb = SB.create ~n_cores:1 in
+  Alcotest.(check bool) "sole core passes" true (SB.barrier_arrive sb ~core:0)
+
+let test_assert_no_locks () =
+  let sb = SB.create ~n_cores:2 in
+  SB.assert_no_locks sb ~core:0;
+  ignore (SB.try_lock_scan sb ~core:0);
+  Alcotest.check_raises "holds scan" (Failure "core still holds scan lock")
+    (fun () -> SB.assert_no_locks sb ~core:0)
+
+let test_bad_core_index () =
+  let sb = SB.create ~n_cores:2 in
+  Alcotest.check_raises "core out of range"
+    (Invalid_argument "Sync_block: bad core index") (fun () ->
+      ignore (SB.try_lock_scan sb ~core:5))
+
+let suite =
+  [
+    Alcotest.test_case "scan/free registers" `Quick test_scan_free_registers;
+    Alcotest.test_case "scan lock exclusion" `Quick test_scan_lock_exclusion;
+    Alcotest.test_case "advance requires lock" `Quick test_advance_scan_requires_lock;
+    Alcotest.test_case "free lock and claim" `Quick test_free_lock_and_claim;
+    Alcotest.test_case "lock re-entry rejected" `Quick test_lock_reentry_rejected;
+    Alcotest.test_case "lock order enforced" `Quick test_lock_order_enforced;
+    Alcotest.test_case "header lock conflict" `Quick test_header_lock_conflict;
+    Alcotest.test_case "one header lock per core" `Quick test_header_lock_one_per_core;
+    Alcotest.test_case "null header rejected" `Quick test_header_lock_null_rejected;
+    Alcotest.test_case "busy bits" `Quick test_busy_bits;
+    Alcotest.test_case "barrier all arrive" `Quick test_barrier_all_arrive;
+    Alcotest.test_case "barrier reusable" `Quick test_barrier_reusable;
+    Alcotest.test_case "barrier early re-arrival" `Quick test_barrier_early_rearrival;
+    Alcotest.test_case "single-core barrier" `Quick test_single_core_barrier;
+    Alcotest.test_case "assert_no_locks" `Quick test_assert_no_locks;
+    Alcotest.test_case "bad core index" `Quick test_bad_core_index;
+  ]

@@ -1,0 +1,81 @@
+(* Tests for ASCII table and chart rendering. *)
+
+module Table = Hsgc_util.Table
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_render_basic () =
+  let s =
+    Table.render ~header:[ "name"; "value" ]
+      ~rows:[ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  Alcotest.(check bool) "has header" true (contains ~sub:"name" s);
+  Alcotest.(check bool) "has rule" true (contains ~sub:"---" s);
+  Alcotest.(check bool) "has row" true (contains ~sub:"alpha" s);
+  (* every line has equal arity content; rows end with newline *)
+  Alcotest.(check bool) "ends with newline" true (s.[String.length s - 1] = '\n')
+
+let test_render_alignment () =
+  let s =
+    Table.render ~header:[ "w"; "n" ] ~rows:[ [ "a"; "5" ]; [ "bb"; "123" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  let widths = List.filter_map (fun l -> if l = "" then None else Some (String.length l)) lines in
+  match widths with
+  | w :: rest ->
+    List.iter (fun w' -> Alcotest.(check int) "equal line width" w w') rest
+  | [] -> Alcotest.fail "no output"
+
+let test_pct () =
+  Alcotest.(check string) "pct" "98.58 %" (Table.pct 0.9858);
+  Alcotest.(check string) "zero" "0.00 %" (Table.pct 0.0);
+  Alcotest.(check string) "one" "100.00 %" (Table.pct 1.0)
+
+let test_fixed () =
+  Alcotest.(check string) "fixed 2" "3.14" (Table.fixed 2 3.14159);
+  Alcotest.(check string) "fixed 0" "3" (Table.fixed 0 3.14159)
+
+let test_count_with_pct () =
+  Alcotest.(check string) "cell" "75023 (1.58 %)"
+    (Table.count_with_pct ~total:4735060 75023);
+  Alcotest.(check string) "zero total" "5 (0.00 %)"
+    (Table.count_with_pct ~total:0 5)
+
+let test_chart_renders () =
+  let s =
+    Table.Chart.render ~title:"T" ~x_label:"x" ~y_label:"y"
+      [
+        { Table.Chart.label = "a"; points = [ (1.0, 1.0); (2.0, 2.0) ] };
+        { Table.Chart.label = "b"; points = [ (1.0, 2.0); (2.0, 1.0) ] };
+      ]
+  in
+  Alcotest.(check bool) "title" true (contains ~sub:"T" s);
+  Alcotest.(check bool) "legend a" true (contains ~sub:"*=a" s);
+  Alcotest.(check bool) "legend b" true (contains ~sub:"+=b" s);
+  Alcotest.(check bool) "axis" true (contains ~sub:"+--" s)
+
+let test_chart_empty () =
+  let s = Table.Chart.render ~title:"E" ~x_label:"x" ~y_label:"y" [] in
+  Alcotest.(check bool) "no data notice" true (contains ~sub:"no data" s)
+
+let test_chart_single_point () =
+  let s =
+    Table.Chart.render ~title:"S" ~x_label:"x" ~y_label:"y"
+      [ { Table.Chart.label = "p"; points = [ (1.0, 5.0) ] } ]
+  in
+  Alcotest.(check bool) "mark plotted" true (contains ~sub:"*" s)
+
+let suite =
+  [
+    Alcotest.test_case "render basic" `Quick test_render_basic;
+    Alcotest.test_case "render alignment" `Quick test_render_alignment;
+    Alcotest.test_case "pct format" `Quick test_pct;
+    Alcotest.test_case "fixed format" `Quick test_fixed;
+    Alcotest.test_case "count_with_pct" `Quick test_count_with_pct;
+    Alcotest.test_case "chart renders" `Quick test_chart_renders;
+    Alcotest.test_case "chart empty" `Quick test_chart_empty;
+    Alcotest.test_case "chart single point" `Quick test_chart_single_point;
+  ]

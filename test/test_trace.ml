@@ -1,0 +1,110 @@
+(* Tests for the signal-trace module and its coprocessor hook. *)
+
+module Trace = Hsgc_coproc.Trace
+module Coprocessor = Hsgc_coproc.Coprocessor
+module Workloads = Hsgc_objgraph.Workloads
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_interval_sampling () =
+  let t = Trace.create ~interval:10 () in
+  for cycle = 0 to 99 do
+    Trace.record t ~cycle ~scan:cycle ~free:(cycle + 5) ~fifo_depth:1
+      ~activity:".."
+  done;
+  Alcotest.(check int) "one sample per interval" 10 (Trace.length t);
+  match Trace.samples t with
+  | first :: _ ->
+    Alcotest.(check int) "first at cycle 0" 0 first.Trace.cycle;
+    Alcotest.(check int) "backlog computed" 5 first.Trace.backlog_words
+  | [] -> Alcotest.fail "no samples"
+
+let test_due () =
+  let t = Trace.create ~interval:10 () in
+  Alcotest.(check bool) "due at 0" true (Trace.due t ~cycle:0);
+  Trace.record t ~cycle:0 ~scan:0 ~free:0 ~fifo_depth:0 ~activity:".";
+  Alcotest.(check bool) "not due at 5" false (Trace.due t ~cycle:5);
+  Alcotest.(check bool) "due at 10" true (Trace.due t ~cycle:10)
+
+let test_capacity_thinning () =
+  let t = Trace.create ~interval:1 ~capacity:16 () in
+  for cycle = 0 to 999 do
+    Trace.record t ~cycle ~scan:0 ~free:0 ~fifo_depth:0 ~activity:"."
+  done;
+  Alcotest.(check bool) "bounded" true (Trace.length t <= 16);
+  Alcotest.(check bool) "interval grew" true (Trace.interval t > 1)
+
+let test_timeline_renders () =
+  let t = Trace.create ~interval:1 () in
+  for cycle = 0 to 20 do
+    Trace.record t ~cycle ~scan:cycle ~free:(2 * cycle) ~fifo_depth:3
+      ~activity:(if cycle mod 2 = 0 then "ce" else ".k")
+  done;
+  let s = Trace.timeline ~width:10 t in
+  Alcotest.(check bool) "has backlog row" true (contains ~sub:"backlog" s);
+  Alcotest.(check bool) "has core rows" true
+    (contains ~sub:"core 0" s && contains ~sub:"core 1" s);
+  Alcotest.(check bool) "has legend" true (contains ~sub:"legend" s)
+
+let test_timeline_empty () =
+  let t = Trace.create () in
+  Alcotest.(check string) "empty notice" "(no samples)\n" (Trace.timeline t)
+
+let test_csv () =
+  let t = Trace.create ~interval:5 () in
+  Trace.record t ~cycle:0 ~scan:1 ~free:9 ~fifo_depth:2 ~activity:"cc";
+  let csv = Trace.to_csv t in
+  Alcotest.(check bool) "header" true
+    (contains ~sub:"cycle,scan,free,backlog_words,fifo_depth,core_activity" csv);
+  Alcotest.(check bool) "row" true (contains ~sub:"0,1,9,8,2,cc" csv)
+
+let test_coprocessor_hook () =
+  let heap = Workloads.build_heap ~scale:0.05 ~seed:3 Workloads.db in
+  let trace = Trace.create ~interval:8 () in
+  let stats =
+    Coprocessor.collect ~trace (Coprocessor.config ~n_cores:4 ()) heap
+  in
+  Alcotest.(check bool) "samples recorded" true (Trace.length trace > 10);
+  (match Trace.samples trace with
+  | s :: _ ->
+    Alcotest.(check int) "activity string matches core count" 4
+      (String.length s.Trace.core_activity)
+  | [] -> Alcotest.fail "no samples");
+  (* The trace must not perturb the simulation. *)
+  let heap2 = Workloads.build_heap ~scale:0.05 ~seed:3 Workloads.db in
+  let stats2 = Coprocessor.collect (Coprocessor.config ~n_cores:4 ()) heap2 in
+  Alcotest.(check int) "identical cycle count with and without trace"
+    stats2.Coprocessor.total_cycles stats.Coprocessor.total_cycles
+
+let test_linear_workload_shows_idle_cores () =
+  let heap = Workloads.build_heap ~scale:0.1 ~seed:3 Workloads.search in
+  let trace = Trace.create ~interval:4 () in
+  ignore (Coprocessor.collect ~trace (Coprocessor.config ~n_cores:8 ()) heap);
+  (* Most cores should be seeking work ('.') most of the time. *)
+  let seeking = ref 0 and total = ref 0 in
+  List.iter
+    (fun s ->
+      String.iter
+        (fun c ->
+          incr total;
+          if c = '.' then incr seeking)
+        s.Trace.core_activity)
+    (Trace.samples trace);
+  Alcotest.(check bool) "mostly idle on a chain" true
+    (float_of_int !seeking > 0.5 *. float_of_int !total)
+
+let suite =
+  [
+    Alcotest.test_case "interval sampling" `Quick test_interval_sampling;
+    Alcotest.test_case "due" `Quick test_due;
+    Alcotest.test_case "capacity thinning" `Quick test_capacity_thinning;
+    Alcotest.test_case "timeline renders" `Quick test_timeline_renders;
+    Alcotest.test_case "timeline empty" `Quick test_timeline_empty;
+    Alcotest.test_case "csv" `Quick test_csv;
+    Alcotest.test_case "coprocessor hook" `Quick test_coprocessor_hook;
+    Alcotest.test_case "idle cores visible on chain" `Quick
+      test_linear_workload_shows_idle_cores;
+  ]

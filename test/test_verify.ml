@@ -1,0 +1,161 @@
+(* Tests for snapshots and post-collection verification. *)
+
+module Heap = Hsgc_heap.Heap
+module Header = Hsgc_heap.Header
+module Semispace = Hsgc_heap.Semispace
+module Verify = Hsgc_heap.Verify
+module Cheney_seq = Hsgc_core.Cheney_seq
+
+let alloc_exn heap ~pi ~delta =
+  match Heap.alloc heap ~pi ~delta with
+  | Some a -> a
+  | None -> Alcotest.fail "allocation failed"
+
+(* Two heaps with the same abstract graph built in different allocation
+   orders. *)
+let build_pair () =
+  let build order =
+    let heap = Heap.create ~semispace_words:100 in
+    let mk (pi, delta) = alloc_exn heap ~pi ~delta in
+    match order with
+    | `Forward ->
+      let r = mk (2, 1) in
+      let a = mk (1, 0) in
+      let b = mk (0, 2) in
+      Heap.set_pointer heap r 0 a;
+      Heap.set_pointer heap r 1 b;
+      Heap.set_pointer heap a 0 b;
+      Heap.set_data heap r 0 7;
+      Heap.set_data heap b 0 8;
+      Heap.set_data heap b 1 9;
+      Heap.set_roots heap [| r |];
+      heap
+    | `Backward ->
+      let b = mk (0, 2) in
+      let a = mk (1, 0) in
+      let r = mk (2, 1) in
+      Heap.set_pointer heap r 0 a;
+      Heap.set_pointer heap r 1 b;
+      Heap.set_pointer heap a 0 b;
+      Heap.set_data heap r 0 7;
+      Heap.set_data heap b 0 8;
+      Heap.set_data heap b 1 9;
+      Heap.set_roots heap [| r |];
+      heap
+  in
+  (build `Forward, build `Backward)
+
+let test_snapshot_address_independent () =
+  let h1, h2 = build_pair () in
+  let s1 = Verify.snapshot h1 and s2 = Verify.snapshot h2 in
+  Alcotest.(check bool) "isomorphic graphs have equal snapshots" true
+    (Verify.equal_snapshot s1 s2)
+
+let test_snapshot_detects_data_change () =
+  let h1, h2 = build_pair () in
+  let s1 = Verify.snapshot h1 in
+  (* mutate one data word in h2's b object *)
+  Heap.iter_objects h2 (Heap.from_space h2) (fun o ->
+      if Heap.obj_delta h2 o = 2 then Heap.set_data h2 o 0 999);
+  let s2 = Verify.snapshot h2 in
+  Alcotest.(check bool) "data change detected" false (Verify.equal_snapshot s1 s2)
+
+let test_snapshot_detects_shape_change () =
+  let h1, h2 = build_pair () in
+  let s1 = Verify.snapshot h1 in
+  (* re-point r slot 0 at b instead of a: a becomes unreachable *)
+  Heap.iter_objects h2 (Heap.from_space h2) (fun o ->
+      if Heap.obj_pi h2 o = 2 then
+        Heap.set_pointer h2 o 0 (Heap.get_pointer h2 o 1));
+  let s2 = Verify.snapshot h2 in
+  Alcotest.(check bool) "shape change detected" false (Verify.equal_snapshot s1 s2)
+
+let test_snapshot_root_order_matters () =
+  let heap = Heap.create ~semispace_words:100 in
+  let a = alloc_exn heap ~pi:0 ~delta:0 in
+  let b = alloc_exn heap ~pi:0 ~delta:1 in
+  Heap.set_roots heap [| a; b |];
+  let s1 = Verify.snapshot heap in
+  Heap.set_roots heap [| b; a |];
+  let s2 = Verify.snapshot heap in
+  Alcotest.(check bool) "root order is part of the graph" false
+    (Verify.equal_snapshot s1 s2)
+
+let test_check_collection_ok () =
+  let h, _ = build_pair () in
+  let pre = Verify.snapshot h in
+  ignore (Cheney_seq.collect h);
+  match Verify.check_collection ~pre h with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "unexpected failure: %a" Verify.pp_failure f
+
+let expect_failure ~pre heap msg =
+  match Verify.check_collection ~pre heap with
+  | Ok () -> Alcotest.failf "expected %s failure" msg
+  | Error _ -> ()
+
+let test_check_detects_corrupted_copy () =
+  let h, _ = build_pair () in
+  let pre = Verify.snapshot h in
+  ignore (Cheney_seq.collect h);
+  (* corrupt a data word in the new space *)
+  let space = Heap.from_space h in
+  Heap.iter_objects h space (fun o ->
+      if Heap.obj_delta h o = 2 then Heap.set_data h o 1 31337);
+  expect_failure ~pre h "graph-mismatch"
+
+let test_check_detects_non_black () =
+  let h, _ = build_pair () in
+  let pre = Verify.snapshot h in
+  ignore (Cheney_seq.collect h);
+  let space = Heap.from_space h in
+  let first = space.Semispace.base in
+  Heap.set_header0 h first (Header.with_state (Heap.header0 h first) Header.Gray);
+  expect_failure ~pre h "bad-state"
+
+let test_check_detects_dangling () =
+  let h, _ = build_pair () in
+  let pre = Verify.snapshot h in
+  ignore (Cheney_seq.collect h);
+  let space = Heap.from_space h in
+  (* point some pointer slot back into the old space *)
+  Heap.iter_objects h space (fun o ->
+      if Heap.obj_pi h o = 2 then
+        Heap.set_pointer h o 0 (Heap.to_space h).Semispace.base);
+  expect_failure ~pre h "dangling-pointer"
+
+let test_check_detects_gap () =
+  let h, _ = build_pair () in
+  let pre = Verify.snapshot h in
+  ignore (Cheney_seq.collect h);
+  (* pretend more words are used than the live data *)
+  let space = Heap.from_space h in
+  space.Semispace.free <- space.Semispace.free + 2;
+  expect_failure ~pre h "not-compacted"
+
+let test_empty_heap_snapshot () =
+  let h = Heap.create ~semispace_words:50 in
+  let s = Verify.snapshot h in
+  Alcotest.(check int) "no objects" 0 (Array.length s.Verify.objects);
+  let pre = s in
+  ignore (Cheney_seq.collect h);
+  match Verify.check_collection ~pre h with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "empty heap should verify: %a" Verify.pp_failure f
+
+let suite =
+  [
+    Alcotest.test_case "snapshot address independent" `Quick
+      test_snapshot_address_independent;
+    Alcotest.test_case "snapshot detects data change" `Quick
+      test_snapshot_detects_data_change;
+    Alcotest.test_case "snapshot detects shape change" `Quick
+      test_snapshot_detects_shape_change;
+    Alcotest.test_case "snapshot root order" `Quick test_snapshot_root_order_matters;
+    Alcotest.test_case "check_collection ok" `Quick test_check_collection_ok;
+    Alcotest.test_case "detects corrupted copy" `Quick test_check_detects_corrupted_copy;
+    Alcotest.test_case "detects non-black object" `Quick test_check_detects_non_black;
+    Alcotest.test_case "detects dangling pointer" `Quick test_check_detects_dangling;
+    Alcotest.test_case "detects compaction gap" `Quick test_check_detects_gap;
+    Alcotest.test_case "empty heap" `Quick test_empty_heap_snapshot;
+  ]

@@ -1,0 +1,110 @@
+(* Tests for the eight named workloads. *)
+
+module Workloads = Hsgc_objgraph.Workloads
+module Plan = Hsgc_objgraph.Plan
+module Heap = Hsgc_heap.Heap
+module Verify = Hsgc_heap.Verify
+module Cheney_seq = Hsgc_core.Cheney_seq
+
+let test_names_unique () =
+  let names = List.map (fun w -> w.Workloads.name) Workloads.all in
+  let sorted = List.sort_uniq compare names in
+  Alcotest.(check int) "eight distinct workloads" 8 (List.length sorted)
+
+let test_find () =
+  Alcotest.(check bool) "db found" true (Workloads.find "db" <> None);
+  Alcotest.(check bool) "unknown rejected" true (Workloads.find "nope" = None);
+  match Workloads.find "javac" with
+  | Some w -> Alcotest.(check string) "name" "javac" w.Workloads.name
+  | None -> Alcotest.fail "javac missing"
+
+let test_all_build_and_collect () =
+  List.iter
+    (fun w ->
+      let plan = w.Workloads.build ~scale:0.02 ~seed:11 in
+      Alcotest.(check bool)
+        (w.Workloads.name ^ " has objects")
+        true
+        (Plan.n_objects plan > 0);
+      Alcotest.(check bool)
+        (w.Workloads.name ^ " has roots")
+        true
+        (Plan.n_roots plan > 0);
+      Alcotest.(check bool)
+        (w.Workloads.name ^ " live <= total")
+        true
+        (Plan.live_words plan <= Plan.size_words plan);
+      (* every workload includes garbage *)
+      Alcotest.(check bool)
+        (w.Workloads.name ^ " has garbage")
+        true
+        (Plan.live_words plan < Plan.size_words plan);
+      let heap = Plan.materialize plan in
+      let pre = Verify.snapshot heap in
+      ignore (Cheney_seq.collect heap);
+      match Verify.check_collection ~pre heap with
+      | Ok () -> ()
+      | Error f ->
+        Alcotest.failf "%s: %a" w.Workloads.name Verify.pp_failure f)
+    Workloads.all
+
+let test_deterministic_in_seed () =
+  let snap seed =
+    let heap = Workloads.build_heap ~scale:0.02 ~seed Workloads.javacc in
+    Verify.snapshot heap
+  in
+  Alcotest.(check bool) "same seed same graph" true
+    (Verify.equal_snapshot (snap 5) (snap 5));
+  Alcotest.(check bool) "different seed different graph" false
+    (Verify.equal_snapshot (snap 5) (snap 6))
+
+let test_scale_grows () =
+  let objs scale =
+    Plan.n_objects (Workloads.db.Workloads.build ~scale ~seed:1)
+  in
+  Alcotest.(check bool) "scale 0.2 > scale 0.05" true (objs 0.2 > objs 0.05)
+
+let test_shapes () =
+  (* Structural signatures that drive the paper's per-benchmark behavior. *)
+  let plan name =
+    (Option.get (Workloads.find name)).Workloads.build ~scale:0.05 ~seed:7
+  in
+  (* search: live graph is a pure chain — max pi of live objects is 1 *)
+  let p = plan "search" in
+  let max_live_pi = ref 0 in
+  let seen = Array.make (Plan.n_objects p) false in
+  let rec visit id =
+    if id >= 0 && not seen.(id) then begin
+      seen.(id) <- true;
+      max_live_pi := max !max_live_pi (Plan.pi_of p id);
+      for s = 0 to Plan.pi_of p id - 1 do
+        visit (Plan.child_of p id s)
+      done
+    end
+  in
+  Array.iter visit (Plan.roots p);
+  Alcotest.(check int) "search live graph is linear" 1 !max_live_pi;
+  (* compress: contains a handful of large arrays *)
+  let p = plan "compress" in
+  let big = ref 0 in
+  Plan.iter_objects p (fun id -> if Plan.delta_of p id > 50 then incr big);
+  Alcotest.(check bool) "compress has large arrays" true (!big >= 3);
+  (* cup: three-ish layers, tens of thousands of leaves at full scale;
+     at scale 0.05 still wide *)
+  let p = plan "cup" in
+  Alcotest.(check bool) "cup is wide" true (Plan.n_objects p > 2000)
+
+let test_build_heap_defaults () =
+  let heap = Workloads.build_heap ~scale:0.02 Workloads.jlisp in
+  Alcotest.(check bool) "heap populated" true (Heap.root_count heap > 0)
+
+let suite =
+  [
+    Alcotest.test_case "names unique" `Quick test_names_unique;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "all build and collect" `Slow test_all_build_and_collect;
+    Alcotest.test_case "deterministic in seed" `Quick test_deterministic_in_seed;
+    Alcotest.test_case "scale grows" `Quick test_scale_grows;
+    Alcotest.test_case "shape signatures" `Quick test_shapes;
+    Alcotest.test_case "build_heap defaults" `Quick test_build_heap_defaults;
+  ]
