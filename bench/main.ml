@@ -34,6 +34,13 @@ let scale =
   | Some s -> (try float_of_string s with Failure _ -> 1.0)
   | None -> 1.0
 
+(* HSGC_JOBS=4 distributes sweep points over that many domains; every
+   artifact is byte-identical at any value. *)
+let jobs =
+  match Sys.getenv_opt "HSGC_JOBS" with
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> 1)
+  | None -> 1
+
 let rule title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 72 '=') title (String.make 72 '=')
 
@@ -45,13 +52,14 @@ let paper_artifacts () =
   rule
     (Printf.sprintf
        "Reproduction of Horvath & Meyer, ICPP 2010 (workload scale %.2f)" scale);
-  let base = Report.run_sweeps ~scale () in
+  let base = Report.run_sweeps ~scale ~jobs () in
   print_endline (Report.figure5 base);
   print_endline (Report.table1 base);
   print_endline (Report.table2 base);
   print_endline (Report.fifo_summary base);
+  print_endline (Report.kernel_summary base);
   let slow =
-    Report.run_sweeps ~scale
+    Report.run_sweeps ~scale ~jobs
       ~mem:(Memsys.with_extra_latency Memsys.default_config 20)
       ()
   in
@@ -134,6 +142,12 @@ let fig5_kernel () =
   let heap = Workloads.build_heap ~scale:bench_scale ~seed:42 Workloads.db in
   Coprocessor.collect (Coprocessor.config ~n_cores:8 ()) heap
 
+let fig5_kernel_noskip () =
+  (* same point with idle-cycle skipping disabled: the pair tracks the
+     simulation kernel's own win across revisions *)
+  let heap = Workloads.build_heap ~scale:bench_scale ~seed:42 Workloads.db in
+  Coprocessor.collect (Coprocessor.config ~skip:false ~n_cores:8 ()) heap
+
 let table1_kernel () =
   (* the kernel behind Table I: an empty-worklist-bound workload *)
   let heap = Workloads.build_heap ~scale:bench_scale ~seed:42 Workloads.search in
@@ -180,6 +194,7 @@ let tests =
   Test.make_grouped ~name:"hsgc"
     [
       Test.make ~name:"fig5_scaling" (Staged.stage fig5_kernel);
+      Test.make ~name:"fig5_scaling_noskip" (Staged.stage fig5_kernel_noskip);
       Test.make ~name:"table1_empty_worklist" (Staged.stage table1_kernel);
       Test.make ~name:"table2_stalls" (Staged.stage table2_kernel);
       Test.make ~name:"fig6_latency_scaling" (Staged.stage fig6_kernel);

@@ -95,9 +95,33 @@ let mem_config extra_latency fifo bandwidth header_cache =
 
 let scan_unit_opt n = if n <= 0 then None else Some n
 
+let no_skip_arg =
+  Arg.(
+    value & flag
+    & info [ "no-skip" ]
+        ~doc:
+          "Disable the kernel's idle-cycle skipping (statistics are \
+           identical either way; only wall time changes).")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "Run sweep points on this many domains in parallel. Output is \
+           identical at any value.")
+
 let print_stats (stats : Coprocessor.gc_stats) =
   let total = stats.Coprocessor.total_cycles in
   Printf.printf "total cycles        %d\n" total;
+  Printf.printf "kernel              executed=%d skipped=%d (%s of total)\n"
+    stats.Coprocessor.executed_cycles stats.Coprocessor.skipped_cycles
+    (Table.pct
+       (float_of_int stats.Coprocessor.skipped_cycles /. float_of_int total));
+  if stats.Coprocessor.wall_seconds > 0.0 then
+    Printf.printf "kernel throughput   %.2f Mcycles/s (%.4f s wall)\n"
+      (float_of_int total /. stats.Coprocessor.wall_seconds /. 1e6)
+      stats.Coprocessor.wall_seconds;
   Printf.printf "root phase cycles   %d\n" stats.Coprocessor.root_cycles;
   Printf.printf "worklist empty      %s\n"
     (Table.pct
@@ -133,13 +157,15 @@ let list_cmd =
 
 let run_cmd =
   let run workload n_cores scale seed extra_latency fifo bandwidth header_cache
-      scan_unit verify =
+      scan_unit verify no_skip =
     let mem = mem_config extra_latency fifo bandwidth header_cache in
     let heap = Workloads.build_heap ~scale ~seed workload in
     let pre = if verify then Some (Verify.snapshot heap) else None in
     let stats =
       Coprocessor.collect
-        (Coprocessor.config ~mem ?scan_unit:(scan_unit_opt scan_unit) ~n_cores ())
+        (Coprocessor.config ~mem
+           ?scan_unit:(scan_unit_opt scan_unit)
+           ~skip:(not no_skip) ~n_cores ())
         heap
     in
     Printf.printf "workload %s, %d cores\n" workload.Workloads.name n_cores;
@@ -159,13 +185,15 @@ let run_cmd =
     (Cmd.info "run" ~doc:"run one collection and print full statistics")
     Term.(
       const run $ workload_arg $ cores_arg $ scale_arg $ seed_arg $ latency_arg
-      $ fifo_arg $ bandwidth_arg $ header_cache_arg $ scan_unit_arg $ verify_arg)
+      $ fifo_arg $ bandwidth_arg $ header_cache_arg $ scan_unit_arg $ verify_arg
+      $ no_skip_arg)
 
 let sweep_cmd =
-  let run workload scale seed extra_latency fifo bandwidth header_cache verify =
+  let run workload scale seed extra_latency fifo bandwidth header_cache verify
+      jobs =
     let mem = mem_config extra_latency fifo bandwidth header_cache in
     let points =
-      Experiment.sweep ~verify ~scale ~seeds:[| seed |] ~mem workload
+      Experiment.sweep ~verify ~scale ~seeds:[| seed |] ~mem ~jobs workload
     in
     let rows =
       List.map2
@@ -186,7 +214,7 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"sweep core counts and report speedups")
     Term.(
       const run $ workload_arg $ scale_arg $ seed_arg $ latency_arg $ fifo_arg
-      $ bandwidth_arg $ header_cache_arg $ verify_arg)
+      $ bandwidth_arg $ header_cache_arg $ verify_arg $ jobs_arg)
 
 let cycles_cmd =
   let run workload n_cores scale seed gcs churn verify =

@@ -4,6 +4,8 @@
      repro                 — everything at the default scale
      repro fig5|table1|table2|fig6|fifo
      repro --scale 0.3 --seeds 3 fig5
+     repro --jobs 4 all    — sweep points distributed over 4 domains
+     repro kernel          — simulation-kernel benchmark (BENCH_kernel.json)
 *)
 
 module Report = Hsgc_core.Report
@@ -21,6 +23,7 @@ type artifact =
   | Baselines
   | Future_work
   | Concurrent
+  | Kernel
   | All
 
 let artifact_of_string = function
@@ -33,6 +36,7 @@ let artifact_of_string = function
   | "baselines" | "e5" -> Ok Baselines
   | "future-work" | "e7" -> Ok Future_work
   | "concurrent" | "e8" -> Ok Concurrent
+  | "kernel" -> Ok Kernel
   | "all" -> Ok All
   | s -> Error (`Msg (Printf.sprintf "unknown artifact %S" s))
 
@@ -51,16 +55,153 @@ let artifact_conv =
           | Baselines -> "baselines"
           | Future_work -> "future-work"
           | Concurrent -> "concurrent"
+          | Kernel -> "kernel"
           | All -> "all") )
 
-let run artifact scale seeds verify =
+let sum_cycles data =
+  List.fold_left
+    (fun acc (_, points) ->
+      List.fold_left (fun a p -> a +. p.Experiment.cycles) acc points)
+    0.0 data
+
+let sum_skipped data =
+  List.fold_left
+    (fun acc (_, points) ->
+      List.fold_left (fun a p -> a +. p.Experiment.skipped_cycles) acc points)
+    0.0 data
+
+(* The kernel benchmark: time the full Figure-5 sweep three ways — naive
+   stepping, idle-cycle skipping, skipping plus domain-parallel sweep
+   points — check the rendered artifacts are byte-identical, and record
+   the wall times in a small JSON file for tracking. A fourth and fifth
+   leg repeat naive vs skip on the latency-bound Figure-6 memory (+20
+   cycles), where idle-cycle skipping is at its strongest. *)
+let run_kernel ~scale ~seeds ~verify ~jobs ~bench_out =
+  (* Never oversubscribe: on a single-CPU host extra domains only add
+     scheduling noise, so the parallel leg degenerates to jobs = 1. *)
+  let par_jobs =
+    if jobs > 1 then jobs
+    else max 1 (min 4 (Domain.recommended_domain_count ()))
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  Printf.printf "kernel benchmark: fig5 sweep at scale %g, %d seed(s)\n%!" scale
+    (Array.length seeds);
+  let naive, naive_wall =
+    timed (fun () -> Report.run_sweeps ~verify ~scale ~seeds ~skip:false ~jobs:1 ())
+  in
+  Printf.printf "  naive stepping        : %8.3f s\n%!" naive_wall;
+  let skip, skip_wall =
+    timed (fun () -> Report.run_sweeps ~verify ~scale ~seeds ~skip:true ~jobs:1 ())
+  in
+  Printf.printf "  idle-cycle skipping   : %8.3f s\n%!" skip_wall;
+  let par, par_wall =
+    timed (fun () ->
+        Report.run_sweeps ~verify ~scale ~seeds ~skip:true ~jobs:par_jobs ())
+  in
+  Printf.printf "  skipping + %d domains  : %8.3f s\n\n%!" par_jobs par_wall;
+  (* End-to-end equivalence and determinism: every rendered artifact must
+     be byte-identical across the three runs (wall-clock observability is
+     deliberately not part of these artifacts). *)
+  let render d = Report.figure5 d ^ Report.table1 d ^ Report.table2 d in
+  let r_naive = render naive and r_skip = render skip and r_par = render par in
+  if r_naive <> r_skip then begin
+    prerr_endline "FAIL: skip-ahead results differ from naive stepping";
+    exit 1
+  end;
+  if r_skip <> r_par then begin
+    prerr_endline "FAIL: parallel sweep results differ from sequential";
+    exit 1
+  end;
+  print_endline "artifact equivalence: naive = skip = parallel (byte-identical)";
+  print_newline ();
+  print_endline (Report.kernel_summary par);
+  (* Latency-bound legs: the Figure-6 memory adds 20 cycles to every
+     transfer, so cores sleep in long stretches and the skip win is an
+     order larger than on the default memory. *)
+  let lat_mem = Memsys.with_extra_latency Memsys.default_config 20 in
+  let lat_naive, lat_naive_wall =
+    timed (fun () ->
+        Report.run_sweeps ~verify ~scale ~seeds ~mem:lat_mem ~skip:false ~jobs:1
+          ())
+  in
+  Printf.printf "  latency-bound naive   : %8.3f s\n%!" lat_naive_wall;
+  let lat_skip, lat_skip_wall =
+    timed (fun () ->
+        Report.run_sweeps ~verify ~scale ~seeds ~mem:lat_mem ~skip:true ~jobs:1
+          ())
+  in
+  Printf.printf "  latency-bound skipping: %8.3f s\n%!" lat_skip_wall;
+  if render lat_naive <> render lat_skip then begin
+    prerr_endline "FAIL: skip-ahead results differ from naive (latency-bound)";
+    exit 1
+  end;
+  print_endline
+    "artifact equivalence (latency-bound): naive = skip (byte-identical)";
+  print_newline ();
+  print_endline (Report.kernel_summary lat_skip);
+  let cycles = sum_cycles skip and skipped = sum_skipped skip in
+  let lat_cycles = sum_cycles lat_skip and lat_skipped = sum_skipped lat_skip in
+  let rate wall = if wall > 0.0 then cycles /. wall /. 1e6 else 0.0 in
+  let oc = open_out bench_out in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "hsgc simulation kernel (fig5 sweep)",
+  "scale": %g,
+  "seeds": %d,
+  "jobs": %d,
+  "sim_cycles": %.0f,
+  "skipped_cycles": %.0f,
+  "skipped_frac": %.4f,
+  "naive_wall_s": %.4f,
+  "skip_wall_s": %.4f,
+  "par_wall_s": %.4f,
+  "skip_speedup": %.2f,
+  "total_speedup": %.2f,
+  "naive_mcycles_per_s": %.2f,
+  "skip_mcycles_per_s": %.2f,
+  "par_mcycles_per_s": %.2f,
+  "latency_bound": {
+    "extra_latency": 20,
+    "sim_cycles": %.0f,
+    "skipped_cycles": %.0f,
+    "skipped_frac": %.4f,
+    "naive_wall_s": %.4f,
+    "skip_wall_s": %.4f,
+    "skip_speedup": %.2f
+  }
+}
+|}
+    scale (Array.length seeds) par_jobs cycles skipped
+    (if cycles > 0.0 then skipped /. cycles else 0.0)
+    naive_wall skip_wall par_wall
+    (naive_wall /. Float.max 1e-9 skip_wall)
+    (naive_wall /. Float.max 1e-9 par_wall)
+    (rate naive_wall) (rate skip_wall) (rate par_wall) lat_cycles lat_skipped
+    (if lat_cycles > 0.0 then lat_skipped /. lat_cycles else 0.0)
+    lat_naive_wall lat_skip_wall
+    (lat_naive_wall /. Float.max 1e-9 lat_skip_wall);
+  close_out oc;
+  Printf.printf
+    "speedup vs naive: skipping %.2fx, skipping+domains %.2fx, \
+     latency-bound skipping %.2fx\n"
+    (naive_wall /. Float.max 1e-9 skip_wall)
+    (naive_wall /. Float.max 1e-9 par_wall)
+    (lat_naive_wall /. Float.max 1e-9 lat_skip_wall);
+  Printf.printf "wrote %s\n" bench_out
+
+let run artifact scale seeds verify jobs quick bench_out =
+  let scale = if quick then scale *. 0.05 else scale in
   let seeds = Array.init seeds (fun i -> 42 + (1000 * i)) in
   let base_sweep =
-    lazy (Report.run_sweeps ~verify ~scale ~seeds ())
+    lazy (Report.run_sweeps ~verify ~scale ~seeds ~jobs ())
   in
   let latency_sweep =
     lazy
-      (Report.run_sweeps ~verify ~scale ~seeds
+      (Report.run_sweeps ~verify ~scale ~seeds ~jobs
          ~mem:(Memsys.with_extra_latency Memsys.default_config 20)
          ())
   in
@@ -74,6 +215,7 @@ let run artifact scale seeds verify =
     | Baselines -> print_endline (Report.baselines ~scale:(0.2 *. scale) ())
     | Future_work -> print_endline (Report.future_work ~scale ())
     | Concurrent -> print_endline (Report.concurrent_pauses ~scale:(0.5 *. scale) ())
+    | Kernel -> run_kernel ~scale ~seeds ~verify ~jobs ~bench_out
     | All -> assert false
   in
   (match artifact with
@@ -104,9 +246,29 @@ let cmd =
       & info [ "verify" ]
           ~doc:"Check graph isomorphism after every collection (slower).")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Run sweep points on this many domains in parallel. Output is \
+             byte-identical at any value.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Shrink workloads 20x (smoke-test scale).")
+  in
+  let bench_out =
+    Arg.(
+      value
+      & opt string "BENCH_kernel.json"
+      & info [ "bench-out" ]
+          ~doc:"Where the kernel benchmark writes its JSON record.")
+  in
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "repro" ~doc)
-    Term.(const run $ artifact $ scale $ seeds $ verify)
+    Term.(const run $ artifact $ scale $ seeds $ verify $ jobs $ quick $ bench_out)
 
 let () = exit (Cmd.eval' cmd)

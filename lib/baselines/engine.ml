@@ -39,54 +39,9 @@ type result = {
   objects : int;
 }
 
-(* Minimal binary min-heap of (time, task). *)
-module Heap_q = struct
-  type t = { mutable a : (int * int) array; mutable n : int }
-
-  let create () = { a = Array.make 64 (0, 0); n = 0 }
-  let size h = h.n
-
-  let push h x =
-    if h.n = Array.length h.a then begin
-      let bigger = Array.make (2 * h.n) (0, 0) in
-      Array.blit h.a 0 bigger 0 h.n;
-      h.a <- bigger
-    end;
-    h.a.(h.n) <- x;
-    h.n <- h.n + 1;
-    let i = ref (h.n - 1) in
-    while !i > 0 && fst h.a.((!i - 1) / 2) > fst h.a.(!i) do
-      let p = (!i - 1) / 2 in
-      let tmp = h.a.(p) in
-      h.a.(p) <- h.a.(!i);
-      h.a.(!i) <- tmp;
-      i := p
-    done
-
-  let min_time h = if h.n = 0 then None else Some (fst h.a.(0))
-
-  let pop h =
-    if h.n = 0 then invalid_arg "Heap_q.pop";
-    let top = h.a.(0) in
-    h.n <- h.n - 1;
-    h.a.(0) <- h.a.(h.n);
-    let i = ref 0 in
-    let continue = ref true in
-    while !continue do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let smallest = ref !i in
-      if l < h.n && fst h.a.(l) < fst h.a.(!smallest) then smallest := l;
-      if r < h.n && fst h.a.(r) < fst h.a.(!smallest) then smallest := r;
-      if !smallest = !i then continue := false
-      else begin
-        let tmp = h.a.(!i) in
-        h.a.(!i) <- h.a.(!smallest);
-        h.a.(!smallest) <- tmp;
-        i := !smallest
-      end
-    done;
-    top
-end
+(* Task availability is tracked on the simulation kernel's event wheel:
+   a time-keyed priority queue shared with the cycle-stepped engines. *)
+module Wheel = Hsgc_sim.Wheel
 
 (* Per-scheme knobs derived from the cost model. *)
 type distribution =
@@ -191,7 +146,7 @@ let simulate ?(costs = Cost_model.default) ~plan ~workers scheme =
   let n = Plan.n_objects plan in
   let claimed = Array.make (max n 1) false in
   let remaining = ref 0 in
-  let pool = Heap_q.create () in
+  let pool = Wheel.create () in
   let pool_free = ref 0 in
   let pool_ops = ref 0 in
   let steals = ref 0 in
@@ -209,7 +164,7 @@ let simulate ?(costs = Cost_model.default) ~plan ~workers scheme =
         })
   in
   let victim_free = Array.make workers 0 in
-  let inboxes = Array.init workers (fun _ -> Heap_q.create ()) in
+  let inboxes = Array.init workers (fun _ -> Wheel.create ()) in
   let push_rr = ref 0 in
   (* Claim the roots and seed the pool (or the deques, for stealing). *)
   let seed = ref 0 in
@@ -225,9 +180,9 @@ let simulate ?(costs = Cost_model.default) ~plan ~workers scheme =
           w.local_n <- w.local_n + 1;
           incr seed
         | Pushing ->
-          Heap_q.push inboxes.(!seed mod workers) (0, r);
+          Wheel.push inboxes.(!seed mod workers) ~time:0 r;
           incr seed
-        | Shared_pool -> Heap_q.push pool (0, r))
+        | Shared_pool -> Wheel.push pool ~time:0 r)
       end)
     (Plan.roots plan);
   let flush_out w t =
@@ -246,7 +201,7 @@ let simulate ?(costs = Cost_model.default) ~plan ~workers scheme =
       while w.out_n > 0 && !taken < k.unit_size do
         (match w.out with
         | task :: rest ->
-          Heap_q.push pool (fin, task);
+          Wheel.push pool ~time:fin task;
           w.out <- rest;
           w.out_n <- w.out_n - 1
         | [] -> assert false);
@@ -308,11 +263,11 @@ let simulate ?(costs = Cost_model.default) ~plan ~workers scheme =
             w.sync <- w.sync + k.pool_op_cost;
             let target = !push_rr mod workers in
             incr push_rr;
-            Heap_q.push inboxes.(target) (w.clock, c))
+            Wheel.push inboxes.(target) ~time:w.clock c)
           !discovered
       | Shared_pool ->
         if k.push_free then
-          List.iter (fun c -> Heap_q.push pool (w.clock, c)) !discovered
+          List.iter (fun c -> Wheel.push pool ~time:w.clock c) !discovered
         else
           List.iter
             (fun c ->
@@ -325,7 +280,7 @@ let simulate ?(costs = Cost_model.default) ~plan ~workers scheme =
   let try_acquire_shared w =
     (* Returns true if the worker obtained at least one task. *)
     let access = max w.clock !pool_free in
-    match Heap_q.min_time pool with
+    match Wheel.min_time pool with
     | Some avail when avail <= access ->
       let start = max access avail in
       let fin = start + k.pool_op_cost in
@@ -335,9 +290,9 @@ let simulate ?(costs = Cost_model.default) ~plan ~workers scheme =
       let taken = ref 0 in
       while
         !taken < k.unit_size
-        && match Heap_q.min_time pool with Some t -> t <= start | None -> false
+        && match Wheel.min_time pool with Some t -> t <= start | None -> false
       do
-        let avail, task = Heap_q.pop pool in
+        let avail, task = Wheel.pop_exn pool in
         w.local <- (avail, task) :: w.local;
         w.local_n <- w.local_n + 1;
         incr taken
@@ -353,9 +308,9 @@ let simulate ?(costs = Cost_model.default) ~plan ~workers scheme =
   in
   let try_poll_inbox wi w =
     let inbox = inboxes.(wi) in
-    match Heap_q.min_time inbox with
+    match Wheel.min_time inbox with
     | Some avail when avail <= w.clock ->
-      let _, task = Heap_q.pop inbox in
+      let _, task = Wheel.pop_exn inbox in
       w.clock <- w.clock + k.local_cost;
       w.local <- (avail, task) :: w.local;
       w.local_n <- w.local_n + 1;
@@ -402,14 +357,14 @@ let simulate ?(costs = Cost_model.default) ~plan ~workers scheme =
   (* Main loop: schedule the earliest worker. *)
   let active i =
     let v = ws.(i) in
-    v.local_n > 0 || v.out_n > 0 || Heap_q.size inboxes.(i) > 0
+    v.local_n > 0 || v.out_n > 0 || Wheel.size inboxes.(i) > 0
   in
   while !remaining > 0 do
     (* earliest worker that can possibly act *)
     let wi = ref 0 in
     Array.iteri (fun i w -> if w.clock < ws.(!wi).clock then wi := i) ws;
     let w = ws.(!wi) in
-    if w.out_n > 0 && (w.out_n >= k.unit_size || Heap_q.size pool = 0) then
+    if w.out_n > 0 && (w.out_n >= k.unit_size || Wheel.size pool = 0) then
       w.clock <- flush_out w w.clock
     else if w.local_n > 0 then process w
     else if w.out_n > 0 then w.clock <- flush_out w w.clock
@@ -428,8 +383,8 @@ let simulate ?(costs = Cost_model.default) ~plan ~workers scheme =
         (* Nothing obtainable now. Wait for the next event: a future
            pool entry or another active worker's progress. *)
         let next = ref max_int in
-        (match Heap_q.min_time pool with Some t -> next := t | None -> ());
-        (match Heap_q.min_time inboxes.(!wi) with
+        (match Wheel.min_time pool with Some t -> next := t | None -> ());
+        (match Wheel.min_time inboxes.(!wi) with
         | Some t -> next := min !next t
         | None -> ());
         Array.iteri

@@ -162,7 +162,11 @@ let collect ?trace cfg heap =
         incr wait;
         next_op := Coprocessor.now sim + 1
     end;
-    Coprocessor.step ?trace sim
+    (* The mutator is an event the coprocessor's idle-cycle skipping
+       cannot see: cap any fast-forward at the next operation's cycle so
+       mutator operations land on exactly the same cycle numbers as under
+       naive stepping. *)
+    Coprocessor.step ?trace ~horizon:!next_op sim
   done;
   let gc = Coprocessor.finalize sim in
   (* The register file keeps its objects alive into the next cycle. *)

@@ -5,6 +5,7 @@ module SB = Hsgc_hwsync.Sync_block
 module Mem = Hsgc_memsim.Memsys
 module Port = Hsgc_memsim.Port
 module Fifo = Hsgc_memsim.Header_fifo
+module Kernel = Hsgc_sim.Kernel
 
 type config = {
   n_cores : int;
@@ -15,6 +16,9 @@ type config = {
          body exceeds [u] words is handed out in [u]-word pieces so that
          several cores can copy one large object concurrently. [None]
          (the default) is the published object-granularity design. *)
+  skip : bool;
+      (* idle-cycle skipping: fast-forward over quiescent cycles. All
+         reported statistics stay bit-identical; only wall time changes. *)
 }
 
 let default_config =
@@ -23,16 +27,20 @@ let default_config =
     mem = Mem.default_config;
     max_cycles = 2_000_000_000;
     scan_unit = None;
+    skip = true;
   }
 
-let config ?(mem = Mem.default_config) ?scan_unit ~n_cores () =
-  { default_config with n_cores; mem; scan_unit }
+let config ?(mem = Mem.default_config) ?scan_unit ?(skip = true) ~n_cores () =
+  { default_config with n_cores; mem; scan_unit; skip }
 
 exception Heap_overflow
 exception Simulation_diverged of string
 
 type gc_stats = {
   total_cycles : int;
+  executed_cycles : int;
+  skipped_cycles : int;
+  wall_seconds : float;
   root_cycles : int;
   empty_worklist_cycles : int;
   per_core : Counters.t array;
@@ -103,6 +111,12 @@ type core = {
   bl : Port.t;
   bs : Port.t;
   counters : Counters.t;
+  (* Stall latch for bulk crediting during idle-cycle skips: the cycle
+     number of the most recent stall and its category. A core whose
+     latch carries the just-executed cycle would stall identically in
+     every skipped replay of it. *)
+  mutable stall_cycle : int;
+  mutable stall_kind : Counters.stall;
 }
 
 type t = {
@@ -113,7 +127,13 @@ type t = {
   fifo : Fifo.t;
   cores : core array;
   tospace_limit : int;
-  mutable now : int;
+  clock : Kernel.t;
+  (* Transition counter shared with every memory buffer: zeroed at the
+     top of each cycle, bumped by any buffer status change and by the
+     few core transitions that touch no buffer and no shared register
+     ([mark] below). A cycle that ends with it still at zero — and with
+     scan/free unmoved — was a pure replay and is skippable. *)
+  events : int ref;
   mutable finished : bool;  (* termination detected, broadcast to all cores *)
   mutable saw_empty : bool;  (* set during the current cycle *)
   mutable parallel_phase : bool;
@@ -130,7 +150,9 @@ type t = {
 
 type sim = t
 
-let make_core id =
+let now t = Kernel.now t.clock
+
+let make_core events id =
   {
     id;
     state = (if id = 0 then Init else Start_barrier);
@@ -146,18 +168,27 @@ let make_core id =
     evac_new = 0;
     root_idx = 0;
     ret = Ret_slot;
-    hl = Port.create Port.Header_load;
-    hs = Port.create Port.Header_store;
-    bl = Port.create Port.Body_load;
-    bs = Port.create Port.Body_store;
+    hl = Port.create ~events Port.Header_load;
+    hs = Port.create ~events Port.Header_store;
+    bl = Port.create ~events Port.Body_load;
+    bs = Port.create ~events Port.Body_store;
     counters = Counters.create ();
+    stall_cycle = -1;
+    stall_kind = Counters.Scan_lock;
   }
 
 let issue_exn port mem ~now ~addr =
   if not (Port.issue port mem ~now ~addr) then
     failwith "coprocessor: issued into a busy buffer (microprogram bug)"
 
-let stall core kind = Counters.bump core.counters kind
+let stall t core kind =
+  Counters.bump core.counters kind;
+  core.stall_cycle <- Kernel.now t.clock;
+  core.stall_kind <- kind
+
+(* A core transition that touches no memory buffer and no shared
+   register still disqualifies the cycle from skipping. *)
+let mark t = incr t.events
 
 (* Write one body word into the tospace copy and advance the slot loop.
    Issues the body store and, when another slot remains, the next body
@@ -165,13 +196,13 @@ let stall core kind = Counters.bump core.counters kind
    operations per cycle). *)
 let store_and_advance t core v =
   H.write t.heap (core.obj_to + Hdr.header_words + core.slot) v;
-  issue_exn core.bs t.mem ~now:t.now ~addr:(core.obj_to + Hdr.header_words + core.slot);
+  issue_exn core.bs t.mem ~now:(now t) ~addr:(core.obj_to + Hdr.header_words + core.slot);
   core.counters.words_copied <- core.counters.words_copied + 1;
   core.slot <- core.slot + 1;
   if core.slot >= core.slot_limit then
     core.state <- (if core.whole then Blacken else Piece_done)
   else if Port.is_idle core.bl then begin
-    issue_exn core.bl t.mem ~now:t.now
+    issue_exn core.bl t.mem ~now:(now t)
       ~addr:(core.obj_from + Hdr.header_words + core.slot);
     core.state <- Body_wait
   end
@@ -250,31 +281,38 @@ let step_init t core =
   SB.set_scan t.sb base;
   SB.set_free t.sb base;
   core.root_idx <- 0;
-  core.state <- Root_next
+  core.state <- Root_next;
+  mark t
 
 let step_root_next t core =
   let roots = t.heap.H.roots in
-  if core.root_idx >= Array.length roots then core.state <- Start_barrier
+  if core.root_idx >= Array.length roots then begin
+    core.state <- Start_barrier;
+    mark t
+  end
   else begin
     let r = roots.(core.root_idx) in
-    if r = H.null then core.root_idx <- core.root_idx + 1
+    if r = H.null then begin
+      core.root_idx <- core.root_idx + 1;
+      mark t
+    end
     else begin
       (* Uncontended during the root phase, but the protocol is kept
          identical to the scanning loop. *)
-      if not (SB.try_lock_header t.sb ~core:core.id ~addr:r) then stall core Header_lock
+      if not (SB.try_lock_header t.sb ~core:core.id ~addr:r) then stall t core Header_lock
       else if Port.is_idle core.hl then begin
-        issue_exn core.hl t.mem ~now:t.now ~addr:r;
+        issue_exn core.hl t.mem ~now:(now t) ~addr:r;
         core.state <- Root_header_wait
       end
       else begin
         SB.unlock_header t.sb ~core:core.id;
-        stall core Header_load
+        stall t core Header_load
       end
     end
   end
 
 let step_root_header_wait t core =
-  if not (Port.load_ready core.hl) then stall core Header_load
+  if not (Port.load_ready core.hl) then stall t core Header_load
   else begin
     Port.consume core.hl;
     let r = t.heap.H.roots.(core.root_idx) in
@@ -301,15 +339,19 @@ let step_start_barrier t core =
   if SB.barrier_arrive t.sb ~core:core.id then begin
     if not t.parallel_phase then begin
       t.parallel_phase <- true;
-      t.parallel_start <- t.now
+      t.parallel_start <- now t
     end;
-    core.state <- Try_lock_scan
+    core.state <- Try_lock_scan;
+    mark t
   end
 
 let step_try_lock_scan t core =
-  if t.finished then core.state <- Flush
+  if t.finished then begin
+    core.state <- Flush;
+    mark t
+  end
   else if not (SB.try_lock_scan t.sb ~core:core.id) then begin
-    stall core Scan_lock;
+    stall t core Scan_lock;
     if SB.scan t.sb = SB.free t.sb then t.saw_empty <- true
   end
   else if SB.scan t.sb = SB.free t.sb then begin
@@ -320,16 +362,20 @@ let step_try_lock_scan t core =
     if SB.none_busy_except t.sb ~core:core.id then begin
       t.finished <- true;
       SB.unlock_scan t.sb ~core:core.id;
-      core.state <- Flush
+      core.state <- Flush;
+      mark t
     end
-    else SB.unlock_scan t.sb ~core:core.id
+    else
+      (* The probe failed: the lock is released with nothing changed, so
+         the cycle replays identically — deliberately no [mark]. *)
+      SB.unlock_scan t.sb ~core:core.id
   end
   else if t.cur_frame <> 0 then begin_piece t core
   else begin
     let frame = SB.scan t.sb in
     if Fifo.try_pop t.fifo frame then begin_object t core ~frame
     else begin
-      issue_exn core.hl t.mem ~now:t.now ~addr:frame;
+      issue_exn core.hl t.mem ~now:(now t) ~addr:frame;
       core.state <- Scan_header_wait
     end
   end
@@ -339,18 +385,18 @@ let step_scan_header_wait t core =
     Port.consume core.hl;
     begin_object t core ~frame:(SB.scan t.sb)
   end
-  else stall core Header_load
+  else stall t core Header_load
 
 let step_body_issue_load t core =
   if Port.is_idle core.bl then begin
-    issue_exn core.bl t.mem ~now:t.now
+    issue_exn core.bl t.mem ~now:(now t)
       ~addr:(core.obj_from + Hdr.header_words + core.slot);
     core.state <- Body_wait
   end
-  else stall core Body_load
+  else stall t core Body_load
 
 let step_body_wait t core =
-  if not (Port.load_ready core.bl) then stall core Body_load
+  if not (Port.load_ready core.bl) then stall t core Body_load
   else begin
     let v = H.read t.heap (core.obj_from + Hdr.header_words + core.slot) in
     if core.slot < Hdr.pi core.h0 && v <> H.null then begin
@@ -364,21 +410,21 @@ let step_body_wait t core =
       Port.consume core.bl;
       store_and_advance t core v
     end
-    else stall core Body_store
+    else stall t core Body_store
   end
 
 let step_lock_child t core =
   if not (SB.try_lock_header t.sb ~core:core.id ~addr:core.child) then
-    stall core Header_lock
+    stall t core Header_lock
   else begin
     (* Acquisition is free in the uncontended case: the header load is
        initiated in the same cycle. *)
-    issue_exn core.hl t.mem ~now:t.now ~addr:core.child;
+    issue_exn core.hl t.mem ~now:(now t) ~addr:core.child;
     core.state <- Child_header_wait
   end
 
 let step_child_header_wait t core =
-  if not (Port.load_ready core.hl) then stall core Header_load
+  if not (Port.load_ready core.hl) then stall t core Header_load
   else begin
     Port.consume core.hl;
     let w0 = H.header0 t.heap core.child in
@@ -397,7 +443,7 @@ let step_child_header_wait t core =
   end
 
 let step_lock_free t core =
-  if not (SB.try_lock_free t.sb ~core:core.id) then stall core Free_lock
+  if not (SB.try_lock_free t.sb ~core:core.id) then stall t core Free_lock
   else begin
     (* One-cycle critical section: the lock only guards the read-increment
        of the free register. The header stores happen outside it; the
@@ -424,22 +470,22 @@ let step_lock_free t core =
   end
 
 let step_evac_store_fwd t core =
-  if not (Port.is_idle core.hs) then stall core Header_store
+  if not (Port.is_idle core.hs) then stall t core Header_store
   else begin
     (* Gray the fromspace original: mark + forwarding pointer. *)
     H.set_header0 t.heap core.child (Hdr.with_state core.child_h0 Gray);
     H.set_header1 t.heap core.child core.evac_new;
-    issue_exn core.hs t.mem ~now:t.now ~addr:core.child;
+    issue_exn core.hs t.mem ~now:(now t) ~addr:core.child;
     core.state <- Evac_store_gray
   end
 
 let step_evac_store_gray t core =
-  if not (Port.is_idle core.hs) then stall core Header_store
+  if not (Port.is_idle core.hs) then stall t core Header_store
   else begin
     (* Gray tospace frame store: contents were captured at claim time;
        this transaction carries the timing (and arms the comparator array
        for readers that missed the FIFO). *)
-    issue_exn core.hs t.mem ~now:t.now ~addr:core.evac_new;
+    issue_exn core.hs t.mem ~now:(now t) ~addr:core.evac_new;
     SB.unlock_header t.sb ~core:core.id;
     match core.ret with
     | Ret_slot ->
@@ -453,14 +499,14 @@ let step_evac_store_gray t core =
 
 let step_store_slot t core =
   if Port.is_idle core.bs then store_and_advance t core core.value
-  else stall core Body_store
+  else stall t core Body_store
 
 let step_piece_done t core =
   (* Retire one piece: the outstanding-piece register of the frame is
      decremented under the frame's header lock (the hardware keeps it in
      the header word); the last piece blackens the object. *)
   if not (SB.try_lock_header t.sb ~core:core.id ~addr:core.obj_to) then
-    stall core Header_lock
+    stall t core Header_lock
   else begin
     let left =
       match Hashtbl.find_opt t.pieces_left core.obj_to with
@@ -469,6 +515,7 @@ let step_piece_done t core =
     in
     decr left;
     SB.unlock_header t.sb ~core:core.id;
+    mark t;
     if !left = 0 then begin
       Hashtbl.remove t.pieces_left core.obj_to;
       core.state <- Blacken
@@ -480,26 +527,30 @@ let step_piece_done t core =
   end
 
 let step_blacken t core =
-  if not (Port.is_idle core.hs) then stall core Header_store
+  if not (Port.is_idle core.hs) then stall t core Header_store
   else begin
     H.set_header0 t.heap core.obj_to
       (Hdr.encode ~state:Black ~pi:(Hdr.pi core.h0) ~delta:(Hdr.delta core.h0));
     H.set_header1 t.heap core.obj_to 0;
-    issue_exn core.hs t.mem ~now:t.now ~addr:core.obj_to;
+    issue_exn core.hs t.mem ~now:(now t) ~addr:core.obj_to;
     SB.set_busy t.sb ~core:core.id false;
     core.state <- Try_lock_scan
   end
 
-let step_flush _t core =
+let step_flush t core =
   if
     Port.is_idle core.hl && Port.is_idle core.hs && Port.is_idle core.bl
     && Port.is_idle core.bs
-  then core.state <- End_barrier
+  then begin
+    core.state <- End_barrier;
+    mark t
+  end
 
 let step_end_barrier t core =
   if SB.barrier_arrive t.sb ~core:core.id then begin
     SB.assert_no_locks t.sb ~core:core.id;
-    core.state <- Halt
+    core.state <- Halt;
+    mark t
   end
 
 (* One-character activity code per core for the signal trace. *)
@@ -543,10 +594,10 @@ let step_core t core =
     core.counters.busy_cycles <- core.counters.busy_cycles + 1
 
 let tick_ports t core =
-  Port.tick core.hl t.mem ~now:t.now;
-  Port.tick core.hs t.mem ~now:t.now;
-  Port.tick core.bl t.mem ~now:t.now;
-  Port.tick core.bs t.mem ~now:t.now
+  Port.tick core.hl t.mem ~now:(now t);
+  Port.tick core.hs t.mem ~now:(now t);
+  Port.tick core.bl t.mem ~now:(now t);
+  Port.tick core.bs t.mem ~now:(now t)
 
 let all_halted t =
   Array.for_all (fun c -> c.state = Halt) t.cores
@@ -554,15 +605,17 @@ let all_halted t =
 let start cfg heap =
   if cfg.n_cores < 1 then invalid_arg "Coprocessor.start: n_cores must be >= 1";
   let mem = Mem.create cfg.mem in
+  let events = ref 0 in
   {
     cfg;
     heap;
     sb = SB.create ~n_cores:cfg.n_cores;
     mem;
     fifo = Mem.fifo mem;
-    cores = Array.init cfg.n_cores make_core;
+    cores = Array.init cfg.n_cores (make_core events);
     tospace_limit = (H.to_space heap).Semispace.limit;
-    now = 0;
+    clock = Kernel.create ~skip:cfg.skip ();
+    events;
     finished = false;
     saw_empty = false;
     parallel_phase = false;
@@ -576,16 +629,75 @@ let start cfg heap =
   }
 
 let halted = all_halted
-let now t = t.now
 let roots_done t = t.parallel_phase
+let executed_cycles t = Kernel.executed_cycles t.clock
+let skipped_cycles t = Kernel.skipped_cycles t.clock
 
-let step ?trace t =
-  if t.now > t.cfg.max_cycles then
+(* Earliest future cycle at which any memory buffer can change status —
+   the wake-up that bounds an idle-cycle skip. [max_int] means no buffer
+   has anything pending (a would-be deadlock spins cycle by cycle,
+   exactly as naive stepping would, until the divergence bound trips).
+   Runs on every quiescent cycle, so it is allocation-free and bails as
+   soon as some buffer can wake next cycle (no skip possible then). *)
+let next_wake t ~now =
+  let best = ref max_int in
+  (try
+     let limit = now + 1 in
+     Array.iter
+       (fun c ->
+         let w = Port.wake_after c.hl t.mem ~now in
+         let w = min w (Port.wake_after c.hs t.mem ~now) in
+         let w = min w (Port.wake_after c.bl t.mem ~now) in
+         let w = min w (Port.wake_after c.bs t.mem ~now) in
+         if w < !best then best := w;
+         if !best <= limit then raise_notrace Exit)
+       t.cores
+   with Exit -> ());
+  !best
+
+(* A cycle was quiescent iff the shared transition counter never moved —
+   no buffer status change, no marked core transition — and the shared
+   scan/free registers held still. A lock acquired and released within
+   the cycle (e.g. the termination probe under the scan lock) is
+   deliberately invisible: it leaves no state behind and replays
+   identically. *)
+let cycle_was_quiet t ~scan0 ~free0 =
+  !(t.events) = 0 && SB.scan t.sb = scan0 && SB.free t.sb = free0
+
+(* Credit the statistics that [span] identical replays of the
+   just-executed cycle would have accumulated: each stalled core bumps
+   its stall category once per cycle, set busy bits accrue busy cycles,
+   an idle worklist accrues empty cycles, and every comparator-held
+   header load is rejected once more each cycle. (In a quiescent cycle
+   no bandwidth rejection can occur — a rejection requires the cycle's
+   budget to be exhausted by acceptances, which are buffer status
+   changes — so the waiting header loads are exactly the order-held
+   ones.) *)
+let credit_skipped t ~cycle ~span ~empty_delta =
+  Array.iter
+    (fun c ->
+      if c.stall_cycle = cycle then Counters.bump_n c.counters c.stall_kind span;
+      if SB.busy t.sb ~core:c.id then
+        c.counters.busy_cycles <- c.counters.busy_cycles + span)
+    t.cores;
+  t.empty_cycles <- t.empty_cycles + (span * empty_delta);
+  let held =
+    Array.fold_left
+      (fun acc c -> if Port.order_held c.hl t.mem then acc + 1 else acc)
+      0 t.cores
+  in
+  if held > 0 then Mem.add_rejected_order t.mem (span * held)
+
+let step ?trace ?horizon t =
+  let n0 = now t in
+  if n0 > t.cfg.max_cycles then
     raise
       (Simulation_diverged
          (Printf.sprintf "exceeded %d cycles (scan=%d free=%d)" t.cfg.max_cycles
             (SB.scan t.sb) (SB.free t.sb)));
-  Mem.begin_cycle t.mem ~now:t.now;
+  Mem.begin_cycle t.mem ~now:n0;
+  let scan0 = SB.scan t.sb and free0 = SB.free t.sb in
+  t.events := 0;
   (* Static prioritization: buffers retry, then cores execute, both in
      core-index order — the lowest index wins simultaneous claims, and a
      lock released by an earlier core is acquirable by a later core in
@@ -593,17 +705,36 @@ let step ?trace t =
   Array.iter (fun c -> tick_ports t c) t.cores;
   t.saw_empty <- false;
   Array.iter (fun c -> step_core t c) t.cores;
-  if t.parallel_phase && (not t.finished) && t.saw_empty then
-    t.empty_cycles <- t.empty_cycles + 1;
+  let empty_delta =
+    if t.parallel_phase && (not t.finished) && t.saw_empty then 1 else 0
+  in
+  t.empty_cycles <- t.empty_cycles + empty_delta;
   (match trace with
-  | Some tr when Trace.due tr ~cycle:t.now ->
+  | Some tr when Trace.due tr ~cycle:n0 ->
     let activity =
       String.init t.cfg.n_cores (fun i -> state_code t.cores.(i).state)
     in
-    Trace.record tr ~cycle:t.now ~scan:(SB.scan t.sb) ~free:(SB.free t.sb)
+    Trace.record tr ~cycle:n0 ~scan:(SB.scan t.sb) ~free:(SB.free t.sb)
       ~fifo_depth:(Fifo.length t.fifo) ~activity
   | Some _ | None -> ());
-  t.now <- t.now + 1
+  Kernel.tick t.clock;
+  (* Idle-cycle skipping (disabled while tracing: a trace wants to sample
+     the quiet cycles too). *)
+  if
+    t.cfg.skip
+    && Option.is_none trace
+    && (not (all_halted t))
+    && cycle_was_quiet t ~scan0 ~free0
+  then begin
+    let wake = next_wake t ~now:n0 in
+    if wake < max_int then begin
+      let target = min (Kernel.bound ~horizon wake) (t.cfg.max_cycles + 1) in
+      if target > n0 + 1 then begin
+        let span = Kernel.fast_forward t.clock ~target in
+        credit_skipped t ~cycle:n0 ~span ~empty_delta
+      end
+    end
+  end
 
 let finalize t =
   if not (all_halted t) then invalid_arg "Coprocessor.finalize: not halted";
@@ -614,7 +745,10 @@ let finalize t =
     Array.fold_left (fun acc c -> acc + c.counters.objects_evacuated) 0 t.cores
   in
   {
-    total_cycles = t.now;
+    total_cycles = now t;
+    executed_cycles = Kernel.executed_cycles t.clock;
+    skipped_cycles = Kernel.skipped_cycles t.clock;
+    wall_seconds = Kernel.wall_seconds t.clock;
     root_cycles = t.parallel_start;
     empty_worklist_cycles = t.empty_cycles;
     per_core = Array.map (fun c -> c.counters) t.cores;

@@ -37,6 +37,17 @@ type config = {
           retire blackens the object (an outstanding-piece count kept
           under the frame's header lock). [None] (the default) is the
           published object-granularity design. *)
+  skip : bool;
+      (** idle-cycle skipping ({!Hsgc_sim.Kernel}): when a cycle is
+          quiescent — no core changed state, no memory buffer changed
+          status, scan/free held still — the simulation fast-forwards to
+          the earliest buffer wake-up instead of replaying the cycle.
+          Per-cycle statistics (stall breakdowns, busy/empty cycles,
+          ordering rejections) are credited in bulk for the skipped span,
+          so every reported number is bit-identical to naive stepping;
+          only wall-clock time changes. Default [true]; tracing
+          temporarily falls back to naive stepping so quiet cycles are
+          sampled too. *)
 }
 
 val default_config : config
@@ -44,7 +55,12 @@ val default_config : config
     splitting. *)
 
 val config :
-  ?mem:Hsgc_memsim.Memsys.config -> ?scan_unit:int -> n_cores:int -> unit -> config
+  ?mem:Hsgc_memsim.Memsys.config ->
+  ?scan_unit:int ->
+  ?skip:bool ->
+  n_cores:int ->
+  unit ->
+  config
 
 exception Heap_overflow
 (** Tospace could not hold the live data. *)
@@ -56,6 +72,14 @@ exception Simulation_diverged of string
 (** Result of one collection cycle. *)
 type gc_stats = {
   total_cycles : int;
+  executed_cycles : int;  (** cycles actually stepped by the kernel *)
+  skipped_cycles : int;
+      (** quiescent cycles fast-forwarded over;
+          [total_cycles = executed_cycles + skipped_cycles] *)
+  wall_seconds : float;
+      (** host wall-clock time from [start] to [finalize] — with
+          [total_cycles] this gives the simulator's throughput in
+          simulated cycles per second *)
   root_cycles : int;  (** cycles spent before the start barrier opened *)
   empty_worklist_cycles : int;
       (** cycles in which at least one core was looking for work while
@@ -100,8 +124,13 @@ type sim
 val start : config -> Hsgc_heap.Heap.t -> sim
 (** Set up a collection without running it. *)
 
-val step : ?trace:Trace.t -> sim -> unit
-(** Advance the coprocessor by one clock cycle. *)
+val step : ?trace:Trace.t -> ?horizon:int -> sim -> unit
+(** Advance the coprocessor by one clock cycle — or, when the cycle turns
+    out quiescent and skipping is enabled, by as many cycles as it takes
+    to reach the next wake-up (statistics credited in bulk, bit-identical
+    to naive stepping). [horizon] caps any fast-forward at the given
+    cycle: a concurrent driver passes the time of its next mutator
+    operation so the coprocessor never jumps past an external event. *)
 
 val halted : sim -> bool
 (** All cores have passed the end barrier. *)
@@ -111,6 +140,10 @@ val finalize : sim -> gc_stats
 
 val now : sim -> int
 (** Current clock cycle. *)
+
+val executed_cycles : sim -> int
+val skipped_cycles : sim -> int
+(** Kernel accounting so far (see {!gc_stats}). *)
 
 val roots_done : sim -> bool
 (** The root phase has completed and the start barrier has opened — in

@@ -66,6 +66,16 @@ let bump t = function
   | Header_load -> t.header_load <- t.header_load + 1
   | Header_store -> t.header_store <- t.header_store + 1
 
+let bump_n t k n =
+  match k with
+  | Scan_lock -> t.scan_lock <- t.scan_lock + n
+  | Free_lock -> t.free_lock <- t.free_lock + n
+  | Header_lock -> t.header_lock <- t.header_lock + n
+  | Body_load -> t.body_load <- t.body_load + n
+  | Body_store -> t.body_store <- t.body_store + n
+  | Header_load -> t.header_load <- t.header_load + n
+  | Header_store -> t.header_store <- t.header_store + n
+
 let total_stalls t =
   List.fold_left (fun acc s -> acc + get t s) 0 all_stalls
 

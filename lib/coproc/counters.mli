@@ -36,6 +36,11 @@ type t = {
 val create : unit -> t
 val get : t -> stall -> int
 val bump : t -> stall -> unit
+
+val bump_n : t -> stall -> int -> unit
+(** [bump_n t s n] adds [n] at once — used by the simulation kernel to
+    credit a fast-forwarded span of identical stalled cycles in bulk. *)
+
 val total_stalls : t -> int
 val add : t -> t -> t
 (** Component-wise sum (for aggregating across cores or cycles). *)

@@ -19,9 +19,12 @@ type measurement = {
   fifo_overflows : float;
   fifo_hits : float;
   mem_rejected_bandwidth : float;
+  skipped_cycles : float;
+  wall_s : float;
 }
 
 let default_cores = [ 1; 2; 4; 8; 16 ]
+let default_jobs = 1
 
 let collect_once ~verify ~cfg heap =
   if verify then begin
@@ -36,9 +39,9 @@ let collect_once ~verify ~cfg heap =
   else Coprocessor.collect cfg heap
 
 let measure ?(verify = false) ?(scale = 1.0) ?(seeds = [| 42 |])
-    ?(mem = Memsys.default_config) ~workload ~n_cores () =
+    ?(mem = Memsys.default_config) ?(skip = true) ~workload ~n_cores () =
   if Array.length seeds = 0 then invalid_arg "Experiment.measure: no seeds";
-  let cfg = Coprocessor.config ~mem ~n_cores () in
+  let cfg = Coprocessor.config ~mem ~skip ~n_cores () in
   let n = float_of_int (Array.length seeds) in
   let acc_cycles = ref 0.0
   and acc_empty = ref 0.0
@@ -48,6 +51,8 @@ let measure ?(verify = false) ?(scale = 1.0) ?(seeds = [| 42 |])
   and acc_overflow = ref 0.0
   and acc_hits = ref 0.0
   and acc_rejected = ref 0.0
+  and acc_skipped = ref 0.0
+  and acc_wall = ref 0.0
   and acc_stalls = ref (Counters.create ()) in
   Array.iter
     (fun seed ->
@@ -65,6 +70,8 @@ let measure ?(verify = false) ?(scale = 1.0) ?(seeds = [| 42 |])
       acc_hits := !acc_hits +. float_of_int stats.Coprocessor.fifo_hits;
       acc_rejected :=
         !acc_rejected +. float_of_int stats.Coprocessor.mem_rejected_bandwidth;
+      acc_skipped := !acc_skipped +. float_of_int stats.Coprocessor.skipped_cycles;
+      acc_wall := !acc_wall +. stats.Coprocessor.wall_seconds;
       acc_stalls :=
         Counters.add !acc_stalls (Coprocessor.stalls_mean_per_core stats))
     seeds;
@@ -80,10 +87,15 @@ let measure ?(verify = false) ?(scale = 1.0) ?(seeds = [| 42 |])
     fifo_overflows = !acc_overflow /. n;
     fifo_hits = !acc_hits /. n;
     mem_rejected_bandwidth = !acc_rejected /. n;
+    skipped_cycles = !acc_skipped /. n;
+    wall_s = !acc_wall;
   }
 
-let sweep ?verify ?scale ?seeds ?mem ?(cores = default_cores) workload =
-  List.map (fun n_cores -> measure ?verify ?scale ?seeds ?mem ~workload ~n_cores ()) cores
+let sweep ?verify ?scale ?seeds ?mem ?skip ?(cores = default_cores)
+    ?(jobs = default_jobs) workload =
+  Hsgc_sim.Domain_pool.map_list ~jobs
+    (fun n_cores -> measure ?verify ?scale ?seeds ?mem ?skip ~workload ~n_cores ())
+    cores
 
 let speedups points =
   match points with

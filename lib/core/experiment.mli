@@ -27,6 +27,13 @@ type measurement = {
   fifo_overflows : float;
   fifo_hits : float;
   mem_rejected_bandwidth : float;
+  skipped_cycles : float;
+      (** mean simulated cycles fast-forwarded by idle-cycle skipping; a
+          simulation quantity, bit-identical across hosts *)
+  wall_s : float;
+      (** total host wall-clock seconds over the seeds — an observability
+          figure that varies run to run; exclude it from any determinism
+          comparison *)
 }
 
 val measure :
@@ -34,6 +41,7 @@ val measure :
   ?scale:float ->
   ?seeds:int array ->
   ?mem:Memsys.config ->
+  ?skip:bool ->
   workload:Workloads.t ->
   n_cores:int ->
   unit ->
@@ -41,20 +49,28 @@ val measure :
 (** Build the workload at each seed (default [[|42|]]), collect once on a
     fresh coprocessor, average. [verify] (default false) additionally
     checks graph isomorphism against a pre-collection snapshot and the
-    compaction invariants. *)
+    compaction invariants. [skip] (default true) enables the kernel's
+    idle-cycle skipping — simulation results are bit-identical either
+    way; only [wall_s] changes. *)
 
 val sweep :
   ?verify:bool ->
   ?scale:float ->
   ?seeds:int array ->
   ?mem:Memsys.config ->
+  ?skip:bool ->
   ?cores:int list ->
+  ?jobs:int ->
   Workloads.t ->
   measurement list
-(** [measure] at each core count (default [[1; 2; 4; 8; 16]]). *)
+(** [measure] at each core count (default [[1; 2; 4; 8; 16]]). With
+    [jobs > 1] the sweep points run on that many domains in parallel
+    (each point owns its simulator, so points are independent); results
+    keep input order and are byte-identical at every [jobs] level. *)
 
 val speedups : measurement list -> (int * float) list
 (** Collection-time speedup of each point relative to the measurement
     with the fewest cores (the paper's Figure 5/6 y-axis). *)
 
 val default_cores : int list
+val default_jobs : int

@@ -6,11 +6,89 @@ module Verify = Hsgc_heap.Verify
 
 type sweep_data = (string * Experiment.measurement list) list
 
-let run_sweeps ?verify ?scale ?seeds ?mem ?cores () =
-  List.map
-    (fun w ->
-      (w.Workloads.name, Experiment.sweep ?verify ?scale ?seeds ?mem ?cores w))
-    Workloads.all
+let run_sweeps ?verify ?scale ?seeds ?mem ?skip ?cores
+    ?(jobs = Experiment.default_jobs) () =
+  let core_list =
+    match cores with Some c -> c | None -> Experiment.default_cores
+  in
+  (* Flatten the workload x cores grid into one task list so the domain
+     pool can balance across both axes, then regroup in workload order.
+     Each task runs its own simulator; ordering, and therefore every
+     rendered artifact, is independent of [jobs]. *)
+  let tasks =
+    List.concat_map
+      (fun w -> List.map (fun n_cores -> (w, n_cores)) core_list)
+      Workloads.all
+  in
+  let results =
+    Hsgc_sim.Domain_pool.map_list ~jobs
+      (fun (w, n_cores) ->
+        Experiment.measure ?verify ?scale ?seeds ?mem ?skip ~workload:w
+          ~n_cores ())
+      tasks
+  in
+  let per_workload = List.length core_list in
+  let rec regroup ws results =
+    match ws with
+    | [] -> []
+    | w :: ws' ->
+      let rec take n acc rest =
+        if n = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | [] -> invalid_arg "Report.run_sweeps: result count mismatch"
+          | x :: rest' -> take (n - 1) (x :: acc) rest'
+      in
+      let points, rest = take per_workload [] results in
+      (w.Workloads.name, points) :: regroup ws' rest
+  in
+  regroup Workloads.all results
+
+let kernel_summary data =
+  let header =
+    [
+      "Workload";
+      "sim cycles";
+      "skipped";
+      "skipped %";
+      "wall s";
+      "Mcycles/s";
+    ]
+  in
+  let fmt_row name ~cycles ~skipped ~wall =
+    let pct = if cycles > 0.0 then 100.0 *. skipped /. cycles else 0.0 in
+    let rate = if wall > 0.0 then cycles /. wall /. 1e6 else 0.0 in
+    [
+      name;
+      Printf.sprintf "%.0f" cycles;
+      Printf.sprintf "%.0f" skipped;
+      Printf.sprintf "%.1f%%" pct;
+      Printf.sprintf "%.3f" wall;
+      Printf.sprintf "%.2f" rate;
+    ]
+  in
+  let totals = ref (0.0, 0.0, 0.0) in
+  let rows =
+    List.map
+      (fun (name, points) ->
+        let cycles, skipped, wall =
+          List.fold_left
+            (fun (c, s, w) p ->
+              ( c +. p.Experiment.cycles,
+                s +. p.Experiment.skipped_cycles,
+                w +. p.Experiment.wall_s ))
+            (0.0, 0.0, 0.0) points
+        in
+        let tc, ts, tw = !totals in
+        totals := (tc +. cycles, ts +. skipped, tw +. wall);
+        fmt_row name ~cycles ~skipped ~wall)
+      data
+  in
+  let tc, ts, tw = !totals in
+  let rows = rows @ [ fmt_row "TOTAL" ~cycles:tc ~skipped:ts ~wall:tw ] in
+  "Kernel throughput (simulated cycles per wall-clock second; skipped =\n\
+   quiescent cycles fast-forwarded by the kernel, summed over the sweep)\n"
+  ^ Table.render ~header ~rows
 
 let speedup_chart ~title data =
   let series =

@@ -12,11 +12,22 @@ val run_sweeps :
   ?scale:float ->
   ?seeds:int array ->
   ?mem:Experiment.Memsys.config ->
+  ?skip:bool ->
   ?cores:int list ->
+  ?jobs:int ->
   unit ->
   sweep_data
 (** One sweep over all eight workloads (the data behind Figure 5 and
-    Table I; the 16-core column doubles as Table II). *)
+    Table I; the 16-core column doubles as Table II). [skip] passes
+    through to the simulation kernel (idle-cycle skipping, default on).
+    [jobs > 1] distributes the workload x cores grid over that many
+    domains — one simulator per point, results regrouped in workload
+    order, so every artifact is byte-identical at any [jobs] level. *)
+
+val kernel_summary : sweep_data -> string
+(** Kernel observability: per workload (and in total), simulated cycles,
+    cycles skipped by the kernel, wall-clock seconds, and simulated
+    Mcycles per wall second. *)
 
 val figure5 : sweep_data -> string
 (** "Scaling behavior": speedup vs. core count, all workloads. *)

@@ -46,7 +46,14 @@ type t = {
   mutable rejected_order : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  (* Next cycle at which committed comparator entries are swept out.
+     Purging is otherwise lazy (on lookup), so a workload that stores
+     headers to many distinct addresses would grow the table without
+     bound. *)
+  mutable next_sweep : int;
 }
+
+let sweep_period = 1024
 
 let create config =
   if
@@ -67,13 +74,29 @@ let create config =
     rejected_order = 0;
     cache_hits = 0;
     cache_misses = 0;
+    next_sweep = 0;
   }
 
 let fifo t = t.fifo
 
 let begin_cycle t ~now =
   t.cycle <- now;
-  t.accepted_this_cycle <- 0
+  t.accepted_this_cycle <- 0;
+  if now >= t.next_sweep then begin
+    (* Committed entries can never hold a load again; dropping them is
+       invisible to the ordering logic and bounds the table size. *)
+    Hashtbl.filter_map_inplace
+      (fun _ commit -> if commit <= now then None else Some commit)
+      t.pending_header_stores;
+    t.next_sweep <- now + sweep_period
+  end
+
+let store_commit_time t ~addr =
+  match Hashtbl.find_opt t.pending_header_stores addr with
+  | Some commit when commit > t.cycle -> Some commit
+  | Some _ | None -> None
+
+let pending_store_count t = Hashtbl.length t.pending_header_stores
 
 let store_pending t addr =
   match Hashtbl.find_opt t.pending_header_stores addr with
@@ -152,6 +175,8 @@ let try_accept_store t ~now ~header ~addr =
     Some commit
   end
 
+let add_rejected_order t n = t.rejected_order <- t.rejected_order + n
+
 let loads t = t.loads
 let stores t = t.stores
 let rejected_bandwidth t = t.rejected_bandwidth
@@ -167,3 +192,12 @@ let reset_stats t =
   t.rejected_order <- 0;
   t.cache_hits <- 0;
   t.cache_misses <- 0
+
+let reset t =
+  reset_stats t;
+  Hashtbl.reset t.pending_header_stores;
+  Array.fill t.header_cache 0 (Array.length t.header_cache) 0;
+  Header_fifo.clear t.fifo;
+  t.accepted_this_cycle <- 0;
+  t.cycle <- 0;
+  t.next_sweep <- 0

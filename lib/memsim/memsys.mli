@@ -55,7 +55,9 @@ val fifo : t -> Header_fifo.t
 
 val begin_cycle : t -> now:int -> unit
 (** Reset the per-cycle acceptance budget. Must be called once per
-    simulated cycle before any [try_accept]. *)
+    simulated cycle before any [try_accept]. Periodically sweeps
+    committed entries out of the comparator array so the pending-store
+    table stays bounded over long runs. *)
 
 val try_accept_load : t -> now:int -> header:bool -> addr:int -> int option
 (** Attempt to start a load; [Some c] is the completion cycle. [None] when
@@ -65,6 +67,20 @@ val try_accept_load : t -> now:int -> header:bool -> addr:int -> int option
 val try_accept_store : t -> now:int -> header:bool -> addr:int -> int option
 (** Attempt to start a store; [Some c] is the commit cycle. Header stores
     are tracked for the comparator array until they commit. *)
+
+val store_commit_time : t -> addr:int -> int option
+(** Commit cycle of a still-pending header store to [addr], if any.
+    A pure peek (no lazy purge): used by the simulation kernel to compute
+    the wake-up time of an order-held header load. *)
+
+val pending_store_count : t -> int
+(** Number of entries currently in the comparator array, committed or
+    not. Exposed for the table-growth regression test. *)
+
+val add_rejected_order : t -> int -> unit
+(** Bulk-credit [n] comparator-array rejections. The idle-cycle-skipping
+    kernel uses this to account the rejections that naive stepping would
+    have recorded once per skipped cycle for each order-held load. *)
 
 (** {2 Statistics} *)
 
@@ -80,3 +96,10 @@ val header_cache_hits : t -> int
 val header_cache_misses : t -> int
 
 val reset_stats : t -> unit
+(** Zero the counters only. Cached headers, pending comparator entries and
+    the header FIFO are left as-is. *)
+
+val reset : t -> unit
+(** Full reset for reuse across independent runs: [reset_stats] plus the
+    header cache, the comparator array, the per-cycle acceptance budget,
+    the internal clock and the header FIFO. *)

@@ -22,9 +22,15 @@ type status =
   | In_flight of { addr : int; done_at : int }
   | Ready  (* loads only: data arrived, awaiting consumption *)
 
-type t = { kind : kind; mutable status : status }
+(* [events] is a transition counter shared with the owning simulator (and
+   typically with every other buffer of the machine): any status change
+   bumps it. The simulation kernel zeroes it at the start of each cycle;
+   a cycle that ends with it still at zero had no buffer activity — one
+   of the requirements for idle-cycle skipping. *)
+type t = { kind : kind; mutable status : status; events : int ref }
 
-let create kind = { kind; status = Idle }
+let create ?events kind =
+  { kind; status = Idle; events = (match events with Some e -> e | None -> ref 0) }
 
 let kind t = t.kind
 
@@ -36,12 +42,16 @@ let try_accept t mem ~now ~addr =
     else Memsys.try_accept_store mem ~now ~header:(is_header t.kind) ~addr
   in
   match accepted with
-  | Some done_at -> t.status <- In_flight { addr; done_at }
+  | Some done_at ->
+    t.status <- In_flight { addr; done_at };
+    incr t.events
   | None -> t.status <- Waiting addr
 
 let issue t mem ~now ~addr =
   match t.status with
   | Idle ->
+    (* Idle -> Waiting is a transition too, even when memory rejects. *)
+    incr t.events;
     try_accept t mem ~now ~addr;
     true
   | Waiting _ | In_flight _ | Ready -> false
@@ -49,7 +59,9 @@ let issue t mem ~now ~addr =
 let issue_immediate t =
   assert (is_load t.kind);
   match t.status with
-  | Idle -> t.status <- Ready
+  | Idle ->
+    t.status <- Ready;
+    incr t.events
   | Waiting _ | In_flight _ | Ready -> invalid_arg "Port.issue_immediate: busy"
 
 let tick t mem ~now =
@@ -57,14 +69,39 @@ let tick t mem ~now =
   | Idle | Ready -> ()
   | Waiting addr -> try_accept t mem ~now ~addr
   | In_flight { addr = _; done_at } ->
-    if done_at <= now then t.status <- (if is_load t.kind then Ready else Idle)
+    if done_at <= now then begin
+      t.status <- (if is_load t.kind then Ready else Idle);
+      incr t.events
+    end
 
 let load_ready t = match t.status with Ready -> true | Idle | Waiting _ | In_flight _ -> false
 
 let consume t =
   match t.status with
-  | Ready -> t.status <- Idle
+  | Ready ->
+    t.status <- Idle;
+    incr t.events
   | Idle | Waiting _ | In_flight _ -> invalid_arg "Port.consume: no data ready"
+
+let wake_after t mem ~now =
+  match t.status with
+  | Idle | Ready -> max_int
+  | In_flight { done_at; _ } -> if done_at > now + 1 then done_at else now + 1
+  | Waiting addr ->
+    if t.kind = Header_load then
+      (* An order-held header load sleeps until the blocking store
+         commits; anything else might be accepted as soon as next cycle's
+         bandwidth budget opens. *)
+      (match Memsys.store_commit_time mem ~addr with
+      | Some commit -> commit
+      | None -> now + 1)
+    else now + 1
+
+let order_held t mem =
+  match t.status with
+  | Waiting addr when t.kind = Header_load -> (
+    match Memsys.store_commit_time mem ~addr with Some _ -> true | None -> false)
+  | _ -> false
 
 let busy_addr t =
   match t.status with

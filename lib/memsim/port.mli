@@ -15,7 +15,12 @@ val is_header : kind -> bool
 
 type t
 
-val create : kind -> t
+val create : ?events:int ref -> kind -> t
+(** [events], when given, is a transition counter shared with the owning
+    simulator: every status change of this buffer increments it. The
+    simulator zeroes it at the top of each cycle; a cycle that leaves it
+    at zero had no buffer activity anywhere — one of the requirements
+    for idle-cycle skipping. Defaults to a private counter. *)
 
 val kind : t -> kind
 
@@ -46,3 +51,29 @@ val consume : t -> unit
 
 val busy_addr : t -> int option
 (** Address of the in-progress transfer, if any (for tracing). *)
+
+(** {2 Idle-cycle skipping support}
+
+    The simulation kernel fast-forwards over quiescent cycles. A cycle
+    is quiescent only if no buffer changed status during it — recorded
+    by the shared [events] counter (a deposit, an acceptance, a load
+    completion/consumption or a store release bumps it; a [Waiting]
+    buffer whose retry was rejected again does {e not}). The kernel then
+    needs each sleeping buffer's earliest possible wake-up
+    ({!wake_time}) and, for exact statistics, which buffers are
+    comparator-held header loads ({!order_held}) — those accrue one
+    ordering rejection per skipped cycle. *)
+
+val wake_after : t -> Memsys.t -> now:int -> int
+(** Earliest future cycle at which this buffer can change status, or
+    [max_int] when it is idle/ready (nothing pending). An in-flight
+    transfer wakes at its completion cycle; a header load held by a
+    pending header store wakes when that store commits; any other
+    waiting buffer may be accepted next cycle, so the estimate is
+    conservative ([now + 1]) and prevents skipping. Runs on the
+    kernel's skip path every quiescent cycle, hence the unboxed
+    sentinel convention. *)
+
+val order_held : t -> Memsys.t -> bool
+(** The buffer is a header load currently held by the comparator array
+    (a header store to the same address is still pending). *)

@@ -1,0 +1,30 @@
+let map_list ~jobs f xs =
+  let n = List.length xs in
+  let jobs = min jobs n in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             Some (match f input.(i) with v -> Ok v | exception e -> Error e));
+          go ()
+        end
+      in
+      go ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         results)
+  end

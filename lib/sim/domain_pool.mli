@@ -1,0 +1,16 @@
+(** Domain-parallel experiment sweeps.
+
+    Independent sweep points (one simulator instance each) are distributed
+    over stdlib [Domain]s. Results are returned in input order regardless
+    of which domain finished first, so any derived report is byte-identical
+    at every [jobs] level. *)
+
+val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list ~jobs f xs] = [List.map f xs], computed on up to [jobs]
+    domains (the calling domain included). [f] must not share mutable
+    state across calls. With [jobs <= 1] (or fewer than two items) no
+    domain is spawned and the plain sequential map runs.
+
+    If one or more applications raise, the exception of the earliest
+    failed {i input} is re-raised after all domains have joined —
+    deterministic even when a later input failed first in wall time. *)

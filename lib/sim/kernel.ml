@@ -1,0 +1,42 @@
+type t = {
+  skip : bool;
+  mutable now : int;
+  mutable executed : int;
+  mutable skipped : int;
+  wall_start : float;
+}
+
+let create ?(skip = true) () =
+  { skip; now = 0; executed = 0; skipped = 0; wall_start = Unix.gettimeofday () }
+
+let now t = t.now
+let skip_enabled t = t.skip
+
+let tick t =
+  t.now <- t.now + 1;
+  t.executed <- t.executed + 1
+
+let fast_forward t ~target =
+  if target <= t.now then 0
+  else begin
+    let span = target - t.now in
+    t.now <- target;
+    t.skipped <- t.skipped + span;
+    span
+  end
+
+let executed_cycles t = t.executed
+let skipped_cycles t = t.skipped
+let wall_seconds t = Unix.gettimeofday () -. t.wall_start
+
+let cycles_per_second t =
+  let w = wall_seconds t in
+  if w <= 0.0 then 0.0 else float_of_int t.now /. w
+
+let min_wake a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some x, Some y -> Some (min x y)
+
+let bound ~horizon target =
+  match horizon with None -> target | Some h -> min h target

@@ -1,0 +1,60 @@
+(** The shared simulation kernel: the clock every cycle-stepped engine
+    runs on.
+
+    The kernel owns the notion of "now", counts how many cycles were
+    actually executed versus fast-forwarded, and measures simulation
+    throughput (simulated cycles per wall-clock second).
+
+    The headline optimisation is {b idle-cycle skipping}: when the engine
+    reports that a cycle was {i quiescent} — no agent made a state
+    transition, so every subsequent cycle would be a byte-identical replay
+    until the next registered wake-up (a memory-port completion, a pending
+    header-store commit, a mutator operation becoming due) — the engine
+    calls {!fast_forward} to jump [now] directly to that wake-up instead
+    of spinning one cycle at a time. The engine remains responsible for
+    crediting per-cycle counters (stall breakdowns, busy cycles,
+    worklist-empty cycles) in bulk for the skipped span, so all reported
+    statistics are bit-identical to naive stepping. *)
+
+type t
+
+val create : ?skip:bool -> unit -> t
+(** A fresh clock at cycle 0. [skip] (default [true]) records whether the
+    owning engine should attempt idle-cycle skipping; the kernel itself
+    only accounts. Wall-clock measurement starts here. *)
+
+val now : t -> int
+(** The current simulated cycle. *)
+
+val skip_enabled : t -> bool
+
+val tick : t -> unit
+(** One cycle was executed: [now] advances by 1. *)
+
+val fast_forward : t -> target:int -> int
+(** [fast_forward t ~target] jumps [now] to [target] and returns the
+    number of cycles skipped ([target - now], or 0 when [target <= now]).
+    The caller must guarantee the skipped cycles were quiescent and must
+    credit their per-cycle statistics in bulk. *)
+
+val executed_cycles : t -> int
+(** Cycles actually stepped ([tick] calls). *)
+
+val skipped_cycles : t -> int
+(** Cycles fast-forwarded over. [now = executed + skipped]. *)
+
+val wall_seconds : t -> float
+(** Wall-clock seconds since [create]. *)
+
+val cycles_per_second : t -> float
+(** Simulated cycles per wall-clock second ([now / wall_seconds]);
+    the kernel's throughput figure of merit. *)
+
+(** {2 Wake-up arithmetic} *)
+
+val min_wake : int option -> int option -> int option
+(** Earliest of two optional wake-up times. *)
+
+val bound : horizon:int option -> int -> int
+(** Cap a wake-up target by an external horizon (e.g. the next mutator
+    operation in concurrent mode). *)

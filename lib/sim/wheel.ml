@@ -1,0 +1,50 @@
+(* A plain binary min-heap on the entry time. *)
+
+type 'a t = { mutable a : (int * 'a) array; mutable n : int }
+
+let create () = { a = [||]; n = 0 }
+
+let size h = h.n
+let is_empty h = h.n = 0
+
+let push h ~time v =
+  let x = (time, v) in
+  if h.n = Array.length h.a then begin
+    let bigger = Array.make (max 64 (2 * h.n)) x in
+    Array.blit h.a 0 bigger 0 h.n;
+    h.a <- bigger
+  end;
+  h.a.(h.n) <- x;
+  h.n <- h.n + 1;
+  let i = ref (h.n - 1) in
+  while !i > 0 && fst h.a.((!i - 1) / 2) > fst h.a.(!i) do
+    let p = (!i - 1) / 2 in
+    let tmp = h.a.(p) in
+    h.a.(p) <- h.a.(!i);
+    h.a.(!i) <- tmp;
+    i := p
+  done
+
+let min_time h = if h.n = 0 then None else Some (fst h.a.(0))
+
+let pop_exn h =
+  if h.n = 0 then invalid_arg "Wheel.pop_exn: empty";
+  let top = h.a.(0) in
+  h.n <- h.n - 1;
+  h.a.(0) <- h.a.(h.n);
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < h.n && fst h.a.(l) < fst h.a.(!smallest) then smallest := l;
+    if r < h.n && fst h.a.(r) < fst h.a.(!smallest) then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      let tmp = h.a.(!i) in
+      h.a.(!i) <- h.a.(!smallest);
+      h.a.(!smallest) <- tmp;
+      i := !smallest
+    end
+  done;
+  top

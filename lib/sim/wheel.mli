@@ -1,0 +1,26 @@
+(** The kernel's event wheel: a time-keyed priority queue.
+
+    Engines register future events (task availability, wake-ups) with
+    their simulated time; the wheel yields them earliest-first. Entries
+    with equal times come out in an unspecified but deterministic order —
+    deterministic because the structure is a plain binary heap with no
+    randomisation, which is what makes whole-simulation runs repeatable
+    and lets the domain-parallel sweep driver promise identical output at
+    any [--jobs] level. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:int -> 'a -> unit
+(** Register [v] at [time]. *)
+
+val min_time : 'a t -> int option
+(** Time of the earliest entry, if any. *)
+
+val pop_exn : 'a t -> int * 'a
+(** Remove and return the earliest entry. Raises [Invalid_argument] on an
+    empty wheel. *)

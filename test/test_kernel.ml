@@ -1,0 +1,402 @@
+(* Tests for the shared simulation kernel (Hsgc_sim): clock accounting,
+   the event wheel, the domain pool, and — the load-bearing property —
+   that idle-cycle skipping and domain-parallel sweeps leave every
+   simulation statistic bit-identical to naive stepping. *)
+
+module Kernel = Hsgc_sim.Kernel
+module Wheel = Hsgc_sim.Wheel
+module Domain_pool = Hsgc_sim.Domain_pool
+module Coprocessor = Hsgc_coproc.Coprocessor
+module Counters = Hsgc_coproc.Counters
+module Concurrent = Hsgc_coproc.Concurrent
+module Memsys = Hsgc_memsim.Memsys
+module Plan = Hsgc_objgraph.Plan
+module Workloads = Hsgc_objgraph.Workloads
+module Verify = Hsgc_heap.Verify
+module Experiment = Hsgc_core.Experiment
+module Report = Hsgc_core.Report
+
+(* ------------------------------------------------------------------ *)
+(* Kernel clock                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_accounting () =
+  let k = Kernel.create () in
+  Alcotest.(check int) "starts at 0" 0 (Kernel.now k);
+  Kernel.tick k;
+  Kernel.tick k;
+  Alcotest.(check int) "two ticks" 2 (Kernel.now k);
+  let span = Kernel.fast_forward k ~target:10 in
+  Alcotest.(check int) "skipped span" 8 span;
+  Alcotest.(check int) "now at target" 10 (Kernel.now k);
+  Alcotest.(check int) "executed" 2 (Kernel.executed_cycles k);
+  Alcotest.(check int) "skipped" 8 (Kernel.skipped_cycles k);
+  Alcotest.(check int) "now = executed + skipped" (Kernel.now k)
+    (Kernel.executed_cycles k + Kernel.skipped_cycles k);
+  Alcotest.(check int) "backward target is a no-op" 0
+    (Kernel.fast_forward k ~target:5);
+  Alcotest.(check int) "now unchanged" 10 (Kernel.now k)
+
+let test_clock_helpers () =
+  Alcotest.(check (option int)) "min_wake both" (Some 3)
+    (Kernel.min_wake (Some 7) (Some 3));
+  Alcotest.(check (option int)) "min_wake left" (Some 7)
+    (Kernel.min_wake (Some 7) None);
+  Alcotest.(check (option int)) "min_wake none" None (Kernel.min_wake None None);
+  Alcotest.(check int) "bound none" 9 (Kernel.bound ~horizon:None 9);
+  Alcotest.(check int) "bound caps" 4 (Kernel.bound ~horizon:(Some 4) 9);
+  Alcotest.(check int) "bound above" 9 (Kernel.bound ~horizon:(Some 12) 9)
+
+(* ------------------------------------------------------------------ *)
+(* Event wheel                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_wheel_ordering () =
+  let w = Wheel.create () in
+  Alcotest.(check bool) "fresh wheel empty" true (Wheel.is_empty w);
+  List.iter
+    (fun (t, v) -> Wheel.push w ~time:t v)
+    [ (5, "e"); (1, "a"); (9, "x"); (3, "c"); (1, "b") ];
+  Alcotest.(check int) "size" 5 (Wheel.size w);
+  Alcotest.(check (option int)) "min_time" (Some 1) (Wheel.min_time w);
+  let times = ref [] in
+  while not (Wheel.is_empty w) do
+    let t, _ = Wheel.pop_exn w in
+    times := t :: !times
+  done;
+  Alcotest.(check (list int)) "times nondecreasing" [ 1; 1; 3; 5; 9 ]
+    (List.rev !times)
+
+let qcheck_wheel_sorts =
+  QCheck.Test.make ~name:"wheel pops in nondecreasing time order" ~count:100
+    QCheck.(small_list small_nat)
+    (fun times ->
+      let w = Wheel.create () in
+      List.iteri (fun i t -> Wheel.push w ~time:t i) times;
+      let rec drain prev =
+        if Wheel.is_empty w then true
+        else
+          let t, _ = Wheel.pop_exn w in
+          t >= prev && drain t
+      in
+      Wheel.size w = List.length times && drain min_int)
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_matches_map () =
+  let xs = List.init 23 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d equals List.map" jobs)
+        (List.map f xs)
+        (Domain_pool.map_list ~jobs f xs))
+    [ 1; 2; 4; 8; 40 ]
+
+exception Boom of int
+
+let test_pool_exception () =
+  (* The earliest-index failure is the one re-raised, regardless of
+     completion order. *)
+  let xs = List.init 12 (fun i -> i) in
+  let f x = if x mod 3 = 2 then raise (Boom x) else x in
+  List.iter
+    (fun jobs ->
+      match Domain_pool.map_list ~jobs f xs with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Boom i ->
+        Alcotest.(check int)
+          (Printf.sprintf "jobs=%d reports earliest failure" jobs)
+          2 i)
+    [ 1; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Idle-cycle skipping: exact equivalence with naive stepping          *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything in gc_stats except the kernel-observability fields
+   (executed/skipped split and wall time) must be bit-identical. *)
+let check_stats_equal ctx (a : Coprocessor.gc_stats)
+    (b : Coprocessor.gc_stats) =
+  let chk name x y =
+    if x <> y then
+      Alcotest.failf "%s: %s differs (naive %d, skip %d)" ctx name x y
+  in
+  chk "total_cycles" a.Coprocessor.total_cycles b.Coprocessor.total_cycles;
+  chk "root_cycles" a.Coprocessor.root_cycles b.Coprocessor.root_cycles;
+  chk "empty_worklist_cycles" a.Coprocessor.empty_worklist_cycles
+    b.Coprocessor.empty_worklist_cycles;
+  chk "live_objects" a.Coprocessor.live_objects b.Coprocessor.live_objects;
+  chk "live_words" a.Coprocessor.live_words b.Coprocessor.live_words;
+  chk "fifo_hits" a.Coprocessor.fifo_hits b.Coprocessor.fifo_hits;
+  chk "fifo_misses" a.Coprocessor.fifo_misses b.Coprocessor.fifo_misses;
+  chk "fifo_overflows" a.Coprocessor.fifo_overflows
+    b.Coprocessor.fifo_overflows;
+  chk "mem_loads" a.Coprocessor.mem_loads b.Coprocessor.mem_loads;
+  chk "mem_stores" a.Coprocessor.mem_stores b.Coprocessor.mem_stores;
+  chk "mem_rejected_bandwidth" a.Coprocessor.mem_rejected_bandwidth
+    b.Coprocessor.mem_rejected_bandwidth;
+  chk "mem_rejected_order" a.Coprocessor.mem_rejected_order
+    b.Coprocessor.mem_rejected_order;
+  chk "header_cache_hits" a.Coprocessor.header_cache_hits
+    b.Coprocessor.header_cache_hits;
+  chk "header_cache_misses" a.Coprocessor.header_cache_misses
+    b.Coprocessor.header_cache_misses;
+  Array.iteri
+    (fun i ca ->
+      let cb = b.Coprocessor.per_core.(i) in
+      List.iter
+        (fun s ->
+          if Counters.get ca s <> Counters.get cb s then
+            Alcotest.failf "%s: core %d %s stalls differ (naive %d, skip %d)"
+              ctx i (Counters.stall_name s) (Counters.get ca s)
+              (Counters.get cb s))
+        Counters.all_stalls;
+      if ca.Counters.busy_cycles <> cb.Counters.busy_cycles then
+        Alcotest.failf "%s: core %d busy_cycles differ" ctx i;
+      if ca.Counters.objects_scanned <> cb.Counters.objects_scanned then
+        Alcotest.failf "%s: core %d objects_scanned differ" ctx i;
+      if ca.Counters.objects_evacuated <> cb.Counters.objects_evacuated then
+        Alcotest.failf "%s: core %d objects_evacuated differ" ctx i;
+      if ca.Counters.words_copied <> cb.Counters.words_copied then
+        Alcotest.failf "%s: core %d words_copied differ" ctx i)
+    a.Coprocessor.per_core;
+  (* The split itself must account for every cycle. *)
+  if
+    b.Coprocessor.executed_cycles + b.Coprocessor.skipped_cycles
+    <> b.Coprocessor.total_cycles
+  then Alcotest.failf "%s: executed + skipped <> total" ctx
+
+let collect_both ~mem ?scan_unit ~n_cores plan =
+  let run skip =
+    let heap = Plan.materialize plan in
+    let stats =
+      Coprocessor.collect
+        (Coprocessor.config ~mem ?scan_unit ~skip ~n_cores ())
+        heap
+    in
+    (stats, Verify.snapshot heap)
+  in
+  let naive, snap_naive = run false in
+  let skip, snap_skip = run true in
+  (naive, skip, snap_naive, snap_skip)
+
+let qcheck_skip_equivalent =
+  QCheck.Test.make
+    ~name:"idle-cycle skipping is cycle-exact on random graphs and configs"
+    ~count:60
+    (QCheck.make
+       ~print:(fun ((n, s), (nc, su, ca, el, bw, ff)) ->
+         Printf.sprintf
+           "graph(n=%d seed=%d) cores=%d unit=%s cache=%d lat+%d bw=%d fifo=%d"
+           n s nc
+           (match su with None -> "-" | Some u -> string_of_int u)
+           ca el bw ff)
+       QCheck.Gen.(
+         let gen_plan =
+           let* n = int_range 1 60 in
+           let* seed = small_nat in
+           return (n, seed)
+         in
+         let gen_config =
+           let* n_cores = int_range 1 16 in
+           let* scan_unit = oneofl [ None; Some 1; Some 4; Some 32 ] in
+           let* cache = oneofl [ 0; 8; 1024 ] in
+           let* extra_latency = oneofl [ 0; 3; 20 ] in
+           let* bandwidth = oneofl [ 1; 4; 8 ] in
+           let* fifo = oneofl [ 2; 64; 32768 ] in
+           return (n_cores, scan_unit, cache, extra_latency, bandwidth, fifo)
+         in
+         pair gen_plan gen_config))
+    (fun ((n, seed), (n_cores, scan_unit, cache, extra_latency, bandwidth, fifo))
+    ->
+      let rng = Hsgc_util.Rng.create (seed + 1) in
+      let plan = Plan.create () in
+      let ids =
+        Array.init n (fun _ ->
+            Plan.obj plan
+              ~pi:(Hsgc_util.Rng.int rng 4)
+              ~delta:(Hsgc_util.Rng.int rng 5))
+      in
+      Array.iter
+        (fun id ->
+          for slot = 0 to Plan.pi_of plan id - 1 do
+            if Hsgc_util.Rng.int rng 100 < 70 then
+              Plan.link plan ~parent:id ~slot
+                ~child:ids.(Hsgc_util.Rng.int rng n)
+          done)
+        ids;
+      for _ = 1 to 1 + Hsgc_util.Rng.int rng 3 do
+        Plan.add_root plan ids.(Hsgc_util.Rng.int rng n)
+      done;
+      let mem =
+        Memsys.with_extra_latency
+          {
+            Memsys.default_config with
+            Memsys.bandwidth;
+            fifo_capacity = fifo;
+            header_cache_entries = cache;
+          }
+          extra_latency
+      in
+      let naive, skip, snap_naive, snap_skip =
+        collect_both ~mem ?scan_unit ~n_cores plan
+      in
+      check_stats_equal "random config" naive skip;
+      Verify.equal_snapshot snap_naive snap_skip)
+
+let test_skip_equivalent_on_workloads () =
+  List.iter
+    (fun w ->
+      List.iter
+        (fun n_cores ->
+          let run skip =
+            let heap = Workloads.build_heap ~scale:0.03 ~seed:7 w in
+            Coprocessor.collect (Coprocessor.config ~skip ~n_cores ()) heap
+          in
+          check_stats_equal
+            (Printf.sprintf "%s at %d cores" w.Workloads.name n_cores)
+            (run false) (run true))
+        [ 1; 4; 16 ])
+    Workloads.all
+
+let test_skip_equivalent_latency_bound () =
+  let mem = Memsys.with_extra_latency Memsys.default_config 20 in
+  List.iter
+    (fun n_cores ->
+      let run skip =
+        let heap = Workloads.build_heap ~scale:0.03 ~seed:7 Workloads.db in
+        Coprocessor.collect (Coprocessor.config ~mem ~skip ~n_cores ()) heap
+      in
+      check_stats_equal
+        (Printf.sprintf "latency-bound db at %d cores" n_cores)
+        (run false) (run true))
+    [ 1; 8 ]
+
+let test_skipping_actually_skips () =
+  (* With +20-cycle latency and a single core, most cycles are spent
+     waiting on one in-flight transfer: the kernel must fast-forward a
+     large share of them. *)
+  let mem = Memsys.with_extra_latency Memsys.default_config 20 in
+  let heap = Workloads.build_heap ~scale:0.03 ~seed:7 Workloads.db in
+  let stats =
+    Coprocessor.collect (Coprocessor.config ~mem ~n_cores:1 ()) heap
+  in
+  Alcotest.(check bool) "skipped a majority of cycles" true
+    (stats.Coprocessor.skipped_cycles * 2 > stats.Coprocessor.total_cycles);
+  let heap = Workloads.build_heap ~scale:0.03 ~seed:7 Workloads.db in
+  let off =
+    Coprocessor.collect (Coprocessor.config ~mem ~skip:false ~n_cores:1 ()) heap
+  in
+  Alcotest.(check int) "skip off skips nothing" 0 off.Coprocessor.skipped_cycles;
+  Alcotest.(check int) "skip off executes everything"
+    off.Coprocessor.total_cycles off.Coprocessor.executed_cycles
+
+let test_concurrent_skip_equivalent () =
+  (* The concurrent engine caps every skip at the next mutator operation,
+     so mutator interleavings — and with them every statistic — must be
+     identical with skipping on and off. *)
+  let run skip =
+    let heap = Workloads.build_heap ~scale:0.05 ~seed:11 Workloads.jlisp in
+    let cfg = Concurrent.default_config ~n_cores:4 () in
+    let cfg =
+      { cfg with Concurrent.gc = { cfg.Concurrent.gc with Coprocessor.skip } }
+    in
+    let stats = Concurrent.collect cfg heap in
+    ( stats.Concurrent.gc.Coprocessor.total_cycles,
+      stats.Concurrent.pause_cycles,
+      stats.Concurrent.barrier_evacuations,
+      stats.Concurrent.mutator_reads,
+      stats.Concurrent.mutator_allocs,
+      stats.Concurrent.mutator_wait_cycles )
+  in
+  let t_off, p_off, e_off, r_off, a_off, w_off = run false in
+  let t_on, p_on, e_on, r_on, a_on, w_on = run true in
+  Alcotest.(check int) "total cycles" t_off t_on;
+  Alcotest.(check int) "pause cycles" p_off p_on;
+  Alcotest.(check int) "barrier evacuations" e_off e_on;
+  Alcotest.(check int) "mutator reads" r_off r_on;
+  Alcotest.(check int) "mutator allocs" a_off a_on;
+  Alcotest.(check int) "mutator waits" w_off w_on
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel sweeps: determinism across jobs levels              *)
+(* ------------------------------------------------------------------ *)
+
+let check_measurements_equal ctx (a : Experiment.measurement)
+    (b : Experiment.measurement) =
+  (* Every field except wall_s (host time, noisy by nature). *)
+  let chkf name x y =
+    if x <> y then Alcotest.failf "%s: %s differs" ctx name
+  in
+  if a.Experiment.workload <> b.Experiment.workload then
+    Alcotest.failf "%s: workload differs" ctx;
+  chkf "n_cores" (float_of_int a.Experiment.n_cores)
+    (float_of_int b.Experiment.n_cores);
+  chkf "cycles" a.Experiment.cycles b.Experiment.cycles;
+  chkf "empty_frac" a.Experiment.empty_frac b.Experiment.empty_frac;
+  chkf "root_cycles" a.Experiment.root_cycles b.Experiment.root_cycles;
+  chkf "live_objects" a.Experiment.live_objects b.Experiment.live_objects;
+  chkf "live_words" a.Experiment.live_words b.Experiment.live_words;
+  chkf "fifo_overflows" a.Experiment.fifo_overflows
+    b.Experiment.fifo_overflows;
+  chkf "fifo_hits" a.Experiment.fifo_hits b.Experiment.fifo_hits;
+  chkf "mem_rejected_bandwidth" a.Experiment.mem_rejected_bandwidth
+    b.Experiment.mem_rejected_bandwidth;
+  chkf "skipped_cycles" a.Experiment.skipped_cycles
+    b.Experiment.skipped_cycles;
+  List.iter
+    (fun s ->
+      chkf
+        (Counters.stall_name s)
+        (float_of_int (Counters.get a.Experiment.stalls_mean_core s))
+        (float_of_int (Counters.get b.Experiment.stalls_mean_core s)))
+    Counters.all_stalls
+
+let test_sweep_jobs_deterministic () =
+  let sweep jobs =
+    Experiment.sweep ~scale:0.03 ~seeds:[| 42; 1042 |] ~jobs Workloads.javacc
+  in
+  let seq = sweep 1 and par = sweep 4 in
+  Alcotest.(check int) "same length" (List.length seq) (List.length par);
+  List.iter2
+    (fun a b ->
+      check_measurements_equal
+        (Printf.sprintf "javacc at %d cores" a.Experiment.n_cores)
+        a b)
+    seq par
+
+let test_run_sweeps_jobs_byte_identical () =
+  let render jobs =
+    let d = Report.run_sweeps ~scale:0.02 ~seeds:[| 42 |] ~jobs () in
+    Report.figure5 d ^ Report.table1 d ^ Report.table2 d
+  in
+  let seq = render 1 in
+  Alcotest.(check string) "jobs=3 renders byte-identical artifacts" seq
+    (render 3)
+
+let suite =
+  [
+    Alcotest.test_case "clock accounting" `Quick test_clock_accounting;
+    Alcotest.test_case "clock helpers" `Quick test_clock_helpers;
+    Alcotest.test_case "wheel ordering" `Quick test_wheel_ordering;
+    QCheck_alcotest.to_alcotest qcheck_wheel_sorts;
+    Alcotest.test_case "pool matches List.map" `Quick test_pool_matches_map;
+    Alcotest.test_case "pool exception determinism" `Quick test_pool_exception;
+    QCheck_alcotest.to_alcotest qcheck_skip_equivalent;
+    Alcotest.test_case "skip equivalent on workloads" `Slow
+      test_skip_equivalent_on_workloads;
+    Alcotest.test_case "skip equivalent latency-bound" `Quick
+      test_skip_equivalent_latency_bound;
+    Alcotest.test_case "skipping actually skips" `Quick
+      test_skipping_actually_skips;
+    Alcotest.test_case "concurrent skip equivalent" `Quick
+      test_concurrent_skip_equivalent;
+    Alcotest.test_case "sweep jobs deterministic" `Quick
+      test_sweep_jobs_deterministic;
+    Alcotest.test_case "run_sweeps jobs byte-identical" `Slow
+      test_run_sweeps_jobs_byte_identical;
+  ]

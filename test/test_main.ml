@@ -26,4 +26,5 @@ let () =
       ("concurrent", Test_concurrent.suite);
       ("exhaustive", Test_exhaustive.suite);
       ("experiment", Test_experiment.suite);
+      ("kernel", Test_kernel.suite);
     ]

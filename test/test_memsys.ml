@@ -143,6 +143,54 @@ let test_body_loads_not_cached () =
   Alcotest.(check (option int)) "body load unaffected" (Some 12)
     (Memsys.try_accept_load m ~now:10 ~header:false ~addr:5)
 
+let test_pending_store_sweep () =
+  (* Regression: committed header stores used to pile up in the pending
+     table forever. The periodic sweep in [begin_cycle] must drop every
+     entry whose commit time has passed. *)
+  let m = Memsys.create (config ~bandwidth:200 ()) in
+  Memsys.begin_cycle m ~now:0;
+  for addr = 1 to 100 do
+    ignore (Memsys.try_accept_store m ~now:0 ~header:true ~addr)
+  done;
+  Alcotest.(check int) "all pending" 100 (Memsys.pending_store_count m);
+  (* Jump far past both every commit time and the sweep period. *)
+  Memsys.begin_cycle m ~now:5000;
+  Alcotest.(check int) "sweep drained the table" 0
+    (Memsys.pending_store_count m)
+
+let test_store_commit_time () =
+  let m = Memsys.create (config ~store_latency:3 ()) in
+  Memsys.begin_cycle m ~now:0;
+  ignore (Memsys.try_accept_store m ~now:0 ~header:true ~addr:7);
+  Memsys.begin_cycle m ~now:1;
+  Alcotest.(check (option int)) "pending store visible" (Some 3)
+    (Memsys.store_commit_time m ~addr:7);
+  Alcotest.(check (option int)) "other addr clear" None
+    (Memsys.store_commit_time m ~addr:8);
+  Memsys.begin_cycle m ~now:3;
+  Alcotest.(check (option int)) "committed store no longer blocks" None
+    (Memsys.store_commit_time m ~addr:7)
+
+let test_reset_clears_everything () =
+  let m = Memsys.create (config ~header_cache_entries:16 ~store_latency:5 ()) in
+  Memsys.begin_cycle m ~now:0;
+  ignore (Memsys.try_accept_load m ~now:0 ~header:true ~addr:33);
+  ignore (Memsys.try_accept_store m ~now:0 ~header:true ~addr:7);
+  Memsys.begin_cycle m ~now:1;
+  ignore (Memsys.try_accept_load m ~now:1 ~header:true ~addr:7);
+  Memsys.reset m;
+  Alcotest.(check int) "loads zero" 0 (Memsys.loads m);
+  Alcotest.(check int) "stores zero" 0 (Memsys.stores m);
+  Alcotest.(check int) "order rejections zero" 0 (Memsys.rejected_order m);
+  Alcotest.(check int) "pending stores cleared" 0 (Memsys.pending_store_count m);
+  Memsys.begin_cycle m ~now:0;
+  (* The header cache was flushed: addr 33 misses again at full latency,
+     and the comparator no longer remembers the store to addr 7. *)
+  Alcotest.(check (option int)) "cache flushed, full latency" (Some 4)
+    (Memsys.try_accept_load m ~now:0 ~header:true ~addr:33);
+  Alcotest.(check bool) "comparator state cleared" true
+    (Memsys.try_accept_load m ~now:0 ~header:true ~addr:7 <> None)
+
 let test_with_extra_latency () =
   let c = Memsys.with_extra_latency (config ()) 20 in
   Alcotest.(check int) "header" 24 c.Memsys.header_load_latency;
@@ -160,6 +208,10 @@ let suite =
     Alcotest.test_case "counters" `Quick test_counters;
     Alcotest.test_case "fifo attached" `Quick test_fifo_attached;
     Alcotest.test_case "invalid config" `Quick test_invalid_config;
+    Alcotest.test_case "pending-store sweep" `Quick test_pending_store_sweep;
+    Alcotest.test_case "store commit time" `Quick test_store_commit_time;
+    Alcotest.test_case "reset clears everything" `Quick
+      test_reset_clears_everything;
     Alcotest.test_case "with_extra_latency" `Quick test_with_extra_latency;
     Alcotest.test_case "header cache hit" `Quick test_header_cache_hit;
     Alcotest.test_case "header cache store-update" `Quick
