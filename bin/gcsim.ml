@@ -15,10 +15,33 @@ module Trace = Hsgc_coproc.Trace
 module Concurrent = Hsgc_coproc.Concurrent
 module Memsys = Hsgc_memsim.Memsys
 module Experiment = Hsgc_core.Experiment
+module Chaos = Hsgc_core.Chaos
+module Report = Hsgc_core.Report
 module Verify = Hsgc_heap.Verify
 module Table = Hsgc_util.Table
 module Rng = Hsgc_util.Rng
 open Cmdliner
+
+(* Distinct exit codes so scripts can tell a wrong answer from a hung
+   machine: 3 = verification failure, 4 = watchdog stall diagnosis. *)
+let exit_verify_failed = 3
+let exit_stalled = 4
+
+(* Integer argument converters that reject values Memsys.validate_config
+   would refuse, so the user gets a clean usage error instead of an
+   Invalid_argument backtrace from deep inside the simulator. *)
+let bounded_int_conv ~min name =
+  Arg.conv
+    ( (fun s ->
+        match int_of_string_opt s with
+        | None -> Error (`Msg (Printf.sprintf "%s must be an integer, got %S" name s))
+        | Some n when n < min ->
+          Error (`Msg (Printf.sprintf "%s must be >= %d (got %d)" name min n))
+        | Some n -> Ok n),
+      Format.pp_print_int )
+
+let positive_conv name = bounded_int_conv ~min:1 name
+let nonneg_conv name = bounded_int_conv ~min:0 name
 
 let workload_conv =
   Arg.conv
@@ -48,18 +71,21 @@ let seed_arg =
 
 let latency_arg =
   Arg.(
-    value & opt int 0
+    value
+    & opt (nonneg_conv "extra latency") 0
     & info [ "extra-latency" ]
         ~doc:"Extra cycles added to every memory access (paper Fig. 6 uses 20).")
 
 let fifo_arg =
   Arg.(
-    value & opt int Memsys.default_config.Memsys.fifo_capacity
+    value
+    & opt (positive_conv "FIFO capacity") Memsys.default_config.Memsys.fifo_capacity
     & info [ "fifo" ] ~doc:"Header FIFO capacity in entries.")
 
 let bandwidth_arg =
   Arg.(
-    value & opt int Memsys.default_config.Memsys.bandwidth
+    value
+    & opt (positive_conv "bandwidth") Memsys.default_config.Memsys.bandwidth
     & info [ "bandwidth" ] ~doc:"Memory transactions accepted per cycle.")
 
 let verify_arg =
@@ -77,7 +103,8 @@ let scan_unit_arg =
 
 let header_cache_arg =
   Arg.(
-    value & opt int 0
+    value
+    & opt (nonneg_conv "header cache size") 0
     & info [ "header-cache" ]
         ~doc:
           "On-chip header cache entries (paper Section VII). 0 disables.")
@@ -91,7 +118,15 @@ let mem_config extra_latency fifo bandwidth header_cache =
       header_cache_entries = header_cache;
     }
   in
-  Memsys.with_extra_latency c extra_latency
+  let c = Memsys.with_extra_latency c extra_latency in
+  (match Memsys.validate_config c with
+  | Ok () -> ()
+  | Error msg ->
+    (* Arg converters above should make this unreachable; belt and braces
+       for combinations (e.g. a future latency formula going negative). *)
+    Format.eprintf "gcsim: invalid memory configuration: %s@." msg;
+    exit 2);
+  c
 
 let scan_unit_opt n = if n <= 0 then None else Some n
 
@@ -155,38 +190,52 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"list available workloads") Term.(const run $ const ())
 
+let cycle_budget_arg =
+  Arg.(
+    value
+    & opt (some (positive_conv "cycle budget")) None
+    & info [ "cycle-budget" ] ~docv:"CYCLES"
+        ~doc:
+          "Abort with a full machine dump (exit code 4) if the collection \
+           has not finished after $(docv) simulated cycles.")
+
 let run_cmd =
   let run workload n_cores scale seed extra_latency fifo bandwidth header_cache
-      scan_unit verify no_skip =
+      scan_unit verify no_skip cycle_budget =
     let mem = mem_config extra_latency fifo bandwidth header_cache in
     let heap = Workloads.build_heap ~scale ~seed workload in
     let pre = if verify then Some (Verify.snapshot heap) else None in
-    let stats =
+    match
       Coprocessor.collect
         (Coprocessor.config ~mem
            ?scan_unit:(scan_unit_opt scan_unit)
+           ?cycle_budget
            ~skip:(not no_skip) ~n_cores ())
         heap
-    in
-    Printf.printf "workload %s, %d cores\n" workload.Workloads.name n_cores;
-    print_stats stats;
-    match pre with
-    | None -> 0
-    | Some pre -> (
-      match Verify.check_collection ~pre heap with
-      | Ok () ->
-        print_endline "verification        OK (graph isomorphic, compacted)";
-        0
-      | Error f ->
-        Format.eprintf "verification FAILED: %a@." Verify.pp_failure f;
-        1)
+    with
+    | exception Coprocessor.Stall_diagnosis d ->
+      prerr_endline (Report.stall_diagnosis d);
+      exit_stalled
+    | stats -> (
+      Printf.printf "workload %s, %d cores\n" workload.Workloads.name n_cores;
+      print_stats stats;
+      match pre with
+      | None -> 0
+      | Some pre -> (
+        match Verify.check_collection ~pre heap with
+        | Ok () ->
+          print_endline "verification        OK (graph isomorphic, compacted)";
+          0
+        | Error f ->
+          Format.eprintf "verification FAILED: %a@." Verify.pp_failure f;
+          exit_verify_failed))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"run one collection and print full statistics")
     Term.(
       const run $ workload_arg $ cores_arg $ scale_arg $ seed_arg $ latency_arg
       $ fifo_arg $ bandwidth_arg $ header_cache_arg $ scan_unit_arg $ verify_arg
-      $ no_skip_arg)
+      $ no_skip_arg $ cycle_budget_arg)
 
 let sweep_cmd =
   let run workload scale seed extra_latency fifo bandwidth header_cache verify
@@ -233,7 +282,7 @@ let cycles_cmd =
         | Ok () -> ()
         | Error f ->
           Format.eprintf "gc %d verification FAILED: %a@." gc Verify.pp_failure f;
-          exit 1)
+          exit exit_verify_failed)
       | None -> ());
       rows :=
         [
@@ -402,7 +451,7 @@ let concurrent_cmd =
       (if iso then "isomorphic" else "CORRUPT")
       (if space_ok then "well-formed" else "CORRUPT")
       (if new_ok then "intact" else "CORRUPT");
-    if iso && space_ok && new_ok then 0 else 1
+    if iso && space_ok && new_ok then 0 else exit_verify_failed
   in
   let period_arg =
     Arg.(
@@ -421,6 +470,65 @@ let concurrent_cmd =
       const run $ workload_arg $ cores_arg $ scale_arg $ seed_arg $ period_arg
       $ alloc_arg)
 
+let chaos_cmd =
+  let run workload cores scale seed jobs retries json_out =
+    let workloads = Option.map (fun w -> [ w.Workloads.name ]) workload in
+    let points = Chaos.default_matrix ?workloads ~cores:[ cores ] ~seed () in
+    Printf.printf "chaos campaign: %d points (%d jobs, %d retries per point)\n\n%!"
+      (List.length points) jobs retries;
+    let summary =
+      Chaos.run ~scale ~jobs
+        ~on_error:(if retries > 0 then Hsgc_sim.Domain_pool.Retry retries
+                   else Hsgc_sim.Domain_pool.Skip)
+        points
+    in
+    print_string (Chaos.render summary);
+    (match json_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Chaos.to_json summary);
+      close_out oc;
+      Printf.printf "\nJSON written to %s\n" path);
+    let silent = summary.Chaos.corruption_silent > 0 in
+    let hung = summary.Chaos.delay_terminated < summary.Chaos.delay_points in
+    let unclean = summary.Chaos.delay_clean < summary.Chaos.delay_points in
+    if silent || unclean then exit_verify_failed
+    else if hung then exit_stalled
+    else 0
+  in
+  let workload_opt_arg =
+    Arg.(
+      value
+      & opt (some workload_conv) None
+      & info [ "w"; "workload" ] ~docv:"NAME"
+          ~doc:"Restrict the campaign to one workload (default: all).")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt (nonneg_conv "retries") 0
+      & info [ "retries" ]
+          ~doc:
+            "Re-run a crashed campaign point up to this many times with a \
+             deterministically reseeded fault plan before recording it.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "json" ] ~docv:"FILE"
+          ~doc:"Also write the campaign summary as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "run the fault-injection campaign matrix (fault class x intensity x \
+          workload) and report termination, detection, and overhead rates")
+    Term.(
+      const run $ workload_opt_arg $ cores_arg $ scale_arg $ seed_arg $ jobs_arg
+      $ retries_arg $ json_arg)
+
 let () =
   let doc = "fine-grained parallel compacting GC coprocessor simulator" in
   exit
@@ -428,5 +536,5 @@ let () =
        (Cmd.group (Cmd.info "gcsim" ~doc)
           [
             list_cmd; run_cmd; sweep_cmd; cycles_cmd; trace_cmd; ablate_cmd;
-            concurrent_cmd;
+            concurrent_cmd; chaos_cmd;
           ]))

@@ -10,6 +10,7 @@
 
 module Report = Hsgc_core.Report
 module Experiment = Hsgc_core.Experiment
+module Chaos = Hsgc_core.Chaos
 module Memsys = Hsgc_memsim.Memsys
 open Cmdliner
 
@@ -24,7 +25,22 @@ type artifact =
   | Future_work
   | Concurrent
   | Kernel
+  | Chaos_campaign
   | All
+
+let artifact_name = function
+  | Fig5 -> "fig5"
+  | Table1 -> "table1"
+  | Table2 -> "table2"
+  | Fig6 -> "fig6"
+  | Fifo -> "fifo"
+  | Heapsize -> "heapsize"
+  | Baselines -> "baselines"
+  | Future_work -> "future-work"
+  | Concurrent -> "concurrent"
+  | Kernel -> "kernel"
+  | Chaos_campaign -> "chaos"
+  | All -> "all"
 
 let artifact_of_string = function
   | "fig5" | "figure5" -> Ok Fig5
@@ -37,26 +53,13 @@ let artifact_of_string = function
   | "future-work" | "e7" -> Ok Future_work
   | "concurrent" | "e8" -> Ok Concurrent
   | "kernel" -> Ok Kernel
+  | "chaos" -> Ok Chaos_campaign
   | "all" -> Ok All
   | s -> Error (`Msg (Printf.sprintf "unknown artifact %S" s))
 
 let artifact_conv =
   Arg.conv
-    ( artifact_of_string,
-      fun ppf a ->
-        Format.pp_print_string ppf
-          (match a with
-          | Fig5 -> "fig5"
-          | Table1 -> "table1"
-          | Table2 -> "table2"
-          | Fig6 -> "fig6"
-          | Fifo -> "fifo"
-          | Heapsize -> "heapsize"
-          | Baselines -> "baselines"
-          | Future_work -> "future-work"
-          | Concurrent -> "concurrent"
-          | Kernel -> "kernel"
-          | All -> "all") )
+    (artifact_of_string, fun ppf a -> Format.pp_print_string ppf (artifact_name a))
 
 let sum_cycles data =
   List.fold_left
@@ -193,7 +196,57 @@ let run_kernel ~scale ~seeds ~verify ~jobs ~bench_out =
     (lat_naive_wall /. Float.max 1e-9 lat_skip_wall);
   Printf.printf "wrote %s\n" bench_out
 
-let run artifact scale seeds verify jobs quick bench_out =
+(* The chaos campaign (docs/ROBUSTNESS.md): the full fault matrix —
+   class x intensity x workload — with termination/detection rates as
+   the artifact and BENCH_chaos.json as the tracked record. Exit codes
+   match gcsim: 3 = a point verified wrong (silent corruption or an
+   unclean delay run), 4 = a delay-class point hung. *)
+let run_chaos ~scale ~jobs ~retries ~chaos_out =
+  let points = Chaos.default_matrix () in
+  Printf.printf "chaos campaign: %d points at scale %g (%d jobs)\n\n%!"
+    (List.length points) scale jobs;
+  let on_error =
+    if retries > 0 then Hsgc_sim.Domain_pool.Retry retries
+    else Hsgc_sim.Domain_pool.Skip
+  in
+  let summary = Chaos.run ~scale ~jobs ~on_error points in
+  print_string (Chaos.render summary);
+  let oc = open_out chaos_out in
+  output_string oc (Chaos.to_json summary);
+  close_out oc;
+  Printf.printf "wrote %s\n" chaos_out;
+  if
+    summary.Chaos.corruption_silent > 0
+    || summary.Chaos.delay_clean < summary.Chaos.delay_points
+  then 3
+  else if summary.Chaos.delay_terminated < summary.Chaos.delay_points then 4
+  else 0
+
+(* Completed-artifact journal: `repro all` appends each artifact's name
+   as it completes, so an interrupted run can be resumed with --resume
+   (already-journaled artifacts are skipped, the note goes to stderr so
+   stdout stays a clean concatenation of artifacts). The journal is
+   deleted once the whole run finishes. *)
+let journal_read path =
+  if Sys.file_exists path then (
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (if line = "" then acc else line :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    let lines = go [] in
+    close_in ic;
+    lines)
+  else []
+
+let journal_append path name =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (name ^ "\n");
+  close_out oc
+
+let run artifact scale seeds verify jobs quick bench_out chaos_out retries
+    keep_going resume journal =
   let scale = if quick then scale *. 0.05 else scale in
   let seeds = Array.init seeds (fun i -> 42 + (1000 * i)) in
   let base_sweep =
@@ -206,25 +259,72 @@ let run artifact scale seeds verify jobs quick bench_out =
          ())
   in
   let emit = function
-    | Fig5 -> print_endline (Report.figure5 (Lazy.force base_sweep))
-    | Table1 -> print_endline (Report.table1 (Lazy.force base_sweep))
-    | Table2 -> print_endline (Report.table2 (Lazy.force base_sweep))
-    | Fig6 -> print_endline (Report.figure6 (Lazy.force latency_sweep))
-    | Fifo -> print_endline (Report.fifo_summary (Lazy.force base_sweep))
-    | Heapsize -> print_endline (Report.heap_size_invariance ~scale ())
-    | Baselines -> print_endline (Report.baselines ~scale:(0.2 *. scale) ())
-    | Future_work -> print_endline (Report.future_work ~scale ())
-    | Concurrent -> print_endline (Report.concurrent_pauses ~scale:(0.5 *. scale) ())
-    | Kernel -> run_kernel ~scale ~seeds ~verify ~jobs ~bench_out
+    | Fig5 -> print_endline (Report.figure5 (Lazy.force base_sweep)); 0
+    | Table1 -> print_endline (Report.table1 (Lazy.force base_sweep)); 0
+    | Table2 -> print_endline (Report.table2 (Lazy.force base_sweep)); 0
+    | Fig6 -> print_endline (Report.figure6 (Lazy.force latency_sweep)); 0
+    | Fifo -> print_endline (Report.fifo_summary (Lazy.force base_sweep)); 0
+    | Heapsize -> print_endline (Report.heap_size_invariance ~scale ()); 0
+    | Baselines -> print_endline (Report.baselines ~scale:(0.2 *. scale) ()); 0
+    | Future_work -> print_endline (Report.future_work ~scale ()); 0
+    | Concurrent ->
+      print_endline (Report.concurrent_pauses ~scale:(0.5 *. scale) ());
+      0
+    | Kernel ->
+      run_kernel ~scale ~seeds ~verify ~jobs ~bench_out;
+      0
+    | Chaos_campaign -> run_chaos ~scale ~jobs ~retries ~chaos_out
     | All -> assert false
   in
-  (match artifact with
+  match artifact with
   | All ->
-    List.iter emit
+    let sequence =
       [ Fig5; Table1; Table2; Fig6; Fifo; Heapsize; Baselines; Future_work;
         Concurrent ]
-  | a -> emit a);
-  0
+    in
+    let done_already = if resume then journal_read journal else [] in
+    if (not resume) && Sys.file_exists journal then Sys.remove journal;
+    let failures = ref [] in
+    List.iter
+      (fun a ->
+        let name = artifact_name a in
+        if List.mem name done_already then
+          Printf.eprintf "repro: %s already journaled, skipping (--resume)\n%!"
+            name
+        else
+          match emit a with
+          | _retcode -> journal_append journal name
+          | exception e when keep_going ->
+            let msg = Printexc.to_string e in
+            Printf.eprintf "repro: artifact %s FAILED: %s (continuing)\n%!" name
+              msg;
+            failures := (name, msg) :: !failures)
+      sequence;
+    (match List.rev !failures with
+    | [] ->
+      if Sys.file_exists journal then Sys.remove journal;
+      0
+    | fs ->
+      (* Partial run: leave the journal for --resume and record what
+         broke in a machine-readable manifest next to the artifacts. *)
+      let oc = open_out "REPRO_failures.json" in
+      Printf.fprintf oc "{\n  \"failed_artifacts\": [\n%s\n  ]\n}\n"
+        (String.concat ",\n"
+           (List.map
+              (fun (name, msg) ->
+                Printf.sprintf {|    {"artifact": "%s", "error": "%s"}|} name
+                  (String.concat "" (List.map (function
+                     | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
+                     | c -> String.make 1 c)
+                     (List.init (String.length msg) (String.get msg)))))
+              fs));
+      close_out oc;
+      Printf.eprintf
+        "repro: %d artifact(s) failed; manifest in REPRO_failures.json, \
+         journal kept for --resume\n%!"
+        (List.length fs);
+      1)
+  | a -> emit a
 
 let cmd =
   let artifact =
@@ -266,9 +366,51 @@ let cmd =
       & info [ "bench-out" ]
           ~doc:"Where the kernel benchmark writes its JSON record.")
   in
+  let chaos_out =
+    Arg.(
+      value
+      & opt string "BENCH_chaos.json"
+      & info [ "chaos-out" ]
+          ~doc:"Where the chaos campaign writes its JSON record.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ]
+          ~doc:
+            "Chaos campaign: re-run a crashed point up to this many times \
+             with a deterministically reseeded fault plan.")
+  in
+  let keep_going =
+    Arg.(
+      value & flag
+      & info [ "keep-going"; "k" ]
+          ~doc:
+            "For `all': when one artifact fails, keep producing the rest and \
+             write the failures to REPRO_failures.json instead of aborting.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "For `all': skip artifacts recorded in the journal by an earlier \
+             interrupted run.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt string "repro.journal"
+      & info [ "journal" ]
+          ~doc:
+            "Completed-artifact journal for `all' (written as artifacts \
+             finish, deleted when the run completes).")
+  in
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "repro" ~doc)
-    Term.(const run $ artifact $ scale $ seeds $ verify $ jobs $ quick $ bench_out)
+    Term.(
+      const run $ artifact $ scale $ seeds $ verify $ jobs $ quick $ bench_out
+      $ chaos_out $ retries $ keep_going $ resume $ journal)
 
 let () = exit (Cmd.eval' cmd)

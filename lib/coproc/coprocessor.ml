@@ -6,6 +6,7 @@ module Mem = Hsgc_memsim.Memsys
 module Port = Hsgc_memsim.Port
 module Fifo = Hsgc_memsim.Header_fifo
 module Kernel = Hsgc_sim.Kernel
+module Injector = Hsgc_fault.Injector
 
 type config = {
   n_cores : int;
@@ -19,7 +20,21 @@ type config = {
   skip : bool;
       (* idle-cycle skipping: fast-forward over quiescent cycles. All
          reported statistics stay bit-identical; only wall time changes. *)
+  faults : Injector.spec option;
+      (* fault-injection plan; each simulator instance builds a private
+         injector from it, so sweep points stay domain-safe and exactly
+         reproducible. [None] = no injector at all (bit-identical to a
+         build without the hooks). *)
+  cycle_budget : int option;
+      (* watchdog: hard bound on total simulated cycles; exceeding it
+         raises [Stall_diagnosis] with a machine dump (unlike
+         [max_cycles], which indicates simulator divergence). *)
+  stall_window : int;
+      (* watchdog: executed cycles without any global progress (no
+         buffer transition, scan/free frozen) before declaring a stall. *)
 }
+
+let default_stall_window = 1_000_000
 
 let default_config =
   {
@@ -28,13 +43,84 @@ let default_config =
     max_cycles = 2_000_000_000;
     scan_unit = None;
     skip = true;
+    faults = None;
+    cycle_budget = None;
+    stall_window = default_stall_window;
   }
 
-let config ?(mem = Mem.default_config) ?scan_unit ?(skip = true) ~n_cores () =
-  { default_config with n_cores; mem; scan_unit; skip }
+let config ?(mem = Mem.default_config) ?scan_unit ?(skip = true) ?faults
+    ?cycle_budget ?(stall_window = default_stall_window) ~n_cores () =
+  {
+    default_config with
+    n_cores;
+    mem;
+    scan_unit;
+    skip;
+    faults;
+    cycle_budget;
+    stall_window;
+  }
 
 exception Heap_overflow
 exception Simulation_diverged of string
+
+(* Stall diagnosis: everything a deadlock post-mortem needs, captured at
+   the moment the watchdog tripped. *)
+
+type core_dump = {
+  core_id : int;
+  microstate : string;
+  busy : bool;
+  header_lock : int option;
+  ports : (string * string) list;  (* buffer name, Port.describe *)
+}
+
+type diagnosis = {
+  trip : Kernel.Watchdog.trip;
+  at_cycle : int;
+  d_scan : int;
+  d_free : int;
+  scan_lock : int option;
+  free_lock : int option;
+  fifo_depth : int;
+  pending_header_stores : int;
+  worklist_nonempty : bool;
+  core_dumps : core_dump list;
+}
+
+exception Stall_diagnosis of diagnosis
+
+let pp_owner ppf = function
+  | None -> Format.pp_print_string ppf "free"
+  | Some c -> Format.fprintf ppf "held by core %d" c
+
+let pp_diagnosis ppf d =
+  Format.fprintf ppf "@[<v>stall at cycle %d: %a@," d.at_cycle
+    Kernel.Watchdog.pp_trip d.trip;
+  Format.fprintf ppf "scan=%d free=%d (worklist %s)@," d.d_scan d.d_free
+    (if d.worklist_nonempty then "nonempty" else "empty");
+  Format.fprintf ppf "scan lock: %a   free lock: %a@," pp_owner d.scan_lock
+    pp_owner d.free_lock;
+  Format.fprintf ppf "header FIFO depth: %d   pending header stores: %d@,"
+    d.fifo_depth d.pending_header_stores;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "core %d: %-17s %s%s@," c.core_id c.microstate
+        (if c.busy then "[busy] " else "")
+        (match c.header_lock with
+        | None -> ""
+        | Some a -> Printf.sprintf "[header lock @%d] " a);
+      List.iter
+        (fun (name, st) ->
+          if st <> "idle" then Format.fprintf ppf "  %s: %s@," name st)
+        c.ports)
+    d.core_dumps;
+  Format.fprintf ppf "@]"
+
+let () =
+  Printexc.register_printer (function
+    | Stall_diagnosis d -> Some (Format.asprintf "%a" pp_diagnosis d)
+    | _ -> None)
 
 type gc_stats = {
   total_cycles : int;
@@ -55,6 +141,8 @@ type gc_stats = {
   mem_rejected_order : int;
   header_cache_hits : int;
   header_cache_misses : int;
+  faults_injected : int;
+  corruptions_injected : int;
 }
 
 let stalls_total stats =
@@ -128,6 +216,8 @@ type t = {
   cores : core array;
   tospace_limit : int;
   clock : Kernel.t;
+  faults : Injector.t;
+  watchdog : Kernel.Watchdog.t;
   (* Transition counter shared with every memory buffer: zeroed at the
      top of each cycle, bumped by any buffer status change and by the
      few core transitions that touch no buffer and no shared register
@@ -152,7 +242,7 @@ type sim = t
 
 let now t = Kernel.now t.clock
 
-let make_core events id =
+let make_core ~events ~faults id =
   {
     id;
     state = (if id = 0 then Init else Start_barrier);
@@ -168,10 +258,10 @@ let make_core events id =
     evac_new = 0;
     root_idx = 0;
     ret = Ret_slot;
-    hl = Port.create ~events Port.Header_load;
-    hs = Port.create ~events Port.Header_store;
-    bl = Port.create ~events Port.Body_load;
-    bs = Port.create ~events Port.Body_store;
+    hl = Port.create ~events ~faults Port.Header_load;
+    hs = Port.create ~events ~faults Port.Header_store;
+    bl = Port.create ~events ~faults Port.Body_load;
+    bs = Port.create ~events ~faults Port.Body_store;
     counters = Counters.create ();
     stall_cycle = -1;
     stall_kind = Counters.Scan_lock;
@@ -195,7 +285,14 @@ let mark t = incr t.events
    load in the same cycle (the cores can initiate several memory
    operations per cycle). *)
 let store_and_advance t core v =
-  H.write t.heap (core.obj_to + Hdr.header_words + core.slot) v;
+  (* Corruption-class fault: flip one bit of the word as written to the
+     tospace copy. Control flow below uses the clean [v] (and the copy
+     is never re-read during a stop-the-world cycle), so the collection
+     still terminates — only the verifier can notice, which is exactly
+     the detection-coverage question the harness measures. *)
+  H.write t.heap
+    (core.obj_to + Hdr.header_words + core.slot)
+    (Injector.corrupt_body t.faults v);
   issue_exn core.bs t.mem ~now:(now t) ~addr:(core.obj_to + Hdr.header_words + core.slot);
   core.counters.words_copied <- core.counters.words_copied + 1;
   core.slot <- core.slot + 1;
@@ -529,8 +626,14 @@ let step_piece_done t core =
 let step_blacken t core =
   if not (Port.is_idle core.hs) then stall t core Header_store
   else begin
+    (* Corruption-class fault: the blackened header is behind [scan] and
+       never re-read during this cycle, so a flipped state/π/δ bit is
+       invisible to the machine — the wall-to-wall verification parse
+       must catch it. *)
     H.set_header0 t.heap core.obj_to
-      (Hdr.encode ~state:Black ~pi:(Hdr.pi core.h0) ~delta:(Hdr.delta core.h0));
+      (Injector.corrupt_header t.faults
+         (Hdr.encode ~state:Black ~pi:(Hdr.pi core.h0)
+            ~delta:(Hdr.delta core.h0)));
     H.set_header1 t.heap core.obj_to 0;
     issue_exn core.hs t.mem ~now:(now t) ~addr:core.obj_to;
     SB.set_busy t.sb ~core:core.id false;
@@ -569,6 +672,27 @@ let state_code = function
   | Flush -> 'f'
   | Halt -> ' '
 
+let state_name = function
+  | Init -> "init"
+  | Root_next -> "root-next"
+  | Root_header_wait -> "root-header-wait"
+  | Start_barrier -> "start-barrier"
+  | Try_lock_scan -> "try-lock-scan"
+  | Scan_header_wait -> "scan-header-wait"
+  | Body_issue_load -> "body-issue-load"
+  | Body_wait -> "body-wait"
+  | Lock_child -> "lock-child"
+  | Child_header_wait -> "child-header-wait"
+  | Lock_free -> "lock-free"
+  | Evac_store_fwd -> "evac-store-fwd"
+  | Evac_store_gray -> "evac-store-gray"
+  | Store_slot -> "store-slot"
+  | Piece_done -> "piece-done"
+  | Blacken -> "blacken"
+  | Flush -> "flush"
+  | End_barrier -> "end-barrier"
+  | Halt -> "halt"
+
 let step_core t core =
   (match core.state with
   | Init -> step_init t core
@@ -604,7 +728,12 @@ let all_halted t =
 
 let start cfg heap =
   if cfg.n_cores < 1 then invalid_arg "Coprocessor.start: n_cores must be >= 1";
-  let mem = Mem.create cfg.mem in
+  let faults =
+    match cfg.faults with
+    | None -> Injector.disabled
+    | Some spec -> Injector.create spec
+  in
+  let mem = Mem.create ~faults cfg.mem in
   let events = ref 0 in
   {
     cfg;
@@ -612,9 +741,13 @@ let start cfg heap =
     sb = SB.create ~n_cores:cfg.n_cores;
     mem;
     fifo = Mem.fifo mem;
-    cores = Array.init cfg.n_cores (make_core events);
+    cores = Array.init cfg.n_cores (make_core ~events ~faults);
     tospace_limit = (H.to_space heap).Semispace.limit;
     clock = Kernel.create ~skip:cfg.skip ();
+    faults;
+    watchdog =
+      Kernel.Watchdog.create ?budget:cfg.cycle_budget
+        ~window:(max 1 cfg.stall_window) ();
     events;
     finished = false;
     saw_empty = false;
@@ -688,6 +821,37 @@ let credit_skipped t ~cycle ~span ~empty_delta =
   in
   if held > 0 then Mem.add_rejected_order t.mem (span * held)
 
+let diagnose t trip =
+  {
+    trip;
+    at_cycle = now t;
+    d_scan = SB.scan t.sb;
+    d_free = SB.free t.sb;
+    scan_lock = SB.scan_lock_owner t.sb;
+    free_lock = SB.free_lock_owner t.sb;
+    fifo_depth = Fifo.length t.fifo;
+    pending_header_stores = Mem.pending_store_count t.mem;
+    worklist_nonempty = SB.scan t.sb <> SB.free t.sb;
+    core_dumps =
+      Array.to_list
+        (Array.map
+           (fun c ->
+             {
+               core_id = c.id;
+               microstate = state_name c.state;
+               busy = SB.busy t.sb ~core:c.id;
+               header_lock = SB.header_lock_of t.sb ~core:c.id;
+               ports =
+                 [
+                   ("hl", Port.describe c.hl);
+                   ("hs", Port.describe c.hs);
+                   ("bl", Port.describe c.bl);
+                   ("bs", Port.describe c.bs);
+                 ];
+             })
+           t.cores);
+  }
+
 let step ?trace ?horizon t =
   let n0 = now t in
   if n0 > t.cfg.max_cycles then
@@ -718,13 +882,22 @@ let step ?trace ?horizon t =
       ~fifo_depth:(Fifo.length t.fifo) ~activity
   | Some _ | None -> ());
   Kernel.tick t.clock;
+  let quiet = cycle_was_quiet t ~scan0 ~free0 in
+  if not (all_halted t) then begin
+    (* Watchdog: a quiet cycle made no global progress. The no-progress
+       window counts executed cycles only — skipped spans always end at
+       a wake-up that produces a transition, so they cannot mask a
+       deadlock (a true deadlock has no wake-up and spins cycle by
+       cycle, exactly what the window measures). *)
+    match
+      Kernel.Watchdog.observe t.watchdog ~now:n0 ~progressed:(not quiet)
+    with
+    | Some trip -> raise (Stall_diagnosis (diagnose t trip))
+    | None -> ()
+  end;
   (* Idle-cycle skipping (disabled while tracing: a trace wants to sample
      the quiet cycles too). *)
-  if
-    t.cfg.skip
-    && Option.is_none trace
-    && (not (all_halted t))
-    && cycle_was_quiet t ~scan0 ~free0
+  if t.cfg.skip && Option.is_none trace && (not (all_halted t)) && quiet
   then begin
     let wake = next_wake t ~now:n0 in
     if wake < max_int then begin
@@ -763,6 +936,8 @@ let finalize t =
     mem_rejected_order = Mem.rejected_order t.mem;
     header_cache_hits = Mem.header_cache_hits t.mem;
     header_cache_misses = Mem.header_cache_misses t.mem;
+    faults_injected = Injector.total t.faults;
+    corruptions_injected = Injector.corruptions t.faults;
   }
 
 let collect ?trace cfg heap =

@@ -48,6 +48,24 @@ type config = {
           only wall-clock time changes. Default [true]; tracing
           temporarily falls back to naive stepping so quiet cycles are
           sampled too. *)
+  faults : Hsgc_fault.Injector.spec option;
+      (** fault-injection plan ({!Hsgc_fault.Injector}). Each simulator
+          instance builds a private injector from the spec, so
+          domain-parallel sweep points are independent and every point
+          is exactly reproducible. [None] (the default) means no
+          injector: behavior is bit-identical to a build without the
+          hooks. *)
+  cycle_budget : int option;
+      (** watchdog: hard bound on total simulated cycles. Exceeding it
+          raises {!Stall_diagnosis} with a full machine dump. Distinct
+          from [max_cycles], whose overrun signals simulator
+          divergence. [None] (the default) = unbounded. *)
+  stall_window : int;
+      (** watchdog: consecutive {i executed} cycles without any global
+          progress (no buffer transition, no marked core transition,
+          scan/free frozen) before raising {!Stall_diagnosis}. Always
+          on; the default (1,000,000) is far beyond any legitimate
+          wait, which is bounded by memory latencies. *)
 }
 
 val default_config : config
@@ -58,6 +76,9 @@ val config :
   ?mem:Hsgc_memsim.Memsys.config ->
   ?scan_unit:int ->
   ?skip:bool ->
+  ?faults:Hsgc_fault.Injector.spec ->
+  ?cycle_budget:int ->
+  ?stall_window:int ->
   n_cores:int ->
   unit ->
   config
@@ -68,6 +89,41 @@ exception Heap_overflow
 exception Simulation_diverged of string
 (** The cycle bound was exceeded — indicates a simulator bug; the
     algorithm itself is deadlock-free by lock ordering. *)
+
+(** {2 Stall diagnosis}
+
+    The watchdog ({!Hsgc_sim.Kernel.Watchdog}) turns what used to be an
+    infinite [collect] hang into a structured exception carrying a full
+    machine dump, captured at the cycle the watchdog tripped. *)
+
+type core_dump = {
+  core_id : int;
+  microstate : string;  (** microprogram state, e.g. ["try-lock-scan"] *)
+  busy : bool;  (** the core's ScanState busy bit *)
+  header_lock : int option;  (** address in its header-lock register *)
+  ports : (string * string) list;
+      (** the four memory buffers ([hl]/[hs]/[bl]/[bs]) and their
+          {!Hsgc_memsim.Port.describe} status *)
+}
+
+type diagnosis = {
+  trip : Hsgc_sim.Kernel.Watchdog.trip;
+  at_cycle : int;
+  d_scan : int;
+  d_free : int;
+  scan_lock : int option;  (** owning core, if held *)
+  free_lock : int option;
+  fifo_depth : int;
+  pending_header_stores : int;  (** comparator-array occupancy *)
+  worklist_nonempty : bool;  (** [scan <> free] at trip time *)
+  core_dumps : core_dump list;
+}
+
+exception Stall_diagnosis of diagnosis
+
+val pp_diagnosis : Format.formatter -> diagnosis -> unit
+(** Multi-line human-readable rendering of the dump (also registered as
+    the exception printer). *)
 
 (** Result of one collection cycle. *)
 type gc_stats = {
@@ -97,6 +153,11 @@ type gc_stats = {
   mem_rejected_order : int;
   header_cache_hits : int;
   header_cache_misses : int;
+  faults_injected : int;
+      (** all faults the injector fired this run (both classes) *)
+  corruptions_injected : int;
+      (** corruption-class faults only — the denominator of the
+          verifier's detection-coverage figure *)
 }
 
 val stalls_total : gc_stats -> Counters.t

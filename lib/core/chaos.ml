@@ -1,0 +1,361 @@
+module Workloads = Hsgc_objgraph.Workloads
+module Coprocessor = Hsgc_coproc.Coprocessor
+module Verify = Hsgc_heap.Verify
+module Injector = Hsgc_fault.Injector
+module Domain_pool = Hsgc_sim.Domain_pool
+module Table = Hsgc_util.Table
+
+type klass = [ `Delay | `Corruption ]
+
+type point = {
+  klass : klass;
+  intensity : float;
+  workload : string;
+  n_cores : int;
+  seed : int;
+}
+
+type classification =
+  | Clean
+  | Detected of string
+  | Silent of int
+  | Hung of string
+
+type point_result = {
+  point : point;
+  attempt : int;
+  terminated : bool;
+  classification : classification;
+  faults : int;
+  corruptions : int;
+  cycles : int;
+  baseline_cycles : int;
+}
+
+type summary = {
+  results : point_result list;
+  delay_points : int;
+  delay_terminated : int;
+  delay_clean : int;
+  corruption_points : int;
+  corruption_armed : int;
+  corruption_detected : int;
+  corruption_silent : int;
+  mean_delay_overhead : float;
+}
+
+let default_intensities = function
+  | `Delay -> [ 0.02; 0.1; 0.3 ]
+  | `Corruption -> [ 0.002; 0.01; 0.05 ]
+
+let default_matrix ?workloads ?(cores = [ 8 ])
+    ?(intensities = default_intensities) ?(seed = 42) () =
+  let names =
+    match workloads with
+    | Some ws -> ws
+    | None -> List.map (fun w -> w.Workloads.name) Workloads.all
+  in
+  List.concat_map
+    (fun klass ->
+      List.concat_map
+        (fun intensity ->
+          List.concat_map
+            (fun workload ->
+              List.map
+                (fun n_cores -> { klass; intensity; workload; n_cores; seed })
+                cores)
+            names)
+        (intensities klass))
+    [ `Delay; `Corruption ]
+
+let find_workload name =
+  match Workloads.find name with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Chaos: unknown workload %S" name)
+
+(* The injector seed must differ from the workload seed (independent
+   streams), vary across the matrix (so equal-seed points explore
+   different fault patterns), and move deterministically on retry. *)
+let injector_seed p ~attempt =
+  (p.seed * 1_000_003)
+  + (int_of_float (p.intensity *. 1_000_000.0) * 97)
+  + (p.n_cores * 13)
+  + (match p.klass with `Delay -> 0 | `Corruption -> 1)
+  + (attempt * 7919)
+
+let oracle_snapshot ~scale ~seed w =
+  let heap = Workloads.build_heap ~scale ~seed w in
+  ignore (Cheney_seq.collect heap);
+  Verify.snapshot heap
+
+let run_point ?(scale = 1.0) ?(attempt = 0) p =
+  let w = find_workload p.workload in
+  (* Fault-free reference: collection length for the overhead figure and
+     the cycle budget of the faulted run. *)
+  let baseline_cycles =
+    let heap = Workloads.build_heap ~scale ~seed:p.seed w in
+    (Coprocessor.collect (Coprocessor.config ~n_cores:p.n_cores ()) heap)
+      .Coprocessor.total_cycles
+  in
+  (* Generous but finite: delay faults at the clamped maximum intensity
+     slow acceptance by at most ~20x (p <= 0.95) plus bounded extra
+     latency, so 50x + slack means a budget trip is a genuine hang. *)
+  let budget = (50 * baseline_cycles) + 1_000_000 in
+  let spec =
+    Injector.of_class p.klass
+      ~seed:(injector_seed p ~attempt)
+      ~intensity:p.intensity ()
+  in
+  let cfg =
+    Coprocessor.config ~faults:spec ~cycle_budget:budget ~n_cores:p.n_cores ()
+  in
+  let heap = Workloads.build_heap ~scale ~seed:p.seed w in
+  let pre = Verify.snapshot heap in
+  let finish ~terminated ~classification ~faults ~corruptions ~cycles =
+    {
+      point = p;
+      attempt;
+      terminated;
+      classification;
+      faults;
+      corruptions;
+      cycles;
+      baseline_cycles;
+    }
+  in
+  match Coprocessor.collect cfg heap with
+  | stats ->
+    let faults = stats.Coprocessor.faults_injected in
+    let corruptions = stats.Coprocessor.corruptions_injected in
+    let cycles = stats.Coprocessor.total_cycles in
+    let verdict = Verify.check_collection ~pre heap in
+    let classification =
+      match (p.klass, verdict) with
+      | `Corruption, Error f ->
+        Detected (Format.asprintf "%a" Verify.pp_failure f)
+      | `Corruption, Ok () ->
+        if corruptions = 0 then Clean else Silent corruptions
+      | `Delay, Error f ->
+        (* A delay-class fault changed the result graph: a metamorphic
+           violation, reported like a hang (it is a microprogram bug). *)
+        Hung (Format.asprintf "verification: %a" Verify.pp_failure f)
+      | `Delay, Ok () ->
+        (* Oracle cross-check: the faulted run must match the sequential
+           Cheney collector on the same initial heap. *)
+        if
+          Verify.equal_snapshot (Verify.snapshot heap)
+            (oracle_snapshot ~scale ~seed:p.seed w)
+        then Clean
+        else Hung "oracle mismatch: coprocessor result differs from Cheney"
+    in
+    finish ~terminated:true ~classification ~faults ~corruptions ~cycles
+  | exception Coprocessor.Stall_diagnosis d ->
+    let reason = Format.asprintf "%a" Coprocessor.pp_diagnosis d in
+    let classification =
+      match p.klass with
+      | `Delay -> Hung reason
+      | `Corruption -> Detected reason
+    in
+    finish ~terminated:false ~classification ~faults:0 ~corruptions:0 ~cycles:0
+  | exception Coprocessor.Heap_overflow ->
+    let classification =
+      match p.klass with
+      | `Delay -> Hung "heap overflow"
+      | `Corruption -> Detected "heap overflow"
+    in
+    finish ~terminated:false ~classification ~faults:0 ~corruptions:0 ~cycles:0
+  | exception Coprocessor.Simulation_diverged msg ->
+    let classification =
+      match p.klass with
+      | `Delay -> Hung ("diverged: " ^ msg)
+      | `Corruption -> Detected ("diverged: " ^ msg)
+    in
+    finish ~terminated:false ~classification ~faults:0 ~corruptions:0 ~cycles:0
+
+let summarize results =
+  let delay, corruption =
+    List.partition (fun r -> r.point.klass = `Delay) results
+  in
+  let terminated = List.filter (fun r -> r.terminated) delay in
+  let clean = List.filter (fun r -> r.classification = Clean) delay in
+  let armed = List.filter (fun r -> r.corruptions > 0) corruption in
+  let detected =
+    List.filter
+      (fun r -> match r.classification with Detected _ -> true | _ -> false)
+      corruption
+  in
+  let silent =
+    List.filter
+      (fun r -> match r.classification with Silent _ -> true | _ -> false)
+      corruption
+  in
+  let overheads =
+    List.filter_map
+      (fun r ->
+        if r.terminated && r.baseline_cycles > 0 then
+          Some
+            ((float_of_int r.cycles /. float_of_int r.baseline_cycles) -. 1.0)
+        else None)
+      delay
+  in
+  {
+    results;
+    delay_points = List.length delay;
+    delay_terminated = List.length terminated;
+    delay_clean = List.length clean;
+    corruption_points = List.length corruption;
+    corruption_armed = List.length armed;
+    corruption_detected = List.length detected;
+    corruption_silent = List.length silent;
+    mean_delay_overhead =
+      (match overheads with
+      | [] -> 0.0
+      | _ ->
+        List.fold_left ( +. ) 0.0 overheads
+        /. float_of_int (List.length overheads));
+  }
+
+let run ?scale ?(jobs = 1) ?(on_error = Domain_pool.Skip) points =
+  let outcomes =
+    Domain_pool.map_list_policy ~on_error ~jobs
+      (fun ~attempt p -> run_point ?scale ~attempt p)
+      points
+  in
+  (* A point that kept failing even under the policy still must not sink
+     the campaign: it becomes a synthetic Hung result. *)
+  let results =
+    List.map2
+      (fun p -> function
+        | Domain_pool.Done r -> r
+        | Domain_pool.Failed { attempts; error } ->
+          {
+            point = p;
+            attempt = attempts - 1;
+            terminated = false;
+            classification = Hung ("harness: " ^ Printexc.to_string error);
+            faults = 0;
+            corruptions = 0;
+            cycles = 0;
+            baseline_cycles = 0;
+          })
+      points outcomes
+  in
+  summarize results
+
+let klass_name = function `Delay -> "delay" | `Corruption -> "corruption"
+
+let classification_label = function
+  | Clean -> "clean"
+  | Detected _ -> "detected"
+  | Silent n -> Printf.sprintf "SILENT(%d)" n
+  | Hung _ -> "HUNG"
+
+let rate num den =
+  if den = 0 then "n/a" else Table.pct (float_of_int num /. float_of_int den)
+
+let render s =
+  let header =
+    [
+      "class"; "intensity"; "workload"; "cores"; "outcome"; "faults";
+      "corruptions"; "cycles"; "overhead";
+    ]
+  in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          klass_name r.point.klass;
+          Printf.sprintf "%g" r.point.intensity;
+          r.point.workload;
+          string_of_int r.point.n_cores;
+          classification_label r.classification;
+          string_of_int r.faults;
+          string_of_int r.corruptions;
+          (if r.terminated then string_of_int r.cycles else "-");
+          (if r.terminated && r.baseline_cycles > 0 then
+             Printf.sprintf "%+.1f%%"
+               (100.0
+               *. ((float_of_int r.cycles /. float_of_int r.baseline_cycles)
+                  -. 1.0))
+           else "-");
+        ])
+      s.results
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Chaos campaign (fault class x intensity x workload). Delay-class\n\
+     faults only move events in time: every run must terminate and verify\n\
+     (vs. snapshot isomorphism and the Cheney oracle). Corruption-class\n\
+     faults flip copied bits: every armed run must be detected.\n\n";
+  Buffer.add_string buf (Table.render ~header ~rows);
+  Buffer.add_string buf "\n";
+  Buffer.add_string buf
+    (Printf.sprintf "delay:      %d points, termination %s, clean verification %s\n"
+       s.delay_points
+       (rate s.delay_terminated s.delay_points)
+       (rate s.delay_clean s.delay_points));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "corruption: %d points (%d armed), detection %s, silent passes %d\n"
+       s.corruption_points s.corruption_armed
+       (rate s.corruption_detected s.corruption_armed)
+       s.corruption_silent);
+  Buffer.add_string buf
+    (Printf.sprintf "delay overhead: %+.1f%% mean collection-cycle cost\n"
+       (100.0 *. s.mean_delay_overhead));
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json s =
+  let point_json r =
+    Printf.sprintf
+      {|    {"class": "%s", "intensity": %g, "workload": "%s", "cores": %d, "seed": %d, "attempt": %d, "terminated": %b, "outcome": "%s", "faults": %d, "corruptions": %d, "cycles": %d, "baseline_cycles": %d}|}
+      (klass_name r.point.klass) r.point.intensity
+      (json_escape r.point.workload)
+      r.point.n_cores r.point.seed r.attempt r.terminated
+      (json_escape (classification_label r.classification))
+      r.faults r.corruptions r.cycles r.baseline_cycles
+  in
+  Printf.sprintf
+    {|{
+  "benchmark": "hsgc chaos campaign",
+  "delay_points": %d,
+  "delay_terminated": %d,
+  "delay_clean": %d,
+  "termination_rate": %.4f,
+  "clean_verification_rate": %.4f,
+  "corruption_points": %d,
+  "corruption_armed": %d,
+  "corruption_detected": %d,
+  "corruption_silent": %d,
+  "detection_rate": %.4f,
+  "mean_delay_overhead": %.4f,
+  "points": [
+%s
+  ]
+}
+|}
+    s.delay_points s.delay_terminated s.delay_clean
+    (if s.delay_points = 0 then 1.0
+     else float_of_int s.delay_terminated /. float_of_int s.delay_points)
+    (if s.delay_points = 0 then 1.0
+     else float_of_int s.delay_clean /. float_of_int s.delay_points)
+    s.corruption_points s.corruption_armed s.corruption_detected
+    s.corruption_silent
+    (if s.corruption_armed = 0 then 1.0
+     else
+       float_of_int s.corruption_detected /. float_of_int s.corruption_armed)
+    s.mean_delay_overhead
+    (String.concat ",\n" (List.map point_json s.results))

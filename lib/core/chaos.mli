@@ -1,0 +1,100 @@
+(** Chaos campaigns: systematic fault-injection sweeps over the
+    (fault class × intensity × workload) matrix.
+
+    Each campaign point runs one collection with a seeded fault plan
+    ({!Hsgc_fault.Injector}) and a reference run without faults, then
+    classifies the outcome:
+
+    - {b delay-class} points must terminate (within a cycle budget
+      derived from the fault-free run) {i and} verify cleanly — against
+      both {!Hsgc_heap.Verify.check_collection} and the {!Cheney_seq}
+      oracle — demonstrating the microprogram is correct under
+      perturbed timing (metamorphic robustness);
+    - {b corruption-class} points measure the verifier's detection
+      coverage: every point whose injector actually fired must be
+      {e detected} (verification failure or structured simulator
+      error); a corrupted run that verifies cleanly is a {e silent
+      pass} — the one outcome the acceptance bar sets to zero. *)
+
+type klass = [ `Delay | `Corruption ]
+
+type point = {
+  klass : klass;
+  intensity : float;  (** per-event fault probability *)
+  workload : string;
+  n_cores : int;
+  seed : int;  (** workload seed; the injector seed derives from it *)
+}
+
+type classification =
+  | Clean  (** terminated, verified OK (and for corruption: no fault fired) *)
+  | Detected of string  (** corruption caught — by the verifier or a
+                            structured simulator error *)
+  | Silent of int
+      (** corrupted ([n] flips) yet verified clean — a verifier gap *)
+  | Hung of string
+      (** watchdog trip / divergence / overflow on a delay-class point —
+          a timing-robustness failure of the microprogram *)
+
+type point_result = {
+  point : point;
+  attempt : int;  (** retry attempt that produced this result *)
+  terminated : bool;
+  classification : classification;
+  faults : int;  (** faults injected, both classes *)
+  corruptions : int;  (** corruption-class faults injected *)
+  cycles : int;  (** faulted-run collection length (0 when not terminated) *)
+  baseline_cycles : int;  (** fault-free run of the same heap *)
+}
+
+type summary = {
+  results : point_result list;
+  delay_points : int;
+  delay_terminated : int;
+  delay_clean : int;  (** terminated and verified (incl. oracle) *)
+  corruption_points : int;
+  corruption_armed : int;  (** points whose injector fired at least once *)
+  corruption_detected : int;
+  corruption_silent : int;
+  mean_delay_overhead : float;
+      (** mean of [cycles/baseline - 1] over terminated delay points *)
+}
+
+val default_intensities : klass -> float list
+(** Delay: [0.02; 0.1; 0.3]. Corruption: [0.002; 0.01; 0.05] (bit flips
+    are per copied word, so small probabilities already fire often). *)
+
+val default_matrix :
+  ?workloads:string list ->
+  ?cores:int list ->
+  ?intensities:(klass -> float list) ->
+  ?seed:int ->
+  unit ->
+  point list
+(** The full campaign matrix: both classes × {!default_intensities} ×
+    all workloads (or [workloads]) × [cores] (default [[8]]). *)
+
+val run_point : ?scale:float -> ?attempt:int -> point -> point_result
+(** Run one campaign point: fault-free baseline, then the faulted run
+    under a cycle budget of 50× the baseline (plus slack), then
+    classification. [attempt] (default 0) perturbs the injector seed
+    deterministically — the reseed-on-retry hook for
+    {!Hsgc_sim.Domain_pool.map_list_policy}. *)
+
+val run :
+  ?scale:float ->
+  ?jobs:int ->
+  ?on_error:Hsgc_sim.Domain_pool.error_policy ->
+  point list ->
+  summary
+(** Run the campaign, distributing points over [jobs] domains. Points
+    are isolated per [on_error] (default [Skip] — a crashed point
+    surfaces as [Hung] rather than killing the campaign). Results keep
+    matrix order at every [jobs] level. *)
+
+val render : summary -> string
+(** Human-readable campaign report (per-point table + rates). *)
+
+val to_json : summary -> string
+(** The BENCH_chaos.json payload: campaign rates plus the per-point
+    records. *)

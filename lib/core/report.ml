@@ -382,3 +382,10 @@ let concurrent_pauses ?(scale = 0.5) ?(seed = 42) () =
          [ "workload"; "STW pause"; "conc. pause"; "barrier evacs"; "mutator ops" ]
        ~rows);
   Buffer.contents buf
+
+let stall_diagnosis d =
+  Format.asprintf
+    "The simulator tripped its watchdog and aborted the collection.\n\
+     The dump below is the complete machine state at the trip point;\n\
+     start from the lock owners and the non-idle ports.\n\n%a"
+    Coprocessor.pp_diagnosis d

@@ -62,3 +62,8 @@ val future_work : ?scale:float -> ?seed:int -> unit -> string
 val concurrent_pauses : ?scale:float -> ?seed:int -> unit -> string
 (** E8: stop-the-world pause vs concurrent pause (root phase only), with
     read-barrier and mutator-progress counts; every run verified. *)
+
+val stall_diagnosis : Hsgc_coproc.Coprocessor.diagnosis -> string
+(** Render a {!Hsgc_coproc.Coprocessor.Stall_diagnosis} payload as the
+    operator-facing report: a short reading guide followed by the full
+    machine dump ({!Hsgc_coproc.Coprocessor.pp_diagnosis}). *)

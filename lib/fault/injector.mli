@@ -1,0 +1,117 @@
+(** Deterministic, seeded fault injection for the simulated hardware.
+
+    The injector perturbs the machine the way silicon-validation
+    campaigns do, in two strictly separated classes:
+
+    - {b delay-class} faults only move events in time: jittered memory
+      completions, transient header-FIFO drops (the entry falls through
+      to the memory path, exactly like a capacity overflow), header-cache
+      invalidations, and spurious buffer-busy cycles. They must be
+      {i metamorphic-safe}: any collection run under them still
+      terminates and still passes verification, because the microprogram
+      is specified to be correct under every interleaving.
+    - {b corruption-class} faults flip one bit of a copied body or
+      header word as it is written to tospace. They model the failures
+      the verifier exists to catch: every injected corruption must be
+      {i detected} (verification failure or structured simulator error),
+      never silently absorbed.
+
+    Every draw comes from a private {!Hsgc_util.Rng} stream seeded by the
+    plan, so a campaign point is exactly reproducible from its spec. A
+    disabled injector ({!disabled}) costs one branch per hook and draws
+    nothing — simulation behavior with faults off is bit-identical to a
+    build without the hooks. *)
+
+(** Fault plan: per-event probabilities (clamped to [0, 0.95]) plus the
+    RNG seed. All-zero probabilities make an enabled injector that never
+    fires (but still draws — use {!disabled} for the true off state). *)
+type spec = {
+  seed : int;
+  delay_prob : float;  (** extra completion latency, per accepted transaction *)
+  delay_max : int;  (** extra cycles drawn uniformly from [1, delay_max] *)
+  fifo_drop_prob : float;  (** transient header-FIFO drop, per push *)
+  cache_invalidate_prob : float;
+      (** header-cache line invalidation, per cache hit *)
+  busy_prob : float;  (** spurious buffer-busy, per acceptance attempt *)
+  corrupt_body_prob : float;  (** single-bit flip, per copied body word *)
+  corrupt_header_prob : float;  (** single-bit flip, per blackened header *)
+}
+
+val default_spec : spec
+(** Seed 0, every probability 0. *)
+
+val delay_class : ?seed:int -> intensity:float -> unit -> spec
+(** All four delay-class mechanisms firing with probability [intensity]
+    (extra latency up to 32 cycles). *)
+
+val corruption_class : ?seed:int -> intensity:float -> unit -> spec
+(** Body-word and header-word bit flips with probability [intensity];
+    no delay-class perturbation, so any verification failure is
+    attributable to the corruption. *)
+
+val pp_class : Format.formatter -> [ `Delay | `Corruption ] -> unit
+
+val of_class : [ `Delay | `Corruption ] -> ?seed:int -> intensity:float -> unit -> spec
+
+type t
+
+val disabled : t
+(** The zero-cost off state: every hook returns its neutral value
+    without drawing. *)
+
+val create : spec -> t
+
+val enabled : t -> bool
+
+(** {2 Hooks}
+
+    Each hook is called by the subsystem it perturbs at the moment the
+    corresponding event could fire. On a disabled injector all hooks are
+    neutral ([0], [false], identity). *)
+
+val extra_delay : t -> int
+(** Extra completion cycles for the transaction being accepted
+    (0 = no fault). Called by {!Hsgc_memsim.Memsys} on acceptance. *)
+
+val drop_push : t -> bool
+(** Drop this header-FIFO push (the later read falls through to the
+    memory path). Called by {!Hsgc_memsim.Header_fifo.push}. *)
+
+val invalidate_cache : t -> bool
+(** Invalidate the header-cache line being hit (the access replays as a
+    miss). Called by {!Hsgc_memsim.Memsys} on a cache hit. *)
+
+val spurious_busy : t -> bool
+(** Reject this acceptance attempt as if the memory interface were busy;
+    the port buffer stays in its retry loop. Called by
+    {!Hsgc_memsim.Port}. *)
+
+val corrupt_body : t -> int -> int
+(** [corrupt_body t w] — the word actually written to the tospace copy:
+    [w], or [w] with one bit flipped when the fault fires. *)
+
+val corrupt_header : t -> int -> int
+(** Same for a header word being blackened; the flipped bit is confined
+    to the decoded fields (state/π/δ) so the corruption is always
+    semantically meaningful. *)
+
+(** {2 Accounting} *)
+
+type counts = {
+  delays : int;
+  delay_cycles : int;  (** total extra cycles injected *)
+  fifo_drops : int;
+  cache_invalidations : int;
+  busies : int;
+  body_corruptions : int;
+  header_corruptions : int;
+}
+
+val counts : t -> counts
+val total : t -> int
+(** All injected faults, both classes. *)
+
+val corruptions : t -> int
+(** Corruption-class faults only — the detection-coverage denominator. *)
+
+val pp_counts : Format.formatter -> counts -> unit

@@ -65,7 +65,9 @@ type failure =
   | Graph_mismatch of string
   | Not_compacted of string
   | Bad_state of { obj : int; state : Header.state }
+  | Undecodable_header of { obj : int; word : int }
   | Dangling_pointer of { obj : int; slot : int; target : int }
+  | Misaligned_pointer of { obj : int; slot : int; target : int }
 
 let pp_failure ppf = function
   | Graph_mismatch msg -> Format.fprintf ppf "graph mismatch: %s" msg
@@ -73,21 +75,31 @@ let pp_failure ppf = function
   | Bad_state { obj; state } ->
     Format.fprintf ppf "object %d has state %a (expected Black)" obj
       Header.pp_state state
+  | Undecodable_header { obj; word } ->
+    Format.fprintf ppf "object %d has undecodable header word %#x" obj word
   | Dangling_pointer { obj; slot; target } ->
     Format.fprintf ppf "object %d slot %d points to %d outside the new space"
       obj slot target
+  | Misaligned_pointer { obj; slot; target } ->
+    Format.fprintf ppf
+      "object %d slot %d points to %d, which is not an object start" obj slot
+      target
 
 let check_space heap =
   let space = Heap.from_space heap in
   let exception Fail of failure in
   try
-    (* Wall-to-wall scan: the space must parse as a contiguous sequence
-       of Black objects ending exactly at [free], with all pointers
-       inside the space (or null). *)
+    (* Pass 1 — wall-to-wall parse: the space must decode as a contiguous
+       sequence of Black objects ending exactly at [free]. The state tag
+       is inspected raw first: a corrupted header may carry the invalid
+       tag 3, which must surface as a failure, not an exception from the
+       decoder. Object starts are collected for pass 2. *)
+    let starts = Hashtbl.create 1024 in
     let addr = ref space.Semispace.base in
     while !addr < space.Semispace.free do
       let obj = !addr in
       let w0 = Heap.header0 heap obj in
+      if w0 land 3 = 3 then raise (Fail (Undecodable_header { obj; word = w0 }));
       (match Header.state w0 with
       | Black -> ()
       | (White | Gray) as state -> raise (Fail (Bad_state { obj; state })));
@@ -98,12 +110,7 @@ let check_space heap =
              (Not_compacted
                 (Printf.sprintf "object %d of size %d overruns free=%d" obj size
                    space.Semispace.free)));
-      let pi = Header.pi w0 in
-      for slot = 0 to pi - 1 do
-        let target = Heap.get_pointer heap obj slot in
-        if target <> Heap.null && not (Semispace.contains space target) then
-          raise (Fail (Dangling_pointer { obj; slot; target }))
-      done;
+      Hashtbl.replace starts obj ();
       addr := obj + size
     done;
     if !addr <> space.Semispace.free then
@@ -112,6 +119,24 @@ let check_space heap =
            (Not_compacted
               (Printf.sprintf "scan ended at %d but free=%d" !addr
                  space.Semispace.free)));
+    (* Pass 2 — pointer discipline: every non-null pointer must land on
+       an object start of this space. (The weaker [contains] check would
+       let a corrupted low bit slide into a neighbour's body and go
+       unnoticed here; it would also let the snapshot BFS read from a
+       misparsed "object".) Runs only on a successfully parsed space, so
+       pi is trustworthy. *)
+    Hashtbl.iter
+      (fun obj () ->
+        let pi = Header.pi (Heap.header0 heap obj) in
+        for slot = 0 to pi - 1 do
+          let target = Heap.get_pointer heap obj slot in
+          if target <> Heap.null then
+            if not (Semispace.contains space target) then
+              raise (Fail (Dangling_pointer { obj; slot; target }))
+            else if not (Hashtbl.mem starts target) then
+              raise (Fail (Misaligned_pointer { obj; slot; target }))
+        done)
+      starts;
     Ok ()
   with Fail f -> Error f
 

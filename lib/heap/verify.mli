@@ -31,16 +31,26 @@ type failure =
   | Graph_mismatch of string
   | Not_compacted of string
   | Bad_state of { obj : int; state : Header.state }
+  | Undecodable_header of { obj : int; word : int }
+      (** the header carries the invalid state tag 3 — only possible via
+          corruption; surfaced as a failure rather than an exception so
+          fault campaigns can count it as a detection *)
   | Dangling_pointer of { obj : int; slot : int; target : int }
+  | Misaligned_pointer of { obj : int; slot : int; target : int }
+      (** the pointer lands inside the space but not on an object start
+          (e.g. a corrupted low bit sliding into a neighbour's body) *)
 
 val pp_failure : Format.formatter -> failure -> unit
 
 val check_space : Heap.t -> (unit, failure) result
 (** The wall-to-wall structural half of {!check_collection}: the current
     space parses as a contiguous sequence of Black objects ending at
-    [free], with every pointer either null or inside the space. Useful
-    on its own when the graph changed during collection (concurrent
-    mode), making a whole-snapshot comparison inapplicable. *)
+    [free], with every non-null pointer targeting an object start of the
+    space. Useful on its own when the graph changed during collection
+    (concurrent mode), making a whole-snapshot comparison inapplicable.
+    Defensive against arbitrarily corrupted words: it returns [Error]
+    rather than raising, and {!check_collection} only takes its snapshot
+    after this check passes, so the BFS never reads a misparsed frame. *)
 
 val check_collection : pre:snapshot -> Heap.t -> (unit, failure) result
 (** [check_collection ~pre heap] validates the heap {i after} a collection

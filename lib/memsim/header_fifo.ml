@@ -1,30 +1,42 @@
+module Injector = Hsgc_fault.Injector
+
 type t = {
   capacity : int;
   buf : int array; (* ring buffer of frame addresses *)
+  faults : Injector.t;
   mutable head : int; (* index of front entry *)
   mutable len : int;
   mutable overflows : int;
   mutable hits : int;
   mutable misses : int;
+  mutable drops : int;
 }
 
-let create ~capacity =
+let create ?(faults = Injector.disabled) ~capacity () =
   if capacity <= 0 then invalid_arg "Header_fifo.create";
   {
     capacity;
     buf = Array.make capacity 0;
+    faults;
     head = 0;
     len = 0;
     overflows = 0;
     hits = 0;
     misses = 0;
+    drops = 0;
   }
 
 let capacity t = t.capacity
 let length t = t.len
 
 let push t addr =
-  if t.len >= t.capacity then begin
+  if Injector.drop_push t.faults then begin
+    (* Transient fault: the entry is simply not buffered, exactly like a
+       capacity overflow — the later read falls through to memory. *)
+    t.drops <- t.drops + 1;
+    false
+  end
+  else if t.len >= t.capacity then begin
     t.overflows <- t.overflows + 1;
     false
   end
@@ -49,6 +61,7 @@ let try_pop t addr =
 let overflows t = t.overflows
 let hits t = t.hits
 let misses t = t.misses
+let fault_drops t = t.drops
 
 let clear t =
   t.head <- 0;

@@ -13,7 +13,10 @@
 
 type t
 
-val create : capacity:int -> t
+val create : ?faults:Hsgc_fault.Injector.t -> capacity:int -> unit -> t
+(** [faults] (default disabled) may drop individual pushes — the
+    transient-fault analogue of a capacity overflow, and just as safe:
+    the dropped entry's later read falls through to the memory path. *)
 
 val capacity : t -> int
 val length : t -> int
@@ -34,6 +37,10 @@ val overflows : t -> int
 
 val hits : t -> int
 val misses : t -> int
+
+val fault_drops : t -> int
+(** Pushes dropped by the fault injector (counted separately from
+    genuine capacity overflows). *)
 
 val clear : t -> unit
 (** Empty the FIFO (between collection cycles); counters are kept. *)

@@ -1,3 +1,5 @@
+module Injector = Hsgc_fault.Injector
+
 type config = {
   header_load_latency : int;
   body_load_latency : int;
@@ -29,9 +31,25 @@ let with_extra_latency c n =
     store_latency = c.store_latency + n;
   }
 
+let validate_config c =
+  let err fmt = Format.kasprintf (fun m -> Error m) fmt in
+  if c.header_load_latency < 1 then
+    err "header_load_latency must be >= 1 (got %d)" c.header_load_latency
+  else if c.body_load_latency < 1 then
+    err "body_load_latency must be >= 1 (got %d)" c.body_load_latency
+  else if c.store_latency < 1 then
+    err "store_latency must be >= 1 (got %d)" c.store_latency
+  else if c.bandwidth < 1 then err "bandwidth must be >= 1 (got %d)" c.bandwidth
+  else if c.fifo_capacity < 1 then
+    err "fifo_capacity must be >= 1 (got %d)" c.fifo_capacity
+  else if c.header_cache_entries < 0 then
+    err "header_cache_entries must be >= 0 (got %d)" c.header_cache_entries
+  else Ok ()
+
 type t = {
   config : config;
   fifo : Header_fifo.t;
+  faults : Injector.t;
   (* Direct-mapped header cache: slot i holds the address cached there
      (0 = empty). Contents live in the heap; only presence is modeled. *)
   header_cache : int array;
@@ -55,15 +73,14 @@ type t = {
 
 let sweep_period = 1024
 
-let create config =
-  if
-    config.header_load_latency < 1 || config.body_load_latency < 1
-    || config.store_latency < 1
-  then invalid_arg "Memsys.create: latencies must be >= 1";
-  if config.bandwidth < 1 then invalid_arg "Memsys.create: bandwidth must be >= 1";
+let create ?(faults = Injector.disabled) config =
+  (match validate_config config with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Memsys.create: " ^ msg));
   {
     config;
-    fifo = Header_fifo.create ~capacity:config.fifo_capacity;
+    fifo = Header_fifo.create ~faults ~capacity:config.fifo_capacity ();
+    faults;
     header_cache = Array.make (max 1 config.header_cache_entries) 0;
     pending_header_stores = Hashtbl.create 64;
     accepted_this_cycle = 0;
@@ -126,7 +143,19 @@ let cache_fill t addr =
 
 let try_accept_load t ~now ~header ~addr =
   assert (now = t.cycle);
-  if header && cache_lookup t addr then begin
+  let cache_hit =
+    header && cache_lookup t addr
+    && begin
+         if Injector.invalidate_cache t.faults then begin
+           (* Transient fault: the line is lost and the access replays
+              as an ordinary miss (comparator hold, bandwidth, refill). *)
+           t.header_cache.(cache_slot t addr) <- 0;
+           false
+         end
+         else true
+       end
+  in
+  if cache_hit then begin
     (* Cache hit: on-chip, no bandwidth, no comparator hold (stores
        update the cache at initiation, so the cached value is current). *)
     t.cache_hits <- t.cache_hits + 1;
@@ -150,7 +179,7 @@ let try_accept_load t ~now ~header ~addr =
       end
       else t.config.body_load_latency
     in
-    Some (now + latency)
+    Some (now + latency + Injector.extra_delay t.faults)
   end
 
 let try_accept_store t ~now ~header ~addr =
@@ -159,7 +188,7 @@ let try_accept_store t ~now ~header ~addr =
   else begin
     t.accepted_this_cycle <- t.accepted_this_cycle + 1;
     t.stores <- t.stores + 1;
-    let commit = now + t.config.store_latency in
+    let commit = now + t.config.store_latency + Injector.extra_delay t.faults in
     if header then begin
       cache_fill t addr;
       (* Keep the later commit if a store to this address is already

@@ -47,9 +47,20 @@ val with_extra_latency : config -> int -> config
 val with_header_cache : config -> int -> config
 (** Enable the future-work header cache with the given entry count. *)
 
+val validate_config : config -> (unit, string) result
+(** Reject configurations the model cannot simulate: any latency below 1,
+    [bandwidth < 1], [fifo_capacity < 1], negative
+    [header_cache_entries]. The error is a human-readable message
+    suitable for a command-line diagnostic. *)
+
 type t
 
-val create : config -> t
+val create : ?faults:Hsgc_fault.Injector.t -> config -> t
+(** Raises [Invalid_argument] when {!validate_config} rejects the
+    config. [faults] (default disabled) injects delay-class
+    perturbations: extra completion latency on accepted transactions,
+    header-cache line invalidations, and header-FIFO push drops (the
+    injector is shared with the FIFO created here). *)
 
 val fifo : t -> Header_fifo.t
 

@@ -27,10 +27,20 @@ type status =
    bumps it. The simulation kernel zeroes it at the start of each cycle;
    a cycle that ends with it still at zero had no buffer activity — one
    of the requirements for idle-cycle skipping. *)
-type t = { kind : kind; mutable status : status; events : int ref }
+type t = {
+  kind : kind;
+  mutable status : status;
+  events : int ref;
+  faults : Hsgc_fault.Injector.t;
+}
 
-let create ?events kind =
-  { kind; status = Idle; events = (match events with Some e -> e | None -> ref 0) }
+let create ?events ?(faults = Hsgc_fault.Injector.disabled) kind =
+  {
+    kind;
+    status = Idle;
+    events = (match events with Some e -> e | None -> ref 0);
+    faults;
+  }
 
 let kind t = t.kind
 
@@ -38,7 +48,12 @@ let is_idle t = match t.status with Idle -> true | Waiting _ | In_flight _ | Rea
 
 let try_accept t mem ~now ~addr =
   let accepted =
-    if is_load t.kind then Memsys.try_accept_load mem ~now ~header:(is_header t.kind) ~addr
+    (* A spurious-busy fault rejects the attempt before it reaches the
+       memory interface — the buffer stays in its normal retry loop, so
+       the perturbation is pure timing. *)
+    if Hsgc_fault.Injector.spurious_busy t.faults then None
+    else if is_load t.kind then
+      Memsys.try_accept_load mem ~now ~header:(is_header t.kind) ~addr
     else Memsys.try_accept_store mem ~now ~header:(is_header t.kind) ~addr
   in
   match accepted with
@@ -108,3 +123,11 @@ let busy_addr t =
   | Idle | Ready -> None
   | Waiting addr -> Some addr
   | In_flight { addr; _ } -> Some addr
+
+let describe t =
+  match t.status with
+  | Idle -> "idle"
+  | Ready -> "ready"
+  | Waiting addr -> Printf.sprintf "waiting addr=%d" addr
+  | In_flight { addr; done_at } ->
+    Printf.sprintf "in-flight addr=%d done@%d" addr done_at

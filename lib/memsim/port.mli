@@ -15,12 +15,16 @@ val is_header : kind -> bool
 
 type t
 
-val create : ?events:int ref -> kind -> t
+val create : ?events:int ref -> ?faults:Hsgc_fault.Injector.t -> kind -> t
 (** [events], when given, is a transition counter shared with the owning
     simulator: every status change of this buffer increments it. The
     simulator zeroes it at the top of each cycle; a cycle that leaves it
     at zero had no buffer activity anywhere — one of the requirements
-    for idle-cycle skipping. Defaults to a private counter. *)
+    for idle-cycle skipping. Defaults to a private counter.
+
+    [faults] (default disabled) may reject individual memory-acceptance
+    attempts as spuriously busy; the buffer stays in its ordinary retry
+    loop, so the perturbation is timing-only. *)
 
 val kind : t -> kind
 
@@ -51,6 +55,10 @@ val consume : t -> unit
 
 val busy_addr : t -> int option
 (** Address of the in-progress transfer, if any (for tracing). *)
+
+val describe : t -> string
+(** One-line human-readable status ("idle", "waiting addr=…",
+    "in-flight addr=… done@…", "ready") for stall-diagnosis dumps. *)
 
 (** {2 Idle-cycle skipping support}
 

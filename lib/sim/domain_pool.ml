@@ -1,3 +1,7 @@
+type error_policy = Fail | Skip | Retry of int
+
+type 'b outcome = Done of 'b | Failed of { attempts : int; error : exn }
+
 let map_list ~jobs f xs =
   let n = List.length xs in
   let jobs = min jobs n in
@@ -28,3 +32,42 @@ let map_list ~jobs f xs =
            | None -> assert false)
          results)
   end
+
+(* One sweep point under the error policy. Exceptions never escape: the
+   retry loop hands [f] a fresh attempt index each time so the point can
+   reseed deterministically, and exhaustion becomes a [Failed] outcome
+   the caller can report without losing the rest of the sweep. *)
+let run_point ~on_error f x =
+  let max_attempts =
+    match on_error with Retry n -> 1 + max 0 n | Fail | Skip -> 1
+  in
+  let rec go attempt =
+    match f ~attempt x with
+    | v -> Done v
+    | exception e ->
+      if attempt + 1 < max_attempts then go (attempt + 1)
+      else Failed { attempts = attempt + 1; error = e }
+  in
+  go 0
+
+let map_list_policy ~on_error ~jobs f xs =
+  (* [run_point] never raises, so the plain pool machinery applies. *)
+  let outcomes = map_list ~jobs (run_point ~on_error f) xs in
+  (match on_error with
+  | Fail ->
+    (* Same contract as [map_list]: the earliest failed *input* wins,
+       deterministically, after every domain has joined. *)
+    List.iter
+      (function Failed { error; _ } -> raise error | Done _ -> ())
+      outcomes
+  | Skip | Retry _ -> ());
+  outcomes
+
+let partition_outcomes outs =
+  let rec go done_ failed i = function
+    | [] -> (List.rev done_, List.rev failed)
+    | Done v :: rest -> go ((i, v) :: done_) failed (i + 1) rest
+    | Failed { attempts; error } :: rest ->
+      go done_ ((i, attempts, error) :: failed) (i + 1) rest
+  in
+  go [] [] 0 outs

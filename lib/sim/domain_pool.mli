@@ -14,3 +14,37 @@ val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     If one or more applications raise, the exception of the earliest
     failed {i input} is re-raised after all domains have joined —
     deterministic even when a later input failed first in wall time. *)
+
+(** {2 Graceful degradation}
+
+    A long campaign should not lose every completed point because one
+    point failed. [map_list_policy] isolates failures per point and
+    lets the caller choose the policy. *)
+
+type error_policy =
+  | Fail  (** raise the earliest failed input's exception (= [map_list]) *)
+  | Skip  (** record the failure, keep the rest of the sweep *)
+  | Retry of int
+      (** re-run a failed point up to [n] more times before recording
+          it; each re-run sees a fresh [attempt] index so it can reseed
+          deterministically *)
+
+type 'b outcome = Done of 'b | Failed of { attempts : int; error : exn }
+
+val map_list_policy :
+  on_error:error_policy ->
+  jobs:int ->
+  (attempt:int -> 'a -> 'b) ->
+  'a list ->
+  'b outcome list
+(** Like {!map_list} but exceptions are confined to their point.
+    [f ~attempt x] receives the 0-based attempt number ([> 0] only under
+    [Retry]). Results are in input order at every [jobs] level; when no
+    application raises, the outcome list is [Done] of exactly
+    [map_list ~jobs (f ~attempt:0) xs]. Under [Fail] a failure is
+    re-raised only after all domains have joined. *)
+
+val partition_outcomes :
+  'b outcome list -> (int * 'b) list * (int * int * exn) list
+(** Split outcomes into [(index, value)] successes and
+    [(index, attempts, error)] failures, both in input order. *)

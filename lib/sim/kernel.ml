@@ -3,11 +3,13 @@ type t = {
   mutable now : int;
   mutable executed : int;
   mutable skipped : int;
-  wall_start : float;
+  (* CLOCK_MONOTONIC nanoseconds. gettimeofday can step backwards under
+     NTP adjustment and produced negative Mcycles/s in long sweeps. *)
+  wall_start : int64;
 }
 
 let create ?(skip = true) () =
-  { skip; now = 0; executed = 0; skipped = 0; wall_start = Unix.gettimeofday () }
+  { skip; now = 0; executed = 0; skipped = 0; wall_start = Monotonic_clock.now () }
 
 let now t = t.now
 let skip_enabled t = t.skip
@@ -27,7 +29,10 @@ let fast_forward t ~target =
 
 let executed_cycles t = t.executed
 let skipped_cycles t = t.skipped
-let wall_seconds t = Unix.gettimeofday () -. t.wall_start
+
+let wall_seconds t =
+  let ns = Int64.sub (Monotonic_clock.now ()) t.wall_start in
+  Float.max 0.0 (Int64.to_float ns *. 1e-9)
 
 let cycles_per_second t =
   let w = wall_seconds t in
@@ -40,3 +45,48 @@ let min_wake a b =
 
 let bound ~horizon target =
   match horizon with None -> target | Some h -> min h target
+
+module Watchdog = struct
+  type trip =
+    | Budget_exceeded of { budget : int }
+    | No_progress of { window : int; since : int }
+
+  type nonrec t = {
+    budget : int option;
+    window : int;
+    mutable quiet : int;
+    mutable last_progress : int;
+  }
+
+  let create ?budget ~window () =
+    if window < 1 then invalid_arg "Kernel.Watchdog.create: window must be >= 1";
+    (match budget with
+    | Some b when b < 1 ->
+      invalid_arg "Kernel.Watchdog.create: budget must be >= 1"
+    | Some _ | None -> ());
+    { budget; window; quiet = 0; last_progress = 0 }
+
+  let observe w ~now ~progressed =
+    match w.budget with
+    | Some b when now >= b -> Some (Budget_exceeded { budget = b })
+    | _ ->
+      if progressed then begin
+        w.quiet <- 0;
+        w.last_progress <- now;
+        None
+      end
+      else begin
+        w.quiet <- w.quiet + 1;
+        if w.quiet >= w.window then
+          Some (No_progress { window = w.window; since = w.last_progress })
+        else None
+      end
+
+  let pp_trip ppf = function
+    | Budget_exceeded { budget } ->
+      Format.fprintf ppf "cycle budget of %d exhausted" budget
+    | No_progress { window; since } ->
+      Format.fprintf ppf
+        "no progress for %d executed cycles (last progress at cycle %d)"
+        window since
+end

@@ -44,7 +44,8 @@ val skipped_cycles : t -> int
 (** Cycles fast-forwarded over. [now = executed + skipped]. *)
 
 val wall_seconds : t -> float
-(** Wall-clock seconds since [create]. *)
+(** Wall-clock seconds since [create], measured on the monotonic clock
+    (immune to NTP steps) and clamped at 0. *)
 
 val cycles_per_second : t -> float
 (** Simulated cycles per wall-clock second ([now / wall_seconds]);
@@ -58,3 +59,40 @@ val min_wake : int option -> int option -> int option
 val bound : horizon:int option -> int -> int
 (** Cap a wake-up target by an external horizon (e.g. the next mutator
     operation in concurrent mode). *)
+
+(** {2 Watchdog}
+
+    Liveness monitoring for cycle-stepped engines. The engine reports
+    once per executed cycle whether the machine made global progress
+    (any agent transition, any shared-register movement); the watchdog
+    trips when a cycle budget is exhausted or when [window] consecutive
+    executed cycles pass without progress — turning a deadlock
+    regression (which otherwise spins forever in [collect]'s
+    run-to-halt loop) into a structured, diagnosable failure. *)
+
+module Watchdog : sig
+  type trip =
+    | Budget_exceeded of { budget : int }
+        (** [now] reached the configured cycle budget. Fires whether or
+            not the machine is progressing: the budget is a hard bound
+            on total simulated cycles. *)
+    | No_progress of { window : int; since : int }
+        (** [window] consecutive executed cycles saw no progress;
+            [since] is the cycle of the last progressing one. Skipped
+            (fast-forwarded) cycles never count — by construction they
+            end at a wake-up that produces a transition. *)
+
+  type t
+
+  val create : ?budget:int -> window:int -> unit -> t
+  (** [budget] (default none) bounds total simulated cycles; [window]
+      bounds consecutive executed cycles without progress. Both must be
+      >= 1. *)
+
+  val observe : t -> now:int -> progressed:bool -> trip option
+  (** Call once per executed cycle, after determining whether the cycle
+      made progress. [Some trip] means the engine should abort with a
+      diagnosis dump. *)
+
+  val pp_trip : Format.formatter -> trip -> unit
+end

@@ -1,0 +1,281 @@
+(* Fault-injection harness: injector determinism, watchdog semantics,
+   graceful-degradation policies, and the two campaign-level properties
+   the chaos harness is built on — delay faults are metamorphic-safe,
+   corruption faults are always detected. *)
+
+module Injector = Hsgc_fault.Injector
+module Kernel = Hsgc_sim.Kernel
+module Domain_pool = Hsgc_sim.Domain_pool
+module Chaos = Hsgc_core.Chaos
+module Workloads = Hsgc_objgraph.Workloads
+
+(* --- injector ---------------------------------------------------------- *)
+
+let test_disabled_neutral () =
+  let t = Injector.disabled in
+  Alcotest.(check bool) "disabled" false (Injector.enabled t);
+  for _ = 1 to 100 do
+    Alcotest.(check int) "no delay" 0 (Injector.extra_delay t);
+    Alcotest.(check bool) "no drop" false (Injector.drop_push t);
+    Alcotest.(check bool) "no invalidate" false (Injector.invalidate_cache t);
+    Alcotest.(check bool) "no busy" false (Injector.spurious_busy t);
+    Alcotest.(check int) "body identity" 12345 (Injector.corrupt_body t 12345);
+    Alcotest.(check int) "header identity" 678 (Injector.corrupt_header t 678)
+  done;
+  Alcotest.(check int) "no faults counted" 0 (Injector.total t)
+
+let test_zero_probability_never_fires () =
+  let t = Injector.create { Injector.default_spec with seed = 7 } in
+  Alcotest.(check bool) "enabled" true (Injector.enabled t);
+  for i = 1 to 500 do
+    assert (Injector.extra_delay t = 0);
+    assert (not (Injector.drop_push t));
+    assert (Injector.corrupt_body t i = i)
+  done;
+  Alcotest.(check int) "still zero faults" 0 (Injector.total t)
+
+let test_deterministic_replay () =
+  let draw spec =
+    let t = Injector.create spec in
+    let xs = ref [] in
+    for i = 1 to 200 do
+      xs :=
+        ( Injector.extra_delay t,
+          Injector.drop_push t,
+          Injector.corrupt_body t i,
+          Injector.corrupt_header t i )
+        :: !xs
+    done;
+    (!xs, Injector.counts t)
+  in
+  let spec = Injector.delay_class ~seed:11 ~intensity:0.4 () in
+  let a, ca = draw spec and b, cb = draw spec in
+  Alcotest.(check bool) "same draw sequence" true (a = b);
+  Alcotest.(check bool) "same counts" true (ca = cb);
+  let c, _ = draw { spec with Injector.seed = 12 } in
+  Alcotest.(check bool) "different seed, different sequence" true (a <> c)
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+let test_corruption_is_single_bit () =
+  let t =
+    Injector.create (Injector.corruption_class ~seed:3 ~intensity:1.0 ())
+  in
+  for i = 0 to 999 do
+    let w = i * 73 in
+    let body = Injector.corrupt_body t w in
+    if body <> w then begin
+      Alcotest.(check int) "body: exactly one bit" 1 (popcount (body lxor w));
+      (* The xor is a power of two; <= 2^61 keeps the flip inside the 62
+         usable word bits (2^62 would be the OCaml int sign bit). *)
+      Alcotest.(check bool) "body: bit below 62" true (body lxor w <= 1 lsl 61)
+    end;
+    let hdr = Injector.corrupt_header t w in
+    if hdr <> w then begin
+      Alcotest.(check int) "header: exactly one bit" 1 (popcount (hdr lxor w));
+      (* Confined to the decoded fields (state/pi/delta = bits 0..41) so
+         every header corruption is semantically visible. *)
+      Alcotest.(check bool) "header: bit below 42" true (hdr lxor w <= 1 lsl 41)
+    end
+  done;
+  let c = Injector.counts t in
+  Alcotest.(check bool) "intensity 1.0 clamped but still fires" true
+    (c.Injector.body_corruptions > 500);
+  Alcotest.(check int) "corruptions = body + header"
+    (c.Injector.body_corruptions + c.Injector.header_corruptions)
+    (Injector.corruptions t)
+
+(* --- watchdog ---------------------------------------------------------- *)
+
+let test_watchdog_budget () =
+  let w = Kernel.Watchdog.create ~budget:100 ~window:1_000_000 () in
+  for now = 0 to 99 do
+    Alcotest.(check bool)
+      (Printf.sprintf "no trip at %d" now)
+      true
+      (Kernel.Watchdog.observe w ~now ~progressed:true = None)
+  done;
+  (match Kernel.Watchdog.observe w ~now:100 ~progressed:true with
+  | Some (Kernel.Watchdog.Budget_exceeded { budget }) ->
+    Alcotest.(check int) "budget" 100 budget
+  | _ -> Alcotest.fail "expected Budget_exceeded at the budget cycle")
+
+let test_watchdog_no_progress () =
+  let w = Kernel.Watchdog.create ~window:10 () in
+  (* Progress resets the quiet counter... *)
+  for now = 0 to 8 do
+    assert (Kernel.Watchdog.observe w ~now ~progressed:false = None)
+  done;
+  assert (Kernel.Watchdog.observe w ~now:9 ~progressed:true = None);
+  for now = 10 to 18 do
+    assert (Kernel.Watchdog.observe w ~now ~progressed:false = None)
+  done;
+  (* ...and the 10th consecutive quiet cycle trips. *)
+  match Kernel.Watchdog.observe w ~now:19 ~progressed:false with
+  | Some (Kernel.Watchdog.No_progress { window; since }) ->
+    Alcotest.(check int) "window" 10 window;
+    Alcotest.(check int) "last progress at 9" 9 since
+  | _ -> Alcotest.fail "expected No_progress after window quiet cycles"
+
+let test_watchdog_validates () =
+  Alcotest.check_raises "window 0 rejected"
+    (Invalid_argument "Kernel.Watchdog.create: window must be >= 1")
+    (fun () -> ignore (Kernel.Watchdog.create ~window:0 ()));
+  Alcotest.check_raises "budget 0 rejected"
+    (Invalid_argument "Kernel.Watchdog.create: budget must be >= 1")
+    (fun () -> ignore (Kernel.Watchdog.create ~budget:0 ~window:5 ()))
+
+(* --- graceful degradation (Domain_pool policies) ----------------------- *)
+
+exception Boom of int
+
+let test_policy_skip_isolates () =
+  let f ~attempt:_ x = if x mod 3 = 0 then raise (Boom x) else x * 10 in
+  List.iter
+    (fun jobs ->
+      let out =
+        Domain_pool.map_list_policy ~on_error:Domain_pool.Skip ~jobs f
+          [ 1; 2; 3; 4; 5; 6; 7 ]
+      in
+      let show = function
+        | Domain_pool.Done v -> string_of_int v
+        | Domain_pool.Failed { error = Boom x; _ } -> Printf.sprintf "boom%d" x
+        | Domain_pool.Failed _ -> "?"
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "ordering kept at jobs=%d" jobs)
+        [ "10"; "20"; "boom3"; "40"; "50"; "boom6"; "70" ]
+        (List.map show out))
+    [ 1; 4 ]
+
+let test_policy_retry_reseeds () =
+  (* Succeeds only at attempt 2: Retry 2 must reach it, Retry 1 must not. *)
+  let f ~attempt x = if attempt < 2 then raise (Boom attempt) else x + attempt in
+  (match
+     Domain_pool.map_list_policy ~on_error:(Domain_pool.Retry 2) ~jobs:1 f [ 5 ]
+   with
+  | [ Domain_pool.Done 7 ] -> ()
+  | _ -> Alcotest.fail "Retry 2 should succeed at attempt 2");
+  match
+    Domain_pool.map_list_policy ~on_error:(Domain_pool.Retry 1) ~jobs:1 f [ 5 ]
+  with
+  | [ Domain_pool.Failed { attempts = 2; error = Boom 1 } ] -> ()
+  | _ -> Alcotest.fail "Retry 1 should record the attempt-1 failure"
+
+let test_policy_fail_raises_earliest () =
+  let f ~attempt:_ x = if x >= 4 then raise (Boom x) else x in
+  List.iter
+    (fun jobs ->
+      match
+        Domain_pool.map_list_policy ~on_error:Domain_pool.Fail ~jobs f
+          [ 1; 5; 2; 4; 3 ]
+      with
+      | exception Boom 5 -> ()
+      | exception e -> Alcotest.fail ("wrong exception: " ^ Printexc.to_string e)
+      | _ -> Alcotest.fail "expected Boom 5 (earliest failing input)")
+    [ 1; 4 ]
+
+(* Property (c): when nothing fails, every policy at every jobs level is
+   byte-identical to the plain sequential map — graceful degradation is
+   free when not needed. *)
+let qcheck_policy_identity_when_clean =
+  QCheck.Test.make ~name:"policies are identity when no point fails" ~count:30
+    QCheck.(small_list small_int)
+    (fun xs ->
+      let expect = List.map (fun x -> (x * 37) land 1023) xs in
+      List.for_all
+        (fun on_error ->
+          List.for_all
+            (fun jobs ->
+              Domain_pool.map_list_policy ~on_error ~jobs
+                (fun ~attempt x ->
+                  (* A fresh attempt index would change the result: the
+                     identity property also pins attempt = 0. *)
+                  ((x * 37) + attempt) land 1023)
+                xs
+              = List.map (fun v -> Domain_pool.Done v) expect)
+            [ 1; 3 ])
+        [ Domain_pool.Fail; Domain_pool.Skip; Domain_pool.Retry 2 ])
+
+(* --- campaign properties ----------------------------------------------- *)
+
+let scale = 0.05 (* --quick scale: every workload a few hundred objects *)
+
+let gen_point klass intensities =
+  QCheck.Gen.(
+    let* w = oneofl Workloads.all in
+    let* intensity = oneofl intensities in
+    let* n_cores = int_range 1 16 in
+    let* seed = int_range 0 1000 in
+    return { Chaos.klass; intensity; workload = w.Workloads.name; n_cores; seed })
+
+let print_point (p : Chaos.point) =
+  Printf.sprintf "%s i=%g w=%s n=%d seed=%d"
+    (match p.Chaos.klass with `Delay -> "delay" | `Corruption -> "corruption")
+    p.Chaos.intensity p.Chaos.workload p.Chaos.n_cores p.Chaos.seed
+
+(* Property (b): delay-class faults are metamorphic-safe — the run
+   terminates within the watchdog budget and verifies cleanly (snapshot
+   isomorphism + Cheney oracle), at any core count 1..16. *)
+let qcheck_delay_faults_are_safe =
+  QCheck.Test.make ~name:"delay campaigns terminate and verify (1..16 cores)"
+    ~count:25
+    (QCheck.make ~print:print_point
+       (gen_point `Delay [ 0.02; 0.1; 0.3; 0.6 ]))
+    (fun p ->
+      let r = Chaos.run_point ~scale p in
+      match r.Chaos.classification with
+      | Chaos.Clean -> r.Chaos.terminated
+      | c ->
+        QCheck.Test.fail_reportf "delay point not clean: %s"
+          (match c with
+          | Chaos.Hung msg -> "hung: " ^ msg
+          | Chaos.Detected msg -> "detected?!: " ^ msg
+          | Chaos.Silent n -> Printf.sprintf "silent?! (%d)" n
+          | Chaos.Clean -> assert false))
+
+(* Property (a): every corruption-class fault that actually fires is
+   caught — by the verifier or a structured simulator error — never
+   silently absorbed into a passing run. *)
+let qcheck_corruption_always_detected =
+  QCheck.Test.make ~name:"corruption faults are never silently absorbed"
+    ~count:30
+    (QCheck.make ~print:print_point
+       (gen_point `Corruption [ 0.005; 0.02; 0.1 ]))
+    (fun p ->
+      let r = Chaos.run_point ~scale p in
+      match r.Chaos.classification with
+      | Chaos.Silent n ->
+        QCheck.Test.fail_reportf "%d corruption(s) passed verification" n
+      | Chaos.Clean -> r.Chaos.corruptions = 0
+      | Chaos.Detected _ -> r.Chaos.corruptions > 0 || not r.Chaos.terminated
+      | Chaos.Hung msg -> QCheck.Test.fail_reportf "corruption point hung: %s" msg)
+
+let suite =
+  [
+    Alcotest.test_case "disabled injector is neutral" `Quick
+      test_disabled_neutral;
+    Alcotest.test_case "zero probabilities never fire" `Quick
+      test_zero_probability_never_fires;
+    Alcotest.test_case "same spec replays the same faults" `Quick
+      test_deterministic_replay;
+    Alcotest.test_case "corruptions flip exactly one meaningful bit" `Quick
+      test_corruption_is_single_bit;
+    Alcotest.test_case "watchdog: budget trips at the budget cycle" `Quick
+      test_watchdog_budget;
+    Alcotest.test_case "watchdog: quiet window trips, progress resets" `Quick
+      test_watchdog_no_progress;
+    Alcotest.test_case "watchdog: rejects non-positive bounds" `Quick
+      test_watchdog_validates;
+    Alcotest.test_case "policy Skip isolates failures, keeps order" `Quick
+      test_policy_skip_isolates;
+    Alcotest.test_case "policy Retry re-runs with fresh attempt index" `Quick
+      test_policy_retry_reseeds;
+    Alcotest.test_case "policy Fail raises the earliest input's error" `Quick
+      test_policy_fail_raises_earliest;
+    QCheck_alcotest.to_alcotest qcheck_policy_identity_when_clean;
+    QCheck_alcotest.to_alcotest qcheck_delay_faults_are_safe;
+    QCheck_alcotest.to_alcotest qcheck_corruption_always_detected;
+  ]

@@ -3,7 +3,7 @@
 module Fifo = Hsgc_memsim.Header_fifo
 
 let test_push_pop_order () =
-  let f = Fifo.create ~capacity:4 in
+  let f = Fifo.create ~capacity:4 () in
   Alcotest.(check bool) "push a" true (Fifo.push f 100);
   Alcotest.(check bool) "push b" true (Fifo.push f 200);
   Alcotest.(check bool) "pop a" true (Fifo.try_pop f 100);
@@ -11,18 +11,18 @@ let test_push_pop_order () =
   Alcotest.(check int) "empty" 0 (Fifo.length f)
 
 let test_pop_mismatch () =
-  let f = Fifo.create ~capacity:4 in
+  let f = Fifo.create ~capacity:4 () in
   ignore (Fifo.push f 100);
   Alcotest.(check bool) "wrong address misses" false (Fifo.try_pop f 999);
   Alcotest.(check int) "entry kept" 1 (Fifo.length f);
   Alcotest.(check int) "miss counted" 1 (Fifo.misses f)
 
 let test_pop_empty () =
-  let f = Fifo.create ~capacity:4 in
+  let f = Fifo.create ~capacity:4 () in
   Alcotest.(check bool) "empty misses" false (Fifo.try_pop f 1)
 
 let test_overflow () =
-  let f = Fifo.create ~capacity:2 in
+  let f = Fifo.create ~capacity:2 () in
   Alcotest.(check bool) "1" true (Fifo.push f 1);
   Alcotest.(check bool) "2" true (Fifo.push f 2);
   Alcotest.(check bool) "3 rejected" false (Fifo.push f 3);
@@ -33,7 +33,7 @@ let test_overflow () =
   Alcotest.(check bool) "3 was dropped" false (Fifo.try_pop f 3)
 
 let test_wraparound () =
-  let f = Fifo.create ~capacity:3 in
+  let f = Fifo.create ~capacity:3 () in
   for round = 0 to 9 do
     Alcotest.(check bool) "push" true (Fifo.push f round);
     Alcotest.(check bool) "pop" true (Fifo.try_pop f round)
@@ -41,7 +41,7 @@ let test_wraparound () =
   Alcotest.(check int) "hits" 10 (Fifo.hits f)
 
 let test_clear () =
-  let f = Fifo.create ~capacity:4 in
+  let f = Fifo.create ~capacity:4 () in
   ignore (Fifo.push f 5);
   ignore (Fifo.push f 6);
   Fifo.clear f;
@@ -49,10 +49,10 @@ let test_clear () =
   Alcotest.(check bool) "stale entry gone" false (Fifo.try_pop f 5)
 
 let test_capacity () =
-  let f = Fifo.create ~capacity:7 in
+  let f = Fifo.create ~capacity:7 () in
   Alcotest.(check int) "capacity" 7 (Fifo.capacity f);
   Alcotest.check_raises "zero capacity" (Invalid_argument "Header_fifo.create")
-    (fun () -> ignore (Fifo.create ~capacity:0))
+    (fun () -> ignore (Fifo.create ~capacity:0 ()))
 
 (* Property: with reads in write order, a pop hits iff the push was
    accepted; dropped pushes are skipped without disturbing later pops. *)
@@ -62,7 +62,7 @@ let qcheck_write_order_reads =
     QCheck.(pair (int_range 1 8) (small_list small_nat))
     (fun (cap, addrs) ->
       let addrs = List.mapi (fun i a -> a + (i * 1000)) addrs in
-      let f = Fifo.create ~capacity:cap in
+      let f = Fifo.create ~capacity:cap () in
       let accepted = List.map (fun a -> (a, Fifo.push f a)) addrs in
       List.for_all (fun (a, was_pushed) -> Fifo.try_pop f a = was_pushed) accepted)
 

@@ -145,6 +145,10 @@ let check_stats_equal ctx (a : Coprocessor.gc_stats)
     b.Coprocessor.header_cache_hits;
   chk "header_cache_misses" a.Coprocessor.header_cache_misses
     b.Coprocessor.header_cache_misses;
+  chk "faults_injected" a.Coprocessor.faults_injected
+    b.Coprocessor.faults_injected;
+  chk "corruptions_injected" a.Coprocessor.corruptions_injected
+    b.Coprocessor.corruptions_injected;
   Array.iteri
     (fun i ca ->
       let cb = b.Coprocessor.per_core.(i) in

@@ -27,4 +27,5 @@ let () =
       ("exhaustive", Test_exhaustive.suite);
       ("experiment", Test_experiment.suite);
       ("kernel", Test_kernel.suite);
+      ("fault", Test_fault.suite);
     ]

@@ -87,11 +87,20 @@ let test_fifo_attached () =
 
 let test_invalid_config () =
   Alcotest.check_raises "zero latency"
-    (Invalid_argument "Memsys.create: latencies must be >= 1") (fun () ->
-      ignore (Memsys.create (config ~store_latency:0 ())));
+    (Invalid_argument "Memsys.create: store_latency must be >= 1 (got 0)")
+    (fun () -> ignore (Memsys.create (config ~store_latency:0 ())));
   Alcotest.check_raises "zero bandwidth"
-    (Invalid_argument "Memsys.create: bandwidth must be >= 1") (fun () ->
-      ignore (Memsys.create (config ~bandwidth:0 ())))
+    (Invalid_argument "Memsys.create: bandwidth must be >= 1 (got 0)")
+    (fun () -> ignore (Memsys.create (config ~bandwidth:0 ())));
+  Alcotest.check_raises "zero fifo"
+    (Invalid_argument "Memsys.create: fifo_capacity must be >= 1 (got 0)")
+    (fun () -> ignore (Memsys.create (config ~fifo_capacity:0 ())));
+  Alcotest.check_raises "negative cache"
+    (Invalid_argument "Memsys.create: header_cache_entries must be >= 0 (got -1)")
+    (fun () -> ignore (Memsys.create (config ~header_cache_entries:(-1) ())));
+  Alcotest.(check bool)
+    "validate ok" true
+    (Memsys.validate_config (config ()) = Ok ())
 
 let test_header_cache_hit () =
   let m = Memsys.create (config ~header_cache_entries:16 ()) in
