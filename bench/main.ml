@@ -232,11 +232,24 @@ let run_bechamel () =
   Tbl.print ~header:[ "benchmark"; "monotonic clock" ] ~rows;
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* E9: stepping throughput (the `gcsim bench` perf suite, small scale)  *)
+(* ------------------------------------------------------------------ *)
+
+let stepping_throughput () =
+  rule
+    "E9  Stepping throughput (prebuilt heaps, sim-only wall; `gcsim bench` \
+     runs the tracked BENCH_sim.json scale)";
+  let suite = Hsgc_core.Perf.run ~scale:(0.2 *. scale) () in
+  print_endline (Hsgc_core.Perf.summary suite);
+  print_newline ()
+
 let () =
   paper_artifacts ();
   baseline_artifacts ();
   swgc_artifacts ();
   future_work_artifacts ();
   concurrent_artifacts ();
+  stepping_throughput ();
   run_bechamel ();
   print_endline "done."

@@ -16,6 +16,7 @@ module Concurrent = Hsgc_coproc.Concurrent
 module Memsys = Hsgc_memsim.Memsys
 module Experiment = Hsgc_core.Experiment
 module Chaos = Hsgc_core.Chaos
+module Perf = Hsgc_core.Perf
 module Report = Hsgc_core.Report
 module Verify = Hsgc_heap.Verify
 module Table = Hsgc_util.Table
@@ -135,8 +136,11 @@ let no_skip_arg =
     value & flag
     & info [ "no-skip" ]
         ~doc:
-          "Disable the kernel's idle-cycle skipping (statistics are \
-           identical either way; only wall time changes).")
+          "Force naive cycle-by-cycle stepping: disables both idle-cycle \
+           skipping and event-driven core sleeps. The parity contract is \
+           that every statistic and artifact is bit-identical either way \
+           (only wall time changes); use this flag to check it on any \
+           configuration.")
 
 let jobs_arg =
   Arg.(
@@ -529,6 +533,82 @@ let chaos_cmd =
       const run $ workload_opt_arg $ cores_arg $ scale_arg $ seed_arg $ jobs_arg
       $ retries_arg $ json_arg)
 
+let bench_cmd =
+  let run scale seed out check quiet =
+    let progress (l : Perf.leg) =
+      if not quiet then
+        Printf.printf "  %-9s %2d cores  %9d cycles  %5.1f%% skipped  %7.2f \
+                       Mcycles/s\n%!"
+          l.Perf.workload l.Perf.n_cores l.Perf.cycles
+          (100.0 *. float_of_int l.Perf.skipped /. float_of_int (max 1 l.Perf.cycles))
+          (float_of_int l.Perf.cycles /. Float.max 1e-9 l.Perf.skip_wall_s /. 1e6)
+    in
+    match Perf.run ~scale ~seed ~progress () with
+    | exception Perf.Perf_regression msg ->
+      Format.eprintf "gcsim bench: %s@." msg;
+      exit_verify_failed
+    | suite -> (
+      print_newline ();
+      print_endline (Perf.summary suite);
+      (match out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Perf.to_json suite);
+        close_out oc;
+        Printf.printf "wrote %s\n" path);
+      match check with
+      | None -> 0
+      | Some path -> (
+        let ic = open_in path in
+        let baseline = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        match Perf.check ~baseline suite with
+        | Ok () ->
+          Printf.printf "perf smoke vs %s: OK\n" path;
+          0
+        | Error msgs ->
+          List.iter (fun m -> Format.eprintf "gcsim bench: %s@." m) msgs;
+          exit_verify_failed))
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "json" ] ~docv:"FILE"
+          ~doc:"Write the suite as JSON (the tracked BENCH_sim.json artifact).")
+  in
+  let check_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "check" ] ~docv:"BASELINE"
+          ~doc:
+            "Compare against a committed BENCH_sim.json and fail (exit code 3) \
+             on a >20% regression of any host-independent metric: skipped \
+             fraction, minor words per cycle, latency-bound skip speedup. \
+             Absolute Mcycles/s is never gated — it depends on the host.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-leg progress.")
+  in
+  let bench_scale_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "scale" ]
+          ~doc:
+            "Workload size multiplier (default 0.5, matching the committed \
+             baseline — the skipped fractions are only comparable at equal \
+             scale).")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "time the stepping loop on prebuilt heaps (sim-only wall) across the \
+          fig5 grid, naive vs event-driven, at base and +20-cycle memory \
+          latency")
+    Term.(const run $ bench_scale_arg $ seed_arg $ out_arg $ check_arg $ quiet_arg)
+
 let () =
   let doc = "fine-grained parallel compacting GC coprocessor simulator" in
   exit
@@ -536,5 +616,5 @@ let () =
        (Cmd.group (Cmd.info "gcsim" ~doc)
           [
             list_cmd; run_cmd; sweep_cmd; cycles_cmd; trace_cmd; ablate_cmd;
-            concurrent_cmd; chaos_cmd;
+            concurrent_cmd; chaos_cmd; bench_cmd;
           ]))

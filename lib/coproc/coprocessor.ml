@@ -6,7 +6,17 @@ module Mem = Hsgc_memsim.Memsys
 module Port = Hsgc_memsim.Port
 module Fifo = Hsgc_memsim.Header_fifo
 module Kernel = Hsgc_sim.Kernel
+module Wake_queue = Hsgc_sim.Wake_queue
 module Injector = Hsgc_fault.Injector
+
+(* Hot-loop status probes. [Port] and [Sync_block] expose their records
+   precisely so that the per-cycle loop can poll status with direct
+   field loads: without flambda, [port_idle] and friends are real
+   cross-module calls, and the machine makes several of them per core
+   per cycle. These same-module wrappers are small enough for the
+   closure backend to inline. *)
+let port_idle (p : Port.t) = p.Port.st = Port.st_idle
+let port_ready (p : Port.t) = p.Port.st = Port.st_ready
 
 type config = {
   n_cores : int;
@@ -18,8 +28,9 @@ type config = {
          several cores can copy one large object concurrently. [None]
          (the default) is the published object-granularity design. *)
   skip : bool;
-      (* idle-cycle skipping: fast-forward over quiescent cycles. All
-         reported statistics stay bit-identical; only wall time changes. *)
+      (* idle-cycle skipping: event-driven per-core sleeps plus
+         fast-forward over globally skippable cycles. All reported
+         statistics stay bit-identical; only wall time changes. *)
   faults : Injector.spec option;
       (* fault-injection plan; each simulator instance builds a private
          injector from it, so sweep points stay domain-safe and exactly
@@ -199,12 +210,17 @@ type core = {
   bl : Port.t;
   bs : Port.t;
   counters : Counters.t;
-  (* Stall latch for bulk crediting during idle-cycle skips: the cycle
-     number of the most recent stall and its category. A core whose
-     latch carries the just-executed cycle would stall identically in
-     every skipped replay of it. *)
+  (* Stall latch for bulk crediting during whole-machine idle-cycle
+     skips: the cycle number of the most recent stall and its category.
+     A core whose latch carries the just-executed cycle would stall
+     identically in every skipped replay of it. *)
   mutable stall_cycle : int;
   mutable stall_kind : Counters.stall;
+  (* Event-driven scheduling: the earliest cycle at which this core must
+     be stepped again. Awake cores carry [cycle + 1] (with skipping off,
+     0 — always stepped); a sleeping core carries the wake time it armed
+     in the wake queue; a halted core carries [max_int]. *)
+  mutable wake : int;
 }
 
 type t = {
@@ -224,6 +240,10 @@ type t = {
      ([mark] below). A cycle that ends with it still at zero — and with
      scan/free unmoved — was a pure replay and is skippable. *)
   events : int ref;
+  (* Wake queue for event-driven stepping: sleeping cores arm their wake
+     time here; re-arms supersede lazily (no heap deletion). *)
+  wakeq : Wake_queue.t;
+  mutable n_halted : int;
   mutable finished : bool;  (* termination detected, broadcast to all cores *)
   mutable saw_empty : bool;  (* set during the current cycle *)
   mutable parallel_phase : bool;
@@ -235,12 +255,17 @@ type t = {
   mutable cur_h0 : int;
   mutable cur_from : int;
   mutable cur_next_slot : int;
-  pieces_left : (int, int ref) Hashtbl.t;  (* frame -> outstanding pieces *)
+  (* Outstanding pieces per split frame, indexed by [frame -
+     pieces_base] (the tospace base): a flat array instead of a hash
+     table keeps the piece-retire path allocation-free. Only allocated
+     at heap size in sub-object mode. *)
+  pieces : int array;
+  pieces_base : int;
 }
 
 type sim = t
 
-let now t = Kernel.now t.clock
+let now t = t.clock.Kernel.now
 
 let make_core ~events ~faults id =
   {
@@ -265,6 +290,7 @@ let make_core ~events ~faults id =
     counters = Counters.create ();
     stall_cycle = -1;
     stall_kind = Counters.Scan_lock;
+    wake = 0;
   }
 
 let issue_exn port mem ~now ~addr =
@@ -272,8 +298,21 @@ let issue_exn port mem ~now ~addr =
     failwith "coprocessor: issued into a busy buffer (microprogram bug)"
 
 let stall t core kind =
-  Counters.bump core.counters kind;
-  core.stall_cycle <- Kernel.now t.clock;
+  (* [Counters.bump] inlined (a stalled core runs this every cycle; the
+     cross-module call was measurable in dense legs). *)
+  let c = core.counters in
+  (match kind with
+  | Counters.Scan_lock -> c.Counters.scan_lock <- c.Counters.scan_lock + 1
+  | Counters.Free_lock -> c.Counters.free_lock <- c.Counters.free_lock + 1
+  | Counters.Header_lock ->
+    c.Counters.header_lock <- c.Counters.header_lock + 1
+  | Counters.Body_load -> c.Counters.body_load <- c.Counters.body_load + 1
+  | Counters.Body_store -> c.Counters.body_store <- c.Counters.body_store + 1
+  | Counters.Header_load ->
+    c.Counters.header_load <- c.Counters.header_load + 1
+  | Counters.Header_store ->
+    c.Counters.header_store <- c.Counters.header_store + 1);
+  core.stall_cycle <- t.clock.Kernel.now;
   core.stall_kind <- kind
 
 (* A core transition that touches no memory buffer and no shared
@@ -290,15 +329,14 @@ let store_and_advance t core v =
      is never re-read during a stop-the-world cycle), so the collection
      still terminates — only the verifier can notice, which is exactly
      the detection-coverage question the harness measures. *)
-  H.write t.heap
-    (core.obj_to + Hdr.header_words + core.slot)
-    (Injector.corrupt_body t.faults v);
+  t.heap.H.mem.(core.obj_to + Hdr.header_words + core.slot) <-
+    Injector.corrupt_body t.faults v;
   issue_exn core.bs t.mem ~now:(now t) ~addr:(core.obj_to + Hdr.header_words + core.slot);
   core.counters.words_copied <- core.counters.words_copied + 1;
   core.slot <- core.slot + 1;
   if core.slot >= core.slot_limit then
     core.state <- (if core.whole then Blacken else Piece_done)
-  else if Port.is_idle core.bl then begin
+  else if port_idle core.bl then begin
     issue_exn core.bl t.mem ~now:(now t)
       ~addr:(core.obj_from + Hdr.header_words + core.slot);
     core.state <- Body_wait
@@ -312,7 +350,7 @@ let store_and_advance t core v =
    advances by one piece and the frame's registers stay latched in the
    synchronization block for the next grabber. *)
 let rec begin_object t core ~frame =
-  let h0 = H.header0 t.heap frame in
+  let h0 = t.heap.H.mem.(frame) in
   if Hdr.state h0 = Black then begin
     (* A frame allocated black by the main processor during a concurrent
        cycle: nothing to scan, step over it. *)
@@ -331,7 +369,7 @@ and begin_gray_object t core ~frame ~h0 =
   in
   core.h0 <- h0;
   core.obj_to <- frame;
-  core.obj_from <- H.header1 t.heap frame;
+  core.obj_from <- t.heap.H.mem.(frame + 1);
   core.slot <- 0;
   (match split_over with
   | None ->
@@ -345,7 +383,7 @@ and begin_gray_object t core ~frame ~h0 =
     t.cur_h0 <- h0;
     t.cur_from <- core.obj_from;
     t.cur_next_slot <- u;
-    Hashtbl.replace t.pieces_left frame (ref (((body - 1) / u) + 1));
+    t.pieces.(frame - t.pieces_base) <- ((body - 1) / u) + 1;
     (* the first piece carries the two header words *)
     SB.advance_scan t.sb ~core:core.id (Hdr.header_words + u));
   SB.unlock_scan t.sb ~core:core.id;
@@ -397,7 +435,7 @@ let step_root_next t core =
       (* Uncontended during the root phase, but the protocol is kept
          identical to the scanning loop. *)
       if not (SB.try_lock_header t.sb ~core:core.id ~addr:r) then stall t core Header_lock
-      else if Port.is_idle core.hl then begin
+      else if port_idle core.hl then begin
         issue_exn core.hl t.mem ~now:(now t) ~addr:r;
         core.state <- Root_header_wait
       end
@@ -409,11 +447,11 @@ let step_root_next t core =
   end
 
 let step_root_header_wait t core =
-  if not (Port.load_ready core.hl) then stall t core Header_load
+  if not (port_ready core.hl) then stall t core Header_load
   else begin
     Port.consume core.hl;
     let r = t.heap.H.roots.(core.root_idx) in
-    let w0 = H.header0 t.heap r in
+    let w0 = t.heap.H.mem.(r) in
     match Hdr.state w0 with
     | White | Black ->
       (* Black here is a survivor of the previous cycle: only Gray means
@@ -426,7 +464,7 @@ let step_root_header_wait t core =
     | Gray ->
       (* Another root slot already evacuated this object: follow the
          forwarding pointer installed in its header. *)
-      t.heap.H.roots.(core.root_idx) <- H.header1 t.heap r;
+      t.heap.H.roots.(core.root_idx) <- t.heap.H.mem.(r + 1);
       SB.unlock_header t.sb ~core:core.id;
       core.root_idx <- core.root_idx + 1;
       core.state <- Root_next
@@ -447,11 +485,19 @@ let step_try_lock_scan t core =
     core.state <- Flush;
     mark t
   end
-  else if not (SB.try_lock_scan t.sb ~core:core.id) then begin
+  else if
+    (* Fast-fail: a lock visibly held by another core loses without the
+       cross-module call (contended spins run this every cycle). Owner =
+       self still goes through [SB.try_lock_scan] so the re-entry
+       protocol check fires. *)
+    (let o = t.sb.SB.scan_owner in
+     o >= 0 && o <> core.id)
+    || not (SB.try_lock_scan t.sb ~core:core.id)
+  then begin
     stall t core Scan_lock;
-    if SB.scan t.sb = SB.free t.sb then t.saw_empty <- true
+    if t.sb.SB.scan = t.sb.SB.free then t.saw_empty <- true
   end
-  else if SB.scan t.sb = SB.free t.sb then begin
+  else if t.sb.SB.scan = t.sb.SB.free then begin
     t.saw_empty <- true;
     (* Termination: the worklist is empty and no core is scanning an
        object (its evacuations could refill the worklist). Checked while
@@ -469,7 +515,7 @@ let step_try_lock_scan t core =
   end
   else if t.cur_frame <> 0 then begin_piece t core
   else begin
-    let frame = SB.scan t.sb in
+    let frame = t.sb.SB.scan in
     if Fifo.try_pop t.fifo frame then begin_object t core ~frame
     else begin
       issue_exn core.hl t.mem ~now:(now t) ~addr:frame;
@@ -478,14 +524,14 @@ let step_try_lock_scan t core =
   end
 
 let step_scan_header_wait t core =
-  if Port.load_ready core.hl then begin
+  if port_ready core.hl then begin
     Port.consume core.hl;
-    begin_object t core ~frame:(SB.scan t.sb)
+    begin_object t core ~frame:(t.sb.SB.scan)
   end
   else stall t core Header_load
 
 let step_body_issue_load t core =
-  if Port.is_idle core.bl then begin
+  if port_idle core.bl then begin
     issue_exn core.bl t.mem ~now:(now t)
       ~addr:(core.obj_from + Hdr.header_words + core.slot);
     core.state <- Body_wait
@@ -493,15 +539,15 @@ let step_body_issue_load t core =
   else stall t core Body_load
 
 let step_body_wait t core =
-  if not (Port.load_ready core.bl) then stall t core Body_load
+  if not (port_ready core.bl) then stall t core Body_load
   else begin
-    let v = H.read t.heap (core.obj_from + Hdr.header_words + core.slot) in
+    let v = t.heap.H.mem.(core.obj_from + Hdr.header_words + core.slot) in
     if core.slot < Hdr.pi core.h0 && v <> H.null then begin
       Port.consume core.bl;
       core.child <- v;
       core.state <- Lock_child
     end
-    else if Port.is_idle core.bs then begin
+    else if port_idle core.bs then begin
       (* Data word (or null pointer): copied verbatim. Store of this word
          and load of the next are initiated in the same cycle. *)
       Port.consume core.bl;
@@ -521,10 +567,10 @@ let step_lock_child t core =
   end
 
 let step_child_header_wait t core =
-  if not (Port.load_ready core.hl) then stall t core Header_load
+  if not (port_ready core.hl) then stall t core Header_load
   else begin
     Port.consume core.hl;
-    let w0 = H.header0 t.heap core.child in
+    let w0 = t.heap.H.mem.(core.child) in
     match Hdr.state w0 with
     | White | Black ->
       (* Not yet evacuated in this cycle (Black = survivor of the
@@ -534,20 +580,24 @@ let step_child_header_wait t core =
       core.state <- Lock_free
     | Gray ->
       (* Already evacuated: take the forwarding pointer. *)
-      core.value <- H.header1 t.heap core.child;
+      core.value <- t.heap.H.mem.(core.child + 1);
       SB.unlock_header t.sb ~core:core.id;
       core.state <- Store_slot
   end
 
 let step_lock_free t core =
-  if not (SB.try_lock_free t.sb ~core:core.id) then stall t core Free_lock
+  if
+    (let o = t.sb.SB.free_owner in
+     o >= 0 && o <> core.id)
+    || not (SB.try_lock_free t.sb ~core:core.id)
+  then stall t core Free_lock
   else begin
     (* One-cycle critical section: the lock only guards the read-increment
        of the free register. The header stores happen outside it; the
        comparator array orders any subsequent load behind them. *)
     let size = Hdr.size core.child_h0 in
     let addr = SB.claim_free t.sb ~core:core.id size in
-    if SB.free t.sb > t.tospace_limit then raise Heap_overflow;
+    if t.sb.SB.free > t.tospace_limit then raise Heap_overflow;
     (* The gray tospace header is captured into the on-chip FIFO before
        [free] is incremented becomes visible (the paper installs the
        backlink inside the free critical section for exactly this
@@ -567,7 +617,7 @@ let step_lock_free t core =
   end
 
 let step_evac_store_fwd t core =
-  if not (Port.is_idle core.hs) then stall t core Header_store
+  if not (port_idle core.hs) then stall t core Header_store
   else begin
     (* Gray the fromspace original: mark + forwarding pointer. *)
     H.set_header0 t.heap core.child (Hdr.with_state core.child_h0 Gray);
@@ -577,7 +627,7 @@ let step_evac_store_fwd t core =
   end
 
 let step_evac_store_gray t core =
-  if not (Port.is_idle core.hs) then stall t core Header_store
+  if not (port_idle core.hs) then stall t core Header_store
   else begin
     (* Gray tospace frame store: contents were captured at claim time;
        this transaction carries the timing (and arms the comparator array
@@ -595,28 +645,23 @@ let step_evac_store_gray t core =
   end
 
 let step_store_slot t core =
-  if Port.is_idle core.bs then store_and_advance t core core.value
+  if port_idle core.bs then store_and_advance t core core.value
   else stall t core Body_store
 
 let step_piece_done t core =
-  (* Retire one piece: the outstanding-piece register of the frame is
+  (* Retire one piece: the outstanding-piece count of the frame is
      decremented under the frame's header lock (the hardware keeps it in
      the header word); the last piece blackens the object. *)
   if not (SB.try_lock_header t.sb ~core:core.id ~addr:core.obj_to) then
     stall t core Header_lock
   else begin
-    let left =
-      match Hashtbl.find_opt t.pieces_left core.obj_to with
-      | Some r -> r
-      | None -> failwith "coprocessor: piece accounting lost (bug)"
-    in
-    decr left;
+    let idx = core.obj_to - t.pieces_base in
+    let left = t.pieces.(idx) in
+    if left = 0 then failwith "coprocessor: piece accounting lost (bug)";
+    t.pieces.(idx) <- left - 1;
     SB.unlock_header t.sb ~core:core.id;
     mark t;
-    if !left = 0 then begin
-      Hashtbl.remove t.pieces_left core.obj_to;
-      core.state <- Blacken
-    end
+    if left = 1 then core.state <- Blacken
     else begin
       SB.set_busy t.sb ~core:core.id false;
       core.state <- Try_lock_scan
@@ -624,7 +669,7 @@ let step_piece_done t core =
   end
 
 let step_blacken t core =
-  if not (Port.is_idle core.hs) then stall t core Header_store
+  if not (port_idle core.hs) then stall t core Header_store
   else begin
     (* Corruption-class fault: the blackened header is behind [scan] and
        never re-read during this cycle, so a flipped state/π/δ bit is
@@ -642,8 +687,8 @@ let step_blacken t core =
 
 let step_flush t core =
   if
-    Port.is_idle core.hl && Port.is_idle core.hs && Port.is_idle core.bl
-    && Port.is_idle core.bs
+    port_idle core.hl && port_idle core.hs && port_idle core.bl
+    && port_idle core.bs
   then begin
     core.state <- End_barrier;
     mark t
@@ -653,6 +698,8 @@ let step_end_barrier t core =
   if SB.barrier_arrive t.sb ~core:core.id then begin
     SB.assert_no_locks t.sb ~core:core.id;
     core.state <- Halt;
+    core.wake <- max_int;
+    t.n_halted <- t.n_halted + 1;
     mark t
   end
 
@@ -714,17 +761,10 @@ let step_core t core =
   | Flush -> step_flush t core
   | End_barrier -> step_end_barrier t core
   | Halt -> ());
-  if SB.busy t.sb ~core:core.id then
+  if t.sb.SB.busy.(core.id) then
     core.counters.busy_cycles <- core.counters.busy_cycles + 1
 
-let tick_ports t core =
-  Port.tick core.hl t.mem ~now:(now t);
-  Port.tick core.hs t.mem ~now:(now t);
-  Port.tick core.bl t.mem ~now:(now t);
-  Port.tick core.bs t.mem ~now:(now t)
-
-let all_halted t =
-  Array.for_all (fun c -> c.state = Halt) t.cores
+let all_halted t = t.n_halted = Array.length t.cores
 
 let start cfg heap =
   if cfg.n_cores < 1 then invalid_arg "Coprocessor.start: n_cores must be >= 1";
@@ -735,6 +775,14 @@ let start cfg heap =
   in
   let mem = Mem.create ~faults cfg.mem in
   let events = ref 0 in
+  let to_space = H.to_space heap in
+  let pieces_base = to_space.Semispace.base in
+  let pieces =
+    match cfg.scan_unit with
+    | None -> [||]
+    | Some _ ->
+      Array.make (max 1 (to_space.Semispace.limit - pieces_base)) 0
+  in
   {
     cfg;
     heap;
@@ -742,13 +790,15 @@ let start cfg heap =
     mem;
     fifo = Mem.fifo mem;
     cores = Array.init cfg.n_cores (make_core ~events ~faults);
-    tospace_limit = (H.to_space heap).Semispace.limit;
+    tospace_limit = to_space.Semispace.limit;
     clock = Kernel.create ~skip:cfg.skip ();
     faults;
     watchdog =
       Kernel.Watchdog.create ?budget:cfg.cycle_budget
         ~window:(max 1 cfg.stall_window) ();
     events;
+    wakeq = Wake_queue.create ~n:cfg.n_cores;
+    n_halted = 0;
     finished = false;
     saw_empty = false;
     parallel_phase = false;
@@ -758,7 +808,8 @@ let start cfg heap =
     cur_h0 = 0;
     cur_from = 0;
     cur_next_slot = 0;
-    pieces_left = Hashtbl.create 16;
+    pieces;
+    pieces_base;
   }
 
 let halted = all_halted
@@ -766,26 +817,189 @@ let roots_done t = t.parallel_phase
 let executed_cycles t = Kernel.executed_cycles t.clock
 let skipped_cycles t = Kernel.skipped_cycles t.clock
 
+let pieces_outstanding t = Array.fold_left ( + ) 0 t.pieces
+
+(* ------------------------------------------------------------------ *)
+(* Event-driven core scheduling.
+
+   A core may go to sleep when its next transition depends only on its
+   own four memory buffers: every cycle until the earliest buffer event
+   would replay identically (same stall, same rejected retries, no
+   shared-state reads that another agent could change). States that
+   poll shared state — locks, the barrier, the scan/free registers —
+   must stay awake: the sync block is combinational and publishes no
+   wake ([SB.next_wake] = None), so the enabling event (another core
+   releasing a lock) has no schedulable time.
+
+   The wake time is the minimum over all four buffers' wake_after, not
+   just the state's guard buffer: the core must be awake at every cycle
+   where one of its buffers transitions, because those transitions bump
+   the shared [events] counter and define global quiescence.
+
+   Sleeping is gated on [cfg.skip]: with skipping off every core is
+   stepped every cycle (pure naive stepping, the parity reference). *)
+(* ------------------------------------------------------------------ *)
+
+(* What the core's step would do on each replayed cycle of a sleep span,
+   given its post-step state with all buffer statuses frozen. Encoded as
+   an int to keep the hot path allocation-free:
+   -1 = it would act (the core must not sleep);
+    0 = it waits without recording a stall (Flush);
+   >0 = the stall category recorded once per replayed cycle. *)
+let rp_no_sleep = -1
+let rp_quiet_wait = 0
+let rp_header_load = 1
+let rp_body_load = 2
+let rp_body_store = 3
+let rp_header_store = 4
+
+let stall_of_rp = function
+  | 1 -> Counters.Header_load
+  | 2 -> Counters.Body_load
+  | 3 -> Counters.Body_store
+  | _ -> Counters.Header_store
+
+let replay_of t c =
+  match c.state with
+  | Root_header_wait | Scan_header_wait | Child_header_wait ->
+    if port_ready c.hl then rp_no_sleep else rp_header_load
+  | Body_issue_load ->
+    if port_idle c.bl then rp_no_sleep else rp_body_load
+  | Body_wait ->
+    if not (port_ready c.bl) then rp_body_load
+    else
+      (* The loaded word is in the (frozen) fromspace body: a pointer
+         slot transitions to Lock_child, a data word either stores
+         immediately (bs idle) or stalls on the store buffer. *)
+      let v = t.heap.H.mem.(c.obj_from + Hdr.header_words + c.slot) in
+      if c.slot < Hdr.pi c.h0 && v <> H.null then rp_no_sleep
+      else if port_idle c.bs then rp_no_sleep
+      else rp_body_store
+  | Store_slot -> if port_idle c.bs then rp_no_sleep else rp_body_store
+  | Evac_store_fwd | Evac_store_gray | Blacken ->
+    if port_idle c.hs then rp_no_sleep else rp_header_store
+  | Flush ->
+    if
+      port_idle c.hl && port_idle c.hs && port_idle c.bl
+      && port_idle c.bs
+    then rp_no_sleep
+    else rp_quiet_wait
+  | Init | Root_next | Start_barrier | Try_lock_scan | Lock_child
+  | Lock_free | Piece_done | End_barrier | Halt -> rp_no_sleep
+
+let port_wake c mem ~now =
+  let w = Port.wake_after c.hl mem ~now in
+  let w = min w (Port.wake_after c.hs mem ~now) in
+  let w = min w (Port.wake_after c.bl mem ~now) in
+  min w (Port.wake_after c.bs mem ~now)
+
+(* The sleep span is bounded by the *guard* buffer's event — the one
+   the replayed stall waits on — not by the earliest event on any of
+   the four buffers. A non-guard buffer whose transfer completes
+   mid-sleep merely flips its own status, which the waking core derives
+   identically from [done_at] later; nothing it enables is read before
+   the wake. The exception is a [Waiting] buffer: its per-cycle
+   acceptance retries touch shared state (bandwidth budget, ordering
+   counters, fault stream), so any waiting buffer forces the core to
+   stay awake ({!Port.retry_wake}) — except the deterministic
+   order-held header-load wait, which the guard's own {!Port.wake_after}
+   already schedules at the blocking store's commit. *)
+let guard_wake c guard mem ~now =
+  let w = Port.wake_after guard mem ~now in
+  (* [Port.retry_wake] inlined: a non-guard buffer only forces the core
+     awake when it is [Waiting] (its acceptance retries touch shared
+     state); direct status reads, same as the tick loop. *)
+  let w =
+    if c.hl != guard && c.hl.Port.st = Port.st_waiting then min w (now + 1)
+    else w
+  in
+  let w =
+    if c.hs != guard && c.hs.Port.st = Port.st_waiting then min w (now + 1)
+    else w
+  in
+  let w =
+    if c.bl != guard && c.bl.Port.st = Port.st_waiting then min w (now + 1)
+    else w
+  in
+  if c.bs != guard && c.bs.Port.st = Port.st_waiting then min w (now + 1)
+  else w
+
+(* Flush waits for all four buffers to drain: with nothing waiting (and
+   so nothing retrying), the state cannot transition before the *last*
+   in-flight transfer completes. *)
+let port_polls (p : Port.t) =
+  let st = p.Port.st in
+  st = Port.st_waiting || st = Port.st_ready
+
+let in_flight_done (p : Port.t) =
+  if p.Port.st = Port.st_in_flight then p.Port.done_at else min_int
+
+let flush_wake c ~now =
+  if port_polls c.hl || port_polls c.hs || port_polls c.bl || port_polls c.bs
+  then now + 1
+  else
+    let w = in_flight_done c.hl in
+    let w = max w (in_flight_done c.hs) in
+    let w = max w (in_flight_done c.bl) in
+    max w (in_flight_done c.bs)
+
+(* Decide whether the just-stepped core can sleep, and credit the
+   statistics its replayed cycles would have accumulated: the replay
+   stall once per cycle, busy cycles while its busy bit is set, and one
+   comparator rejection per cycle for an order-held header load. The
+   wake cycle itself is stepped normally, so the span excludes it. *)
+let maybe_sleep t c ~now =
+  if c.state = Halt then ()  (* wake already pinned at max_int *)
+  else begin
+    let rp = replay_of t c in
+    if rp = rp_no_sleep then c.wake <- now + 1
+    else begin
+      let w =
+        if rp = rp_quiet_wait then flush_wake c ~now
+        else
+          let guard =
+            if rp = rp_header_load then c.hl
+            else if rp = rp_body_load then c.bl
+            else if rp = rp_body_store then c.bs
+            else c.hs
+          in
+          guard_wake c guard t.mem ~now
+      in
+      if w > now + 1 && w < max_int then begin
+        c.wake <- w;
+        Wake_queue.arm t.wakeq ~id:c.id ~time:w;
+        let span = w - now - 1 in
+        if rp > 0 then Counters.bump_n c.counters (stall_of_rp rp) span;
+        if t.sb.SB.busy.(c.id) then
+          c.counters.busy_cycles <- c.counters.busy_cycles + span;
+        if Port.order_held c.hl t.mem then Mem.add_rejected_order t.mem span
+      end
+      else c.wake <- now + 1
+    end
+  end
+
 (* Earliest future cycle at which any memory buffer can change status —
-   the wake-up that bounds an idle-cycle skip. [max_int] means no buffer
-   has anything pending (a would-be deadlock spins cycle by cycle,
-   exactly as naive stepping would, until the divergence bound trips).
-   Runs on every quiescent cycle, so it is allocation-free and bails as
-   soon as some buffer can wake next cycle (no skip possible then). *)
-let next_wake t ~now =
-  let best = ref max_int in
-  (try
-     let limit = now + 1 in
-     Array.iter
-       (fun c ->
-         let w = Port.wake_after c.hl t.mem ~now in
-         let w = min w (Port.wake_after c.hs t.mem ~now) in
-         let w = min w (Port.wake_after c.bl t.mem ~now) in
-         let w = min w (Port.wake_after c.bs t.mem ~now) in
-         if w < !best then best := w;
-         if !best <= limit then raise_notrace Exit)
-       t.cores
-   with Exit -> ());
+   the wake-up that bounds a whole-machine fast-forward. Sleeping cores
+   are covered by the wake queue (their armed wake is the min of their
+   buffer wakes, frozen for the duration of the sleep); awake cores'
+   buffers are scanned directly. [max_int] means nothing is pending (a
+   would-be deadlock spins cycle by cycle, exactly as naive stepping
+   would, until the watchdog trips). Bails as soon as some buffer can
+   wake next cycle (no skip possible then). *)
+let next_wake_global t ~now =
+  let best = ref (Wake_queue.next_after t.wakeq ~now) in
+  let limit = now + 1 in
+  let cores = t.cores in
+  let n = Array.length cores in
+  let i = ref 0 in
+  while !i < n && !best > limit do
+    let c = Array.unsafe_get cores !i in
+    if c.wake <= limit then begin
+      let w = port_wake c t.mem ~now in
+      if w < !best then best := w
+    end;
+    incr i
+  done;
   !best
 
 (* A cycle was quiescent iff the shared transition counter never moved —
@@ -795,43 +1009,41 @@ let next_wake t ~now =
    deliberately invisible: it leaves no state behind and replays
    identically. *)
 let cycle_was_quiet t ~scan0 ~free0 =
-  !(t.events) = 0 && SB.scan t.sb = scan0 && SB.free t.sb = free0
+  !(t.events) = 0 && t.sb.SB.scan = scan0 && t.sb.SB.free = free0
 
 (* Credit the statistics that [span] identical replays of the
-   just-executed cycle would have accumulated: each stalled core bumps
-   its stall category once per cycle, set busy bits accrue busy cycles,
-   an idle worklist accrues empty cycles, and every comparator-held
-   header load is rejected once more each cycle. (In a quiescent cycle
-   no bandwidth rejection can occur — a rejection requires the cycle's
-   budget to be exhausted by acceptances, which are buffer status
-   changes — so the waiting header loads are exactly the order-held
-   ones.) *)
+   just-executed cycle would have accumulated for the cores that are
+   still awake: each stalled core bumps its stall category once per
+   cycle, set busy bits accrue busy cycles, an idle worklist accrues
+   empty cycles, and every comparator-held header load is rejected once
+   more each cycle. Sleeping cores were already credited through their
+   whole sleep span when they went to sleep — and the fast-forward
+   target never passes their wake, so there is no double count. *)
 let credit_skipped t ~cycle ~span ~empty_delta =
-  Array.iter
-    (fun c ->
+  let cores = t.cores in
+  let limit = cycle + 1 in
+  for i = 0 to Array.length cores - 1 do
+    let c = Array.unsafe_get cores i in
+    if c.wake <= limit then begin
       if c.stall_cycle = cycle then Counters.bump_n c.counters c.stall_kind span;
-      if SB.busy t.sb ~core:c.id then
-        c.counters.busy_cycles <- c.counters.busy_cycles + span)
-    t.cores;
-  t.empty_cycles <- t.empty_cycles + (span * empty_delta);
-  let held =
-    Array.fold_left
-      (fun acc c -> if Port.order_held c.hl t.mem then acc + 1 else acc)
-      0 t.cores
-  in
-  if held > 0 then Mem.add_rejected_order t.mem (span * held)
+      if t.sb.SB.busy.(c.id) then
+        c.counters.busy_cycles <- c.counters.busy_cycles + span;
+      if Port.order_held c.hl t.mem then Mem.add_rejected_order t.mem span
+    end
+  done;
+  t.empty_cycles <- t.empty_cycles + (span * empty_delta)
 
 let diagnose t trip =
   {
     trip;
     at_cycle = now t;
-    d_scan = SB.scan t.sb;
-    d_free = SB.free t.sb;
+    d_scan = t.sb.SB.scan;
+    d_free = t.sb.SB.free;
     scan_lock = SB.scan_lock_owner t.sb;
     free_lock = SB.free_lock_owner t.sb;
     fifo_depth = Fifo.length t.fifo;
     pending_header_stores = Mem.pending_store_count t.mem;
-    worklist_nonempty = SB.scan t.sb <> SB.free t.sb;
+    worklist_nonempty = t.sb.SB.scan <> t.sb.SB.free;
     core_dumps =
       Array.to_list
         (Array.map
@@ -839,7 +1051,7 @@ let diagnose t trip =
              {
                core_id = c.id;
                microstate = state_name c.state;
-               busy = SB.busy t.sb ~core:c.id;
+               busy = t.sb.SB.busy.(c.id);
                header_lock = SB.header_lock_of t.sb ~core:c.id;
                ports =
                  [
@@ -852,23 +1064,77 @@ let diagnose t trip =
            t.cores);
   }
 
+(* The core's published wake under the event-driven contract: [Some w] =
+   it next acts (or observes a buffer event) at cycle [w], never later
+   than the first cycle where one of its enabled events fires; [None] =
+   no self-scheduled event (halted, or every buffer idle while the core
+   waits on another agent). Poll-states publish [now + 1]. *)
+let core_next_wake t ~core =
+  let c = t.cores.(core) in
+  if c.state = Halt then None
+  else
+    let now = now t in
+    if replay_of t c = rp_no_sleep then Some (now + 1)
+    else
+      let w = port_wake c t.mem ~now in
+      if w = max_int then None else Some w
+
 let step ?trace ?horizon t =
   let n0 = now t in
   if n0 > t.cfg.max_cycles then
     raise
       (Simulation_diverged
          (Printf.sprintf "exceeded %d cycles (scan=%d free=%d)" t.cfg.max_cycles
-            (SB.scan t.sb) (SB.free t.sb)));
+            (t.sb.SB.scan) (t.sb.SB.free)));
   Mem.begin_cycle t.mem ~now:n0;
-  let scan0 = SB.scan t.sb and free0 = SB.free t.sb in
+  let scan0 = t.sb.SB.scan and free0 = t.sb.SB.free in
   t.events := 0;
+  let cores = t.cores in
+  let n = Array.length cores in
   (* Static prioritization: buffers retry, then cores execute, both in
      core-index order — the lowest index wins simultaneous claims, and a
      lock released by an earlier core is acquirable by a later core in
-     the same cycle. *)
-  Array.iter (fun c -> tick_ports t c) t.cores;
+     the same cycle. Sleeping cores are skipped entirely: none of their
+     buffers can transition before their wake, and their rejected
+     retries were bulk-credited when they went to sleep. *)
+  for i = 0 to n - 1 do
+    let c = Array.unsafe_get cores i in
+    if c.wake <= n0 then begin
+      (* [Port.tick] is a no-op unless the buffer is retrying acceptance
+         or an in-flight transfer just completed; checking status here
+         with direct field reads keeps the by-far-most-common idle case
+         free of the cross-module call. *)
+      let p = c.hl in
+      let st = p.Port.st in
+      if st = Port.st_waiting || (st = Port.st_in_flight && p.Port.done_at <= n0)
+      then Port.tick p t.mem ~now:n0;
+      let p = c.hs in
+      let st = p.Port.st in
+      if st = Port.st_waiting || (st = Port.st_in_flight && p.Port.done_at <= n0)
+      then Port.tick p t.mem ~now:n0;
+      let p = c.bl in
+      let st = p.Port.st in
+      if st = Port.st_waiting || (st = Port.st_in_flight && p.Port.done_at <= n0)
+      then Port.tick p t.mem ~now:n0;
+      let p = c.bs in
+      let st = p.Port.st in
+      if st = Port.st_waiting || (st = Port.st_in_flight && p.Port.done_at <= n0)
+      then Port.tick p t.mem ~now:n0
+    end
+  done;
   t.saw_empty <- false;
-  Array.iter (fun c -> step_core t c) t.cores;
+  let awake_next = ref 0 in
+  let skip = t.cfg.skip in
+  for i = 0 to n - 1 do
+    let c = Array.unsafe_get cores i in
+    if c.wake <= n0 then begin
+      step_core t c;
+      if skip then begin
+        maybe_sleep t c ~now:n0;
+        if c.wake = n0 + 1 then incr awake_next
+      end
+    end
+  done;
   let empty_delta =
     if t.parallel_phase && (not t.finished) && t.saw_empty then 1 else 0
   in
@@ -878,12 +1144,13 @@ let step ?trace ?horizon t =
     let activity =
       String.init t.cfg.n_cores (fun i -> state_code t.cores.(i).state)
     in
-    Trace.record tr ~cycle:n0 ~scan:(SB.scan t.sb) ~free:(SB.free t.sb)
+    Trace.record tr ~cycle:n0 ~scan:(t.sb.SB.scan) ~free:(t.sb.SB.free)
       ~fifo_depth:(Fifo.length t.fifo) ~activity
   | Some _ | None -> ());
   Kernel.tick t.clock;
   let quiet = cycle_was_quiet t ~scan0 ~free0 in
-  if not (all_halted t) then begin
+  let halted_all = all_halted t in
+  if not halted_all then begin
     (* Watchdog: a quiet cycle made no global progress. The no-progress
        window counts executed cycles only — skipped spans always end at
        a wake-up that produces a transition, so they cannot mask a
@@ -895,24 +1162,40 @@ let step ?trace ?horizon t =
     | Some trip -> raise (Stall_diagnosis (diagnose t trip))
     | None -> ()
   end;
-  (* Idle-cycle skipping (disabled while tracing: a trace wants to sample
-     the quiet cycles too). *)
-  if t.cfg.skip && Option.is_none trace && (not (all_halted t)) && quiet
-  then begin
-    let wake = next_wake t ~now:n0 in
-    if wake < max_int then begin
-      let target = min (Kernel.bound ~horizon wake) (t.cfg.max_cycles + 1) in
-      if target > n0 + 1 then begin
-        let span = Kernel.fast_forward t.clock ~target in
-        credit_skipped t ~cycle:n0 ~span ~empty_delta
+  (* Whole-machine fast-forward (disabled while tracing: a trace wants
+     to sample the quiet cycles too). Two triggers: a quiescent cycle
+     (the classic idle-cycle skip, bounded by every buffer wake), or —
+     new with event-driven stepping — every core asleep on a memory
+     response, in which case nothing can happen before the earliest
+     armed wake even though this cycle itself made progress. *)
+  if skip && Option.is_none trace && not halted_all then
+    if quiet then begin
+      let wake = next_wake_global t ~now:n0 in
+      if wake < max_int then begin
+        let target = min (Wake_queue.bound ~horizon wake) (t.cfg.max_cycles + 1) in
+        if target > n0 + 1 then begin
+          let span = Kernel.fast_forward t.clock ~target in
+          credit_skipped t ~cycle:n0 ~span ~empty_delta
+        end
       end
     end
-  end
+    else if !awake_next = 0 then begin
+      let wake = Wake_queue.next_after t.wakeq ~now:n0 in
+      if wake < max_int then begin
+        let target = min (Wake_queue.bound ~horizon wake) (t.cfg.max_cycles + 1) in
+        if target > n0 + 1 then
+          (* No awake core means no stall latch, no busy bit moving, no
+             worklist probe in the skipped span: sleeping cores were
+             credited when they went to sleep, so there is nothing to
+             credit here. *)
+          ignore (Kernel.fast_forward t.clock ~target)
+      end
+    end
 
 let finalize t =
   if not (all_halted t) then invalid_arg "Coprocessor.finalize: not halted";
   (* Commit the free register into the heap and swap the spaces. *)
-  (H.to_space t.heap).Semispace.free <- SB.free t.sb;
+  (H.to_space t.heap).Semispace.free <- t.sb.SB.free;
   H.flip t.heap;
   let live_objects =
     Array.fold_left (fun acc c -> acc + c.counters.objects_evacuated) 0 t.cores
@@ -967,7 +1250,7 @@ let mutator_evacuate t addr =
     then `Wait
     else begin
       let size = Hdr.size w0 in
-      let naddr = SB.free t.sb in
+      let naddr = t.sb.SB.free in
       if naddr + size > t.tospace_limit then raise Heap_overflow;
       SB.set_free t.sb (naddr + size);
       H.set_header0 t.heap addr (Hdr.with_state w0 Gray);
@@ -986,7 +1269,7 @@ let mutator_alloc t ~pi ~delta =
   if SB.free_lock_owner t.sb <> None then `Wait
   else begin
     let size = Hdr.size_of ~pi ~delta in
-    let naddr = SB.free t.sb in
+    let naddr = t.sb.SB.free in
     if naddr + size > t.tospace_limit then raise Heap_overflow;
     SB.set_free t.sb (naddr + size);
     (* Allocated black: the scan loop skips it (its contents are already

@@ -38,16 +38,21 @@ type config = {
           under the frame's header lock). [None] (the default) is the
           published object-granularity design. *)
   skip : bool;
-      (** idle-cycle skipping ({!Hsgc_sim.Kernel}): when a cycle is
-          quiescent — no core changed state, no memory buffer changed
-          status, scan/free held still — the simulation fast-forwards to
-          the earliest buffer wake-up instead of replaying the cycle.
-          Per-cycle statistics (stall breakdowns, busy/empty cycles,
-          ordering rejections) are credited in bulk for the skipped span,
-          so every reported number is bit-identical to naive stepping;
-          only wall-clock time changes. Default [true]; tracing
-          temporarily falls back to naive stepping so quiet cycles are
-          sampled too. *)
+      (** event-driven scheduling and idle-cycle skipping
+          ({!Hsgc_sim.Kernel}, {!Hsgc_sim.Wake_queue}): a core whose next
+          transition depends only on its own four memory buffers goes to
+          sleep until the earliest buffer event, arming its wake in the
+          kernel's wake queue, and is not stepped in between; a cycle
+          that turns out globally quiescent — or that leaves {i every}
+          core asleep on a memory response — fast-forwards the clock to
+          the earliest wake-up. Per-cycle statistics (stall breakdowns,
+          busy/empty cycles, ordering rejections) are credited in bulk
+          for the slept or skipped spans, so every reported number is
+          bit-identical to naive stepping; only wall-clock time changes.
+          Default [true]; [false] is the pure poll-every-core-every-cycle
+          parity reference ([--no-skip] in the CLI). Tracing temporarily
+          disables the whole-machine jumps so quiet cycles are sampled
+          too. *)
   faults : Hsgc_fault.Injector.spec option;
       (** fault-injection plan ({!Hsgc_fault.Injector}). Each simulator
           instance builds a private injector from the spec, so
@@ -209,6 +214,24 @@ val skipped_cycles : sim -> int
 val roots_done : sim -> bool
 (** The root phase has completed and the start barrier has opened — in
     concurrent mode, the point at which the main processor resumes. *)
+
+val core_next_wake : sim -> core:int -> int option
+(** The core's published wake time under the event-driven contract:
+    [Some w] — the core next acts, or observes one of its memory
+    buffers change status, at cycle [w]; the kernel need not step it
+    before then, and [w] never overshoots the first cycle at which one
+    of the core's enabled events fires. A core that would act on the
+    very next cycle (every poll-state: locks, barrier, scan/free reads)
+    publishes [Some (now + 1)]. [None] — the core has no self-scheduled
+    event: it is halted, or all four buffers are idle while it waits on
+    another agent. Exposed for property tests of the no-overshoot
+    contract. *)
+
+val pieces_outstanding : sim -> int
+(** Sub-object mode: total outstanding (handed-out, not yet retired)
+    pieces across all split frames — 0 except mid-collection, and 0
+    again once halted (the accounting closes). Always 0 when
+    [scan_unit] is [None]. *)
 
 (** {2 Main-processor hooks for concurrent collection}
 

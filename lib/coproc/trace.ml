@@ -7,86 +7,117 @@ type sample = {
   core_activity : string;
 }
 
+(* Samples live in preallocated parallel arrays (one int array per
+   numeric signal, one string array for the activity codes): recording a
+   sample on the hot path writes four ints and one already-built string,
+   allocating nothing. The [sample] record view is materialized only on
+   demand ([samples]/[get]). *)
 type t = {
   mutable interval : int;
   capacity : int;
-  mutable rev_samples : sample list;
+  cycles : int array;
+  scans : int array;
+  frees : int array;
+  fifos : int array;
+  activities : string array;
   mutable n : int;
   mutable next_due : int;
 }
 
 let create ?(interval = 64) ?(capacity = 100_000) () =
   if interval < 1 || capacity < 2 then invalid_arg "Trace.create";
-  { interval; capacity; rev_samples = []; n = 0; next_due = 0 }
+  {
+    interval;
+    capacity;
+    cycles = Array.make capacity 0;
+    scans = Array.make capacity 0;
+    frees = Array.make capacity 0;
+    fifos = Array.make capacity 0;
+    activities = Array.make capacity "";
+    n = 0;
+    next_due = 0;
+  }
 
 let interval t = t.interval
 let length t = t.n
 
-(* Keep every second sample; called when capacity is hit. *)
+(* Keep every second sample (in-place compaction) and double the
+   sampling interval; called when capacity is hit. *)
 let thin t =
-  let keep = ref [] and odd = ref false in
-  List.iter
-    (fun s ->
-      if !odd then keep := s :: !keep;
-      odd := not !odd)
-    t.rev_samples;
-  t.rev_samples <- List.rev !keep;
-  t.n <- List.length t.rev_samples;
+  let start = t.n land 1 in
+  let kept = ref 0 in
+  let src = ref start in
+  while !src < t.n do
+    let d = !kept and s = !src in
+    t.cycles.(d) <- t.cycles.(s);
+    t.scans.(d) <- t.scans.(s);
+    t.frees.(d) <- t.frees.(s);
+    t.fifos.(d) <- t.fifos.(s);
+    t.activities.(d) <- t.activities.(s);
+    incr kept;
+    src := s + 2
+  done;
+  t.n <- !kept;
   t.interval <- t.interval * 2
 
 let due t ~cycle = cycle >= t.next_due
 
 let record t ~cycle ~scan ~free ~fifo_depth ~activity =
   if cycle >= t.next_due then begin
-    t.rev_samples <-
-      {
-        cycle;
-        scan;
-        free;
-        backlog_words = free - scan;
-        fifo_depth;
-        core_activity = activity;
-      }
-      :: t.rev_samples;
-    t.n <- t.n + 1;
+    let i = t.n in
+    t.cycles.(i) <- cycle;
+    t.scans.(i) <- scan;
+    t.frees.(i) <- free;
+    t.fifos.(i) <- fifo_depth;
+    t.activities.(i) <- activity;
+    t.n <- i + 1;
     t.next_due <- cycle + t.interval;
     if t.n >= t.capacity then thin t
   end
 
-let samples t = List.rev t.rev_samples
+let get t i =
+  {
+    cycle = t.cycles.(i);
+    scan = t.scans.(i);
+    free = t.frees.(i);
+    backlog_words = t.frees.(i) - t.scans.(i);
+    fifo_depth = t.fifos.(i);
+    core_activity = t.activities.(i);
+  }
+
+let samples t = List.init t.n (get t)
 
 let timeline ?(width = 100) t =
-  match samples t with
-  | [] -> "(no samples)\n"
-  | all ->
-    let arr = Array.of_list all in
-    let n = Array.length arr in
-    let cores = String.length arr.(0).core_activity in
+  if t.n = 0 then "(no samples)\n"
+  else begin
+    let n = t.n in
+    let cores = String.length t.activities.(0) in
     let width = min width n in
-    let pick col = arr.(col * (n - 1) / max 1 (width - 1)) in
+    let pick col = col * (n - 1) / max 1 (width - 1) in
     let buf = Buffer.create ((cores + 4) * (width + 16)) in
-    let first = arr.(0).cycle and last = arr.(n - 1).cycle in
+    let first = t.cycles.(0) and last = t.cycles.(n - 1) in
     Buffer.add_string buf
       (Printf.sprintf "cycles %d..%d, %d samples every %d cycles\n" first last n
          t.interval);
     (* Backlog sparkline. *)
-    let max_backlog =
-      Array.fold_left (fun acc s -> max acc s.backlog_words) 1 arr
-    in
+    let max_backlog = ref 1 in
+    for i = 0 to n - 1 do
+      max_backlog := max !max_backlog (t.frees.(i) - t.scans.(i))
+    done;
+    let max_backlog = !max_backlog in
     let spark = " .:-=+*#%@" in
     Buffer.add_string buf (Printf.sprintf "%7s " "backlog");
     for col = 0 to width - 1 do
-      let s = pick col in
-      let lvl =
-        s.backlog_words * (String.length spark - 1) / max 1 max_backlog
-      in
+      let i = pick col in
+      let backlog = t.frees.(i) - t.scans.(i) in
+      let lvl = backlog * (String.length spark - 1) / max 1 max_backlog in
       Buffer.add_char buf spark.[lvl]
     done;
     Buffer.add_string buf (Printf.sprintf "  (max %d words)\n" max_backlog);
     for core = 0 to cores - 1 do
       Buffer.add_string buf (Printf.sprintf "core %-2d " core);
       for col = 0 to width - 1 do
-        Buffer.add_char buf (pick col).core_activity.[core]
+        Buffer.add_char buf t.activities.(pick col).[core]
       done;
       Buffer.add_char buf '\n'
     done;
@@ -95,14 +126,16 @@ let timeline ?(width = 100) t =
       \        s=scan-header wait  k=blacken  p=piece retire  B=barrier  \
        f=flush\n";
     Buffer.contents buf
+  end
 
 let to_csv t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "cycle,scan,free,backlog_words,fifo_depth,core_activity\n";
-  List.iter
-    (fun s ->
-      Buffer.add_string buf
-        (Printf.sprintf "%d,%d,%d,%d,%d,%s\n" s.cycle s.scan s.free
-           s.backlog_words s.fifo_depth s.core_activity))
-    (samples t);
+  for i = 0 to t.n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "%d,%d,%d,%d,%d,%s\n" t.cycles.(i) t.scans.(i)
+         t.frees.(i)
+         (t.frees.(i) - t.scans.(i))
+         t.fifos.(i) t.activities.(i))
+  done;
   Buffer.contents buf

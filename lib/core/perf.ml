@@ -1,0 +1,330 @@
+(* Stepping-throughput benchmark for the simulation kernel.
+
+   [BENCH_kernel.json] (the repro harness) times whole sweep legs —
+   workload generation, collection, and artifact rendering together.
+   This suite isolates the quantity the event-driven kernel actually
+   optimizes: simulated cycles per second of *stepping* time. Every
+   heap is prebuilt outside the timed region and the per-leg wall time
+   is [Coprocessor.wall_seconds], which the kernel measures from
+   [start] to [finalize] on a monotonic clock — collection only, no
+   generation, no rendering, no table formatting.
+
+   Alongside throughput the suite records the two portable health
+   metrics the CI perf-smoke job checks (absolute Mcycles/s depends on
+   the host; these do not):
+
+   - [skipped_frac] — the fraction of simulated cycles the kernel
+     fast-forwarded over. Deterministic for a given scale/seed, so a
+     drop means the scheduler lost skipping ability, not a slow host.
+
+   - [words_per_cycle] — minor-heap words allocated per executed cycle
+     during a skip-enabled collection ([Gc.minor_words] around the
+     collect). The hot loop is allocation-free in steady state, so this
+     amortizes the fixed setup cost (core records, counters) over the
+     run and must stay near zero. *)
+
+module Workloads = Hsgc_objgraph.Workloads
+module Coprocessor = Hsgc_coproc.Coprocessor
+module Memsys = Hsgc_memsim.Memsys
+
+(* One (workload, core-count) grid point, collected twice from
+   identical prebuilt heaps: naive stepping and event-driven skipping.
+   Simulation statistics of the two runs are equal by the kernel's
+   equivalence invariant (asserted here too); only wall differs. *)
+type leg = {
+  workload : string;
+  n_cores : int;
+  cycles : int; (* simulated = executed + skipped *)
+  executed : int;
+  skipped : int;
+  naive_wall_s : float; (* sim-only, skip disabled *)
+  skip_wall_s : float; (* sim-only, skip enabled *)
+  minor_words : float; (* minor allocation of the skip run *)
+}
+
+type aggregate = {
+  sim_cycles : int;
+  skipped_cycles : int;
+  skipped_frac : float;
+  naive_s : float;
+  skip_s : float;
+  naive_mcycles_per_s : float;
+  skip_mcycles_per_s : float;
+  skip_speedup : float;
+  words_per_cycle : float; (* minor words per *executed* cycle, skip runs *)
+}
+
+type suite = {
+  scale : float;
+  seed : int;
+  base : aggregate;
+  base_legs : leg list;
+  latency_extra : int;
+  latency : aggregate;
+}
+
+let default_cores = [ 1; 2; 4; 8; 16 ]
+
+(* Steady-state hot-loop allocation budget, in minor words per executed
+   cycle. The whole-collection measurement includes start/finalize
+   setup, so the bound is a small constant rather than exactly zero;
+   a regression that allocates per cycle (one boxed status record per
+   port acceptance, say) lands orders of magnitude above it. *)
+let words_per_cycle_budget = 0.05
+
+exception Perf_regression of string
+
+let run_leg ~scale ~seed ~mem ~workload ~n_cores =
+  let naive_heap = Workloads.build_heap ~scale ~seed workload in
+  let skip_heap = Workloads.build_heap ~scale ~seed workload in
+  let naive =
+    Coprocessor.collect
+      (Coprocessor.config ~mem ~skip:false ~n_cores ())
+      naive_heap
+  in
+  let w0 = Gc.minor_words () in
+  let skip =
+    Coprocessor.collect (Coprocessor.config ~mem ~skip:true ~n_cores ()) skip_heap
+  in
+  let minor_words = Gc.minor_words () -. w0 in
+  if naive.Coprocessor.total_cycles <> skip.Coprocessor.total_cycles then
+    raise
+      (Perf_regression
+         (Printf.sprintf
+            "%s/%d cores: skip run took %d cycles, naive %d — kernel \
+             equivalence broken"
+            workload.Workloads.name n_cores skip.Coprocessor.total_cycles
+            naive.Coprocessor.total_cycles));
+  {
+    workload = workload.Workloads.name;
+    n_cores;
+    cycles = skip.Coprocessor.total_cycles;
+    executed = skip.Coprocessor.executed_cycles;
+    skipped = skip.Coprocessor.skipped_cycles;
+    naive_wall_s = naive.Coprocessor.wall_seconds;
+    skip_wall_s = skip.Coprocessor.wall_seconds;
+    minor_words;
+  }
+
+let aggregate legs =
+  let sum f = List.fold_left (fun acc l -> acc + f l) 0 legs in
+  let sumf f = List.fold_left (fun acc l -> acc +. f l) 0.0 legs in
+  let cycles = sum (fun l -> l.cycles) in
+  let executed = sum (fun l -> l.executed) in
+  let skipped = sum (fun l -> l.skipped) in
+  let naive_s = sumf (fun l -> l.naive_wall_s) in
+  let skip_s = sumf (fun l -> l.skip_wall_s) in
+  let words = sumf (fun l -> l.minor_words) in
+  let rate wall = if wall > 0.0 then float_of_int cycles /. wall /. 1e6 else 0.0 in
+  {
+    sim_cycles = cycles;
+    skipped_cycles = skipped;
+    skipped_frac =
+      (if cycles > 0 then float_of_int skipped /. float_of_int cycles else 0.0);
+    naive_s;
+    skip_s;
+    naive_mcycles_per_s = rate naive_s;
+    skip_mcycles_per_s = rate skip_s;
+    skip_speedup = naive_s /. Float.max 1e-9 skip_s;
+    words_per_cycle =
+      (if executed > 0 then words /. float_of_int executed else 0.0);
+  }
+
+let grid ~scale ~seed ~mem ~cores ~progress =
+  List.concat_map
+    (fun workload ->
+      List.map
+        (fun n_cores ->
+          let leg = run_leg ~scale ~seed ~mem ~workload ~n_cores in
+          progress leg;
+          leg)
+        cores)
+    Workloads.all
+
+let run ?(scale = 0.5) ?(seed = 42) ?(cores = default_cores)
+    ?(latency_extra = 20) ?(progress = fun _ -> ()) () =
+  let base_legs =
+    grid ~scale ~seed ~mem:Memsys.default_config ~cores ~progress
+  in
+  let lat_legs =
+    grid ~scale ~seed
+      ~mem:(Memsys.with_extra_latency Memsys.default_config latency_extra)
+      ~cores ~progress
+  in
+  let base = aggregate base_legs in
+  if base.words_per_cycle > words_per_cycle_budget then
+    raise
+      (Perf_regression
+         (Printf.sprintf
+            "hot loop allocates %.4f minor words per executed cycle (budget \
+             %.2f) — steady state is no longer allocation-free"
+            base.words_per_cycle words_per_cycle_budget));
+  {
+    scale;
+    seed;
+    base;
+    base_legs;
+    latency_extra;
+    latency = aggregate lat_legs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_aggregate ~indent a =
+  let pad = String.make indent ' ' in
+  String.concat ""
+    [
+      Printf.sprintf "%s\"sim_cycles\": %d,\n" pad a.sim_cycles;
+      Printf.sprintf "%s\"skipped_cycles\": %d,\n" pad a.skipped_cycles;
+      Printf.sprintf "%s\"skipped_frac\": %.4f,\n" pad a.skipped_frac;
+      Printf.sprintf "%s\"naive_wall_s\": %.4f,\n" pad a.naive_s;
+      Printf.sprintf "%s\"skip_wall_s\": %.4f,\n" pad a.skip_s;
+      Printf.sprintf "%s\"naive_mcycles_per_s\": %.2f,\n" pad
+        a.naive_mcycles_per_s;
+      Printf.sprintf "%s\"skip_mcycles_per_s\": %.2f,\n" pad a.skip_mcycles_per_s;
+      Printf.sprintf "%s\"skip_speedup\": %.2f,\n" pad a.skip_speedup;
+      Printf.sprintf "%s\"words_per_cycle\": %.5f" pad a.words_per_cycle;
+    ]
+
+let to_json suite =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    "  \"benchmark\": \"hsgc stepping throughput (prebuilt heaps, sim-only \
+     wall)\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"scale\": %g,\n" suite.scale);
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" suite.seed);
+  Buffer.add_string buf (json_of_aggregate ~indent:2 suite.base);
+  Buffer.add_string buf ",\n  \"legs\": [\n";
+  List.iteri
+    (fun i l ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"workload\": \"%s\", \"cores\": %d, \"cycles\": %d, \
+            \"skipped_frac\": %.4f, \"skip_mcycles_per_s\": %.2f}"
+           l.workload l.n_cores l.cycles
+           (if l.cycles > 0 then
+              float_of_int l.skipped /. float_of_int l.cycles
+            else 0.0)
+           (if l.skip_wall_s > 0.0 then
+              float_of_int l.cycles /. l.skip_wall_s /. 1e6
+            else 0.0)))
+    suite.base_legs;
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"latency_bound\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"extra_latency\": %d,\n" suite.latency_extra);
+  Buffer.add_string buf (json_of_aggregate ~indent:4 suite.latency);
+  Buffer.add_string buf "\n  }\n}\n";
+  Buffer.contents buf
+
+let summary suite =
+  let a = suite.base and l = suite.latency in
+  String.concat "\n"
+    [
+      Printf.sprintf
+        "base     : %.2f Mcycles/s skip (naive %.2f, speedup %.2fx), %.1f%% \
+         skipped, %.5f minor words/cycle"
+        a.skip_mcycles_per_s a.naive_mcycles_per_s a.skip_speedup
+        (100.0 *. a.skipped_frac)
+        a.words_per_cycle;
+      Printf.sprintf
+        "latency+%d: %.2f Mcycles/s skip (naive %.2f, speedup %.2fx), %.1f%% \
+         skipped"
+        suite.latency_extra l.skip_mcycles_per_s l.naive_mcycles_per_s
+        l.skip_speedup
+        (100.0 *. l.skipped_frac);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison (CI perf smoke)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal pull-what-we-need JSON field reader: the baseline file is
+   machine-written by [to_json] above, so a full parser would be dead
+   weight. Finds the *first* occurrence of ["field": number] — all the
+   checked fields live in the top-level (base) section, which precedes
+   the legs and the latency block. *)
+let substring_index text needle =
+  let nl = String.length needle and tl = String.length text in
+  let rec go i =
+    if i + nl > tl then None
+    else if String.sub text i nl = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let field_of_json text name =
+  let needle = Printf.sprintf "\"%s\":" name in
+  match substring_index text needle with
+  | None -> None
+  | Some i ->
+    let start = i + String.length needle in
+    let len = String.length text in
+    let stop = ref start in
+    while
+      !stop < len
+      &&
+      match text.[!stop] with
+      | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' | ' ' -> true
+      | _ -> false
+    do
+      incr stop
+    done;
+    float_of_string_opt (String.trim (String.sub text start (!stop - start)))
+
+(* The regression gate compares only host-independent metrics: the
+   skipping fractions are deterministic simulation statistics, the
+   allocation rate is a property of the compiled hot loop, and the
+   speedup ratios divide two walls measured on the same machine in the
+   same process. Absolute Mcycles/s is recorded for humans but never
+   gated — CI runners and dev laptops differ by integer factors. *)
+let check ~baseline suite =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let get name =
+    match field_of_json baseline name with
+    | Some v -> v
+    | None ->
+      err "baseline is missing field %S" name;
+      nan
+  in
+  let frac0 = get "skipped_frac" in
+  let words0 = get "words_per_cycle" in
+  let lat_speedup0 =
+    (* The first skip_speedup occurrence is the base aggregate; the
+       latency-bound one lives after its block marker. *)
+    match substring_index baseline "\"latency_bound\"" with
+    | None ->
+      err "baseline is missing the latency_bound block";
+      nan
+    | Some i -> (
+      match
+        field_of_json
+          (String.sub baseline i (String.length baseline - i))
+          "skip_speedup"
+      with
+      | Some v -> v
+      | None ->
+        err "baseline latency_bound block has no skip_speedup";
+        nan)
+  in
+  let tol = 0.20 in
+  (if Float.is_nan frac0 then ()
+   else if suite.base.skipped_frac < frac0 *. (1.0 -. tol) then
+     err "base skipped_frac regressed: %.4f vs baseline %.4f"
+       suite.base.skipped_frac frac0);
+  (if Float.is_nan words0 then ()
+   else
+     let budget = Float.max (words0 *. (1.0 +. tol)) words_per_cycle_budget in
+     if suite.base.words_per_cycle > budget then
+       err "words_per_cycle regressed: %.5f vs baseline %.5f (budget %.5f)"
+         suite.base.words_per_cycle words0 budget);
+  (if Float.is_nan lat_speedup0 then ()
+   else if suite.latency.skip_speedup < lat_speedup0 *. (1.0 -. tol) then
+     err "latency-bound skip speedup regressed: %.2fx vs baseline %.2fx"
+       suite.latency.skip_speedup lat_speedup0);
+  match !errors with [] -> Ok () | es -> Error (List.rev es)

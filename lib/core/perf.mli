@@ -1,0 +1,82 @@
+(** Stepping-throughput benchmark for the simulation kernel
+    ([BENCH_sim.json]).
+
+    Times {e collection only}: every heap is prebuilt outside the timed
+    region and each leg's wall is [Coprocessor.wall_seconds] (monotonic,
+    start-to-finalize), so the numbers measure the kernel's stepping
+    loop rather than workload generation or table rendering — the
+    quantity the event-driven scheduler optimizes. Each grid point runs
+    twice (naive stepping and event-driven skipping) from identical
+    heaps; the suite asserts cycle-count equality between the two and
+    that the skip run's minor allocation stays within the steady-state
+    budget. *)
+
+type leg = {
+  workload : string;
+  n_cores : int;
+  cycles : int;  (** simulated = executed + skipped *)
+  executed : int;
+  skipped : int;
+  naive_wall_s : float;  (** sim-only wall, skip disabled *)
+  skip_wall_s : float;  (** sim-only wall, skip enabled *)
+  minor_words : float;  (** [Gc.minor_words] delta of the skip run *)
+}
+
+type aggregate = {
+  sim_cycles : int;
+  skipped_cycles : int;
+  skipped_frac : float;
+  naive_s : float;
+  skip_s : float;
+  naive_mcycles_per_s : float;
+  skip_mcycles_per_s : float;
+  skip_speedup : float;
+  words_per_cycle : float;  (** minor words per executed cycle, skip runs *)
+}
+
+type suite = {
+  scale : float;
+  seed : int;
+  base : aggregate;
+  base_legs : leg list;
+  latency_extra : int;
+  latency : aggregate;
+}
+
+val default_cores : int list
+(** The fig5 core grid, [1; 2; 4; 8; 16]. *)
+
+val words_per_cycle_budget : float
+(** Steady-state allocation budget (minor words per executed cycle);
+    {!run} raises {!Perf_regression} beyond it. *)
+
+exception Perf_regression of string
+(** A hard invariant failed while benchmarking: skip/naive cycle counts
+    diverged, or the hot loop allocated beyond budget. *)
+
+val run :
+  ?scale:float ->
+  ?seed:int ->
+  ?cores:int list ->
+  ?latency_extra:int ->
+  ?progress:(leg -> unit) ->
+  unit ->
+  suite
+(** Run the full grid — every workload of {!Hsgc_objgraph.Workloads.all}
+    at every core count, on the default memory and again with
+    [latency_extra] (default 20) cycles added to every access.
+    [progress] is called after each completed leg. *)
+
+val to_json : suite -> string
+(** Render the tracked [BENCH_sim.json] artifact. *)
+
+val summary : suite -> string
+(** Two-line human summary (base and latency-bound aggregates). *)
+
+val check : baseline:string -> suite -> (unit, string list) result
+(** Compare a fresh suite against the committed [BENCH_sim.json]
+    contents. Gates only host-independent metrics — skipped fractions
+    (deterministic statistics), allocation rate, and the latency-bound
+    skip-speedup ratio (two walls from the same process) — each with
+    20% tolerance; absolute Mcycles/s is informational. [Error]
+    carries one message per violated gate. *)

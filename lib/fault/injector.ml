@@ -127,6 +127,16 @@ let invalidate_cache = function
         s.c <- { s.c with cache_invalidations = s.c.cache_invalidations + 1 };
       hit
 
+(* Spurious-busy draws happen on *every* acceptance attempt, including
+   the retry a Waiting port makes each cycle. When busy_prob is positive
+   those retry cycles therefore consume randomness, and skipping them
+   (sleeping the core, fast-forwarding the clock) would shift the fault
+   stream and diverge from naive stepping. The event-driven scheduler
+   asks this predicate before treating a waiting port as replayable. *)
+let retry_draws = function
+  | Off -> false
+  | On s -> s.spec.busy_prob > 0.0
+
 let spurious_busy = function
   | Off -> false
   | On s ->

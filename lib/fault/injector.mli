@@ -86,6 +86,13 @@ val spurious_busy : t -> bool
     the port buffer stays in its retry loop. Called by
     {!Hsgc_memsim.Port}. *)
 
+val retry_draws : t -> bool
+(** True when per-cycle acceptance retries consume randomness (i.e.
+    [busy_prob > 0]). The event-driven scheduler must not sleep over or
+    fast-forward past a waiting port's retry cycles in that case — each
+    retry draws from the fault stream, so skipping one would diverge
+    from naive stepping. *)
+
 val corrupt_body : t -> int -> int
 (** [corrupt_body t w] — the word actually written to the tospace copy:
     [w], or [w] with one bit flipped when the fault fires. *)

@@ -146,6 +146,12 @@ let barrier_arrive t ~core =
     else false
   end
 
+(* The SB is combinational: locks, busy bits and the barrier all react
+   to core actions within the same cycle and schedule nothing on their
+   own. Under the event-driven kernel's contract that means it never
+   publishes a wake — cores blocked on SB state must poll every cycle. *)
+let next_wake (_ : t) : int option = None
+
 let assert_no_locks t ~core =
   if t.scan_owner = core then failwith "core still holds scan lock";
   if t.free_owner = core then failwith "core still holds free lock";

@@ -24,7 +24,24 @@
     a core acquiring [scan] must hold no other lock; a core acquiring a
     header lock must not hold [free]. *)
 
-type t
+(* The record is exposed so the simulator's per-cycle loop can read the
+   registers (scan/free/busy bits) with direct field loads — without
+   flambda each [val] accessor is a real cross-module call, and these
+   reads happen several times per core per cycle. The fields model
+   hardware registers: read them freely, but mutate only through the
+   operations below, which enforce the locking protocol and priority
+   rules. *)
+type t = {
+  n : int;
+  mutable scan : int;
+  mutable free : int;
+  mutable scan_owner : int;  (** -1 = unlocked *)
+  mutable free_owner : int;  (** -1 = unlocked *)
+  header_regs : int array;  (** 0 = no header locked by that core *)
+  busy : bool array;
+  arrived : bool array;  (** barrier arrival flags *)
+  mutable release_count : int;
+}
 
 val create : n_cores:int -> t
 
@@ -90,6 +107,15 @@ val barrier_arrive : t -> core:int -> bool
     the barrier has opened (all cores arrived); until then the core calls
     this again every cycle and stalls. The barrier resets itself once all
     cores have passed. *)
+
+(** {2 Event-driven scheduling} *)
+
+val next_wake : t -> int option
+(** Always [None]: the SB is combinational — locks, busy bits and the
+    barrier change only in response to core actions in the same cycle,
+    never on a self-scheduled future event. A core blocked on SB state
+    (a lock, the barrier) must therefore stay awake and poll every
+    cycle; only cores blocked on memory responses may sleep. *)
 
 (** {2 Invariant checking} *)
 

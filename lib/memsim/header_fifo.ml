@@ -58,6 +58,11 @@ let try_pop t addr =
     false
   end
 
+(* Purely reactive: entries appear on gray-header stores and leave on
+   scan-loop reads, both core actions within the acting core's cycle.
+   The FIFO never schedules its own future event. *)
+let next_wake (_ : t) : int option = None
+
 let overflows t = t.overflows
 let hits t = t.hits
 let misses t = t.misses

@@ -42,5 +42,11 @@ val fault_drops : t -> int
 (** Pushes dropped by the fault injector (counted separately from
     genuine capacity overflows). *)
 
+val next_wake : t -> int option
+(** Always [None]: the FIFO is purely reactive — entries are pushed and
+    popped by core actions within the acting core's cycle, so it never
+    has a self-scheduled future event under the event-driven kernel's
+    contract. *)
+
 val clear : t -> unit
 (** Empty the FIFO (between collection cycles); counters are kept. *)

@@ -53,9 +53,14 @@ type t = {
   (* Direct-mapped header cache: slot i holds the address cached there
      (0 = empty). Contents live in the heap; only presence is modeled. *)
   header_cache : int array;
-  (* Comparator array: header-store addresses still in flight, mapped to
-     their commit cycle. Entries are purged lazily. *)
-  pending_header_stores : (int, int) Hashtbl.t;
+  (* Comparator array: header-store addresses still in flight, paired
+     with their commit cycles, in two flat parallel arrays. The live
+     prefix is [0, ps_n); committed entries are compacted away on the
+     next insertion, so the arrays stay at the store high-water mark
+     and the hot path never touches a hash table. *)
+  mutable ps_addr : int array;
+  mutable ps_commit : int array;
+  mutable ps_n : int;
   mutable accepted_this_cycle : int;
   mutable cycle : int;
   mutable loads : int;
@@ -64,14 +69,7 @@ type t = {
   mutable rejected_order : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
-  (* Next cycle at which committed comparator entries are swept out.
-     Purging is otherwise lazy (on lookup), so a workload that stores
-     headers to many distinct addresses would grow the table without
-     bound. *)
-  mutable next_sweep : int;
 }
-
-let sweep_period = 1024
 
 let create ?(faults = Injector.disabled) config =
   (match validate_config config with
@@ -82,7 +80,9 @@ let create ?(faults = Injector.disabled) config =
     fifo = Header_fifo.create ~faults ~capacity:config.fifo_capacity ();
     faults;
     header_cache = Array.make (max 1 config.header_cache_entries) 0;
-    pending_header_stores = Hashtbl.create 64;
+    ps_addr = Array.make 64 0;
+    ps_commit = Array.make 64 0;
+    ps_n = 0;
     accepted_this_cycle = 0;
     cycle = 0;
     loads = 0;
@@ -91,39 +91,88 @@ let create ?(faults = Injector.disabled) config =
     rejected_order = 0;
     cache_hits = 0;
     cache_misses = 0;
-    next_sweep = 0;
   }
 
 let fifo t = t.fifo
 
 let begin_cycle t ~now =
   t.cycle <- now;
-  t.accepted_this_cycle <- 0;
-  if now >= t.next_sweep then begin
-    (* Committed entries can never hold a load again; dropping them is
-       invisible to the ordering logic and bounds the table size. *)
-    Hashtbl.filter_map_inplace
-      (fun _ commit -> if commit <= now then None else Some commit)
-      t.pending_header_stores;
-    t.next_sweep <- now + sweep_period
-  end
+  t.accepted_this_cycle <- 0
+
+(* Commit cycle of a still-pending header store to [addr], or max_int.
+   Committed entries may linger in the array until the next insertion
+   compacts them out; the [commit > cycle] guard makes them invisible. *)
+let commit_after t ~addr =
+  (* A [let rec go] scan here would heap-allocate its closure on every
+     call — and this runs once per cycle per port waiting on an
+     order-held header load — so the loop is written with unboxed
+     refs instead. *)
+  let n = t.ps_n in
+  let i = ref 0 and commit = ref max_int in
+  while !commit = max_int && !i < n do
+    if t.ps_addr.(!i) = addr && t.ps_commit.(!i) > t.cycle then
+      commit := t.ps_commit.(!i);
+    incr i
+  done;
+  !commit
 
 let store_commit_time t ~addr =
-  match Hashtbl.find_opt t.pending_header_stores addr with
-  | Some commit when commit > t.cycle -> Some commit
-  | Some _ | None -> None
+  let c = commit_after t ~addr in
+  if c = max_int then None else Some c
 
-let pending_store_count t = Hashtbl.length t.pending_header_stores
+let pending_store_count t =
+  let n = ref 0 in
+  for i = 0 to t.ps_n - 1 do
+    if t.ps_commit.(i) > t.cycle then incr n
+  done;
+  !n
 
-let store_pending t addr =
-  match Hashtbl.find_opt t.pending_header_stores addr with
-  | None -> false
-  | Some commit ->
-    if commit > t.cycle then true
-    else begin
-      Hashtbl.remove t.pending_header_stores addr;
-      false
+let store_pending t addr = commit_after t ~addr <> max_int
+
+(* Record a header store in the comparator array. One pass compacts out
+   committed entries and finds an existing live entry for [addr] (kept
+   with the later commit); the append slot is whatever the compaction
+   freed, so the arrays only grow to the high-water mark of
+   simultaneously in-flight header stores. *)
+let record_header_store t ~addr ~commit =
+  let j = ref 0 and found = ref (-1) in
+  for i = 0 to t.ps_n - 1 do
+    let c = t.ps_commit.(i) in
+    if c > t.cycle then begin
+      t.ps_addr.(!j) <- t.ps_addr.(i);
+      t.ps_commit.(!j) <- c;
+      if t.ps_addr.(!j) = addr then found := !j;
+      incr j
     end
+  done;
+  t.ps_n <- !j;
+  if !found >= 0 then begin
+    (* Keep the later commit if a store to this address is already
+       pending (cannot happen under the locking protocol, but the model
+       stays safe without it). *)
+    if commit > t.ps_commit.(!found) then t.ps_commit.(!found) <- commit
+  end
+  else begin
+    if t.ps_n = Array.length t.ps_addr then begin
+      let cap = 2 * t.ps_n in
+      let addrs = Array.make cap 0 and commits = Array.make cap 0 in
+      Array.blit t.ps_addr 0 addrs 0 t.ps_n;
+      Array.blit t.ps_commit 0 commits 0 t.ps_n;
+      t.ps_addr <- addrs;
+      t.ps_commit <- commits
+    end;
+    t.ps_addr.(t.ps_n) <- addr;
+    t.ps_commit.(t.ps_n) <- commit;
+    t.ps_n <- t.ps_n + 1
+  end
+
+let next_wake t ~now =
+  let best = ref max_int in
+  for i = 0 to t.ps_n - 1 do
+    let c = t.ps_commit.(i) in
+    if c > now && c < !best then best := c
+  done;
+  if !best = max_int then None else Some !best
 
 let bandwidth_ok t =
   if t.accepted_this_cycle < t.config.bandwidth then true
@@ -141,7 +190,12 @@ let cache_fill t addr =
   if t.config.header_cache_entries > 0 then
     t.header_cache.(cache_slot t addr) <- addr
 
-let try_accept_load t ~now ~header ~addr =
+(* Sentinel-returning acceptance fast paths: [-1] = rejected this cycle.
+   The option-returning [try_accept_*] wrappers below exist for callers
+   that prefer the typed interface; the per-cycle port retry loop uses
+   these to stay allocation-free. *)
+
+let accept_load t ~now ~header ~addr =
   assert (now = t.cycle);
   let cache_hit =
     header && cache_lookup t addr
@@ -159,13 +213,13 @@ let try_accept_load t ~now ~header ~addr =
     (* Cache hit: on-chip, no bandwidth, no comparator hold (stores
        update the cache at initiation, so the cached value is current). *)
     t.cache_hits <- t.cache_hits + 1;
-    Some (now + 1)
+    now + 1
   end
   else if header && store_pending t addr then begin
     t.rejected_order <- t.rejected_order + 1;
-    None
+    -1
   end
-  else if not (bandwidth_ok t) then None
+  else if not (bandwidth_ok t) then -1
   else begin
     t.accepted_this_cycle <- t.accepted_this_cycle + 1;
     t.loads <- t.loads + 1;
@@ -179,30 +233,33 @@ let try_accept_load t ~now ~header ~addr =
       end
       else t.config.body_load_latency
     in
-    Some (now + latency + Injector.extra_delay t.faults)
+    now + latency + Injector.extra_delay t.faults
   end
 
-let try_accept_store t ~now ~header ~addr =
+let accept_store t ~now ~header ~addr =
   assert (now = t.cycle);
-  if not (bandwidth_ok t) then None
+  if not (bandwidth_ok t) then -1
   else begin
     t.accepted_this_cycle <- t.accepted_this_cycle + 1;
     t.stores <- t.stores + 1;
     let commit = now + t.config.store_latency + Injector.extra_delay t.faults in
     if header then begin
       cache_fill t addr;
-      (* Keep the later commit if a store to this address is already
-         pending (cannot happen under the locking protocol, but the model
-         stays safe without it). *)
-      let commit =
-        match Hashtbl.find_opt t.pending_header_stores addr with
-        | Some c when c > commit -> c
-        | _ -> commit
-      in
-      Hashtbl.replace t.pending_header_stores addr commit
-    end;
-    Some commit
+      record_header_store t ~addr ~commit;
+      (* The comparator may already have held a later commit for this
+         address; report the one that actually orders future loads. *)
+      commit_after t ~addr
+    end
+    else commit
   end
+
+let try_accept_load t ~now ~header ~addr =
+  let c = accept_load t ~now ~header ~addr in
+  if c < 0 then None else Some c
+
+let try_accept_store t ~now ~header ~addr =
+  let c = accept_store t ~now ~header ~addr in
+  if c < 0 then None else Some c
 
 let add_rejected_order t n = t.rejected_order <- t.rejected_order + n
 
@@ -224,9 +281,8 @@ let reset_stats t =
 
 let reset t =
   reset_stats t;
-  Hashtbl.reset t.pending_header_stores;
+  t.ps_n <- 0;
   Array.fill t.header_cache 0 (Array.length t.header_cache) 0;
   Header_fifo.clear t.fifo;
   t.accepted_this_cycle <- 0;
-  t.cycle <- 0;
-  t.next_sweep <- 0
+  t.cycle <- 0

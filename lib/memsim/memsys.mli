@@ -66,9 +66,8 @@ val fifo : t -> Header_fifo.t
 
 val begin_cycle : t -> now:int -> unit
 (** Reset the per-cycle acceptance budget. Must be called once per
-    simulated cycle before any [try_accept]. Periodically sweeps
-    committed entries out of the comparator array so the pending-store
-    table stays bounded over long runs. *)
+    simulated cycle (or once per fast-forward target cycle) before any
+    acceptance attempt. *)
 
 val try_accept_load : t -> now:int -> header:bool -> addr:int -> int option
 (** Attempt to start a load; [Some c] is the completion cycle. [None] when
@@ -79,14 +78,34 @@ val try_accept_store : t -> now:int -> header:bool -> addr:int -> int option
 (** Attempt to start a store; [Some c] is the commit cycle. Header stores
     are tracked for the comparator array until they commit. *)
 
+val accept_load : t -> now:int -> header:bool -> addr:int -> int
+(** Sentinel variant of {!try_accept_load} for the per-cycle hot path:
+    the completion cycle, or [-1] when rejected. Allocation-free. *)
+
+val accept_store : t -> now:int -> header:bool -> addr:int -> int
+(** Sentinel variant of {!try_accept_store}: the commit cycle, or [-1]
+    when rejected. Allocation-free. *)
+
 val store_commit_time : t -> addr:int -> int option
 (** Commit cycle of a still-pending header store to [addr], if any.
-    A pure peek (no lazy purge): used by the simulation kernel to compute
-    the wake-up time of an order-held header load. *)
+    A pure peek: used to compute the wake-up time of an order-held
+    header load. *)
+
+val commit_after : t -> addr:int -> int
+(** Sentinel variant of {!store_commit_time}: the commit cycle, or
+    [max_int] when no store to [addr] is pending. Allocation-free. *)
 
 val pending_store_count : t -> int
-(** Number of entries currently in the comparator array, committed or
-    not. Exposed for the table-growth regression test. *)
+(** Number of still-pending (uncommitted) entries in the comparator
+    array. Committed entries are compacted away on the next header-store
+    insertion and are never visible here. Exposed for the table-growth
+    regression test. *)
+
+val next_wake : t -> now:int -> int option
+(** Earliest pending header-store commit strictly after [now], if any —
+    the memory system's self-scheduled event for the event-driven
+    kernel. Loads in flight are tracked by the issuing {!Port}, not
+    here. *)
 
 val add_rejected_order : t -> int -> unit
 (** Bulk-credit [n] comparator-array rejections. The idle-cycle-skipping

@@ -16,11 +16,16 @@ let is_header = function
   | Header_load | Header_store -> true
   | Body_load | Body_store -> false
 
-type status =
-  | Idle
-  | Waiting of int  (* deposited with this address, not yet accepted *)
-  | In_flight of { addr : int; done_at : int }
-  | Ready  (* loads only: data arrived, awaiting consumption *)
+(* Status lives in three unboxed fields rather than a variant: the
+   machine accepts a transaction roughly every other cycle per busy
+   core, and an [In_flight {addr; done_at}] block per acceptance was a
+   measurable share of the hot loop's minor allocation. [st] encodes
+   the constructor; [addr]/[done_at] are only meaningful in the states
+   noted. *)
+let st_idle = 0
+let st_waiting = 1 (* addr: deposited, not yet accepted *)
+let st_in_flight = 2 (* addr, done_at *)
+let st_ready = 3 (* loads only: data arrived, awaiting consumption *)
 
 (* [events] is a transition counter shared with the owning simulator (and
    typically with every other buffer of the machine): any status change
@@ -29,7 +34,9 @@ type status =
    of the requirements for idle-cycle skipping. *)
 type t = {
   kind : kind;
-  mutable status : status;
+  mutable st : int;
+  mutable addr : int;
+  mutable done_at : int;
   events : int ref;
   faults : Hsgc_fault.Injector.t;
 }
@@ -37,97 +44,107 @@ type t = {
 let create ?events ?(faults = Hsgc_fault.Injector.disabled) kind =
   {
     kind;
-    status = Idle;
+    st = st_idle;
+    addr = 0;
+    done_at = 0;
     events = (match events with Some e -> e | None -> ref 0);
     faults;
   }
 
 let kind t = t.kind
-
-let is_idle t = match t.status with Idle -> true | Waiting _ | In_flight _ | Ready -> false
+let is_idle t = t.st = st_idle
 
 let try_accept t mem ~now ~addr =
-  let accepted =
-    (* A spurious-busy fault rejects the attempt before it reaches the
-       memory interface — the buffer stays in its normal retry loop, so
-       the perturbation is pure timing. *)
-    if Hsgc_fault.Injector.spurious_busy t.faults then None
+  (* A spurious-busy fault rejects the attempt before it reaches the
+     memory interface — the buffer stays in its normal retry loop, so
+     the perturbation is pure timing. *)
+  let done_at =
+    if Hsgc_fault.Injector.spurious_busy t.faults then -1
     else if is_load t.kind then
-      Memsys.try_accept_load mem ~now ~header:(is_header t.kind) ~addr
-    else Memsys.try_accept_store mem ~now ~header:(is_header t.kind) ~addr
+      Memsys.accept_load mem ~now ~header:(is_header t.kind) ~addr
+    else Memsys.accept_store mem ~now ~header:(is_header t.kind) ~addr
   in
-  match accepted with
-  | Some done_at ->
-    t.status <- In_flight { addr; done_at };
+  if done_at >= 0 then begin
+    t.st <- st_in_flight;
+    t.addr <- addr;
+    t.done_at <- done_at;
     incr t.events
-  | None -> t.status <- Waiting addr
+  end
+  else begin
+    t.st <- st_waiting;
+    t.addr <- addr
+  end
 
 let issue t mem ~now ~addr =
-  match t.status with
-  | Idle ->
+  if t.st = st_idle then begin
     (* Idle -> Waiting is a transition too, even when memory rejects. *)
     incr t.events;
     try_accept t mem ~now ~addr;
     true
-  | Waiting _ | In_flight _ | Ready -> false
+  end
+  else false
 
 let issue_immediate t =
   assert (is_load t.kind);
-  match t.status with
-  | Idle ->
-    t.status <- Ready;
+  if t.st = st_idle then begin
+    t.st <- st_ready;
     incr t.events
-  | Waiting _ | In_flight _ | Ready -> invalid_arg "Port.issue_immediate: busy"
+  end
+  else invalid_arg "Port.issue_immediate: busy"
 
 let tick t mem ~now =
-  match t.status with
-  | Idle | Ready -> ()
-  | Waiting addr -> try_accept t mem ~now ~addr
-  | In_flight { addr = _; done_at } ->
-    if done_at <= now then begin
-      t.status <- (if is_load t.kind then Ready else Idle);
-      incr t.events
-    end
+  let st = t.st in
+  if st = st_waiting then try_accept t mem ~now ~addr:t.addr
+  else if st = st_in_flight && t.done_at <= now then begin
+    t.st <- (if is_load t.kind then st_ready else st_idle);
+    incr t.events
+  end
 
-let load_ready t = match t.status with Ready -> true | Idle | Waiting _ | In_flight _ -> false
+let load_ready t = t.st = st_ready
 
 let consume t =
-  match t.status with
-  | Ready ->
-    t.status <- Idle;
+  if t.st = st_ready then begin
+    t.st <- st_idle;
     incr t.events
-  | Idle | Waiting _ | In_flight _ -> invalid_arg "Port.consume: no data ready"
+  end
+  else invalid_arg "Port.consume: no data ready"
 
 let wake_after t mem ~now =
-  match t.status with
-  | Idle | Ready -> max_int
-  | In_flight { done_at; _ } -> if done_at > now + 1 then done_at else now + 1
-  | Waiting addr ->
-    if t.kind = Header_load then
-      (* An order-held header load sleeps until the blocking store
-         commits; anything else might be accepted as soon as next cycle's
-         bandwidth budget opens. *)
-      (match Memsys.store_commit_time mem ~addr with
-      | Some commit -> commit
-      | None -> now + 1)
-    else now + 1
+  let st = t.st in
+  if st = st_idle || st = st_ready then max_int
+  else if st = st_in_flight then
+    if t.done_at > now + 1 then t.done_at else now + 1
+  else if
+    t.kind = Header_load && not (Hsgc_fault.Injector.retry_draws t.faults)
+  then begin
+    (* An order-held header load sleeps until the blocking store
+       commits; anything else might be accepted as soon as next cycle's
+       bandwidth budget opens. When spurious-busy faults are armed,
+       every retry cycle draws from the fault stream, so even the
+       order-held wait must replay cycle by cycle. *)
+    let commit = Memsys.commit_after mem ~addr:t.addr in
+    if commit = max_int then now + 1 else commit
+  end
+  else now + 1
+
+let retry_wake t ~now = if t.st = st_waiting then now + 1 else max_int
+
+let polls t = t.st = st_waiting || t.st = st_ready
+
+let in_flight_done t = if t.st = st_in_flight then t.done_at else min_int
 
 let order_held t mem =
-  match t.status with
-  | Waiting addr when t.kind = Header_load -> (
-    match Memsys.store_commit_time mem ~addr with Some _ -> true | None -> false)
-  | _ -> false
+  t.st = st_waiting && t.kind = Header_load
+  && Memsys.commit_after mem ~addr:t.addr <> max_int
 
-let busy_addr t =
-  match t.status with
-  | Idle | Ready -> None
-  | Waiting addr -> Some addr
-  | In_flight { addr; _ } -> Some addr
+let next_wake t mem ~now =
+  let w = wake_after t mem ~now in
+  if w = max_int then None else Some w
+
+let busy_addr t = if t.st = st_idle || t.st = st_ready then None else Some t.addr
 
 let describe t =
-  match t.status with
-  | Idle -> "idle"
-  | Ready -> "ready"
-  | Waiting addr -> Printf.sprintf "waiting addr=%d" addr
-  | In_flight { addr; done_at } ->
-    Printf.sprintf "in-flight addr=%d done@%d" addr done_at
+  if t.st = st_idle then "idle"
+  else if t.st = st_ready then "ready"
+  else if t.st = st_waiting then Printf.sprintf "waiting addr=%d" t.addr
+  else Printf.sprintf "in-flight addr=%d done@%d" t.addr t.done_at

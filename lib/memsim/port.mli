@@ -13,7 +13,36 @@ val pp_kind : Format.formatter -> kind -> unit
 val is_load : kind -> bool
 val is_header : kind -> bool
 
-type t
+(** Status encoding. The machine polls every buffer every cycle, and
+    without flambda an accessor like [val st : t -> int] is a real
+    cross-module call on that path — so the status fields are exposed
+    for direct reads. [st] encodes the state; [addr] and [done_at] are
+    only meaningful in the states noted. Treat every field as read-only
+    outside this module: all transitions go through {!issue}, {!tick},
+    {!consume} and friends, which keep the shared [events] transition
+    counter honest. *)
+
+val st_idle : int
+(** Empty; a new transfer may be deposited. *)
+
+val st_waiting : int
+(** Deposited ([addr]) but not yet accepted by memory; retried by
+    {!tick} every cycle. *)
+
+val st_in_flight : int
+(** Accepted; completes at [done_at]. *)
+
+val st_ready : int
+(** Loads only: data arrived, awaiting {!consume}. *)
+
+type t = {
+  kind : kind;
+  mutable st : int;
+  mutable addr : int;
+  mutable done_at : int;
+  events : int ref;
+  faults : Hsgc_fault.Injector.t;
+}
 
 val create : ?events:int ref -> ?faults:Hsgc_fault.Injector.t -> kind -> t
 (** [events], when given, is a transition counter shared with the owning
@@ -68,7 +97,7 @@ val describe : t -> string
     completion/consumption or a store release bumps it; a [Waiting]
     buffer whose retry was rejected again does {e not}). The kernel then
     needs each sleeping buffer's earliest possible wake-up
-    ({!wake_time}) and, for exact statistics, which buffers are
+    ({!wake_after}) and, for exact statistics, which buffers are
     comparator-held header loads ({!order_held}) — those accrue one
     ordering rejection per skipped cycle. *)
 
@@ -78,9 +107,37 @@ val wake_after : t -> Memsys.t -> now:int -> int
     transfer wakes at its completion cycle; a header load held by a
     pending header store wakes when that store commits; any other
     waiting buffer may be accepted next cycle, so the estimate is
-    conservative ([now + 1]) and prevents skipping. Runs on the
+    conservative ([now + 1]) and prevents skipping. When spurious-busy
+    faults are armed ({!Hsgc_fault.Injector.retry_draws}), waiting
+    buffers always report [now + 1]: each acceptance retry draws from
+    the fault stream, so no retry cycle may be skipped. Runs on the
     kernel's skip path every quiescent cycle, hence the unboxed
     sentinel convention. *)
+
+val next_wake : t -> Memsys.t -> now:int -> int option
+(** {!wake_after} under the event-driven kernel's [next_wake] contract:
+    [None] means the buffer has no self-scheduled event (idle or ready —
+    it only changes state when the owning core acts on it). The
+    published wake never overshoots an enabled event; it may be
+    conservative (early). *)
+
+val retry_wake : t -> now:int -> int
+(** [now + 1] when the buffer is [Waiting] (its per-cycle acceptance
+    retries touch shared state — the bandwidth budget, the ordering
+    counters, possibly the fault stream — so its owning core must stay
+    awake to replay them), [max_int] otherwise. A core sleeping on one
+    buffer must take the minimum with the other three buffers'
+    [retry_wake]; their {e in-flight} completions, by contrast, only
+    flip local status and may be slept through. *)
+
+val polls : t -> bool
+(** The buffer is in a polled state ([Waiting] or [Ready]) whose next
+    transition is not schedulable from [done_at] alone. *)
+
+val in_flight_done : t -> int
+(** Completion cycle of an in-flight transfer, [min_int] otherwise —
+    lets the flush state compute the {e latest} completion across its
+    buffers with a plain [max]. *)
 
 val order_held : t -> Memsys.t -> bool
 (** The buffer is a header load currently held by the comparator array

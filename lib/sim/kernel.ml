@@ -38,14 +38,6 @@ let cycles_per_second t =
   let w = wall_seconds t in
   if w <= 0.0 then 0.0 else float_of_int t.now /. w
 
-let min_wake a b =
-  match (a, b) with
-  | None, x | x, None -> x
-  | Some x, Some y -> Some (min x y)
-
-let bound ~horizon target =
-  match horizon with None -> target | Some h -> min h target
-
 module Watchdog = struct
   type trip =
     | Budget_exceeded of { budget : int }

@@ -16,7 +16,18 @@
     worklist-empty cycles) in bulk for the skipped span, so all reported
     statistics are bit-identical to naive stepping. *)
 
-type t
+(* The record is exposed so engines can read [now] with a direct field
+   load in their per-cycle loops (without flambda, [Kernel.now] is a
+   real cross-module call). Mutate only through {!tick} and
+   {!fast_forward}, which keep the executed/skipped split consistent
+   with [now]. *)
+type t = {
+  skip : bool;
+  mutable now : int;
+  mutable executed : int;
+  mutable skipped : int;
+  wall_start : int64;  (** CLOCK_MONOTONIC ns at creation *)
+}
 
 val create : ?skip:bool -> unit -> t
 (** A fresh clock at cycle 0. [skip] (default [true]) records whether the
@@ -51,14 +62,8 @@ val cycles_per_second : t -> float
 (** Simulated cycles per wall-clock second ([now / wall_seconds]);
     the kernel's throughput figure of merit. *)
 
-(** {2 Wake-up arithmetic} *)
-
-val min_wake : int option -> int option -> int option
-(** Earliest of two optional wake-up times. *)
-
-val bound : horizon:int option -> int -> int
-(** Cap a wake-up target by an external horizon (e.g. the next mutator
-    operation in concurrent mode). *)
+(** Wake-up arithmetic ([min_wake]/[bound]) lives in {!Wake_queue}
+    alongside the event queue that consumes it. *)
 
 (** {2 Watchdog}
 

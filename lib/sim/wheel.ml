@@ -1,50 +1,78 @@
-(* A plain binary min-heap on the entry time. *)
+(* A plain binary min-heap on the entry time.
 
-type 'a t = { mutable a : (int * 'a) array; mutable n : int }
+   Times and payloads live in two parallel arrays rather than one array
+   of pairs: pushing an immediate payload (an int, as the wake queue
+   does every time a core goes to sleep) then allocates nothing, which
+   keeps the simulation kernel's hot loop allocation-free. *)
 
-let create () = { a = [||]; n = 0 }
+type 'a t = {
+  mutable times : int array;
+  mutable vals : 'a array;
+  mutable n : int;
+}
+
+let create () = { times = [||]; vals = [||]; n = 0 }
 
 let size h = h.n
 let is_empty h = h.n = 0
 
+let swap h i j =
+  let t = h.times.(i) in
+  h.times.(i) <- h.times.(j);
+  h.times.(j) <- t;
+  let v = h.vals.(i) in
+  h.vals.(i) <- h.vals.(j);
+  h.vals.(j) <- v
+
 let push h ~time v =
-  let x = (time, v) in
-  if h.n = Array.length h.a then begin
-    let bigger = Array.make (max 64 (2 * h.n)) x in
-    Array.blit h.a 0 bigger 0 h.n;
-    h.a <- bigger
+  if h.n = Array.length h.times then begin
+    let cap = max 64 (2 * h.n) in
+    let times = Array.make cap time and vals = Array.make cap v in
+    Array.blit h.times 0 times 0 h.n;
+    Array.blit h.vals 0 vals 0 h.n;
+    h.times <- times;
+    h.vals <- vals
   end;
-  h.a.(h.n) <- x;
+  h.times.(h.n) <- time;
+  h.vals.(h.n) <- v;
   h.n <- h.n + 1;
   let i = ref (h.n - 1) in
-  while !i > 0 && fst h.a.((!i - 1) / 2) > fst h.a.(!i) do
+  while !i > 0 && h.times.((!i - 1) / 2) > h.times.(!i) do
     let p = (!i - 1) / 2 in
-    let tmp = h.a.(p) in
-    h.a.(p) <- h.a.(!i);
-    h.a.(!i) <- tmp;
+    swap h p !i;
     i := p
   done
 
-let min_time h = if h.n = 0 then None else Some (fst h.a.(0))
+let min_time h = if h.n = 0 then None else Some h.times.(0)
 
-let pop_exn h =
-  if h.n = 0 then invalid_arg "Wheel.pop_exn: empty";
-  let top = h.a.(0) in
+(* Allocation-free variants for the hot path. *)
+let top_time h = if h.n = 0 then max_int else h.times.(0)
+
+let top_exn h =
+  if h.n = 0 then invalid_arg "Wheel.top_exn: empty";
+  h.vals.(0)
+
+let drop_exn h =
+  if h.n = 0 then invalid_arg "Wheel.drop_exn: empty";
   h.n <- h.n - 1;
-  h.a.(0) <- h.a.(h.n);
+  h.times.(0) <- h.times.(h.n);
+  h.vals.(0) <- h.vals.(h.n);
   let i = ref 0 in
   let continue = ref true in
   while !continue do
     let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
     let smallest = ref !i in
-    if l < h.n && fst h.a.(l) < fst h.a.(!smallest) then smallest := l;
-    if r < h.n && fst h.a.(r) < fst h.a.(!smallest) then smallest := r;
+    if l < h.n && h.times.(l) < h.times.(!smallest) then smallest := l;
+    if r < h.n && h.times.(r) < h.times.(!smallest) then smallest := r;
     if !smallest = !i then continue := false
     else begin
-      let tmp = h.a.(!i) in
-      h.a.(!i) <- h.a.(!smallest);
-      h.a.(!smallest) <- tmp;
+      swap h !i !smallest;
       i := !smallest
     end
-  done;
+  done
+
+let pop_exn h =
+  if h.n = 0 then invalid_arg "Wheel.pop_exn: empty";
+  let top = (h.times.(0), h.vals.(0)) in
+  drop_exn h;
   top

@@ -6,7 +6,12 @@
     deterministic because the structure is a plain binary heap with no
     randomisation, which is what makes whole-simulation runs repeatable
     and lets the domain-parallel sweep driver promise identical output at
-    any [--jobs] level. *)
+    any [--jobs] level.
+
+    Internally the heap keeps times and payloads in two parallel arrays,
+    so pushing an immediate payload (e.g. a core index) allocates
+    nothing — the wheel doubles as the event-driven kernel's wake queue
+    (see {!Wake_queue}) without putting pressure on the minor heap. *)
 
 type 'a t
 
@@ -16,10 +21,23 @@ val size : 'a t -> int
 val is_empty : 'a t -> bool
 
 val push : 'a t -> time:int -> 'a -> unit
-(** Register [v] at [time]. *)
+(** Register [v] at [time]. Allocation-free except when the backing
+    arrays grow (capacity doubles, starting at 64). *)
 
 val min_time : 'a t -> int option
 (** Time of the earliest entry, if any. *)
+
+val top_time : 'a t -> int
+(** Time of the earliest entry, or [max_int] on an empty wheel — the
+    allocation-free variant of {!min_time} for hot loops. *)
+
+val top_exn : 'a t -> 'a
+(** Payload of the earliest entry. Raises [Invalid_argument] on an empty
+    wheel. *)
+
+val drop_exn : 'a t -> unit
+(** Remove the earliest entry without returning it (allocation-free).
+    Raises [Invalid_argument] on an empty wheel. *)
 
 val pop_exn : 'a t -> int * 'a
 (** Remove and return the earliest entry. Raises [Invalid_argument] on an

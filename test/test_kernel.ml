@@ -5,6 +5,7 @@
 
 module Kernel = Hsgc_sim.Kernel
 module Wheel = Hsgc_sim.Wheel
+module Wake_queue = Hsgc_sim.Wake_queue
 module Domain_pool = Hsgc_sim.Domain_pool
 module Coprocessor = Hsgc_coproc.Coprocessor
 module Counters = Hsgc_coproc.Counters
@@ -39,13 +40,14 @@ let test_clock_accounting () =
 
 let test_clock_helpers () =
   Alcotest.(check (option int)) "min_wake both" (Some 3)
-    (Kernel.min_wake (Some 7) (Some 3));
+    (Wake_queue.min_wake (Some 7) (Some 3));
   Alcotest.(check (option int)) "min_wake left" (Some 7)
-    (Kernel.min_wake (Some 7) None);
-  Alcotest.(check (option int)) "min_wake none" None (Kernel.min_wake None None);
-  Alcotest.(check int) "bound none" 9 (Kernel.bound ~horizon:None 9);
-  Alcotest.(check int) "bound caps" 4 (Kernel.bound ~horizon:(Some 4) 9);
-  Alcotest.(check int) "bound above" 9 (Kernel.bound ~horizon:(Some 12) 9)
+    (Wake_queue.min_wake (Some 7) None);
+  Alcotest.(check (option int)) "min_wake none" None
+    (Wake_queue.min_wake None None);
+  Alcotest.(check int) "bound none" 9 (Wake_queue.bound ~horizon:None 9);
+  Alcotest.(check int) "bound caps" 4 (Wake_queue.bound ~horizon:(Some 4) 9);
+  Alcotest.(check int) "bound above" 9 (Wake_queue.bound ~horizon:(Some 12) 9)
 
 (* ------------------------------------------------------------------ *)
 (* Event wheel                                                         *)
@@ -80,6 +82,136 @@ let qcheck_wheel_sorts =
           t >= prev && drain t
       in
       Wheel.size w = List.length times && drain min_int)
+
+let qcheck_wheel_interleaved =
+  QCheck.Test.make
+    ~name:"wheel matches a sorted model under random push/pop interleavings"
+    ~count:200
+    QCheck.(small_list (pair bool small_nat))
+    (fun ops ->
+      (* [true] = pop (when non-empty), [false] = push. The model is a
+         sorted multiset of times; every pop must yield its head. *)
+      let w = Wheel.create () in
+      let model = ref [] in
+      let ok = ref true in
+      List.iteri
+        (fun i (is_pop, time) ->
+          if is_pop then begin
+            if not (Wheel.is_empty w) then begin
+              let t, _ = Wheel.pop_exn w in
+              match !model with
+              | [] -> ok := false
+              | m :: rest ->
+                if t <> m then ok := false;
+                model := rest
+            end
+          end
+          else begin
+            Wheel.push w ~time i;
+            model := List.sort compare (time :: !model)
+          end)
+        ops;
+      !ok && Wheel.size w = List.length !model)
+
+let test_wheel_growth () =
+  (* The backing arrays start at capacity 64; pushing 1000 entries in
+     reverse time order exercises the growth path and worst-case
+     sift-ups, and the drain must still be perfectly sorted. *)
+  let w = Wheel.create () in
+  let n = 1000 in
+  for i = n downto 1 do
+    Wheel.push w ~time:i i
+  done;
+  Alcotest.(check int) "size after growth" n (Wheel.size w);
+  for i = 1 to n do
+    let t, v = Wheel.pop_exn w in
+    if t <> i || v <> i then
+      Alcotest.failf "pop %d returned (%d, %d)" i t v
+  done;
+  Alcotest.(check bool) "drained" true (Wheel.is_empty w)
+
+(* ------------------------------------------------------------------ *)
+(* Wake queue: both regimes, lazy invalidation                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_wakeq_scan_regime () =
+  let q = Wake_queue.create ~n:4 in
+  Alcotest.(check int) "no heap below the threshold" 0
+    (Wake_queue.heap_entries q);
+  Alcotest.(check int) "fresh queue: nothing armed" max_int
+    (Wake_queue.next_after q ~now:0);
+  Wake_queue.arm q ~id:0 ~time:9;
+  Wake_queue.arm q ~id:1 ~time:5;
+  Wake_queue.arm q ~id:0 ~time:3;
+  (* re-arm supersedes *)
+  Alcotest.(check int) "still no heap" 0 (Wake_queue.heap_entries q);
+  Alcotest.(check int) "min over armed wakes" 3
+    (Wake_queue.next_after q ~now:0);
+  Alcotest.(check int) "strictly-future filter" 5
+    (Wake_queue.next_after q ~now:3);
+  Alcotest.(check int) "wake_of sees the re-arm" 3 (Wake_queue.wake_of q ~id:0);
+  Alcotest.(check int) "pending counts future wakes" 2
+    (Wake_queue.pending q ~now:0);
+  Wake_queue.disarm q ~id:1;
+  Alcotest.(check int) "disarmed wakes are invisible" max_int
+    (Wake_queue.next_after q ~now:3)
+
+let test_wakeq_lazy_invalidation () =
+  (* Heap regime: populations beyond [scan_threshold] keep a min-heap
+     with lazy deletion — re-arms and disarms leave stale entries behind
+     that [next_after] prunes when they surface. *)
+  let n = Wake_queue.scan_threshold + 10 in
+  let q = Wake_queue.create ~n in
+  Wake_queue.arm q ~id:3 ~time:50;
+  Wake_queue.arm q ~id:3 ~time:20;
+  Wake_queue.arm q ~id:7 ~time:30;
+  Alcotest.(check int) "superseded entry lingers in the heap" 3
+    (Wake_queue.heap_entries q);
+  Alcotest.(check int) "armed array wins over stale entries" 20
+    (Wake_queue.next_after q ~now:0);
+  Wake_queue.disarm q ~id:3;
+  Alcotest.(check int) "disarm is lazy: next_after skips the ghost" 30
+    (Wake_queue.next_after q ~now:0);
+  Alcotest.(check bool) "pruning discarded the ghost" true
+    (Wake_queue.heap_entries q <= 2);
+  Alcotest.(check int) "past and stale wakes both invisible" max_int
+    (Wake_queue.next_after q ~now:30);
+  Alcotest.(check int) "fully pruned" 0 (Wake_queue.heap_entries q)
+
+let qcheck_wakeq_matches_model =
+  QCheck.Test.make
+    ~name:"wake queue next_after matches a brute-force scan in both regimes"
+    ~count:150
+    QCheck.(
+      pair (oneofl [ 8; 100 ])
+        (small_list (pair (int_bound 7) (int_bound 40))))
+    (fun (n, ops) ->
+      (* ids 0..7 armed/disarmed arbitrarily; time 0 means disarm. With
+         n=8 the queue scans, with n=100 it runs the lazy heap — both
+         must agree with the obvious model at every step. *)
+      let q = Wake_queue.create ~n in
+      let model = Array.make n max_int in
+      List.for_all
+        (fun (id, time) ->
+          if time = 0 then begin
+            Wake_queue.disarm q ~id;
+            model.(id) <- max_int
+          end
+          else begin
+            Wake_queue.arm q ~id ~time;
+            model.(id) <- time
+          end;
+          (* Query at now=0 only: the heap regime prunes entries at or
+             before the queried [now] for good (legal because the
+             kernel's clock is monotonic), so a model test must not
+             rewind time. *)
+          let expect =
+            Array.fold_left
+              (fun acc w -> if w < acc then w else acc)
+              max_int model
+          in
+          Wake_queue.next_after q ~now:0 = expect)
+        ops)
 
 (* ------------------------------------------------------------------ *)
 (* Domain pool                                                         *)
@@ -299,6 +431,115 @@ let test_skipping_actually_skips () =
   Alcotest.(check int) "skip off executes everything"
     off.Coprocessor.total_cycles off.Coprocessor.executed_cycles
 
+let qcheck_skip_equivalent_with_faults =
+  QCheck.Test.make
+    ~name:
+      "idle-cycle skipping stays cycle-exact under delay-class faults \
+       (1..16 cores)"
+    ~count:40
+    (QCheck.make
+       ~print:(fun ((n, s), (nc, intensity)) ->
+         Printf.sprintf "graph(n=%d seed=%d) cores=%d intensity=%.2f" n s nc
+           intensity)
+       QCheck.Gen.(
+         let gen_plan =
+           let* n = int_range 1 50 in
+           let* seed = small_nat in
+           return (n, seed)
+         in
+         let gen_config =
+           let* n_cores = int_range 1 16 in
+           let* intensity = oneofl [ 0.1; 0.4; 0.8 ] in
+           return (n_cores, intensity)
+         in
+         pair gen_plan gen_config))
+    (fun ((n, seed), (n_cores, intensity)) ->
+      (* Delay-class faults perturb timing only (spurious busy / extra
+         latency), but they draw from a per-retry fault stream — so the
+         event-driven scheduler must keep every retrying core awake, or
+         the draws (and with them every statistic) diverge from naive
+         stepping. This is the property that pins down [next_wake]'s
+         no-overshoot contract under fault injection. *)
+      let rng = Hsgc_util.Rng.create (seed + 1) in
+      let plan = Plan.create () in
+      let ids =
+        Array.init n (fun _ ->
+            Plan.obj plan
+              ~pi:(Hsgc_util.Rng.int rng 4)
+              ~delta:(Hsgc_util.Rng.int rng 5))
+      in
+      Array.iter
+        (fun id ->
+          for slot = 0 to Plan.pi_of plan id - 1 do
+            if Hsgc_util.Rng.int rng 100 < 70 then
+              Plan.link plan ~parent:id ~slot
+                ~child:ids.(Hsgc_util.Rng.int rng n)
+          done)
+        ids;
+      for _ = 1 to 1 + Hsgc_util.Rng.int rng 3 do
+        Plan.add_root plan ids.(Hsgc_util.Rng.int rng n)
+      done;
+      let faults =
+        Hsgc_fault.Injector.delay_class ~seed:(seed + 3) ~intensity ()
+      in
+      let run skip =
+        let heap = Plan.materialize plan in
+        let stats =
+          Coprocessor.collect
+            (Coprocessor.config ~faults ~skip ~n_cores ())
+            heap
+        in
+        (stats, Verify.snapshot heap)
+      in
+      let naive, snap_naive = run false in
+      let skip, snap_skip = run true in
+      check_stats_equal "delay faults" naive skip;
+      Verify.equal_snapshot snap_naive snap_skip)
+
+let test_pieces_accounting_closes () =
+  (* Sub-object mode: every split frame's outstanding-piece count lives
+     in the flat [pieces] array. The balance must go back to zero by the
+     time the machine halts — a piece leak would leave it positive, a
+     double-retire would go negative (and trip the internal guard). *)
+  let heap = Workloads.build_heap ~scale:0.04 ~seed:3 Workloads.db in
+  let sim =
+    Coprocessor.start (Coprocessor.config ~scan_unit:1 ~n_cores:4 ()) heap
+  in
+  let saw_outstanding = ref false in
+  let steps = ref 0 in
+  while not (Coprocessor.halted sim) do
+    Coprocessor.step sim;
+    incr steps;
+    if !steps land 63 = 0 then begin
+      let p = Coprocessor.pieces_outstanding sim in
+      if p < 0 then Alcotest.failf "negative outstanding pieces (%d)" p;
+      if p > 0 then saw_outstanding := true
+    end
+  done;
+  Alcotest.(check int) "all pieces retired at halt" 0
+    (Coprocessor.pieces_outstanding sim);
+  Alcotest.(check bool) "sub-object mode actually split objects" true
+    !saw_outstanding;
+  ignore (Coprocessor.finalize sim)
+
+let test_hot_loop_allocation_free () =
+  (* The stepping loop is allocation-free in steady state; what remains
+     is per-collection setup (core records, counters, the wake queue),
+     amortized here over a run long enough to make any per-cycle or
+     per-acceptance allocation stand out by orders of magnitude. *)
+  let heap = Workloads.build_heap ~scale:0.2 ~seed:5 Workloads.javacc in
+  let cfg = Coprocessor.config ~n_cores:2 () in
+  let w0 = Gc.minor_words () in
+  let stats = Coprocessor.collect cfg heap in
+  let w1 = Gc.minor_words () in
+  let per_cycle =
+    (w1 -. w0) /. float_of_int stats.Coprocessor.executed_cycles
+  in
+  if per_cycle > 0.05 then
+    Alcotest.failf
+      "hot loop allocates %.4f minor words per executed cycle (budget 0.05)"
+      per_cycle
+
 let test_concurrent_skip_equivalent () =
   (* The concurrent engine caps every skip at the next mutator operation,
      so mutator interleavings — and with them every statistic — must be
@@ -388,9 +629,20 @@ let suite =
     Alcotest.test_case "clock helpers" `Quick test_clock_helpers;
     Alcotest.test_case "wheel ordering" `Quick test_wheel_ordering;
     QCheck_alcotest.to_alcotest qcheck_wheel_sorts;
+    QCheck_alcotest.to_alcotest qcheck_wheel_interleaved;
+    Alcotest.test_case "wheel growth path" `Quick test_wheel_growth;
+    Alcotest.test_case "wake queue scan regime" `Quick test_wakeq_scan_regime;
+    Alcotest.test_case "wake queue lazy invalidation" `Quick
+      test_wakeq_lazy_invalidation;
+    QCheck_alcotest.to_alcotest qcheck_wakeq_matches_model;
     Alcotest.test_case "pool matches List.map" `Quick test_pool_matches_map;
     Alcotest.test_case "pool exception determinism" `Quick test_pool_exception;
     QCheck_alcotest.to_alcotest qcheck_skip_equivalent;
+    QCheck_alcotest.to_alcotest qcheck_skip_equivalent_with_faults;
+    Alcotest.test_case "pieces accounting closes to zero" `Quick
+      test_pieces_accounting_closes;
+    Alcotest.test_case "hot loop is allocation-free" `Quick
+      test_hot_loop_allocation_free;
     Alcotest.test_case "skip equivalent on workloads" `Slow
       test_skip_equivalent_on_workloads;
     Alcotest.test_case "skip equivalent latency-bound" `Quick

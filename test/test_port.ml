@@ -113,6 +113,71 @@ let test_busy_addr () =
   ignore (Port.issue p m ~now:0 ~addr:55);
   Alcotest.(check (option int)) "in flight addr" (Some 55) (Port.busy_addr p)
 
+let test_next_wake_in_flight () =
+  (* No-overshoot contract: the published wake of an in-flight load is
+     exactly its completion — nothing happens strictly before it, the
+     data arrives exactly at it. *)
+  let m = mem () in
+  let p = Port.create Port.Body_load in
+  Memsys.begin_cycle m ~now:0;
+  ignore (Port.issue p m ~now:0 ~addr:42);
+  match Port.next_wake p m ~now:0 with
+  | None -> Alcotest.fail "in-flight load published no wake"
+  | Some w ->
+    Alcotest.(check bool) "wake is in the future" true (w > 0);
+    for now = 1 to w - 1 do
+      Memsys.begin_cycle m ~now;
+      Port.tick p m ~now;
+      if Port.load_ready p then
+        Alcotest.failf "load completed at %d, before the published wake %d"
+          now w
+    done;
+    Memsys.begin_cycle m ~now:w;
+    Port.tick p m ~now:w;
+    Alcotest.(check bool) "event exactly at the published wake" true
+      (Port.load_ready p)
+
+let test_next_wake_order_held () =
+  (* A header load held by a pending header store to the same address
+     publishes the store's commit cycle: acceptance is impossible before
+     it and happens exactly at it. A slow store makes the window wide
+     enough to mean something. *)
+  let m =
+    Memsys.create
+      {
+        Memsys.header_load_latency = 3;
+        body_load_latency = 2;
+        store_latency = 6;
+        bandwidth = 4;
+        fifo_capacity = 8;
+        header_cache_entries = 0;
+      }
+  in
+  let hs = Port.create Port.Header_store in
+  let hl = Port.create Port.Header_load in
+  Memsys.begin_cycle m ~now:0;
+  ignore (Port.issue hs m ~now:0 ~addr:42);
+  ignore (Port.issue hl m ~now:0 ~addr:42);
+  Alcotest.(check bool) "load held by the comparator" true
+    (Port.order_held hl m);
+  match Port.next_wake hl m ~now:0 with
+  | None -> Alcotest.fail "held header load published no wake"
+  | Some w ->
+    Alcotest.(check bool) "wake spans the store latency" true (w > 1);
+    for now = 1 to w - 1 do
+      Memsys.begin_cycle m ~now;
+      Port.tick hs m ~now;
+      Port.tick hl m ~now;
+      if Port.in_flight_done hl <> min_int then
+        Alcotest.failf "held load accepted at %d, before the published wake %d"
+          now w
+    done;
+    Memsys.begin_cycle m ~now:w;
+    Port.tick hs m ~now:w;
+    Port.tick hl m ~now:w;
+    Alcotest.(check bool) "accepted exactly at the published wake" true
+      (Port.in_flight_done hl <> min_int)
+
 let suite =
   [
     Alcotest.test_case "load lifecycle" `Quick test_load_lifecycle;
@@ -124,4 +189,8 @@ let suite =
     Alcotest.test_case "consume not ready" `Quick test_consume_not_ready;
     Alcotest.test_case "kind predicates" `Quick test_kind_predicates;
     Alcotest.test_case "busy_addr" `Quick test_busy_addr;
+    Alcotest.test_case "next_wake: in-flight load" `Quick
+      test_next_wake_in_flight;
+    Alcotest.test_case "next_wake: order-held header load" `Quick
+      test_next_wake_order_held;
   ]
