@@ -24,9 +24,33 @@ module Rng = Hsgc_util.Rng
 open Cmdliner
 
 (* Distinct exit codes so scripts can tell a wrong answer from a hung
-   machine: 3 = verification failure, 4 = watchdog stall diagnosis. *)
+   machine: 3 = verification failure, 4 = watchdog stall diagnosis,
+   5 = machine-sanitizer violation. *)
 let exit_verify_failed = 3
 let exit_stalled = 4
+let exit_sanitizer = 5
+
+let sanitize_conv =
+  Arg.conv
+    ( (fun s ->
+        match Hsgc_sanitizer.Sanitizer.mode_of_string s with
+        | Some m -> Ok m
+        | None ->
+          Error (`Msg (Printf.sprintf "bad sanitize mode %S (check|strict)" s))),
+      fun ppf m ->
+        Format.pp_print_string ppf (Hsgc_sanitizer.Sanitizer.mode_to_string m) )
+
+let sanitize_arg =
+  Arg.(
+    value
+    & opt ~vopt:Hsgc_sanitizer.Sanitizer.Check sanitize_conv
+        Hsgc_sanitizer.Sanitizer.Off
+    & info [ "sanitize" ] ~docv:"MODE"
+        ~doc:
+          "Attach the machine sanitizer (lockset race detection and protocol \
+           linting over every simulated shared-memory access). Bare \
+           $(b,--sanitize) records findings and exits with code 5 if any; \
+           $(b,--sanitize=strict) aborts at the first violation.")
 
 (* Integer argument converters that reject values Memsys.validate_config
    would refuse, so the user gets a clean usage error instead of an
@@ -205,7 +229,7 @@ let cycle_budget_arg =
 
 let run_cmd =
   let run workload n_cores scale seed extra_latency fifo bandwidth header_cache
-      scan_unit verify no_skip cycle_budget =
+      scan_unit verify no_skip cycle_budget sanitize =
     let mem = mem_config extra_latency fifo bandwidth header_cache in
     let heap = Workloads.build_heap ~scale ~seed workload in
     let pre = if verify then Some (Verify.snapshot heap) else None in
@@ -213,33 +237,47 @@ let run_cmd =
       Coprocessor.collect
         (Coprocessor.config ~mem
            ?scan_unit:(scan_unit_opt scan_unit)
-           ?cycle_budget
+           ?cycle_budget ~sanitize
            ~skip:(not no_skip) ~n_cores ())
         heap
     with
     | exception Coprocessor.Stall_diagnosis d ->
       prerr_endline (Report.stall_diagnosis d);
       exit_stalled
+    | exception Hsgc_sanitizer.Diag.Violation d ->
+      (* --sanitize=strict aborts the collection at the first finding. *)
+      Format.eprintf "sanitizer VIOLATION: %s@." (Hsgc_sanitizer.Diag.to_string d);
+      exit_sanitizer
     | stats -> (
       Printf.printf "workload %s, %d cores\n" workload.Workloads.name n_cores;
       print_stats stats;
-      match pre with
-      | None -> 0
-      | Some pre -> (
-        match Verify.check_collection ~pre heap with
-        | Ok () ->
-          print_endline "verification        OK (graph isomorphic, compacted)";
-          0
-        | Error f ->
-          Format.eprintf "verification FAILED: %a@." Verify.pp_failure f;
-          exit_verify_failed))
+      if sanitize <> Hsgc_sanitizer.Sanitizer.Off then
+        if stats.Coprocessor.sanitizer_findings = [] then
+          print_endline "sanitizer           OK (no findings)"
+        else begin
+          prerr_endline
+            (Report.sanitizer_findings ~total:stats.Coprocessor.sanitizer_total
+               stats.Coprocessor.sanitizer_findings)
+        end;
+      if stats.Coprocessor.sanitizer_findings <> [] then exit_sanitizer
+      else
+        match pre with
+        | None -> 0
+        | Some pre -> (
+          match Verify.check_collection ~pre heap with
+          | Ok () ->
+            print_endline "verification        OK (graph isomorphic, compacted)";
+            0
+          | Error f ->
+            Format.eprintf "verification FAILED: %a@." Verify.pp_failure f;
+            exit_verify_failed))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"run one collection and print full statistics")
     Term.(
       const run $ workload_arg $ cores_arg $ scale_arg $ seed_arg $ latency_arg
       $ fifo_arg $ bandwidth_arg $ header_cache_arg $ scan_unit_arg $ verify_arg
-      $ no_skip_arg $ cycle_budget_arg)
+      $ no_skip_arg $ cycle_budget_arg $ sanitize_arg)
 
 let sweep_cmd =
   let run workload scale seed extra_latency fifo bandwidth header_cache verify

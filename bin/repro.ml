@@ -12,7 +12,12 @@ module Report = Hsgc_core.Report
 module Experiment = Hsgc_core.Experiment
 module Chaos = Hsgc_core.Chaos
 module Memsys = Hsgc_memsim.Memsys
+module San = Hsgc_sanitizer.Sanitizer
 open Cmdliner
+
+(* Exit codes match gcsim: 5 = the machine sanitizer flagged a protocol
+   violation during a sweep run under --sanitize. *)
+let exit_sanitizer = 5
 
 type artifact =
   | Fig5
@@ -245,16 +250,17 @@ let journal_append path name =
   output_string oc (name ^ "\n");
   close_out oc
 
-let run artifact scale seeds verify jobs quick bench_out chaos_out retries
-    keep_going resume journal =
+let run artifact scale seeds verify jobs quick sanitize bench_out chaos_out
+    retries keep_going resume journal =
   let scale = if quick then scale *. 0.05 else scale in
   let seeds = Array.init seeds (fun i -> 42 + (1000 * i)) in
+  let sanitize = if sanitize then San.Check else San.Off in
   let base_sweep =
-    lazy (Report.run_sweeps ~verify ~scale ~seeds ~jobs ())
+    lazy (Report.run_sweeps ~verify ~scale ~seeds ~jobs ~sanitize ())
   in
   let latency_sweep =
     lazy
-      (Report.run_sweeps ~verify ~scale ~seeds ~jobs
+      (Report.run_sweeps ~verify ~scale ~seeds ~jobs ~sanitize
          ~mem:(Memsys.with_extra_latency Memsys.default_config 20)
          ())
   in
@@ -276,6 +282,14 @@ let run artifact scale seeds verify jobs quick bench_out chaos_out retries
     | Chaos_campaign -> run_chaos ~scale ~jobs ~retries ~chaos_out
     | All -> assert false
   in
+  let guard_sanitizer f =
+    match f () with
+    | code -> code
+    | exception Experiment.Sanitizer_failed msg ->
+      Printf.eprintf "repro: sanitizer FAILED:\n%s\n%!" msg;
+      exit_sanitizer
+  in
+  let emit a = guard_sanitizer (fun () -> emit a) in
   match artifact with
   | All ->
     let sequence =
@@ -359,6 +373,14 @@ let cmd =
       value & flag
       & info [ "quick" ] ~doc:"Shrink workloads 20x (smoke-test scale).")
   in
+  let sanitize =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "Attach the machine sanitizer to every collection in the sweep \
+             artifacts; any finding aborts with exit code 5.")
+  in
   let bench_out =
     Arg.(
       value
@@ -410,7 +432,7 @@ let cmd =
   Cmd.v
     (Cmd.info "repro" ~doc)
     Term.(
-      const run $ artifact $ scale $ seeds $ verify $ jobs $ quick $ bench_out
-      $ chaos_out $ retries $ keep_going $ resume $ journal)
+      const run $ artifact $ scale $ seeds $ verify $ jobs $ quick $ sanitize
+      $ bench_out $ chaos_out $ retries $ keep_going $ resume $ journal)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,6 +8,9 @@ module Fifo = Hsgc_memsim.Header_fifo
 module Kernel = Hsgc_sim.Kernel
 module Wake_queue = Hsgc_sim.Wake_queue
 module Injector = Hsgc_fault.Injector
+module Hooks = Hsgc_sanitizer.Hooks
+module Diag = Hsgc_sanitizer.Diag
+module San = Hsgc_sanitizer.Sanitizer
 
 (* Hot-loop status probes. [Port] and [Sync_block] expose their records
    precisely so that the per-cycle loop can poll status with direct
@@ -43,6 +46,11 @@ type config = {
   stall_window : int;
       (* watchdog: executed cycles without any global progress (no
          buffer transition, scan/free frozen) before declaring a stall. *)
+  sanitize : San.mode;
+      (* machine sanitizer: [Off] (default) attaches nothing — hook
+         call sites reduce to one load-and-branch; [Check] records
+         findings into [gc_stats]; [Strict] raises [Diag.Violation] on
+         the first finding. *)
 }
 
 let default_stall_window = 1_000_000
@@ -57,10 +65,12 @@ let default_config =
     faults = None;
     cycle_budget = None;
     stall_window = default_stall_window;
+    sanitize = San.Off;
   }
 
 let config ?(mem = Mem.default_config) ?scan_unit ?(skip = true) ?faults
-    ?cycle_budget ?(stall_window = default_stall_window) ~n_cores () =
+    ?cycle_budget ?(stall_window = default_stall_window) ?(sanitize = San.Off)
+    ~n_cores () =
   {
     default_config with
     n_cores;
@@ -70,6 +80,7 @@ let config ?(mem = Mem.default_config) ?scan_unit ?(skip = true) ?faults
     faults;
     cycle_budget;
     stall_window;
+    sanitize;
   }
 
 exception Heap_overflow
@@ -154,6 +165,11 @@ type gc_stats = {
   header_cache_misses : int;
   faults_injected : int;
   corruptions_injected : int;
+  sanitizer_findings : Diag.t list;
+      (* kept (deduplicated, capped) sanitizer findings; [] when the
+         sanitizer was off or silent *)
+  sanitizer_total : int;
+      (* all sanitizer findings including deduplicated repeats *)
 }
 
 let stalls_total stats =
@@ -229,6 +245,13 @@ type t = {
   sb : SB.t;
   mem : Mem.t;
   fifo : Fifo.t;
+  (* One hook record shared by the SB, the memory system, every port
+     and the microprogram call sites below. Always present — even with
+     the sanitizer off it carries the current cycle, so structured
+     protocol diagnostics get cycle context in plain runs too. *)
+  hooks : Hooks.t;
+  san : San.t;
+  mutable san_seen : int;  (* findings already annotated into the trace *)
   cores : core array;
   tospace_limit : int;
   clock : Kernel.t;
@@ -267,7 +290,7 @@ type sim = t
 
 let now t = t.clock.Kernel.now
 
-let make_core ~events ~faults id =
+let make_core ~events ~faults ~hooks id =
   {
     id;
     state = (if id = 0 then Init else Start_barrier);
@@ -283,10 +306,10 @@ let make_core ~events ~faults id =
     evac_new = 0;
     root_idx = 0;
     ret = Ret_slot;
-    hl = Port.create ~events ~faults Port.Header_load;
-    hs = Port.create ~events ~faults Port.Header_store;
-    bl = Port.create ~events ~faults Port.Body_load;
-    bs = Port.create ~events ~faults Port.Body_store;
+    hl = Port.create ~events ~faults ~hooks ~owner:id Port.Header_load;
+    hs = Port.create ~events ~faults ~hooks ~owner:id Port.Header_store;
+    bl = Port.create ~events ~faults ~hooks ~owner:id Port.Body_load;
+    bs = Port.create ~events ~faults ~hooks ~owner:id Port.Body_store;
     counters = Counters.create ();
     stall_cycle = -1;
     stall_kind = Counters.Scan_lock;
@@ -324,6 +347,9 @@ let mark t = incr t.events
    load in the same cycle (the cores can initiate several memory
    operations per cycle). *)
 let store_and_advance t core v =
+  if t.hooks.Hooks.on then
+    t.hooks.Hooks.word_written ~core:core.id ~base:core.obj_to
+      ~addr:(core.obj_to + Hdr.header_words + core.slot);
   (* Corruption-class fault: flip one bit of the word as written to the
      tospace copy. Control flow below uses the clean [v] (and the copy
      is never re-read during a stop-the-world cycle), so the collection
@@ -350,6 +376,17 @@ let store_and_advance t core v =
    advances by one piece and the frame's registers stay latched in the
    synchronization block for the next grabber. *)
 let rec begin_object t core ~frame =
+  (* The grab is the handoff point of the protocol: the scan-lock holder
+     takes over the frame the evacuator produced. Claiming the header
+     words before reading them starts a fresh lockset epoch, so the
+     evacuator's earlier (free-claim-protected) header writes never
+     falsely intersect with the grabber's scan-locked reads — this is
+     the same-cycle release→acquire handoff the sanitizer must accept. *)
+  if t.hooks.Hooks.on then begin
+    t.hooks.Hooks.range_claimed ~core:core.id ~lo:frame
+      ~hi:(frame + Hdr.header_words);
+    t.hooks.Hooks.word_read ~core:core.id ~base:frame ~addr:frame
+  end;
   let h0 = t.heap.H.mem.(frame) in
   if Hdr.state h0 = Black then begin
     (* A frame allocated black by the main processor during a concurrent
@@ -369,13 +406,24 @@ and begin_gray_object t core ~frame ~h0 =
   in
   core.h0 <- h0;
   core.obj_to <- frame;
+  if t.hooks.Hooks.on then
+    t.hooks.Hooks.word_read ~core:core.id ~base:frame ~addr:(frame + 1);
   core.obj_from <- t.heap.H.mem.(frame + 1);
   core.slot <- 0;
   (match split_over with
   | None ->
     core.slot_limit <- body;
     core.whole <- true;
-    SB.advance_scan t.sb ~core:core.id (Hdr.size h0)
+    SB.advance_scan t.sb ~core:core.id (Hdr.size h0);
+    if t.hooks.Hooks.on then begin
+      (* The whole work item: the tospace copy under construction and
+         the fromspace body it is copied from. *)
+      t.hooks.Hooks.range_claimed ~core:core.id ~lo:frame
+        ~hi:(frame + Hdr.size h0);
+      t.hooks.Hooks.range_claimed ~core:core.id
+        ~lo:(core.obj_from + Hdr.header_words)
+        ~hi:(core.obj_from + Hdr.size h0)
+    end
   | Some u ->
     core.slot_limit <- u;
     core.whole <- false;
@@ -385,7 +433,14 @@ and begin_gray_object t core ~frame ~h0 =
     t.cur_next_slot <- u;
     t.pieces.(frame - t.pieces_base) <- ((body - 1) / u) + 1;
     (* the first piece carries the two header words *)
-    SB.advance_scan t.sb ~core:core.id (Hdr.header_words + u));
+    SB.advance_scan t.sb ~core:core.id (Hdr.header_words + u);
+    if t.hooks.Hooks.on then begin
+      t.hooks.Hooks.range_claimed ~core:core.id ~lo:frame
+        ~hi:(frame + Hdr.header_words + u);
+      t.hooks.Hooks.range_claimed ~core:core.id
+        ~lo:(core.obj_from + Hdr.header_words)
+        ~hi:(core.obj_from + Hdr.header_words + u)
+    end);
   SB.unlock_scan t.sb ~core:core.id;
   SB.set_busy t.sb ~core:core.id true;
   core.counters.objects_scanned <- core.counters.objects_scanned + 1;
@@ -405,6 +460,14 @@ let begin_piece t core =
   core.slot_limit <- stop;
   core.whole <- false;
   SB.advance_scan t.sb ~core:core.id (stop - start);
+  if t.hooks.Hooks.on then begin
+    t.hooks.Hooks.range_claimed ~core:core.id
+      ~lo:(core.obj_to + Hdr.header_words + start)
+      ~hi:(core.obj_to + Hdr.header_words + stop);
+    t.hooks.Hooks.range_claimed ~core:core.id
+      ~lo:(core.obj_from + Hdr.header_words + start)
+      ~hi:(core.obj_from + Hdr.header_words + stop)
+  end;
   t.cur_next_slot <- stop;
   if stop = body then t.cur_frame <- 0;
   SB.unlock_scan t.sb ~core:core.id;
@@ -451,6 +514,8 @@ let step_root_header_wait t core =
   else begin
     Port.consume core.hl;
     let r = t.heap.H.roots.(core.root_idx) in
+    if t.hooks.Hooks.on then
+      t.hooks.Hooks.word_read ~core:core.id ~base:r ~addr:r;
     let w0 = t.heap.H.mem.(r) in
     match Hdr.state w0 with
     | White | Black ->
@@ -464,6 +529,8 @@ let step_root_header_wait t core =
     | Gray ->
       (* Another root slot already evacuated this object: follow the
          forwarding pointer installed in its header. *)
+      if t.hooks.Hooks.on then
+        t.hooks.Hooks.word_read ~core:core.id ~base:r ~addr:(r + 1);
       t.heap.H.roots.(core.root_idx) <- t.heap.H.mem.(r + 1);
       SB.unlock_header t.sb ~core:core.id;
       core.root_idx <- core.root_idx + 1;
@@ -541,6 +608,9 @@ let step_body_issue_load t core =
 let step_body_wait t core =
   if not (port_ready core.bl) then stall t core Body_load
   else begin
+    if t.hooks.Hooks.on then
+      t.hooks.Hooks.word_read ~core:core.id ~base:core.obj_from
+        ~addr:(core.obj_from + Hdr.header_words + core.slot);
     let v = t.heap.H.mem.(core.obj_from + Hdr.header_words + core.slot) in
     if core.slot < Hdr.pi core.h0 && v <> H.null then begin
       Port.consume core.bl;
@@ -570,6 +640,8 @@ let step_child_header_wait t core =
   if not (port_ready core.hl) then stall t core Header_load
   else begin
     Port.consume core.hl;
+    if t.hooks.Hooks.on then
+      t.hooks.Hooks.word_read ~core:core.id ~base:core.child ~addr:core.child;
     let w0 = t.heap.H.mem.(core.child) in
     match Hdr.state w0 with
     | White | Black ->
@@ -580,6 +652,9 @@ let step_child_header_wait t core =
       core.state <- Lock_free
     | Gray ->
       (* Already evacuated: take the forwarding pointer. *)
+      if t.hooks.Hooks.on then
+        t.hooks.Hooks.word_read ~core:core.id ~base:core.child
+          ~addr:(core.child + 1);
       core.value <- t.heap.H.mem.(core.child + 1);
       SB.unlock_header t.sb ~core:core.id;
       core.state <- Store_slot
@@ -605,6 +680,13 @@ let step_lock_free t core =
        grabber never takes the slow memory path unless the FIFO
        overflowed. The header's memory store is issued afterwards
        (Evac_store_gray) and only models timing. *)
+    if t.hooks.Hooks.on then begin
+      (* [claim_free] granted this core ownership of the fresh frame's
+         header words (reported through the SB hook), so these stores
+         carry the owner protection. *)
+      t.hooks.Hooks.word_written ~core:core.id ~base:addr ~addr;
+      t.hooks.Hooks.word_written ~core:core.id ~base:addr ~addr:(addr + 1)
+    end;
     H.set_header0 t.heap addr
       (Hdr.encode ~state:Gray ~pi:(Hdr.pi core.child_h0)
          ~delta:(Hdr.delta core.child_h0));
@@ -620,6 +702,14 @@ let step_evac_store_fwd t core =
   if not (port_idle core.hs) then stall t core Header_store
   else begin
     (* Gray the fromspace original: mark + forwarding pointer. *)
+    if t.hooks.Hooks.on then begin
+      t.hooks.Hooks.word_written ~core:core.id ~base:core.child
+        ~addr:core.child;
+      t.hooks.Hooks.word_written ~core:core.id ~base:core.child
+        ~addr:(core.child + 1);
+      t.hooks.Hooks.forward_installed ~core:core.id ~from_:core.child
+        ~to_:core.evac_new
+    end;
     H.set_header0 t.heap core.child (Hdr.with_state core.child_h0 Gray);
     H.set_header1 t.heap core.child core.evac_new;
     issue_exn core.hs t.mem ~now:(now t) ~addr:core.child;
@@ -659,6 +749,12 @@ let step_piece_done t core =
     let left = t.pieces.(idx) in
     if left = 0 then failwith "coprocessor: piece accounting lost (bug)";
     t.pieces.(idx) <- left - 1;
+    (* The retirer of the last piece blackens the header; it takes over
+       the frame's header words here, while still holding the header
+       lock (piece bodies were claimed piecewise at grab time). *)
+    if left = 1 && t.hooks.Hooks.on then
+      t.hooks.Hooks.range_claimed ~core:core.id ~lo:core.obj_to
+        ~hi:(core.obj_to + Hdr.header_words);
     SB.unlock_header t.sb ~core:core.id;
     mark t;
     if left = 1 then core.state <- Blacken
@@ -671,6 +767,12 @@ let step_piece_done t core =
 let step_blacken t core =
   if not (port_idle core.hs) then stall t core Header_store
   else begin
+    if t.hooks.Hooks.on then begin
+      t.hooks.Hooks.word_written ~core:core.id ~base:core.obj_to
+        ~addr:core.obj_to;
+      t.hooks.Hooks.word_written ~core:core.id ~base:core.obj_to
+        ~addr:(core.obj_to + 1)
+    end;
     (* Corruption-class fault: the blackened header is behind [scan] and
        never re-read during this cycle, so a flipped state/π/δ bit is
        invisible to the machine — the wall-to-wall verification parse
@@ -682,6 +784,16 @@ let step_blacken t core =
     H.set_header1 t.heap core.obj_to 0;
     issue_exn core.hs t.mem ~now:(now t) ~addr:core.obj_to;
     SB.set_busy t.sb ~core:core.id false;
+    if t.hooks.Hooks.on && core.whole then begin
+      (* The finished work item: ownership of the copy and of the
+         consumed fromspace body ends here. *)
+      t.hooks.Hooks.range_released ~core:core.id ~lo:core.obj_to
+        ~hi:(core.obj_to + Hdr.size core.h0);
+      if core.obj_from <> 0 then
+        t.hooks.Hooks.range_released ~core:core.id
+          ~lo:(core.obj_from + Hdr.header_words)
+          ~hi:(core.obj_from + Hdr.size core.h0)
+    end;
     core.state <- Try_lock_scan
   end
 
@@ -773,7 +885,12 @@ let start cfg heap =
     | None -> Injector.disabled
     | Some spec -> Injector.create spec
   in
-  let mem = Mem.create ~faults cfg.mem in
+  let hooks = Hooks.create () in
+  let san =
+    San.create ~mode:cfg.sanitize ~mem_words:(Array.length heap.H.mem)
+      ~n_cores:cfg.n_cores ~header_words:Hdr.header_words hooks
+  in
+  let mem = Mem.create ~faults ~hooks cfg.mem in
   let events = ref 0 in
   let to_space = H.to_space heap in
   let pieces_base = to_space.Semispace.base in
@@ -786,10 +903,13 @@ let start cfg heap =
   {
     cfg;
     heap;
-    sb = SB.create ~n_cores:cfg.n_cores;
+    sb = SB.create ~hooks ~n_cores:cfg.n_cores ();
     mem;
     fifo = Mem.fifo mem;
-    cores = Array.init cfg.n_cores (make_core ~events ~faults);
+    hooks;
+    san;
+    san_seen = 0;
+    cores = Array.init cfg.n_cores (make_core ~events ~faults ~hooks);
     tospace_limit = to_space.Semispace.limit;
     clock = Kernel.create ~skip:cfg.skip ();
     faults;
@@ -1087,6 +1207,9 @@ let step ?trace ?horizon t =
          (Printf.sprintf "exceeded %d cycles (scan=%d free=%d)" t.cfg.max_cycles
             (t.sb.SB.scan) (t.sb.SB.free)));
   Mem.begin_cycle t.mem ~now:n0;
+  (* Stamp the shared hook record so diagnostics and sanitizer findings
+     raised anywhere this cycle carry the cycle number. *)
+  t.hooks.Hooks.cycle <- n0;
   let scan0 = t.sb.SB.scan and free0 = t.sb.SB.free in
   t.events := 0;
   let cores = t.cores in
@@ -1140,13 +1263,27 @@ let step ?trace ?horizon t =
   in
   t.empty_cycles <- t.empty_cycles + empty_delta;
   (match trace with
-  | Some tr when Trace.due tr ~cycle:n0 ->
-    let activity =
-      String.init t.cfg.n_cores (fun i -> state_code t.cores.(i).state)
-    in
-    Trace.record tr ~cycle:n0 ~scan:(t.sb.SB.scan) ~free:(t.sb.SB.free)
-      ~fifo_depth:(Fifo.length t.fifo) ~activity
-  | Some _ | None -> ());
+  | Some tr ->
+    if Trace.due tr ~cycle:n0 then begin
+      let activity =
+        String.init t.cfg.n_cores (fun i -> state_code t.cores.(i).state)
+      in
+      Trace.record tr ~cycle:n0 ~scan:(t.sb.SB.scan) ~free:(t.sb.SB.free)
+        ~fifo_depth:(Fifo.length t.fifo) ~activity
+    end;
+    if t.hooks.Hooks.on then begin
+      let fs = San.findings t.san in
+      let n = List.length fs in
+      if n > t.san_seen then begin
+        List.iteri
+          (fun i d ->
+            if i >= t.san_seen then
+              Trace.annotate tr ~cycle:n0 (Diag.to_string d))
+          fs;
+        t.san_seen <- n
+      end
+    end
+  | None -> ());
   Kernel.tick t.clock;
   let quiet = cycle_was_quiet t ~scan0 ~free0 in
   let halted_all = all_halted t in
@@ -1194,6 +1331,10 @@ let step ?trace ?horizon t =
 
 let finalize t =
   if not (all_halted t) then invalid_arg "Coprocessor.finalize: not halted";
+  (* The sanitizer observes the stop-the-world collection only: detach
+     before the mutator (concurrent mode, inter-cycle allocation) drives
+     the same machine. *)
+  San.detach t.san;
   (* Commit the free register into the heap and swap the spaces. *)
   (H.to_space t.heap).Semispace.free <- t.sb.SB.free;
   H.flip t.heap;
@@ -1221,7 +1362,12 @@ let finalize t =
     header_cache_misses = Mem.header_cache_misses t.mem;
     faults_injected = Injector.total t.faults;
     corruptions_injected = Injector.corruptions t.faults;
+    sanitizer_findings = San.findings t.san;
+    sanitizer_total = San.total t.san;
   }
+
+let sanitizer_findings t = San.findings t.san
+let sanitizer_total t = San.total t.san
 
 let collect ?trace cfg heap =
   let t = start cfg heap in

@@ -71,6 +71,17 @@ type config = {
           scan/free frozen) before raising {!Stall_diagnosis}. Always
           on; the default (1,000,000) is far beyond any legitimate
           wait, which is bounded by memory latencies. *)
+  sanitize : Hsgc_sanitizer.Sanitizer.mode;
+      (** machine sanitizer ({!Hsgc_sanitizer.Sanitizer}): an
+          Eraser-style lockset checker plus protocol linter observing
+          every simulated heap word access, lock transition, FIFO
+          operation and barrier pass through a shared hook record.
+          [Off] (the default) attaches nothing — each hook site reduces
+          to one load-and-branch; [Check] records findings into
+          {!gc_stats}; [Strict] raises {!Hsgc_sanitizer.Diag.Violation}
+          at the first finding. The sanitizer observes the
+          stop-the-world collection (it is detached at [finalize];
+          concurrent-mode mutator activity is out of scope). *)
 }
 
 val default_config : config
@@ -84,6 +95,7 @@ val config :
   ?faults:Hsgc_fault.Injector.spec ->
   ?cycle_budget:int ->
   ?stall_window:int ->
+  ?sanitize:Hsgc_sanitizer.Sanitizer.mode ->
   n_cores:int ->
   unit ->
   config
@@ -163,6 +175,11 @@ type gc_stats = {
   corruptions_injected : int;
       (** corruption-class faults only — the denominator of the
           verifier's detection-coverage figure *)
+  sanitizer_findings : Hsgc_sanitizer.Diag.t list;
+      (** kept (deduplicated, capped at 64) sanitizer findings, oldest
+          first; [[]] when the sanitizer was off or silent *)
+  sanitizer_total : int;
+      (** every sanitizer finding including deduplicated repeats *)
 }
 
 val stalls_total : gc_stats -> Counters.t
@@ -226,6 +243,12 @@ val core_next_wake : sim -> core:int -> int option
     event: it is halted, or all four buffers are idle while it waits on
     another agent. Exposed for property tests of the no-overshoot
     contract. *)
+
+val sanitizer_findings : sim -> Hsgc_sanitizer.Diag.t list
+(** Kept sanitizer findings so far (mid-run peek; the final list is in
+    {!gc_stats}). *)
+
+val sanitizer_total : sim -> int
 
 val pieces_outstanding : sim -> int
 (** Sub-object mode: total outstanding (handed-out, not yet retired)

@@ -22,6 +22,9 @@ type t = {
   activities : string array;
   mutable n : int;
   mutable next_due : int;
+  (* Out-of-band annotations (sanitizer findings, at most a handful per
+     run): newest first, rendered chronologically by [notes]. *)
+  mutable notes_rev : (int * string) list;
 }
 
 let create ?(interval = 64) ?(capacity = 100_000) () =
@@ -36,7 +39,11 @@ let create ?(interval = 64) ?(capacity = 100_000) () =
     activities = Array.make capacity "";
     n = 0;
     next_due = 0;
+    notes_rev = [];
   }
+
+let annotate t ~cycle note = t.notes_rev <- (cycle, note) :: t.notes_rev
+let notes t = List.rev t.notes_rev
 
 let interval t = t.interval
 let length t = t.n

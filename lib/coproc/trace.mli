@@ -51,6 +51,12 @@ val record :
 val samples : t -> sample list
 (** In chronological order. *)
 
+val annotate : t -> cycle:int -> string -> unit
+(** Attach an out-of-band note (e.g. a sanitizer finding) at [cycle]. *)
+
+val notes : t -> (int * string) list
+(** Annotations in chronological order. *)
+
 val timeline : ?width:int -> t -> string
 (** ASCII rendering: a backlog sparkline plus one activity row per core. *)
 

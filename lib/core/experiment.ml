@@ -6,6 +6,7 @@ module Memsys = Hsgc_memsim.Memsys
 module Verify = Hsgc_heap.Verify
 
 exception Verification_failed of string
+exception Sanitizer_failed of string
 
 type measurement = {
   workload : string;
@@ -26,22 +27,43 @@ type measurement = {
 let default_cores = [ 1; 2; 4; 8; 16 ]
 let default_jobs = 1
 
+let check_sanitizer stats =
+  match stats.Coprocessor.sanitizer_findings with
+  | [] -> stats
+  | findings ->
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf "%d sanitizer violation%s:"
+         stats.Coprocessor.sanitizer_total
+         (if stats.Coprocessor.sanitizer_total = 1 then "" else "s"));
+    List.iter
+      (fun d ->
+        Buffer.add_string buf "\n  ";
+        Buffer.add_string buf (Hsgc_sanitizer.Diag.to_string d))
+      findings;
+    raise (Sanitizer_failed (Buffer.contents buf))
+
 let collect_once ~verify ~cfg heap =
-  if verify then begin
-    let pre = Verify.snapshot heap in
-    let stats = Coprocessor.collect cfg heap in
-    (match Verify.check_collection ~pre heap with
-    | Ok () -> ()
-    | Error failure ->
-      raise (Verification_failed (Format.asprintf "%a" Verify.pp_failure failure)));
-    stats
-  end
-  else Coprocessor.collect cfg heap
+  let stats =
+    if verify then begin
+      let pre = Verify.snapshot heap in
+      let stats = Coprocessor.collect cfg heap in
+      (match Verify.check_collection ~pre heap with
+      | Ok () -> ()
+      | Error failure ->
+        raise
+          (Verification_failed (Format.asprintf "%a" Verify.pp_failure failure)));
+      stats
+    end
+    else Coprocessor.collect cfg heap
+  in
+  check_sanitizer stats
 
 let measure ?(verify = false) ?(scale = 1.0) ?(seeds = [| 42 |])
-    ?(mem = Memsys.default_config) ?(skip = true) ~workload ~n_cores () =
+    ?(mem = Memsys.default_config) ?(skip = true)
+    ?(sanitize = Hsgc_sanitizer.Sanitizer.Off) ~workload ~n_cores () =
   if Array.length seeds = 0 then invalid_arg "Experiment.measure: no seeds";
-  let cfg = Coprocessor.config ~mem ~skip ~n_cores () in
+  let cfg = Coprocessor.config ~mem ~skip ~sanitize ~n_cores () in
   let n = float_of_int (Array.length seeds) in
   let acc_cycles = ref 0.0
   and acc_empty = ref 0.0
@@ -91,10 +113,11 @@ let measure ?(verify = false) ?(scale = 1.0) ?(seeds = [| 42 |])
     wall_s = !acc_wall;
   }
 
-let sweep ?verify ?scale ?seeds ?mem ?skip ?(cores = default_cores)
+let sweep ?verify ?scale ?seeds ?mem ?skip ?sanitize ?(cores = default_cores)
     ?(jobs = default_jobs) workload =
   Hsgc_sim.Domain_pool.map_list ~jobs
-    (fun n_cores -> measure ?verify ?scale ?seeds ?mem ?skip ~workload ~n_cores ())
+    (fun n_cores ->
+      measure ?verify ?scale ?seeds ?mem ?skip ?sanitize ~workload ~n_cores ())
     cores
 
 let speedups points =

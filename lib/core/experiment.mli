@@ -11,6 +11,13 @@ exception Verification_failed of string
 (** Raised (with the failure description) when [verify] is requested and
     the post-collection heap fails {!Hsgc_heap.Verify.check_collection}. *)
 
+exception Sanitizer_failed of string
+(** Raised (with the rendered findings) when [sanitize] is [Check] or
+    [Strict] and the machine sanitizer flagged at least one violation
+    during a collection. Distinct from {!Verification_failed}: the
+    verifier checks the {i result} heap, the sanitizer checks the
+    {i protocol} that produced it. *)
+
 (** Aggregated result of collecting one workload at one configuration,
     averaged over the seeds. *)
 type measurement = {
@@ -42,6 +49,7 @@ val measure :
   ?seeds:int array ->
   ?mem:Memsys.config ->
   ?skip:bool ->
+  ?sanitize:Hsgc_sanitizer.Sanitizer.mode ->
   workload:Workloads.t ->
   n_cores:int ->
   unit ->
@@ -51,7 +59,9 @@ val measure :
     checks graph isomorphism against a pre-collection snapshot and the
     compaction invariants. [skip] (default true) enables the kernel's
     idle-cycle skipping — simulation results are bit-identical either
-    way; only [wall_s] changes. *)
+    way; only [wall_s] changes. [sanitize] (default [Off]) attaches the
+    machine sanitizer to every collection; any finding raises
+    {!Sanitizer_failed}. *)
 
 val sweep :
   ?verify:bool ->
@@ -59,6 +69,7 @@ val sweep :
   ?seeds:int array ->
   ?mem:Memsys.config ->
   ?skip:bool ->
+  ?sanitize:Hsgc_sanitizer.Sanitizer.mode ->
   ?cores:int list ->
   ?jobs:int ->
   Workloads.t ->

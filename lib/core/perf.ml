@@ -27,10 +27,12 @@ module Workloads = Hsgc_objgraph.Workloads
 module Coprocessor = Hsgc_coproc.Coprocessor
 module Memsys = Hsgc_memsim.Memsys
 
-(* One (workload, core-count) grid point, collected twice from
-   identical prebuilt heaps: naive stepping and event-driven skipping.
-   Simulation statistics of the two runs are equal by the kernel's
-   equivalence invariant (asserted here too); only wall differs. *)
+(* One (workload, core-count) grid point, collected three times from
+   identical prebuilt heaps: naive stepping, event-driven skipping, and
+   skipping with the machine sanitizer attached. Simulation statistics
+   of the three runs are equal by the kernel's equivalence invariant and
+   the sanitizer's observe-only contract (both asserted here); only wall
+   differs. *)
 type leg = {
   workload : string;
   n_cores : int;
@@ -39,6 +41,7 @@ type leg = {
   skipped : int;
   naive_wall_s : float; (* sim-only, skip disabled *)
   skip_wall_s : float; (* sim-only, skip enabled *)
+  san_wall_s : float; (* sim-only, skip enabled, sanitizer attached *)
   minor_words : float; (* minor allocation of the skip run *)
 }
 
@@ -52,6 +55,10 @@ type aggregate = {
   skip_mcycles_per_s : float;
   skip_speedup : float;
   words_per_cycle : float; (* minor words per *executed* cycle, skip runs *)
+  sanitize_s : float;
+  sanitizer_overhead : float;
+      (* sanitizer-on wall over sanitizer-off wall, minus one — the
+         fractional throughput cost of attaching the checker *)
 }
 
 type suite = {
@@ -77,6 +84,7 @@ exception Perf_regression of string
 let run_leg ~scale ~seed ~mem ~workload ~n_cores =
   let naive_heap = Workloads.build_heap ~scale ~seed workload in
   let skip_heap = Workloads.build_heap ~scale ~seed workload in
+  let san_heap = Workloads.build_heap ~scale ~seed workload in
   let naive =
     Coprocessor.collect
       (Coprocessor.config ~mem ~skip:false ~n_cores ())
@@ -87,6 +95,12 @@ let run_leg ~scale ~seed ~mem ~workload ~n_cores =
     Coprocessor.collect (Coprocessor.config ~mem ~skip:true ~n_cores ()) skip_heap
   in
   let minor_words = Gc.minor_words () -. w0 in
+  let san =
+    Coprocessor.collect
+      (Coprocessor.config ~mem ~skip:true
+         ~sanitize:Hsgc_sanitizer.Sanitizer.Check ~n_cores ())
+      san_heap
+  in
   if naive.Coprocessor.total_cycles <> skip.Coprocessor.total_cycles then
     raise
       (Perf_regression
@@ -95,6 +109,21 @@ let run_leg ~scale ~seed ~mem ~workload ~n_cores =
              equivalence broken"
             workload.Workloads.name n_cores skip.Coprocessor.total_cycles
             naive.Coprocessor.total_cycles));
+  if san.Coprocessor.total_cycles <> skip.Coprocessor.total_cycles then
+    raise
+      (Perf_regression
+         (Printf.sprintf
+            "%s/%d cores: sanitizer run took %d cycles, plain %d — the \
+             sanitizer perturbed the simulation"
+            workload.Workloads.name n_cores san.Coprocessor.total_cycles
+            skip.Coprocessor.total_cycles));
+  if san.Coprocessor.sanitizer_total > 0 then
+    raise
+      (Perf_regression
+         (Printf.sprintf
+            "%s/%d cores: sanitizer flagged %d violation(s) on a default \
+             configuration"
+            workload.Workloads.name n_cores san.Coprocessor.sanitizer_total));
   {
     workload = workload.Workloads.name;
     n_cores;
@@ -103,6 +132,7 @@ let run_leg ~scale ~seed ~mem ~workload ~n_cores =
     skipped = skip.Coprocessor.skipped_cycles;
     naive_wall_s = naive.Coprocessor.wall_seconds;
     skip_wall_s = skip.Coprocessor.wall_seconds;
+    san_wall_s = san.Coprocessor.wall_seconds;
     minor_words;
   }
 
@@ -114,6 +144,7 @@ let aggregate legs =
   let skipped = sum (fun l -> l.skipped) in
   let naive_s = sumf (fun l -> l.naive_wall_s) in
   let skip_s = sumf (fun l -> l.skip_wall_s) in
+  let san_s = sumf (fun l -> l.san_wall_s) in
   let words = sumf (fun l -> l.minor_words) in
   let rate wall = if wall > 0.0 then float_of_int cycles /. wall /. 1e6 else 0.0 in
   {
@@ -128,6 +159,8 @@ let aggregate legs =
     skip_speedup = naive_s /. Float.max 1e-9 skip_s;
     words_per_cycle =
       (if executed > 0 then words /. float_of_int executed else 0.0);
+    sanitize_s = san_s;
+    sanitizer_overhead = (san_s /. Float.max 1e-9 skip_s) -. 1.0;
   }
 
 let grid ~scale ~seed ~mem ~cores ~progress =
@@ -185,7 +218,9 @@ let json_of_aggregate ~indent a =
         a.naive_mcycles_per_s;
       Printf.sprintf "%s\"skip_mcycles_per_s\": %.2f,\n" pad a.skip_mcycles_per_s;
       Printf.sprintf "%s\"skip_speedup\": %.2f,\n" pad a.skip_speedup;
-      Printf.sprintf "%s\"words_per_cycle\": %.5f" pad a.words_per_cycle;
+      Printf.sprintf "%s\"words_per_cycle\": %.5f,\n" pad a.words_per_cycle;
+      Printf.sprintf "%s\"sanitize_wall_s\": %.4f,\n" pad a.sanitize_s;
+      Printf.sprintf "%s\"sanitizer_overhead\": %.4f" pad a.sanitizer_overhead;
     ]
 
 let to_json suite =
@@ -227,10 +262,11 @@ let summary suite =
     [
       Printf.sprintf
         "base     : %.2f Mcycles/s skip (naive %.2f, speedup %.2fx), %.1f%% \
-         skipped, %.5f minor words/cycle"
+         skipped, %.5f minor words/cycle, sanitizer +%.1f%%"
         a.skip_mcycles_per_s a.naive_mcycles_per_s a.skip_speedup
         (100.0 *. a.skipped_frac)
-        a.words_per_cycle;
+        a.words_per_cycle
+        (100.0 *. a.sanitizer_overhead);
       Printf.sprintf
         "latency+%d: %.2f Mcycles/s skip (naive %.2f, speedup %.2fx), %.1f%% \
          skipped"
@@ -327,4 +363,20 @@ let check ~baseline suite =
    else if suite.latency.skip_speedup < lat_speedup0 *. (1.0 -. tol) then
      err "latency-bound skip speedup regressed: %.2fx vs baseline %.2fx"
        suite.latency.skip_speedup lat_speedup0);
+  (* Sanitizer-on overhead: gated only against baselines that record it
+     (pre-sanitizer baselines simply skip the check). Although a ratio
+     of two same-host wall times, it swings tens of points between runs
+     on a loaded shared runner, so the budget is deliberately wide —
+     25 points of absolute slack or 2x relative, whichever is larger.
+     It exists to catch a sanitizer that turns pathologically expensive
+     (a hook on the per-cycle path, shadow state gone quadratic), not
+     to police scheduler noise. *)
+  (match field_of_json baseline "sanitizer_overhead" with
+  | None -> ()
+  | Some ov0 ->
+    let budget = Float.max (ov0 +. 0.25) (ov0 *. 2.0) in
+    if suite.base.sanitizer_overhead > budget then
+      err "sanitizer-on overhead regressed: %.1f%% vs baseline %.1f%%"
+        (100.0 *. suite.base.sanitizer_overhead)
+        (100.0 *. ov0));
   match !errors with [] -> Ok () | es -> Error (List.rev es)

@@ -6,10 +6,11 @@
     start-to-finalize), so the numbers measure the kernel's stepping
     loop rather than workload generation or table rendering — the
     quantity the event-driven scheduler optimizes. Each grid point runs
-    twice (naive stepping and event-driven skipping) from identical
-    heaps; the suite asserts cycle-count equality between the two and
-    that the skip run's minor allocation stays within the steady-state
-    budget. *)
+    three times (naive stepping, event-driven skipping, and skipping
+    with the machine sanitizer attached) from identical heaps; the suite
+    asserts cycle-count equality between the three, that the sanitizer
+    stays silent on every default configuration, and that the skip run's
+    minor allocation stays within the steady-state budget. *)
 
 type leg = {
   workload : string;
@@ -19,6 +20,7 @@ type leg = {
   skipped : int;
   naive_wall_s : float;  (** sim-only wall, skip disabled *)
   skip_wall_s : float;  (** sim-only wall, skip enabled *)
+  san_wall_s : float;  (** sim-only wall, skip enabled, sanitizer on *)
   minor_words : float;  (** [Gc.minor_words] delta of the skip run *)
 }
 
@@ -32,6 +34,10 @@ type aggregate = {
   skip_mcycles_per_s : float;
   skip_speedup : float;
   words_per_cycle : float;  (** minor words per executed cycle, skip runs *)
+  sanitize_s : float;
+  sanitizer_overhead : float;
+      (** fractional throughput cost of attaching the sanitizer:
+          sanitizer-on wall over sanitizer-off wall, minus one *)
 }
 
 type suite = {
@@ -51,8 +57,9 @@ val words_per_cycle_budget : float
     {!run} raises {!Perf_regression} beyond it. *)
 
 exception Perf_regression of string
-(** A hard invariant failed while benchmarking: skip/naive cycle counts
-    diverged, or the hot loop allocated beyond budget. *)
+(** A hard invariant failed while benchmarking: skip/naive/sanitize
+    cycle counts diverged, the sanitizer flagged a default
+    configuration, or the hot loop allocated beyond budget. *)
 
 val run :
   ?scale:float ->

@@ -6,7 +6,7 @@ module Verify = Hsgc_heap.Verify
 
 type sweep_data = (string * Experiment.measurement list) list
 
-let run_sweeps ?verify ?scale ?seeds ?mem ?skip ?cores
+let run_sweeps ?verify ?scale ?seeds ?mem ?skip ?sanitize ?cores
     ?(jobs = Experiment.default_jobs) () =
   let core_list =
     match cores with Some c -> c | None -> Experiment.default_cores
@@ -23,8 +23,8 @@ let run_sweeps ?verify ?scale ?seeds ?mem ?skip ?cores
   let results =
     Hsgc_sim.Domain_pool.map_list ~jobs
       (fun (w, n_cores) ->
-        Experiment.measure ?verify ?scale ?seeds ?mem ?skip ~workload:w
-          ~n_cores ())
+        Experiment.measure ?verify ?scale ?seeds ?mem ?skip ?sanitize
+          ~workload:w ~n_cores ())
       tasks
   in
   let per_workload = List.length core_list in
@@ -389,3 +389,24 @@ let stall_diagnosis d =
      The dump below is the complete machine state at the trip point;\n\
      start from the lock owners and the non-idle ports.\n\n%a"
     Coprocessor.pp_diagnosis d
+
+let sanitizer_findings ~total findings =
+  let buf = Buffer.create 1024 in
+  let kept = List.length findings in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "The machine sanitizer flagged %d violation%s (%d kept after \
+        deduplication).\n\
+        Each line gives the cycle, the reporting core, the word address \
+        involved\n\
+        and the lockset the core held at the access.\n\n"
+       total
+       (if total = 1 then "" else "s")
+       kept);
+  List.iter
+    (fun d ->
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf (Hsgc_sanitizer.Diag.to_string d);
+      Buffer.add_char buf '\n')
+    findings;
+  Buffer.contents buf

@@ -13,6 +13,7 @@ val run_sweeps :
   ?seeds:int array ->
   ?mem:Experiment.Memsys.config ->
   ?skip:bool ->
+  ?sanitize:Hsgc_sanitizer.Sanitizer.mode ->
   ?cores:int list ->
   ?jobs:int ->
   unit ->
@@ -67,3 +68,10 @@ val stall_diagnosis : Hsgc_coproc.Coprocessor.diagnosis -> string
 (** Render a {!Hsgc_coproc.Coprocessor.Stall_diagnosis} payload as the
     operator-facing report: a short reading guide followed by the full
     machine dump ({!Hsgc_coproc.Coprocessor.pp_diagnosis}). *)
+
+val sanitizer_findings : total:int -> Hsgc_sanitizer.Diag.t list -> string
+(** Render the sanitizer findings of a run ({!Hsgc_coproc.Coprocessor}
+    [gc_stats.sanitizer_findings]) as the operator-facing report: a
+    summary line ([total] counts deduplicated repeats) followed by one
+    line per kept finding with cycle, core, address and held-lockset
+    context. *)

@@ -1,3 +1,6 @@
+module Diag = Hsgc_sanitizer.Diag
+module Hooks = Hsgc_sanitizer.Hooks
+
 type t = {
   n : int;
   mutable scan : int;
@@ -8,10 +11,12 @@ type t = {
   busy : bool array;
   arrived : bool array;
   mutable release_count : int;
+  hooks : Hooks.t;
 }
 
-let create ~n_cores =
+let create ?hooks ~n_cores () =
   if n_cores <= 0 then invalid_arg "Sync_block.create";
+  let hooks = match hooks with Some h -> h | None -> Hooks.create () in
   {
     n = n_cores;
     scan = 0;
@@ -22,55 +27,99 @@ let create ~n_cores =
     busy = Array.make n_cores false;
     arrived = Array.make n_cores false;
     release_count = 0;
+    hooks;
   }
 
 let n_cores t = t.n
 
+let locks_held t ~core =
+  let b = Buffer.create 16 in
+  Buffer.add_char b '{';
+  let sep () = if Buffer.length b > 1 then Buffer.add_char b ',' in
+  if t.scan_owner = core then (sep (); Buffer.add_string b "scan");
+  if core >= 0 && core < t.n && t.header_regs.(core) <> 0 then begin
+    sep ();
+    Buffer.add_string b (Printf.sprintf "hdr:%d" t.header_regs.(core))
+  end;
+  if t.free_owner = core then (sep (); Buffer.add_string b "free");
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let protocol_fail t ~core ?addr check detail =
+  Diag.fail ~cycle:t.hooks.Hooks.cycle ~core ?addr ~locks:(locks_held t ~core)
+    check detail
+
 let scan t = t.scan
 let free t = t.free
-let set_scan t v = t.scan <- v
-let set_free t v = t.free <- v
+
+let set_scan t v =
+  t.scan <- v;
+  if t.hooks.Hooks.on then t.hooks.Hooks.reg_set ~scan:true ~value:v
+
+let set_free t v =
+  t.free <- v;
+  if t.hooks.Hooks.on then t.hooks.Hooks.reg_set ~scan:false ~value:v
 
 let check_core t core =
   if core < 0 || core >= t.n then invalid_arg "Sync_block: bad core index"
 
 let try_lock_scan t ~core =
   check_core t core;
-  if t.scan_owner = core then invalid_arg "Sync_block: scan lock re-entry";
+  if t.scan_owner = core then
+    protocol_fail t ~core Diag.Lock_state "scan lock re-entry";
   (* Lock ordering scan < header < free: scan is the first lock taken. *)
   if t.header_regs.(core) <> 0 || t.free_owner = core then
-    invalid_arg "Sync_block: lock-order violation acquiring scan";
+    protocol_fail t ~core Diag.Lock_order
+      "lock-order violation acquiring scan (scan < header < free)";
   if t.scan_owner = -1 then begin
     t.scan_owner <- core;
+    if t.hooks.Hooks.on then
+      t.hooks.Hooks.lock_acquired ~lock:Hooks.scan_lock ~core ~addr:(-1);
     true
   end
   else false
 
 let unlock_scan t ~core =
-  if t.scan_owner <> core then invalid_arg "Sync_block: unlock_scan by non-owner";
-  t.scan_owner <- -1
+  if t.scan_owner <> core then
+    protocol_fail t ~core Diag.Lock_state "unlock_scan by non-owner";
+  t.scan_owner <- -1;
+  if t.hooks.Hooks.on then
+    t.hooks.Hooks.lock_released ~lock:Hooks.scan_lock ~core ~addr:(-1)
 
 let advance_scan t ~core n =
-  if t.scan_owner <> core then invalid_arg "Sync_block: advance_scan without lock";
-  t.scan <- t.scan + n
+  if t.scan_owner <> core then
+    protocol_fail t ~core Diag.Scan_protocol "advance_scan without lock";
+  let was = t.scan in
+  t.scan <- t.scan + n;
+  if t.hooks.Hooks.on then
+    t.hooks.Hooks.scan_advanced ~core ~scan_was:was ~scan_now:t.scan
+      ~free:t.free
 
 let try_lock_free t ~core =
   check_core t core;
-  if t.free_owner = core then invalid_arg "Sync_block: free lock re-entry";
+  if t.free_owner = core then
+    protocol_fail t ~core Diag.Lock_state "free lock re-entry";
   if t.free_owner = -1 then begin
     t.free_owner <- core;
+    if t.hooks.Hooks.on then
+      t.hooks.Hooks.lock_acquired ~lock:Hooks.free_lock ~core ~addr:(-1);
     true
   end
   else false
 
 let unlock_free t ~core =
-  if t.free_owner <> core then invalid_arg "Sync_block: unlock_free by non-owner";
-  t.free_owner <- -1
+  if t.free_owner <> core then
+    protocol_fail t ~core Diag.Lock_state "unlock_free by non-owner";
+  t.free_owner <- -1;
+  if t.hooks.Hooks.on then
+    t.hooks.Hooks.lock_released ~lock:Hooks.free_lock ~core ~addr:(-1)
 
 let claim_free t ~core n =
-  if t.free_owner <> core then invalid_arg "Sync_block: claim_free without lock";
+  if t.free_owner <> core then
+    protocol_fail t ~core Diag.Free_protocol "claim_free without lock";
   let addr = t.free in
   t.free <- t.free + n;
+  if t.hooks.Hooks.on then t.hooks.Hooks.free_claimed ~core ~addr ~size:n;
   addr
 
 let scan_lock_owner t = if t.scan_owner = -1 then None else Some t.scan_owner
@@ -78,11 +127,15 @@ let free_lock_owner t = if t.free_owner = -1 then None else Some t.free_owner
 
 let try_lock_header t ~core ~addr =
   check_core t core;
-  if addr = 0 then invalid_arg "Sync_block: cannot lock the null header";
+  if addr = 0 then
+    protocol_fail t ~core ~addr Diag.Null_header
+      "cannot lock the null header";
   if t.header_regs.(core) <> 0 then
-    invalid_arg "Sync_block: header lock re-entry (one header lock per core)";
+    protocol_fail t ~core ~addr Diag.Lock_state
+      "header lock re-entry (one header lock per core)";
   if t.free_owner = core then
-    invalid_arg "Sync_block: lock-order violation acquiring header after free";
+    protocol_fail t ~core ~addr Diag.Lock_order
+      "lock-order violation acquiring header after free";
   let conflict = ref false in
   for other = 0 to t.n - 1 do
     if other <> core && t.header_regs.(other) = addr then conflict := true
@@ -90,13 +143,18 @@ let try_lock_header t ~core ~addr =
   if !conflict then false
   else begin
     t.header_regs.(core) <- addr;
+    if t.hooks.Hooks.on then
+      t.hooks.Hooks.lock_acquired ~lock:Hooks.header_lock ~core ~addr;
     true
   end
 
 let unlock_header t ~core =
   if t.header_regs.(core) = 0 then
-    invalid_arg "Sync_block: unlock_header without lock";
-  t.header_regs.(core) <- 0
+    protocol_fail t ~core Diag.Lock_state "unlock_header without lock";
+  let addr = t.header_regs.(core) in
+  t.header_regs.(core) <- 0;
+  if t.hooks.Hooks.on then
+    t.hooks.Hooks.lock_released ~lock:Hooks.header_lock ~core ~addr
 
 let header_lock_of t ~core =
   let a = t.header_regs.(core) in
@@ -125,26 +183,30 @@ let none_busy_except t ~core =
 
 let barrier_arrive t ~core =
   check_core t core;
-  if t.release_count > 0 then
-    if t.arrived.(core) then begin
-      t.arrived.(core) <- false;
-      t.release_count <- t.release_count - 1;
-      true
+  let passed =
+    if t.release_count > 0 then
+      if t.arrived.(core) then begin
+        t.arrived.(core) <- false;
+        t.release_count <- t.release_count - 1;
+        true
+      end
+      else
+        (* This core already passed and reached the next barrier; it must
+           wait for the previous one to fully drain. *)
+        false
+    else begin
+      if not t.arrived.(core) then t.arrived.(core) <- true;
+      if Array.for_all Fun.id t.arrived then begin
+        t.release_count <- t.n;
+        t.arrived.(core) <- false;
+        t.release_count <- t.release_count - 1;
+        true
+      end
+      else false
     end
-    else
-      (* This core already passed and reached the next barrier; it must
-         wait for the previous one to fully drain. *)
-      false
-  else begin
-    if not t.arrived.(core) then t.arrived.(core) <- true;
-    if Array.for_all Fun.id t.arrived then begin
-      t.release_count <- t.n;
-      t.arrived.(core) <- false;
-      t.release_count <- t.release_count - 1;
-      true
-    end
-    else false
-  end
+  in
+  if passed && t.hooks.Hooks.on then t.hooks.Hooks.barrier_passed ~core;
+  passed
 
 (* The SB is combinational: locks, busy bits and the barrier all react
    to core actions within the same cycle and schedule nothing on their
@@ -153,6 +215,11 @@ let barrier_arrive t ~core =
 let next_wake (_ : t) : int option = None
 
 let assert_no_locks t ~core =
-  if t.scan_owner = core then failwith "core still holds scan lock";
-  if t.free_owner = core then failwith "core still holds free lock";
-  if t.header_regs.(core) <> 0 then failwith "core still holds a header lock"
+  if t.scan_owner = core then
+    protocol_fail t ~core Diag.Locks_at_barrier "core still holds scan lock";
+  if t.free_owner = core then
+    protocol_fail t ~core Diag.Locks_at_barrier "core still holds free lock";
+  if t.header_regs.(core) <> 0 then
+    protocol_fail t ~core
+      ~addr:t.header_regs.(core)
+      Diag.Locks_at_barrier "core still holds a header lock"

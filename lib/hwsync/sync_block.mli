@@ -22,7 +22,14 @@
 
     Lock ordering [scan < header < free] (paper Section IV) is asserted:
     a core acquiring [scan] must hold no other lock; a core acquiring a
-    header lock must not hold [free]. *)
+    header lock must not hold [free]. Protocol violations raise
+    {!Hsgc_sanitizer.Diag.Violation} carrying the cycle (stamped into the
+    shared hook record by the coprocessor), core, and held lockset.
+
+    When a sanitizer is attached (via the optional [hooks] record passed
+    to {!create}) every successful lock transition, scan/free advance,
+    register write and barrier pass is also reported to it; with no
+    sanitizer the hooks are nops behind a single [hooks.on] branch. *)
 
 (* The record is exposed so the simulator's per-cycle loop can read the
    registers (scan/free/busy bits) with direct field loads — without
@@ -41,9 +48,10 @@ type t = {
   busy : bool array;
   arrived : bool array;  (** barrier arrival flags *)
   mutable release_count : int;
+  hooks : Hsgc_sanitizer.Hooks.t;
 }
 
-val create : n_cores:int -> t
+val create : ?hooks:Hsgc_sanitizer.Hooks.t -> n_cores:int -> unit -> t
 
 val n_cores : t -> int
 
@@ -120,4 +128,5 @@ val next_wake : t -> int option
 (** {2 Invariant checking} *)
 
 val assert_no_locks : t -> core:int -> unit
-(** Raise if the core holds any lock — used at cycle boundaries. *)
+(** Raise {!Hsgc_sanitizer.Diag.Violation} if the core holds any lock —
+    used at barrier boundaries. *)

@@ -1,9 +1,12 @@
 module Injector = Hsgc_fault.Injector
+module Diag = Hsgc_sanitizer.Diag
+module Hooks = Hsgc_sanitizer.Hooks
 
 type t = {
   capacity : int;
   buf : int array; (* ring buffer of frame addresses *)
   faults : Injector.t;
+  hooks : Hooks.t;
   mutable head : int; (* index of front entry *)
   mutable len : int;
   mutable overflows : int;
@@ -12,12 +15,14 @@ type t = {
   mutable drops : int;
 }
 
-let create ?(faults = Injector.disabled) ~capacity () =
+let create ?(faults = Injector.disabled) ?hooks ~capacity () =
   if capacity <= 0 then invalid_arg "Header_fifo.create";
+  let hooks = match hooks with Some h -> h | None -> Hooks.create () in
   {
     capacity;
     buf = Array.make capacity 0;
     faults;
+    hooks;
     head = 0;
     len = 0;
     overflows = 0;
@@ -30,27 +35,37 @@ let capacity t = t.capacity
 let length t = t.len
 
 let push t addr =
-  if Injector.drop_push t.faults then begin
-    (* Transient fault: the entry is simply not buffered, exactly like a
-       capacity overflow — the later read falls through to memory. *)
-    t.drops <- t.drops + 1;
-    false
-  end
-  else if t.len >= t.capacity then begin
-    t.overflows <- t.overflows + 1;
-    false
-  end
-  else begin
-    t.buf.((t.head + t.len) mod t.capacity) <- addr;
-    t.len <- t.len + 1;
-    true
-  end
+  (* Sanitizer protocol lint: the machine never pushes the null header
+     (address 0); standalone uses of the FIFO may buffer any key. *)
+  if t.hooks.Hooks.on && addr <= 0 then
+    Diag.fail ~cycle:t.hooks.Hooks.cycle ~addr Diag.Fifo_order
+      "null/negative frame address pushed to the header FIFO";
+  let buffered =
+    if Injector.drop_push t.faults then begin
+      (* Transient fault: the entry is simply not buffered, exactly like a
+         capacity overflow — the later read falls through to memory. *)
+      t.drops <- t.drops + 1;
+      false
+    end
+    else if t.len >= t.capacity then begin
+      t.overflows <- t.overflows + 1;
+      false
+    end
+    else begin
+      t.buf.((t.head + t.len) mod t.capacity) <- addr;
+      t.len <- t.len + 1;
+      true
+    end
+  in
+  if t.hooks.Hooks.on then t.hooks.Hooks.fifo_pushed ~addr ~buffered;
+  buffered
 
 let try_pop t addr =
   if t.len > 0 && t.buf.(t.head) = addr then begin
     t.head <- (t.head + 1) mod t.capacity;
     t.len <- t.len - 1;
     t.hits <- t.hits + 1;
+    if t.hooks.Hooks.on then t.hooks.Hooks.fifo_popped ~addr;
     true
   end
   else begin

@@ -13,10 +13,17 @@
 
 type t
 
-val create : ?faults:Hsgc_fault.Injector.t -> capacity:int -> unit -> t
+val create :
+  ?faults:Hsgc_fault.Injector.t ->
+  ?hooks:Hsgc_sanitizer.Hooks.t ->
+  capacity:int -> unit -> t
 (** [faults] (default disabled) may drop individual pushes — the
     transient-fault analogue of a capacity overflow, and just as safe:
-    the dropped entry's later read falls through to the memory path. *)
+    the dropped entry's later read falls through to the memory path.
+    [hooks] (default nop) reports buffered pushes and popped entries to
+    an attached sanitizer, which mirrors the queue and checks that pops
+    arrive in push order. Pushing the null (or a negative) frame address
+    raises {!Hsgc_sanitizer.Diag.Violation} with cycle context. *)
 
 val capacity : t -> int
 val length : t -> int

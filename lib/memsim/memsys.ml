@@ -50,6 +50,7 @@ type t = {
   config : config;
   fifo : Header_fifo.t;
   faults : Injector.t;
+  hooks : Hsgc_sanitizer.Hooks.t;
   (* Direct-mapped header cache: slot i holds the address cached there
      (0 = empty). Contents live in the heap; only presence is modeled. *)
   header_cache : int array;
@@ -71,14 +72,18 @@ type t = {
   mutable cache_misses : int;
 }
 
-let create ?(faults = Injector.disabled) config =
+let create ?(faults = Injector.disabled) ?hooks config =
   (match validate_config config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Memsys.create: " ^ msg));
+  let hooks =
+    match hooks with Some h -> h | None -> Hsgc_sanitizer.Hooks.create ()
+  in
   {
     config;
-    fifo = Header_fifo.create ~faults ~capacity:config.fifo_capacity ();
+    fifo = Header_fifo.create ~faults ~hooks ~capacity:config.fifo_capacity ();
     faults;
+    hooks;
     header_cache = Array.make (max 1 config.header_cache_entries) 0;
     ps_addr = Array.make 64 0;
     ps_commit = Array.make 64 0;
@@ -195,8 +200,16 @@ let cache_fill t addr =
    that prefer the typed interface; the per-cycle port retry loop uses
    these to stay allocation-free. *)
 
+let clock_check t ~now ~what =
+  if now <> t.cycle then
+    Hsgc_sanitizer.Diag.fail ~cycle:t.cycle
+      Hsgc_sanitizer.Diag.Mem_protocol
+      (Printf.sprintf
+         "%s offered at cycle %d but begin_cycle was last called at %d" what
+         now t.cycle)
+
 let accept_load t ~now ~header ~addr =
-  assert (now = t.cycle);
+  clock_check t ~now ~what:"load";
   let cache_hit =
     header && cache_lookup t addr
     && begin
@@ -237,7 +250,7 @@ let accept_load t ~now ~header ~addr =
   end
 
 let accept_store t ~now ~header ~addr =
-  assert (now = t.cycle);
+  clock_check t ~now ~what:"store";
   if not (bandwidth_ok t) then -1
   else begin
     t.accepted_this_cycle <- t.accepted_this_cycle + 1;

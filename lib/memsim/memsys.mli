@@ -55,12 +55,17 @@ val validate_config : config -> (unit, string) result
 
 type t
 
-val create : ?faults:Hsgc_fault.Injector.t -> config -> t
+val create :
+  ?faults:Hsgc_fault.Injector.t -> ?hooks:Hsgc_sanitizer.Hooks.t ->
+  config -> t
 (** Raises [Invalid_argument] when {!validate_config} rejects the
     config. [faults] (default disabled) injects delay-class
     perturbations: extra completion latency on accepted transactions,
     header-cache line invalidations, and header-FIFO push drops (the
-    injector is shared with the FIFO created here). *)
+    injector is shared with the FIFO created here). [hooks] (default
+    nop) is shared with the header FIFO created here; an acceptance
+    offered outside the [begin_cycle] contract raises
+    {!Hsgc_sanitizer.Diag.Violation} instead of a bare assertion. *)
 
 val fifo : t -> Header_fifo.t
 

@@ -39,9 +39,15 @@ type t = {
   mutable done_at : int;
   events : int ref;
   faults : Hsgc_fault.Injector.t;
+  hooks : Hsgc_sanitizer.Hooks.t;
+  owner : int; (* owning core index, -1 when anonymous *)
 }
 
-let create ?events ?(faults = Hsgc_fault.Injector.disabled) kind =
+let create ?events ?(faults = Hsgc_fault.Injector.disabled) ?hooks
+    ?(owner = -1) kind =
+  let hooks =
+    match hooks with Some h -> h | None -> Hsgc_sanitizer.Hooks.create ()
+  in
   {
     kind;
     st = st_idle;
@@ -49,7 +55,15 @@ let create ?events ?(faults = Hsgc_fault.Injector.disabled) kind =
     done_at = 0;
     events = (match events with Some e -> e | None -> ref 0);
     faults;
+    hooks;
+    owner;
   }
+
+let misuse t detail =
+  Hsgc_sanitizer.Diag.fail
+    ~cycle:t.hooks.Hsgc_sanitizer.Hooks.cycle
+    ~core:t.owner ~addr:t.addr Hsgc_sanitizer.Diag.Port_protocol
+    (Format.asprintf "%a buffer %s" pp_kind t.kind detail)
 
 let kind t = t.kind
 let is_idle t = t.st = st_idle
@@ -85,12 +99,13 @@ let issue t mem ~now ~addr =
   else false
 
 let issue_immediate t =
-  assert (is_load t.kind);
+  if not (is_load t.kind) then
+    misuse t "issue_immediate on a store buffer";
   if t.st = st_idle then begin
     t.st <- st_ready;
     incr t.events
   end
-  else invalid_arg "Port.issue_immediate: busy"
+  else misuse t "issue_immediate while busy"
 
 let tick t mem ~now =
   let st = t.st in
@@ -107,7 +122,7 @@ let consume t =
     t.st <- st_idle;
     incr t.events
   end
-  else invalid_arg "Port.consume: no data ready"
+  else misuse t "consumed with no data ready"
 
 let wake_after t mem ~now =
   let st = t.st in

@@ -42,9 +42,16 @@ type t = {
   mutable done_at : int;
   events : int ref;
   faults : Hsgc_fault.Injector.t;
+  hooks : Hsgc_sanitizer.Hooks.t;
+  owner : int;  (** owning core index, [-1] when anonymous *)
 }
 
-val create : ?events:int ref -> ?faults:Hsgc_fault.Injector.t -> kind -> t
+val create :
+  ?events:int ref ->
+  ?faults:Hsgc_fault.Injector.t ->
+  ?hooks:Hsgc_sanitizer.Hooks.t ->
+  ?owner:int ->
+  kind -> t
 (** [events], when given, is a transition counter shared with the owning
     simulator: every status change of this buffer increments it. The
     simulator zeroes it at the top of each cycle; a cycle that leaves it
@@ -53,7 +60,12 @@ val create : ?events:int ref -> ?faults:Hsgc_fault.Injector.t -> kind -> t
 
     [faults] (default disabled) may reject individual memory-acceptance
     attempts as spuriously busy; the buffer stays in its ordinary retry
-    loop, so the perturbation is timing-only. *)
+    loop, so the perturbation is timing-only.
+
+    [hooks] and [owner] give buffer-protocol diagnostics their context:
+    misuse ({!issue_immediate} on a busy or store buffer, {!consume}
+    with no data) raises {!Hsgc_sanitizer.Diag.Violation} carrying the
+    owning core and the cycle stamped in the shared hook record. *)
 
 val kind : t -> kind
 

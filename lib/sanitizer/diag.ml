@@ -1,0 +1,67 @@
+type check =
+  | Lock_order
+  | Lock_state
+  | Null_header
+  | Scan_protocol
+  | Free_protocol
+  | Register_poke
+  | Lockset_race
+  | Unprotected_header
+  | Unprotected_payload
+  | Forward_once
+  | Forward_unlocked
+  | Fifo_order
+  | Barrier_skew
+  | Locks_at_barrier
+  | Mem_protocol
+  | Port_protocol
+
+type t = {
+  cycle : int;
+  core : int;
+  check : check;
+  addr : int;
+  locks : string;
+  detail : string;
+}
+
+exception Violation of t
+
+let check_name = function
+  | Lock_order -> "lock-order"
+  | Lock_state -> "lock-state"
+  | Null_header -> "null-header"
+  | Scan_protocol -> "scan-protocol"
+  | Free_protocol -> "free-protocol"
+  | Register_poke -> "register-poke"
+  | Lockset_race -> "lockset-race"
+  | Unprotected_header -> "unprotected-header"
+  | Unprotected_payload -> "unprotected-payload"
+  | Forward_once -> "forward-once"
+  | Forward_unlocked -> "forward-unlocked"
+  | Fifo_order -> "fifo-order"
+  | Barrier_skew -> "barrier-skew"
+  | Locks_at_barrier -> "locks-at-barrier"
+  | Mem_protocol -> "mem-protocol"
+  | Port_protocol -> "port-protocol"
+
+let make ?(cycle = -1) ?(core = -1) ?(addr = -1) ?(locks = "{}") check detail =
+  { cycle; core; check; addr; locks; detail }
+
+let fail ?cycle ?core ?addr ?locks check detail =
+  raise (Violation (make ?cycle ?core ?addr ?locks check detail))
+
+let pp ppf d =
+  Format.fprintf ppf "[%s]" (check_name d.check);
+  if d.cycle >= 0 then Format.fprintf ppf " cycle=%d" d.cycle;
+  if d.core >= 0 then Format.fprintf ppf " core=%d" d.core;
+  if d.addr >= 0 then Format.fprintf ppf " addr=%d" d.addr;
+  if d.locks <> "{}" then Format.fprintf ppf " held=%s" d.locks;
+  Format.fprintf ppf ": %s" d.detail
+
+let to_string d = Format.asprintf "%a" pp d
+
+let () =
+  Printexc.register_printer (function
+    | Violation d -> Some ("Sanitizer violation " ^ to_string d)
+    | _ -> None)

@@ -1,0 +1,52 @@
+(** Structured diagnostics for machine-protocol violations.
+
+    Every invariant the sanitizer (and the machine's own guard rails)
+    can trip produces a [t]: which check fired, at which simulated
+    cycle, on which core, at which address, with the held lockset
+    rendered for context.  [Violation] replaces the bare
+    [Assert_failure] / [Invalid_argument] aborts the sync block and
+    header FIFO used to raise, so plain runs and [--sanitize] runs both
+    get cycle/core context. *)
+
+type check =
+  | Lock_order        (** acquisition violating scan < header < free *)
+  | Lock_state        (** re-entry, unlock by non-owner, lock leak *)
+  | Null_header       (** header lock requested on the null address *)
+  | Scan_protocol     (** scan advanced without the lock, or past free *)
+  | Free_protocol     (** free claimed without the lock, or non-monotone *)
+  | Register_poke     (** scan/free register rewritten mid-collection *)
+  | Lockset_race      (** Eraser: candidate lockset of a shared word emptied *)
+  | Unprotected_header  (** header word touched with no protection at all *)
+  | Unprotected_payload (** payload word touched outside claimed ranges *)
+  | Forward_once      (** forwarding pointer installed twice for one object *)
+  | Forward_unlocked  (** forwarding installed without the header lock *)
+  | Fifo_order        (** header FIFO popped out of push order / bad address *)
+  | Barrier_skew      (** a core passed a barrier round ahead of the others *)
+  | Locks_at_barrier  (** locks still held on barrier arrival *)
+  | Mem_protocol      (** memory system driven outside begin_cycle contract *)
+  | Port_protocol     (** port issued/consumed in an illegal state *)
+
+type t = {
+  cycle : int;   (** simulated cycle, [-1] when unknown *)
+  core : int;    (** core index, [-1] when not core-specific *)
+  check : check;
+  addr : int;    (** word address, [-1] when not address-specific *)
+  locks : string;  (** rendered held lockset, e.g. ["{scan,hdr:12}"] *)
+  detail : string;
+}
+
+exception Violation of t
+
+val check_name : check -> string
+
+val fail :
+  ?cycle:int -> ?core:int -> ?addr:int -> ?locks:string ->
+  check -> string -> 'a
+(** [fail check detail] raises {!Violation}. *)
+
+val make :
+  ?cycle:int -> ?core:int -> ?addr:int -> ?locks:string ->
+  check -> string -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

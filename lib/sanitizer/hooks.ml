@@ -1,0 +1,42 @@
+let scan_lock = 0
+let header_lock = 1
+let free_lock = 2
+
+type t = {
+  mutable on : bool;
+  mutable cycle : int;
+  mutable lock_acquired : lock:int -> core:int -> addr:int -> unit;
+  mutable lock_released : lock:int -> core:int -> addr:int -> unit;
+  mutable scan_advanced : core:int -> scan_was:int -> scan_now:int -> free:int -> unit;
+  mutable free_claimed : core:int -> addr:int -> size:int -> unit;
+  mutable reg_set : scan:bool -> value:int -> unit;
+  mutable barrier_passed : core:int -> unit;
+  mutable fifo_pushed : addr:int -> buffered:bool -> unit;
+  mutable fifo_popped : addr:int -> unit;
+  mutable word_read : core:int -> base:int -> addr:int -> unit;
+  mutable word_written : core:int -> base:int -> addr:int -> unit;
+  mutable range_claimed : core:int -> lo:int -> hi:int -> unit;
+  mutable range_released : core:int -> lo:int -> hi:int -> unit;
+  mutable forward_installed : core:int -> from_:int -> to_:int -> unit;
+}
+
+let nop3 ~lock:_ ~core:_ ~addr:_ = ()
+
+let create () =
+  {
+    on = false;
+    cycle = -1;
+    lock_acquired = nop3;
+    lock_released = nop3;
+    scan_advanced = (fun ~core:_ ~scan_was:_ ~scan_now:_ ~free:_ -> ());
+    free_claimed = (fun ~core:_ ~addr:_ ~size:_ -> ());
+    reg_set = (fun ~scan:_ ~value:_ -> ());
+    barrier_passed = (fun ~core:_ -> ());
+    fifo_pushed = (fun ~addr:_ ~buffered:_ -> ());
+    fifo_popped = (fun ~addr:_ -> ());
+    word_read = (fun ~core:_ ~base:_ ~addr:_ -> ());
+    word_written = (fun ~core:_ ~base:_ ~addr:_ -> ());
+    range_claimed = (fun ~core:_ ~lo:_ ~hi:_ -> ());
+    range_released = (fun ~core:_ ~lo:_ ~hi:_ -> ());
+    forward_installed = (fun ~core:_ ~from_:_ ~to_:_ -> ());
+  }

@@ -1,0 +1,42 @@
+(** Observation hooks the machine fires into the sanitizer.
+
+    One shared record is threaded through [Sync_block], [Memsys],
+    [Port], [Header_fifo] and [Coprocessor].  When no sanitizer is
+    attached every field is a nop closure and [on] is [false]; hot call
+    sites guard with [if hooks.on then ...] so the disabled cost is a
+    single load-and-branch.  [cycle] is stamped by the coprocessor at
+    the top of every simulated cycle so diagnostics and findings carry
+    the cycle even from modules that do not track time themselves. *)
+
+(** Lock identifiers used by [lock_acquired] / [lock_released]. *)
+val scan_lock : int
+val header_lock : int
+val free_lock : int
+
+type t = {
+  mutable on : bool;
+  mutable cycle : int;
+  (* sync block *)
+  mutable lock_acquired : lock:int -> core:int -> addr:int -> unit;
+      (** [addr] is the header address for the header lock, [-1] otherwise *)
+  mutable lock_released : lock:int -> core:int -> addr:int -> unit;
+  mutable scan_advanced : core:int -> scan_was:int -> scan_now:int -> free:int -> unit;
+  mutable free_claimed : core:int -> addr:int -> size:int -> unit;
+  mutable reg_set : scan:bool -> value:int -> unit;
+      (** direct register write via [set_scan]/[set_free] (setup only) *)
+  mutable barrier_passed : core:int -> unit;
+  (* header FIFO *)
+  mutable fifo_pushed : addr:int -> buffered:bool -> unit;
+  mutable fifo_popped : addr:int -> unit;
+  (* heap word traffic (contents-level, at initiation) *)
+  mutable word_read : core:int -> base:int -> addr:int -> unit;
+      (** [base] is the object frame the access belongs to *)
+  mutable word_written : core:int -> base:int -> addr:int -> unit;
+  mutable range_claimed : core:int -> lo:int -> hi:int -> unit;
+      (** core took ownership of words [lo, hi) (object grab / free claim) *)
+  mutable range_released : core:int -> lo:int -> hi:int -> unit;
+  mutable forward_installed : core:int -> from_:int -> to_:int -> unit;
+}
+
+val create : unit -> t
+(** Fresh record, all nops, [on = false], [cycle = -1]. *)

@@ -150,9 +150,11 @@ let collect ~domains heap =
     in
     loop ()
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Monotonic_clock.now () in
   ignore (Par.run ~domains worker);
-  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let elapsed_s =
+    Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9
+  in
   to_sp.Semispace.free <- Atomic.get free;
   Heap.flip heap;
   {

@@ -1,0 +1,265 @@
+(* Mutation validation for the machine sanitizer (docs/SANITIZER.md).
+
+   Each mutant is a deliberately broken collector variant, expressed as
+   a short script of protocol operations against a fresh synchronization
+   block and sanitizer. The harness checks two directions:
+
+   - every mutant is flagged with the expected check (no false
+     negatives on the failure modes the sanitizer exists to catch);
+   - the correct-protocol baseline, the default experiment
+     configurations, and delay-class fault campaigns are all silent
+     (no false positives on legal executions, including the paper's
+     same-cycle release→acquire handoff under static priority).
+
+   Scripts drive the hook record directly where the synchronization
+   block itself would refuse the broken operation — the point of a
+   mutant like "advance scan without the lock" is precisely that the
+   sanitizer's independent mirror catches a collector whose own
+   guard rails were mutated away. *)
+
+module SB = Hsgc_hwsync.Sync_block
+module Diag = Hsgc_sanitizer.Diag
+module Hooks = Hsgc_sanitizer.Hooks
+module San = Hsgc_sanitizer.Sanitizer
+module Coprocessor = Hsgc_coproc.Coprocessor
+module Workloads = Hsgc_objgraph.Workloads
+module Injector = Hsgc_fault.Injector
+
+let header_words = 2
+let mem_words = 256
+
+type rig = { sb : SB.t; hooks : Hooks.t; san : San.t }
+
+let rig () =
+  let hooks = Hooks.create () in
+  let sb = SB.create ~hooks ~n_cores:4 () in
+  let san = San.create ~mode:San.Check ~mem_words ~n_cores:4 ~header_words hooks in
+  hooks.Hooks.cycle <- 0;
+  { sb; hooks; san }
+
+(* The correct protocol for evacuating one object: lock the child's
+   header, claim tospace under the free lock, write the gray header and
+   the forwarding pointer, unlock. Used verbatim by the baseline and
+   perturbed by the mutants. *)
+let evacuate_ok { sb; hooks; _ } ~core ~child =
+  ignore (SB.try_lock_header sb ~core ~addr:child);
+  ignore (SB.try_lock_free sb ~core);
+  let new_addr = SB.claim_free sb ~core 8 in
+  SB.unlock_free sb ~core;
+  hooks.Hooks.word_written ~core ~base:new_addr ~addr:new_addr;
+  hooks.Hooks.word_written ~core ~base:new_addr ~addr:(new_addr + 1);
+  hooks.Hooks.word_written ~core ~base:child ~addr:child;
+  hooks.Hooks.forward_installed ~core ~from_:child ~to_:new_addr;
+  SB.unlock_header sb ~core;
+  new_addr
+
+(* Correct-protocol baseline: roots, a scan/evacuate round with a
+   same-cycle scan-lock handoff between two cores, FIFO traffic, and a
+   clean barrier. Must stay silent. *)
+let baseline r =
+  let { sb; hooks; _ } = r in
+  SB.set_scan sb 16;
+  SB.set_free sb 16;
+  ignore (SB.try_lock_free sb ~core:0);
+  let root = SB.claim_free sb ~core:0 8 in
+  SB.unlock_free sb ~core:0;
+  hooks.Hooks.word_written ~core:0 ~base:root ~addr:root;
+  hooks.Hooks.word_written ~core:0 ~base:root ~addr:(root + 1);
+  hooks.Hooks.fifo_pushed ~addr:root ~buffered:true;
+  (* Core 1 grabs the gray object; core 0 re-acquires in the same cycle
+     (static priority) — the handoff the sanitizer must not flag. *)
+  ignore (SB.try_lock_scan sb ~core:1);
+  hooks.Hooks.range_claimed ~core:1 ~lo:root ~hi:(root + header_words);
+  hooks.Hooks.fifo_popped ~addr:root;
+  hooks.Hooks.word_read ~core:1 ~base:root ~addr:root;
+  SB.advance_scan sb ~core:1 8;
+  SB.unlock_scan sb ~core:1;
+  ignore (SB.try_lock_scan sb ~core:0);
+  SB.unlock_scan sb ~core:0;
+  hooks.Hooks.word_read ~core:1 ~base:root ~addr:(root + 1);
+  ignore (evacuate_ok r ~core:1 ~child:40);
+  hooks.Hooks.range_released ~core:1 ~lo:root ~hi:(root + header_words);
+  for core = 0 to 3 do
+    SB.assert_no_locks sb ~core;
+    ignore (SB.barrier_arrive sb ~core)
+  done
+
+(* --- the mutant catalog ------------------------------------------- *)
+
+(* 1. Evacuate without taking the child's header lock: the forwarding
+   install has no ownership and the header store is unprotected. *)
+let m_skip_header_lock r =
+  let { sb; hooks; _ } = r in
+  SB.set_free sb 16;
+  ignore (SB.try_lock_free sb ~core:0);
+  let new_addr = SB.claim_free sb ~core:0 8 in
+  SB.unlock_free sb ~core:0;
+  hooks.Hooks.word_written ~core:0 ~base:40 ~addr:40;
+  hooks.Hooks.forward_installed ~core:0 ~from_:40 ~to_:new_addr
+
+(* 2. Install forwarding while holding the *wrong* header lock. *)
+let m_forward_without_ownership r =
+  let { sb; hooks; _ } = r in
+  ignore (SB.try_lock_header sb ~core:0 ~addr:48);
+  hooks.Hooks.forward_installed ~core:0 ~from_:40 ~to_:96;
+  SB.unlock_header sb ~core:0
+
+(* 3. Double evacuation: two cores race to copy the same object and
+   both install forwarding (the second one loses an object graph). *)
+let m_double_evacuate r =
+  let { sb; _ } = r in
+  SB.set_free sb 16;
+  ignore (evacuate_ok r ~core:0 ~child:40);
+  ignore (evacuate_ok r ~core:1 ~child:40)
+
+(* 4. Release the scan lock early, then keep advancing scan. *)
+let m_release_scan_early r =
+  let { sb; hooks; _ } = r in
+  SB.set_scan sb 16;
+  SB.set_free sb 64;
+  ignore (SB.try_lock_scan sb ~core:0);
+  SB.advance_scan sb ~core:0 8;
+  SB.unlock_scan sb ~core:0;
+  (* The mutated collector forgot it no longer holds the lock; its own
+     guard was deleted, so only the hook-level mirror can notice. *)
+  hooks.Hooks.scan_advanced ~core:0 ~scan_was:24 ~scan_now:32 ~free:64
+
+(* 5. Reorder lock acquisition: header before scan (scan < header). *)
+let m_reorder_locks r =
+  let { sb; hooks; _ } = r in
+  ignore (SB.try_lock_header sb ~core:0 ~addr:40);
+  hooks.Hooks.lock_acquired ~lock:Hooks.scan_lock ~core:0 ~addr:(-1)
+
+(* 6. Advance scan past free: the worklist tail overruns its head. *)
+let m_scan_past_free r =
+  let { sb; _ } = r in
+  SB.set_scan sb 16;
+  SB.set_free sb 20;
+  ignore (SB.try_lock_scan sb ~core:0);
+  SB.advance_scan sb ~core:0 8
+
+(* 7. Header FIFO reordered: a mutated FIFO serves reads out of push
+   order (the comparator array matched the wrong pending store). *)
+let m_fifo_reorder r =
+  let { hooks; _ } = r in
+  hooks.Hooks.fifo_pushed ~addr:40 ~buffered:true;
+  hooks.Hooks.fifo_pushed ~addr:48 ~buffered:true;
+  hooks.Hooks.fifo_popped ~addr:48
+
+(* 8. Unsynchronized payload store: a core blackens words of an object
+   it neither claimed nor locked. *)
+let m_unprotected_store r =
+  let { hooks; _ } = r in
+  hooks.Hooks.word_written ~core:2 ~base:40 ~addr:(40 + header_words + 1)
+
+(* 9. Lockset race: two cores touch the same payload word, each under a
+   lock, but never a common one — classic Eraser empty intersection. *)
+let m_lockset_race r =
+  let { sb; hooks; _ } = r in
+  let addr = 40 + header_words + 1 in
+  hooks.Hooks.range_claimed ~core:0 ~lo:40 ~hi:56;
+  hooks.Hooks.word_written ~core:0 ~base:40 ~addr;
+  ignore (SB.try_lock_header sb ~core:1 ~addr:40);
+  (* Core 1 holds the frame's header lock, core 0 held a claim: the
+     word's candidate set intersects to empty on a second core. *)
+  hooks.Hooks.word_written ~core:1 ~base:40 ~addr;
+  SB.unlock_header sb ~core:1
+
+(* 10. Barrier runaway: a core loops back and passes the next barrier
+   round while a peer has not arrived at the previous one. *)
+let m_barrier_skew r =
+  let { hooks; _ } = r in
+  hooks.Hooks.barrier_passed ~core:0;
+  hooks.Hooks.barrier_passed ~core:0;
+  hooks.Hooks.barrier_passed ~core:0
+
+let mutants =
+  [
+    ("skip header lock", Diag.Forward_unlocked, m_skip_header_lock);
+    ("forward without ownership", Diag.Forward_unlocked, m_forward_without_ownership);
+    ("double evacuate", Diag.Forward_once, m_double_evacuate);
+    ("release scan early", Diag.Scan_protocol, m_release_scan_early);
+    ("reorder lock acquisition", Diag.Lock_order, m_reorder_locks);
+    ("scan past free", Diag.Scan_protocol, m_scan_past_free);
+    ("fifo reorder", Diag.Fifo_order, m_fifo_reorder);
+    ("unprotected store", Diag.Unprotected_payload, m_unprotected_store);
+    ("lockset race", Diag.Lockset_race, m_lockset_race);
+    ("barrier skew", Diag.Barrier_skew, m_barrier_skew);
+  ]
+
+let test_baseline_silent () =
+  let r = rig () in
+  baseline r;
+  if not (San.is_silent r.san) then
+    Alcotest.failf "baseline flagged: %s"
+      (String.concat "; " (List.map Diag.to_string (San.findings r.san)));
+  Alcotest.(check int) "no findings" 0 (San.total r.san)
+
+let test_mutant (name, expected, script) () =
+  let r = rig () in
+  (* Mutated collectors may also trip the sync block's own guards; the
+     question here is only whether the sanitizer flagged the breakage. *)
+  (try script r with Diag.Violation _ -> ());
+  let names = List.map (fun d -> Diag.check_name d.Diag.check) (San.findings r.san) in
+  if not (List.mem (Diag.check_name expected) names) then
+    Alcotest.failf "mutant %S not flagged as %s (findings: %s)" name
+      (Diag.check_name expected)
+      (if names = [] then "none" else String.concat ", " names)
+
+(* Every finding must carry usable context: the cycle the hooks were
+   stamped with and a rendered lockset. *)
+let test_findings_carry_context () =
+  let r = rig () in
+  r.hooks.Hooks.cycle <- 777;
+  m_reorder_locks r;
+  match San.findings r.san with
+  | [] -> Alcotest.fail "expected a finding"
+  | d :: _ ->
+    Alcotest.(check int) "cycle" 777 d.Diag.cycle;
+    Alcotest.(check bool) "lockset rendered" true
+      (String.length d.Diag.locks >= 2 && d.Diag.locks.[0] = '{')
+
+(* Real collections: the default configurations must be silent under
+   strict mode, with and without delay-class fault injection (timing
+   faults must never look like protocol violations). *)
+let collect_sanitized ?faults ~workload ~n_cores () =
+  let w = Option.get (Workloads.find workload) in
+  let heap = Workloads.build_heap ~scale:0.05 ~seed:11 w in
+  let stats =
+    Coprocessor.collect
+      (Coprocessor.config ?faults ~sanitize:San.Strict ~n_cores ())
+      heap
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "%s/%d silent" workload n_cores)
+    0 stats.Coprocessor.sanitizer_total
+
+let test_default_configs_silent () =
+  List.iter
+    (fun (workload, n_cores) -> collect_sanitized ~workload ~n_cores ())
+    [ ("db", 1); ("db", 8); ("javac", 4); ("cup", 16); ("search", 2) ]
+
+let test_delay_chaos_silent () =
+  List.iter
+    (fun (workload, n_cores, intensity, seed) ->
+      let faults = Injector.of_class `Delay ~seed ~intensity () in
+      collect_sanitized ~faults ~workload ~n_cores ())
+    [
+      ("db", 8, 0.01, 3); ("db", 8, 0.1, 4); ("javac", 4, 0.05, 5);
+      ("cup", 16, 0.02, 6); ("search", 2, 0.1, 7);
+    ]
+
+let suite =
+  Alcotest.test_case "baseline silent" `Quick test_baseline_silent
+  :: List.map
+       (fun ((name, _, _) as m) ->
+         Alcotest.test_case ("mutant: " ^ name) `Quick (test_mutant m))
+       mutants
+  @ [
+      Alcotest.test_case "findings carry context" `Quick
+        test_findings_carry_context;
+      Alcotest.test_case "default configs silent" `Quick
+        test_default_configs_silent;
+      Alcotest.test_case "delay-class chaos silent" `Quick
+        test_delay_chaos_silent;
+    ]

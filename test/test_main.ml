@@ -28,4 +28,6 @@ let () =
       ("experiment", Test_experiment.suite);
       ("kernel", Test_kernel.suite);
       ("fault", Test_fault.suite);
+      ("sanitizer", Test_sanitizer.suite);
+      ("mutations", Mutations.suite);
     ]

@@ -85,19 +85,28 @@ let test_issue_immediate () =
   Port.consume p;
   Alcotest.(check bool) "idle" true (Port.is_idle p)
 
+(* Buffer misuse raises a structured diagnostic carrying the port kind
+   and owning core; expectations match the check kind, since the record
+   also carries cycle/lockset context. *)
+let expect_port_violation name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected a port-protocol violation" name
+  | exception Hsgc_sanitizer.Diag.Violation d ->
+    Alcotest.(check string)
+      name
+      (Hsgc_sanitizer.Diag.check_name Hsgc_sanitizer.Diag.Port_protocol)
+      (Hsgc_sanitizer.Diag.check_name d.Hsgc_sanitizer.Diag.check)
+
 let test_issue_immediate_busy () =
   let m = mem () in
   let p = Port.create Port.Header_load in
   Memsys.begin_cycle m ~now:0;
   ignore (Port.issue p m ~now:0 ~addr:3);
-  Alcotest.check_raises "immediate on busy"
-    (Invalid_argument "Port.issue_immediate: busy") (fun () ->
-      Port.issue_immediate p)
+  expect_port_violation "immediate on busy" (fun () -> Port.issue_immediate p)
 
 let test_consume_not_ready () =
   let p = Port.create Port.Body_load in
-  Alcotest.check_raises "consume idle"
-    (Invalid_argument "Port.consume: no data ready") (fun () -> Port.consume p)
+  expect_port_violation "consume idle" (fun () -> Port.consume p)
 
 let test_kind_predicates () =
   Alcotest.(check bool) "hl is load" true (Port.is_load Port.Header_load);

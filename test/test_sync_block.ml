@@ -1,16 +1,30 @@
 (* Tests for the synchronization block. *)
 
 module SB = Hsgc_hwsync.Sync_block
+module Diag = Hsgc_sanitizer.Diag
+module Hooks = Hsgc_sanitizer.Hooks
+module San = Hsgc_sanitizer.Sanitizer
+
+let create = SB.create ?hooks:None
+
+(* Protocol violations now raise [Diag.Violation] with cycle/core/lockset
+   context; the context fields vary, so expectations match the check
+   kind rather than the whole record. *)
+let expect_violation name check f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected a %s violation" name (Diag.check_name check)
+  | exception Diag.Violation d ->
+    Alcotest.(check string) name (Diag.check_name check) (Diag.check_name d.Diag.check)
 
 let test_scan_free_registers () =
-  let sb = SB.create ~n_cores:4 in
+  let sb = create ~n_cores:4 () in
   SB.set_scan sb 100;
   SB.set_free sb 200;
   Alcotest.(check int) "scan" 100 (SB.scan sb);
   Alcotest.(check int) "free" 200 (SB.free sb)
 
 let test_scan_lock_exclusion () =
-  let sb = SB.create ~n_cores:4 in
+  let sb = create ~n_cores:4 () in
   Alcotest.(check bool) "core0 acquires" true (SB.try_lock_scan sb ~core:0);
   Alcotest.(check bool) "core1 blocked" false (SB.try_lock_scan sb ~core:1);
   Alcotest.(check (option int)) "owner" (Some 0) (SB.scan_lock_owner sb);
@@ -19,17 +33,16 @@ let test_scan_lock_exclusion () =
     (SB.try_lock_scan sb ~core:1)
 
 let test_advance_scan_requires_lock () =
-  let sb = SB.create ~n_cores:2 in
+  let sb = create ~n_cores:2 () in
   SB.set_scan sb 10;
-  Alcotest.check_raises "advance without lock"
-    (Invalid_argument "Sync_block: advance_scan without lock") (fun () ->
+  expect_violation "advance without lock" Diag.Scan_protocol (fun () ->
       SB.advance_scan sb ~core:0 5);
   ignore (SB.try_lock_scan sb ~core:0);
   SB.advance_scan sb ~core:0 5;
   Alcotest.(check int) "advanced" 15 (SB.scan sb)
 
 let test_free_lock_and_claim () =
-  let sb = SB.create ~n_cores:2 in
+  let sb = create ~n_cores:2 () in
   SB.set_free sb 50;
   ignore (SB.try_lock_free sb ~core:1);
   Alcotest.(check int) "claim returns old free" 50 (SB.claim_free sb ~core:1 8);
@@ -38,29 +51,50 @@ let test_free_lock_and_claim () =
   SB.unlock_free sb ~core:1;
   Alcotest.(check bool) "acquirable again" true (SB.try_lock_free sb ~core:0)
 
+let test_claim_free_requires_lock () =
+  let sb = create ~n_cores:2 () in
+  expect_violation "claim without lock" Diag.Free_protocol (fun () ->
+      ignore (SB.claim_free sb ~core:0 4))
+
 let test_lock_reentry_rejected () =
-  let sb = SB.create ~n_cores:2 in
+  let sb = create ~n_cores:2 () in
   ignore (SB.try_lock_scan sb ~core:0);
-  Alcotest.check_raises "scan re-entry"
-    (Invalid_argument "Sync_block: scan lock re-entry") (fun () ->
+  expect_violation "scan re-entry" Diag.Lock_state (fun () ->
       ignore (SB.try_lock_scan sb ~core:0))
 
 let test_lock_order_enforced () =
-  let sb = SB.create ~n_cores:2 in
+  let sb = create ~n_cores:2 () in
   (* Holding a header lock forbids acquiring scan (scan < header). *)
   ignore (SB.try_lock_header sb ~core:0 ~addr:42);
-  Alcotest.check_raises "header then scan"
-    (Invalid_argument "Sync_block: lock-order violation acquiring scan")
-    (fun () -> ignore (SB.try_lock_scan sb ~core:0));
+  expect_violation "header then scan" Diag.Lock_order (fun () ->
+      ignore (SB.try_lock_scan sb ~core:0));
   SB.unlock_header sb ~core:0;
   (* Holding free forbids acquiring a header (header < free). *)
   ignore (SB.try_lock_free sb ~core:0);
-  Alcotest.check_raises "free then header"
-    (Invalid_argument "Sync_block: lock-order violation acquiring header after free")
-    (fun () -> ignore (SB.try_lock_header sb ~core:0 ~addr:1))
+  expect_violation "free then header" Diag.Lock_order (fun () ->
+      ignore (SB.try_lock_header sb ~core:0 ~addr:1))
+
+let test_lock_order_scan_after_free () =
+  let sb = create ~n_cores:2 () in
+  (* The full ordering also forbids scan while holding free. *)
+  ignore (SB.try_lock_free sb ~core:1);
+  expect_violation "free then scan" Diag.Lock_order (fun () ->
+      ignore (SB.try_lock_scan sb ~core:1))
+
+let test_violation_carries_context () =
+  let hooks = Hooks.create () in
+  let sb = SB.create ~hooks ~n_cores:2 () in
+  hooks.Hooks.cycle <- 1234;
+  ignore (SB.try_lock_header sb ~core:1 ~addr:42);
+  match SB.try_lock_scan sb ~core:1 with
+  | _ -> Alcotest.fail "expected a violation"
+  | exception Diag.Violation d ->
+    Alcotest.(check int) "cycle recorded" 1234 d.Diag.cycle;
+    Alcotest.(check int) "core recorded" 1 d.Diag.core;
+    Alcotest.(check string) "lockset rendered" "{hdr:42}" d.Diag.locks
 
 let test_header_lock_conflict () =
-  let sb = SB.create ~n_cores:4 in
+  let sb = create ~n_cores:4 () in
   Alcotest.(check bool) "core0 locks 42" true (SB.try_lock_header sb ~core:0 ~addr:42);
   Alcotest.(check bool) "core1 blocked on 42" false
     (SB.try_lock_header sb ~core:1 ~addr:42);
@@ -71,20 +105,18 @@ let test_header_lock_conflict () =
   Alcotest.(check bool) "42 free again" true (SB.try_lock_header sb ~core:2 ~addr:42)
 
 let test_header_lock_one_per_core () =
-  let sb = SB.create ~n_cores:2 in
+  let sb = create ~n_cores:2 () in
   ignore (SB.try_lock_header sb ~core:0 ~addr:1);
-  Alcotest.check_raises "second header lock"
-    (Invalid_argument "Sync_block: header lock re-entry (one header lock per core)")
-    (fun () -> ignore (SB.try_lock_header sb ~core:0 ~addr:2))
+  expect_violation "second header lock" Diag.Lock_state (fun () ->
+      ignore (SB.try_lock_header sb ~core:0 ~addr:2))
 
 let test_header_lock_null_rejected () =
-  let sb = SB.create ~n_cores:2 in
-  Alcotest.check_raises "null header"
-    (Invalid_argument "Sync_block: cannot lock the null header") (fun () ->
+  let sb = create ~n_cores:2 () in
+  expect_violation "null header" Diag.Null_header (fun () ->
       ignore (SB.try_lock_header sb ~core:0 ~addr:0))
 
 let test_busy_bits () =
-  let sb = SB.create ~n_cores:3 in
+  let sb = create ~n_cores:3 () in
   Alcotest.(check bool) "none busy" false (SB.any_busy sb);
   SB.set_busy sb ~core:1 true;
   Alcotest.(check bool) "any busy" true (SB.any_busy sb);
@@ -96,7 +128,7 @@ let test_busy_bits () =
   Alcotest.(check bool) "cleared" false (SB.any_busy sb)
 
 let test_barrier_all_arrive () =
-  let sb = SB.create ~n_cores:3 in
+  let sb = create ~n_cores:3 () in
   Alcotest.(check bool) "0 waits" false (SB.barrier_arrive sb ~core:0);
   Alcotest.(check bool) "1 waits" false (SB.barrier_arrive sb ~core:1);
   (* Last arrival opens the barrier and passes immediately. *)
@@ -105,7 +137,7 @@ let test_barrier_all_arrive () =
   Alcotest.(check bool) "1 passes" true (SB.barrier_arrive sb ~core:1)
 
 let test_barrier_reusable () =
-  let sb = SB.create ~n_cores:2 in
+  let sb = create ~n_cores:2 () in
   (* round 1 *)
   ignore (SB.barrier_arrive sb ~core:0);
   Alcotest.(check bool) "1 opens round 1" true (SB.barrier_arrive sb ~core:1);
@@ -116,7 +148,7 @@ let test_barrier_reusable () =
   Alcotest.(check bool) "0 passes round 2" true (SB.barrier_arrive sb ~core:0)
 
 let test_barrier_early_rearrival () =
-  let sb = SB.create ~n_cores:2 in
+  let sb = create ~n_cores:2 () in
   ignore (SB.barrier_arrive sb ~core:0);
   Alcotest.(check bool) "1 opens" true (SB.barrier_arrive sb ~core:1);
   (* Core 1 races ahead to the next barrier before core 0 passed the
@@ -129,21 +161,73 @@ let test_barrier_early_rearrival () =
   Alcotest.(check bool) "0 opens round 2" true (SB.barrier_arrive sb ~core:0)
 
 let test_single_core_barrier () =
-  let sb = SB.create ~n_cores:1 in
+  let sb = create ~n_cores:1 () in
   Alcotest.(check bool) "sole core passes" true (SB.barrier_arrive sb ~core:0)
 
 let test_assert_no_locks () =
-  let sb = SB.create ~n_cores:2 in
+  let sb = create ~n_cores:2 () in
   SB.assert_no_locks sb ~core:0;
   ignore (SB.try_lock_scan sb ~core:0);
-  Alcotest.check_raises "holds scan" (Failure "core still holds scan lock")
-    (fun () -> SB.assert_no_locks sb ~core:0)
+  expect_violation "holds scan" Diag.Locks_at_barrier (fun () ->
+      SB.assert_no_locks sb ~core:0)
 
 let test_bad_core_index () =
-  let sb = SB.create ~n_cores:2 in
+  let sb = create ~n_cores:2 () in
   Alcotest.check_raises "core out of range"
     (Invalid_argument "Sync_block: bad core index") (fun () ->
       ignore (SB.try_lock_scan sb ~core:5))
+
+(* With a sanitizer attached, the paper's same-cycle release→re-acquire
+   handoff (static priority: a lock released by a lower-index core is
+   acquirable by a higher-index core in the same cycle) must stay
+   silent — it is the protocol working as designed. *)
+let test_same_cycle_handoff_silent () =
+  let hooks = Hooks.create () in
+  let sb = SB.create ~hooks ~n_cores:2 () in
+  let san = San.create ~mode:San.Check ~mem_words:64 ~n_cores:2 ~header_words:2 hooks in
+  hooks.Hooks.cycle <- 7;
+  (* Registers as at the start of a scan loop: gray region [8, 32). *)
+  SB.set_scan sb 8;
+  SB.set_free sb 32;
+  (* Same cycle: core 0 releases, core 1 acquires — scan lock... *)
+  Alcotest.(check bool) "core0 takes scan" true (SB.try_lock_scan sb ~core:0);
+  SB.advance_scan sb ~core:0 4;
+  SB.unlock_scan sb ~core:0;
+  Alcotest.(check bool) "core1 takes scan same cycle" true
+    (SB.try_lock_scan sb ~core:1);
+  SB.advance_scan sb ~core:1 4;
+  SB.unlock_scan sb ~core:1;
+  (* ... the free lock ... *)
+  ignore (SB.try_lock_free sb ~core:0);
+  ignore (SB.claim_free sb ~core:0 4);
+  SB.unlock_free sb ~core:0;
+  Alcotest.(check bool) "core1 takes free same cycle" true
+    (SB.try_lock_free sb ~core:1);
+  ignore (SB.claim_free sb ~core:1 4);
+  SB.unlock_free sb ~core:1;
+  (* ... and a header lock on the same address. *)
+  ignore (SB.try_lock_header sb ~core:0 ~addr:10);
+  SB.unlock_header sb ~core:0;
+  Alcotest.(check bool) "core1 locks same header same cycle" true
+    (SB.try_lock_header sb ~core:1 ~addr:10);
+  SB.unlock_header sb ~core:1;
+  Alcotest.(check bool) "sanitizer silent" true (San.is_silent san);
+  Alcotest.(check int) "no findings" 0 (San.total san)
+
+(* The sanitizer's own mirror of the lock-order rule: driving the hook
+   record directly (as the mutation harness does) flags an out-of-order
+   acquisition even when the sync block itself is bypassed. *)
+let test_sanitizer_flags_lock_order () =
+  let hooks = Hooks.create () in
+  let san = San.create ~mode:San.Check ~mem_words:64 ~n_cores:2 ~header_words:2 hooks in
+  hooks.Hooks.lock_acquired ~lock:Hooks.header_lock ~core:0 ~addr:8;
+  hooks.Hooks.lock_acquired ~lock:Hooks.scan_lock ~core:0 ~addr:(-1);
+  Alcotest.(check bool) "flagged" false (San.is_silent san);
+  match San.findings san with
+  | d :: _ ->
+    Alcotest.(check string) "lock-order" (Diag.check_name Diag.Lock_order)
+      (Diag.check_name d.Diag.check)
+  | [] -> Alcotest.fail "no finding recorded"
 
 let suite =
   [
@@ -151,8 +235,13 @@ let suite =
     Alcotest.test_case "scan lock exclusion" `Quick test_scan_lock_exclusion;
     Alcotest.test_case "advance requires lock" `Quick test_advance_scan_requires_lock;
     Alcotest.test_case "free lock and claim" `Quick test_free_lock_and_claim;
+    Alcotest.test_case "claim requires lock" `Quick test_claim_free_requires_lock;
     Alcotest.test_case "lock re-entry rejected" `Quick test_lock_reentry_rejected;
     Alcotest.test_case "lock order enforced" `Quick test_lock_order_enforced;
+    Alcotest.test_case "lock order scan after free" `Quick
+      test_lock_order_scan_after_free;
+    Alcotest.test_case "violation carries context" `Quick
+      test_violation_carries_context;
     Alcotest.test_case "header lock conflict" `Quick test_header_lock_conflict;
     Alcotest.test_case "one header lock per core" `Quick test_header_lock_one_per_core;
     Alcotest.test_case "null header rejected" `Quick test_header_lock_null_rejected;
@@ -163,4 +252,8 @@ let suite =
     Alcotest.test_case "single-core barrier" `Quick test_single_core_barrier;
     Alcotest.test_case "assert_no_locks" `Quick test_assert_no_locks;
     Alcotest.test_case "bad core index" `Quick test_bad_core_index;
+    Alcotest.test_case "same-cycle handoff silent" `Quick
+      test_same_cycle_handoff_silent;
+    Alcotest.test_case "sanitizer flags lock order" `Quick
+      test_sanitizer_flags_lock_order;
   ]

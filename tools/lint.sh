@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Source-hygiene lint for the library tree (run via `dune build @lint`).
+#
+# The library layer must stay free of constructs that undermine the
+# simulator's reproducibility and type-safety story:
+#
+#   Obj.magic          — defeats the type system; none of the shadow-state
+#                        tricks in the sanitizer need it.
+#   Unix.gettimeofday  — steps backwards under NTP adjustment; all timing
+#                        must use the monotonic clock (Hsgc_sim.Kernel,
+#                        Monotonic_clock).
+#   Printf.printf      — bare stdout formatting from library code bypasses
+#                        the Report/Table rendering layer and corrupts
+#                        artifact output; only bin/ and test/ may print
+#                        directly (Table.print is the one sanctioned
+#                        stdout sink).
+#
+# Exit status: 0 clean, 1 any offender found.
+
+set -u
+
+root="$(dirname "$0")/.."
+status=0
+
+ban() {
+  pattern="$1"
+  why="$2"
+  hits=$(grep -rnE "$pattern" "$root/lib" --include='*.ml' --include='*.mli' 2>/dev/null)
+  if [ -n "$hits" ]; then
+    echo "lint: banned construct in lib/ ($why):" >&2
+    echo "$hits" >&2
+    status=1
+  fi
+}
+
+ban 'Obj\.magic' 'Obj.magic defeats the type system'
+ban 'Unix\.gettimeofday' 'non-monotonic clock; use Monotonic_clock'
+ban 'Printf\.printf' 'bare stdout formatting from library code'
+
+exit $status
