@@ -14,6 +14,9 @@ module Counters = Hsgc_coproc.Counters
 module Trace = Hsgc_coproc.Trace
 module Concurrent = Hsgc_coproc.Concurrent
 module Memsys = Hsgc_memsim.Memsys
+module Tracer = Hsgc_obs.Tracer
+module Profiler = Hsgc_obs.Profiler
+module Perfetto = Hsgc_obs.Perfetto
 module Experiment = Hsgc_core.Experiment
 module Chaos = Hsgc_core.Chaos
 module Perf = Hsgc_core.Perf
@@ -229,16 +232,29 @@ let cycle_budget_arg =
 
 let run_cmd =
   let run workload n_cores scale seed extra_latency fifo bandwidth header_cache
-      scan_unit verify no_skip cycle_budget sanitize =
+      scan_unit verify no_skip cycle_budget sanitize profile =
     let mem = mem_config extra_latency fifo bandwidth header_cache in
     let heap = Workloads.build_heap ~scale ~seed workload in
     let pre = if verify then Some (Verify.snapshot heap) else None in
+    let prof =
+      if profile then begin
+        let p = Profiler.create ~n_cores () in
+        Profiler.enable p;
+        Some p
+      end
+      else None
+    in
+    (* --profile forces naive stepping so the printed attribution can be
+       read directly against executed cycles (every row sums to them);
+       all statistics are bit-identical either way by the kernel's
+       parity contract, only wall time changes. *)
+    let skip = (not no_skip) && not profile in
     match
-      Coprocessor.collect
+      Coprocessor.collect ?prof
         (Coprocessor.config ~mem
            ?scan_unit:(scan_unit_opt scan_unit)
            ?cycle_budget ~sanitize
-           ~skip:(not no_skip) ~n_cores ())
+           ~skip ~n_cores ())
         heap
     with
     | exception Coprocessor.Stall_diagnosis d ->
@@ -251,6 +267,12 @@ let run_cmd =
     | stats -> (
       Printf.printf "workload %s, %d cores\n" workload.Workloads.name n_cores;
       print_stats stats;
+      (match prof with
+      | None -> ()
+      | Some p ->
+        print_newline ();
+        print_string
+          (Report.profile_table ~total:stats.Coprocessor.total_cycles p));
       if sanitize <> Hsgc_sanitizer.Sanitizer.Off then
         if stats.Coprocessor.sanitizer_findings = [] then
           print_endline "sanitizer           OK (no findings)"
@@ -272,12 +294,23 @@ let run_cmd =
             Format.eprintf "verification FAILED: %a@." Verify.pp_failure f;
             exit_verify_failed))
   in
+  let profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Attach the stall-attribution profiler and print the per-core \
+             cycle-accounting table: every simulated cycle of every core \
+             lands in exactly one of busy / the seven stall categories / \
+             idle, so each row sums to the executed cycle count (naive \
+             stepping is forced; statistics are bit-identical either way).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"run one collection and print full statistics")
     Term.(
       const run $ workload_arg $ cores_arg $ scale_arg $ seed_arg $ latency_arg
       $ fifo_arg $ bandwidth_arg $ header_cache_arg $ scan_unit_arg $ verify_arg
-      $ no_skip_arg $ cycle_budget_arg $ sanitize_arg)
+      $ no_skip_arg $ cycle_budget_arg $ sanitize_arg $ profile_arg)
 
 let sweep_cmd =
   let run workload scale seed extra_latency fifo bandwidth header_cache verify
@@ -357,44 +390,90 @@ let cycles_cmd =
       $ churn_arg $ verify_arg)
 
 let trace_cmd =
-  let run workload n_cores scale seed interval csv_out =
+  let run workload n_cores scale seed interval format out no_skip =
     let heap = Workloads.build_heap ~scale ~seed workload in
-    let trace = Trace.create ~interval () in
-    let stats =
-      Coprocessor.collect ~trace (Coprocessor.config ~n_cores ()) heap
+    (* Write the artifact to [out] when given, stdout otherwise; status
+       lines go to stdout only in the file case so a stdout export stays
+       a clean machine-readable stream. *)
+    let emit ~what text =
+      match out with
+      | None -> print_string text
+      | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Printf.printf "%s written to %s\n" what path
     in
-    Printf.printf "workload %s, %d cores, %d cycles, %d live objects\n\n"
-      workload.Workloads.name n_cores stats.Coprocessor.total_cycles
-      stats.Coprocessor.live_objects;
-    print_string (Trace.timeline trace);
-    (match csv_out with
-    | None -> ()
-    | Some path ->
-      let oc = open_out path in
-      output_string oc (Trace.to_csv trace);
-      close_out oc;
-      Printf.printf "\n%d samples written to %s\n" (Trace.length trace) path);
+    (match format with
+    | `Ascii | `Csv ->
+      let trace = Trace.create ~interval () in
+      let stats =
+        Coprocessor.collect ~trace (Coprocessor.config ~n_cores ()) heap
+      in
+      (match format with
+      | `Csv ->
+        emit
+          ~what:(Printf.sprintf "%d samples (CSV)" (Trace.length trace))
+          (Trace.to_csv trace)
+      | _ ->
+        Printf.printf "workload %s, %d cores, %d cycles, %d live objects\n\n"
+          workload.Workloads.name n_cores stats.Coprocessor.total_cycles
+          stats.Coprocessor.live_objects;
+        emit ~what:"timeline" (Trace.timeline trace))
+    | `Perfetto ->
+      let obs = Tracer.create ~interval ~n_cores () in
+      Tracer.enable obs;
+      let stats =
+        Coprocessor.collect ~obs
+          (Coprocessor.config ~skip:(not no_skip) ~n_cores ())
+          heap
+      in
+      emit
+        ~what:
+          (Printf.sprintf
+             "Chrome trace JSON (%d cycles, %d events, %d dropped, digest %s)"
+             stats.Coprocessor.total_cycles (Tracer.length obs)
+             (Tracer.dropped obs) (Tracer.digest obs))
+        (Perfetto.to_string obs));
     0
   in
   let interval_arg =
     Arg.(
       value & opt int 16
-      & info [ "interval" ] ~doc:"Cycles between trace samples.")
+      & info [ "interval" ]
+          ~doc:
+            "Cycles between samples (signal samples for ascii/csv, counter \
+             samples for perfetto).")
   in
-  let csv_arg =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("ascii", `Ascii); ("csv", `Csv); ("perfetto", `Perfetto) ])
+          `Ascii
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: $(b,ascii) — activity timeline; $(b,csv) — the \
+             sampled signals; $(b,perfetto) — Chrome trace-event JSON of the \
+             span tracer (per-core phase and stall tracks, kernel and FIFO \
+             tracks, gray-backlog and FIFO-depth counters), loadable at \
+             ui.perfetto.dev.")
+  in
+  let out_arg =
     Arg.(
       value
       & opt (some string) None
-      & info [ "o"; "csv" ] ~docv:"FILE" ~doc:"Also dump the samples as CSV.")
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the export to $(docv) instead of stdout.")
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "collect once while sampling internal signals; print an activity \
-          timeline (the paper's monitoring framework)")
+          timeline, CSV samples, or a Perfetto trace (the paper's monitoring \
+          framework)")
     Term.(
       const run $ workload_arg $ cores_arg $ scale_arg $ seed_arg $ interval_arg
-      $ csv_arg)
+      $ format_arg $ out_arg $ no_skip_arg)
 
 let ablate_cmd =
   let run scale seed =

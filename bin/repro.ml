@@ -227,6 +227,57 @@ let run_chaos ~scale ~jobs ~retries ~chaos_out =
   else if summary.Chaos.delay_terminated < summary.Chaos.delay_points then 4
   else 0
 
+(* Observability run (--trace / --profile): one instrumented collection
+   of the Table-II headline configuration — javac at 16 cores — with the
+   span tracer and/or the stall-attribution profiler attached. --trace
+   writes the Chrome trace-event JSON for ui.perfetto.dev; --profile
+   prints the per-core cycle-accounting table (each row sums to the
+   simulated cycle count). Runs instead of the artifact sequence. *)
+let run_observe ~scale ~seed ~profile ~trace_out =
+  let module Workloads = Hsgc_objgraph.Workloads in
+  let module Coprocessor = Hsgc_coproc.Coprocessor in
+  let module Tracer = Hsgc_obs.Tracer in
+  let module Profiler = Hsgc_obs.Profiler in
+  let n_cores = 16 in
+  let w = Workloads.javac in
+  let heap = Workloads.build_heap ~scale ~seed w in
+  let obs =
+    Option.map
+      (fun _ ->
+        let t = Tracer.create ~n_cores () in
+        Tracer.enable t;
+        t)
+      trace_out
+  in
+  let prof =
+    if profile then begin
+      let p = Profiler.create ~n_cores () in
+      Profiler.enable p;
+      Some p
+    end
+    else None
+  in
+  let stats =
+    Coprocessor.collect ?obs ?prof (Coprocessor.config ~n_cores ()) heap
+  in
+  Printf.printf "observability run: %s, %d cores, %d cycles\n"
+    w.Workloads.name n_cores stats.Coprocessor.total_cycles;
+  (match prof with
+  | None -> ()
+  | Some p ->
+    print_newline ();
+    print_string
+      (Report.profile_table ~total:stats.Coprocessor.total_cycles p));
+  (match (obs, trace_out) with
+  | Some t, Some path ->
+    let oc = open_out path in
+    Hsgc_obs.Perfetto.to_channel oc t;
+    close_out oc;
+    Printf.printf "wrote %s (%d events, %d dropped, digest %s)\n" path
+      (Tracer.length t) (Tracer.dropped t) (Tracer.digest t)
+  | _ -> ());
+  0
+
 (* Completed-artifact journal: `repro all` appends each artifact's name
    as it completes, so an interrupted run can be resumed with --resume
    (already-journaled artifacts are skipped, the note goes to stderr so
@@ -251,8 +302,11 @@ let journal_append path name =
   close_out oc
 
 let run artifact scale seeds verify jobs quick sanitize bench_out chaos_out
-    retries keep_going resume journal =
+    retries keep_going resume journal profile trace_out =
   let scale = if quick then scale *. 0.05 else scale in
+  if profile || trace_out <> None then
+    run_observe ~scale ~seed:42 ~profile ~trace_out
+  else begin
   let seeds = Array.init seeds (fun i -> 42 + (1000 * i)) in
   let sanitize = if sanitize then San.Check else San.Off in
   let base_sweep =
@@ -339,6 +393,7 @@ let run artifact scale seeds verify jobs quick sanitize bench_out chaos_out
         (List.length fs);
       1)
   | a -> emit a
+  end
 
 let cmd =
   let artifact =
@@ -428,11 +483,33 @@ let cmd =
             "Completed-artifact journal for `all' (written as artifacts \
              finish, deleted when the run completes).")
   in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Instead of artifacts: run the Table-II headline configuration \
+             (javac, 16 cores) with the stall-attribution profiler attached \
+             and print the per-core cycle-accounting table (each row sums to \
+             the simulated cycle count). Combines with $(b,--trace).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Instead of artifacts: run the Table-II headline configuration \
+             (javac, 16 cores) with the span tracer attached and write the \
+             Chrome trace-event JSON to $(docv) (loadable at \
+             ui.perfetto.dev). Combines with $(b,--profile).")
+  in
   let doc = "regenerate the paper's tables and figures" in
   Cmd.v
     (Cmd.info "repro" ~doc)
     Term.(
       const run $ artifact $ scale $ seeds $ verify $ jobs $ quick $ sanitize
-      $ bench_out $ chaos_out $ retries $ keep_going $ resume $ journal)
+      $ bench_out $ chaos_out $ retries $ keep_going $ resume $ journal
+      $ profile $ trace_out)
 
 let () = exit (Cmd.eval' cmd)

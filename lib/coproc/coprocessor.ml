@@ -11,6 +11,8 @@ module Injector = Hsgc_fault.Injector
 module Hooks = Hsgc_sanitizer.Hooks
 module Diag = Hsgc_sanitizer.Diag
 module San = Hsgc_sanitizer.Sanitizer
+module Obs = Hsgc_obs.Tracer
+module Prof = Hsgc_obs.Profiler
 
 (* Hot-loop status probes. [Port] and [Sync_block] expose their records
    precisely so that the per-cycle loop can poll status with direct
@@ -252,6 +254,12 @@ type t = {
   hooks : Hooks.t;
   san : San.t;
   mutable san_seen : int;  (* findings already annotated into the trace *)
+  (* Observability: the event/span tracer and the stall-attribution
+     profiler. Both default to shared never-enabled instances, so in
+     plain runs every instrumentation site reduces to one
+     load-and-branch (the Hooks discipline). *)
+  obs : Obs.t;
+  prof : Prof.t;
   cores : core array;
   tospace_limit : int;
   clock : Kernel.t;
@@ -290,7 +298,7 @@ type sim = t
 
 let now t = t.clock.Kernel.now
 
-let make_core ~events ~faults ~hooks id =
+let make_core ~events ~faults ~hooks ~obs id =
   {
     id;
     state = (if id = 0 then Init else Start_barrier);
@@ -306,10 +314,10 @@ let make_core ~events ~faults ~hooks id =
     evac_new = 0;
     root_idx = 0;
     ret = Ret_slot;
-    hl = Port.create ~events ~faults ~hooks ~owner:id Port.Header_load;
-    hs = Port.create ~events ~faults ~hooks ~owner:id Port.Header_store;
-    bl = Port.create ~events ~faults ~hooks ~owner:id Port.Body_load;
-    bs = Port.create ~events ~faults ~hooks ~owner:id Port.Body_store;
+    hl = Port.create ~events ~faults ~hooks ~obs ~owner:id Port.Header_load;
+    hs = Port.create ~events ~faults ~hooks ~obs ~owner:id Port.Header_store;
+    bl = Port.create ~events ~faults ~hooks ~obs ~owner:id Port.Body_load;
+    bs = Port.create ~events ~faults ~hooks ~obs ~owner:id Port.Body_store;
     counters = Counters.create ();
     stall_cycle = -1;
     stall_kind = Counters.Scan_lock;
@@ -414,6 +422,9 @@ and begin_gray_object t core ~frame ~h0 =
   | None ->
     core.slot_limit <- body;
     core.whole <- true;
+    (* Scan-latency histogram: grab-to-blacken, whole objects only
+       (pieces of a split frame have no single owner interval). *)
+    if t.obs.Obs.on then Obs.object_begun t.obs ~core:core.id;
     SB.advance_scan t.sb ~core:core.id (Hdr.size h0);
     if t.hooks.Hooks.on then begin
       (* The whole work item: the tospace copy under construction and
@@ -784,6 +795,7 @@ let step_blacken t core =
     H.set_header1 t.heap core.obj_to 0;
     issue_exn core.hs t.mem ~now:(now t) ~addr:core.obj_to;
     SB.set_busy t.sb ~core:core.id false;
+    if t.obs.Obs.on && core.whole then Obs.object_done t.obs ~core:core.id;
     if t.hooks.Hooks.on && core.whole then begin
       (* The finished work item: ownership of the copy and of the
          consumed fromspace body ends here. *)
@@ -812,6 +824,10 @@ let step_end_barrier t core =
     core.state <- Halt;
     core.wake <- max_int;
     t.n_halted <- t.n_halted + 1;
+    (* A halted core leaves the stepping paths; the profiler pads the
+       rest of the collection as idle at [close] time. *)
+    if t.prof.Prof.on then
+      Prof.note_halt t.prof ~core:core.id ~cycle:(now t);
     mark t
   end
 
@@ -852,6 +868,44 @@ let state_name = function
   | End_barrier -> "end-barrier"
   | Halt -> "halt"
 
+(* --- observability classification --------------------------------- *)
+
+(* Stall ids in [Counters.all_stalls] order — shared by the tracer's
+   stall-span events and the profiler's buckets 1..7. *)
+let stall_index = function
+  | Counters.Scan_lock -> 0
+  | Counters.Free_lock -> 1
+  | Counters.Header_lock -> 2
+  | Counters.Body_load -> 3
+  | Counters.Body_store -> 4
+  | Counters.Header_load -> 5
+  | Counters.Header_store -> 6
+
+(* Profiler attribution for a cycle without a stall latch, keyed on the
+   core's post-step state. Wait-only states — seeking work, barrier
+   waits, buffer draining, halted — are idle; everything else made
+   forward progress. The same function classifies stepped cycles and
+   their skipped replays, so the attribution is bit-identical under
+   naive and event-driven stepping. *)
+let prof_bucket_of_state = function
+  | Try_lock_scan | Start_barrier | End_barrier | Flush | Halt ->
+    Prof.bucket_idle
+  | Init | Root_next | Root_header_wait | Scan_header_wait | Body_issue_load
+  | Body_wait | Lock_child | Child_header_wait | Lock_free | Evac_store_fwd
+  | Evac_store_gray | Store_slot | Piece_done | Blacken -> Prof.bucket_busy
+
+(* Microprogram states folded to the tracer's algorithm-level phases. *)
+let phase_of_state = function
+  | Init -> Obs.phase_init
+  | Root_next | Root_header_wait -> Obs.phase_roots
+  | Start_barrier | End_barrier -> Obs.phase_barrier
+  | Try_lock_scan | Scan_header_wait -> Obs.phase_scan
+  | Body_issue_load | Body_wait | Lock_child | Child_header_wait | Lock_free
+  | Evac_store_fwd | Evac_store_gray | Store_slot | Piece_done | Blacken ->
+    Obs.phase_copy
+  | Flush -> Obs.phase_flush
+  | Halt -> Obs.phase_halt
+
 let step_core t core =
   (match core.state with
   | Init -> step_init t core
@@ -878,8 +932,12 @@ let step_core t core =
 
 let all_halted t = t.n_halted = Array.length t.cores
 
-let start cfg heap =
+let start ?(obs = Obs.disabled) ?(prof = Prof.disabled) cfg heap =
   if cfg.n_cores < 1 then invalid_arg "Coprocessor.start: n_cores must be >= 1";
+  if obs.Obs.on && Obs.n_cores obs < cfg.n_cores then
+    invalid_arg "Coprocessor.start: tracer sized for fewer cores";
+  if prof.Prof.on && Prof.n_cores prof < cfg.n_cores then
+    invalid_arg "Coprocessor.start: profiler sized for fewer cores";
   let faults =
     match cfg.faults with
     | None -> Injector.disabled
@@ -890,7 +948,7 @@ let start cfg heap =
     San.create ~mode:cfg.sanitize ~mem_words:(Array.length heap.H.mem)
       ~n_cores:cfg.n_cores ~header_words:Hdr.header_words hooks
   in
-  let mem = Mem.create ~faults ~hooks cfg.mem in
+  let mem = Mem.create ~faults ~hooks ~obs cfg.mem in
   let events = ref 0 in
   let to_space = H.to_space heap in
   let pieces_base = to_space.Semispace.base in
@@ -903,15 +961,17 @@ let start cfg heap =
   {
     cfg;
     heap;
-    sb = SB.create ~hooks ~n_cores:cfg.n_cores ();
+    sb = SB.create ~hooks ~obs ~n_cores:cfg.n_cores ();
     mem;
     fifo = Mem.fifo mem;
     hooks;
     san;
     san_seen = 0;
-    cores = Array.init cfg.n_cores (make_core ~events ~faults ~hooks);
+    obs;
+    prof;
+    cores = Array.init cfg.n_cores (make_core ~events ~faults ~hooks ~obs);
     tospace_limit = to_space.Semispace.limit;
-    clock = Kernel.create ~skip:cfg.skip ();
+    clock = Kernel.create ~skip:cfg.skip ~obs ();
     faults;
     watchdog =
       Kernel.Watchdog.create ?budget:cfg.cycle_budget
@@ -1090,6 +1150,19 @@ let maybe_sleep t c ~now =
         Wake_queue.arm t.wakeq ~id:c.id ~time:w;
         let span = w - now - 1 in
         if rp > 0 then Counters.bump_n c.counters (stall_of_rp rp) span;
+        (* The slept cycles replay the same stall (or the quiet Flush
+           wait); attribute and trace them exactly as naive stepping
+           would have, one bulk credit instead of per-cycle bumps. *)
+        if t.prof.Prof.on then
+          Prof.add t.prof ~core:c.id
+            ~bucket:
+              (if rp > 0 then 1 + stall_index (stall_of_rp rp)
+               else Prof.bucket_idle)
+            span;
+        if t.obs.Obs.on && rp > 0 then
+          Obs.stall_run t.obs ~core:c.id
+            ~kind:(stall_index (stall_of_rp rp))
+            ~cycle:(now + 1) ~span;
         if t.sb.SB.busy.(c.id) then
           c.counters.busy_cycles <- c.counters.busy_cycles + span;
         if Port.order_held c.hl t.mem then Mem.add_rejected_order t.mem span
@@ -1145,7 +1218,21 @@ let credit_skipped t ~cycle ~span ~empty_delta =
   for i = 0 to Array.length cores - 1 do
     let c = Array.unsafe_get cores i in
     if c.wake <= limit then begin
-      if c.stall_cycle = cycle then Counters.bump_n c.counters c.stall_kind span;
+      if c.stall_cycle = cycle then begin
+        Counters.bump_n c.counters c.stall_kind span;
+        if t.obs.Obs.on then
+          Obs.stall_run t.obs ~core:c.id
+            ~kind:(stall_index c.stall_kind)
+            ~cycle:limit ~span
+      end;
+      (* Profiler: the skipped cycles replay the just-executed one, so
+         each awake core repeats the bucket it was attributed there. *)
+      if t.prof.Prof.on then
+        Prof.add t.prof ~core:c.id
+          ~bucket:
+            (if c.stall_cycle = cycle then 1 + stall_index c.stall_kind
+             else prof_bucket_of_state c.state)
+          span;
       if t.sb.SB.busy.(c.id) then
         c.counters.busy_cycles <- c.counters.busy_cycles + span;
       if Port.order_held c.hl t.mem then Mem.add_rejected_order t.mem span
@@ -1210,6 +1297,7 @@ let step ?trace ?horizon t =
   (* Stamp the shared hook record so diagnostics and sanitizer findings
      raised anywhere this cycle carry the cycle number. *)
   t.hooks.Hooks.cycle <- n0;
+  if t.obs.Obs.on then t.obs.Obs.cycle <- n0;
   let scan0 = t.sb.SB.scan and free0 = t.sb.SB.free in
   t.events := 0;
   let cores = t.cores in
@@ -1252,12 +1340,34 @@ let step ?trace ?horizon t =
     let c = Array.unsafe_get cores i in
     if c.wake <= n0 then begin
       step_core t c;
+      (* Attribute this executed cycle: the stall latch carrying [n0]
+         identifies the stall category (it was counted exactly once by
+         [stall]); otherwise the post-step state says busy or idle. *)
+      if t.prof.Prof.on then
+        Prof.add t.prof ~core:c.id
+          ~bucket:
+            (if c.stall_cycle = n0 then 1 + stall_index c.stall_kind
+             else prof_bucket_of_state c.state)
+          1;
+      if t.obs.Obs.on then begin
+        if c.stall_cycle = n0 then
+          Obs.stall_run t.obs ~core:c.id
+            ~kind:(stall_index c.stall_kind)
+            ~cycle:n0 ~span:1;
+        Obs.set_phase t.obs ~core:c.id
+          ~phase:(phase_of_state c.state)
+          ~cycle:n0
+      end;
       if skip then begin
         maybe_sleep t c ~now:n0;
         if c.wake = n0 + 1 then incr awake_next
       end
     end
   done;
+  if t.obs.Obs.on && Obs.sample_due t.obs ~cycle:n0 then
+    Obs.sample t.obs ~cycle:n0
+      ~backlog:(t.sb.SB.free - t.sb.SB.scan)
+      ~fifo_depth:(Fifo.length t.fifo);
   let empty_delta =
     if t.parallel_phase && (not t.finished) && t.saw_empty then 1 else 0
   in
@@ -1311,6 +1421,14 @@ let step ?trace ?horizon t =
       if wake < max_int then begin
         let target = min (Wake_queue.bound ~horizon wake) (t.cfg.max_cycles + 1) in
         if target > n0 + 1 then begin
+          (* The skipped cycles are quiescent, so the counter samples a
+             naive stepper would take in them carry today's (frozen)
+             signal values — emit them before jumping so the event
+             stream stays stepping-invariant. *)
+          if t.obs.Obs.on then
+            Obs.catch_up_samples t.obs ~target
+              ~backlog:(t.sb.SB.free - t.sb.SB.scan)
+              ~fifo_depth:(Fifo.length t.fifo);
           let span = Kernel.fast_forward t.clock ~target in
           credit_skipped t ~cycle:n0 ~span ~empty_delta
         end
@@ -1320,12 +1438,18 @@ let step ?trace ?horizon t =
       let wake = Wake_queue.next_after t.wakeq ~now:n0 in
       if wake < max_int then begin
         let target = min (Wake_queue.bound ~horizon wake) (t.cfg.max_cycles + 1) in
-        if target > n0 + 1 then
+        if target > n0 + 1 then begin
           (* No awake core means no stall latch, no busy bit moving, no
              worklist probe in the skipped span: sleeping cores were
              credited when they went to sleep, so there is nothing to
-             credit here. *)
+             credit here. Counter samples still need catching up — the
+             signals are frozen while everyone sleeps. *)
+          if t.obs.Obs.on then
+            Obs.catch_up_samples t.obs ~target
+              ~backlog:(t.sb.SB.free - t.sb.SB.scan)
+              ~fifo_depth:(Fifo.length t.fifo);
           ignore (Kernel.fast_forward t.clock ~target)
+        end
       end
     end
 
@@ -1335,6 +1459,8 @@ let finalize t =
      before the mutator (concurrent mode, inter-cycle allocation) drives
      the same machine. *)
   San.detach t.san;
+  if t.prof.Prof.on then Prof.close t.prof ~total:(now t);
+  if t.obs.Obs.on then Obs.finish t.obs ~cycle:(now t);
   (* Commit the free register into the heap and swap the spaces. *)
   (H.to_space t.heap).Semispace.free <- t.sb.SB.free;
   H.flip t.heap;
@@ -1369,8 +1495,8 @@ let finalize t =
 let sanitizer_findings t = San.findings t.san
 let sanitizer_total t = San.total t.san
 
-let collect ?trace cfg heap =
-  let t = start cfg heap in
+let collect ?trace ?obs ?prof cfg heap =
+  let t = start ?obs ?prof cfg heap in
   while not (all_halted t) do
     step ?trace t
   done;

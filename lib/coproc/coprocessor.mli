@@ -188,12 +188,31 @@ val stalls_total : gc_stats -> Counters.t
 val stalls_mean_per_core : gc_stats -> Counters.t
 (** Mean per core — the form the paper's Table II reports. *)
 
-val collect : ?trace:Trace.t -> config -> Hsgc_heap.Heap.t -> gc_stats
+val collect :
+  ?trace:Trace.t ->
+  ?obs:Hsgc_obs.Tracer.t ->
+  ?prof:Hsgc_obs.Profiler.t ->
+  config -> Hsgc_heap.Heap.t -> gc_stats
 (** Run one collection cycle: evacuate everything reachable from the
     heap's roots into the other semispace, update the roots, flip the
     heap. Raises {!Heap_overflow} if the live data does not fit. An
     attached {!Trace} samples the internal signals while the cycle
-    runs. *)
+    runs.
+
+    [obs] attaches an event/span tracer ({!Hsgc_obs.Tracer}): per-core
+    phase spans, merged stall runs, FIFO overflow episodes, gray
+    backlog / FIFO depth samples, plus lock hold-time, per-object
+    scan-latency and memory-latency histograms. With a fixed seed and
+    configuration the event stream is byte-identical run to run, and —
+    kernel skip spans aside — identical under naive and event-driven
+    stepping.
+
+    [prof] attaches a stall-attribution profiler
+    ({!Hsgc_obs.Profiler}): every simulated cycle of every core is
+    attributed to exactly one of busy / the seven stall categories /
+    idle, so per-core bucket sums equal [total_cycles] and the stall
+    columns equal the {!Counters} totals. Both must be enabled
+    ([enable]) and sized for at least [n_cores] to record anything. *)
 
 (** {2 Cycle-stepped interface}
 
@@ -204,8 +223,13 @@ val collect : ?trace:Trace.t -> config -> Hsgc_heap.Heap.t -> gc_stats
 
 type sim
 
-val start : config -> Hsgc_heap.Heap.t -> sim
-(** Set up a collection without running it. *)
+val start :
+  ?obs:Hsgc_obs.Tracer.t ->
+  ?prof:Hsgc_obs.Profiler.t ->
+  config -> Hsgc_heap.Heap.t -> sim
+(** Set up a collection without running it. [obs]/[prof] as in
+    {!collect}; when enabled they must be sized for at least
+    [config.n_cores] (checked here). *)
 
 val step : ?trace:Trace.t -> ?horizon:int -> sim -> unit
 (** Advance the coprocessor by one clock cycle — or, when the cycle turns

@@ -43,7 +43,11 @@ let create ?(interval = 64) ?(capacity = 100_000) () =
   }
 
 let annotate t ~cycle note = t.notes_rev <- (cycle, note) :: t.notes_rev
-let notes t = List.rev t.notes_rev
+
+(* Chronological as documented even if annotations arrive out of order
+   (stable, so same-cycle notes keep their insertion order). *)
+let notes t =
+  List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev t.notes_rev)
 
 let interval t = t.interval
 let length t = t.n

@@ -61,6 +61,25 @@ type aggregate = {
          fractional throughput cost of attaching the checker *)
 }
 
+(* One fully instrumented collection (tracer + profiler enabled) next to
+   an identical plain run: the digest and profile fractions are
+   deterministic simulation statistics; the overhead ratio is the
+   tracer-ON cost (tracer-OFF cost is what the main legs gate — they all
+   run against the shared disabled instruments). *)
+type obs_probe = {
+  obs_workload : string;
+  obs_cores : int;
+  obs_cycles : int;
+  obs_events : int; (* events kept in the tracer ring *)
+  obs_dropped : int;
+  trace_digest : string; (* golden-trace fingerprint of the event stream *)
+  profile_busy_frac : float;
+  profile_stall_frac : float;
+  profile_idle_frac : float; (* the three sum to 1 by the closure identity *)
+  obs_wall_s : float;
+  obs_overhead : float; (* instrumented wall over plain wall, minus one *)
+}
+
 type suite = {
   scale : float;
   seed : int;
@@ -68,6 +87,7 @@ type suite = {
   base_legs : leg list;
   latency_extra : int;
   latency : aggregate;
+  obs : obs_probe;
 }
 
 let default_cores = [ 1; 2; 4; 8; 16 ]
@@ -174,6 +194,66 @@ let grid ~scale ~seed ~mem ~cores ~progress =
         cores)
     Workloads.all
 
+let run_obs_probe ~scale ~seed =
+  let module Tracer = Hsgc_obs.Tracer in
+  let module Prof = Hsgc_obs.Profiler in
+  let workload = Option.get (Workloads.find "cup") in
+  let n_cores = 8 in
+  let plain_heap = Workloads.build_heap ~scale ~seed workload in
+  let instr_heap = Workloads.build_heap ~scale ~seed workload in
+  let plain =
+    Coprocessor.collect (Coprocessor.config ~n_cores ()) plain_heap
+  in
+  let obs = Tracer.create ~n_cores () in
+  Tracer.enable obs;
+  let prof = Prof.create ~n_cores () in
+  Prof.enable prof;
+  let instr =
+    Coprocessor.collect ~obs ~prof (Coprocessor.config ~n_cores ()) instr_heap
+  in
+  if instr.Coprocessor.total_cycles <> plain.Coprocessor.total_cycles then
+    raise
+      (Perf_regression
+         (Printf.sprintf
+            "observability probe: instrumented run took %d cycles, plain %d \
+             — the tracer perturbed the simulation"
+            instr.Coprocessor.total_cycles plain.Coprocessor.total_cycles));
+  let total = instr.Coprocessor.total_cycles in
+  for c = 0 to n_cores - 1 do
+    let s = Prof.row_sum prof ~core:c in
+    if s <> total then
+      raise
+        (Perf_regression
+           (Printf.sprintf
+              "observability probe: core %d attribution sums to %d cycles, \
+               expected %d — the profile no longer closes"
+              c s total))
+  done;
+  let agg = float_of_int (total * n_cores) in
+  let busy =
+    float_of_int (Prof.column prof ~bucket:Prof.bucket_busy) /. agg
+  in
+  let idle =
+    float_of_int (Prof.column prof ~bucket:Prof.bucket_idle) /. agg
+  in
+  let stall = float_of_int (Prof.total_stall_cycles prof) /. agg in
+  {
+    obs_workload = workload.Workloads.name;
+    obs_cores = n_cores;
+    obs_cycles = total;
+    obs_events = Tracer.length obs;
+    obs_dropped = Tracer.dropped obs;
+    trace_digest = Tracer.digest obs;
+    profile_busy_frac = busy;
+    profile_stall_frac = stall;
+    profile_idle_frac = idle;
+    obs_wall_s = instr.Coprocessor.wall_seconds;
+    obs_overhead =
+      (instr.Coprocessor.wall_seconds
+      /. Float.max 1e-9 plain.Coprocessor.wall_seconds)
+      -. 1.0;
+  }
+
 let run ?(scale = 0.5) ?(seed = 42) ?(cores = default_cores)
     ?(latency_extra = 20) ?(progress = fun _ -> ()) () =
   let base_legs =
@@ -199,6 +279,7 @@ let run ?(scale = 0.5) ?(seed = 42) ?(cores = default_cores)
     base_legs;
     latency_extra;
     latency = aggregate lat_legs;
+    obs = run_obs_probe ~scale ~seed;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -253,7 +334,27 @@ let to_json suite =
   Buffer.add_string buf
     (Printf.sprintf "    \"extra_latency\": %d,\n" suite.latency_extra);
   Buffer.add_string buf (json_of_aggregate ~indent:4 suite.latency);
-  Buffer.add_string buf "\n  }\n}\n";
+  Buffer.add_string buf "\n  },\n";
+  let o = suite.obs in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"observability\": {\n\
+       \    \"workload\": \"%s\",\n\
+       \    \"cores\": %d,\n\
+       \    \"cycles\": %d,\n\
+       \    \"obs_events\": %d,\n\
+       \    \"obs_dropped\": %d,\n\
+       \    \"trace_digest\": \"%s\",\n\
+       \    \"profile_busy_frac\": %.4f,\n\
+       \    \"profile_stall_frac\": %.4f,\n\
+       \    \"profile_idle_frac\": %.4f,\n\
+       \    \"obs_wall_s\": %.4f,\n\
+       \    \"obs_overhead\": %.4f\n\
+       \  }\n"
+       o.obs_workload o.obs_cores o.obs_cycles o.obs_events o.obs_dropped
+       o.trace_digest o.profile_busy_frac o.profile_stall_frac
+       o.profile_idle_frac o.obs_wall_s o.obs_overhead);
+  Buffer.add_string buf "}\n";
   Buffer.contents buf
 
 let summary suite =
@@ -273,6 +374,15 @@ let summary suite =
         suite.latency_extra l.skip_mcycles_per_s l.naive_mcycles_per_s
         l.skip_speedup
         (100.0 *. l.skipped_frac);
+      Printf.sprintf
+        "obs probe: %s/%d cores, %d events (%d dropped), busy/stall/idle \
+         %.1f/%.1f/%.1f%%, tracer-on +%.1f%%"
+        suite.obs.obs_workload suite.obs.obs_cores suite.obs.obs_events
+        suite.obs.obs_dropped
+        (100.0 *. suite.obs.profile_busy_frac)
+        (100.0 *. suite.obs.profile_stall_frac)
+        (100.0 *. suite.obs.profile_idle_frac)
+        (100.0 *. suite.obs.obs_overhead);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -378,5 +488,18 @@ let check ~baseline suite =
     if suite.base.sanitizer_overhead > budget then
       err "sanitizer-on overhead regressed: %.1f%% vs baseline %.1f%%"
         (100.0 *. suite.base.sanitizer_overhead)
+        (100.0 *. ov0));
+  (* Tracer-ON overhead of the observability probe, same wide budget and
+     same only-if-recorded rule as the sanitizer gate. Tracer-OFF cost
+     needs no gate of its own: every main leg runs against the shared
+     disabled instruments, so a hook that grew expensive while off shows
+     up directly in the gated throughput metrics above. *)
+  (match field_of_json baseline "obs_overhead" with
+  | None -> ()
+  | Some ov0 ->
+    let budget = Float.max (ov0 +. 0.25) (ov0 *. 2.0) in
+    if suite.obs.obs_overhead > budget then
+      err "tracer-on overhead regressed: %.1f%% vs baseline %.1f%%"
+        (100.0 *. suite.obs.obs_overhead)
         (100.0 *. ov0));
   match !errors with [] -> Ok () | es -> Error (List.rev es)

@@ -40,6 +40,27 @@ type aggregate = {
           sanitizer-on wall over sanitizer-off wall, minus one *)
 }
 
+type obs_probe = {
+  obs_workload : string;
+  obs_cores : int;
+  obs_cycles : int;
+  obs_events : int;  (** events kept in the tracer ring *)
+  obs_dropped : int;
+  trace_digest : string;  (** golden-trace fingerprint of the event stream *)
+  profile_busy_frac : float;
+  profile_stall_frac : float;
+  profile_idle_frac : float;
+      (** the three fractions sum to 1 by the profiler's closure identity *)
+  obs_wall_s : float;
+  obs_overhead : float;  (** instrumented wall over plain wall, minus one *)
+}
+(** One fully instrumented collection (cup at 8 cores, tracer and
+    profiler enabled) next to an identical plain run. The digest and
+    profile fractions are deterministic simulation statistics; the
+    overhead ratio records the tracer-ON cost. The probe raises
+    {!Perf_regression} if instrumentation perturbs the cycle count or
+    the per-core attribution stops summing to the total. *)
+
 type suite = {
   scale : float;
   seed : int;
@@ -47,6 +68,7 @@ type suite = {
   base_legs : leg list;
   latency_extra : int;
   latency : aggregate;
+  obs : obs_probe;
 }
 
 val default_cores : int list

@@ -383,6 +383,67 @@ let concurrent_pauses ?(scale = 0.5) ?(seed = 42) () =
        ~rows);
   Buffer.contents buf
 
+let profile_table ~total prof =
+  let module Prof = Hsgc_obs.Profiler in
+  let n = Prof.n_cores prof in
+  let bucket_ids = List.init Prof.n_buckets (fun b -> b) in
+  let header =
+    ("core" :: List.map Prof.bucket_name bucket_ids) @ [ "total" ]
+  in
+  let rows =
+    List.init n (fun c ->
+        (string_of_int c
+        :: List.map
+             (fun b -> string_of_int (Prof.get prof ~core:c ~bucket:b))
+             bucket_ids)
+        @ [ string_of_int (Prof.row_sum prof ~core:c) ])
+  in
+  let agg = total * n in
+  let all_row =
+    ("ALL"
+    :: List.map
+         (fun b -> Table.count_with_pct ~total:agg (Prof.column prof ~bucket:b))
+         bucket_ids)
+    @ [ string_of_int agg ]
+  in
+  Printf.sprintf
+    "Stall attribution (cycles; every core x cycle lands in exactly one\n\
+     bucket, so each row sums to the %d simulated cycles)\n"
+    total
+  ^ Table.render ~header ~rows:(rows @ [ all_row ])
+
+let metrics_summary m =
+  let module M = Hsgc_obs.Metrics in
+  let hist_rows =
+    List.filter_map
+      (fun h ->
+        if M.hist_count h = 0 then None
+        else
+          Some
+            [
+              M.hist_name h;
+              string_of_int (M.hist_count h);
+              Table.fixed 1 (M.hist_mean h);
+              string_of_int (M.hist_percentile h 50);
+              string_of_int (M.hist_percentile h 90);
+              string_of_int (M.hist_percentile h 99);
+              string_of_int (M.hist_max h);
+            ])
+      (M.all_hists m)
+  in
+  let counter_rows =
+    List.map
+      (fun c -> [ M.counter_name c; string_of_int (M.counter_value c) ])
+      (M.all_counters m)
+  in
+  "Cycle metrics (log2-bucketed histograms; percentiles are bucket upper\n\
+   bounds, conservative and deterministic)\n"
+  ^ Table.render
+      ~header:[ "metric"; "count"; "mean"; "p50"; "p90"; "p99"; "max" ]
+      ~rows:hist_rows
+  ^ "\n"
+  ^ Table.render ~header:[ "counter"; "value" ] ~rows:counter_rows
+
 let stall_diagnosis d =
   Format.asprintf
     "The simulator tripped its watchdog and aborted the collection.\n\

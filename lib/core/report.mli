@@ -64,6 +64,18 @@ val concurrent_pauses : ?scale:float -> ?seed:int -> unit -> string
 (** E8: stop-the-world pause vs concurrent pause (root phase only), with
     read-barrier and mutator-progress counts; every run verified. *)
 
+val profile_table : total:int -> Hsgc_obs.Profiler.t -> string
+(** Render a closed stall-attribution profile as the operator-facing
+    table: one row per core (absolute cycles in each of the nine
+    buckets, each row summing to [total]) plus an ALL row with
+    aggregate counts and percentages — the machine-checked counterpart
+    of the paper's Table II. *)
+
+val metrics_summary : Hsgc_obs.Metrics.t -> string
+(** Render a tracer's metrics registry: one row per non-empty histogram
+    (count, mean, conservative p50/p90/p99, max — all in cycles) and
+    one per counter. *)
+
 val stall_diagnosis : Hsgc_coproc.Coprocessor.diagnosis -> string
 (** Render a {!Hsgc_coproc.Coprocessor.Stall_diagnosis} payload as the
     operator-facing report: a short reading guide followed by the full

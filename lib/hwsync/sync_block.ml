@@ -1,5 +1,6 @@
 module Diag = Hsgc_sanitizer.Diag
 module Hooks = Hsgc_sanitizer.Hooks
+module Obs = Hsgc_obs.Tracer
 
 type t = {
   n : int;
@@ -12,9 +13,10 @@ type t = {
   arrived : bool array;
   mutable release_count : int;
   hooks : Hooks.t;
+  obs : Obs.t;
 }
 
-let create ?hooks ~n_cores () =
+let create ?hooks ?(obs = Obs.disabled) ~n_cores () =
   if n_cores <= 0 then invalid_arg "Sync_block.create";
   let hooks = match hooks with Some h -> h | None -> Hooks.create () in
   {
@@ -28,6 +30,7 @@ let create ?hooks ~n_cores () =
     arrived = Array.make n_cores false;
     release_count = 0;
     hooks;
+    obs;
   }
 
 let n_cores t = t.n
@@ -75,6 +78,7 @@ let try_lock_scan t ~core =
     t.scan_owner <- core;
     if t.hooks.Hooks.on then
       t.hooks.Hooks.lock_acquired ~lock:Hooks.scan_lock ~core ~addr:(-1);
+    if t.obs.Obs.on then Obs.lock_acquired t.obs ~lock:Obs.lock_scan ~core;
     true
   end
   else false
@@ -84,7 +88,8 @@ let unlock_scan t ~core =
     protocol_fail t ~core Diag.Lock_state "unlock_scan by non-owner";
   t.scan_owner <- -1;
   if t.hooks.Hooks.on then
-    t.hooks.Hooks.lock_released ~lock:Hooks.scan_lock ~core ~addr:(-1)
+    t.hooks.Hooks.lock_released ~lock:Hooks.scan_lock ~core ~addr:(-1);
+  if t.obs.Obs.on then Obs.lock_released t.obs ~lock:Obs.lock_scan ~core
 
 let advance_scan t ~core n =
   if t.scan_owner <> core then
@@ -103,6 +108,7 @@ let try_lock_free t ~core =
     t.free_owner <- core;
     if t.hooks.Hooks.on then
       t.hooks.Hooks.lock_acquired ~lock:Hooks.free_lock ~core ~addr:(-1);
+    if t.obs.Obs.on then Obs.lock_acquired t.obs ~lock:Obs.lock_free ~core;
     true
   end
   else false
@@ -112,7 +118,8 @@ let unlock_free t ~core =
     protocol_fail t ~core Diag.Lock_state "unlock_free by non-owner";
   t.free_owner <- -1;
   if t.hooks.Hooks.on then
-    t.hooks.Hooks.lock_released ~lock:Hooks.free_lock ~core ~addr:(-1)
+    t.hooks.Hooks.lock_released ~lock:Hooks.free_lock ~core ~addr:(-1);
+  if t.obs.Obs.on then Obs.lock_released t.obs ~lock:Obs.lock_free ~core
 
 let claim_free t ~core n =
   if t.free_owner <> core then
@@ -145,6 +152,7 @@ let try_lock_header t ~core ~addr =
     t.header_regs.(core) <- addr;
     if t.hooks.Hooks.on then
       t.hooks.Hooks.lock_acquired ~lock:Hooks.header_lock ~core ~addr;
+    if t.obs.Obs.on then Obs.lock_acquired t.obs ~lock:Obs.lock_header ~core;
     true
   end
 
@@ -154,7 +162,8 @@ let unlock_header t ~core =
   let addr = t.header_regs.(core) in
   t.header_regs.(core) <- 0;
   if t.hooks.Hooks.on then
-    t.hooks.Hooks.lock_released ~lock:Hooks.header_lock ~core ~addr
+    t.hooks.Hooks.lock_released ~lock:Hooks.header_lock ~core ~addr;
+  if t.obs.Obs.on then Obs.lock_released t.obs ~lock:Obs.lock_header ~core
 
 let header_lock_of t ~core =
   let a = t.header_regs.(core) in

@@ -49,9 +49,16 @@ type t = {
   arrived : bool array;  (** barrier arrival flags *)
   mutable release_count : int;
   hooks : Hsgc_sanitizer.Hooks.t;
+  obs : Hsgc_obs.Tracer.t;
 }
 
-val create : ?hooks:Hsgc_sanitizer.Hooks.t -> n_cores:int -> unit -> t
+val create :
+  ?hooks:Hsgc_sanitizer.Hooks.t ->
+  ?obs:Hsgc_obs.Tracer.t ->
+  n_cores:int -> unit -> t
+(** [obs] (default disabled) feeds the tracer's lock hold-time
+    histograms: every successful acquire stamps the cycle, every
+    release observes the hold duration. *)
 
 val n_cores : t -> int
 

@@ -7,6 +7,7 @@ type t = {
   buf : int array; (* ring buffer of frame addresses *)
   faults : Injector.t;
   hooks : Hooks.t;
+  obs : Hsgc_obs.Tracer.t;
   mutable head : int; (* index of front entry *)
   mutable len : int;
   mutable overflows : int;
@@ -15,7 +16,8 @@ type t = {
   mutable drops : int;
 }
 
-let create ?(faults = Injector.disabled) ?hooks ~capacity () =
+let create ?(faults = Injector.disabled) ?hooks
+    ?(obs = Hsgc_obs.Tracer.disabled) ~capacity () =
   if capacity <= 0 then invalid_arg "Header_fifo.create";
   let hooks = match hooks with Some h -> h | None -> Hooks.create () in
   {
@@ -23,6 +25,7 @@ let create ?(faults = Injector.disabled) ?hooks ~capacity () =
     buf = Array.make capacity 0;
     faults;
     hooks;
+    obs;
     head = 0;
     len = 0;
     overflows = 0;
@@ -58,6 +61,11 @@ let push t addr =
     end
   in
   if t.hooks.Hooks.on then t.hooks.Hooks.fifo_pushed ~addr ~buffered;
+  (* Overflow-episode tracking: a streak of unbuffered pushes (capacity
+     overflow or fault drop) opens an episode; the next buffered push
+     closes it as one span event. *)
+  if t.obs.Hsgc_obs.Tracer.on then
+    Hsgc_obs.Tracer.fifo_push t.obs ~buffered;
   buffered
 
 let try_pop t addr =

@@ -16,6 +16,7 @@ type t
 val create :
   ?faults:Hsgc_fault.Injector.t ->
   ?hooks:Hsgc_sanitizer.Hooks.t ->
+  ?obs:Hsgc_obs.Tracer.t ->
   capacity:int -> unit -> t
 (** [faults] (default disabled) may drop individual pushes — the
     transient-fault analogue of a capacity overflow, and just as safe:
@@ -23,7 +24,9 @@ val create :
     [hooks] (default nop) reports buffered pushes and popped entries to
     an attached sanitizer, which mirrors the queue and checks that pops
     arrive in push order. Pushing the null (or a negative) frame address
-    raises {!Hsgc_sanitizer.Diag.Violation} with cycle context. *)
+    raises {!Hsgc_sanitizer.Diag.Violation} with cycle context.
+    [obs] (default {!Hsgc_obs.Tracer.disabled}) records overflow
+    episodes — streaks of unbuffered pushes — as trace span events. *)
 
 val capacity : t -> int
 val length : t -> int

@@ -72,7 +72,8 @@ type t = {
   mutable cache_misses : int;
 }
 
-let create ?(faults = Injector.disabled) ?hooks config =
+let create ?(faults = Injector.disabled) ?hooks
+    ?(obs = Hsgc_obs.Tracer.disabled) config =
   (match validate_config config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Memsys.create: " ^ msg));
@@ -81,7 +82,8 @@ let create ?(faults = Injector.disabled) ?hooks config =
   in
   {
     config;
-    fifo = Header_fifo.create ~faults ~hooks ~capacity:config.fifo_capacity ();
+    fifo =
+      Header_fifo.create ~faults ~hooks ~obs ~capacity:config.fifo_capacity ();
     faults;
     hooks;
     header_cache = Array.make (max 1 config.header_cache_entries) 0;

@@ -57,6 +57,7 @@ type t
 
 val create :
   ?faults:Hsgc_fault.Injector.t -> ?hooks:Hsgc_sanitizer.Hooks.t ->
+  ?obs:Hsgc_obs.Tracer.t ->
   config -> t
 (** Raises [Invalid_argument] when {!validate_config} rejects the
     config. [faults] (default disabled) injects delay-class
@@ -65,7 +66,9 @@ val create :
     injector is shared with the FIFO created here). [hooks] (default
     nop) is shared with the header FIFO created here; an acceptance
     offered outside the [begin_cycle] contract raises
-    {!Hsgc_sanitizer.Diag.Violation} instead of a bare assertion. *)
+    {!Hsgc_sanitizer.Diag.Violation} instead of a bare assertion.
+    [obs] (default disabled) is handed to the header FIFO for
+    overflow-episode tracing. *)
 
 val fifo : t -> Header_fifo.t
 

@@ -37,14 +37,23 @@ type t = {
   mutable st : int;
   mutable addr : int;
   mutable done_at : int;
+  mutable issued_at : int; (* deposit cycle of the transfer in [addr] *)
   events : int ref;
   faults : Hsgc_fault.Injector.t;
   hooks : Hsgc_sanitizer.Hooks.t;
+  obs : Hsgc_obs.Tracer.t;
   owner : int; (* owning core index, -1 when anonymous *)
 }
 
+(* Latency-histogram kind ids, resolved once at creation. *)
+let obs_kind = function
+  | Header_load -> Hsgc_obs.Tracer.mem_header_load
+  | Header_store -> Hsgc_obs.Tracer.mem_header_store
+  | Body_load -> Hsgc_obs.Tracer.mem_body_load
+  | Body_store -> Hsgc_obs.Tracer.mem_body_store
+
 let create ?events ?(faults = Hsgc_fault.Injector.disabled) ?hooks
-    ?(owner = -1) kind =
+    ?(obs = Hsgc_obs.Tracer.disabled) ?(owner = -1) kind =
   let hooks =
     match hooks with Some h -> h | None -> Hsgc_sanitizer.Hooks.create ()
   in
@@ -53,9 +62,11 @@ let create ?events ?(faults = Hsgc_fault.Injector.disabled) ?hooks
     st = st_idle;
     addr = 0;
     done_at = 0;
+    issued_at = 0;
     events = (match events with Some e -> e | None -> ref 0);
     faults;
     hooks;
+    obs;
     owner;
   }
 
@@ -93,6 +104,7 @@ let issue t mem ~now ~addr =
   if t.st = st_idle then begin
     (* Idle -> Waiting is a transition too, even when memory rejects. *)
     incr t.events;
+    t.issued_at <- now;
     try_accept t mem ~now ~addr;
     true
   end
@@ -112,6 +124,13 @@ let tick t mem ~now =
   if st = st_waiting then try_accept t mem ~now ~addr:t.addr
   else if st = st_in_flight && t.done_at <= now then begin
     t.st <- (if is_load t.kind then st_ready else st_idle);
+    (* Memory-wait observation: deposit-to-completion, measured against
+       [done_at] rather than [now] so the value is identical whether the
+       owning core observed the completion promptly (naive stepping) or
+       after waking from an event-driven sleep. *)
+    if t.obs.Hsgc_obs.Tracer.on then
+      Hsgc_obs.Tracer.mem_done t.obs ~kind:(obs_kind t.kind)
+        ~latency:(t.done_at - t.issued_at);
     incr t.events
   end
 

@@ -40,9 +40,14 @@ type t = {
   mutable st : int;
   mutable addr : int;
   mutable done_at : int;
+  mutable issued_at : int;
+      (** deposit cycle of the transfer currently in [addr] — the start
+          of the memory-wait interval the tracer's latency histograms
+          measure *)
   events : int ref;
   faults : Hsgc_fault.Injector.t;
   hooks : Hsgc_sanitizer.Hooks.t;
+  obs : Hsgc_obs.Tracer.t;
   owner : int;  (** owning core index, [-1] when anonymous *)
 }
 
@@ -50,6 +55,7 @@ val create :
   ?events:int ref ->
   ?faults:Hsgc_fault.Injector.t ->
   ?hooks:Hsgc_sanitizer.Hooks.t ->
+  ?obs:Hsgc_obs.Tracer.t ->
   ?owner:int ->
   kind -> t
 (** [events], when given, is a transition counter shared with the owning
@@ -65,7 +71,11 @@ val create :
     [hooks] and [owner] give buffer-protocol diagnostics their context:
     misuse ({!issue_immediate} on a busy or store buffer, {!consume}
     with no data) raises {!Hsgc_sanitizer.Diag.Violation} carrying the
-    owning core and the cycle stamped in the shared hook record. *)
+    owning core and the cycle stamped in the shared hook record.
+
+    [obs] (default {!Hsgc_obs.Tracer.disabled}) receives a
+    deposit-to-completion latency observation per finished transfer,
+    into the latency histogram matching this buffer's kind. *)
 
 val kind : t -> kind
 

@@ -1,0 +1,79 @@
+(* Chrome trace-event JSON exporter.
+
+   Produces the JSON-object form ({"traceEvents": [...]}) loadable in
+   Perfetto and chrome://tracing. Timestamps are simulated cycles used
+   directly as microseconds — the absolute unit is meaningless for a
+   simulator, only the cycle-accurate relative layout matters.
+
+   Track layout (all under pid 0):
+   - tid 2c     : "core c"        — phase spans (X events);
+   - tid 2c + 1 : "core c waits"  — stall runs (X events);
+   - tid 2n     : "kernel"        — fast-forward spans;
+   - tid 2n + 1 : "header FIFO"   — overflow episodes;
+   - counter tracks ("C" events): gray backlog and FIFO depth. *)
+
+let add_meta buf ~tid ~name ~sort =
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"%s"}},{"name":"thread_sort_index","ph":"M","pid":0,"tid":%d,"args":{"sort_index":%d}},|}
+       tid name tid sort)
+
+let add_span buf ~tid ~name ~cat ~ts ~dur ~args =
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|{"name":"%s","cat":"%s","ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d%s},|}
+       name cat tid ts dur
+       (match args with "" -> "" | a -> Printf.sprintf {|,"args":{%s}|} a))
+
+let add_counter buf ~name ~ts ~key ~value =
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|{"name":"%s","ph":"C","pid":0,"ts":%d,"args":{"%s":%d}},|}
+       name ts key value)
+
+let to_buffer (t : Tracer.t) =
+  let n = Tracer.n_cores t in
+  let buf = Buffer.create (4096 + (Tracer.length t * 96)) in
+  Buffer.add_string buf {|{"displayTimeUnit":"ms","traceEvents":[|};
+  Buffer.add_string buf
+    {|{"name":"process_name","ph":"M","pid":0,"args":{"name":"gc coprocessor"}},|};
+  for core = 0 to n - 1 do
+    add_meta buf ~tid:(2 * core)
+      ~name:(Printf.sprintf "core %d" core)
+      ~sort:(2 * core);
+    add_meta buf
+      ~tid:((2 * core) + 1)
+      ~name:(Printf.sprintf "core %d waits" core)
+      ~sort:((2 * core) + 1)
+  done;
+  add_meta buf ~tid:(2 * n) ~name:"kernel" ~sort:(2 * n);
+  add_meta buf ~tid:((2 * n) + 1) ~name:"header FIFO" ~sort:((2 * n) + 1);
+  Tracer.iter t (fun ~cycle ~code ~core ~a ~b ->
+      if code = Tracer.ev_phase then
+        add_span buf ~tid:(2 * core) ~name:(Tracer.phase_name a) ~cat:"phase"
+          ~ts:cycle ~dur:b ~args:""
+      else if code = Tracer.ev_stall then
+        add_span buf
+          ~tid:((2 * core) + 1)
+          ~name:(Tracer.stall_name a) ~cat:"stall" ~ts:cycle ~dur:b ~args:""
+      else if code = Tracer.ev_sample then begin
+        add_counter buf ~name:"gray backlog" ~ts:cycle ~key:"words" ~value:a;
+        add_counter buf ~name:"FIFO depth" ~ts:cycle ~key:"entries" ~value:b
+      end
+      else if code = Tracer.ev_fifo_overflow then
+        add_span buf
+          ~tid:((2 * n) + 1)
+          ~name:"overflow" ~cat:"fifo" ~ts:cycle ~dur:b
+          ~args:(Printf.sprintf {|"dropped_pushes":%d|} a)
+      else if code = Tracer.ev_skip then
+        add_span buf ~tid:(2 * n) ~name:"fast-forward" ~cat:"kernel" ~ts:cycle
+          ~dur:b ~args:"");
+  (* Every emitter above leaves a trailing comma; terminate the array
+     with a metadata event so the JSON stays valid even with no data. *)
+  Buffer.add_string buf
+    {|{"name":"trace_done","ph":"M","pid":0,"args":{}}]}|};
+  Buffer.add_char buf '\n';
+  buf
+
+let to_string t = Buffer.contents (to_buffer t)
+let to_channel oc t = Buffer.output_buffer oc (to_buffer t)

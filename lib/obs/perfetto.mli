@@ -1,0 +1,11 @@
+(** Chrome trace-event JSON exporter.
+
+    Renders a {!Tracer} event stream as the JSON-object trace form
+    ([{"traceEvents": [...]}]) loadable in Perfetto
+    ({:https://ui.perfetto.dev}) and chrome://tracing. One track per
+    core for phase spans, one per core for stall runs, plus kernel
+    fast-forward and header-FIFO tracks and counter tracks for the
+    gray backlog and FIFO depth. Timestamps are simulated cycles. *)
+
+val to_string : Tracer.t -> string
+val to_channel : out_channel -> Tracer.t -> unit

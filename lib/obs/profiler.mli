@@ -1,0 +1,50 @@
+(** Stall-attribution profiler — the machine-checked form of the
+    paper's Table II.
+
+    Each simulated cycle of each core lands in exactly one of nine
+    buckets: busy, the seven stall categories (Table II column order:
+    scan-lock, free-lock, header-lock, body-load, body-store,
+    header-load, header-store), or idle. The attribution is fed by the
+    same code paths that maintain the per-core stall counters, so two
+    identities hold by construction and are enforced by tests:
+    per-core bucket sums equal total simulated cycles, and the stall
+    columns equal the [Counters] stall totals exactly. *)
+
+type t = {
+  mutable on : bool;
+  n_cores : int;
+  buckets : int array;
+  halt_at : int array;
+}
+
+val n_buckets : int
+val bucket_busy : int
+val bucket_idle : int
+
+val bucket_name : int -> string
+(** Buckets 1..7 carry the stall-category names. *)
+
+val create : n_cores:int -> unit -> t
+
+val disabled : t
+(** Shared never-enabled default (never mutated while off). *)
+
+val enable : t -> unit
+val n_cores : t -> int
+
+val add : t -> core:int -> bucket:int -> int -> unit
+(** Credit [n] cycles. Callers gate on [t.on]. *)
+
+val note_halt : t -> core:int -> cycle:int -> unit
+(** Record the cycle on which the core halted. *)
+
+val close : t -> total:int -> unit
+(** Pad each halted core's account with idle cycles up to [total]
+    (exclusive of the final tick). Idempotent. *)
+
+val get : t -> core:int -> bucket:int -> int
+val row_sum : t -> core:int -> int
+val column : t -> bucket:int -> int
+
+val total_stall_cycles : t -> int
+(** Sum of the seven stall columns across all cores. *)

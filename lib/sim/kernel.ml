@@ -6,10 +6,18 @@ type t = {
   (* CLOCK_MONOTONIC nanoseconds. gettimeofday can step backwards under
      NTP adjustment and produced negative Mcycles/s in long sweeps. *)
   wall_start : int64;
+  obs : Hsgc_obs.Tracer.t;
 }
 
-let create ?(skip = true) () =
-  { skip; now = 0; executed = 0; skipped = 0; wall_start = Monotonic_clock.now () }
+let create ?(skip = true) ?(obs = Hsgc_obs.Tracer.disabled) () =
+  {
+    skip;
+    now = 0;
+    executed = 0;
+    skipped = 0;
+    wall_start = Monotonic_clock.now ();
+    obs;
+  }
 
 let now t = t.now
 let skip_enabled t = t.skip
@@ -22,6 +30,8 @@ let fast_forward t ~target =
   if target <= t.now then 0
   else begin
     let span = target - t.now in
+    if t.obs.Hsgc_obs.Tracer.on then
+      Hsgc_obs.Tracer.skip_span t.obs ~cycle:t.now ~span;
     t.now <- target;
     t.skipped <- t.skipped + span;
     span

@@ -27,12 +27,15 @@ type t = {
   mutable executed : int;
   mutable skipped : int;
   wall_start : int64;  (** CLOCK_MONOTONIC ns at creation *)
+  obs : Hsgc_obs.Tracer.t;
 }
 
-val create : ?skip:bool -> unit -> t
+val create : ?skip:bool -> ?obs:Hsgc_obs.Tracer.t -> unit -> t
 (** A fresh clock at cycle 0. [skip] (default [true]) records whether the
     owning engine should attempt idle-cycle skipping; the kernel itself
-    only accounts. Wall-clock measurement starts here. *)
+    only accounts. Wall-clock measurement starts here. [obs] (default
+    disabled) records every fast-forward as a kernel skip-span trace
+    event. *)
 
 val now : t -> int
 (** The current simulated cycle. *)

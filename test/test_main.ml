@@ -23,6 +23,8 @@ let () =
       ("swgc", Test_swgc.suite);
       ("coprocessor", Test_coprocessor.suite);
       ("trace", Test_trace.suite);
+      ("obs", Test_obs.suite);
+      ("golden", Test_golden.suite);
       ("concurrent", Test_concurrent.suite);
       ("exhaustive", Test_exhaustive.suite);
       ("experiment", Test_experiment.suite);

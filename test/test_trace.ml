@@ -37,6 +37,61 @@ let test_capacity_thinning () =
   Alcotest.(check bool) "bounded" true (Trace.length t <= 16);
   Alcotest.(check bool) "interval grew" true (Trace.interval t > 1)
 
+let test_thinning_keeps_every_second_sample () =
+  (* One controlled overflow: capacity 8, interval 1, cycles 0..7. The
+     thinning must keep every second sample and double the interval. *)
+  let t = Trace.create ~interval:1 ~capacity:8 () in
+  for cycle = 0 to 7 do
+    Trace.record t ~cycle ~scan:cycle ~free:(cycle * 2) ~fifo_depth:cycle
+      ~activity:"."
+  done;
+  Alcotest.(check int) "interval doubled" 2 (Trace.interval t);
+  Alcotest.(check (list int)) "every second sample retained" [ 0; 2; 4; 6 ]
+    (List.map (fun s -> s.Trace.cycle) (Trace.samples t));
+  (* The retained samples carry their original signals, not copies of
+     their dropped neighbors. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "scan preserved" s.Trace.cycle s.Trace.scan;
+      Alcotest.(check int) "backlog preserved" s.Trace.cycle
+        s.Trace.backlog_words)
+    (Trace.samples t)
+
+let test_thinning_converges_under_load () =
+  (* Repeated overflows: the interval keeps doubling (a power of two),
+     the sample count stays bounded, and the retained cycles stay
+     strictly increasing with full-range coverage. *)
+  let t = Trace.create ~interval:1 ~capacity:16 () in
+  for cycle = 0 to 9999 do
+    Trace.record t ~cycle ~scan:0 ~free:0 ~fifo_depth:0 ~activity:".";
+    assert (Trace.length t <= 16)
+  done;
+  let iv = Trace.interval t in
+  Alcotest.(check bool) "interval is a power of two" true
+    (iv land (iv - 1) = 0);
+  Alcotest.(check bool) "interval grew to cover the run" true (iv >= 512);
+  let cycles = List.map (fun s -> s.Trace.cycle) (Trace.samples t) in
+  Alcotest.(check int) "first sample survives every thinning" 0
+    (List.hd cycles);
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly increasing" true (increasing cycles);
+  Alcotest.(check bool) "covers the tail" true
+    (List.nth cycles (List.length cycles - 1) >= 9999 - (2 * iv))
+
+let test_annotate_ordering () =
+  let t = Trace.create () in
+  Trace.annotate t ~cycle:50 "late";
+  Trace.annotate t ~cycle:10 "early";
+  Trace.annotate t ~cycle:30 "middle";
+  Trace.annotate t ~cycle:10 "early-second";
+  Alcotest.(check (list (pair int string)))
+    "notes chronological, ties in insertion order"
+    [ (10, "early"); (10, "early-second"); (30, "middle"); (50, "late") ]
+    (Trace.notes t)
+
 let test_timeline_renders () =
   let t = Trace.create ~interval:1 () in
   for cycle = 0 to 20 do
@@ -101,6 +156,11 @@ let suite =
     Alcotest.test_case "interval sampling" `Quick test_interval_sampling;
     Alcotest.test_case "due" `Quick test_due;
     Alcotest.test_case "capacity thinning" `Quick test_capacity_thinning;
+    Alcotest.test_case "thinning keeps every second sample" `Quick
+      test_thinning_keeps_every_second_sample;
+    Alcotest.test_case "thinning converges under load" `Quick
+      test_thinning_converges_under_load;
+    Alcotest.test_case "annotate/notes ordering" `Quick test_annotate_ordering;
     Alcotest.test_case "timeline renders" `Quick test_timeline_renders;
     Alcotest.test_case "timeline empty" `Quick test_timeline_empty;
     Alcotest.test_case "csv" `Quick test_csv;

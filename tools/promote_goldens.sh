@@ -1,0 +1,15 @@
+#!/bin/sh
+# Refresh the golden-trace corpus (test/goldens/) after an intentional
+# behavior change. Runs the golden suite with HSGC_PROMOTE_GOLDENS set,
+# which makes each case rewrite its golden file instead of comparing,
+# then re-runs the suite in compare mode to prove the fresh corpus is
+# self-consistent. Review the resulting diff before committing: every
+# changed fingerprint is a deliberate machine-behavior change.
+set -eu
+cd "$(dirname "$0")/.."
+dune build test/test_main.exe
+mkdir -p test/goldens
+HSGC_PROMOTE_GOLDENS="$PWD/test/goldens" \
+  ./_build/default/test/test_main.exe test golden
+./_build/default/test/test_main.exe test golden >/dev/null
+echo "golden corpus refreshed in test/goldens/ — review with: git diff test/goldens"

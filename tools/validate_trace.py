@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Schema-validate a Chrome trace-event JSON export from `gcsim trace
+--format perfetto` (stdlib only, no dependencies).
+
+Checks the JSON-object form and every event against the trace-event
+format subset the exporter uses: X (complete) spans with non-negative
+ts/dur, C counter samples with integer args, M metadata, the thread
+layout (core N / core N waits / kernel / header FIFO), and that both
+counter tracks are present. Exits 1 with a message on the first
+violation, 0 with a summary otherwise.
+
+Usage: tools/validate_trace.py TRACE.json
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(path):
+    try:
+        with open(path, "rb") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not a JSON object")
+    if "traceEvents" not in doc:
+        fail("missing traceEvents")
+    if doc.get("displayTimeUnit") not in ("ms", "ns"):
+        fail(f"bad displayTimeUnit {doc.get('displayTimeUnit')!r}")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents is not a non-empty list")
+
+    thread_names = {}
+    counters = set()
+    spans = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "C", "M"):
+            fail(f"event {i}: unexpected phase {ph!r}")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            fail(f"event {i}: missing name")
+        if ev.get("pid") != 0:
+            fail(f"event {i}: pid is {ev.get('pid')!r}, expected 0")
+        if ph == "X":
+            spans += 1
+            for k in ("ts", "dur", "tid"):
+                if not isinstance(ev.get(k), int) or ev[k] < 0:
+                    fail(f"event {i} ({ev['name']}): bad {k} {ev.get(k)!r}")
+            if not isinstance(ev.get("cat"), str):
+                fail(f"event {i} ({ev['name']}): missing cat")
+        elif ph == "C":
+            counters.add(ev["name"])
+            if not isinstance(ev.get("ts"), int) or ev["ts"] < 0:
+                fail(f"event {i} ({ev['name']}): bad ts {ev.get('ts')!r}")
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                fail(f"event {i} ({ev['name']}): counter without args")
+            for k, v in args.items():
+                if not isinstance(v, int):
+                    fail(f"event {i} ({ev['name']}): non-integer value {k}={v!r}")
+        elif ev["name"] == "thread_name":
+            thread_names[ev.get("tid")] = ev["args"]["name"]
+
+    for want in ("kernel", "header FIFO", "core 0", "core 0 waits"):
+        if want not in thread_names.values():
+            fail(f"thread {want!r} not declared")
+    # A span on an undeclared track would render as an anonymous thread.
+    for i, ev in enumerate(events):
+        if ev.get("ph") == "X" and ev["tid"] not in thread_names:
+            fail(f"event {i} ({ev['name']}): span on undeclared tid {ev['tid']}")
+    for want in ("gray backlog", "FIFO depth"):
+        if want not in counters:
+            fail(f"counter track {want!r} missing")
+    if spans == 0:
+        fail("no span (X) events at all")
+
+    print(
+        f"validate_trace: OK: {len(events)} events, {spans} spans, "
+        f"{len(thread_names)} threads, counters: {sorted(counters)}"
+    )
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])
