@@ -10,6 +10,9 @@
 module Workloads = Hsgc_objgraph.Workloads
 module Mutator = Hsgc_objgraph.Mutator
 module Coprocessor = Hsgc_coproc.Coprocessor
+module Bsp = Hsgc_coproc.Bsp
+module Partition = Hsgc_sim.Partition
+module Domain_pool = Hsgc_sim.Domain_pool
 module Counters = Hsgc_coproc.Counters
 module Trace = Hsgc_coproc.Trace
 module Concurrent = Hsgc_coproc.Concurrent
@@ -171,11 +174,14 @@ let no_skip_arg =
 
 let jobs_arg =
   Arg.(
-    value & opt int 1
-    & info [ "jobs"; "j" ]
+    value
+    & opt (nonneg_conv "jobs") 0
+    & info [ "jobs"; "j" ] ~docv:"N"
         ~doc:
-          "Run sweep points on this many domains in parallel. Output is \
-           identical at any value.")
+          "Run sweep points on up to $(docv) domains in parallel; 0 (the \
+           default) means auto — the runtime's recommended domain count, \
+           clamped to the number of points. Output is identical at any \
+           value.")
 
 let print_stats (stats : Coprocessor.gc_stats) =
   let total = stats.Coprocessor.total_cycles in
@@ -232,7 +238,7 @@ let cycle_budget_arg =
 
 let run_cmd =
   let run workload n_cores scale seed extra_latency fifo bandwidth header_cache
-      scan_unit verify no_skip cycle_budget sanitize profile =
+      scan_unit verify no_skip cycle_budget sanitize profile par_domains =
     let mem = mem_config extra_latency fifo bandwidth header_cache in
     let heap = Workloads.build_heap ~scale ~seed workload in
     let pre = if verify then Some (Verify.snapshot heap) else None in
@@ -249,14 +255,42 @@ let run_cmd =
        all statistics are bit-identical either way by the kernel's
        parity contract, only wall time changes. *)
     let skip = (not no_skip) && not profile in
-    match
-      Coprocessor.collect ?prof
-        (Coprocessor.config ~mem
-           ?scan_unit:(scan_unit_opt scan_unit)
-           ?cycle_budget ~sanitize
-           ~skip ~n_cores ())
-        heap
-    with
+    (* An explicit --par-domains must be a valid partition count for
+       this core count even when naive stepping then forces the
+       single-partition schedule. *)
+    (match par_domains with
+    | None -> ()
+    | Some p -> (
+      match Partition.validate ~n_cores ~n_partitions:p with
+      | Ok () -> ()
+      | Error msg ->
+        Format.eprintf "gcsim run: --par-domains: %s@." msg;
+        exit 2));
+    let partitions =
+      (* Naive stepping keeps every core due every cycle, so the BSP
+         schedule would degenerate to leader-only stepping anyway; take
+         the direct path. *)
+      if not skip then 1
+      else
+        match par_domains with
+        | Some p -> p
+        | None -> Partition.default_partitions ~n_cores
+    in
+    let cfg =
+      Coprocessor.config ~mem
+        ?scan_unit:(scan_unit_opt scan_unit)
+        ?cycle_budget ~sanitize ~skip ~n_cores ()
+    in
+    let bsp_stats = ref None in
+    let collect_once () =
+      if partitions <= 1 then Coprocessor.collect ?prof cfg heap
+      else begin
+        let stats, b = Bsp.collect_par ?prof ~partitions cfg heap in
+        bsp_stats := Some b;
+        stats
+      end
+    in
+    match collect_once () with
     | exception Coprocessor.Stall_diagnosis d ->
       prerr_endline (Report.stall_diagnosis d);
       exit_stalled
@@ -267,6 +301,11 @@ let run_cmd =
     | stats -> (
       Printf.printf "workload %s, %d cores\n" workload.Workloads.name n_cores;
       print_stats stats;
+      (match !bsp_stats with
+      | None -> ()
+      | Some b ->
+        Printf.printf "parallel kernel     %d partitions: %s\n" partitions
+          (Format.asprintf "%a" Bsp.pp_stats b));
       (match prof with
       | None -> ()
       | Some p ->
@@ -305,12 +344,29 @@ let run_cmd =
              idle, so each row sums to the executed cycle count (naive \
              stepping is forced; statistics are bit-identical either way).")
   in
+  let par_domains_arg =
+    Arg.(
+      value
+      & opt (some (positive_conv "par-domains")) None
+      & info [ "par-domains" ] ~docv:"N"
+          ~doc:
+            "Step the machine as $(docv) BSP partitions (one pool lane \
+             each). The default is auto: the runtime's recommended domain \
+             count clamped to the core count. Every statistic, verify \
+             result and trace digest is bit-identical at any value (see \
+             docs/PARALLEL.md). Must be between 1 and the core count. \
+             Interaction: $(b,--profile) and $(b,--no-skip) force naive \
+             stepping, under which every core is due every cycle and the \
+             BSP schedule degenerates to leader-only stepping — gcsim \
+             takes the direct sequential path there.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"run one collection and print full statistics")
     Term.(
       const run $ workload_arg $ cores_arg $ scale_arg $ seed_arg $ latency_arg
       $ fifo_arg $ bandwidth_arg $ header_cache_arg $ scan_unit_arg $ verify_arg
-      $ no_skip_arg $ cycle_budget_arg $ sanitize_arg $ profile_arg)
+      $ no_skip_arg $ cycle_budget_arg $ sanitize_arg $ profile_arg
+      $ par_domains_arg)
 
 let sweep_cmd =
   let run workload scale seed extra_latency fifo bandwidth header_cache verify
@@ -595,6 +651,7 @@ let chaos_cmd =
   let run workload cores scale seed jobs retries json_out =
     let workloads = Option.map (fun w -> [ w.Workloads.name ]) workload in
     let points = Chaos.default_matrix ?workloads ~cores:[ cores ] ~seed () in
+    let jobs = Domain_pool.resolve_jobs ~limit:(List.length points) jobs in
     Printf.printf "chaos campaign: %d points (%d jobs, %d retries per point)\n\n%!"
       (List.length points) jobs retries;
     let summary =
@@ -703,8 +760,9 @@ let bench_cmd =
           ~doc:
             "Compare against a committed BENCH_sim.json and fail (exit code 3) \
              on a >20% regression of any host-independent metric: skipped \
-             fraction, minor words per cycle, latency-bound skip speedup. \
-             Absolute Mcycles/s is never gated — it depends on the host.")
+             fraction, minor words per cycle, latency-bound skip speedup, and \
+             the BSP kernel's exclusive-span fraction. Absolute Mcycles/s and \
+             the parallel speedup are never gated — they depend on the host.")
   in
   let quiet_arg =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-leg progress.")

@@ -208,6 +208,7 @@ let run_kernel ~scale ~seeds ~verify ~jobs ~bench_out =
    unclean delay run), 4 = a delay-class point hung. *)
 let run_chaos ~scale ~jobs ~retries ~chaos_out =
   let points = Chaos.default_matrix () in
+  let jobs = Hsgc_sim.Domain_pool.resolve_jobs ~limit:(List.length points) jobs in
   Printf.printf "chaos campaign: %d points at scale %g (%d jobs)\n\n%!"
     (List.length points) scale jobs;
   let on_error =
@@ -417,10 +418,12 @@ let cmd =
   in
   let jobs =
     Arg.(
-      value & opt int 1
+      value & opt int 0
       & info [ "jobs"; "j" ]
           ~doc:
-            "Run sweep points on this many domains in parallel. Output is \
+            "Run sweep points on up to this many domains in parallel; 0 \
+             (the default) means auto — the runtime's recommended domain \
+             count, clamped to the number of points. Output is \
              byte-identical at any value.")
   in
   let quick =

@@ -1,0 +1,168 @@
+module Partition = Hsgc_sim.Partition
+module Pool = Hsgc_sim.Domain_pool.Pool
+module Mailbox = Hsgc_sim.Mailbox
+
+type span_report = {
+  sr_partition : int;
+  sr_start : int;
+  sr_end : int;
+  sr_steps : int;
+  sr_on_worker : bool;
+}
+
+type stats = {
+  supersteps : int;
+  contended_steps : int;
+  exclusive_spans : int;
+  exclusive_cycles : int;
+  handoffs : int;
+}
+
+type t = {
+  sim : Coprocessor.sim;
+  plan : Partition.t;
+  pool : Pool.t option;
+  reports : span_report Mailbox.t;
+  handoff_min : int;
+  mutable supersteps : int;
+  mutable contended_steps : int;
+  mutable exclusive_spans : int;
+  mutable exclusive_cycles : int;
+  mutable handoffs : int;
+}
+
+let default_handoff_min = 64
+
+let start ?obs ?prof ?pool ?(handoff_min = default_handoff_min) ~plan cfg heap =
+  if Partition.n_cores plan <> cfg.Coprocessor.n_cores then
+    invalid_arg
+      (Printf.sprintf "Bsp.start: plan is for %d cores but config has %d"
+         (Partition.n_cores plan) cfg.Coprocessor.n_cores);
+  {
+    sim = Coprocessor.start ?obs ?prof cfg heap;
+    plan;
+    pool;
+    reports = Mailbox.create ~producers:(Partition.n_partitions plan);
+    handoff_min = max 2 handoff_min;
+    supersteps = 0;
+    contended_steps = 0;
+    exclusive_spans = 0;
+    exclusive_cycles = 0;
+    handoffs = 0;
+  }
+
+let sim t = t.sim
+let plan t = t.plan
+
+let stats t =
+  {
+    supersteps = t.supersteps;
+    contended_steps = t.contended_steps;
+    exclusive_spans = t.exclusive_spans;
+    exclusive_cycles = t.exclusive_cycles;
+    handoffs = t.handoffs;
+  }
+
+let lowest_bit_index m =
+  let rec go i m = if m land 1 = 1 then i else go (i + 1) (m lsr 1) in
+  go 0 m
+
+(* Run one exclusive span on behalf of partition [p]: the sequential
+   kernel's own [step], horizon-capped at the first cycle a core outside
+   [p] can act. The horizon never shortens a fast-forward the sequential
+   kernel would have taken — the outside cores' armed wakes already
+   bound [step]'s fast-forward targets — so the span replays exactly
+   the cycles sequential stepping would execute, wherever it runs. The
+   report is published through the partition's single-writer mailbox
+   slot and merged at the barrier. *)
+let run_span t ?trace ~partition ~horizon ~on_worker () =
+  let sim = t.sim in
+  let sr_start = Coprocessor.now sim in
+  let steps = ref 0 in
+  while (not (Coprocessor.halted sim)) && Coprocessor.now sim < horizon do
+    Coprocessor.step ?trace ~horizon sim;
+    incr steps
+  done;
+  Mailbox.post t.reports ~producer:partition
+    {
+      sr_partition = partition;
+      sr_start;
+      sr_end = Coprocessor.now sim;
+      sr_steps = !steps;
+      sr_on_worker = on_worker;
+    }
+
+(* Barrier-time merge: drain the span reports in ascending partition
+   order and fold them into the scheduler statistics. Deterministic by
+   construction — the drain order is fixed and, with the exclusive-span
+   schedule, at most one slot is ever full. *)
+let merge_reports t =
+  Mailbox.drain t.reports (fun _p r ->
+      t.exclusive_spans <- t.exclusive_spans + 1;
+      t.exclusive_cycles <- t.exclusive_cycles + (r.sr_end - r.sr_start);
+      if r.sr_on_worker then t.handoffs <- t.handoffs + 1)
+
+let superstep ?trace t =
+  let sim = t.sim in
+  t.supersteps <- t.supersteps + 1;
+  let owner = Partition.owner t.plan in
+  let mask = Coprocessor.awake_partition_mask sim ~owner in
+  if mask <> 0 && mask land (mask - 1) = 0 then begin
+    let p = lowest_bit_index mask in
+    let horizon = Coprocessor.min_wake_outside sim ~owner ~partition:p in
+    let start_cycle = Coprocessor.now sim in
+    if horizon <= start_cycle + 1 then begin
+      (* The exclusive window is a single cycle: step it in place. *)
+      t.contended_steps <- t.contended_steps + 1;
+      Coprocessor.step ?trace sim
+    end
+    else begin
+      let body ~on_worker () =
+        run_span t ?trace ~partition:p ~horizon ~on_worker ()
+      in
+      (match t.pool with
+      | Some pool
+        when p > 0 && p < Pool.lanes pool
+             && horizon - start_cycle >= t.handoff_min ->
+        Pool.run_on pool ~lane:p (body ~on_worker:true)
+      | Some _ | None -> body ~on_worker:false ());
+      merge_reports t
+    end
+  end
+  else begin
+    (* Zero or several partitions are due this cycle: cross-partition
+       interfaces (sync block, FIFO, memory bus) may carry traffic, so
+       the leader steps the whole machine for one cycle — the
+       conservative contended superstep. *)
+    t.contended_steps <- t.contended_steps + 1;
+    Coprocessor.step ?trace sim
+  end
+
+let run ?trace t =
+  while not (Coprocessor.halted t.sim) do
+    superstep ?trace t
+  done
+
+let finalize t = Coprocessor.finalize t.sim
+
+let collect ?trace ?obs ?prof ?pool ?handoff_min ~plan cfg heap =
+  let t = start ?obs ?prof ?pool ?handoff_min ~plan cfg heap in
+  run ?trace t;
+  let gc = finalize t in
+  (gc, stats t)
+
+let collect_par ?trace ?obs ?prof ?handoff_min ~partitions cfg heap =
+  let plan =
+    Partition.plan ~n_cores:cfg.Coprocessor.n_cores ~n_partitions:partitions
+  in
+  if partitions <= 1 then collect ?trace ?obs ?prof ?handoff_min ~plan cfg heap
+  else
+    Pool.with_pool ~lanes:partitions (fun pool ->
+        collect ?trace ?obs ?prof ~pool ?handoff_min ~plan cfg heap)
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "supersteps %d (contended %d, exclusive spans %d covering %d cycles, \
+     handoffs %d)"
+    s.supersteps s.contended_steps s.exclusive_spans s.exclusive_cycles
+    s.handoffs

@@ -1,0 +1,111 @@
+(** Partitioned BSP driver for the coprocessor — bit-identical to
+    sequential stepping by construction.
+
+    The machine is split by a static {!Hsgc_sim.Partition} plan into
+    per-domain partitions of cores (and their memory ports). The run
+    proceeds in {e supersteps} behind a deterministic barrier:
+
+    - the leader reads the awake-partition mask (a pure inspection of
+      the per-core wake times maintained by the event-driven kernel);
+    - if several partitions own due cores, the cross-partition
+      interfaces — sync block, header FIFO, shared memory bus, all
+      reachable from every core on any cycle — may carry traffic, so
+      the leader steps the whole machine one cycle ({e contended}
+      superstep);
+    - if exactly one partition owns every due core, every other core is
+      asleep with a frozen armed wake, so until the earliest outside
+      wake [E] the machine's behavior is confined to that partition:
+      the scheduler runs the span [now .. E) as one unit — on the
+      partition's own pool lane when the span is long enough to pay for
+      the hand-off — using the sequential kernel's [step ~horizon:E].
+      The span's report is published through the partition's
+      single-writer {!Hsgc_sim.Mailbox} slot and merged at the barrier
+      in ascending partition order.
+
+    Because the horizon [E] is itself one of the armed wakes bounding
+    [step]'s fast-forward targets, the cap never changes a target: the
+    BSP schedule replays {e exactly} the sequential kernel's step
+    sequence — same cycles executed, same cycles skipped, same event
+    stream — merely choosing which domain executes each span. Cycle
+    counts, every counter, verify results, tracer digests and profiler
+    identities are therefore bit-identical to {!Coprocessor.collect} at
+    any partition count, pool size, or hand-off threshold (see
+    docs/PARALLEL.md for the argument and its proof obligations).
+
+    With [config.skip = false] (naive stepping, forced by [--profile]
+    and [--no-skip]) every core is due every cycle, so every superstep
+    is contended and the schedule degenerates to leader-only stepping;
+    the observation layers then see the machine exactly as before. *)
+
+type t
+
+(** Scheduler statistics (scheduling only — machine statistics are in
+    {!Coprocessor.gc_stats} and are stepping-invariant). *)
+type stats = {
+  supersteps : int;  (** barrier decisions taken *)
+  contended_steps : int;
+      (** supersteps stepped in place: several partitions due, or a
+          one-cycle exclusive window *)
+  exclusive_spans : int;  (** multi-cycle single-partition spans *)
+  exclusive_cycles : int;  (** simulated cycles covered by those spans *)
+  handoffs : int;  (** spans executed on a worker lane *)
+}
+
+val default_handoff_min : int
+(** Minimum span length (simulated cycles) worth dispatching to a
+    worker lane; shorter exclusive spans run on the leader. *)
+
+val start :
+  ?obs:Hsgc_obs.Tracer.t ->
+  ?prof:Hsgc_obs.Profiler.t ->
+  ?pool:Hsgc_sim.Domain_pool.Pool.t ->
+  ?handoff_min:int ->
+  plan:Hsgc_sim.Partition.t ->
+  Coprocessor.config ->
+  Hsgc_heap.Heap.t ->
+  t
+(** Set up a partitioned run. The plan's core count must match the
+    config. Without [pool] every span runs on the leader (pure
+    scheduling, no parallel dispatch); with one, partition [p]'s spans
+    run on lane [p] when long enough ([handoff_min], floor 2). *)
+
+val superstep : ?trace:Trace.t -> t -> unit
+(** One barrier decision: a contended whole-machine step, or one
+    exclusive span. *)
+
+val run : ?trace:Trace.t -> t -> unit
+(** Supersteps to completion. *)
+
+val finalize : t -> Coprocessor.gc_stats
+val sim : t -> Coprocessor.sim
+val plan : t -> Hsgc_sim.Partition.t
+val stats : t -> stats
+
+val collect :
+  ?trace:Trace.t ->
+  ?obs:Hsgc_obs.Tracer.t ->
+  ?prof:Hsgc_obs.Profiler.t ->
+  ?pool:Hsgc_sim.Domain_pool.Pool.t ->
+  ?handoff_min:int ->
+  plan:Hsgc_sim.Partition.t ->
+  Coprocessor.config ->
+  Hsgc_heap.Heap.t ->
+  Coprocessor.gc_stats * stats
+(** [start] + [run] + [finalize]. *)
+
+val collect_par :
+  ?trace:Trace.t ->
+  ?obs:Hsgc_obs.Tracer.t ->
+  ?prof:Hsgc_obs.Profiler.t ->
+  ?handoff_min:int ->
+  partitions:int ->
+  Coprocessor.config ->
+  Hsgc_heap.Heap.t ->
+  Coprocessor.gc_stats * stats
+(** Self-contained entry point: plan [partitions] partitions over the
+    config's cores, own a pool of that many lanes for the duration
+    (none when [partitions <= 1]), collect. Raises [Invalid_argument]
+    (via {!Hsgc_sim.Partition.plan}) when the partition count is
+    invalid for the core count. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -216,6 +216,7 @@ let summarize results =
   }
 
 let run ?scale ?(jobs = 1) ?(on_error = Domain_pool.Skip) points =
+  let jobs = Domain_pool.resolve_jobs ~limit:(List.length points) jobs in
   let outcomes =
     Domain_pool.map_list_policy ~on_error ~jobs
       (fun ~attempt p -> run_point ?scale ~attempt p)

@@ -87,10 +87,11 @@ val run :
   ?on_error:Hsgc_sim.Domain_pool.error_policy ->
   point list ->
   summary
-(** Run the campaign, distributing points over [jobs] domains. Points
-    are isolated per [on_error] (default [Skip] — a crashed point
-    surfaces as [Hung] rather than killing the campaign). Results keep
-    matrix order at every [jobs] level. *)
+(** Run the campaign, distributing points over [jobs] domains ([<= 0]
+    = auto: {!Hsgc_sim.Domain_pool.recommended_jobs} clamped to the
+    point count). Points are isolated per [on_error] (default [Skip] —
+    a crashed point surfaces as [Hung] rather than killing the
+    campaign). Results keep matrix order at every [jobs] level. *)
 
 val render : summary -> string
 (** Human-readable campaign report (per-point table + rates). *)

@@ -115,6 +115,7 @@ let measure ?(verify = false) ?(scale = 1.0) ?(seeds = [| 42 |])
 
 let sweep ?verify ?scale ?seeds ?mem ?skip ?sanitize ?(cores = default_cores)
     ?(jobs = default_jobs) workload =
+  let jobs = Hsgc_sim.Domain_pool.resolve_jobs ~limit:(List.length cores) jobs in
   Hsgc_sim.Domain_pool.map_list ~jobs
     (fun n_cores ->
       measure ?verify ?scale ?seeds ?mem ?skip ?sanitize ~workload ~n_cores ())

@@ -76,8 +76,10 @@ val sweep :
   measurement list
 (** [measure] at each core count (default [[1; 2; 4; 8; 16]]). With
     [jobs > 1] the sweep points run on that many domains in parallel
-    (each point owns its simulator, so points are independent); results
-    keep input order and are byte-identical at every [jobs] level. *)
+    (each point owns its simulator, so points are independent); [jobs
+    <= 0] means auto ({!Hsgc_sim.Domain_pool.recommended_jobs}, clamped
+    to the leg count). Results keep input order and are byte-identical
+    at every [jobs] level. *)
 
 val speedups : measurement list -> (int * float) list
 (** Collection-time speedup of each point relative to the measurement

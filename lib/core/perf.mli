@@ -61,6 +61,28 @@ type obs_probe = {
     {!Perf_regression} if instrumentation perturbs the cycle count or
     the per-core attribution stops summing to the total. *)
 
+type par_probe = {
+  par_workload : string;
+  par_cores : int;
+  par_cycles : int;  (** collection length, identical across every leg *)
+  par_points : (int * float) list;  (** (partitions, BSP wall seconds) *)
+  par_seq_wall_s : float;  (** sequential skip-kernel wall, same heap *)
+  par_speedup : float;
+      (** sequential wall over the best partitioned wall — recorded for
+          humans, never gated (the runner may have one hardware thread) *)
+  par_supersteps : int;
+  par_handoffs : int;  (** spans dispatched to worker domains *)
+  par_exclusive_frac : float;
+      (** fraction of simulated cycles covered by exclusive spans at the
+          deepest partitioning — a deterministic scheduling statistic *)
+}
+(** One latency-bound collection (db at 16 cores) run sequentially and
+    then under the BSP kernel at 2/4/8 partitions. The probe raises
+    {!Perf_regression} if any partitioned leg's cycle count diverges
+    from the sequential run, or if the sanitized BSP leg reports a
+    finding — the host-independent acceptance bars of the parallel
+    kernel. *)
+
 type suite = {
   scale : float;
   seed : int;
@@ -69,6 +91,7 @@ type suite = {
   latency_extra : int;
   latency : aggregate;
   obs : obs_probe;
+  par : par_probe;
 }
 
 val default_cores : int list
@@ -100,12 +123,14 @@ val to_json : suite -> string
 (** Render the tracked [BENCH_sim.json] artifact. *)
 
 val summary : suite -> string
-(** Two-line human summary (base and latency-bound aggregates). *)
+(** Multi-line human summary (base, latency-bound, observability and
+    parallel probes). *)
 
 val check : baseline:string -> suite -> (unit, string list) result
 (** Compare a fresh suite against the committed [BENCH_sim.json]
     contents. Gates only host-independent metrics — skipped fractions
-    (deterministic statistics), allocation rate, and the latency-bound
-    skip-speedup ratio (two walls from the same process) — each with
-    20% tolerance; absolute Mcycles/s is informational. [Error]
-    carries one message per violated gate. *)
+    (deterministic statistics), allocation rate, the latency-bound
+    skip-speedup ratio (two walls from the same process), and the BSP
+    kernel's exclusive-span fraction — each with 20% tolerance;
+    absolute Mcycles/s and the parallel speedup are informational.
+    [Error] carries one message per violated gate. *)

@@ -1,3 +1,172 @@
+(* Shared parallel runtime: one persistent domain pool implementation
+   behind every parallel surface of the simulator — experiment sweeps,
+   chaos campaigns, and the BSP kernel's superstep dispatch.
+
+   A [Pool.t] owns [lanes - 1] worker domains parked on a per-lane
+   mutex/condvar cell; lane 0 is always the calling domain. Work is
+   handed to a specific lane ([run_on]) or to every lane at once
+   ([run]); the caller blocks until the work completes, so at most one
+   domain ever executes the closure and the mutex hand-off provides the
+   happens-before edges in both directions (everything the leader wrote
+   before [run_on] is visible to the worker, everything the worker
+   wrote is visible to the leader after it returns). Exceptions raised
+   by a lane are captured and re-raised on the caller — under [run],
+   the lowest-numbered failing lane wins, deterministically. *)
+
+module Pool = struct
+  (* One cell per worker lane. [job]/[done_]/[failed] are only touched
+     under [mutex]; the single condvar serves both directions because a
+     worker waits only while [job = None] and the leader waits only
+     while a job is outstanding — the two never wait at once. *)
+  type cell = {
+    mutex : Mutex.t;
+    cond : Condition.t;
+    mutable job : (unit -> unit) option;
+    mutable busy : bool;  (* job posted and not yet reaped *)
+    mutable done_ : bool;  (* job finished, result not yet reaped *)
+    mutable failed : exn option;
+    mutable stop : bool;
+  }
+
+  type t = {
+    lanes : int;
+    cells : cell array;  (* length [lanes - 1]; lane l lives in cell l-1 *)
+    workers : unit Domain.t array;
+    mutable closed : bool;
+  }
+
+  let lanes t = t.lanes
+
+  let worker_loop cell =
+    let rec loop () =
+      Mutex.lock cell.mutex;
+      while cell.job = None && not cell.stop do
+        Condition.wait cell.cond cell.mutex
+      done;
+      match cell.job with
+      | None ->
+        (* stop requested with no pending job *)
+        Mutex.unlock cell.mutex
+      | Some f ->
+        cell.job <- None;
+        Mutex.unlock cell.mutex;
+        let failed = match f () with () -> None | exception e -> Some e in
+        Mutex.lock cell.mutex;
+        cell.failed <- failed;
+        cell.done_ <- true;
+        Condition.broadcast cell.cond;
+        Mutex.unlock cell.mutex;
+        loop ()
+    in
+    loop ()
+
+  let create ~lanes =
+    if lanes < 1 then invalid_arg "Domain_pool.Pool.create: lanes must be >= 1";
+    let cells =
+      Array.init (lanes - 1) (fun _ ->
+          {
+            mutex = Mutex.create ();
+            cond = Condition.create ();
+            job = None;
+            busy = false;
+            done_ = false;
+            failed = None;
+            stop = false;
+          })
+    in
+    let workers = Array.map (fun c -> Domain.spawn (fun () -> worker_loop c)) cells in
+    { lanes; cells; workers; closed = false }
+
+  let check_open t op =
+    if t.closed then invalid_arg (Printf.sprintf "Domain_pool.Pool.%s: pool is shut down" op)
+
+  let post t ~lane f =
+    check_open t "post";
+    if lane < 1 || lane >= t.lanes then
+      invalid_arg
+        (Printf.sprintf "Domain_pool.Pool.post: lane %d out of range 1..%d" lane
+           (t.lanes - 1));
+    let c = t.cells.(lane - 1) in
+    Mutex.lock c.mutex;
+    if c.busy then begin
+      Mutex.unlock c.mutex;
+      invalid_arg "Domain_pool.Pool.post: lane already has an outstanding job"
+    end;
+    c.busy <- true;
+    c.done_ <- false;
+    c.failed <- None;
+    c.job <- Some f;
+    Condition.broadcast c.cond;
+    Mutex.unlock c.mutex
+
+  let wait t ~lane =
+    check_open t "wait";
+    let c = t.cells.(lane - 1) in
+    Mutex.lock c.mutex;
+    if not c.busy then begin
+      Mutex.unlock c.mutex;
+      invalid_arg "Domain_pool.Pool.wait: lane has no outstanding job"
+    end;
+    while not c.done_ do
+      Condition.wait c.cond c.mutex
+    done;
+    let failed = c.failed in
+    c.busy <- false;
+    c.done_ <- false;
+    c.failed <- None;
+    Mutex.unlock c.mutex;
+    match failed with Some e -> raise e | None -> ()
+
+  let run_on t ~lane f =
+    if lane = 0 then f ()
+    else begin
+      post t ~lane f;
+      wait t ~lane
+    end
+
+  let run t f =
+    check_open t "run";
+    for lane = 1 to t.lanes - 1 do
+      post t ~lane (fun () -> f lane)
+    done;
+    let leader_failed = match f 0 with () -> None | exception e -> Some e in
+    (* Reap every lane before raising anything, so no worker is left
+       running against state the caller is about to unwind. Lowest
+       failing lane wins, leader (lane 0) first — deterministic
+       regardless of wall-clock completion order. *)
+    let first_failure = ref leader_failed in
+    for lane = 1 to t.lanes - 1 do
+      match wait t ~lane with
+      | () -> ()
+      | exception e -> if !first_failure = None then first_failure := Some e
+    done;
+    match !first_failure with Some e -> raise e | None -> ()
+
+  let shutdown t =
+    if not t.closed then begin
+      t.closed <- true;
+      Array.iter
+        (fun c ->
+          Mutex.lock c.mutex;
+          c.stop <- true;
+          Condition.broadcast c.cond;
+          Mutex.unlock c.mutex)
+        t.cells;
+      Array.iter Domain.join t.workers
+    end
+
+  let with_pool ~lanes f =
+    let t = create ~lanes in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+end
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let resolve_jobs ~limit jobs =
+  let limit = max 1 limit in
+  let j = if jobs <= 0 then recommended_jobs () else jobs in
+  max 1 (min j limit)
+
 type error_policy = Fail | Skip | Retry of int
 
 type 'b outcome = Done of 'b | Failed of { attempts : int; error : exn }
@@ -10,7 +179,10 @@ let map_list ~jobs f xs =
     let input = Array.of_list xs in
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let worker () =
+    (* Every lane (the calling domain included) drains the shared index
+       counter; per-point failures are confined to their slot so the
+       lane closure itself never raises. *)
+    let lane_body _lane =
       let rec go () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
@@ -21,9 +193,7 @@ let map_list ~jobs f xs =
       in
       go ()
     in
-    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join domains;
+    Pool.with_pool ~lanes:jobs (fun pool -> Pool.run pool lane_body);
     Array.to_list
       (Array.map
          (function

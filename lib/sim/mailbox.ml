@@ -1,0 +1,23 @@
+type 'a t = { slots : 'a option Atomic.t array }
+
+let create ~producers =
+  if producers < 1 then invalid_arg "Mailbox.create: producers must be >= 1";
+  { slots = Array.init producers (fun _ -> Atomic.make None) }
+
+let producers t = Array.length t.slots
+
+let post t ~producer v =
+  let s = t.slots.(producer) in
+  if not (Atomic.compare_and_set s None (Some v)) then
+    invalid_arg "Mailbox.post: slot already full (single-writer protocol)"
+
+let take t ~producer = Atomic.exchange t.slots.(producer) None
+
+let peek t ~producer = Atomic.get t.slots.(producer)
+
+let drain t f =
+  for p = 0 to Array.length t.slots - 1 do
+    match Atomic.exchange t.slots.(p) None with
+    | Some v -> f p v
+    | None -> ()
+  done

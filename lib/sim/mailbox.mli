@@ -1,0 +1,32 @@
+(** Single-writer superstep mailboxes.
+
+    The BSP kernel exchanges cross-partition data only at superstep
+    boundaries, through one slot per producer: within a superstep slot
+    [p] is written by partition [p] alone (single-writer — {!post} on a
+    full slot is a protocol violation and raises), and the consumer
+    drains every slot at the barrier before the next superstep begins.
+    Slots are [Atomic.t], so a post on a worker domain happens-before
+    the consumer's {!take}/{!drain} at the barrier; the deterministic
+    drain order (ascending producer id) is what keeps any merge of
+    per-partition reports byte-identical run to run. *)
+
+type 'a t
+
+val create : producers:int -> 'a t
+(** One empty slot per producer. *)
+
+val producers : 'a t -> int
+
+val post : 'a t -> producer:int -> 'a -> unit
+(** Publish into the producer's slot. Raises [Invalid_argument] if the
+    slot is already full — the previous superstep's value was not
+    drained, or two writers raced on one slot. *)
+
+val take : 'a t -> producer:int -> 'a option
+(** Remove and return the slot's value, if any. *)
+
+val peek : 'a t -> producer:int -> 'a option
+
+val drain : 'a t -> (int -> 'a -> unit) -> unit
+(** Empty every slot in ascending producer order, calling the function
+    on each present value — the barrier-time merge step. *)

@@ -1,0 +1,60 @@
+(** Static partition plan for the BSP kernel.
+
+    A plan assigns each simulated GC core — and with it the core's four
+    memory ports — to exactly one partition, as contiguous core-id
+    blocks of near-equal size. The plan is computed once before the run
+    (Manticore-style static partitioning): partitions never migrate, so
+    partition ownership of any machine event is a single array load,
+    and the superstep scheduler's awake-partition mask is one bit per
+    partition.
+
+    The plan also names the {e cross-partition interface set}: the
+    shared structures through which partitions can observe each other.
+    For this machine that set is dense — the synchronization block
+    (scan/free registers, locks, barrier), the header FIFO, and the
+    shared memory bus with its per-cycle bandwidth budget are all
+    reachable from every core on any cycle — which is exactly why the
+    superstep scheduler synchronizes conservatively (see
+    docs/PARALLEL.md). *)
+
+type t
+
+val plan : n_cores:int -> n_partitions:int -> t
+(** Contiguous near-equal blocks; the remainder cores go to the leading
+    partitions. Raises [Invalid_argument] when {!validate} rejects the
+    pair. *)
+
+val validate : n_cores:int -> n_partitions:int -> (unit, string) result
+(** [Error msg] when either count is [< 1], when there are more
+    partitions than cores, or when the partition count exceeds
+    {!max_partitions}. The message is suitable for a CLI error. *)
+
+val max_partitions : int
+(** Largest supported partition count (awake masks are one bit per
+    partition in a native [int]). *)
+
+val default_partitions : n_cores:int -> int
+(** [Domain.recommended_domain_count ()] clamped to [1 .. n_cores] (and
+    {!max_partitions}) — the [--par-domains] auto default. *)
+
+val n_cores : t -> int
+val n_partitions : t -> int
+
+val owner : t -> int array
+(** Core id -> owning partition, one entry per core. The array is the
+    plan's own storage — treat it as read-only. *)
+
+val owner_of : t -> core:int -> int
+val range : t -> partition:int -> int * int
+(** Core-id half-open interval [(lo, hi)] owned by the partition. *)
+
+(** Cross-partition interfaces of the simulated machine. *)
+type interface = Sync_block | Header_fifo | Memory_bus
+
+val interface_name : interface -> string
+
+val interfaces : t -> interface list
+(** Empty for a single partition; all three otherwise (every one of
+    these structures is shared by all cores in this machine). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,432 @@
+(* The partitioned BSP kernel (Hsgc_coproc.Bsp) and its runtime pieces
+   (Partition, Mailbox, Domain_pool.Pool): planner and protocol units,
+   then the load-bearing property — three-way parity. Naive stepping,
+   event-driven skipping, and the BSP superstep schedule must agree on
+   every machine statistic, verify result, and trace digest at every
+   core count, partition count, and fault intensity. *)
+
+module Partition = Hsgc_sim.Partition
+module Mailbox = Hsgc_sim.Mailbox
+module Domain_pool = Hsgc_sim.Domain_pool
+module Pool = Domain_pool.Pool
+module Coprocessor = Hsgc_coproc.Coprocessor
+module Bsp = Hsgc_coproc.Bsp
+module Tracer = Hsgc_obs.Tracer
+module Profiler = Hsgc_obs.Profiler
+module Memsys = Hsgc_memsim.Memsys
+module Plan = Hsgc_objgraph.Plan
+module Workloads = Hsgc_objgraph.Workloads
+module Verify = Hsgc_heap.Verify
+module Injector = Hsgc_fault.Injector
+
+(* ------------------------------------------------------------------ *)
+(* Partition planner                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_shapes () =
+  let p = Partition.plan ~n_cores:16 ~n_partitions:8 in
+  Alcotest.(check int) "cores" 16 (Partition.n_cores p);
+  Alcotest.(check int) "partitions" 8 (Partition.n_partitions p);
+  for q = 0 to 7 do
+    let lo, hi = Partition.range p ~partition:q in
+    Alcotest.(check int) (Printf.sprintf "p%d size" q) 2 (hi - lo);
+    for c = lo to hi - 1 do
+      Alcotest.(check int)
+        (Printf.sprintf "owner of core %d" c)
+        q
+        (Partition.owner_of p ~core:c)
+    done
+  done;
+  (* Remainder spreads over the leading partitions. *)
+  let p = Partition.plan ~n_cores:5 ~n_partitions:3 in
+  let sizes =
+    List.map
+      (fun q ->
+        let lo, hi = Partition.range p ~partition:q in
+        hi - lo)
+      [ 0; 1; 2 ]
+  in
+  Alcotest.(check (list int)) "5 cores over 3" [ 2; 2; 1 ] sizes;
+  (* Ownership is contiguous and covers every core exactly once. *)
+  let owner = Partition.owner p in
+  Alcotest.(check int) "owner array length" 5 (Array.length owner);
+  Array.iteri
+    (fun i q -> if i > 0 then assert (q >= owner.(i - 1)))
+    owner
+
+let test_plan_validate () =
+  let err ~n_cores ~n_partitions =
+    match Partition.validate ~n_cores ~n_partitions with
+    | Error _ -> ()
+    | Ok () ->
+      Alcotest.failf "validate accepted cores=%d partitions=%d" n_cores
+        n_partitions
+  in
+  err ~n_cores:4 ~n_partitions:0;
+  err ~n_cores:4 ~n_partitions:(-3);
+  err ~n_cores:4 ~n_partitions:5;
+  err ~n_cores:0 ~n_partitions:1;
+  (match Partition.validate ~n_cores:16 ~n_partitions:16 with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "one core per partition rejected: %s" m);
+  (match Partition.plan ~n_cores:4 ~n_partitions:5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "plan must reject more partitions than cores");
+  let d = Partition.default_partitions ~n_cores:4 in
+  if d < 1 || d > 4 then Alcotest.failf "default_partitions out of range: %d" d;
+  Alcotest.(check int) "single-core default" 1
+    (Partition.default_partitions ~n_cores:1)
+
+let test_plan_interfaces () =
+  Alcotest.(check int) "single partition has no interfaces" 0
+    (List.length (Partition.interfaces (Partition.plan ~n_cores:8 ~n_partitions:1)));
+  let is = Partition.interfaces (Partition.plan ~n_cores:8 ~n_partitions:4) in
+  Alcotest.(check (list string))
+    "dense interface set"
+    [ "sync-block"; "header-fifo"; "memory-bus" ]
+    (List.map Partition.interface_name is);
+  let s =
+    Format.asprintf "%a" Partition.pp (Partition.plan ~n_cores:8 ~n_partitions:4)
+  in
+  if not (String.length s > 0) then Alcotest.fail "pp produced nothing"
+
+(* ------------------------------------------------------------------ *)
+(* Mailboxes                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_mailbox_protocol () =
+  let mb = Mailbox.create ~producers:4 in
+  Alcotest.(check int) "producers" 4 (Mailbox.producers mb);
+  Alcotest.(check (option int)) "empty take" None (Mailbox.take mb ~producer:2);
+  Mailbox.post mb ~producer:2 42;
+  Alcotest.(check (option int)) "peek" (Some 42) (Mailbox.peek mb ~producer:2);
+  (match Mailbox.post mb ~producer:2 43 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "double post must raise");
+  Alcotest.(check (option int)) "take" (Some 42) (Mailbox.take mb ~producer:2);
+  Alcotest.(check (option int)) "taken" None (Mailbox.take mb ~producer:2);
+  (* Drain visits slots in ascending producer order. *)
+  List.iter (fun p -> Mailbox.post mb ~producer:p (p * 10)) [ 3; 0; 2; 1 ];
+  let seen = ref [] in
+  Mailbox.drain mb (fun p v -> seen := (p, v) :: !seen);
+  Alcotest.(check (list (pair int int)))
+    "ascending drain"
+    [ (0, 0); (1, 10); (2, 20); (3, 30) ]
+    (List.rev !seen);
+  let empty = ref 0 in
+  Mailbox.drain mb (fun _ _ -> incr empty);
+  Alcotest.(check int) "drain emptied every slot" 0 !empty
+
+(* ------------------------------------------------------------------ *)
+(* Persistent pool                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_run () =
+  Pool.with_pool ~lanes:4 (fun pool ->
+      Alcotest.(check int) "lanes" 4 (Pool.lanes pool);
+      let hits = Array.make 4 0 in
+      (* Reusable across rounds: same pool, fresh work each time. *)
+      for _round = 1 to 3 do
+        Pool.run pool (fun lane -> hits.(lane) <- hits.(lane) + 1)
+      done;
+      Alcotest.(check (list int)) "every lane ran every round" [ 3; 3; 3; 3 ]
+        (Array.to_list hits);
+      let r = ref 0 in
+      Pool.run_on pool ~lane:0 (fun () -> r := 1);
+      Alcotest.(check int) "lane 0 runs inline" 1 !r;
+      Pool.run_on pool ~lane:3 (fun () -> r := 2);
+      Alcotest.(check int) "worker lane result visible" 2 !r)
+
+exception Lane_boom of int
+
+let test_pool_exceptions () =
+  Pool.with_pool ~lanes:4 (fun pool ->
+      (* Lowest failing lane wins deterministically. *)
+      (match
+         Pool.run pool (fun lane ->
+             if lane mod 2 = 1 then raise (Lane_boom lane))
+       with
+      | () -> Alcotest.fail "expected an exception"
+      | exception Lane_boom l ->
+        Alcotest.(check int) "lowest failing lane" 1 l);
+      (* The pool survives a failed round. *)
+      let ok = ref 0 in
+      Pool.run pool (fun _ -> incr ok);
+      (* [ok] is bumped by 4 lanes; leader increments are immediate,
+         worker increments ordered by the mutex hand-off. *)
+      Alcotest.(check int) "pool usable after failure" 4 !ok;
+      (match Pool.run_on pool ~lane:2 (fun () -> raise (Lane_boom 2)) with
+      | () -> Alcotest.fail "expected run_on to re-raise"
+      | exception Lane_boom l -> Alcotest.(check int) "run_on re-raises" 2 l));
+  (* with_pool shut the pool down. *)
+  let pool = Pool.create ~lanes:2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  match Pool.run_on pool ~lane:1 (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "post after shutdown must raise"
+
+let test_resolve_jobs () =
+  Alcotest.(check int) "explicit within limit" 3
+    (Domain_pool.resolve_jobs ~limit:10 3);
+  Alcotest.(check int) "explicit clamped" 4 (Domain_pool.resolve_jobs ~limit:4 99);
+  let auto = Domain_pool.resolve_jobs ~limit:4 0 in
+  if auto < 1 || auto > 4 then Alcotest.failf "auto out of range: %d" auto;
+  Alcotest.(check int) "limit floor" 1 (Domain_pool.resolve_jobs ~limit:0 0);
+  if Domain_pool.recommended_jobs () < 1 then
+    Alcotest.fail "recommended_jobs must be >= 1"
+
+(* ------------------------------------------------------------------ *)
+(* Three-way parity: naive vs. skip vs. BSP-parallel                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One run of each stepping strategy on a fresh identical heap, each
+   with its own tracer so digests are comparable. The BSP run owns a
+   real pool and a tiny hand-off threshold so worker dispatch is
+   genuinely exercised, not just the leader fallback. *)
+let collect_three ?faults ~mem ?scan_unit ~n_cores ~partitions build =
+  let run_seq skip =
+    let heap = build () in
+    let obs = Tracer.create ~n_cores () in
+    Tracer.enable obs;
+    let stats =
+      Coprocessor.collect ~obs
+        (Coprocessor.config ~mem ?scan_unit ?faults ~skip ~n_cores ())
+        heap
+    in
+    (stats, Verify.snapshot heap, Tracer.digest obs)
+  in
+  let run_bsp () =
+    let heap = build () in
+    let obs = Tracer.create ~n_cores () in
+    Tracer.enable obs;
+    let stats, bstats =
+      Bsp.collect_par ~obs ~handoff_min:2 ~partitions
+        (Coprocessor.config ~mem ?scan_unit ?faults ~skip:true ~n_cores ())
+        heap
+    in
+    (stats, Verify.snapshot heap, Tracer.digest obs, bstats)
+  in
+  let naive = run_seq false in
+  let skip = run_seq true in
+  let bsp = run_bsp () in
+  (naive, skip, bsp)
+
+let check_three ctx ((naive, snap_n, dig_n), (skip, snap_s, dig_s),
+                     (bsp, snap_b, dig_b, (bstats : Bsp.stats))) =
+  Test_kernel.check_stats_equal (ctx ^ " naive/skip") naive skip;
+  Test_kernel.check_stats_equal (ctx ^ " naive/bsp") naive bsp;
+  if not (Verify.equal_snapshot snap_n snap_s) then
+    Alcotest.failf "%s: naive/skip heap snapshots differ" ctx;
+  if not (Verify.equal_snapshot snap_n snap_b) then
+    Alcotest.failf "%s: naive/bsp heap snapshots differ" ctx;
+  if not (String.equal dig_n dig_s) then
+    Alcotest.failf "%s: naive/skip digests differ" ctx;
+  if not (String.equal dig_n dig_b) then
+    Alcotest.failf "%s: naive/bsp digests differ" ctx;
+  if bstats.Bsp.supersteps <= 0 then
+    Alcotest.failf "%s: BSP took no supersteps" ctx;
+  (* Every superstep is either contended (one whole-machine step, which
+     may itself fast-forward) or one exclusive span. *)
+  if bstats.Bsp.supersteps <> bstats.Bsp.contended_steps + bstats.Bsp.exclusive_spans
+  then Alcotest.failf "%s: superstep kinds do not sum" ctx;
+  if bstats.Bsp.exclusive_cycles > bsp.Coprocessor.total_cycles then
+    Alcotest.failf "%s: exclusive spans exceed the run" ctx;
+  if bstats.Bsp.handoffs > bstats.Bsp.exclusive_spans then
+    Alcotest.failf "%s: more hand-offs than spans" ctx
+
+let test_three_way_on_workloads () =
+  List.iter
+    (fun w ->
+      List.iter
+        (fun n_cores ->
+          List.iter
+            (fun faults ->
+              let ctx =
+                Printf.sprintf "%s at %d cores%s" w.Workloads.name n_cores
+                  (match faults with None -> "" | Some _ -> " with delay faults")
+              in
+              check_three ctx
+                (collect_three ?faults ~mem:Memsys.default_config ~n_cores
+                   ~partitions:(min 4 n_cores)
+                   (fun () -> Workloads.build_heap ~scale:0.02 ~seed:11 w)))
+            [ None; Some (Injector.delay_class ~seed:5 ~intensity:0.4 ()) ])
+        [ 1; 4; 16 ])
+    Workloads.all
+
+(* Random graphs, configs, partition counts and delay intensities —
+   the qcheck leg of the three-way grid. *)
+let qcheck_three_way =
+  QCheck.Test.make
+    ~name:
+      "BSP superstep schedule is bit-identical to naive and skip stepping \
+       on random graphs, configs and partition counts"
+    ~count:40
+    (QCheck.make
+       ~print:(fun ((n, s), (nc, parts, el, bw, intensity)) ->
+         Printf.sprintf
+           "graph(n=%d seed=%d) cores=%d partitions=%d lat+%d bw=%d fault=%g"
+           n s nc parts el bw intensity)
+       QCheck.Gen.(
+         let gen_graph =
+           let* n = int_range 1 60 in
+           let* seed = small_nat in
+           return (n, seed)
+         in
+         let gen_config =
+           let* n_cores = int_range 1 16 in
+           let* parts = int_range 1 n_cores in
+           let* extra_latency = oneofl [ 0; 3; 20 ] in
+           let* bandwidth = oneofl [ 1; 4; 8 ] in
+           let* intensity = oneofl [ 0.0; 0.1; 0.8 ] in
+           return (n_cores, parts, extra_latency, bandwidth, intensity)
+         in
+         pair gen_graph gen_config))
+    (fun ((n, seed), (n_cores, partitions, extra_latency, bandwidth, intensity))
+    ->
+      let build () =
+        let rng = Hsgc_util.Rng.create (seed + 1) in
+        let plan = Plan.create () in
+        let ids =
+          Array.init n (fun _ ->
+              Plan.obj plan
+                ~pi:(Hsgc_util.Rng.int rng 4)
+                ~delta:(Hsgc_util.Rng.int rng 5))
+        in
+        Array.iter
+          (fun id ->
+            for slot = 0 to Plan.pi_of plan id - 1 do
+              if Hsgc_util.Rng.int rng 100 < 70 then
+                Plan.link plan ~parent:id ~slot
+                  ~child:ids.(Hsgc_util.Rng.int rng n)
+            done)
+          ids;
+        for _ = 1 to 1 + Hsgc_util.Rng.int rng 3 do
+          Plan.add_root plan ids.(Hsgc_util.Rng.int rng n)
+        done;
+        Plan.materialize plan
+      in
+      let mem =
+        Memsys.with_extra_latency
+          { Memsys.default_config with Memsys.bandwidth }
+          extra_latency
+      in
+      let faults =
+        if intensity = 0.0 then None
+        else Some (Injector.delay_class ~seed:(seed + 3) ~intensity ())
+      in
+      check_three "random three-way"
+        (collect_three ?faults ~mem ~n_cores ~partitions build);
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Golden-corpus parity: full fingerprints, event counts included      *)
+(* ------------------------------------------------------------------ *)
+
+(* The BSP horizon never changes a fast-forward target (it is itself
+   one of the armed wakes bounding them), so even the executed/skipped
+   split and the raw event stream — not just the digest — must match
+   the sequential kernel byte-for-byte on every corpus configuration.
+   test_golden.ml pins the sequential fingerprints to the committed
+   files; equality here extends that pin to the BSP kernel. *)
+let test_golden_corpus_parity () =
+  List.iter
+    (fun w ->
+      List.iter
+        (fun n_cores ->
+          let seq = Test_golden.fingerprint w n_cores in
+          let par =
+            Test_golden.fingerprint_with
+              ~collect:(fun ~obs cfg heap ->
+                fst
+                  (Bsp.collect_par ~obs ~handoff_min:2
+                     ~partitions:(min 8 n_cores) cfg heap))
+              w n_cores
+          in
+          if not (String.equal seq par) then
+            Alcotest.failf
+              "BSP fingerprint diverges for %s @ %d cores.\n\
+               --- sequential ---\n\
+               %s--- bsp ---\n\
+               %s"
+              w.Workloads.name n_cores seq par)
+        [ 1; 4; 16 ])
+    Workloads.all
+
+(* ------------------------------------------------------------------ *)
+(* Observation layers under BSP                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The profiler's accounting identity (every simulated cycle of every
+   core lands in exactly one bucket) must survive the BSP schedule. *)
+let test_profiler_identity_under_bsp () =
+  let n_cores = 8 in
+  let w = List.hd Workloads.all in
+  let heap = Workloads.build_heap ~scale:0.02 ~seed:3 w in
+  let prof = Profiler.create ~n_cores () in
+  Profiler.enable prof;
+  let stats, _ =
+    Bsp.collect_par ~prof ~handoff_min:2 ~partitions:4
+      (Coprocessor.config ~n_cores ()) heap
+  in
+  for core = 0 to n_cores - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "core %d bucket sum = total cycles" core)
+      stats.Coprocessor.total_cycles
+      (Profiler.row_sum prof ~core)
+  done
+
+(* The sanitizer observes the same machine under BSP stepping: a clean
+   run stays clean, and findings-by-construction stay deterministic. *)
+let test_sanitizer_under_bsp () =
+  let n_cores = 8 in
+  let w = List.hd Workloads.all in
+  let heap = Workloads.build_heap ~scale:0.02 ~seed:3 w in
+  let stats, _ =
+    Bsp.collect_par ~handoff_min:2 ~partitions:4
+      (Coprocessor.config ~sanitize:Hsgc_sanitizer.Sanitizer.Check ~n_cores ())
+      heap
+  in
+  Alcotest.(check int) "clean machine, zero findings" 0
+    stats.Coprocessor.sanitizer_total
+
+(* Hand-offs must actually occur somewhere in the grid, or the pool
+   path is dead code. A latency-bound single-partition-awake pattern:
+   few cores, long memory latency, several partitions. *)
+let test_handoffs_exercised () =
+  let mem = Memsys.with_extra_latency Memsys.default_config 40 in
+  let total_handoffs = ref 0 in
+  List.iter
+    (fun w ->
+      let heap = Workloads.build_heap ~scale:0.02 ~seed:9 w in
+      let _, (b : Bsp.stats) =
+        Bsp.collect_par ~handoff_min:2 ~partitions:4
+          (Coprocessor.config ~mem ~n_cores:4 ()) heap
+      in
+      total_handoffs := !total_handoffs + b.Bsp.handoffs)
+    Workloads.all;
+  if !total_handoffs = 0 then
+    Alcotest.fail
+      "no exclusive span was ever dispatched to a worker lane across the \
+       latency-bound grid"
+
+let suite =
+  [
+    Alcotest.test_case "partition planner shapes" `Quick test_plan_shapes;
+    Alcotest.test_case "partition validation" `Quick test_plan_validate;
+    Alcotest.test_case "interface set and pp" `Quick test_plan_interfaces;
+    Alcotest.test_case "mailbox single-writer protocol" `Quick
+      test_mailbox_protocol;
+    Alcotest.test_case "pool run / run_on / reuse" `Quick test_pool_run;
+    Alcotest.test_case "pool exception discipline" `Quick test_pool_exceptions;
+    Alcotest.test_case "jobs resolution" `Quick test_resolve_jobs;
+    Alcotest.test_case "three-way parity on all workloads" `Quick
+      test_three_way_on_workloads;
+    QCheck_alcotest.to_alcotest qcheck_three_way;
+    Alcotest.test_case "golden-corpus fingerprint parity" `Quick
+      test_golden_corpus_parity;
+    Alcotest.test_case "profiler identity under BSP" `Quick
+      test_profiler_identity_under_bsp;
+    Alcotest.test_case "sanitizer under BSP" `Quick test_sanitizer_under_bsp;
+    Alcotest.test_case "hand-offs exercised" `Quick test_handoffs_exercised;
+  ]

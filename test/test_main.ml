@@ -29,6 +29,7 @@ let () =
       ("exhaustive", Test_exhaustive.suite);
       ("experiment", Test_experiment.suite);
       ("kernel", Test_kernel.suite);
+      ("bsp", Test_bsp.suite);
       ("fault", Test_fault.suite);
       ("sanitizer", Test_sanitizer.suite);
       ("mutations", Mutations.suite);
