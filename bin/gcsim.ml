@@ -24,6 +24,8 @@ module Experiment = Hsgc_core.Experiment
 module Chaos = Hsgc_core.Chaos
 module Perf = Hsgc_core.Perf
 module Report = Hsgc_core.Report
+module Resume = Hsgc_core.Resume
+module Checkpoint = Hsgc_checkpoint.Checkpoint
 module Verify = Hsgc_heap.Verify
 module Table = Hsgc_util.Table
 module Rng = Hsgc_util.Rng
@@ -31,10 +33,12 @@ open Cmdliner
 
 (* Distinct exit codes so scripts can tell a wrong answer from a hung
    machine: 3 = verification failure, 4 = watchdog stall diagnosis,
-   5 = machine-sanitizer violation. *)
+   5 = machine-sanitizer violation, 6 = corrupt or incompatible
+   snapshot on --resume-from. *)
 let exit_verify_failed = 3
 let exit_stalled = 4
 let exit_sanitizer = 5
+let exit_snapshot = 6
 
 let sanitize_conv =
   Arg.conv
@@ -90,6 +94,18 @@ let workload_arg =
     required
     & opt (some workload_conv) None
     & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Workload to collect.")
+
+(* [run] alone can omit the workload: a snapshot given to --resume-from
+   records it. The requirement is re-imposed in code for every other
+   path. *)
+let workload_opt_arg =
+  Arg.(
+    value
+    & opt (some workload_conv) None
+    & info [ "w"; "workload" ] ~docv:"NAME"
+        ~doc:
+          "Workload to collect (optional with $(b,--resume-from): the \
+           snapshot records it).")
 
 let cores_arg =
   Arg.(value & opt int 8 & info [ "n"; "cores" ] ~doc:"Number of GC cores.")
@@ -236,10 +252,185 @@ let cycle_budget_arg =
           "Abort with a full machine dump (exit code 4) if the collection \
            has not finished after $(docv) simulated cycles.")
 
+(* Crash-safe run path: --checkpoint-every/--checkpoint-dir/--resume-from
+   route the collection through the Resume driver, which steps the same
+   machine with every step horizon-capped at the next checkpoint
+   boundary (snapshots land exactly on multiples of the period) and can
+   rebuild a machine from any snapshot. SIGINT/SIGTERM write a final
+   checkpoint and exit 130/143; a corrupt or incompatible snapshot on
+   resume exits with [exit_snapshot]. *)
+let require_workload = function
+  | Some w -> w
+  | None ->
+    Format.eprintf
+      "gcsim run: required option --workload is missing (only --resume-from \
+       can omit it: the snapshot records the workload)@.";
+    exit 2
+
+let run_with_checkpoints ~workload ~n_cores ~scale ~seed ~mem ~scan_unit
+    ~verify ~no_skip ~cycle_budget ~profile ~par_domains ~span_timeout
+    ~ckpt_every ~ckpt_dir ~resume_from =
+  (match (ckpt_every, ckpt_dir) with
+  | Some _, None ->
+    Format.eprintf "gcsim run: --checkpoint-every needs --checkpoint-dir@.";
+    exit 2
+  | None, Some _ ->
+    Format.eprintf "gcsim run: --checkpoint-dir needs --checkpoint-every@.";
+    exit 2
+  | _ -> ());
+  (match ckpt_dir with
+  | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
+  | _ -> ());
+  let resumed =
+    match resume_from with
+    | None -> None
+    | Some path -> (
+      match Resume.resume ~path () with
+      | r -> Some r
+      | exception Checkpoint.Corrupt msg ->
+        Format.eprintf "gcsim run: cannot resume from %s: %s@." path msg;
+        exit exit_snapshot)
+  in
+  let sim, cfg, meta, heap, pre, prof =
+    match resumed with
+    | Some r ->
+      Printf.printf "resumed workload %s at cycle %d from %s\n"
+        r.Resume.meta.Resume.workload
+        (Coprocessor.now r.Resume.sim)
+        (Option.get resume_from);
+      (r.Resume.sim, r.Resume.cfg, r.Resume.meta, r.Resume.heap, r.Resume.pre,
+       r.Resume.prof)
+    | None ->
+      let workload = require_workload workload in
+      let heap = Workloads.build_heap ~scale ~seed workload in
+      let pre = Verify.snapshot heap in
+      let prof =
+        if profile then begin
+          let p = Profiler.create ~n_cores () in
+          Profiler.enable p;
+          Some p
+        end
+        else None
+      in
+      let skip = (not no_skip) && not profile in
+      let cfg =
+        Coprocessor.config ~mem
+          ?scan_unit:(scan_unit_opt scan_unit)
+          ?cycle_budget ~skip ~n_cores ()
+      in
+      let meta =
+        {
+          Resume.workload = workload.Workloads.name;
+          scale;
+          seed;
+          partitions = 1;
+          obs_on = false;
+          obs_capacity = 0;
+          obs_interval = 0;
+          prof_on = profile;
+        }
+      in
+      (Coprocessor.start ?prof cfg heap, cfg, meta, heap, pre, prof)
+  in
+  let eff_cores = cfg.Coprocessor.n_cores in
+  (match par_domains with
+  | None -> ()
+  | Some p -> (
+    match Partition.validate ~n_cores:eff_cores ~n_partitions:p with
+    | Ok () -> ()
+    | Error msg ->
+      Format.eprintf "gcsim run: --par-domains: %s@." msg;
+      exit 2));
+  let partitions =
+    if not cfg.Coprocessor.skip then 1
+    else
+      match par_domains with
+      | Some p -> p
+      | None -> (
+        match resumed with
+        | Some r -> r.Resume.meta.Resume.partitions
+        | None -> Partition.default_partitions ~n_cores:eff_cores)
+  in
+  let meta = { meta with Resume.partitions } in
+  (* A signal ends the run at the next cycle boundary with a final
+     checkpoint, then exits with the conventional 128+signal code. *)
+  let stop_signal = ref None in
+  let install s =
+    try Sys.set_signal s (Sys.Signal_handle (fun _ -> stop_signal := Some s))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  install Sys.sigint;
+  install Sys.sigterm;
+  match
+    Resume.drive ?every:ckpt_every ?dir:ckpt_dir
+      ~should_stop:(fun () -> !stop_signal <> None)
+      ?span_timeout_s:span_timeout ~partitions ~meta sim
+  with
+  | exception Coprocessor.Stall_diagnosis d ->
+    prerr_endline (Report.stall_diagnosis d);
+    (match ckpt_dir with
+    | Some dir ->
+      Format.eprintf "post-mortem snapshot written to %s@."
+        (Filename.concat dir Resume.postmortem_name)
+    | None -> ());
+    exit_stalled
+  | Resume.Stopped { at_cycle; checkpoint } ->
+    let terminated = !stop_signal = Some Sys.sigterm in
+    Format.eprintf "gcsim run: %s at cycle %d%s@."
+      (if terminated then "terminated" else "interrupted")
+      at_cycle
+      (match checkpoint with
+      | Some p -> Printf.sprintf "; checkpoint written to %s" p
+      | None -> "");
+    if terminated then 143 else 130
+  | Resume.Finished (stats, bsp) -> (
+    Printf.printf "workload %s, %d cores\n" meta.Resume.workload eff_cores;
+    print_stats stats;
+    (match bsp with
+    | None -> ()
+    | Some b ->
+      Printf.printf "parallel kernel     %d partitions: %s\n" partitions
+        (Format.asprintf "%a" Bsp.pp_stats b);
+      (match b.Bsp.degraded with
+      | Some reason ->
+        Format.eprintf
+          "gcsim run: warning: parallel kernel degraded to leader-only \
+           stepping: %s@."
+          reason
+      | None -> ()));
+    (match prof with
+    | None -> ()
+    | Some p ->
+      print_newline ();
+      print_string (Report.profile_table ~total:stats.Coprocessor.total_cycles p));
+    if not verify then 0
+    else
+      match Verify.check_collection ~pre heap with
+      | Ok () ->
+        print_endline "verification        OK (graph isomorphic, compacted)";
+        0
+      | Error f ->
+        Format.eprintf "verification FAILED: %a@." Verify.pp_failure f;
+        exit_verify_failed)
+
 let run_cmd =
   let run workload n_cores scale seed extra_latency fifo bandwidth header_cache
-      scan_unit verify no_skip cycle_budget sanitize profile par_domains =
+      scan_unit verify no_skip cycle_budget sanitize profile par_domains
+      span_timeout ckpt_every ckpt_dir resume_from =
     let mem = mem_config extra_latency fifo bandwidth header_cache in
+    if ckpt_every <> None || ckpt_dir <> None || resume_from <> None then begin
+      if sanitize <> Hsgc_sanitizer.Sanitizer.Off then begin
+        Format.eprintf
+          "gcsim run: checkpointing is incompatible with --sanitize (the \
+           sanitizer's interned state is process-local)@.";
+        exit 2
+      end;
+      run_with_checkpoints ~workload ~n_cores ~scale ~seed ~mem ~scan_unit
+        ~verify ~no_skip ~cycle_budget ~profile ~par_domains ~span_timeout
+        ~ckpt_every ~ckpt_dir ~resume_from
+    end
+    else
+    let workload = require_workload workload in
     let heap = Workloads.build_heap ~scale ~seed workload in
     let pre = if verify then Some (Verify.snapshot heap) else None in
     let prof =
@@ -285,7 +476,10 @@ let run_cmd =
     let collect_once () =
       if partitions <= 1 then Coprocessor.collect ?prof cfg heap
       else begin
-        let stats, b = Bsp.collect_par ?prof ~partitions cfg heap in
+        let stats, b =
+          Bsp.collect_par ?prof ?span_timeout_s:span_timeout ~partitions cfg
+            heap
+        in
         bsp_stats := Some b;
         stats
       end
@@ -305,7 +499,14 @@ let run_cmd =
       | None -> ()
       | Some b ->
         Printf.printf "parallel kernel     %d partitions: %s\n" partitions
-          (Format.asprintf "%a" Bsp.pp_stats b));
+          (Format.asprintf "%a" Bsp.pp_stats b);
+        (match b.Bsp.degraded with
+        | Some reason ->
+          Format.eprintf
+            "gcsim run: warning: parallel kernel degraded to leader-only \
+             stepping: %s@."
+            reason
+        | None -> ()));
       (match prof with
       | None -> ()
       | Some p ->
@@ -360,13 +561,63 @@ let run_cmd =
              BSP schedule degenerates to leader-only stepping — gcsim \
              takes the direct sequential path there.")
   in
+  let span_timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "span-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Supervise parallel span dispatch: a worker lane that has not \
+             finished its span after $(docv) seconds of wall clock is \
+             abandoned (the lane is poisoned) and the run degrades to \
+             leader-only stepping with a warning — still completing with \
+             bit-identical results — instead of hanging the process.")
+  in
+  let ckpt_every_arg =
+    Arg.(
+      value
+      & opt (some (positive_conv "checkpoint period")) None
+      & info [ "checkpoint-every" ] ~docv:"CYCLES"
+          ~doc:
+            "Write a crash-safe snapshot of the complete machine state every \
+             $(docv) simulated cycles (requires $(b,--checkpoint-dir)). \
+             Snapshots are written atomically with per-section CRCs, land \
+             exactly on multiples of the period, and perturb nothing but the \
+             executed/skipped cycle split. SIGINT/SIGTERM write a final \
+             checkpoint and exit 130/143; a watchdog stall leaves a \
+             post-mortem snapshot next to the diagnosis. Incompatible with \
+             $(b,--sanitize).")
+  in
+  let ckpt_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for $(b,--checkpoint-every) snapshots (created if \
+             missing).")
+  in
+  let resume_from_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume-from" ] ~docv:"FILE"
+          ~doc:
+            "Resume a collection from a snapshot written by \
+             $(b,--checkpoint-every) (or the watchdog post-mortem). The \
+             machine configuration, workload, and instrumentation come from \
+             the snapshot; a corrupt snapshot or one written by a different \
+             build exits with code 6. Combine with the checkpoint flags to \
+             keep checkpointing the resumed run.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"run one collection and print full statistics")
     Term.(
-      const run $ workload_arg $ cores_arg $ scale_arg $ seed_arg $ latency_arg
-      $ fifo_arg $ bandwidth_arg $ header_cache_arg $ scan_unit_arg $ verify_arg
-      $ no_skip_arg $ cycle_budget_arg $ sanitize_arg $ profile_arg
-      $ par_domains_arg)
+      const run $ workload_opt_arg $ cores_arg $ scale_arg $ seed_arg
+      $ latency_arg $ fifo_arg $ bandwidth_arg $ header_cache_arg
+      $ scan_unit_arg $ verify_arg $ no_skip_arg $ cycle_budget_arg
+      $ sanitize_arg $ profile_arg $ par_domains_arg $ span_timeout_arg
+      $ ckpt_every_arg $ ckpt_dir_arg $ resume_from_arg)
 
 let sweep_cmd =
   let run workload scale seed extra_latency fifo bandwidth header_cache verify
@@ -648,8 +899,28 @@ let concurrent_cmd =
       $ alloc_arg)
 
 let chaos_cmd =
-  let run workload cores scale seed jobs retries json_out =
+  let run workload cores scale seed jobs retries json_out interrupt =
     let workloads = Option.map (fun w -> [ w.Workloads.name ]) workload in
+    if interrupt then begin
+      let points =
+        Chaos.Interrupt.default_matrix ?workloads ~cores:[ cores ] ~seed ()
+      in
+      let jobs = Domain_pool.resolve_jobs ~limit:(List.length points) jobs in
+      Printf.printf "interrupt campaign: %d points (%d jobs)\n\n%!"
+        (List.length points) jobs;
+      let s = Chaos.Interrupt.run ~scale ~jobs points in
+      print_string (Chaos.Interrupt.render s);
+      (match json_out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (Chaos.Interrupt.to_json s);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "\nJSON written to %s\n" path);
+      if Chaos.Interrupt.passed s then 0 else exit_verify_failed
+    end
+    else
     let points = Chaos.default_matrix ?workloads ~cores:[ cores ] ~seed () in
     let jobs = Domain_pool.resolve_jobs ~limit:(List.length points) jobs in
     Printf.printf "chaos campaign: %d points (%d jobs, %d retries per point)\n\n%!"
@@ -698,6 +969,19 @@ let chaos_cmd =
       & info [ "o"; "json" ] ~docv:"FILE"
           ~doc:"Also write the campaign summary as JSON.")
   in
+  let interrupt_arg =
+    Arg.(
+      value & flag
+      & info [ "interrupt" ]
+          ~doc:
+            "Run the interrupt campaign instead of the fault matrix: kill a \
+             checkpointing run at a deterministic random cycle, resume from \
+             the latest snapshot, and demand the resumed final state (verify \
+             result, cycle count, per-core counters, trace digest) is \
+             identical to an uninterrupted run's; also flip one byte per \
+             snapshot section and demand every flip is refused by its CRC. \
+             Exits 3 unless both rates are 100%.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -705,7 +989,7 @@ let chaos_cmd =
           workload) and report termination, detection, and overhead rates")
     Term.(
       const run $ workload_opt_arg $ cores_arg $ scale_arg $ seed_arg $ jobs_arg
-      $ retries_arg $ json_arg)
+      $ retries_arg $ json_arg $ interrupt_arg)
 
 let bench_cmd =
   let run scale seed out check quiet =

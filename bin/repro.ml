@@ -208,22 +208,36 @@ let run_kernel ~scale ~seeds ~verify ~jobs ~bench_out =
    unclean delay run), 4 = a delay-class point hung. *)
 let run_chaos ~scale ~jobs ~retries ~chaos_out =
   let points = Chaos.default_matrix () in
-  let jobs = Hsgc_sim.Domain_pool.resolve_jobs ~limit:(List.length points) jobs in
+  let cjobs = Hsgc_sim.Domain_pool.resolve_jobs ~limit:(List.length points) jobs in
   Printf.printf "chaos campaign: %d points at scale %g (%d jobs)\n\n%!"
-    (List.length points) scale jobs;
+    (List.length points) scale cjobs;
   let on_error =
     if retries > 0 then Hsgc_sim.Domain_pool.Retry retries
     else Hsgc_sim.Domain_pool.Skip
   in
-  let summary = Chaos.run ~scale ~jobs ~on_error points in
+  let summary = Chaos.run ~scale ~jobs:cjobs ~on_error points in
   print_string (Chaos.render summary);
+  (* Crash-safety leg: the interrupt campaign (kill at a deterministic
+     random cycle, resume from the latest checkpoint, demand resume
+     equivalence; flip one byte per snapshot section, demand every flip
+     is refused). Recorded under "interrupt" in BENCH_chaos.json and
+     gated at 100% on both rates. *)
+  let ipoints = Chaos.Interrupt.default_matrix () in
+  let ijobs =
+    Hsgc_sim.Domain_pool.resolve_jobs ~limit:(List.length ipoints) jobs
+  in
+  Printf.printf "\ninterrupt campaign: %d points (%d jobs)\n\n%!"
+    (List.length ipoints) ijobs;
+  let interrupt = Chaos.Interrupt.run ~scale ~jobs:ijobs ipoints in
+  print_string (Chaos.Interrupt.render interrupt);
   let oc = open_out chaos_out in
-  output_string oc (Chaos.to_json summary);
+  output_string oc (Chaos.to_json ~interrupt summary);
   close_out oc;
   Printf.printf "wrote %s\n" chaos_out;
   if
     summary.Chaos.corruption_silent > 0
     || summary.Chaos.delay_clean < summary.Chaos.delay_points
+    || not (Chaos.Interrupt.passed interrupt)
   then 3
   else if summary.Chaos.delay_terminated < summary.Chaos.delay_points then 4
   else 0
@@ -284,7 +298,11 @@ let run_observe ~scale ~seed ~profile ~trace_out =
    (already-journaled artifacts are skipped, the note goes to stderr so
    stdout stays a clean concatenation of artifacts). The journal is
    deleted once the whole run finishes. *)
-let journal_read path =
+let journal_header () =
+  Printf.sprintf "# hsgc-journal v1 fingerprint=%s"
+    (Hsgc_core.Resume.fingerprint ())
+
+let journal_lines path =
   if Sys.file_exists path then (
     let ic = open_in path in
     let rec go acc =
@@ -297,9 +315,40 @@ let journal_read path =
     lines)
   else []
 
+let journal_read path =
+  List.filter (fun l -> l.[0] <> '#') (journal_lines path)
+
+(* The build fingerprint recorded in the journal's header line, if the
+   journal has one (journals written by older builds do not). *)
+let journal_fingerprint path =
+  match journal_lines path with
+  | line :: _ when String.length line > 0 && line.[0] = '#' -> (
+    let key = "fingerprint=" in
+    match String.index_opt line '=' with
+    | Some _ -> (
+      let rec find i =
+        if i + String.length key > String.length line then None
+        else if String.sub line i (String.length key) = key then
+          Some (String.sub line
+                  (i + String.length key)
+                  (String.length line - i - String.length key))
+        else find (i + 1)
+      in
+      find 0)
+    | None -> None)
+  | _ -> None
+
+(* Each journal entry is flushed and fsynced before the artifact run
+   moves on — a crash (or power cut) right after an artifact completes
+   cannot lose its journal record, so --resume never repeats work. *)
 let journal_append path name =
+  let fresh = not (Sys.file_exists path) in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  if fresh then output_string oc (journal_header () ^ "\n");
   output_string oc (name ^ "\n");
+  flush oc;
+  (try Unix.fsync (Unix.descr_of_out_channel oc)
+   with Unix.Unix_error _ -> ());
   close_out oc
 
 let run artifact scale seeds verify jobs quick sanitize bench_out chaos_out
@@ -351,7 +400,25 @@ let run artifact scale seeds verify jobs quick sanitize bench_out chaos_out
       [ Fig5; Table1; Table2; Fig6; Fifo; Heapsize; Baselines; Future_work;
         Concurrent ]
     in
-    let done_already = if resume then journal_read journal else [] in
+    let done_already =
+      if not resume then []
+      else begin
+        (* A journal written by a different build records artifacts that
+           binary produced — resuming would mix outputs of two builds in
+           one artifact set. Refuse; the user reruns from scratch. *)
+        (match journal_fingerprint journal with
+        | Some fp when fp <> Hsgc_core.Resume.fingerprint () ->
+          Printf.eprintf
+            "repro: --resume refused: %s was written by a different build \
+             (journal fingerprint %s, this binary %s); delete the journal or \
+             rerun without --resume\n%!"
+            journal fp
+            (Hsgc_core.Resume.fingerprint ());
+          exit 2
+        | _ -> ());
+        journal_read journal
+      end
+    in
     if (not resume) && Sys.file_exists journal then Sys.remove journal;
     let failures = ref [] in
     List.iter

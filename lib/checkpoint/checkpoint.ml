@@ -1,0 +1,161 @@
+(* Versioned, sectioned, CRC-guarded snapshot container.
+
+   Layout (all integers 64-bit little-endian via Hsgc_util.Codec):
+
+     magic            "HSGC-CKPT\n" (10 raw bytes)
+     version          int
+     fingerprint      string        (config/build identity, writer-chosen)
+     section count    int
+     per section:     name string, crc32 int, payload string
+
+   Every section carries its own CRC-32 (IEEE), so a single flipped bit
+   anywhere in a payload is detected and attributed to its section; the
+   header fields are covered by structural validation (bad magic,
+   version, lengths). Files are written atomically: payload to a
+   temporary file in the destination directory, fsync, rename — a crash
+   mid-write can leave a stale temp file but never a torn snapshot. *)
+
+module Codec = Hsgc_util.Codec
+
+let magic = "HSGC-CKPT\n"
+let version = 1
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* --- CRC-32 (IEEE 802.3, reflected) --------------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch ->
+      c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* --- writing -------------------------------------------------------- *)
+
+type writer = {
+  fingerprint : string;
+  mutable sections : (string * string) list;  (* reversed *)
+}
+
+let writer ~fingerprint = { fingerprint; sections = [] }
+
+let add_section w name payload =
+  if List.mem_assoc name w.sections then
+    invalid_arg (Printf.sprintf "Checkpoint.add_section: duplicate %S" name);
+  w.sections <- (name, payload) :: w.sections
+
+let to_string w =
+  let tail = Codec.W.create () in
+  Codec.W.int tail version;
+  Codec.W.string tail w.fingerprint;
+  let sections = List.rev w.sections in
+  Codec.W.int tail (List.length sections);
+  List.iter
+    (fun (name, payload) ->
+      Codec.W.string tail name;
+      Codec.W.int tail (crc32 payload);
+      Codec.W.string tail payload)
+    sections;
+  magic ^ Codec.W.contents tail
+
+let write w ~path =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".ckpt-" ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let data = to_string w in
+      let n = String.length data in
+      let written = Unix.write_substring fd data 0 n in
+      if written <> n then failwith "Checkpoint.write: short write";
+      Unix.fsync fd);
+  Sys.rename tmp path
+
+(* --- reading -------------------------------------------------------- *)
+
+type snapshot = {
+  s_fingerprint : string;
+  s_sections : (string * string) list;  (* in file order, CRC-verified *)
+}
+
+let fingerprint s = s.s_fingerprint
+let section_names s = List.map fst s.s_sections
+
+let section s name =
+  match List.assoc_opt name s.s_sections with
+  | Some payload -> payload
+  | None -> corrupt "missing section %S" name
+
+let of_string data =
+  let mlen = String.length magic in
+  if String.length data < mlen || String.sub data 0 mlen <> magic then
+    corrupt "bad magic: not a checkpoint file";
+  let r = Codec.R.of_string (String.sub data mlen (String.length data - mlen)) in
+  let parse () =
+    let v = Codec.R.int r in
+    if v <> version then corrupt "snapshot version %d, expected %d" v version;
+    let fp = Codec.R.string r in
+    let n = Codec.R.int r in
+    if n < 0 || n > 4096 then corrupt "implausible section count %d" n;
+    let sections =
+      List.init n (fun _ ->
+          let name = Codec.R.string r in
+          let crc = Codec.R.int r in
+          let payload = Codec.R.string r in
+          let actual = crc32 payload in
+          if actual <> crc then
+            corrupt "section %S CRC mismatch (stored %08x, computed %08x)"
+              name crc actual;
+          (name, payload))
+    in
+    if not (Codec.R.eof r) then
+      corrupt "trailing garbage after last section";
+    { s_fingerprint = fp; s_sections = sections }
+  in
+  match parse () with
+  | s -> s
+  | exception Codec.Error msg -> corrupt "malformed container: %s" msg
+
+let load path =
+  let data =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg -> corrupt "cannot read %s: %s" path msg
+  in
+  of_string data
+
+(* Byte ranges of each section payload within the file — for the
+   snapshot-integrity mutation tests, which flip one byte inside every
+   section and assert its CRC catches the flip. *)
+let payload_ranges path =
+  let s = load path in
+  (* Recompute offsets by re-walking the layout; load already verified
+     structure, so the arithmetic below cannot go out of bounds. *)
+  let pos = ref (String.length magic) in
+  pos := !pos + 8 (* version *) + 8 + String.length s.s_fingerprint;
+  pos := !pos + 8 (* section count *);
+  List.map
+    (fun (name, payload) ->
+      pos := !pos + 8 + String.length name + 8 (* crc *) + 8 (* length *);
+      let off = !pos in
+      pos := !pos + String.length payload;
+      (name, off, String.length payload))
+    s.s_sections

@@ -1,0 +1,58 @@
+(** Versioned, sectioned, CRC-guarded snapshot container.
+
+    A checkpoint file is a magic string, a format version, a
+    writer-chosen fingerprint (config/build identity), and a list of
+    named sections, each carrying a CRC-32 of its payload. Files are
+    written atomically (temp file in the destination directory + fsync
+    + rename), so a crash mid-write never leaves a torn snapshot behind
+    — at worst a stale [.ckpt-*.tmp] file.
+
+    Loading verifies the magic, version, structural well-formedness and
+    {e every} section CRC eagerly; any deviation — including a single
+    flipped bit anywhere in a payload — raises {!Corrupt} naming what
+    failed. Payload encoding/decoding is {!Hsgc_util.Codec}'s job; this
+    module only moves opaque section strings. *)
+
+exception Corrupt of string
+
+val version : int
+
+val crc32 : string -> int
+(** CRC-32 (IEEE) of a string — exposed for tests. *)
+
+(** {2 Writing} *)
+
+type writer
+
+val writer : fingerprint:string -> writer
+
+val add_section : writer -> string -> string -> unit
+(** [add_section w name payload]. Section names must be unique. *)
+
+val to_string : writer -> string
+(** The serialized container (exposed for tests). *)
+
+val write : writer -> path:string -> unit
+(** Atomic write: temp file beside [path], fsync, rename. *)
+
+(** {2 Reading} *)
+
+type snapshot
+
+val load : string -> snapshot
+(** Read and fully verify a snapshot file. Raises {!Corrupt} on any
+    integrity or format violation (unreadable file included). *)
+
+val of_string : string -> snapshot
+(** Same, from bytes already in memory. *)
+
+val fingerprint : snapshot -> string
+val section_names : snapshot -> string list
+
+val section : snapshot -> string -> string
+(** Payload of a named section; raises {!Corrupt} when absent. *)
+
+val payload_ranges : string -> (string * int * int) list
+(** [(name, byte_offset, byte_length)] of every section payload within
+    the file — for mutation tests that flip one byte per section and
+    assert the CRC catches it. *)

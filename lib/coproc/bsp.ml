@@ -16,6 +16,8 @@ type stats = {
   exclusive_spans : int;
   exclusive_cycles : int;
   handoffs : int;
+  retries : int;
+  degraded : string option;
 }
 
 type t = {
@@ -24,32 +26,55 @@ type t = {
   pool : Pool.t option;
   reports : span_report Mailbox.t;
   handoff_min : int;
+  span_timeout_s : float option;
+  fail_hook : (int -> unit) option;
   mutable supersteps : int;
   mutable contended_steps : int;
   mutable exclusive_spans : int;
   mutable exclusive_cycles : int;
   mutable handoffs : int;
+  mutable retries : int;
+  mutable degraded : string option;
 }
 
 let default_handoff_min = 64
 
-let start ?obs ?prof ?pool ?(handoff_min = default_handoff_min) ~plan cfg heap =
-  if Partition.n_cores plan <> cfg.Coprocessor.n_cores then
+(* Wrap an already-running machine (a freshly [Coprocessor.start]ed one,
+   or one just restored from a checkpoint) in the BSP scheduler. *)
+let of_sim ?pool ?(handoff_min = default_handoff_min) ?span_timeout_s ?fail_hook
+    ~plan sim =
+  if Partition.n_cores plan <> Coprocessor.n_cores sim then
     invalid_arg
-      (Printf.sprintf "Bsp.start: plan is for %d cores but config has %d"
-         (Partition.n_cores plan) cfg.Coprocessor.n_cores);
+      (Printf.sprintf "Bsp.of_sim: plan is for %d cores but machine has %d"
+         (Partition.n_cores plan) (Coprocessor.n_cores sim));
+  (match span_timeout_s with
+  | Some s when s <= 0.0 -> invalid_arg "Bsp: span_timeout_s must be > 0"
+  | _ -> ());
   {
-    sim = Coprocessor.start ?obs ?prof cfg heap;
+    sim;
     plan;
     pool;
     reports = Mailbox.create ~producers:(Partition.n_partitions plan);
     handoff_min = max 2 handoff_min;
+    span_timeout_s;
+    fail_hook;
     supersteps = 0;
     contended_steps = 0;
     exclusive_spans = 0;
     exclusive_cycles = 0;
     handoffs = 0;
+    retries = 0;
+    degraded = None;
   }
+
+let start ?obs ?prof ?pool ?handoff_min ?span_timeout_s ?fail_hook ~plan cfg
+    heap =
+  if Partition.n_cores plan <> cfg.Coprocessor.n_cores then
+    invalid_arg
+      (Printf.sprintf "Bsp.start: plan is for %d cores but config has %d"
+         (Partition.n_cores plan) cfg.Coprocessor.n_cores);
+  of_sim ?pool ?handoff_min ?span_timeout_s ?fail_hook ~plan
+    (Coprocessor.start ?obs ?prof cfg heap)
 
 let sim t = t.sim
 let plan t = t.plan
@@ -61,6 +86,8 @@ let stats t =
     exclusive_spans = t.exclusive_spans;
     exclusive_cycles = t.exclusive_cycles;
     handoffs = t.handoffs;
+    retries = t.retries;
+    degraded = t.degraded;
   }
 
 let lowest_bit_index m =
@@ -102,30 +129,124 @@ let merge_reports t =
       t.exclusive_cycles <- t.exclusive_cycles + (r.sr_end - r.sr_start);
       if r.sr_on_worker then t.handoffs <- t.handoffs + 1)
 
-let superstep ?trace t =
+(* Exceptions that carry the run's *result* — a structured diagnosis,
+   a modeled overflow, a sanitizer finding. These always propagate:
+   supervision exists to absorb scheduling failures, not to mask what
+   the machine itself reported. *)
+let semantic_exn = function
+  | Coprocessor.Stall_diagnosis _ | Coprocessor.Heap_overflow
+  | Coprocessor.Simulation_diverged _
+  | Hsgc_sanitizer.Diag.Violation _ ->
+    true
+  | _ -> false
+
+let degrade t reason = if t.degraded = None then t.degraded <- Some reason
+
+(* Supervised span dispatch. The [entered] atomic is a claim on the
+   machine: the worker takes it immediately before stepping, and a
+   leader that decides to retry takes it instead — whichever side wins
+   the compare-and-set is the only one that will ever touch the
+   simulator for this span, so a retry is provably safe (the machine
+   is exactly as the barrier left it) and an abandoned worker that
+   later wakes up finds the claim gone and does nothing. *)
+let dispatch_supervised t pool ?trace ~partition ~horizon () =
+  let entered = Atomic.make false in
+  let body () =
+    (match t.fail_hook with Some h -> h partition | None -> ());
+    if Atomic.compare_and_set entered false true then
+      run_span t ?trace ~partition ~horizon ~on_worker:true ()
+  in
+  let retry_on_leader reason =
+    if Atomic.compare_and_set entered false true then begin
+      t.retries <- t.retries + 1;
+      degrade t reason;
+      run_span t ?trace ~partition ~horizon ~on_worker:false ();
+      true
+    end
+    else false
+  in
+  Pool.post pool ~lane:partition body;
+  match t.span_timeout_s with
+  | None -> (
+    match Pool.wait pool ~lane:partition with
+    | () -> ()
+    | exception e ->
+      if semantic_exn e then raise e
+      else if
+        not
+          (retry_on_leader
+             (Printf.sprintf "worker for partition %d failed: %s" partition
+                (Printexc.to_string e)))
+      then
+        (* The worker had already entered the span when it failed, so
+           the machine's state is suspect — nothing to do but report. *)
+        raise e)
+  | Some timeout_s -> (
+    match Pool.try_wait pool ~lane:partition ~timeout_s with
+    | `Done -> ()
+    | `Failed e ->
+      if semantic_exn e then raise e
+      else if
+        not
+          (retry_on_leader
+             (Printf.sprintf "worker for partition %d failed: %s" partition
+                (Printexc.to_string e)))
+      then raise e
+    | `Timed_out ->
+      if
+        retry_on_leader
+          (Printf.sprintf "worker for partition %d timed out after %gs"
+             partition timeout_s)
+      then () (* lane is poisoned; future spans run on the leader *)
+      else begin
+        (* The worker claimed the span before the deadline, so it is
+           mid-flight against the shared machine and a leader retry
+           would race it. Spans terminate by construction (bounded by
+           [horizon]); grant one more timeout window for it to land
+           before declaring the machine lost. *)
+        match Pool.try_wait pool ~lane:partition ~timeout_s with
+        | `Done ->
+          degrade t
+            (Printf.sprintf "worker for partition %d exceeded its %gs span \
+                             timeout" partition timeout_s)
+        | `Failed e -> raise e
+        | `Timed_out ->
+          failwith
+            (Printf.sprintf
+               "Bsp: partition %d span still running after %gs; machine state \
+                unrecoverable" partition (2.0 *. timeout_s))
+      end)
+
+let superstep ?trace ?horizon t =
   let sim = t.sim in
   t.supersteps <- t.supersteps + 1;
   let owner = Partition.owner t.plan in
   let mask = Coprocessor.awake_partition_mask sim ~owner in
   if mask <> 0 && mask land (mask - 1) = 0 then begin
     let p = lowest_bit_index mask in
-    let horizon = Coprocessor.min_wake_outside sim ~owner ~partition:p in
+    let span_horizon = Coprocessor.min_wake_outside sim ~owner ~partition:p in
+    (* An external cap (a checkpoint boundary, a chaos stop point) only
+       shortens the exclusive window — it never changes what the cycles
+       inside it compute, so the bit-identity argument is unaffected. *)
+    let span_horizon =
+      match horizon with None -> span_horizon | Some h -> min span_horizon h
+    in
     let start_cycle = Coprocessor.now sim in
-    if horizon <= start_cycle + 1 then begin
+    if span_horizon <= start_cycle + 1 then begin
       (* The exclusive window is a single cycle: step it in place. *)
       t.contended_steps <- t.contended_steps + 1;
-      Coprocessor.step ?trace sim
+      Coprocessor.step ?trace ?horizon sim
     end
     else begin
-      let body ~on_worker () =
-        run_span t ?trace ~partition:p ~horizon ~on_worker ()
-      in
       (match t.pool with
       | Some pool
         when p > 0 && p < Pool.lanes pool
-             && horizon - start_cycle >= t.handoff_min ->
-        Pool.run_on pool ~lane:p (body ~on_worker:true)
-      | Some _ | None -> body ~on_worker:false ());
+             && t.degraded = None
+             && (not (Pool.poisoned pool ~lane:p))
+             && span_horizon - start_cycle >= t.handoff_min ->
+        dispatch_supervised t pool ?trace ~partition:p ~horizon:span_horizon ()
+      | Some _ | None ->
+        run_span t ?trace ~partition:p ~horizon:span_horizon ~on_worker:false ());
       merge_reports t
     end
   end
@@ -135,7 +256,7 @@ let superstep ?trace t =
        the leader steps the whole machine for one cycle — the
        conservative contended superstep. *)
     t.contended_steps <- t.contended_steps + 1;
-    Coprocessor.step ?trace sim
+    Coprocessor.step ?trace ?horizon sim
   end
 
 let run ?trace t =
@@ -145,24 +266,36 @@ let run ?trace t =
 
 let finalize t = Coprocessor.finalize t.sim
 
-let collect ?trace ?obs ?prof ?pool ?handoff_min ~plan cfg heap =
-  let t = start ?obs ?prof ?pool ?handoff_min ~plan cfg heap in
+let collect ?trace ?obs ?prof ?pool ?handoff_min ?span_timeout_s ?fail_hook
+    ~plan cfg heap =
+  let t =
+    start ?obs ?prof ?pool ?handoff_min ?span_timeout_s ?fail_hook ~plan cfg
+      heap
+  in
   run ?trace t;
   let gc = finalize t in
   (gc, stats t)
 
-let collect_par ?trace ?obs ?prof ?handoff_min ~partitions cfg heap =
+let collect_par ?trace ?obs ?prof ?handoff_min ?span_timeout_s ?fail_hook
+    ~partitions cfg heap =
   let plan =
     Partition.plan ~n_cores:cfg.Coprocessor.n_cores ~n_partitions:partitions
   in
-  if partitions <= 1 then collect ?trace ?obs ?prof ?handoff_min ~plan cfg heap
+  if partitions <= 1 then
+    collect ?trace ?obs ?prof ?handoff_min ?span_timeout_s ?fail_hook ~plan cfg
+      heap
   else
     Pool.with_pool ~lanes:partitions (fun pool ->
-        collect ?trace ?obs ?prof ~pool ?handoff_min ~plan cfg heap)
+        collect ?trace ?obs ?prof ~pool ?handoff_min ?span_timeout_s ?fail_hook
+          ~plan cfg heap)
 
 let pp_stats ppf (s : stats) =
   Format.fprintf ppf
     "supersteps %d (contended %d, exclusive spans %d covering %d cycles, \
      handoffs %d)"
     s.supersteps s.contended_steps s.exclusive_spans s.exclusive_cycles
-    s.handoffs
+    s.handoffs;
+  if s.retries > 0 then Format.fprintf ppf " [%d span retries]" s.retries;
+  match s.degraded with
+  | None -> ()
+  | Some reason -> Format.fprintf ppf " [degraded to leader-only: %s]" reason

@@ -49,6 +49,12 @@ type stats = {
   exclusive_spans : int;  (** multi-cycle single-partition spans *)
   exclusive_cycles : int;  (** simulated cycles covered by those spans *)
   handoffs : int;  (** spans executed on a worker lane *)
+  retries : int;  (** spans re-run on the leader after a worker failure *)
+  degraded : string option;
+      (** [Some reason] — supervision demoted the run to leader-only
+          stepping (worker exception or span timeout). The run still
+          completes with bit-identical results; the caller should
+          surface the reason as a warning. *)
 }
 
 val default_handoff_min : int
@@ -60,6 +66,8 @@ val start :
   ?prof:Hsgc_obs.Profiler.t ->
   ?pool:Hsgc_sim.Domain_pool.Pool.t ->
   ?handoff_min:int ->
+  ?span_timeout_s:float ->
+  ?fail_hook:(int -> unit) ->
   plan:Hsgc_sim.Partition.t ->
   Coprocessor.config ->
   Hsgc_heap.Heap.t ->
@@ -67,11 +75,43 @@ val start :
 (** Set up a partitioned run. The plan's core count must match the
     config. Without [pool] every span runs on the leader (pure
     scheduling, no parallel dispatch); with one, partition [p]'s spans
-    run on lane [p] when long enough ([handoff_min], floor 2). *)
+    run on lane [p] when long enough ([handoff_min], floor 2).
 
-val superstep : ?trace:Trace.t -> t -> unit
+    {b Supervision.} Dispatched spans are supervised: a worker-lane
+    exception that is not the machine's own result (everything except
+    [Stall_diagnosis], [Heap_overflow], [Simulation_diverged] and the
+    sanitizer's [Diag.Violation]) causes the span to be retried once on
+    the leader — provably safe, because an atomic claim on the machine
+    guarantees the failed worker never started stepping it — after
+    which the run is permanently {e degraded} to leader-only stepping
+    and completes with bit-identical results ([stats.degraded] carries
+    the reason; no exception escapes). [span_timeout_s] additionally
+    bounds each span's wall-clock time: a timed-out lane is poisoned
+    ({!Hsgc_sim.Domain_pool.Pool.try_wait}) and the run degrades the
+    same way. [fail_hook] is test instrumentation — it runs on the
+    worker lane before the span claims the machine, so a hook that
+    raises (or hangs) exercises exactly the retry-safe window. *)
+
+val of_sim :
+  ?pool:Hsgc_sim.Domain_pool.Pool.t ->
+  ?handoff_min:int ->
+  ?span_timeout_s:float ->
+  ?fail_hook:(int -> unit) ->
+  plan:Hsgc_sim.Partition.t ->
+  Coprocessor.sim ->
+  t
+(** Wrap an already-running machine in the scheduler — the resume path:
+    a sim restored from a checkpoint continues under BSP stepping
+    exactly as a fresh one. Same parameters and supervision as
+    {!start}. *)
+
+val superstep : ?trace:Trace.t -> ?horizon:int -> t -> unit
 (** One barrier decision: a contended whole-machine step, or one
-    exclusive span. *)
+    exclusive span. [horizon] caps every step and exclusive span at the
+    given cycle (checkpoint boundaries, external stop points); like the
+    kernel's own [?horizon] it can only split fast-forwards, never
+    change what the machine computes, so all statistics other than the
+    executed/skipped split are unaffected. *)
 
 val run : ?trace:Trace.t -> t -> unit
 (** Supersteps to completion. *)
@@ -87,6 +127,8 @@ val collect :
   ?prof:Hsgc_obs.Profiler.t ->
   ?pool:Hsgc_sim.Domain_pool.Pool.t ->
   ?handoff_min:int ->
+  ?span_timeout_s:float ->
+  ?fail_hook:(int -> unit) ->
   plan:Hsgc_sim.Partition.t ->
   Coprocessor.config ->
   Hsgc_heap.Heap.t ->
@@ -98,6 +140,8 @@ val collect_par :
   ?obs:Hsgc_obs.Tracer.t ->
   ?prof:Hsgc_obs.Profiler.t ->
   ?handoff_min:int ->
+  ?span_timeout_s:float ->
+  ?fail_hook:(int -> unit) ->
   partitions:int ->
   Coprocessor.config ->
   Hsgc_heap.Heap.t ->

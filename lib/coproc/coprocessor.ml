@@ -1585,3 +1585,337 @@ let mutator_alloc t ~pi ~delta =
     ignore (Fifo.push t.fifo naddr);
     `Done (naddr, 3 + size)
   end
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint/restore: the complete machine state as a sectioned,
+   CRC-guarded snapshot. One section per subsystem, so an integrity
+   mutation test can flip a byte in each and watch the matching CRC
+   catch it. Restore overwrites a freshly [start]ed machine of the same
+   configuration in place. *)
+(* ------------------------------------------------------------------ *)
+
+module Snapshot = struct
+  module Codec = Hsgc_util.Codec
+  module Ckpt = Hsgc_checkpoint.Checkpoint
+
+  (* Microprogram states, numbered in declaration order. The numeric
+     code is a checkpoint artifact only — nothing else depends on it. *)
+  let state_to_int = function
+    | Init -> 0
+    | Root_next -> 1
+    | Root_header_wait -> 2
+    | Start_barrier -> 3
+    | Try_lock_scan -> 4
+    | Scan_header_wait -> 5
+    | Body_issue_load -> 6
+    | Body_wait -> 7
+    | Lock_child -> 8
+    | Child_header_wait -> 9
+    | Lock_free -> 10
+    | Evac_store_fwd -> 11
+    | Evac_store_gray -> 12
+    | Store_slot -> 13
+    | Piece_done -> 14
+    | Blacken -> 15
+    | Flush -> 16
+    | End_barrier -> 17
+    | Halt -> 18
+
+  let state_of_int = function
+    | 0 -> Init
+    | 1 -> Root_next
+    | 2 -> Root_header_wait
+    | 3 -> Start_barrier
+    | 4 -> Try_lock_scan
+    | 5 -> Scan_header_wait
+    | 6 -> Body_issue_load
+    | 7 -> Body_wait
+    | 8 -> Lock_child
+    | 9 -> Child_header_wait
+    | 10 -> Lock_free
+    | 11 -> Evac_store_fwd
+    | 12 -> Evac_store_gray
+    | 13 -> Store_slot
+    | 14 -> Piece_done
+    | 15 -> Blacken
+    | 16 -> Flush
+    | 17 -> End_barrier
+    | 18 -> Halt
+    | n -> raise (Codec.Error (Printf.sprintf "unknown core state %d" n))
+
+  let stall_of_int i =
+    match List.nth_opt Counters.all_stalls i with
+    | Some s -> s
+    | None -> raise (Codec.Error (Printf.sprintf "unknown stall kind %d" i))
+
+  (* --- config section ---------------------------------------------- *)
+  (* The full configuration the machine was started under, so a resume
+     can reconstruct it and a restore onto a mismatched machine fails
+     with a structured error instead of corrupting state. *)
+
+  let encode_config (cfg : config) w =
+    Codec.W.int w cfg.n_cores;
+    Codec.W.int w cfg.max_cycles;
+    Codec.W.int w cfg.mem.Mem.header_load_latency;
+    Codec.W.int w cfg.mem.Mem.body_load_latency;
+    Codec.W.int w cfg.mem.Mem.store_latency;
+    Codec.W.int w cfg.mem.Mem.bandwidth;
+    Codec.W.int w cfg.mem.Mem.fifo_capacity;
+    Codec.W.int w cfg.mem.Mem.header_cache_entries;
+    (match cfg.scan_unit with
+    | None -> Codec.W.bool w false
+    | Some u ->
+      Codec.W.bool w true;
+      Codec.W.int w u);
+    Codec.W.bool w cfg.skip;
+    (match cfg.faults with
+    | None -> Codec.W.bool w false
+    | Some s ->
+      Codec.W.bool w true;
+      Codec.W.int w s.Injector.seed;
+      Codec.W.float w s.Injector.delay_prob;
+      Codec.W.int w s.Injector.delay_max;
+      Codec.W.float w s.Injector.fifo_drop_prob;
+      Codec.W.float w s.Injector.cache_invalidate_prob;
+      Codec.W.float w s.Injector.busy_prob;
+      Codec.W.float w s.Injector.corrupt_body_prob;
+      Codec.W.float w s.Injector.corrupt_header_prob);
+    (match cfg.cycle_budget with
+    | None -> Codec.W.bool w false
+    | Some b ->
+      Codec.W.bool w true;
+      Codec.W.int w b);
+    Codec.W.int w cfg.stall_window
+
+  let decode_config r =
+    let n_cores = Codec.R.int r in
+    let max_cycles = Codec.R.int r in
+    let header_load_latency = Codec.R.int r in
+    let body_load_latency = Codec.R.int r in
+    let store_latency = Codec.R.int r in
+    let bandwidth = Codec.R.int r in
+    let fifo_capacity = Codec.R.int r in
+    let header_cache_entries = Codec.R.int r in
+    let scan_unit = if Codec.R.bool r then Some (Codec.R.int r) else None in
+    let skip = Codec.R.bool r in
+    let faults =
+      if Codec.R.bool r then begin
+        let seed = Codec.R.int r in
+        let delay_prob = Codec.R.float r in
+        let delay_max = Codec.R.int r in
+        let fifo_drop_prob = Codec.R.float r in
+        let cache_invalidate_prob = Codec.R.float r in
+        let busy_prob = Codec.R.float r in
+        let corrupt_body_prob = Codec.R.float r in
+        let corrupt_header_prob = Codec.R.float r in
+        Some
+          {
+            Injector.seed;
+            delay_prob;
+            delay_max;
+            fifo_drop_prob;
+            cache_invalidate_prob;
+            busy_prob;
+            corrupt_body_prob;
+            corrupt_header_prob;
+          }
+      end
+      else None
+    in
+    let cycle_budget = if Codec.R.bool r then Some (Codec.R.int r) else None in
+    let stall_window = Codec.R.int r in
+    {
+      n_cores;
+      mem =
+        {
+          Mem.header_load_latency;
+          body_load_latency;
+          store_latency;
+          bandwidth;
+          fifo_capacity;
+          header_cache_entries;
+        };
+      max_cycles;
+      scan_unit;
+      skip;
+      faults;
+      cycle_budget;
+      stall_window;
+      sanitize = San.Off;
+    }
+
+  (* --- core register files ------------------------------------------ *)
+
+  let encode_core c w =
+    Codec.W.int w (state_to_int c.state);
+    Codec.W.int w c.obj_to;
+    Codec.W.int w c.obj_from;
+    Codec.W.int w c.h0;
+    Codec.W.int w c.slot;
+    Codec.W.int w c.slot_limit;
+    Codec.W.bool w c.whole;
+    Codec.W.int w c.child;
+    Codec.W.int w c.child_h0;
+    Codec.W.int w c.value;
+    Codec.W.int w c.evac_new;
+    Codec.W.int w c.root_idx;
+    Codec.W.int w (match c.ret with Ret_slot -> 0 | Ret_root -> 1);
+    Codec.W.int w c.stall_cycle;
+    Codec.W.int w (stall_index c.stall_kind);
+    Codec.W.int w c.wake
+
+  let restore_core c r =
+    c.state <- state_of_int (Codec.R.int r);
+    c.obj_to <- Codec.R.int r;
+    c.obj_from <- Codec.R.int r;
+    c.h0 <- Codec.R.int r;
+    c.slot <- Codec.R.int r;
+    c.slot_limit <- Codec.R.int r;
+    c.whole <- Codec.R.bool r;
+    c.child <- Codec.R.int r;
+    c.child_h0 <- Codec.R.int r;
+    c.value <- Codec.R.int r;
+    c.evac_new <- Codec.R.int r;
+    c.root_idx <- Codec.R.int r;
+    (c.ret <-
+       (match Codec.R.int r with
+       | 0 -> Ret_slot
+       | 1 -> Ret_root
+       | n -> raise (Codec.Error (Printf.sprintf "unknown return point %d" n))));
+    c.stall_cycle <- Codec.R.int r;
+    c.stall_kind <- stall_of_int (Codec.R.int r);
+    c.wake <- Codec.R.int r
+
+  (* --- simulator-level scheduling state ----------------------------- *)
+
+  let encode_sched t w =
+    Kernel.encode t.clock w;
+    Kernel.watchdog_encode t.watchdog w;
+    Codec.W.int w t.hooks.Hooks.cycle;
+    Codec.W.int w !(t.events);
+    Codec.W.int w t.n_halted;
+    Codec.W.bool w t.finished;
+    Codec.W.bool w t.saw_empty;
+    Codec.W.bool w t.parallel_phase;
+    Codec.W.int w t.parallel_start;
+    Codec.W.int w t.empty_cycles;
+    Codec.W.int w t.cur_frame;
+    Codec.W.int w t.cur_h0;
+    Codec.W.int w t.cur_from;
+    Codec.W.int w t.cur_next_slot;
+    Codec.W.int_array w t.pieces
+
+  let restore_sched t r =
+    Kernel.restore t.clock r;
+    Kernel.watchdog_restore t.watchdog r;
+    t.hooks.Hooks.cycle <- Codec.R.int r;
+    t.events := Codec.R.int r;
+    t.n_halted <- Codec.R.int r;
+    t.finished <- Codec.R.bool r;
+    t.saw_empty <- Codec.R.bool r;
+    t.parallel_phase <- Codec.R.bool r;
+    t.parallel_start <- Codec.R.int r;
+    t.empty_cycles <- Codec.R.int r;
+    t.cur_frame <- Codec.R.int r;
+    t.cur_h0 <- Codec.R.int r;
+    t.cur_from <- Codec.R.int r;
+    t.cur_next_slot <- Codec.R.int r;
+    Codec.R.int_array_into r t.pieces ~what:"piece table"
+
+  (* --- the snapshot ------------------------------------------------- *)
+
+  let sec f =
+    let w = Codec.W.create () in
+    f w;
+    Codec.W.contents w
+
+  let save t ~fingerprint =
+    if t.cfg.sanitize <> San.Off then
+      invalid_arg
+        "Coprocessor.Snapshot.save: sanitizer state is not checkpointable";
+    let wtr = Ckpt.writer ~fingerprint in
+    Ckpt.add_section wtr "config" (sec (encode_config t.cfg));
+    Ckpt.add_section wtr "heap" (sec (H.encode t.heap));
+    Ckpt.add_section wtr "memsys" (sec (Mem.encode t.mem));
+    Ckpt.add_section wtr "fifo" (sec (Fifo.encode t.fifo));
+    Ckpt.add_section wtr "ports"
+      (sec (fun w ->
+           Array.iter
+             (fun c ->
+               Port.encode c.hl w;
+               Port.encode c.hs w;
+               Port.encode c.bl w;
+               Port.encode c.bs w)
+             t.cores));
+    Ckpt.add_section wtr "sync" (sec (SB.encode t.sb));
+    Ckpt.add_section wtr "cores"
+      (sec (fun w -> Array.iter (fun c -> encode_core c w) t.cores));
+    Ckpt.add_section wtr "counters"
+      (sec (fun w -> Array.iter (fun c -> Counters.encode c.counters w) t.cores));
+    Ckpt.add_section wtr "kernel" (sec (encode_sched t));
+    Ckpt.add_section wtr "rng" (sec (Injector.encode t.faults));
+    Ckpt.add_section wtr "obs"
+      (sec (fun w ->
+           Obs.encode t.obs w;
+           Prof.encode t.prof w));
+    wtr
+
+  let config snap =
+    let r = Codec.R.of_string (Ckpt.section snap "config") in
+    try
+      let cfg = decode_config r in
+      if not (Codec.R.eof r) then
+        raise (Ckpt.Corrupt "section \"config\": trailing bytes");
+      cfg
+    with Codec.Error m ->
+      raise (Ckpt.Corrupt (Printf.sprintf "section \"config\": %s" m))
+
+  let restore t snap =
+    if t.cfg.sanitize <> San.Off then
+      invalid_arg
+        "Coprocessor.Snapshot.restore: sanitizer state is not checkpointable";
+    let with_sec name f =
+      let r = Codec.R.of_string (Ckpt.section snap name) in
+      (try f r
+       with Codec.Error m ->
+         raise (Ckpt.Corrupt (Printf.sprintf "section %S: %s" name m)));
+      if not (Codec.R.eof r) then
+        raise (Ckpt.Corrupt (Printf.sprintf "section %S: trailing bytes" name))
+    in
+    with_sec "config" (fun r ->
+        let enc = decode_config r in
+        if enc <> { t.cfg with sanitize = San.Off } then
+          raise (Codec.Error "snapshot taken under a different configuration"));
+    with_sec "heap" (H.restore t.heap);
+    with_sec "memsys" (Mem.restore t.mem);
+    with_sec "fifo" (Fifo.restore t.fifo);
+    with_sec "ports" (fun r ->
+        Array.iter
+          (fun c ->
+            Port.restore c.hl r;
+            Port.restore c.hs r;
+            Port.restore c.bl r;
+            Port.restore c.bs r)
+          t.cores);
+    with_sec "sync" (SB.restore t.sb);
+    with_sec "cores" (fun r -> Array.iter (fun c -> restore_core c r) t.cores);
+    with_sec "counters" (fun r ->
+        Array.iter (fun c -> Counters.restore c.counters r) t.cores);
+    with_sec "kernel" (restore_sched t);
+    with_sec "rng" (Injector.restore t.faults);
+    with_sec "obs" (fun r ->
+        Obs.restore t.obs r;
+        Prof.restore t.prof r);
+    (* Rebuild the wake queue from the restored per-core wake times: a
+       strictly-future wake is re-armed (the armed array is the queue's
+       source of truth; stale entries are pruned lazily), everything
+       else — awake, due, or halted — is disarmed, matching what the
+       queue would answer in the original process. *)
+    let now = t.clock.Kernel.now in
+    Array.iter
+      (fun c ->
+        if c.wake > now && c.wake < max_int then
+          Wake_queue.arm t.wakeq ~id:c.id ~time:c.wake
+        else Wake_queue.disarm t.wakeq ~id:c.id)
+      t.cores
+end

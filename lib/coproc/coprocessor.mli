@@ -318,3 +318,35 @@ val mutator_alloc : sim -> pi:int -> delta:int -> [ `Done of int * int | `Wait ]
 (** Allocate a new object {i black} in tospace (its body must only ever
     receive tospace references); the scanning cores step over it.
     Returns [`Done (addr, cost)]. *)
+
+(** {2 Checkpointing}
+
+    A snapshot captures the complete mutable state of a running machine
+    — heap image, memory-system transactions, ports, header FIFO, sync
+    block, core register files, counters, clock/watchdog/scheduler
+    state, fault-injector RNG, tracer and profiler accumulators — as
+    named, CRC-guarded sections. Taking one is only meaningful between
+    [step]s (any cycle boundary); restoring one onto a freshly
+    {!start}ed machine of the same configuration resumes the run
+    bit-identically. Incompatible with the sanitizer (its interned
+    lockset state is process-local): [save]/[restore] reject machines
+    started with [sanitize <> Off]. *)
+
+module Snapshot : sig
+  val save : sim -> fingerprint:string -> Hsgc_checkpoint.Checkpoint.writer
+  (** Serialize the machine into a checkpoint writer (one section per
+      subsystem). The caller may add its own sections (driver metadata)
+      before {!Hsgc_checkpoint.Checkpoint.write}. *)
+
+  val config : Hsgc_checkpoint.Checkpoint.snapshot -> config
+  (** The configuration the snapshotted machine was started under
+      (sanitizer [Off] by construction). Raises
+      {!Hsgc_checkpoint.Checkpoint.Corrupt} on a malformed section. *)
+
+  val restore : sim -> Hsgc_checkpoint.Checkpoint.snapshot -> unit
+  (** Overwrite a freshly started machine's state in place from a
+      snapshot. The machine must have been {!start}ed with the
+      snapshot's {!config} and the same heap geometry (use {!config}
+      and rebuild the workload heap deterministically); any mismatch or
+      malformed section raises {!Hsgc_checkpoint.Checkpoint.Corrupt}. *)
+end

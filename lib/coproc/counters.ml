@@ -109,3 +109,32 @@ let scale t f =
     words_copied = s t.words_copied;
     busy_cycles = s t.busy_cycles;
   }
+
+(* Checkpoint codec: all eleven accumulators. *)
+module Codec = Hsgc_util.Codec
+
+let encode t w =
+  Codec.W.int w t.scan_lock;
+  Codec.W.int w t.free_lock;
+  Codec.W.int w t.header_lock;
+  Codec.W.int w t.body_load;
+  Codec.W.int w t.body_store;
+  Codec.W.int w t.header_load;
+  Codec.W.int w t.header_store;
+  Codec.W.int w t.objects_scanned;
+  Codec.W.int w t.objects_evacuated;
+  Codec.W.int w t.words_copied;
+  Codec.W.int w t.busy_cycles
+
+let restore t r =
+  t.scan_lock <- Codec.R.int r;
+  t.free_lock <- Codec.R.int r;
+  t.header_lock <- Codec.R.int r;
+  t.body_load <- Codec.R.int r;
+  t.body_store <- Codec.R.int r;
+  t.header_load <- Codec.R.int r;
+  t.header_store <- Codec.R.int r;
+  t.objects_scanned <- Codec.R.int r;
+  t.objects_evacuated <- Codec.R.int r;
+  t.words_copied <- Codec.R.int r;
+  t.busy_cycles <- Codec.R.int r

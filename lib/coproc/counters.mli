@@ -47,3 +47,7 @@ val add : t -> t -> t
 
 val scale : t -> float -> t
 (** Component-wise scaling, rounding to nearest (for means). *)
+
+val encode : t -> Hsgc_util.Codec.W.t -> unit
+val restore : t -> Hsgc_util.Codec.R.t -> unit
+(** Checkpoint/reinstate all accumulators. *)

@@ -254,6 +254,19 @@ let classification_label = function
 let rate num den =
   if den = 0 then "n/a" else Table.pct (float_of_int num /. float_of_int den)
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let render s =
   let header =
     [
@@ -306,20 +319,322 @@ let render s =
        (100.0 *. s.mean_delay_overhead));
   Buffer.contents buf
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 32 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* --- interrupt campaign ------------------------------------------- *)
 
-let to_json s =
+(* The crash-safety counterpart of the fault campaign: instead of
+   perturbing the machine, kill the *process model* at a deterministic
+   random cycle mid-collection, resume from the latest checkpoint, and
+   demand the resumed run is indistinguishable from an uninterrupted
+   one — same verify result, same total cycles, same per-core counters,
+   same trace digest. A corrupt-detection leg flips one byte in every
+   section payload of the kill-time snapshot and demands the loader
+   refuses each mutant. *)
+module Interrupt = struct
+  module Tracer = Hsgc_obs.Tracer
+  module Rng = Hsgc_util.Rng
+  module Checkpoint = Hsgc_checkpoint.Checkpoint
+
+  type point = {
+    workload : string;
+    n_cores : int;
+    partitions : int;
+    seed : int;
+    draw : int;
+  }
+
+  type point_result = {
+    point : point;
+    total_cycles : int;
+    kill_cycle : int;
+    checkpoints : int;
+    equivalent : bool;
+    mismatch : string option;
+    corrupt_flips : int;
+    corrupt_caught : int;
+  }
+
+  type summary = {
+    results : point_result list;
+    points : int;
+    equivalent : int;
+    corrupt_flips : int;
+    corrupt_caught : int;
+  }
+
+  (* Modest tracer so a campaign of points (possibly across domains)
+     stays cheap; both runs of a point use the same capacity, so drops
+     are identical and the digest comparison is exact. *)
+  let obs_capacity = 1 lsl 15
+  let obs_interval = 64
+
+  let default_matrix ?workloads ?(cores = [ 8 ]) ?(partitions = [ 1; 4 ])
+      ?(draws = 1) ?(seed = 42) () =
+    let names =
+      match workloads with
+      | Some ws -> ws
+      | None -> List.map (fun w -> w.Workloads.name) Workloads.all
+    in
+    List.concat_map
+      (fun workload ->
+        List.concat_map
+          (fun n_cores ->
+            List.concat_map
+              (fun parts ->
+                List.init draws (fun draw ->
+                    { workload; n_cores; partitions = parts; seed; draw }))
+              partitions)
+          cores)
+      names
+
+  let rm_rf dir =
+    (match Sys.readdir dir with
+    | entries ->
+      Array.iter
+        (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+        entries
+    | exception Sys_error _ -> ());
+    try Sys.rmdir dir with Sys_error _ -> ()
+
+  (* One byte flipped anywhere in a section payload must be refused by
+     that section's CRC. Returns (flippable sections, flips caught). *)
+  let corrupt_check path =
+    let raw = In_channel.with_open_bin path In_channel.input_all in
+    let flippable =
+      List.filter (fun (_, _, len) -> len > 0) (Checkpoint.payload_ranges path)
+    in
+    let caught =
+      List.fold_left
+        (fun acc (_name, off, len) ->
+          let b = Bytes.of_string raw in
+          let i = off + (len / 2) in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+          match Checkpoint.of_string (Bytes.to_string b) with
+          | _ -> acc
+          | exception Checkpoint.Corrupt _ -> acc + 1)
+        0 flippable
+    in
+    (List.length flippable, caught)
+
+  let run_point ?(scale = 1.0) p =
+    let w = find_workload p.workload in
+    let cfg = Coprocessor.config ~n_cores:p.n_cores () in
+    let mk_obs () =
+      let o =
+        Tracer.create ~capacity:obs_capacity ~interval:obs_interval
+          ~n_cores:p.n_cores ()
+      in
+      Tracer.enable o;
+      o
+    in
+    (* Uninterrupted reference run. Sequential stepping is fine — the
+       BSP schedule is bit-identical by construction, so the resumed
+       run may step under any partition count. *)
+    let base_stats, base_ok, base_digest =
+      let heap = Workloads.build_heap ~scale ~seed:p.seed w in
+      let pre = Verify.snapshot heap in
+      let obs = mk_obs () in
+      let stats = Coprocessor.collect ~obs cfg heap in
+      (stats, Verify.check_collection ~pre heap = Ok (), Tracer.digest obs)
+    in
+    let total = base_stats.Coprocessor.total_cycles in
+    (* Deterministic random kill cycle, strictly inside the run. *)
+    let rng =
+      Rng.create
+        (p.seed
+        + (p.draw * 7919)
+        + (p.n_cores * 131)
+        + (p.partitions * 31)
+        + Hashtbl.hash p.workload)
+    in
+    let kill_cycle = 1 + Rng.int rng (total - 1) in
+    (* At least one periodic checkpoint strictly before the kill, plus
+       the final one written at the kill itself. *)
+    let every = max 1 ((kill_cycle + 1) / 2) in
+    let meta =
+      {
+        Resume.workload = p.workload;
+        scale;
+        seed = p.seed;
+        partitions = p.partitions;
+        obs_on = true;
+        obs_capacity;
+        obs_interval;
+        prof_on = false;
+      }
+    in
+    let dir = Filename.temp_dir "hsgc-interrupt" "" in
+    Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+    (* The run that gets killed: checkpointing on, stopped in its
+       tracks at the kill cycle (in-process stand-in for SIGINT; the CI
+       resume-smoke job covers a real SIGKILL). *)
+    let killed =
+      let heap = Workloads.build_heap ~scale ~seed:p.seed w in
+      let sim = Coprocessor.start ~obs:(mk_obs ()) cfg heap in
+      Resume.drive ~every ~dir ~stop_at:kill_cycle ~partitions:p.partitions
+        ~meta sim
+    in
+    match killed with
+    | Resume.Finished _ ->
+      failwith "Chaos.Interrupt: run finished before its kill cycle"
+    | Resume.Stopped { checkpoint = None; _ } ->
+      failwith "Chaos.Interrupt: killed run left no checkpoint"
+    | Resume.Stopped { at_cycle = _; checkpoint = Some _ } ->
+      let checkpoints = Array.length (Sys.readdir dir) in
+      let latest =
+        match Resume.latest ~dir with
+        | Some f -> f
+        | None -> failwith "Chaos.Interrupt: no checkpoint to resume from"
+      in
+      let corrupt_flips, corrupt_caught = corrupt_check latest in
+      (* Resume from the latest checkpoint and run to completion. *)
+      let r = Resume.resume ~path:latest () in
+      let finish ~equivalent ~mismatch =
+        {
+          point = p;
+          total_cycles = total;
+          kill_cycle;
+          checkpoints;
+          equivalent;
+          mismatch;
+          corrupt_flips;
+          corrupt_caught;
+        }
+      in
+      (match
+         Resume.drive ~partitions:r.Resume.meta.Resume.partitions
+           ~meta:r.Resume.meta r.Resume.sim
+       with
+      | Resume.Stopped _ ->
+        finish ~equivalent:false
+          ~mismatch:(Some "resumed run stopped without a stop condition")
+      | Resume.Finished (gc, _) ->
+        let resumed_ok =
+          Verify.check_collection ~pre:r.Resume.pre r.Resume.heap = Ok ()
+        in
+        let resumed_digest = Tracer.digest (Option.get r.Resume.obs) in
+        let mismatch =
+          if gc.Coprocessor.total_cycles <> total then
+            Some
+              (Printf.sprintf "total_cycles: resumed %d, uninterrupted %d"
+                 gc.Coprocessor.total_cycles total)
+          else if not (resumed_ok && base_ok) then
+            Some
+              (Printf.sprintf "verification: resumed %b, uninterrupted %b"
+                 resumed_ok base_ok)
+          else if gc.Coprocessor.per_core <> base_stats.Coprocessor.per_core
+          then Some "per-core counters differ"
+          else if resumed_digest <> base_digest then
+            Some "trace digest differs"
+          else None
+        in
+        finish ~equivalent:(mismatch = None) ~mismatch)
+
+  let summarize (results : point_result list) =
+    {
+      results;
+      points = List.length results;
+      equivalent =
+        List.length
+          (List.filter (fun (r : point_result) -> r.equivalent) results);
+      corrupt_flips =
+        List.fold_left
+          (fun a (r : point_result) -> a + r.corrupt_flips)
+          0 results;
+      corrupt_caught =
+        List.fold_left
+          (fun a (r : point_result) -> a + r.corrupt_caught)
+          0 results;
+    }
+
+  let run ?scale ?(jobs = 1) points =
+    let jobs = Domain_pool.resolve_jobs ~limit:(List.length points) jobs in
+    summarize
+      (Domain_pool.map_list ~jobs (fun p -> run_point ?scale p) points)
+
+  let passed s = s.equivalent = s.points && s.corrupt_caught = s.corrupt_flips
+
+  let render s =
+    let header =
+      [
+        "workload"; "cores"; "parts"; "kill@"; "of"; "ckpts"; "resume";
+        "corrupt";
+      ]
+    in
+    let rows =
+      List.map
+        (fun r ->
+          [
+            r.point.workload;
+            string_of_int r.point.n_cores;
+            string_of_int r.point.partitions;
+            string_of_int r.kill_cycle;
+            string_of_int r.total_cycles;
+            string_of_int r.checkpoints;
+            (if r.equivalent then "identical"
+             else
+               Printf.sprintf "MISMATCH: %s"
+                 (Option.value r.mismatch ~default:"?"));
+            Printf.sprintf "%d/%d" r.corrupt_caught r.corrupt_flips;
+          ])
+        s.results
+    in
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf
+      "Interrupt campaign. Each point kills a checkpointing run at a\n\
+       deterministic random cycle, resumes from the latest snapshot and\n\
+       demands the resumed final state (verify result, cycle count,\n\
+       per-core counters, trace digest) equals an uninterrupted run's;\n\
+       the corrupt leg flips one byte per snapshot section and demands\n\
+       every flip is refused by its CRC.\n\n";
+    Buffer.add_string buf (Table.render ~header ~rows);
+    Buffer.add_string buf "\n";
+    Buffer.add_string buf
+      (Printf.sprintf "resume equivalence:  %s (%d/%d points)\n"
+         (rate s.equivalent s.points)
+         s.equivalent s.points);
+    Buffer.add_string buf
+      (Printf.sprintf "corrupt detection:   %s (%d/%d flips refused)\n"
+         (rate s.corrupt_caught s.corrupt_flips)
+         s.corrupt_caught s.corrupt_flips);
+    Buffer.contents buf
+
+  (* The JSON object that BENCH_chaos.json records under "interrupt"
+     (also the standalone payload of [gcsim chaos --interrupt -o]). The
+     acceptance gates: both rates must be 1.0. *)
+  let to_json s =
+    let point_json r =
+      Printf.sprintf
+        {|    {"workload": "%s", "cores": %d, "partitions": %d, "seed": %d, "draw": %d, "total_cycles": %d, "kill_cycle": %d, "checkpoints": %d, "equivalent": %b, "mismatch": %s, "corrupt_flips": %d, "corrupt_caught": %d}|}
+        (json_escape r.point.workload)
+        r.point.n_cores r.point.partitions r.point.seed r.point.draw
+        r.total_cycles r.kill_cycle r.checkpoints r.equivalent
+        (match r.mismatch with
+        | None -> "null"
+        | Some m -> Printf.sprintf "\"%s\"" (json_escape m))
+        r.corrupt_flips r.corrupt_caught
+    in
+    Printf.sprintf
+      {|{
+  "interrupt_points": %d,
+  "interrupt_equivalent": %d,
+  "resume_equivalence_rate": %.4f,
+  "corrupt_checks": %d,
+  "corrupt_detected": %d,
+  "corrupt_detection_rate": %.4f,
+  "points": [
+%s
+  ]
+}|}
+      s.points s.equivalent
+      (if s.points = 0 then 1.0
+       else float_of_int s.equivalent /. float_of_int s.points)
+      s.corrupt_flips s.corrupt_caught
+      (if s.corrupt_flips = 0 then 1.0
+       else float_of_int s.corrupt_caught /. float_of_int s.corrupt_flips)
+      (String.concat ",\n" (List.map point_json s.results))
+end
+
+let to_json ?interrupt s =
   let point_json r =
     Printf.sprintf
       {|    {"class": "%s", "intensity": %g, "workload": "%s", "cores": %d, "seed": %d, "attempt": %d, "terminated": %b, "outcome": "%s", "faults": %d, "corruptions": %d, "cycles": %d, "baseline_cycles": %d}|}
@@ -342,7 +657,7 @@ let to_json s =
   "corruption_detected": %d,
   "corruption_silent": %d,
   "detection_rate": %.4f,
-  "mean_delay_overhead": %.4f,
+  "mean_delay_overhead": %.4f,%s
   "points": [
 %s
   ]
@@ -359,4 +674,7 @@ let to_json s =
      else
        float_of_int s.corruption_detected /. float_of_int s.corruption_armed)
     s.mean_delay_overhead
+    (match interrupt with
+    | None -> ""
+    | Some i -> Printf.sprintf "\n  \"interrupt\": %s," (Interrupt.to_json i))
     (String.concat ",\n" (List.map point_json s.results))

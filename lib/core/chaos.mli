@@ -96,6 +96,77 @@ val run :
 val render : summary -> string
 (** Human-readable campaign report (per-point table + rates). *)
 
-val to_json : summary -> string
+(** Interrupt campaign — the crash-safety counterpart of the fault
+    matrix. Each point kills a checkpointing run at a deterministic
+    random cycle mid-collection (an in-process stand-in for SIGINT; the
+    CI resume-smoke job covers a real SIGKILL), resumes from the latest
+    snapshot, and demands the resumed final state — verify result,
+    total cycle count, per-core counters, trace digest — is identical
+    to an uninterrupted run's. A corrupt-detection leg flips one byte
+    in every section payload of the kill-time snapshot and demands the
+    loader refuses each mutant ({!Hsgc_checkpoint.Checkpoint.Corrupt}).
+    Acceptance gates: both rates are 1.0. *)
+module Interrupt : sig
+  type point = {
+    workload : string;
+    n_cores : int;
+    partitions : int;
+        (** BSP partition count the killed and resumed runs step under
+            (1 = sequential stepping) *)
+    seed : int;  (** workload seed *)
+    draw : int;  (** kill-cycle draw index — varies the kill position *)
+  }
+
+  type point_result = {
+    point : point;
+    total_cycles : int;  (** uninterrupted collection length *)
+    kill_cycle : int;  (** deterministic random kill position *)
+    checkpoints : int;  (** snapshot files on disk at the kill *)
+    equivalent : bool;
+    mismatch : string option;  (** first differing statistic, if any *)
+    corrupt_flips : int;  (** sections mutated in the corrupt leg *)
+    corrupt_caught : int;  (** mutants refused by their section CRC *)
+  }
+
+  type summary = {
+    results : point_result list;
+    points : int;
+    equivalent : int;
+    corrupt_flips : int;
+    corrupt_caught : int;
+  }
+
+  val default_matrix :
+    ?workloads:string list ->
+    ?cores:int list ->
+    ?partitions:int list ->
+    ?draws:int ->
+    ?seed:int ->
+    unit ->
+    point list
+  (** All workloads (or [workloads]) × [cores] (default [[8]]) ×
+      [partitions] (default [[1; 4]]) × [draws] kill positions
+      (default 1). *)
+
+  val run_point : ?scale:float -> point -> point_result
+  (** Uninterrupted reference run, killed-and-checkpointed run, corrupt
+      leg, resumed run, equivalence comparison. Checkpoints live in a
+      fresh temporary directory, removed before returning. *)
+
+  val run : ?scale:float -> ?jobs:int -> point list -> summary
+
+  val passed : summary -> bool
+  (** Both gates at 100%: every point resume-equivalent, every flip
+      refused. *)
+
+  val render : summary -> string
+
+  val to_json : summary -> string
+  (** Standalone JSON object (also what {!val:to_json} embeds under
+      ["interrupt"] in BENCH_chaos.json). *)
+end
+
+val to_json : ?interrupt:Interrupt.summary -> summary -> string
 (** The BENCH_chaos.json payload: campaign rates plus the per-point
-    records. *)
+    records; [interrupt] adds the interrupt campaign's record under an
+    ["interrupt"] key. *)

@@ -418,7 +418,15 @@ let to_json suite =
   Buffer.add_string buf (Printf.sprintf "  \"scale\": %g,\n" suite.scale);
   Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" suite.seed);
   Buffer.add_string buf (json_of_aggregate ~indent:2 suite.base);
-  Buffer.add_string buf ",\n  \"legs\": [\n";
+  Buffer.add_string buf
+    ",\n\
+    \  \"note\": \"base skip_speedup near (or slightly below) 1.0 is \
+     expected: at default memory latency the aggregate skipped_frac is \
+     only ~0.27, so the wake-queue bookkeeping roughly cancels the \
+     skipped cycles. The kernel's payoff is gated where skipping pays \
+     — latency_bound.skip_speedup must be >= 1.0 (hard) and within \
+     tolerance of the baseline.\",\n";
+  Buffer.add_string buf "  \"legs\": [\n";
   List.iteri
     (fun i l ->
       if i > 0 then Buffer.add_string buf ",\n";
@@ -607,6 +615,18 @@ let check ~baseline suite =
    else if suite.latency.skip_speedup < lat_speedup0 *. (1.0 -. tol) then
      err "latency-bound skip speedup regressed: %.2fx vs baseline %.2fx"
        suite.latency.skip_speedup lat_speedup0);
+  (* Hard bar, independent of the baseline: with +20-cycle memory
+     latency the event-driven kernel must actually win. Below 1.0x the
+     wake-queue bookkeeping outweighs the skipped cycles even where
+     skipping pays most — the fast path is broken, not merely slower.
+     No absolute bar at base latency: there skipped_frac is only ~0.27
+     and the aggregate legitimately hovers around 1.0x (see the "note"
+     field of BENCH_sim.json). *)
+  if suite.latency.skip_speedup < 1.0 then
+    err
+      "latency-bound skip speedup is %.2fx (< 1.00x): event-driven stepping \
+       must beat naive stepping when memory-bound"
+      suite.latency.skip_speedup;
   (* Sanitizer-on overhead: gated only against baselines that record it
      (pre-sanitizer baselines simply skip the check). Although a ratio
      of two same-host wall times, it swings tens of points between runs

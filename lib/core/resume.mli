@@ -1,0 +1,100 @@
+(** Deterministic checkpoint/restore driver — crash-safe long runs.
+
+    Steps a collection (sequentially or under the BSP scheduler) with
+    every step horizon-capped at the next checkpoint boundary, writes an
+    atomic CRC-guarded snapshot ({!Hsgc_checkpoint.Checkpoint}) exactly
+    at each boundary, and reconstructs a machine from any such snapshot
+    so the run continues bit-identically.
+
+    The horizon cap can only split the kernel's fast-forwards, so the
+    executed/skipped split is the {e only} statistic checkpointing
+    perturbs: total cycles, every per-core counter, verify results and
+    tracer digests of a resumed run equal the uninterrupted run's —
+    the equivalence the interrupt-chaos campaign gates on. With
+    checkpointing off the driver is byte-for-byte the plain stepping
+    loop (zero cost). Incompatible with [--sanitize] (the sanitizer's
+    interned state is process-local; {!Hsgc_coproc.Coprocessor.Snapshot}
+    rejects it). *)
+
+val fingerprint : unit -> string
+(** Digest (hex) of the running executable — the compatibility key
+    embedded in checkpoints and repro journals. Memoized. *)
+
+(** What a snapshot needs beyond machine state to become a running
+    collection again: how to rebuild the pre-collection heap and which
+    observability instruments to re-attach. *)
+type meta = {
+  workload : string;
+  scale : float;
+  seed : int;
+  partitions : int;  (** writer's BSP partition count (informational) *)
+  obs_on : bool;
+  obs_capacity : int;
+  obs_interval : int;
+  prof_on : bool;
+}
+
+val save :
+  ?fingerprint:string -> Hsgc_coproc.Coprocessor.sim -> meta -> path:string ->
+  unit
+(** Snapshot the machine ({!Hsgc_coproc.Coprocessor.Snapshot.save}), add
+    the [meta] section, write atomically. Only valid between steps. *)
+
+type resumed = {
+  sim : Hsgc_coproc.Coprocessor.sim;
+  meta : meta;
+  cfg : Hsgc_coproc.Coprocessor.config;
+  heap : Hsgc_heap.Heap.t;
+  pre : Hsgc_heap.Verify.snapshot;
+      (** pre-collection verification baseline, rebuilt from the
+          workload — identical to the uninterrupted run's *)
+  obs : Hsgc_obs.Tracer.t option;
+  prof : Hsgc_obs.Profiler.t option;
+}
+
+val resume : ?fingerprint:string -> path:string -> unit -> resumed
+(** Load and fully verify a snapshot, refuse one written by a different
+    binary (or pass [fingerprint] to override the key), rebuild the
+    workload heap deterministically, restore the machine mid-collection.
+    Raises {!Hsgc_checkpoint.Checkpoint.Corrupt} on any integrity,
+    format, or compatibility violation. *)
+
+val checkpoint_path : dir:string -> cycle:int -> string
+(** [dir/ckpt-<cycle>.ckpt] (cycle zero-padded so lexicographic order is
+    cycle order). *)
+
+val latest : dir:string -> string option
+(** Newest periodic checkpoint in [dir] ([None] when there is none; the
+    post-mortem snapshot is never auto-resumed). *)
+
+val postmortem_name : string
+(** File name of the watchdog post-mortem snapshot ([postmortem.ckpt]). *)
+
+type outcome =
+  | Finished of Hsgc_coproc.Coprocessor.gc_stats * Hsgc_coproc.Bsp.stats option
+      (** ran to completion ([finalize]d); BSP stats when [partitions > 1] *)
+  | Stopped of { at_cycle : int; checkpoint : string option }
+      (** [should_stop]/[stop_at] ended the run early; [checkpoint] is
+          the final snapshot written (when checkpointing is on) *)
+
+val drive :
+  ?every:int ->
+  ?dir:string ->
+  ?stop_at:int ->
+  ?should_stop:(unit -> bool) ->
+  ?span_timeout_s:float ->
+  ?fail_hook:(int -> unit) ->
+  partitions:int ->
+  meta:meta ->
+  Hsgc_coproc.Coprocessor.sim ->
+  outcome
+(** Run the machine to completion. [every]/[dir] enable periodic
+    checkpoints at every multiple of [every] simulated cycles (boundary
+    exact: steps are horizon-capped so [now] lands on the boundary).
+    [should_stop] is polled between steps (signal handlers set a flag);
+    [stop_at] is the chaos campaign's deterministic in-process kill.
+    Both end the run with a final checkpoint and [Stopped].
+    [partitions > 1] drives the machine through {!Hsgc_coproc.Bsp} with
+    worker supervision ([span_timeout_s]/[fail_hook] as in
+    {!Hsgc_coproc.Bsp.start}). If the watchdog trips, a post-mortem
+    snapshot is written to [dir] before [Stall_diagnosis] propagates. *)

@@ -193,3 +193,52 @@ let pp_counts ppf c =
      corrupt-hdr=%d"
     c.delays c.delay_cycles c.fifo_drops c.cache_invalidations c.busies
     c.body_corruptions c.header_corruptions
+
+(* Checkpoint codec: the RNG stream position and the fault counts are
+   the injector's entire mutable state (the spec is immutable and comes
+   back through the run configuration). Restoring the stream position
+   replays the exact fault sequence of the interrupted run. *)
+module Codec = Hsgc_util.Codec
+
+let encode t w =
+  match t with
+  | Off -> Codec.W.bool w false
+  | On s ->
+      Codec.W.bool w true;
+      Codec.W.i64 w (Rng.state s.rng);
+      let c = s.c in
+      Codec.W.int w c.delays;
+      Codec.W.int w c.delay_cycles;
+      Codec.W.int w c.fifo_drops;
+      Codec.W.int w c.cache_invalidations;
+      Codec.W.int w c.busies;
+      Codec.W.int w c.body_corruptions;
+      Codec.W.int w c.header_corruptions
+
+let restore t r =
+  let enabled = Codec.R.bool r in
+  match (t, enabled) with
+  | Off, false -> ()
+  | On s, true ->
+      Rng.set_state s.rng (Codec.R.i64 r);
+      let delays = Codec.R.int r in
+      let delay_cycles = Codec.R.int r in
+      let fifo_drops = Codec.R.int r in
+      let cache_invalidations = Codec.R.int r in
+      let busies = Codec.R.int r in
+      let body_corruptions = Codec.R.int r in
+      let header_corruptions = Codec.R.int r in
+      s.c <-
+        {
+          delays;
+          delay_cycles;
+          fifo_drops;
+          cache_invalidations;
+          busies;
+          body_corruptions;
+          header_corruptions;
+        }
+  | Off, true | On _, false ->
+      raise
+        (Codec.Error
+           "fault-injector enablement differs between snapshot and machine")

@@ -122,3 +122,12 @@ val corruptions : t -> int
 (** Corruption-class faults only — the detection-coverage denominator. *)
 
 val pp_counts : Format.formatter -> counts -> unit
+
+(** {2 Checkpointing} *)
+
+val encode : t -> Hsgc_util.Codec.W.t -> unit
+val restore : t -> Hsgc_util.Codec.R.t -> unit
+(** Checkpoint/reinstate the RNG stream position and fault counts, so a
+    resumed run replays the exact fault sequence. [restore] raises
+    {!Hsgc_util.Codec.Error} when snapshot and machine disagree about
+    whether injection is enabled. *)

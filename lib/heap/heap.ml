@@ -59,6 +59,25 @@ let alloc t ~pi ~delta =
     Array.fill t.mem (obj + 1) (size - 1) 0;
     Some obj
 
+(* Checkpoint codec: the full memory image, both space bump pointers,
+   orientation, and the root set. Restore overwrites an existing heap of
+   identical geometry in place (the memory array is reused). *)
+module Codec = Hsgc_util.Codec
+
+let encode t w =
+  Codec.W.int_array w t.mem;
+  Semispace.encode t.space_a w;
+  Semispace.encode t.space_b w;
+  Codec.W.bool w t.a_is_current;
+  Codec.W.int_array w t.roots
+
+let restore t r =
+  Codec.R.int_array_into r t.mem ~what:"heap memory";
+  Semispace.restore t.space_a r;
+  Semispace.restore t.space_b r;
+  t.a_is_current <- Codec.R.bool r;
+  t.roots <- Codec.R.int_array r
+
 let set_roots t roots = t.roots <- roots
 let add_root t obj = t.roots <- Array.append t.roots [| obj |]
 let root_count t = Array.length t.roots

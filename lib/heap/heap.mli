@@ -82,6 +82,17 @@ val alloc : t -> pi:int -> delta:int -> int option
     the given areas, zero the body, and return its address; [None] when
     the space cannot fit it (time to collect). *)
 
+(** {2 Checkpointing} *)
+
+val encode : t -> Hsgc_util.Codec.W.t -> unit
+(** Checkpoint the complete heap state: memory image, both semispaces,
+    orientation, roots. *)
+
+val restore : t -> Hsgc_util.Codec.R.t -> unit
+(** Overwrite this heap in place from an encoded image. The heap must
+    have the same geometry (semispace size) as the encoded one; raises
+    {!Hsgc_util.Codec.Error} otherwise. *)
+
 (** {2 Roots} *)
 
 val set_roots : t -> int array -> unit

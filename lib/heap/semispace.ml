@@ -10,6 +10,30 @@ let available t = t.limit - t.free
 let contains t addr = addr >= t.base && addr < t.limit
 let reset t = t.free <- t.base
 
+(* Checkpoint codec: [base]/[limit] are geometry fixed at creation, so
+   they are encoded for validation only — restoring into a space with a
+   different geometry is a snapshot/machine mismatch. *)
+module Codec = Hsgc_util.Codec
+
+let encode t w =
+  Codec.W.int w t.base;
+  Codec.W.int w t.limit;
+  Codec.W.int w t.free
+
+let restore t r =
+  let base = Codec.R.int r in
+  let limit = Codec.R.int r in
+  let free = Codec.R.int r in
+  if base <> t.base || limit <> t.limit then
+    raise
+      (Codec.Error
+         (Printf.sprintf
+            "semispace geometry [%d,%d) does not match machine [%d,%d)" base
+            limit t.base t.limit));
+  if free < base || free > limit then
+    raise (Codec.Error (Printf.sprintf "semispace free %d out of range" free));
+  t.free <- free
+
 let bump t n =
   if n < 0 then invalid_arg "Semispace.bump";
   if t.free + n > t.limit then None

@@ -27,6 +27,14 @@ val contains : t -> int -> bool
 val reset : t -> unit
 (** Rewind [free] to [base] (the space becomes empty; contents stale). *)
 
+val encode : t -> Hsgc_util.Codec.W.t -> unit
+(** Checkpoint the space ([base]/[limit] for validation, [free] as
+    state). *)
+
+val restore : t -> Hsgc_util.Codec.R.t -> unit
+(** Reinstate [free]; raises {!Hsgc_util.Codec.Error} if the encoded
+    geometry differs from this space's. *)
+
 val bump : t -> int -> int option
 (** [bump t n] allocates [n] words and returns the base address of the
     allocation, or [None] if fewer than [n] words remain. *)

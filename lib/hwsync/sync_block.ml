@@ -232,3 +232,28 @@ let assert_no_locks t ~core =
     protocol_fail t ~core
       ~addr:t.header_regs.(core)
       Diag.Locks_at_barrier "core still holds a header lock"
+
+(* Checkpoint codec: the complete register file — scan/free, lock
+   owners, per-core header-lock registers, busy bits, barrier arrival
+   bits and the release counter. *)
+module Codec = Hsgc_util.Codec
+
+let encode t w =
+  Codec.W.int w t.scan;
+  Codec.W.int w t.free;
+  Codec.W.int w t.scan_owner;
+  Codec.W.int w t.free_owner;
+  Codec.W.int_array w t.header_regs;
+  Codec.W.bool_array w t.busy;
+  Codec.W.bool_array w t.arrived;
+  Codec.W.int w t.release_count
+
+let restore t r =
+  t.scan <- Codec.R.int r;
+  t.free <- Codec.R.int r;
+  t.scan_owner <- Codec.R.int r;
+  t.free_owner <- Codec.R.int r;
+  Codec.R.int_array_into r t.header_regs ~what:"header-lock registers";
+  Codec.R.bool_array_into r t.busy ~what:"busy bits";
+  Codec.R.bool_array_into r t.arrived ~what:"barrier arrival bits";
+  t.release_count <- Codec.R.int r

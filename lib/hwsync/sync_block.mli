@@ -137,3 +137,10 @@ val next_wake : t -> int option
 val assert_no_locks : t -> core:int -> unit
 (** Raise {!Hsgc_sanitizer.Diag.Violation} if the core holds any lock —
     used at barrier boundaries. *)
+
+(** {2 Checkpointing} *)
+
+val encode : t -> Hsgc_util.Codec.W.t -> unit
+val restore : t -> Hsgc_util.Codec.R.t -> unit
+(** Checkpoint/reinstate the complete register file: scan/free, lock
+    owners, header-lock registers, busy and barrier-arrival bits. *)

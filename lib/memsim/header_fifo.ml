@@ -94,3 +94,26 @@ let fault_drops t = t.drops
 let clear t =
   t.head <- 0;
   t.len <- 0
+
+(* Checkpoint codec: ring contents plus cursors and counters. *)
+module Codec = Hsgc_util.Codec
+
+let encode t w =
+  Codec.W.int_array w t.buf;
+  Codec.W.int w t.head;
+  Codec.W.int w t.len;
+  Codec.W.int w t.overflows;
+  Codec.W.int w t.hits;
+  Codec.W.int w t.misses;
+  Codec.W.int w t.drops
+
+let restore t r =
+  Codec.R.int_array_into r t.buf ~what:"header FIFO ring";
+  t.head <- Codec.R.int r;
+  t.len <- Codec.R.int r;
+  if t.head < 0 || t.head >= t.capacity || t.len < 0 || t.len > t.capacity
+  then raise (Codec.Error "header FIFO cursors out of range");
+  t.overflows <- Codec.R.int r;
+  t.hits <- Codec.R.int r;
+  t.misses <- Codec.R.int r;
+  t.drops <- Codec.R.int r

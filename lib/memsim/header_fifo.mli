@@ -60,3 +60,10 @@ val next_wake : t -> int option
 
 val clear : t -> unit
 (** Empty the FIFO (between collection cycles); counters are kept. *)
+
+(** {2 Checkpointing} *)
+
+val encode : t -> Hsgc_util.Codec.W.t -> unit
+val restore : t -> Hsgc_util.Codec.R.t -> unit
+(** Checkpoint/reinstate the ring contents, cursors and counters.
+    [restore] raises {!Hsgc_util.Codec.Error} on a capacity mismatch. *)

@@ -301,3 +301,48 @@ let reset t =
   Header_fifo.clear t.fifo;
   t.accepted_this_cycle <- 0;
   t.cycle <- 0
+
+(* Checkpoint codec: comparator array (live prefix only — committed
+   entries past [ps_n] are garbage by construction), per-cycle
+   acceptance state, the header cache, and the access counters. The
+   FIFO is a separately-owned component and is checkpointed as its own
+   section by the simulator. *)
+module Codec = Hsgc_util.Codec
+
+let encode t w =
+  Codec.W.int w t.ps_n;
+  for i = 0 to t.ps_n - 1 do
+    Codec.W.int w t.ps_addr.(i);
+    Codec.W.int w t.ps_commit.(i)
+  done;
+  Codec.W.int w t.accepted_this_cycle;
+  Codec.W.int w t.cycle;
+  Codec.W.int_array w t.header_cache;
+  Codec.W.int w t.loads;
+  Codec.W.int w t.stores;
+  Codec.W.int w t.rejected_bandwidth;
+  Codec.W.int w t.rejected_order;
+  Codec.W.int w t.cache_hits;
+  Codec.W.int w t.cache_misses
+
+let restore t r =
+  let n = Codec.R.int r in
+  if n < 0 then raise (Codec.Error "negative comparator-array occupancy");
+  if n > Array.length t.ps_addr then begin
+    t.ps_addr <- Array.make n 0;
+    t.ps_commit <- Array.make n 0
+  end;
+  for i = 0 to n - 1 do
+    t.ps_addr.(i) <- Codec.R.int r;
+    t.ps_commit.(i) <- Codec.R.int r
+  done;
+  t.ps_n <- n;
+  t.accepted_this_cycle <- Codec.R.int r;
+  t.cycle <- Codec.R.int r;
+  Codec.R.int_array_into r t.header_cache ~what:"header cache";
+  t.loads <- Codec.R.int r;
+  t.stores <- Codec.R.int r;
+  t.rejected_bandwidth <- Codec.R.int r;
+  t.rejected_order <- Codec.R.int r;
+  t.cache_hits <- Codec.R.int r;
+  t.cache_misses <- Codec.R.int r

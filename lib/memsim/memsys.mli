@@ -141,3 +141,11 @@ val reset : t -> unit
 (** Full reset for reuse across independent runs: [reset_stats] plus the
     header cache, the comparator array, the per-cycle acceptance budget,
     the internal clock and the header FIFO. *)
+
+(** {2 Checkpointing} *)
+
+val encode : t -> Hsgc_util.Codec.W.t -> unit
+val restore : t -> Hsgc_util.Codec.R.t -> unit
+(** Checkpoint/reinstate the comparator array, per-cycle acceptance
+    state, header cache and access counters. The header FIFO is owned
+    separately and has its own section. *)

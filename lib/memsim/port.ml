@@ -182,3 +182,23 @@ let describe t =
   else if t.st = st_ready then "ready"
   else if t.st = st_waiting then Printf.sprintf "waiting addr=%d" t.addr
   else Printf.sprintf "in-flight addr=%d done@%d" t.addr t.done_at
+
+(* Checkpoint codec: the four status fields are the port's entire
+   mutable state; [events]/[faults]/[hooks]/[obs] are wiring owned by
+   the simulator and restored at its level. *)
+module Codec = Hsgc_util.Codec
+
+let encode t w =
+  Codec.W.int w t.st;
+  Codec.W.int w t.addr;
+  Codec.W.int w t.done_at;
+  Codec.W.int w t.issued_at
+
+let restore t r =
+  let st = Codec.R.int r in
+  if st < st_idle || st > st_ready then
+    raise (Codec.Error (Printf.sprintf "port status %d out of range" st));
+  t.st <- st;
+  t.addr <- Codec.R.int r;
+  t.done_at <- Codec.R.int r;
+  t.issued_at <- Codec.R.int r

@@ -164,3 +164,12 @@ val in_flight_done : t -> int
 val order_held : t -> Memsys.t -> bool
 (** The buffer is a header load currently held by the comparator array
     (a header store to the same address is still pending). *)
+
+(** {2 Checkpointing} *)
+
+val encode : t -> Hsgc_util.Codec.W.t -> unit
+(** Checkpoint the buffer's status fields (state, address, completion
+    and deposit cycles). *)
+
+val restore : t -> Hsgc_util.Codec.R.t -> unit
+(** Reinstate encoded status fields in place. *)

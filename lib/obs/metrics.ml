@@ -96,3 +96,58 @@ let counter_name c = c.c_name
 let counter_value c = c.value
 let all_hists t = List.rev t.hists
 let all_counters t = List.rev t.counters
+
+(* Checkpoint codec: every histogram and counter in registration order.
+   Restore targets a registry built by the same component constructors,
+   so names are validated as a cheap shape check. *)
+module Codec = Hsgc_util.Codec
+
+let encode t w =
+  let hists = all_hists t and counters = all_counters t in
+  Codec.W.int w (List.length hists);
+  List.iter
+    (fun h ->
+      Codec.W.string w h.h_name;
+      Codec.W.int_array w h.buckets;
+      Codec.W.int w h.count;
+      Codec.W.int w h.sum;
+      Codec.W.int w h.max_value)
+    hists;
+  Codec.W.int w (List.length counters);
+  List.iter
+    (fun c ->
+      Codec.W.string w c.c_name;
+      Codec.W.int w c.value)
+    counters
+
+let restore t r =
+  let hists = all_hists t and counters = all_counters t in
+  let nh = Codec.R.int r in
+  if nh <> List.length hists then
+    raise (Codec.Error "metrics registry: histogram count mismatch");
+  List.iter
+    (fun h ->
+      let name = Codec.R.string r in
+      if name <> h.h_name then
+        raise
+          (Codec.Error
+             (Printf.sprintf "metrics registry: histogram %S, expected %S"
+                name h.h_name));
+      Codec.R.int_array_into r h.buckets ~what:"histogram buckets";
+      h.count <- Codec.R.int r;
+      h.sum <- Codec.R.int r;
+      h.max_value <- Codec.R.int r)
+    hists;
+  let nc = Codec.R.int r in
+  if nc <> List.length counters then
+    raise (Codec.Error "metrics registry: counter count mismatch");
+  List.iter
+    (fun c ->
+      let name = Codec.R.string r in
+      if name <> c.c_name then
+        raise
+          (Codec.Error
+             (Printf.sprintf "metrics registry: counter %S, expected %S" name
+                c.c_name));
+      c.value <- Codec.R.int r)
+    counters

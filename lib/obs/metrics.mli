@@ -42,3 +42,10 @@ val all_hists : t -> hist list
 val all_counters : t -> counter list
 
 val hist_buckets : int
+
+(** {2 Checkpointing} *)
+
+val encode : t -> Hsgc_util.Codec.W.t -> unit
+val restore : t -> Hsgc_util.Codec.R.t -> unit
+(** Checkpoint/reinstate every histogram and counter, in registration
+    order; names are validated on restore as a shape check. *)

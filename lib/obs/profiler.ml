@@ -88,3 +88,24 @@ let total_stall_cycles t =
     s := !s + column t ~bucket:b
   done;
   !s
+
+(* Checkpoint codec: attribution matrix and per-core halt marks. *)
+module Codec = Hsgc_util.Codec
+
+let encode t w =
+  Codec.W.bool w t.on;
+  Codec.W.int w t.n_cores;
+  Codec.W.int_array w t.buckets;
+  Codec.W.int_array w t.halt_at
+
+let restore t r =
+  let on = Codec.R.bool r in
+  let n = Codec.R.int r in
+  if n <> t.n_cores then
+    raise
+      (Codec.Error
+         (Printf.sprintf "profiler is for %d cores, machine has %d" n
+            t.n_cores));
+  t.on <- on;
+  Codec.R.int_array_into r t.buckets ~what:"profiler buckets";
+  Codec.R.int_array_into r t.halt_at ~what:"profiler halt marks"

@@ -48,3 +48,10 @@ val column : t -> bucket:int -> int
 
 val total_stall_cycles : t -> int
 (** Sum of the seven stall columns across all cores. *)
+
+(** {2 Checkpointing} *)
+
+val encode : t -> Hsgc_util.Codec.W.t -> unit
+val restore : t -> Hsgc_util.Codec.R.t -> unit
+(** Checkpoint/reinstate the attribution matrix and halt marks; restore
+    validates the core count. *)

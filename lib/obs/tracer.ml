@@ -347,3 +347,87 @@ let serialize ?(include_skips = false) t =
 
 let digest ?include_skips t =
   Digest.to_hex (Digest.string (serialize ?include_skips t))
+
+(* Checkpoint codec: the event ring (kept prefix only), every open-span
+   tracking register, the sampling cursor, and the metrics registry.
+   Restore targets a tracer created with the same capacity / interval /
+   core count — the constructor parameters are validated, not restored.
+   The shared [disabled] singleton round-trips as a single flag. *)
+module Codec = Hsgc_util.Codec
+
+let encode t w =
+  Codec.W.bool w t.on;
+  Codec.W.int w t.capacity;
+  Codec.W.int w t.n_cores;
+  Codec.W.int w t.interval;
+  if t.on then begin
+    Codec.W.int w t.cycle;
+    Codec.W.int w t.len;
+    Codec.W.int w t.dropped;
+    for i = 0 to t.len - 1 do
+      Codec.W.int w t.ev_cycle.(i);
+      Codec.W.int w t.ev_code.(i);
+      Codec.W.int w t.ev_core.(i);
+      Codec.W.int w t.ev_a.(i);
+      Codec.W.int w t.ev_b.(i)
+    done;
+    Codec.W.int_array w t.cur_phase;
+    Codec.W.int_array w t.phase_start;
+    Codec.W.int_array w t.run_kind;
+    Codec.W.int_array w t.run_start;
+    Codec.W.int_array w t.run_len;
+    Codec.W.int w t.ovf_start;
+    Codec.W.int w t.ovf_count;
+    Codec.W.int w t.next_sample;
+    Codec.W.int w t.scan_acquired;
+    Codec.W.int w t.free_acquired;
+    Codec.W.int_array w t.header_acquired;
+    Codec.W.int_array w t.object_start;
+    Metrics.encode t.metrics w
+  end
+
+let restore t r =
+  let on = Codec.R.bool r in
+  let capacity = Codec.R.int r in
+  let n_cores = Codec.R.int r in
+  let interval = Codec.R.int r in
+  if on && not t.on then
+    raise (Codec.Error "snapshot has tracing on, machine does not");
+  if (not on) && t.on then
+    raise (Codec.Error "snapshot has tracing off, machine does not");
+  if on then begin
+    if capacity <> t.capacity || n_cores <> t.n_cores || interval <> t.interval
+    then
+      raise
+        (Codec.Error
+           (Printf.sprintf
+              "tracer shape (capacity %d, cores %d, interval %d) does not \
+               match machine (%d, %d, %d)"
+              capacity n_cores interval t.capacity t.n_cores t.interval));
+    t.cycle <- Codec.R.int r;
+    let len = Codec.R.int r in
+    if len < 0 || len > t.capacity then
+      raise (Codec.Error "tracer event count out of range");
+    t.len <- len;
+    t.dropped <- Codec.R.int r;
+    for i = 0 to len - 1 do
+      t.ev_cycle.(i) <- Codec.R.int r;
+      t.ev_code.(i) <- Codec.R.int r;
+      t.ev_core.(i) <- Codec.R.int r;
+      t.ev_a.(i) <- Codec.R.int r;
+      t.ev_b.(i) <- Codec.R.int r
+    done;
+    Codec.R.int_array_into r t.cur_phase ~what:"tracer open phases";
+    Codec.R.int_array_into r t.phase_start ~what:"tracer phase starts";
+    Codec.R.int_array_into r t.run_kind ~what:"tracer run kinds";
+    Codec.R.int_array_into r t.run_start ~what:"tracer run starts";
+    Codec.R.int_array_into r t.run_len ~what:"tracer run lengths";
+    t.ovf_start <- Codec.R.int r;
+    t.ovf_count <- Codec.R.int r;
+    t.next_sample <- Codec.R.int r;
+    t.scan_acquired <- Codec.R.int r;
+    t.free_acquired <- Codec.R.int r;
+    Codec.R.int_array_into r t.header_acquired ~what:"tracer lock stamps";
+    Codec.R.int_array_into r t.object_start ~what:"tracer object starts";
+    Metrics.restore t.metrics r
+  end

@@ -161,3 +161,12 @@ val serialize : ?include_skips:bool -> t -> string
 
 val digest : ?include_skips:bool -> t -> string
 (** Hex MD5 of {!serialize} — the golden-trace fingerprint. *)
+
+(** {2 Checkpointing} *)
+
+val encode : t -> Hsgc_util.Codec.W.t -> unit
+val restore : t -> Hsgc_util.Codec.R.t -> unit
+(** Checkpoint/reinstate the event ring, open-span registers, sampling
+    cursor and metrics. Restore validates that the tracer was created
+    with the same capacity / core count / sampling interval and the
+    same on/off state as the snapshotted one. *)

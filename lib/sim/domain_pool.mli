@@ -47,6 +47,19 @@ module Pool : sig
   (** Block until the lane's outstanding job finishes; re-raises its
       exception. *)
 
+  val try_wait :
+    t -> lane:int -> timeout_s:float -> [ `Done | `Failed of exn | `Timed_out ]
+  (** Supervised form of {!wait}: poll for completion with a wall-clock
+      deadline. [`Failed e] reports the job's exception without raising
+      it. [`Timed_out] {e abandons} the job — domains cannot be killed —
+      and poisons the lane: it accepts no further work ({!post} raises)
+      and {!shutdown} will not join its worker. The caller must stop
+      sharing mutable state with the abandoned job. *)
+
+  val poisoned : t -> lane:int -> bool
+  (** Whether a supervised wait timed out on this lane ([false] for lane
+      0 and out-of-range lanes). *)
+
   val shutdown : t -> unit
   (** Stop and join every worker. Idempotent; the pool is unusable
       afterwards. *)

@@ -92,3 +92,30 @@ module Watchdog = struct
         "no progress for %d executed cycles (last progress at cycle %d)"
         window since
 end
+
+(* Checkpoint codec: clock position and executed/skipped split.
+   [wall_start] is host time and intentionally not restored — a resumed
+   run's wall-clock figures describe the resumed process only. *)
+module Codec = Hsgc_util.Codec
+
+let encode t w =
+  Codec.W.bool w t.skip;
+  Codec.W.int w t.now;
+  Codec.W.int w t.executed;
+  Codec.W.int w t.skipped
+
+let restore t r =
+  let skip = Codec.R.bool r in
+  if skip <> t.skip then
+    raise (Codec.Error "stepping mode (skip) differs between snapshot and machine");
+  t.now <- Codec.R.int r;
+  t.executed <- Codec.R.int r;
+  t.skipped <- Codec.R.int r
+
+let watchdog_encode (d : Watchdog.t) w =
+  Codec.W.int w d.Watchdog.quiet;
+  Codec.W.int w d.Watchdog.last_progress
+
+let watchdog_restore (d : Watchdog.t) r =
+  d.Watchdog.quiet <- Codec.R.int r;
+  d.Watchdog.last_progress <- Codec.R.int r

@@ -104,3 +104,18 @@ module Watchdog : sig
 
   val pp_trip : Format.formatter -> trip -> unit
 end
+
+(** {2 Checkpointing} *)
+
+val encode : t -> Hsgc_util.Codec.W.t -> unit
+val restore : t -> Hsgc_util.Codec.R.t -> unit
+(** Checkpoint/reinstate the clock position and executed/skipped split.
+    [wall_start] is host time and is deliberately left alone — wall
+    figures of a resumed run describe the resumed process. [restore]
+    raises {!Hsgc_util.Codec.Error} when the snapshot was taken under a
+    different stepping mode. *)
+
+val watchdog_encode : Watchdog.t -> Hsgc_util.Codec.W.t -> unit
+val watchdog_restore : Watchdog.t -> Hsgc_util.Codec.R.t -> unit
+(** Checkpoint/reinstate the watchdog's progress tracking, so a resumed
+    run trips at exactly the cycle the uninterrupted one would. *)

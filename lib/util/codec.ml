@@ -1,0 +1,96 @@
+(* Flat binary codec for checkpoint payloads.
+
+   Fixed-width little-endian integers, length-prefixed strings and
+   arrays — no varints, no compression. The format favors auditability
+   over size: every field of the machine state maps to a fixed byte
+   range, so a section's byte image is a deterministic function of the
+   machine and byte-level comparisons between snapshots are meaningful.
+   Integrity is the container's job (per-section CRCs in
+   [Hsgc_checkpoint.Checkpoint]); the reader here only bounds-checks,
+   and every malformed read raises [Error]. *)
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+module W = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 4096
+  let contents = Buffer.contents
+  let i64 w v = Buffer.add_int64_le w v
+  let int w v = i64 w (Int64.of_int v)
+  let bool w b = int w (if b then 1 else 0)
+  let float w f = i64 w (Int64.bits_of_float f)
+
+  let string w s =
+    int w (String.length s);
+    Buffer.add_string w s
+
+  let int_array w a =
+    int w (Array.length a);
+    Array.iter (fun v -> int w v) a
+
+  let bool_array w a =
+    int w (Array.length a);
+    Array.iter (fun v -> bool w v) a
+end
+
+module R = struct
+  type t = { data : string; mutable pos : int }
+
+  let of_string data = { data; pos = 0 }
+  let remaining r = String.length r.data - r.pos
+  let eof r = remaining r = 0
+
+  let i64 r =
+    if remaining r < 8 then fail "codec: truncated read at byte %d" r.pos;
+    let v = String.get_int64_le r.data r.pos in
+    r.pos <- r.pos + 8;
+    v
+
+  let int r = Int64.to_int (i64 r)
+
+  let bool r =
+    match int r with
+    | 0 -> false
+    | 1 -> true
+    | v -> fail "codec: invalid bool %d at byte %d" v r.pos
+
+  let float r = Int64.float_of_bits (i64 r)
+
+  let string r =
+    let n = int r in
+    if n < 0 || n > remaining r then
+      fail "codec: invalid string length %d at byte %d" n r.pos;
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let int_array r =
+    let n = int r in
+    if n < 0 || n * 8 > remaining r then
+      fail "codec: invalid array length %d at byte %d" n r.pos;
+    Array.init n (fun _ -> int r)
+
+  (* Restore into an existing array of known size — the common case for
+     machine state, where the destination was sized by the config and a
+     length mismatch means the snapshot belongs to a different machine. *)
+  let int_array_into r dst ~what =
+    let n = int r in
+    if n <> Array.length dst then
+      fail "codec: %s length %d does not match machine (%d)" what n
+        (Array.length dst);
+    for i = 0 to n - 1 do
+      dst.(i) <- int r
+    done
+
+  let bool_array_into r dst ~what =
+    let n = int r in
+    if n <> Array.length dst then
+      fail "codec: %s length %d does not match machine (%d)" what n
+        (Array.length dst);
+    for i = 0 to n - 1 do
+      dst.(i) <- bool r
+    done
+end

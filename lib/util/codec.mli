@@ -1,0 +1,47 @@
+(** Flat binary codec for checkpoint payloads.
+
+    Fixed-width little-endian integers with length-prefixed strings and
+    arrays. Used by every stateful component to encode its mutable state
+    into a checkpoint section ({!Hsgc_checkpoint.Checkpoint}) and to
+    restore it in place. The writer is append-only over a [Buffer]; the
+    reader is a cursor over an immutable payload and raises {!Error} on
+    any malformed or truncated read — integrity beyond well-formedness
+    (bit flips on disk) is caught earlier by the container's per-section
+    CRCs. *)
+
+exception Error of string
+
+module W : sig
+  type t
+
+  val create : unit -> t
+  val contents : t -> string
+  val int : t -> int -> unit
+  val i64 : t -> int64 -> unit
+  val bool : t -> bool -> unit
+  val float : t -> float -> unit
+  val string : t -> string -> unit
+  val int_array : t -> int array -> unit
+  val bool_array : t -> bool array -> unit
+end
+
+module R : sig
+  type t
+
+  val of_string : string -> t
+  val remaining : t -> int
+  val eof : t -> bool
+  val int : t -> int
+  val i64 : t -> int64
+  val bool : t -> bool
+  val float : t -> float
+  val string : t -> string
+  val int_array : t -> int array
+
+  val int_array_into : t -> int array -> what:string -> unit
+  (** Read an array into an existing destination; raises {!Error} when
+      the encoded length differs from the destination's — a snapshot for
+      a differently-shaped machine. *)
+
+  val bool_array_into : t -> bool array -> what:string -> unit
+end

@@ -6,6 +6,12 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+(* Raw state accessors for checkpoint/restore: the generator is pure
+   state, so capturing and reinstating the 64-bit word replays the
+   stream exactly. *)
+let state t = t.state
+let set_state t s = t.state <- s
+
 (* SplitMix64 finalizer: xor-shift / multiply mix of the advancing
    counter. Constants from the reference implementation. *)
 let mix64 z =

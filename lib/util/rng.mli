@@ -17,6 +17,12 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] is an independent generator with the same current state. *)
 
+val state : t -> int64
+(** Raw generator state, for checkpointing. *)
+
+val set_state : t -> int64 -> unit
+(** Reinstate a captured state; the stream replays exactly from it. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a statistically independent
     generator; use it to give substreams to subcomponents so that adding

@@ -410,6 +410,185 @@ let test_handoffs_exercised () =
       "no exclusive span was ever dispatched to a worker lane across the \
        latency-bound grid"
 
+(* ------------------------------------------------------------------ *)
+(* Watchdog under BSP                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The watchdog must trip at the same cycle with the same full machine
+   dump whether the machine is stepped sequentially or through the BSP
+   schedule — the stall diagnosis is part of the machine's observable
+   behaviour, so it falls under the parity contract too. *)
+let diagnosis_of ctx f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected the watchdog to trip" ctx
+  | exception Coprocessor.Stall_diagnosis d ->
+    (d.Coprocessor.trip, Format.asprintf "%a" Coprocessor.pp_diagnosis d)
+
+let test_watchdog_budget_under_bsp () =
+  let w = Workloads.db in
+  let build () = Workloads.build_heap ~scale:0.05 ~seed:7 w in
+  let cfg = Coprocessor.config ~cycle_budget:500 ~n_cores:8 () in
+  let trip, seq =
+    diagnosis_of "sequential" (fun () -> Coprocessor.collect cfg (build ()))
+  in
+  (match trip with
+  | Hsgc_sim.Kernel.Watchdog.Budget_exceeded { budget } ->
+    Alcotest.(check int) "budget echoed" 500 budget
+  | Hsgc_sim.Kernel.Watchdog.No_progress _ ->
+    Alcotest.fail "expected a budget trip");
+  List.iter
+    (fun partitions ->
+      let _, par =
+        diagnosis_of
+          (Printf.sprintf "%d partitions" partitions)
+          (fun () ->
+            Bsp.collect_par ~handoff_min:2 ~partitions cfg (build ()))
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "diagnosis at %d partitions" partitions)
+        seq par)
+    [ 2; 4; 8 ]
+
+let test_watchdog_no_progress_under_bsp () =
+  (* Naive stepping against a 400-cycle memory so the first header
+     fetches leave the machine quiet far past the 64-cycle window. *)
+  let mem = Memsys.with_extra_latency Memsys.default_config 400 in
+  let cfg =
+    Coprocessor.config ~mem ~skip:false ~stall_window:64 ~n_cores:4 ()
+  in
+  let build () = Workloads.build_heap ~scale:0.05 ~seed:7 Workloads.db in
+  let trip, seq =
+    diagnosis_of "sequential" (fun () -> Coprocessor.collect cfg (build ()))
+  in
+  (match trip with
+  | Hsgc_sim.Kernel.Watchdog.No_progress { window; _ } ->
+    Alcotest.(check int) "window echoed" 64 window
+  | Hsgc_sim.Kernel.Watchdog.Budget_exceeded _ ->
+    Alcotest.fail "expected a no-progress trip");
+  List.iter
+    (fun partitions ->
+      let _, par =
+        diagnosis_of
+          (Printf.sprintf "%d partitions" partitions)
+          (fun () ->
+            Bsp.collect_par ~handoff_min:2 ~partitions cfg (build ()))
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "diagnosis at %d partitions" partitions)
+        seq par)
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Worker supervision: retry once, degrade, never abort                *)
+(* ------------------------------------------------------------------ *)
+
+exception Worker_crash
+
+(* Latency-bound so spans are long enough to dispatch (the same shape
+   test_handoffs_exercised relies on). *)
+let supervised_run ?span_timeout_s ?fail_hook w =
+  let mem = Memsys.with_extra_latency Memsys.default_config 40 in
+  let cfg = Coprocessor.config ~mem ~n_cores:4 () in
+  let heap = Workloads.build_heap ~scale:0.02 ~seed:9 w in
+  let obs = Tracer.create ~n_cores:4 () in
+  Tracer.enable obs;
+  let stats, b =
+    Bsp.collect_par ~obs ~handoff_min:2 ~partitions:4 ?span_timeout_s
+      ?fail_hook cfg heap
+  in
+  (stats, Verify.snapshot heap, Tracer.digest obs, b)
+
+(* A workload whose run genuinely dispatches spans to worker lanes —
+   a fail_hook on a dispatch-free run would never fire. *)
+let dispatching_workload () =
+  match
+    List.find_opt
+      (fun w ->
+        let _, _, _, (b : Bsp.stats) = supervised_run w in
+        b.Bsp.handoffs > 0)
+      Workloads.all
+  with
+  | Some w -> w
+  | None -> Alcotest.fail "no workload dispatches under the latency-bound grid"
+
+let test_supervision_retry_and_degrade () =
+  let w = dispatching_workload () in
+  let ref_stats, ref_snap, ref_dig, _ = supervised_run w in
+  let armed = Atomic.make true in
+  let hook _lane = if Atomic.exchange armed false then raise Worker_crash in
+  let stats, snap, dig, (b : Bsp.stats) = supervised_run ~fail_hook:hook w in
+  (* The crash cost a retry and the parallel path, never the result. *)
+  Test_kernel.check_stats_equal "degraded run parity" ref_stats stats;
+  if not (Verify.equal_snapshot ref_snap snap) then
+    Alcotest.fail "degraded run heap snapshot differs";
+  Alcotest.(check string) "degraded run digest" ref_dig dig;
+  Alcotest.(check int) "span retried exactly once" 1 b.Bsp.retries;
+  match b.Bsp.degraded with
+  | Some _ -> ()
+  | None -> Alcotest.fail "worker crash did not degrade the run"
+
+let test_supervision_span_timeout () =
+  let w = dispatching_workload () in
+  let ref_stats, ref_snap, ref_dig, _ = supervised_run w in
+  (* One worker span burns ~0.3 CPU-seconds before claiming the
+     machine; a 20 ms supervision deadline poisons its lane. The hook
+     runs before the atomic claim, so the leader's retry is safe and
+     the abandoned worker's late claim attempt loses the CAS. *)
+  let armed = Atomic.make true in
+  let hook _lane =
+    if Atomic.exchange armed false then begin
+      let t0 = Sys.time () in
+      while Sys.time () -. t0 < 0.3 do
+        Domain.cpu_relax ()
+      done
+    end
+  in
+  let stats, snap, dig, (b : Bsp.stats) =
+    supervised_run ~span_timeout_s:0.02 ~fail_hook:hook w
+  in
+  Test_kernel.check_stats_equal "timed-out run parity" ref_stats stats;
+  if not (Verify.equal_snapshot ref_snap snap) then
+    Alcotest.fail "timed-out run heap snapshot differs";
+  Alcotest.(check string) "timed-out run digest" ref_dig dig;
+  match b.Bsp.degraded with
+  | Some _ -> ()
+  | None -> Alcotest.fail "span timeout did not degrade the run"
+
+let test_pool_try_wait () =
+  Pool.with_pool ~lanes:3 (fun pool ->
+      (* Done. *)
+      let r = ref 0 in
+      Pool.post pool ~lane:1 (fun () -> r := 7);
+      (match Pool.try_wait pool ~lane:1 ~timeout_s:5.0 with
+      | `Done -> Alcotest.(check int) "job ran" 7 !r
+      | `Failed _ | `Timed_out -> Alcotest.fail "expected `Done");
+      (* Failed: reported, not raised, and the lane stays usable. *)
+      Pool.post pool ~lane:1 (fun () -> failwith "boom");
+      (match Pool.try_wait pool ~lane:1 ~timeout_s:5.0 with
+      | `Failed (Failure m) -> Alcotest.(check string) "exn carried" "boom" m
+      | `Failed e -> Alcotest.failf "wrong exn: %s" (Printexc.to_string e)
+      | `Done | `Timed_out -> Alcotest.fail "expected `Failed");
+      Alcotest.(check bool) "failure does not poison" false
+        (Pool.poisoned pool ~lane:1);
+      Pool.post pool ~lane:1 (fun () -> r := 8);
+      Pool.wait pool ~lane:1;
+      Alcotest.(check int) "lane reusable after failure" 8 !r;
+      (* Timed_out: the job is abandoned and the lane poisoned. *)
+      let release = Atomic.make false in
+      Pool.post pool ~lane:2 (fun () ->
+          while not (Atomic.get release) do
+            Domain.cpu_relax ()
+          done);
+      (match Pool.try_wait pool ~lane:2 ~timeout_s:0.02 with
+      | `Timed_out -> ()
+      | `Done | `Failed _ -> Alcotest.fail "expected `Timed_out");
+      Alcotest.(check bool) "timeout poisons" true (Pool.poisoned pool ~lane:2);
+      (match Pool.post pool ~lane:2 (fun () -> ()) with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "post to a poisoned lane must raise");
+      (* Let the abandoned job finish so the domain can exit. *)
+      Atomic.set release true)
+
 let suite =
   [
     Alcotest.test_case "partition planner shapes" `Quick test_plan_shapes;
@@ -429,4 +608,13 @@ let suite =
       test_profiler_identity_under_bsp;
     Alcotest.test_case "sanitizer under BSP" `Quick test_sanitizer_under_bsp;
     Alcotest.test_case "hand-offs exercised" `Quick test_handoffs_exercised;
+    Alcotest.test_case "watchdog budget trips identically under BSP" `Quick
+      test_watchdog_budget_under_bsp;
+    Alcotest.test_case "watchdog no-progress trips identically under BSP"
+      `Quick test_watchdog_no_progress_under_bsp;
+    Alcotest.test_case "worker crash: retry once then degrade" `Quick
+      test_supervision_retry_and_degrade;
+    Alcotest.test_case "span timeout: poison lane and degrade" `Quick
+      test_supervision_span_timeout;
+    Alcotest.test_case "pool supervised wait" `Quick test_pool_try_wait;
   ]

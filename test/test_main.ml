@@ -30,6 +30,7 @@ let () =
       ("experiment", Test_experiment.suite);
       ("kernel", Test_kernel.suite);
       ("bsp", Test_bsp.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("fault", Test_fault.suite);
       ("sanitizer", Test_sanitizer.suite);
       ("mutations", Mutations.suite);
