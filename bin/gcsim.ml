@@ -186,7 +186,64 @@ let no_skip_arg =
            skipping and event-driven core sleeps. The parity contract is \
            that every statistic and artifact is bit-identical either way \
            (only wall time changes); use this flag to check it on any \
-           configuration.")
+           configuration. Documented alias for $(b,--engine naive).")
+
+(* The three stepping engines (docs/PERFORMANCE.md). [--no-skip] and the
+   profile-forces-naive rule predate [--engine] and are kept as
+   documented aliases; contradictions exit 2. *)
+type engine = Naive | Skip | Compiled
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("naive", Naive); ("skip", Skip); ("compiled", Compiled) ]))
+        None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Stepping engine: $(b,naive) polls every core every cycle (the \
+           parity reference); $(b,skip) (the default) adds event-driven \
+           core sleeps and idle-cycle skipping; $(b,compiled) further \
+           specializes the per-cycle paths for the plain configuration and \
+           retires already-determined memory transactions in batches. All \
+           three produce bit-identical statistics, verify results and \
+           counters — only wall time and the executed/skipped split \
+           differ. $(b,--no-skip) is the documented alias for \
+           $(b,--engine naive), and $(b,--profile) implies it unless an \
+           engine is named. $(b,--engine compiled) rejects \
+           $(b,--sanitize), $(b,--profile), $(b,--par-domains) and \
+           $(b,--scan-unit) (exit code 2).")
+
+let resolve_engine ~engine ~no_skip ~profile ~sanitize ~par_domains ~scan_unit =
+  let reject what =
+    Format.eprintf "gcsim run: %s@." what;
+    exit 2
+  in
+  match engine with
+  | None -> if no_skip || profile then Naive else Skip
+  | Some Naive -> Naive
+  | Some Skip ->
+    if no_skip then reject "--engine skip contradicts --no-skip";
+    if profile then
+      reject "--engine skip contradicts --profile (profiling forces naive \
+              stepping so the attribution table sums to executed cycles)";
+    Skip
+  | Some Compiled ->
+    if no_skip then reject "--engine compiled contradicts --no-skip";
+    if profile then
+      reject "--engine compiled is incompatible with --profile (profiling \
+              forces naive stepping; use --engine naive)";
+    if sanitize <> Hsgc_sanitizer.Sanitizer.Off then
+      reject "--engine compiled is incompatible with --sanitize (the \
+              compiled engine resolves the sanitizer hooks away at \
+              instantiation; use --engine skip or naive)";
+    if par_domains <> None then
+      reject "--engine compiled is incompatible with --par-domains (the \
+              compiled engine steps the machine on one domain; use \
+              --engine skip for the BSP parallel kernel)";
+    if scan_unit > 0 then
+      reject "--engine compiled is incompatible with --scan-unit \
+              (sub-object scanning uses the general engine)";
+    Compiled
 
 let jobs_arg =
   Arg.(
@@ -268,7 +325,7 @@ let require_workload = function
     exit 2
 
 let run_with_checkpoints ~workload ~n_cores ~scale ~seed ~mem ~scan_unit
-    ~verify ~no_skip ~cycle_budget ~profile ~par_domains ~span_timeout
+    ~verify ~engine ~cycle_budget ~profile ~par_domains ~span_timeout
     ~ckpt_every ~ckpt_dir ~resume_from =
   (match (ckpt_every, ckpt_dir) with
   | Some _, None ->
@@ -312,11 +369,11 @@ let run_with_checkpoints ~workload ~n_cores ~scale ~seed ~mem ~scan_unit
         end
         else None
       in
-      let skip = (not no_skip) && not profile in
       let cfg =
         Coprocessor.config ~mem
           ?scan_unit:(scan_unit_opt scan_unit)
-          ?cycle_budget ~skip ~n_cores ()
+          ?cycle_budget ~skip:(engine <> Naive)
+          ~compiled:(engine = Compiled) ~n_cores ()
       in
       let meta =
         {
@@ -342,7 +399,10 @@ let run_with_checkpoints ~workload ~n_cores ~scale ~seed ~mem ~scan_unit
       Format.eprintf "gcsim run: --par-domains: %s@." msg;
       exit 2));
   let partitions =
-    if not cfg.Coprocessor.skip then 1
+    (* The compiled engine steps the machine on one domain (its batched
+       segments subsume the BSP exclusive spans); naive stepping keeps
+       every core due every cycle, degenerating BSP to leader-only. *)
+    if (not cfg.Coprocessor.skip) || cfg.Coprocessor.compiled then 1
     else
       match par_domains with
       | Some p -> p
@@ -415,9 +475,12 @@ let run_with_checkpoints ~workload ~n_cores ~scale ~seed ~mem ~scan_unit
 
 let run_cmd =
   let run workload n_cores scale seed extra_latency fifo bandwidth header_cache
-      scan_unit verify no_skip cycle_budget sanitize profile par_domains
+      scan_unit verify engine no_skip cycle_budget sanitize profile par_domains
       span_timeout ckpt_every ckpt_dir resume_from =
     let mem = mem_config extra_latency fifo bandwidth header_cache in
+    let engine =
+      resolve_engine ~engine ~no_skip ~profile ~sanitize ~par_domains ~scan_unit
+    in
     if ckpt_every <> None || ckpt_dir <> None || resume_from <> None then begin
       if sanitize <> Hsgc_sanitizer.Sanitizer.Off then begin
         Format.eprintf
@@ -426,7 +489,7 @@ let run_cmd =
         exit 2
       end;
       run_with_checkpoints ~workload ~n_cores ~scale ~seed ~mem ~scan_unit
-        ~verify ~no_skip ~cycle_budget ~profile ~par_domains ~span_timeout
+        ~verify ~engine ~cycle_budget ~profile ~par_domains ~span_timeout
         ~ckpt_every ~ckpt_dir ~resume_from
     end
     else
@@ -443,9 +506,9 @@ let run_cmd =
     in
     (* --profile forces naive stepping so the printed attribution can be
        read directly against executed cycles (every row sums to them);
-       all statistics are bit-identical either way by the kernel's
+       all statistics are bit-identical under any engine by the kernel's
        parity contract, only wall time changes. *)
-    let skip = (not no_skip) && not profile in
+    let skip = engine <> Naive in
     (* An explicit --par-domains must be a valid partition count for
        this core count even when naive stepping then forces the
        single-partition schedule. *)
@@ -459,9 +522,10 @@ let run_cmd =
         exit 2));
     let partitions =
       (* Naive stepping keeps every core due every cycle, so the BSP
-         schedule would degenerate to leader-only stepping anyway; take
-         the direct path. *)
-      if not skip then 1
+         schedule would degenerate to leader-only stepping anyway; the
+         compiled engine's batched segments subsume the BSP exclusive
+         spans. Both take the direct path. *)
+      if engine <> Skip then 1
       else
         match par_domains with
         | Some p -> p
@@ -470,7 +534,7 @@ let run_cmd =
     let cfg =
       Coprocessor.config ~mem
         ?scan_unit:(scan_unit_opt scan_unit)
-        ?cycle_budget ~sanitize ~skip ~n_cores ()
+        ?cycle_budget ~sanitize ~skip ~compiled:(engine = Compiled) ~n_cores ()
     in
     let bsp_stats = ref None in
     let collect_once () =
@@ -615,7 +679,7 @@ let run_cmd =
     Term.(
       const run $ workload_opt_arg $ cores_arg $ scale_arg $ seed_arg
       $ latency_arg $ fifo_arg $ bandwidth_arg $ header_cache_arg
-      $ scan_unit_arg $ verify_arg $ no_skip_arg $ cycle_budget_arg
+      $ scan_unit_arg $ verify_arg $ engine_arg $ no_skip_arg $ cycle_budget_arg
       $ sanitize_arg $ profile_arg $ par_domains_arg $ span_timeout_arg
       $ ckpt_every_arg $ ckpt_dir_arg $ resume_from_arg)
 

@@ -53,6 +53,15 @@ type config = {
          call sites reduce to one load-and-branch; [Check] records
          findings into [gc_stats]; [Strict] raises [Diag.Violation] on
          the first finding. *)
+  compiled : bool;
+      (* the compiled stepping engine: configuration-specialized fast
+         paths plus batched retirement on top of the event-driven
+         skipper. Requires [skip], [sanitize = Off] and
+         [scan_unit = None] (validated by [start]); with a fault plan,
+         tracer or profiler attached the machine silently falls back to
+         the general engine. All statistics stay bit-identical to
+         naive; only the wall clock and the executed/skipped split
+         move. *)
 }
 
 let default_stall_window = 1_000_000
@@ -68,11 +77,12 @@ let default_config =
     cycle_budget = None;
     stall_window = default_stall_window;
     sanitize = San.Off;
+    compiled = false;
   }
 
 let config ?(mem = Mem.default_config) ?scan_unit ?(skip = true) ?faults
     ?cycle_budget ?(stall_window = default_stall_window) ?(sanitize = San.Off)
-    ~n_cores () =
+    ?(compiled = false) ~n_cores () =
   {
     default_config with
     n_cores;
@@ -83,6 +93,7 @@ let config ?(mem = Mem.default_config) ?scan_unit ?(skip = true) ?faults
     cycle_budget;
     stall_window;
     sanitize;
+    compiled;
   }
 
 exception Heap_overflow
@@ -239,10 +250,40 @@ type core = {
      0 — always stepped); a sleeping core carries the wake time it armed
      in the wake queue; a halted core carries [max_int]. *)
   mutable wake : int;
+  (* Scan-lock spin parking (compiled engine only): while this core's
+     bit is set in [parked_mask], the first spin cycle not yet credited
+     to its scan-lock stall counter. The stalls are bulk-credited when
+     the holder's release wakes the core ([wake_parked]). *)
+  mutable park_cycle : int;
 }
 
 type t = {
   cfg : config;
+  (* The compiled engine is actually used (not just requested): no
+     fault plan, no tracer, no profiler. Determined once at [start];
+     a per-[step] trace still falls back dynamically. *)
+  compiled_hot : bool;
+  (* Deferred watchdog progress observation of the compiled exclusive
+     interpreter: the cycle of the latest progressed cycle not yet
+     reported to the watchdog, or -1. Always flushed (-1) outside
+     [step], so snapshots never see a pending deferral. *)
+  mutable wd_defer : int;
+  (* Cores parked on the contended scan lock (compiled engine only), as
+     a bit per core id. A parked core is indistinguishable from the
+     per-cycle engines' spinner except in host work: its failed
+     [try_lock] retries read nothing another agent can change while the
+     lock stays held, so they are replayed in bulk — the stall credit
+     happens at the release that wakes it. Always empty outside the
+     compiled fast path ([unpark_all] flushes on any fallback), so the
+     general engine and snapshots never observe a parked core. *)
+  mutable parked_mask : int;
+  (* Compiled-engine scratch (no per-cycle allocation): ids of the cores
+     due this cycle, and ids of the cores left awake for the next cycle
+     (wake = now + 1 after stepping). The awake list bounds the quiet
+     fast-forward scan and the bulk skip credit to the cores that can
+     actually act, instead of rescanning the whole array. *)
+  due_ids : int array;
+  awake_ids : int array;
   heap : H.t;
   sb : SB.t;
   mem : Mem.t;
@@ -322,6 +363,7 @@ let make_core ~events ~faults ~hooks ~obs id =
     stall_cycle = -1;
     stall_kind = Counters.Scan_lock;
     wake = 0;
+    park_cycle = 0;
   }
 
 let issue_exn port mem ~now ~addr =
@@ -938,6 +980,24 @@ let start ?(obs = Obs.disabled) ?(prof = Prof.disabled) cfg heap =
     invalid_arg "Coprocessor.start: tracer sized for fewer cores";
   if prof.Prof.on && Prof.n_cores prof < cfg.n_cores then
     invalid_arg "Coprocessor.start: profiler sized for fewer cores";
+  if cfg.compiled then begin
+    (* The compiled engine is a specialization of the event-driven
+       skipper; configurations it cannot specialize are rejected here
+       (fault plans, tracers and profilers merely fall back to the
+       general engine instead — they are run-mode toggles, not machine
+       semantics). *)
+    if not cfg.skip then
+      invalid_arg
+        "Coprocessor.start: the compiled engine requires idle-cycle \
+         skipping (skip = true)";
+    if cfg.sanitize <> San.Off then
+      invalid_arg
+        "Coprocessor.start: the compiled engine cannot attach the sanitizer";
+    if cfg.scan_unit <> None then
+      invalid_arg
+        "Coprocessor.start: the compiled engine does not support \
+         sub-object scanning (scan_unit)"
+  end;
   let faults =
     match cfg.faults with
     | None -> Injector.disabled
@@ -960,6 +1020,15 @@ let start ?(obs = Obs.disabled) ?(prof = Prof.disabled) cfg heap =
   in
   {
     cfg;
+    compiled_hot =
+      cfg.compiled && cfg.faults = None && (not obs.Obs.on)
+      && (not prof.Prof.on)
+      (* The parked-core set is one bit per core in an OCaml int. *)
+      && cfg.n_cores <= 62;
+    wd_defer = -1;
+    parked_mask = 0;
+    due_ids = Array.make cfg.n_cores 0;
+    awake_ids = Array.make cfg.n_cores 0;
     heap;
     sb = SB.create ~hooks ~obs ~n_cores:cfg.n_cores ();
     mem;
@@ -1067,11 +1136,16 @@ let replay_of t c =
   | Init | Root_next | Start_barrier | Try_lock_scan | Lock_child
   | Lock_free | Piece_done | End_barrier | Halt -> rp_no_sleep
 
+(* Int-specialized [min]/[max]: the polymorphic [Stdlib.min] is a real
+   call into the generic comparison on the sleep/jump hot paths. *)
+let[@inline] imin (a : int) (b : int) = if a <= b then a else b
+let[@inline] imax (a : int) (b : int) = if a >= b then a else b
+
 let port_wake c mem ~now =
   let w = Port.wake_after c.hl mem ~now in
-  let w = min w (Port.wake_after c.hs mem ~now) in
-  let w = min w (Port.wake_after c.bl mem ~now) in
-  min w (Port.wake_after c.bs mem ~now)
+  let w = imin w (Port.wake_after c.hs mem ~now) in
+  let w = imin w (Port.wake_after c.bl mem ~now) in
+  imin w (Port.wake_after c.bs mem ~now)
 
 (* The sleep span is bounded by the *guard* buffer's event — the one
    the replayed stall waits on — not by the earliest event on any of
@@ -1090,18 +1164,18 @@ let guard_wake c guard mem ~now =
      awake when it is [Waiting] (its acceptance retries touch shared
      state); direct status reads, same as the tick loop. *)
   let w =
-    if c.hl != guard && c.hl.Port.st = Port.st_waiting then min w (now + 1)
+    if c.hl != guard && c.hl.Port.st = Port.st_waiting then imin w (now + 1)
     else w
   in
   let w =
-    if c.hs != guard && c.hs.Port.st = Port.st_waiting then min w (now + 1)
+    if c.hs != guard && c.hs.Port.st = Port.st_waiting then imin w (now + 1)
     else w
   in
   let w =
-    if c.bl != guard && c.bl.Port.st = Port.st_waiting then min w (now + 1)
+    if c.bl != guard && c.bl.Port.st = Port.st_waiting then imin w (now + 1)
     else w
   in
-  if c.bs != guard && c.bs.Port.st = Port.st_waiting then min w (now + 1)
+  if c.bs != guard && c.bs.Port.st = Port.st_waiting then imin w (now + 1)
   else w
 
 (* Flush waits for all four buffers to drain: with nothing waiting (and
@@ -1119,9 +1193,9 @@ let flush_wake c ~now =
   then now + 1
   else
     let w = in_flight_done c.hl in
-    let w = max w (in_flight_done c.hs) in
-    let w = max w (in_flight_done c.bl) in
-    max w (in_flight_done c.bs)
+    let w = imax w (in_flight_done c.hs) in
+    let w = imax w (in_flight_done c.bl) in
+    imax w (in_flight_done c.bs)
 
 (* Decide whether the just-stepped core can sleep, and credit the
    statistics its replayed cycles would have accumulated: the replay
@@ -1129,8 +1203,9 @@ let flush_wake c ~now =
    comparator rejection per cycle for an order-held header load. The
    wake cycle itself is stepped normally, so the span excludes it. *)
 let maybe_sleep t c ~now =
-  if c.state = Halt then ()  (* wake already pinned at max_int *)
-  else begin
+  match c.state with
+  | Halt -> ()  (* wake already pinned at max_int *)
+  | _ -> begin
     let rp = replay_of t c in
     if rp = rp_no_sleep then c.wake <- now + 1
     else begin
@@ -1240,6 +1315,38 @@ let credit_skipped t ~cycle ~span ~empty_delta =
   done;
   t.empty_cycles <- t.empty_cycles + (span * empty_delta)
 
+(* Compiled-engine variants of the two whole-array jump scans, bounded
+   to the awake list the fused cycle just built ([t.awake_ids], cores
+   whose wake is [now + 1]). The sets coincide: after a fused cycle no
+   core's wake is <= [now], sleeping cores (wake > now + 1) are covered
+   by the wake queue and were bulk-credited when they slept, and a jump
+   only happens when every queued wake is past [now + 1]. Tracer and
+   profiler branches are dropped — the compiled fast path requires both
+   detached. *)
+let next_wake_awake t ~now ~count =
+  let best = ref (Wake_queue.next_after t.wakeq ~now) in
+  let ids = t.awake_ids and cores = t.cores in
+  let limit = now + 1 in
+  let i = ref 0 in
+  while !i < count && !best > limit do
+    let c = Array.unsafe_get cores (Array.unsafe_get ids !i) in
+    let w = port_wake c t.mem ~now in
+    if w < !best then best := w;
+    incr i
+  done;
+  !best
+
+let credit_awake t ~cycle ~span ~empty_delta ~count =
+  let ids = t.awake_ids and cores = t.cores in
+  for i = 0 to count - 1 do
+    let c = Array.unsafe_get cores (Array.unsafe_get ids i) in
+    if c.stall_cycle = cycle then Counters.bump_n c.counters c.stall_kind span;
+    if t.sb.SB.busy.(c.id) then
+      c.counters.busy_cycles <- c.counters.busy_cycles + span;
+    if Port.order_held c.hl t.mem then Mem.add_rejected_order t.mem span
+  done;
+  t.empty_cycles <- t.empty_cycles + (span * empty_delta)
+
 let diagnose t trip =
   {
     trip;
@@ -1317,13 +1424,8 @@ let min_wake_outside t ~owner ~partition =
   done;
   !w
 
-let step ?trace ?horizon t =
+let step_general ?trace ?horizon t =
   let n0 = now t in
-  if n0 > t.cfg.max_cycles then
-    raise
-      (Simulation_diverged
-         (Printf.sprintf "exceeded %d cycles (scan=%d free=%d)" t.cfg.max_cycles
-            (t.sb.SB.scan) (t.sb.SB.free)));
   Mem.begin_cycle t.mem ~now:n0;
   (* Stamp the shared hook record so diagnostics and sanitizer findings
      raised anywhere this cycle carry the cycle number. *)
@@ -1483,6 +1585,768 @@ let step ?trace ?horizon t =
         end
       end
     end
+
+(* ------------------------------------------------------------------ *)
+(* The compiled stepping engine (ROADMAP item 2).
+
+   A third engine alongside naive ([skip = false]) and the event-driven
+   skipper: the same microprogram, specialized at instantiation time for
+   the configuration the benchmarks and long parallel runs actually use
+   — no sanitizer, no fault plan, no tracer or profiler, whole-object
+   scanning. Under those guards (checked once, in [start]) the per-cycle
+   work compiles down to straight-line code:
+
+   - the Hooks/Tracer/Sanitizer/Injector branches disappear: the guards
+     hold by construction, so the fast paths below touch none of them;
+   - memory transactions whose completion cycle is already determined
+     retire in batches: with exactly one core awake the interpreter
+     runs it alone to the next foreign wake-up, and the body-copy
+     inner loop ([data_run_macro]) retires whole runs of data words in
+     closed form — a strict generalization of idle-skipping, advancing
+     the clock straight to the next semantic decision point;
+   - port status words, the sync-block shadow counts and the comparator
+     presence mask are probed as flat ints with precomputed masks.
+
+   The contract is the skipper's: every reported statistic is
+   bit-identical to naive stepping; only wall time and the
+   executed/skipped split move. Whenever a guard fails — a per-step
+   trace requested, an instrumented or fault-injected run — the machine
+   falls back to the general engine above. *)
+(* ------------------------------------------------------------------ *)
+
+(* Buffer retry/completion for one core, fast paths inlined. Body-class
+   transactions never touch the header cache, the comparator array or
+   the FIFO, so their acceptance is exactly the bandwidth check;
+   header-class buffers keep the general [Port.tick] on any path that
+   could consult shared structures. Order (hl, hs, bl, bs) matches the
+   general tick loop — acceptance order defines the bandwidth and
+   ordering counters. *)
+let tick_ports_compiled t c ~now =
+  let m = t.mem in
+  let bw = m.Mem.config.Mem.bandwidth in
+  let p = c.hl in
+  (let st = p.Port.st in
+   if st = Port.st_waiting then begin
+     (* Fast-reject only when provably pure: budget exhausted, no header
+        cache configured, and the comparator presence mask clears the
+        address (no pending store, hence no ordering rejection). *)
+     if
+       m.Mem.accepted_this_cycle >= bw
+       && m.Mem.config.Mem.header_cache_entries = 0
+       && m.Mem.ps_mask land (1 lsl (p.Port.addr land 31)) = 0
+     then m.Mem.rejected_bandwidth <- m.Mem.rejected_bandwidth + 1
+     else Port.tick p m ~now
+   end
+   else if st = Port.st_in_flight && p.Port.done_at <= now then begin
+     p.Port.st <- Port.st_ready;
+     incr t.events
+   end);
+  let p = c.hs in
+  (let st = p.Port.st in
+   if st = Port.st_waiting then begin
+     if m.Mem.accepted_this_cycle >= bw then
+       m.Mem.rejected_bandwidth <- m.Mem.rejected_bandwidth + 1
+     else Port.tick p m ~now
+   end
+   else if st = Port.st_in_flight && p.Port.done_at <= now then begin
+     p.Port.st <- Port.st_idle;
+     incr t.events
+   end);
+  let p = c.bl in
+  (let st = p.Port.st in
+   if st = Port.st_waiting then begin
+     if m.Mem.accepted_this_cycle >= bw then
+       m.Mem.rejected_bandwidth <- m.Mem.rejected_bandwidth + 1
+     else begin
+       m.Mem.accepted_this_cycle <- m.Mem.accepted_this_cycle + 1;
+       m.Mem.loads <- m.Mem.loads + 1;
+       p.Port.st <- Port.st_in_flight;
+       p.Port.done_at <- now + m.Mem.config.Mem.body_load_latency;
+       incr t.events
+     end
+   end
+   else if st = Port.st_in_flight && p.Port.done_at <= now then begin
+     p.Port.st <- Port.st_ready;
+     incr t.events
+   end);
+  let p = c.bs in
+  let st = p.Port.st in
+  if st = Port.st_waiting then begin
+    if m.Mem.accepted_this_cycle >= bw then
+      m.Mem.rejected_bandwidth <- m.Mem.rejected_bandwidth + 1
+    else begin
+      m.Mem.accepted_this_cycle <- m.Mem.accepted_this_cycle + 1;
+      m.Mem.stores <- m.Mem.stores + 1;
+      p.Port.st <- Port.st_in_flight;
+      p.Port.done_at <- now + m.Mem.config.Mem.store_latency;
+      incr t.events
+    end
+  end
+  else if st = Port.st_in_flight && p.Port.done_at <= now then begin
+    p.Port.st <- Port.st_idle;
+    incr t.events
+  end
+
+(* --- Scan-lock spin parking -------------------------------------------
+
+   The dominant multi-core cost is cores spinning on the scan lock while
+   the holder waits out a header-load miss (the lock is held across
+   cycles only in [Scan_header_wait]). A spinning core's cycle is a pure
+   replay: the failed [try_lock] reads only the owner word, the stall
+   bump and (when the worklist is empty) the [saw_empty] probe — and the
+   worklist cannot be empty while the lock is held across cycles,
+   because the held frame sits at [scan < free]. So the compiled engine
+   parks such spinners ([wake = max_int], bit in [parked_mask]) and
+   replays their spins in bulk when the release wakes them.
+
+   Release ordering mirrors per-cycle stepping: cores step in index
+   order, so when core [j] releases during its step at cycle [y], a
+   parked core [i > j] re-spins (or acquires) at [y] — it is woken due
+   at [y], and the phase-2 loop reaches it after [j] — while [i < j]
+   already had its (failed) turn at [y] and wakes at [y + 1]. Either
+   way the uncounted spin span is [wake - park_cycle]. *)
+
+(* Park the just-stepped core if its cycle was a scan-lock spin against
+   a lock held by another core and no buffer is retrying acceptance
+   (waiting buffers touch the shared bandwidth budget every cycle, so
+   they pin the core awake exactly as in [guard_wake]). In-flight
+   buffers are fine: their completion flip is derived from [done_at]
+   when the core next steps. *)
+let try_park t c ~now =
+  (match c.state with Try_lock_scan -> true | _ -> false)
+  && c.stall_cycle = now
+  && (let o = t.sb.SB.scan_owner in
+      o >= 0 && o <> c.id)
+  && c.hl.Port.st <> Port.st_waiting
+  && c.hs.Port.st <> Port.st_waiting
+  && c.bl.Port.st <> Port.st_waiting
+  && c.bs.Port.st <> Port.st_waiting
+  && begin
+       c.wake <- max_int;
+       c.park_cycle <- now + 1;
+       t.parked_mask <- t.parked_mask lor (1 lsl c.id);
+       true
+     end
+
+(* The scan lock was observed free right after core [after] stepped at
+   cycle [now]: wake every parked core, crediting the spin stalls its
+   per-cycle replays would have counted. Cores waking at [now + 1] are
+   appended to [t.awake_ids] starting at [count]; returns the new count
+   (callers keep the awake list complete so the no-awake fast-forward
+   cannot jump over a woken spinner). Cores with id > [after] wake due
+   at [now] itself — the caller must still give them their turn this
+   cycle, in index order. *)
+let wake_parked t ~now ~after ~count =
+  let m = t.parked_mask in
+  t.parked_mask <- 0;
+  let cores = t.cores in
+  let n = Array.length cores in
+  let count = ref count in
+  for i = 0 to n - 1 do
+    if m land (1 lsl i) <> 0 then begin
+      let c = Array.unsafe_get cores i in
+      let wake = if i > after then now else now + 1 in
+      let span = wake - c.park_cycle in
+      if span > 0 then begin
+        let k = c.counters in
+        k.Counters.scan_lock <- k.Counters.scan_lock + span;
+        (* The busy bit is owned by the core itself, so it is frozen for
+           the whole parked span (spinners are between objects — the
+           check is defensive, mirroring the sleep credit). *)
+        if t.sb.SB.busy.(c.id) then
+          k.Counters.busy_cycles <- k.Counters.busy_cycles + span
+      end;
+      c.wake <- wake;
+      if wake = now + 1 then begin
+        Array.unsafe_set t.awake_ids !count i;
+        incr count
+      end
+    end
+  done;
+  !count
+
+(* Flush parked cores before anything outside the compiled fast path
+   can observe them: credit the spins up to (excluding) the current
+   cycle and leave each core due now, exactly the state the per-cycle
+   engines would show between cycles. Used on fallback to the general
+   engine and before snapshotting. *)
+let unpark_all t =
+  if t.parked_mask <> 0 then begin
+    let now = t.clock.Kernel.now in
+    let m = t.parked_mask in
+    t.parked_mask <- 0;
+    let cores = t.cores in
+    for i = 0 to Array.length cores - 1 do
+      if m land (1 lsl i) <> 0 then begin
+        let c = Array.unsafe_get cores i in
+        let span = now - c.park_cycle in
+        if span > 0 then begin
+          let k = c.counters in
+          k.Counters.scan_lock <- k.Counters.scan_lock + span;
+          if t.sb.SB.busy.(c.id) then
+            k.Counters.busy_cycles <- k.Counters.busy_cycles + span
+        end;
+        c.wake <- now
+      end
+    done
+  end
+
+(* One core step with the port-guard stall paths inlined (counter bump
+   plus stall latch, exactly [stall]); action paths reuse the general
+   microprogram step functions, whose hook/tracer sites are off by the
+   engine guards. Includes [step_core]'s trailing busy-cycle bump. *)
+let step_core_compiled t c ~now =
+  (match c.state with
+  | Body_wait ->
+    if c.bl.Port.st <> Port.st_ready then begin
+      let k = c.counters in
+      k.Counters.body_load <- k.Counters.body_load + 1;
+      c.stall_cycle <- now;
+      c.stall_kind <- Counters.Body_load
+    end
+    else step_body_wait t c
+  | Try_lock_scan -> step_try_lock_scan t c
+  | Body_issue_load ->
+    if c.bl.Port.st <> Port.st_idle then begin
+      let k = c.counters in
+      k.Counters.body_load <- k.Counters.body_load + 1;
+      c.stall_cycle <- now;
+      c.stall_kind <- Counters.Body_load
+    end
+    else step_body_issue_load t c
+  | Store_slot ->
+    if c.bs.Port.st <> Port.st_idle then begin
+      let k = c.counters in
+      k.Counters.body_store <- k.Counters.body_store + 1;
+      c.stall_cycle <- now;
+      c.stall_kind <- Counters.Body_store
+    end
+    else step_store_slot t c
+  (* The header-wait and header-store families get one arm each so the
+     dispatch stays a single jump table — [c.state = X] on the variant
+     would be a generic-equality call under classic ocamlopt. *)
+  | Scan_header_wait ->
+    if c.hl.Port.st <> Port.st_ready then begin
+      let k = c.counters in
+      k.Counters.header_load <- k.Counters.header_load + 1;
+      c.stall_cycle <- now;
+      c.stall_kind <- Counters.Header_load
+    end
+    else step_scan_header_wait t c
+  | Child_header_wait ->
+    if c.hl.Port.st <> Port.st_ready then begin
+      let k = c.counters in
+      k.Counters.header_load <- k.Counters.header_load + 1;
+      c.stall_cycle <- now;
+      c.stall_kind <- Counters.Header_load
+    end
+    else step_child_header_wait t c
+  | Root_header_wait ->
+    if c.hl.Port.st <> Port.st_ready then begin
+      let k = c.counters in
+      k.Counters.header_load <- k.Counters.header_load + 1;
+      c.stall_cycle <- now;
+      c.stall_kind <- Counters.Header_load
+    end
+    else step_root_header_wait t c
+  | Evac_store_fwd ->
+    if c.hs.Port.st <> Port.st_idle then begin
+      let k = c.counters in
+      k.Counters.header_store <- k.Counters.header_store + 1;
+      c.stall_cycle <- now;
+      c.stall_kind <- Counters.Header_store
+    end
+    else step_evac_store_fwd t c
+  | Evac_store_gray ->
+    if c.hs.Port.st <> Port.st_idle then begin
+      let k = c.counters in
+      k.Counters.header_store <- k.Counters.header_store + 1;
+      c.stall_cycle <- now;
+      c.stall_kind <- Counters.Header_store
+    end
+    else step_evac_store_gray t c
+  | Blacken ->
+    if c.hs.Port.st <> Port.st_idle then begin
+      let k = c.counters in
+      k.Counters.header_store <- k.Counters.header_store + 1;
+      c.stall_cycle <- now;
+      c.stall_kind <- Counters.Header_store
+    end
+    else step_blacken t c
+  | Lock_child -> step_lock_child t c
+  | Lock_free -> step_lock_free t c
+  | Start_barrier -> step_start_barrier t c
+  | End_barrier -> step_end_barrier t c
+  | Flush -> step_flush t c
+  | Piece_done -> step_piece_done t c
+  | Root_next -> step_root_next t c
+  | Init -> step_init t c
+  | Halt -> ());
+  if t.sb.SB.busy.(c.id) then
+    c.counters.busy_cycles <- c.counters.busy_cycles + 1
+
+(* Closed-form retirement of a data-word copy run — the paper's inner
+   loop: consume the loaded word, store it and issue the next load in
+   one cycle, then stall [L-1] cycles on the body-load buffer until the
+   next word arrives ([L] = body load latency). Entered at a word cycle:
+   the core in [Body_wait], the body-load buffer just flipped ready, the
+   other three buffers idle, every other core asleep past [limit].
+
+   Per full word the naive engine books: one executed copy cycle (busy,
+   one store + one load accepted — bandwidth >= 2 guarantees both) and
+   [L-1] body-load stall cycles (busy). The macro books those totals
+   directly ([Kernel.retire] advances the clock in one call), performs
+   the same word-at-a-time heap copy, and leaves the port registers
+   exactly as the per-cycle engines would at the exit cycle. A pointer
+   slot, the end of the work item, or [limit] ends the run; the clock
+   stops just after the last processed word cycle, with [c.wake] due so
+   the per-cycle loop resumes seamlessly. *)
+(* Close out a data run: book the totals the per-cycle engines would
+   have accumulated over the run's [exec] word cycles and [gaps]
+   replayed stall cycles, advance the clock in one call, and leave the
+   core due at the exit cycle. [w] is the run's last executed word
+   cycle. The watchdog is handled by the caller ([exclusive_loop]
+   records the run as one deferred progress observation at [w]; the
+   state that leaves — quiet = 0, last progress = [w] — matches
+   per-cycle stepping, and [limit] never exceeds the cycle budget, so
+   the deferral cannot mask a budget trip). *)
+let data_run_finish t c ~w ~slot ~words ~gaps ~exec ~next_loads =
+  c.slot <- slot;
+  let k = c.counters in
+  k.Counters.words_copied <- k.Counters.words_copied + words;
+  k.Counters.body_load <- k.Counters.body_load + gaps;
+  (* Word cycles and their replayed gaps are all busy: [Body_wait]
+     implies the busy bit is set for the whole run. *)
+  k.Counters.busy_cycles <- k.Counters.busy_cycles + exec + gaps;
+  let m = t.mem in
+  m.Mem.loads <- m.Mem.loads + next_loads;
+  m.Mem.stores <- m.Mem.stores + words;
+  Kernel.retire t.clock ~executed:exec ~skipped:gaps;
+  c.wake <- w + 1
+
+(* The run loop proper, as explicit tail recursion over plain ints: a
+   [while] with [ref] accumulators would box them (classic ocamlopt
+   only unboxes non-escaping references, and the hot-path allocation
+   gate on the compiled engine is two orders tighter than the general
+   one). [w] is the word cycle being executed, [slot] the slot it
+   consumes, [words]/[gaps] the data words copied and stall cycles
+   replayed so far. Unsafe accesses are in bounds by construction: the
+   microprogram has already validated [obj_from]/[obj_to] frames when
+   it entered the copy loop, and the compiled engine never runs with a
+   fault plan. *)
+let rec data_run_go t c ~fromb ~tob ~pi ~slot_limit ~lat_l ~lat_s ~limit w
+    slot words gaps =
+  let heap = t.heap.H.mem in
+  let v = Array.unsafe_get heap (fromb + slot) in
+  if slot < pi && v <> H.null then begin
+    (* Pointer slot: this word cycle consumes it and turns to the
+       child ([step_body_wait]'s first arm). Every copied word issued
+       a next load ([next_loads = words]). *)
+    c.bl.Port.st <- Port.st_idle;
+    c.child <- v;
+    c.state <- Lock_child;
+    data_run_finish t c ~w ~slot ~words ~gaps ~exec:(words + 1)
+      ~next_loads:words
+  end
+  else begin
+    Array.unsafe_set heap (tob + slot) v;
+    let slot = slot + 1 and words = words + 1 in
+    if slot >= slot_limit then begin
+      (* Work item complete: the last word's store is in flight, and
+         that word issued no further load ([next_loads = words - 1]). *)
+      c.bl.Port.st <- Port.st_idle;
+      c.bs.Port.st <- Port.st_in_flight;
+      c.bs.Port.addr <- tob + slot - 1;
+      c.bs.Port.done_at <- w + lat_s;
+      c.bs.Port.issued_at <- w;
+      c.state <- (if c.whole then Blacken else Piece_done);
+      data_run_finish t c ~w ~slot ~words ~gaps ~exec:words
+        ~next_loads:(words - 1)
+    end
+    else if w + lat_l >= limit then begin
+      (* The next word completes at or past [limit]: leave both
+         transactions in flight for the per-cycle loop. *)
+      c.bl.Port.st <- Port.st_in_flight;
+      c.bl.Port.addr <- fromb + slot;
+      c.bl.Port.done_at <- w + lat_l;
+      c.bl.Port.issued_at <- w;
+      c.bs.Port.st <- Port.st_in_flight;
+      c.bs.Port.addr <- tob + slot - 1;
+      c.bs.Port.done_at <- w + lat_s;
+      c.bs.Port.issued_at <- w;
+      c.state <- Body_wait;
+      data_run_finish t c ~w ~slot ~words ~gaps ~exec:words ~next_loads:words
+    end
+    else
+      data_run_go t c ~fromb ~tob ~pi ~slot_limit ~lat_l ~lat_s ~limit
+        (w + lat_l) slot words
+        (gaps + (lat_l - 1))
+  end
+
+let data_run_macro t c ~limit =
+  let cfgm = t.mem.Mem.config in
+  data_run_go t c
+    ~fromb:(c.obj_from + Hdr.header_words)
+    ~tob:(c.obj_to + Hdr.header_words)
+    ~pi:(Hdr.pi c.h0) ~slot_limit:c.slot_limit
+    ~lat_l:cfgm.Mem.body_load_latency ~lat_s:cfgm.Mem.store_latency ~limit
+    t.clock.Kernel.now c.slot 0 0
+
+(* Exclusive-core interpreter: every other core is asleep until at
+   least [limit], and a sleeping core's wake is frozen (nothing the
+   running core does can reschedule it), so the segment needs no
+   whole-machine scans — one core ticks, steps and sleeps, and global
+   jumps reduce to its own wake arithmetic. The per-cycle machinery of
+   the general engine is specialized away:
+
+   - sleeps credit their replay statistics inline and advance the clock
+     directly to [min wake limit] (the whole machine is asleep, so the
+     queue-mediated all-asleep jump collapses to one assignment);
+   - the wake queue is not touched per sleep — the single exit arm
+     below restores the queue invariant the fused path relies on;
+   - watchdog observations of progressed cycles are deferred and
+     flushed in one call (at the next quiet cycle or segment exit),
+     which leaves bit-identical watchdog state because consecutive
+     progress observations are idempotent up to the last one, and
+     [limit] never exceeds the cycle budget.
+
+   Exits once the clock reaches [limit] or the core's own wake passes
+   the current cycle (the caller re-evaluates the machine shape). *)
+(* Flush the deferred watchdog progress observation (see [t.wd_defer]).
+   Consecutive progress observations are idempotent up to the last one,
+   so reporting only the latest leaves bit-identical watchdog state;
+   deferral cannot mask a budget trip because every deferred cycle is
+   below [limit], which is capped at the cycle budget. *)
+let wd_flush t =
+  if t.wd_defer >= 0 then begin
+    let n = t.wd_defer in
+    t.wd_defer <- -1;
+    match Kernel.Watchdog.observe t.watchdog ~now:n ~progressed:true with
+    | Some trip -> raise (Stall_diagnosis (diagnose t trip))
+    | None -> ()
+  end
+
+(* One exclusive cycle, tail-recursively (top-level recursion with plain
+   arguments: a [while] over [ref] state would box the refs and a local
+   flush closure would allocate per segment — the compiled engine's
+   allocation gate forbids both). *)
+let rec exclusive_loop ?horizon t c ~limit ~macro_ok =
+  let clock = t.clock in
+  let n0 = clock.Kernel.now in
+  if n0 >= limit || c.wake > n0 then ()
+  else begin
+    t.mem.Mem.cycle <- n0;
+    t.mem.Mem.accepted_this_cycle <- 0;
+    t.hooks.Hooks.cycle <- n0;
+    let scan0 = t.sb.SB.scan and free0 = t.sb.SB.free in
+    t.events := 0;
+    tick_ports_compiled t c ~now:n0;
+    if
+      macro_ok
+      && (match c.state with Body_wait -> true | _ -> false)
+      && c.bl.Port.st = Port.st_ready
+      && c.hl.Port.st = Port.st_idle
+      && c.hs.Port.st = Port.st_idle
+      && c.bs.Port.st = Port.st_idle
+    then begin
+      data_run_macro t c ~limit;
+      (* The run's last executed cycle subsumes any older pending
+         progress observation. *)
+      t.wd_defer <- c.wake - 1;
+      exclusive_loop ?horizon t c ~limit ~macro_ok
+    end
+    else begin
+      t.saw_empty <- false;
+      step_core_compiled t c ~now:n0;
+      (* Executed cycle: inline [Kernel.tick]. *)
+      clock.Kernel.now <- n0 + 1;
+      clock.Kernel.executed <- clock.Kernel.executed + 1;
+      let empty_delta =
+        if t.parallel_phase && (not t.finished) && t.saw_empty then 1 else 0
+      in
+      t.empty_cycles <- t.empty_cycles + empty_delta;
+      if (match c.state with Halt -> true | _ -> false) then begin
+        (* Wake already pinned at max_int by the halt transition; the
+           general engine skips the watchdog when everyone halted, and a
+           lone halt is a progressed cycle (events moved). The pinned
+           wake ends the recursion at the next check. *)
+        if not (all_halted t) then t.wd_defer <- n0
+      end
+      else if try_park t c ~now:n0 then begin
+        (* Parked on a lock held by a sleeping foreign core: the wake at
+           [max_int] ends the segment at the next recursion check, and
+           the dispatcher's no-awake fast-forward jumps to the holder.
+           The spin cycle still gets its watchdog observation. *)
+        if !(t.events) = 0 && t.sb.SB.scan = scan0 && t.sb.SB.free = free0
+        then begin
+          wd_flush t;
+          match
+            Kernel.Watchdog.observe t.watchdog ~now:n0 ~progressed:false
+          with
+          | Some trip -> raise (Stall_diagnosis (diagnose t trip))
+          | None -> ()
+        end
+        else t.wd_defer <- n0
+      end
+      else begin
+        (* Inline [maybe_sleep]: same replay decision, but the credit
+           skips the profiler/tracer branches (off by engine guard) and
+           the clock jumps in place of the queue round-trip. *)
+        let rp = replay_of t c in
+        let w =
+          if rp = rp_no_sleep then n0 + 1
+          else if rp = rp_quiet_wait then flush_wake c ~now:n0
+          else
+            let guard =
+              if rp = rp_header_load then c.hl
+              else if rp = rp_body_load then c.bl
+              else if rp = rp_body_store then c.bs
+              else c.hs
+            in
+            guard_wake c guard t.mem ~now:n0
+        in
+        let slept = w > n0 + 1 && w < max_int in
+        if slept then begin
+          c.wake <- w;
+          let span = w - n0 - 1 in
+          if rp > 0 then Counters.bump_n c.counters (stall_of_rp rp) span;
+          if t.sb.SB.busy.(c.id) then
+            c.counters.busy_cycles <- c.counters.busy_cycles + span;
+          if Port.order_held c.hl t.mem then Mem.add_rejected_order t.mem span;
+          (* Whole machine asleep until [min w limit]: jump there
+             directly ([limit] is already capped by the horizon, the
+             divergence bound and the cycle budget). *)
+          let target = if w < limit then w else limit in
+          if target > n0 + 1 then begin
+            clock.Kernel.skipped <- clock.Kernel.skipped + (target - n0 - 1);
+            clock.Kernel.now <- target
+          end
+        end
+        else c.wake <- n0 + 1;
+        if !(t.events) = 0 && t.sb.SB.scan = scan0 && t.sb.SB.free = free0
+        then begin
+          (* Quiet cycle: flush deferred progress first so the
+             no-progress window counts from the right cycle. *)
+          wd_flush t;
+          (match
+             Kernel.Watchdog.observe t.watchdog ~now:n0 ~progressed:false
+           with
+          | Some trip -> raise (Stall_diagnosis (diagnose t trip))
+          | None -> ());
+          if not slept then begin
+            (* Quiet spin (e.g. a poll-state replay): same global
+               fast-forward as the general engine, but [c] is the only
+               awake core, so the whole-machine scan collapses to its
+               own buffer arithmetic and the bulk credit touches it
+               alone (foreign sleepers wake past [limit] >= target). *)
+            let wake =
+              imin (Wake_queue.next_after t.wakeq ~now:n0)
+                (port_wake c t.mem ~now:n0)
+            in
+            if wake < max_int then begin
+              let target =
+                imin (Wake_queue.bound ~horizon wake) (t.cfg.max_cycles + 1)
+              in
+              if target > n0 + 1 then begin
+                let span = Kernel.fast_forward clock ~target in
+                if c.stall_cycle = n0 then
+                  Counters.bump_n c.counters c.stall_kind span;
+                if t.sb.SB.busy.(c.id) then
+                  c.counters.busy_cycles <- c.counters.busy_cycles + span;
+                if Port.order_held c.hl t.mem then
+                  Mem.add_rejected_order t.mem span;
+                t.empty_cycles <- t.empty_cycles + (span * empty_delta)
+              end
+            end
+          end
+        end
+        else t.wd_defer <- n0
+      end;
+      exclusive_loop ?horizon t c ~limit ~macro_ok
+    end
+  end
+
+let step_exclusive ?horizon t c ~limit =
+  (* Macro preconditions that are configuration-static: the same-cycle
+     store + next-load pair always fits the bandwidth, and the store
+     buffer has always drained by the next word cycle. *)
+  let cfgm = t.mem.Mem.config in
+  let macro_ok =
+    cfgm.Mem.bandwidth >= 2
+    && cfgm.Mem.store_latency <= cfgm.Mem.body_load_latency
+  in
+  exclusive_loop ?horizon t c ~limit ~macro_ok;
+  wd_flush t;
+  (* Restore the queue invariant for the general/fused paths: a sleeping
+     core's wake must be armed (stale earlier entries are filtered by
+     [next_after]'s strictly-future check). *)
+  if c.wake > t.clock.Kernel.now && c.wake < max_int then
+    Wake_queue.arm t.wakeq ~id:c.id ~time:c.wake
+
+(* One fused cycle: the general [step] body with the tracer, profiler
+   and trace branches compiled out and the buffer/stall fast paths
+   inlined. The two-phase structure — every due buffer retries before
+   any core executes, both in core-index order — is preserved exactly;
+   acceptance order defines the bandwidth and ordering counters.
+
+   Both phases walk [t.due_ids] (the [d] cores the dispatcher found due,
+   in index order) instead of rescanning the core array: a due core's
+   wake cannot change before its own phase-2 turn (only its own step or
+   a parked-core wake mutates it, and due cores are never parked). The
+   one exception is a scan-lock release waking a *parked* core due this
+   same cycle (id past the releaser): the walk then falls back to a raw
+   index scan for the rest of the cycle, which hands both the woken
+   spinners and the remaining due cores their turns in index order —
+   exactly the per-cycle arbitration. *)
+let step_cycle_compiled ?horizon t ~n0 ~d =
+  let m = t.mem in
+  m.Mem.cycle <- n0;
+  m.Mem.accepted_this_cycle <- 0;
+  t.hooks.Hooks.cycle <- n0;
+  let scan0 = t.sb.SB.scan and free0 = t.sb.SB.free in
+  t.events := 0;
+  let cores = t.cores in
+  let due = t.due_ids in
+  for k = 0 to d - 1 do
+    tick_ports_compiled t
+      (Array.unsafe_get cores (Array.unsafe_get due k))
+      ~now:n0
+  done;
+  t.saw_empty <- false;
+  let awake_next = ref 0 in
+  let raw_from = ref (-1) in
+  let k = ref 0 in
+  while !raw_from < 0 && !k < d do
+    let c = Array.unsafe_get cores (Array.unsafe_get due !k) in
+    incr k;
+    step_core_compiled t c ~now:n0;
+    if not (try_park t c ~now:n0) then begin
+      maybe_sleep t c ~now:n0;
+      if c.wake = n0 + 1 then begin
+        Array.unsafe_set t.awake_ids !awake_next c.id;
+        incr awake_next
+      end
+    end;
+    (* Any step may have released the scan lock (a grab releases it
+       within the same step); parked spinners re-enter the arbitration
+       at exactly the cycle per-cycle stepping would let them. *)
+    if t.parked_mask <> 0 && t.sb.SB.scan_owner < 0 then begin
+      let woke_due = t.parked_mask lsr (c.id + 1) <> 0 in
+      awake_next := wake_parked t ~now:n0 ~after:c.id ~count:!awake_next;
+      if woke_due then raw_from := c.id + 1
+    end
+  done;
+  if !raw_from >= 0 then begin
+    (* A release woke parked spinners due this cycle: finish with the
+       raw scan (nested releases further down re-enter it naturally). *)
+    for i = !raw_from to Array.length cores - 1 do
+      let c = Array.unsafe_get cores i in
+      if c.wake <= n0 then begin
+        step_core_compiled t c ~now:n0;
+        if not (try_park t c ~now:n0) then begin
+          maybe_sleep t c ~now:n0;
+          if c.wake = n0 + 1 then begin
+            Array.unsafe_set t.awake_ids !awake_next c.id;
+            incr awake_next
+          end
+        end;
+        if t.parked_mask <> 0 && t.sb.SB.scan_owner < 0 then
+          awake_next := wake_parked t ~now:n0 ~after:i ~count:!awake_next
+      end
+    done
+  end;
+  let empty_delta =
+    if t.parallel_phase && (not t.finished) && t.saw_empty then 1 else 0
+  in
+  t.empty_cycles <- t.empty_cycles + empty_delta;
+  Kernel.tick t.clock;
+  let quiet = cycle_was_quiet t ~scan0 ~free0 in
+  if not (all_halted t) then begin
+    (match
+       Kernel.Watchdog.observe t.watchdog ~now:n0 ~progressed:(not quiet)
+     with
+    | Some trip -> raise (Stall_diagnosis (diagnose t trip))
+    | None -> ());
+    if quiet then begin
+      let wake = next_wake_awake t ~now:n0 ~count:!awake_next in
+      if wake < max_int then begin
+        let target =
+          imin (Wake_queue.bound ~horizon wake) (t.cfg.max_cycles + 1)
+        in
+        if target > n0 + 1 then begin
+          let span = Kernel.fast_forward t.clock ~target in
+          credit_awake t ~cycle:n0 ~span ~empty_delta ~count:!awake_next
+        end
+      end
+    end
+    else if !awake_next = 0 then begin
+      let wake = Wake_queue.next_after t.wakeq ~now:n0 in
+      if wake < max_int then begin
+        let target =
+          imin (Wake_queue.bound ~horizon wake) (t.cfg.max_cycles + 1)
+        in
+        if target > n0 + 1 then ignore (Kernel.fast_forward t.clock ~target)
+      end
+    end
+  end
+
+let step_compiled ?horizon t =
+  let n0 = t.clock.Kernel.now in
+  if n0 > t.cfg.max_cycles then
+    raise
+      (Simulation_diverged
+         (Printf.sprintf "exceeded %d cycles (scan=%d free=%d)" t.cfg.max_cycles
+            (t.sb.SB.scan) (t.sb.SB.free)));
+  let cores = t.cores in
+  let n = Array.length cores in
+  let due = t.due_ids in
+  let d = ref 0 in
+  for i = 0 to n - 1 do
+    if (Array.unsafe_get cores i).wake <= n0 then begin
+      Array.unsafe_set due !d i;
+      incr d
+    end
+  done;
+  if !d = 1 && t.parked_mask = 0 then begin
+    (* Exactly one core due and nobody parked: run it alone up to the
+       earliest foreign wake (capped by the resume horizon, the
+       divergence bound and the cycle budget, so batched segments never
+       overshoot a boundary the per-cycle engines observe). Parked cores
+       are excluded because a release inside the segment would have to
+       hand them a same-cycle turn; the fused loop handles that. *)
+    let only = Array.unsafe_get due 0 in
+    let limit = ref (t.cfg.max_cycles + 1) in
+    (match horizon with Some h -> if h < !limit then limit := h | None -> ());
+    (match t.cfg.cycle_budget with
+    | Some b -> if b < !limit then limit := b
+    | None -> ());
+    for i = 0 to n - 1 do
+      if i <> only then begin
+        let w = (Array.unsafe_get cores i).wake in
+        if w < !limit then limit := w
+      end
+    done;
+    if !limit > n0 + 1 then
+      step_exclusive ?horizon t (Array.unsafe_get cores only) ~limit:!limit
+    else step_cycle_compiled ?horizon t ~n0 ~d:1
+  end
+  else step_cycle_compiled ?horizon t ~n0 ~d:!d
+
+let step ?trace ?horizon t =
+  match trace with
+  | None when t.compiled_hot -> step_compiled ?horizon t
+  | _ ->
+    (* Falling out of the compiled fast path (e.g. a per-step trace
+       attached mid-run): the general engine has no notion of parked
+       cores, so flush them back to due spinners first. *)
+    if t.parked_mask <> 0 then unpark_all t;
+    let n0 = now t in
+    if n0 > t.cfg.max_cycles then
+      raise
+        (Simulation_diverged
+           (Printf.sprintf "exceeded %d cycles (scan=%d free=%d)"
+              t.cfg.max_cycles (t.sb.SB.scan) (t.sb.SB.free)));
+    step_general ?trace ?horizon t
 
 let finalize t =
   if not (all_halted t) then invalid_arg "Coprocessor.finalize: not halted";
@@ -1685,7 +2549,8 @@ module Snapshot = struct
     | Some b ->
       Codec.W.bool w true;
       Codec.W.int w b);
-    Codec.W.int w cfg.stall_window
+    Codec.W.int w cfg.stall_window;
+    Codec.W.bool w cfg.compiled
 
   let decode_config r =
     let n_cores = Codec.R.int r in
@@ -1724,6 +2589,7 @@ module Snapshot = struct
     in
     let cycle_budget = if Codec.R.bool r then Some (Codec.R.int r) else None in
     let stall_window = Codec.R.int r in
+    let compiled = Codec.R.bool r in
     {
       n_cores;
       mem =
@@ -1742,6 +2608,7 @@ module Snapshot = struct
       cycle_budget;
       stall_window;
       sanitize = San.Off;
+      compiled;
     }
 
   (* --- core register files ------------------------------------------ *)
@@ -1833,6 +2700,10 @@ module Snapshot = struct
     if t.cfg.sanitize <> San.Off then
       invalid_arg
         "Coprocessor.Snapshot.save: sanitizer state is not checkpointable";
+    (* Parked spinners are a compiled-engine scheduling artifact: flush
+       them to plain due cores so the snapshot is engine-independent
+       (the credited stalls are exactly the per-cycle ones). *)
+    unpark_all t;
     let wtr = Ckpt.writer ~fingerprint in
     Ckpt.add_section wtr "config" (sec (encode_config t.cfg));
     Ckpt.add_section wtr "heap" (sec (H.encode t.heap));

@@ -82,6 +82,22 @@ type config = {
           at the first finding. The sanitizer observes the
           stop-the-world collection (it is detached at [finalize];
           concurrent-mode mutator activity is out of scope). *)
+  compiled : bool;
+      (** the compiled stepping engine: the same microprogram,
+          specialized at instantiation time for the plain-run
+          configuration. Hook/tracer/sanitizer/injector branches are
+          resolved away, buffer retries and stall paths are inlined on
+          flat status ints, and transactions whose completion cycle is
+          already determined retire in batches (an exclusive awake core
+          runs alone to the next foreign wake-up; the body-copy inner
+          loop retires whole data-word runs in closed form) — a strict
+          generalization of idle-cycle skipping, with the same
+          contract: every reported statistic is bit-identical to naive
+          stepping, only wall time and the executed/skipped split
+          move. Requires [skip = true], [sanitize = Off] and
+          [scan_unit = None] ([start] raises [Invalid_argument]
+          otherwise); a fault plan, tracer, profiler or per-step trace
+          falls back to the general engine. Default [false]. *)
 }
 
 val default_config : config
@@ -96,6 +112,7 @@ val config :
   ?cycle_budget:int ->
   ?stall_window:int ->
   ?sanitize:Hsgc_sanitizer.Sanitizer.mode ->
+  ?compiled:bool ->
   n_cores:int ->
   unit ->
   config

@@ -12,6 +12,14 @@ type t = {
   busy : bool array;
   arrived : bool array;
   mutable release_count : int;
+  (* Flat population counts shadowing the three register arrays, kept
+     exactly in sync by the mutators below. They turn the per-cycle
+     O(n_cores) probes — barrier completeness, the termination check's
+     busy sweep, the header-lock comparator when no lock is held — into
+     single int compares, which the stepping engines run every cycle. *)
+  mutable busy_count : int;
+  mutable arrived_count : int;
+  mutable hdr_locked_count : int;
   hooks : Hooks.t;
   obs : Obs.t;
 }
@@ -29,6 +37,9 @@ let create ?hooks ?(obs = Obs.disabled) ~n_cores () =
     busy = Array.make n_cores false;
     arrived = Array.make n_cores false;
     release_count = 0;
+    busy_count = 0;
+    arrived_count = 0;
+    hdr_locked_count = 0;
     hooks;
     obs;
   }
@@ -144,12 +155,16 @@ let try_lock_header t ~core ~addr =
     protocol_fail t ~core ~addr Diag.Lock_order
       "lock-order violation acquiring header after free";
   let conflict = ref false in
-  for other = 0 to t.n - 1 do
-    if other <> core && t.header_regs.(other) = addr then conflict := true
-  done;
+  (* With no header lock held anywhere the comparator cannot match; the
+     count makes the common uncontended acquire O(1). *)
+  if t.hdr_locked_count > 0 then
+    for other = 0 to t.n - 1 do
+      if other <> core && t.header_regs.(other) = addr then conflict := true
+    done;
   if !conflict then false
   else begin
     t.header_regs.(core) <- addr;
+    t.hdr_locked_count <- t.hdr_locked_count + 1;
     if t.hooks.Hooks.on then
       t.hooks.Hooks.lock_acquired ~lock:Hooks.header_lock ~core ~addr;
     if t.obs.Obs.on then Obs.lock_acquired t.obs ~lock:Obs.lock_header ~core;
@@ -161,6 +176,7 @@ let unlock_header t ~core =
     protocol_fail t ~core Diag.Lock_state "unlock_header without lock";
   let addr = t.header_regs.(core) in
   t.header_regs.(core) <- 0;
+  t.hdr_locked_count <- t.hdr_locked_count - 1;
   if t.hooks.Hooks.on then
     t.hooks.Hooks.lock_released ~lock:Hooks.header_lock ~core ~addr;
   if t.obs.Obs.on then Obs.lock_released t.obs ~lock:Obs.lock_header ~core
@@ -170,25 +186,30 @@ let header_lock_of t ~core =
   if a = 0 then None else Some a
 
 let header_locked_by_any t ~addr =
-  let hit = ref false in
-  for core = 0 to t.n - 1 do
-    if t.header_regs.(core) = addr then hit := true
-  done;
-  !hit
+  if t.hdr_locked_count = 0 then false
+  else begin
+    let hit = ref false in
+    for core = 0 to t.n - 1 do
+      if t.header_regs.(core) = addr then hit := true
+    done;
+    !hit
+  end
 
 let set_busy t ~core b =
   check_core t core;
-  t.busy.(core) <- b
+  if t.busy.(core) <> b then begin
+    t.busy.(core) <- b;
+    t.busy_count <- t.busy_count + (if b then 1 else -1)
+  end
 
 let busy t ~core = t.busy.(core)
-let any_busy t = Array.exists Fun.id t.busy
+let any_busy t = t.busy_count > 0
 
+(* The termination probe: all busy bits clear, ignoring the probing
+   core's own. Runs under the scan lock at every object grab, so the
+   count (instead of an O(n_cores) sweep) is on the hot path. *)
 let none_busy_except t ~core =
-  let ok = ref true in
-  for other = 0 to t.n - 1 do
-    if other <> core && t.busy.(other) then ok := false
-  done;
-  !ok
+  t.busy_count = 0 || (t.busy_count = 1 && t.busy.(core))
 
 let barrier_arrive t ~core =
   check_core t core;
@@ -196,6 +217,7 @@ let barrier_arrive t ~core =
     if t.release_count > 0 then
       if t.arrived.(core) then begin
         t.arrived.(core) <- false;
+        t.arrived_count <- t.arrived_count - 1;
         t.release_count <- t.release_count - 1;
         true
       end
@@ -204,10 +226,17 @@ let barrier_arrive t ~core =
            wait for the previous one to fully drain. *)
         false
     else begin
-      if not t.arrived.(core) then t.arrived.(core) <- true;
-      if Array.for_all Fun.id t.arrived then begin
+      if not t.arrived.(core) then begin
+        t.arrived.(core) <- true;
+        t.arrived_count <- t.arrived_count + 1
+      end;
+      (* Completeness is the arrival count reaching the core count — the
+         per-arrival O(n_cores) sweep this replaces ran every cycle for
+         every waiting core. *)
+      if t.arrived_count = t.n then begin
         t.release_count <- t.n;
         t.arrived.(core) <- false;
+        t.arrived_count <- t.arrived_count - 1;
         t.release_count <- t.release_count - 1;
         true
       end
@@ -256,4 +285,15 @@ let restore t r =
   Codec.R.int_array_into r t.header_regs ~what:"header-lock registers";
   Codec.R.bool_array_into r t.busy ~what:"busy bits";
   Codec.R.bool_array_into r t.arrived ~what:"barrier arrival bits";
-  t.release_count <- Codec.R.int r
+  t.release_count <- Codec.R.int r;
+  (* The shadow counts are derived state: recompute from the restored
+     arrays rather than trusting (or versioning) the snapshot. *)
+  let count_true a =
+    let n = ref 0 in
+    Array.iter (fun b -> if b then incr n) a;
+    !n
+  in
+  t.busy_count <- count_true t.busy;
+  t.arrived_count <- count_true t.arrived;
+  t.hdr_locked_count <- 0;
+  Array.iter (fun a -> if a <> 0 then t.hdr_locked_count <- t.hdr_locked_count + 1) t.header_regs

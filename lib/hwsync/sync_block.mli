@@ -48,6 +48,14 @@ type t = {
   busy : bool array;
   arrived : bool array;  (** barrier arrival flags *)
   mutable release_count : int;
+  mutable busy_count : int;
+      (** population count of [busy] — flat shadow kept exact by
+          [set_busy], turning the per-grab termination sweep into one
+          int compare *)
+  mutable arrived_count : int;  (** population count of [arrived] *)
+  mutable hdr_locked_count : int;
+      (** nonzero entries in [header_regs]: the header-lock comparator
+          short-circuits when no lock is held anywhere *)
   hooks : Hsgc_sanitizer.Hooks.t;
   obs : Hsgc_obs.Tracer.t;
 }

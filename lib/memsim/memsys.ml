@@ -62,6 +62,13 @@ type t = {
   mutable ps_addr : int array;
   mutable ps_commit : int array;
   mutable ps_n : int;
+  (* Address-hash presence mask over the comparator array: bit
+     [addr land 31] is set for every live entry (conservatively — bits
+     of committed entries linger until the next compaction). A clear
+     bit proves no pending store to [addr], so the order probes that
+     run on every header-load acceptance and every order-held wake
+     computation skip the array scan entirely. *)
+  mutable ps_mask : int;
   mutable accepted_this_cycle : int;
   mutable cycle : int;
   mutable loads : int;
@@ -90,6 +97,7 @@ let create ?(faults = Injector.disabled) ?hooks
     ps_addr = Array.make 64 0;
     ps_commit = Array.make 64 0;
     ps_n = 0;
+    ps_mask = 0;
     accepted_this_cycle = 0;
     cycle = 0;
     loads = 0;
@@ -113,15 +121,19 @@ let commit_after t ~addr =
   (* A [let rec go] scan here would heap-allocate its closure on every
      call — and this runs once per cycle per port waiting on an
      order-held header load — so the loop is written with unboxed
-     refs instead. *)
-  let n = t.ps_n in
-  let i = ref 0 and commit = ref max_int in
-  while !commit = max_int && !i < n do
-    if t.ps_addr.(!i) = addr && t.ps_commit.(!i) > t.cycle then
-      commit := t.ps_commit.(!i);
-    incr i
-  done;
-  !commit
+     refs instead. The mask probe in front skips the scan whenever no
+     pending store can hash to [addr]'s bucket. *)
+  if t.ps_mask land (1 lsl (addr land 31)) = 0 then max_int
+  else begin
+    let n = t.ps_n in
+    let i = ref 0 and commit = ref max_int in
+    while !commit = max_int && !i < n do
+      if t.ps_addr.(!i) = addr && t.ps_commit.(!i) > t.cycle then
+        commit := t.ps_commit.(!i);
+      incr i
+    done;
+    !commit
+  end
 
 let store_commit_time t ~addr =
   let c = commit_after t ~addr in
@@ -143,16 +155,20 @@ let store_pending t addr = commit_after t ~addr <> max_int
    simultaneously in-flight header stores. *)
 let record_header_store t ~addr ~commit =
   let j = ref 0 and found = ref (-1) in
+  let mask = ref (1 lsl (addr land 31)) in
   for i = 0 to t.ps_n - 1 do
     let c = t.ps_commit.(i) in
     if c > t.cycle then begin
       t.ps_addr.(!j) <- t.ps_addr.(i);
       t.ps_commit.(!j) <- c;
       if t.ps_addr.(!j) = addr then found := !j;
+      mask := !mask lor (1 lsl (t.ps_addr.(!j) land 31));
       incr j
     end
   done;
   t.ps_n <- !j;
+  (* Compaction visited every live entry, so this is the exact mask. *)
+  t.ps_mask <- !mask;
   if !found >= 0 then begin
     (* Keep the later commit if a store to this address is already
        pending (cannot happen under the locking protocol, but the model
@@ -297,6 +313,7 @@ let reset_stats t =
 let reset t =
   reset_stats t;
   t.ps_n <- 0;
+  t.ps_mask <- 0;
   Array.fill t.header_cache 0 (Array.length t.header_cache) 0;
   Header_fifo.clear t.fifo;
   t.accepted_this_cycle <- 0;
@@ -332,9 +349,11 @@ let restore t r =
     t.ps_addr <- Array.make n 0;
     t.ps_commit <- Array.make n 0
   end;
+  t.ps_mask <- 0;
   for i = 0 to n - 1 do
     t.ps_addr.(i) <- Codec.R.int r;
-    t.ps_commit.(i) <- Codec.R.int r
+    t.ps_commit.(i) <- Codec.R.int r;
+    t.ps_mask <- t.ps_mask lor (1 lsl (t.ps_addr.(i) land 31))
   done;
   t.ps_n <- n;
   t.accepted_this_cycle <- Codec.R.int r;

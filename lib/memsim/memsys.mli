@@ -53,7 +53,35 @@ val validate_config : config -> (unit, string) result
     [header_cache_entries]. The error is a human-readable message
     suitable for a command-line diagnostic. *)
 
-type t
+(* The record is exposed for the same reason as {!Port.t} and
+   {!Hsgc_hwsync.Sync_block.t}: without flambda every accessor is a real
+   cross-module call, and the stepping engines probe the per-cycle
+   acceptance budget and the comparator mask several times per simulated
+   cycle. Read the fields freely; mutate only through the operations
+   below, which maintain the counters and the ordering model. *)
+type t = {
+  config : config;
+  fifo : Header_fifo.t;
+  faults : Hsgc_fault.Injector.t;
+  hooks : Hsgc_sanitizer.Hooks.t;
+  header_cache : int array;  (** slot -> cached address (0 = empty) *)
+  mutable ps_addr : int array;
+      (** comparator array: pending header-store addresses, live prefix
+          [0, ps_n) *)
+  mutable ps_commit : int array;  (** their commit cycles, parallel *)
+  mutable ps_n : int;
+  mutable ps_mask : int;
+      (** presence mask over [ps_addr land 31]: a clear bit proves no
+          pending store hashes there, skipping the scan *)
+  mutable accepted_this_cycle : int;
+  mutable cycle : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable rejected_bandwidth : int;
+  mutable rejected_order : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
 
 val create :
   ?faults:Hsgc_fault.Injector.t -> ?hooks:Hsgc_sanitizer.Hooks.t ->

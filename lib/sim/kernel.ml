@@ -37,6 +37,18 @@ let fast_forward t ~target =
     span
   end
 
+(* Bulk retirement for batching engines: a span whose per-cycle effects
+   were computed in closed form advances the clock in one call, keeping
+   [now = executed + skipped] without a tick per cycle. No skip-span
+   trace event is emitted — batching engines run with observability
+   detached (they fall back to per-cycle stepping when a tracer is
+   attached), so there is no subscriber to keep stepping-invariant. *)
+let retire t ~executed ~skipped =
+  if executed < 0 || skipped < 0 then invalid_arg "Kernel.retire";
+  t.now <- t.now + executed + skipped;
+  t.executed <- t.executed + executed;
+  t.skipped <- t.skipped + skipped
+
 let executed_cycles t = t.executed
 let skipped_cycles t = t.skipped
 

@@ -51,6 +51,14 @@ val fast_forward : t -> target:int -> int
     The caller must guarantee the skipped cycles were quiescent and must
     credit their per-cycle statistics in bulk. *)
 
+val retire : t -> executed:int -> skipped:int -> unit
+(** Bulk retirement for batching engines: advance [now] by
+    [executed + skipped] cycles whose per-cycle effects the caller has
+    already credited in closed form. Unlike {!fast_forward} this also
+    books executed cycles, and it emits no skip-span trace event — a
+    batching engine must fall back to per-cycle stepping whenever a
+    tracer is attached. Raises [Invalid_argument] on negative spans. *)
+
 val executed_cycles : t -> int
 (** Cycles actually stepped ([tick] calls). *)
 

@@ -29,6 +29,7 @@ let () =
       ("exhaustive", Test_exhaustive.suite);
       ("experiment", Test_experiment.suite);
       ("kernel", Test_kernel.suite);
+      ("compiled", Test_compiled.suite);
       ("bsp", Test_bsp.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("fault", Test_fault.suite);

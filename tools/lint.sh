@@ -37,4 +37,26 @@ ban 'Obj\.magic' 'Obj.magic defeats the type system'
 ban 'Unix\.gettimeofday' 'non-monotonic clock; use Monotonic_clock'
 ban 'Printf\.printf' 'bare stdout formatting from library code'
 
+# The cycle-stepped hot-path modules additionally ban closure literals:
+# under classic ocamlopt (no flambda) a [fun () -> ...] that captures
+# anything heap-allocates at every evaluation, and the compiled engine's
+# contract is a zero-allocation stepping loop (gated by the perf suite's
+# compiled_words_per_cycle budget). Thunks belong in the setup layer,
+# not in per-cycle code.
+ban_hot() {
+  file="$1"
+  hits=$(grep -nE 'fun \(\) ->' "$root/$file" 2>/dev/null)
+  if [ -n "$hits" ]; then
+    echo "lint: closure literal in hot-path module $file (allocates per evaluation under classic ocamlopt):" >&2
+    echo "$hits" >&2
+    status=1
+  fi
+}
+
+ban_hot lib/coproc/coprocessor.ml
+ban_hot lib/sim/kernel.ml
+ban_hot lib/sim/wake_queue.ml
+ban_hot lib/memsim/port.ml
+ban_hot lib/memsim/memsys.ml
+
 exit $status
