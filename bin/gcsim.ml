@@ -1132,6 +1132,250 @@ let bench_cmd =
           latency")
     Term.(const run $ bench_scale_arg $ seed_arg $ out_arg $ check_arg $ quiet_arg)
 
+(* gcsim model — the bounded model checker over the abstracted
+   hardware-sync protocol (lib/model, docs/MODELCHECK.md). Single-run
+   mode explores one (graph, cores, mutation) configuration; --matrix
+   runs the full tracked suite behind BENCH_model.json. *)
+let model_cmd =
+  let module Proto = Hsgc_model.Proto in
+  let module Explore = Hsgc_model.Explore in
+  let module Replay = Hsgc_model.Replay in
+  let module Mutation = Hsgc_model.Mutation in
+  let module MBench = Hsgc_model.Bench in
+  let run cores graph_name objects mutation_name list_mutations no_por
+      no_symmetry max_states matrix out check quiet =
+    if list_mutations then begin
+      List.iter
+        (fun (e : Mutation.entry) ->
+          Printf.printf "%-26s @%-8s %-17s %s\n" e.Mutation.name
+            e.Mutation.graph
+            (Proto.check_name e.Mutation.model_check)
+            e.Mutation.blurb)
+        Mutation.all;
+      0
+    end
+    else if matrix then begin
+      let progress = if quiet then None else Some print_endline in
+      let s = MBench.run ?progress () in
+      if not quiet then print_newline ();
+      print_string (MBench.summary s);
+      (match out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc (MBench.to_json s);
+        close_out oc;
+        Printf.printf "wrote %s\n" path);
+      match check with
+      | None -> if MBench.all_ok s then 0 else exit_sanitizer
+      | Some path -> (
+        let ic = open_in path in
+        let baseline = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        match MBench.check ~baseline s with
+        | Ok () ->
+          Printf.printf "model matrix vs %s: OK\n" path;
+          0
+        | Error msgs ->
+          List.iter (fun m -> Format.eprintf "gcsim model: %s@." m) msgs;
+          exit_verify_failed)
+    end
+    else begin
+      let mutation, entry =
+        match mutation_name with
+        | None -> (Proto.Correct, None)
+        | Some name -> (
+          match Mutation.find name with
+          | Some e -> (e.Mutation.mutation, Some e)
+          | None ->
+            Format.eprintf
+              "gcsim model: unknown mutation %S (try --list-mutations)@." name;
+            exit 2)
+      in
+      match Proto.graph_of_string graph_name ~objects with
+      | Error msg ->
+        Format.eprintf "gcsim model: %s@." msg;
+        2
+      | Ok graph ->
+        let cfg =
+          {
+            (Explore.default_config ~graph ~n_cores:cores) with
+            Explore.mutation;
+            por = not no_por;
+            symmetry = not no_symmetry;
+            max_states;
+          }
+        in
+        let outcome = Explore.run cfg in
+        let s = Explore.outcome_stats outcome in
+        Printf.printf
+          "%s  %d cores  %s%s\n\
+           %d states, %d transitions (%d slept), depth %d, %d final\n"
+          graph.Proto.gname cores
+          (match mutation_name with
+          | None -> "correct protocol"
+          | Some m -> "mutation: " ^ m)
+          ((match (cfg.Explore.por, cfg.Explore.symmetry) with
+           | true, true -> ""
+           | false, true -> "  [no por]"
+           | true, false -> "  [no symmetry]"
+           | false, false -> "  [no reductions]")
+          ^ if Proto.symmetric mutation then "" else "  [asymmetric]")
+          s.Explore.states s.Explore.transitions s.Explore.slept
+          s.Explore.max_depth s.Explore.finals;
+        let replay_and_report sched =
+          Printf.printf "counterexample (%d sync-block operations):\n"
+            (List.length sched);
+          Explore.pp_schedule Format.std_formatter sched;
+          Format.pp_print_flush Format.std_formatter ();
+          let res = Replay.run cfg sched in
+          Printf.printf "replay through sync block + sanitizer: %s\n"
+            (if res.Replay.flagged then
+               "flagged [" ^ String.concat ", " res.Replay.checks ^ "]"
+             else "silent");
+          (match entry with
+          | Some { Mutation.dynamic_check = Some expected; _ } ->
+            Printf.printf "expected dynamic check %s: %s\n"
+              (Hsgc_sanitizer.Diag.check_name expected)
+              (if Replay.hits res expected then "confirmed" else "NOT FLAGGED")
+          | _ -> ())
+        in
+        (match outcome with
+        | Explore.Verified _ ->
+          Printf.printf "verified: every interleaving satisfies the protocol\n"
+        | Explore.Violation (v, sched, _) ->
+          Printf.printf "VIOLATION %s: %s\n"
+            (Proto.check_name v.Proto.vcheck)
+            v.Proto.vdetail;
+          replay_and_report sched
+        | Explore.Deadlock (sched, _) ->
+          Printf.printf "DEADLOCK: no core can make progress\n";
+          Printf.printf "schedule (%d sync-block operations):\n"
+            (List.length sched);
+          Explore.pp_schedule Format.std_formatter sched;
+          Format.pp_print_flush Format.std_formatter ()
+        | Explore.Livelock (sched, _) ->
+          Printf.printf
+            "LIVELOCK: quiescence unreachable from the state below\n";
+          Printf.printf "schedule (%d sync-block operations):\n"
+            (List.length sched);
+          Explore.pp_schedule Format.std_formatter sched;
+          Format.pp_print_flush Format.std_formatter ()
+        | Explore.Out_of_bounds _ ->
+          Printf.printf "inconclusive: state bound %d exhausted\n"
+            cfg.Explore.max_states);
+        (match outcome with
+        | Explore.Verified _ -> 0
+        | Explore.Out_of_bounds _ -> exit_stalled
+        | Explore.Violation _ | Explore.Deadlock _ | Explore.Livelock _ ->
+          exit_sanitizer)
+    end
+  in
+  let cores_arg =
+    Arg.(
+      value
+      & opt (positive_conv "cores") 3
+      & info [ "n"; "cores" ] ~doc:"Model cores to interleave (default 3).")
+  in
+  let graph_arg =
+    Arg.(
+      value & opt string "diamond"
+      & info [ "g"; "graph" ] ~docv:"NAME"
+          ~doc:
+            "Object graph topology: $(b,diamond) (two roots share all \
+             children — the evacuation race), $(b,chain), $(b,fork), \
+             $(b,twin) (disjoint children — concurrent claims), \
+             $(b,garbage) (one unreachable object).")
+  in
+  let objects_arg =
+    Arg.(
+      value
+      & opt (positive_conv "objects") 4
+      & info [ "objects" ] ~doc:"Objects in the graph (default 4).")
+  in
+  let mutation_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "m"; "mutation" ] ~docv:"NAME"
+          ~doc:
+            "Model-check a broken-collector variant instead of the correct \
+             protocol (see $(b,--list-mutations)); expect a counterexample.")
+  in
+  let list_mutations_arg =
+    Arg.(
+      value & flag
+      & info [ "list-mutations" ] ~doc:"List the mutation catalog and exit.")
+  in
+  let no_por_arg =
+    Arg.(
+      value & flag
+      & info [ "no-por" ]
+          ~doc:
+            "Disable partial-order reduction (sleep sets); the search walks \
+             every transition and counterexamples are minimal (BFS).")
+  in
+  let no_symmetry_arg =
+    Arg.(
+      value & flag
+      & info [ "no-symmetry" ]
+          ~doc:
+            "Disable core-symmetry reduction (canonical visited-state keys).")
+  in
+  let max_states_arg =
+    Arg.(
+      value
+      & opt (positive_conv "state bound") 2_000_000
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:
+            "Exploration bound; exceeding it exits 4 (inconclusive, not \
+             verified).")
+  in
+  let matrix_arg =
+    Arg.(
+      value & flag
+      & info [ "matrix" ]
+          ~doc:
+            "Run the full tracked suite (verification grid, reduction \
+             cross-validation, silent baseline replay, mutation catalog) \
+             instead of a single configuration.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "json" ] ~docv:"FILE"
+          ~doc:
+            "With $(b,--matrix): write the suite as JSON (the tracked \
+             BENCH_model.json artifact).")
+  in
+  let check_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "check" ] ~docv:"BASELINE"
+          ~doc:
+            "With $(b,--matrix): compare against a committed \
+             BENCH_model.json and fail (exit code 3) on any gate drift. \
+             Exploration is deterministic, so state counts and verdicts \
+             must match exactly.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress lines.")
+  in
+  Cmd.v
+    (Cmd.info "model"
+       ~doc:
+         "bounded model checker for the hardware-sync protocol: exhaustively \
+          verify every core interleaving of an abstracted collector \
+          microprogram (exit 5 on violation/deadlock/livelock, 4 if the \
+          state bound is hit), with counterexample replay through the real \
+          sync block and sanitizer")
+    Term.(
+      const run $ cores_arg $ graph_arg $ objects_arg $ mutation_arg
+      $ list_mutations_arg $ no_por_arg $ no_symmetry_arg $ max_states_arg
+      $ matrix_arg $ out_arg $ check_arg $ quiet_arg)
+
 let () =
   let doc = "fine-grained parallel compacting GC coprocessor simulator" in
   exit
@@ -1139,5 +1383,5 @@ let () =
        (Cmd.group (Cmd.info "gcsim" ~doc)
           [
             list_cmd; run_cmd; sweep_cmd; cycles_cmd; trace_cmd; ablate_cmd;
-            concurrent_cmd; chaos_cmd; bench_cmd;
+            concurrent_cmd; chaos_cmd; bench_cmd; model_cmd;
           ]))

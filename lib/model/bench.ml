@@ -1,0 +1,360 @@
+(* The model-checking matrix: see bench.mli. Everything here is
+   deterministic, so the gate strings are compared for exact equality
+   against the committed BENCH_model.json. *)
+
+module Diag = Hsgc_sanitizer.Diag
+
+type verify_point = {
+  vgraph : string;
+  objects : int;
+  cores : int;
+  por : bool;
+  symmetry : bool;
+  outcome : string;
+  states : int;
+  transitions : int;
+  slept : int;
+  depth : int;
+}
+
+type mutant_point = {
+  mname : string;
+  mgraph : string;
+  verdict : string;
+  sched_len : int;
+  replay_checks : string list;
+  expected : string;
+  hit : bool;
+}
+
+type suite = {
+  verify : verify_point list;
+  cross_checks : int;
+  cross_ok : bool;
+  baseline_silent : bool;
+  mutants : mutant_point list;
+}
+
+let graph name ~objects =
+  match Proto.graph_of_string name ~objects with
+  | Ok g -> g
+  | Error m -> invalid_arg m
+
+let combo_name ~por ~symmetry =
+  match (por, symmetry) with
+  | true, true -> "por+sym"
+  | true, false -> "por"
+  | false, true -> "sym"
+  | false, false -> "none"
+
+let cfg_of name ~objects ~cores ~por ~symmetry mutation =
+  {
+    (Explore.default_config ~graph:(graph name ~objects) ~n_cores:cores) with
+    Explore.mutation;
+    por;
+    symmetry;
+  }
+
+let verify_point ?progress name ~objects ~cores ~por ~symmetry =
+  let cfg = cfg_of name ~objects ~cores ~por ~symmetry Proto.Correct in
+  let o = Explore.run cfg in
+  let s = Explore.outcome_stats o in
+  let p =
+    {
+      vgraph = Printf.sprintf "%s%d" name objects;
+      objects;
+      cores;
+      por;
+      symmetry;
+      outcome = Explore.outcome_name o;
+      states = s.Explore.states;
+      transitions = s.Explore.transitions;
+      slept = s.Explore.slept;
+      depth = s.Explore.max_depth;
+    }
+  in
+  (match progress with
+  | Some f ->
+    f
+      (Printf.sprintf "verify %s/%dc %-7s %-10s %d states" p.vgraph cores
+         (combo_name ~por ~symmetry) p.outcome p.states)
+  | None -> ());
+  p
+
+(* Small configurations explored under all four reduction combinations:
+   the verdict must agree everywhere, and the state count must not
+   depend on POR (sleep sets prune transitions, never states). *)
+let cross_configs = [ ("diamond", 4, 2); ("twin", 4, 2); ("chain", 4, 2) ]
+
+(* Larger runs with both reductions on — the committed state counts. *)
+let verified_configs =
+  [
+    ("diamond", 4, 3); ("diamond", 5, 3); ("twin", 4, 3); ("twin", 6, 3);
+    ("fork", 5, 3); ("garbage", 4, 3); ("chain", 6, 3); ("diamond", 4, 4);
+  ]
+
+let mutant_point ?progress (e : Mutation.entry) =
+  let cores = 2 and objects = 4 in
+  let cfg = cfg_of e.Mutation.graph ~objects ~cores ~por:true ~symmetry:true
+      e.Mutation.mutation
+  in
+  let o = Explore.run cfg in
+  let verdict = Explore.outcome_name o in
+  let p =
+    match (o, e.Mutation.dynamic_check) with
+    | Explore.Violation (v, sched, _), Some expected ->
+      let res = Replay.run cfg sched in
+      {
+        mname = e.Mutation.name;
+        mgraph = Printf.sprintf "%s%d" e.Mutation.graph objects;
+        verdict;
+        sched_len = List.length sched;
+        replay_checks = res.Replay.checks;
+        expected = Diag.check_name expected;
+        hit =
+          v.Proto.vcheck = e.Mutation.model_check && Replay.hits res expected;
+      }
+    | _, _ ->
+      let hit =
+        match (e.Mutation.mutation, o) with
+        | Proto.Lost_core, Explore.Deadlock _ -> true
+        | Proto.Stuck_child, Explore.Livelock _ -> true
+        | _ -> false
+      in
+      let sched_len =
+        match o with
+        | Explore.Deadlock (s, _) | Explore.Livelock (s, _) -> List.length s
+        | _ -> 0
+      in
+      {
+        mname = e.Mutation.name;
+        mgraph = Printf.sprintf "%s%d" e.Mutation.graph objects;
+        verdict;
+        sched_len;
+        replay_checks = [];
+        expected = "-";
+        hit;
+      }
+  in
+  (match progress with
+  | Some f ->
+    f
+      (Printf.sprintf "mutant %-26s %-28s %s" p.mname p.verdict
+         (if p.hit then "ok" else "MISS"))
+  | None -> ());
+  p
+
+let run ?progress () =
+  let cross =
+    List.concat_map
+      (fun (name, objects, cores) ->
+        List.map
+          (fun (por, symmetry) ->
+            verify_point ?progress name ~objects ~cores ~por ~symmetry)
+          [ (true, true); (false, true); (true, false); (false, false) ])
+      cross_configs
+  in
+  (* POR must not change the verdict or the state count; symmetry must
+     not change the verdict. *)
+  let cross_checks = ref 0 in
+  let cross_ok = ref true in
+  List.iter
+    (fun (name, objects, cores) ->
+      let find ~por ~symmetry =
+        List.find
+          (fun p ->
+            p.vgraph = Printf.sprintf "%s%d" name objects
+            && p.cores = cores && p.por = por && p.symmetry = symmetry)
+          cross
+      in
+      List.iter
+        (fun symmetry ->
+          incr cross_checks;
+          let a = find ~por:true ~symmetry and b = find ~por:false ~symmetry in
+          if a.states <> b.states || a.outcome <> b.outcome then
+            cross_ok := false)
+        [ true; false ];
+      incr cross_checks;
+      let a = find ~por:false ~symmetry:true
+      and b = find ~por:false ~symmetry:false in
+      if a.outcome <> b.outcome then cross_ok := false)
+    cross_configs;
+  let verified =
+    List.map
+      (fun (name, objects, cores) ->
+        verify_point ?progress name ~objects ~cores ~por:true ~symmetry:true)
+      verified_configs
+  in
+  let baseline_silent =
+    let cfg = cfg_of "diamond" ~objects:4 ~cores:3 ~por:true ~symmetry:true
+        Proto.Correct
+    in
+    let res = Replay.run cfg (Explore.fair_schedule cfg) in
+    (match progress with
+    | Some f ->
+      f
+        (Printf.sprintf "baseline replay: %s"
+           (if res.Replay.flagged then
+              "FLAGGED " ^ String.concat "," res.Replay.checks
+            else "silent"))
+    | None -> ());
+    not res.Replay.flagged
+  in
+  let mutants = List.map (mutant_point ?progress) Mutation.all in
+  {
+    verify = cross @ verified;
+    cross_checks = !cross_checks;
+    cross_ok = !cross_ok;
+    baseline_silent;
+    mutants;
+  }
+
+let all_ok s =
+  s.cross_ok && s.baseline_silent
+  && List.for_all (fun p -> p.outcome = "verified") s.verify
+  && List.for_all (fun p -> p.hit) s.mutants
+
+(* --- gates ---------------------------------------------------------- *)
+
+let verify_gate p =
+  Printf.sprintf "verify %s/%dc %s: %s states=%d trans=%d slept=%d depth=%d"
+    p.vgraph p.cores
+    (combo_name ~por:p.por ~symmetry:p.symmetry)
+    p.outcome p.states p.transitions p.slept p.depth
+
+let mutant_gate p =
+  Printf.sprintf "mutant %s @%s: %s len=%d replay=%s expect=%s %s" p.mname
+    p.mgraph p.verdict p.sched_len
+    (match p.replay_checks with [] -> "-" | l -> String.concat "," l)
+    p.expected
+    (if p.hit then "hit" else "miss")
+
+let gates s =
+  List.map verify_gate s.verify
+  @ [
+      Printf.sprintf "cross-validation: %d checks %s" s.cross_checks
+        (if s.cross_ok then "consistent" else "INCONSISTENT");
+      Printf.sprintf "baseline replay: %s"
+        (if s.baseline_silent then "silent" else "flagged");
+    ]
+  @ List.map mutant_gate s.mutants
+
+let summary s =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun g ->
+      Buffer.add_string buf g;
+      Buffer.add_char buf '\n')
+    (gates s);
+  Buffer.add_string buf
+    (Printf.sprintf "model matrix: %s\n"
+       (if all_ok s then "all ok" else "FAILURES"));
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json s =
+  let verify_json p =
+    Printf.sprintf
+      {|    {"graph": "%s", "cores": %d, "por": %b, "symmetry": %b, "outcome": "%s", "states": %d, "transitions": %d, "slept": %d, "depth": %d, "gate": "%s"}|}
+      (json_escape p.vgraph) p.cores p.por p.symmetry (json_escape p.outcome)
+      p.states p.transitions p.slept p.depth
+      (json_escape (verify_gate p))
+  in
+  let mutant_json p =
+    Printf.sprintf
+      {|    {"mutant": "%s", "graph": "%s", "verdict": "%s", "schedule_len": %d, "replay": [%s], "expected": "%s", "hit": %b, "gate": "%s"}|}
+      (json_escape p.mname) (json_escape p.mgraph) (json_escape p.verdict)
+      p.sched_len
+      (String.concat ", "
+         (List.map (fun c -> Printf.sprintf "\"%s\"" (json_escape c))
+            p.replay_checks))
+      (json_escape p.expected) p.hit
+      (json_escape (mutant_gate p))
+  in
+  Printf.sprintf
+    {|{
+  "benchmark": "hsgc protocol model checker",
+  "verify_points": %d,
+  "verified": %d,
+  "cross_checks": %d,
+  "cross_ok": %b,
+  "baseline_replay_silent": %b,
+  "mutant_points": %d,
+  "mutants_hit": %d,
+  "all_ok": %b,
+  "verify": [
+%s
+  ],
+  "mutants": [
+%s
+  ]
+}
+|}
+    (List.length s.verify)
+    (List.length (List.filter (fun p -> p.outcome = "verified") s.verify))
+    s.cross_checks s.cross_ok s.baseline_silent
+    (List.length s.mutants)
+    (List.length (List.filter (fun p -> p.hit) s.mutants))
+    (all_ok s)
+    (String.concat ",\n" (List.map verify_json s.verify))
+    (String.concat ",\n" (List.map mutant_json s.mutants))
+
+(* Pull every "gate" string out of a committed BENCH_model.json without
+   a JSON parser: scan for the key, then read the escaped string. *)
+let gates_of_baseline text =
+  let out = ref [] in
+  let key = {|"gate": "|} in
+  let klen = String.length key in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i + klen <= n do
+    if String.sub text !i klen = key then begin
+      let buf = Buffer.create 64 in
+      let j = ref (!i + klen) in
+      let stop = ref false in
+      while (not !stop) && !j < n do
+        (match text.[!j] with
+        | '"' -> stop := true
+        | '\\' when !j + 1 < n ->
+          incr j;
+          Buffer.add_char buf
+            (match text.[!j] with 'n' -> '\n' | c -> c)
+        | c -> Buffer.add_char buf c);
+        incr j
+      done;
+      out := Buffer.contents buf :: !out;
+      i := !j
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let check ~baseline s =
+  let want = gates_of_baseline baseline in
+  let got = List.filter (fun g ->
+      String.length g >= 6
+      && (String.sub g 0 6 = "verify" || String.sub g 0 6 = "mutant"))
+      (gates s)
+  in
+  if want = [] then Error [ "baseline contains no gate strings" ]
+  else begin
+    let missing = List.filter (fun g -> not (List.mem g got)) want in
+    let extra = List.filter (fun g -> not (List.mem g want)) got in
+    let errs =
+      List.map (fun g -> Printf.sprintf "baseline gate not reproduced: %s" g)
+        missing
+      @ List.map (fun g -> Printf.sprintf "gate not in baseline: %s" g) extra
+      @ (if all_ok s then [] else [ "model matrix has failures" ])
+    in
+    if errs = [] then Ok () else Error errs
+  end

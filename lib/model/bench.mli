@@ -1,0 +1,69 @@
+(** The tracked model-checking matrix behind BENCH_model.json.
+
+    Three sections, all deterministic (the explorer has no randomness,
+    so every number here is exactly reproducible):
+
+    - {b verify}: the correct protocol exhaustively verified across
+      graphs, core counts and reduction settings. Small configurations
+      run under all four por x symmetry combinations and cross-validate:
+      the verdict must agree everywhere, and since sleep sets prune only
+      transitions, the visited-state count must be identical with POR on
+      and off (at fixed symmetry).
+    - {b baseline replay}: a fair round-robin schedule of the correct
+      protocol replayed through the real sync block + sanitizer must be
+      silent (the false-positive direction).
+    - {b mutants}: every broken-collector variant of the catalog model
+      checks to a violation (POR and symmetry enabled — reductions must
+      not mask bugs), and its counterexample schedule, replayed through
+      the real sync block, is independently flagged by the dynamic
+      sanitizer with the expected check. The liveness demos must come
+      out as deadlock / livelock.
+
+    Every point carries a "gate" string; {!check} compares the gate
+    multiset against a committed baseline file and reports any drift. *)
+
+type verify_point = {
+  vgraph : string;
+  objects : int;
+  cores : int;
+  por : bool;
+  symmetry : bool;
+  outcome : string;
+  states : int;
+  transitions : int;
+  slept : int;
+  depth : int;
+}
+
+type mutant_point = {
+  mname : string;
+  mgraph : string;
+  verdict : string;  (** outcome name, e.g. "violation:forward-once" *)
+  sched_len : int;  (** counterexample length, 0 for liveness demos *)
+  replay_checks : string list;
+  expected : string;  (** expected dynamic check, "-" for demos *)
+  hit : bool;  (** expected behavior observed end to end *)
+}
+
+type suite = {
+  verify : verify_point list;
+  cross_checks : int;  (** reduction cross-validation comparisons made *)
+  cross_ok : bool;
+  baseline_silent : bool;
+  mutants : mutant_point list;
+}
+
+val run : ?progress:(string -> unit) -> unit -> suite
+
+val all_ok : suite -> bool
+(** Everything verified, cross-checks consistent, baseline silent,
+    every mutant flagged and replayed as expected. *)
+
+val summary : suite -> string
+val to_json : suite -> string
+
+val check : baseline:string -> suite -> (unit, string list) result
+(** Compare the suite's gate strings against a committed
+    BENCH_model.json (passed as file contents). Exploration is
+    deterministic, so the gates must match exactly; [Error] carries one
+    message per missing, unexpected, or changed gate. *)

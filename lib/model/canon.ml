@@ -1,0 +1,202 @@
+(* Core-symmetric state encoding: one fixed-width block per core, global
+   tail free of core indices, canonical form = sorted blocks. *)
+
+open Proto
+
+let block_width = 6
+
+let cont_code = function
+  | To_idle -> (0, 0)
+  | To_barrier -> (1, 0)
+  | To_scan o -> (2, o)
+  | To_advance o -> (3, o)
+
+let cont_of_code a b =
+  match a with
+  | 0 -> To_idle
+  | 1 -> To_barrier
+  | 2 -> To_scan b
+  | 3 -> To_advance b
+  | _ -> invalid_arg "Canon.decode: bad continuation"
+
+let pc_code = function
+  | Idle -> (0, 0, 0, 0)
+  | Have_scan -> (1, 0, 0, 0)
+  | Unlock_scan k ->
+    let a, b = cont_code k in
+    (2, a, b, 0)
+  | Advance_nolock o -> (3, o, 0, 0)
+  | Scanning (g, i) -> (4, g, i, 0)
+  | Lock_pending (g, i, o) -> (5, g, i, o)
+  | Locked_header (g, i, o) -> (6, g, i, o)
+  | Want_free (g, i, o) -> (7, g, i, o)
+  | Have_free (g, i, o) -> (8, g, i, o)
+  | Unlock_free (g, i, o) -> (9, g, i, o)
+  | Copying (g, i, o) -> (10, g, i, o)
+  | Installing (g, i, o) -> (11, g, i, o)
+  | Unlock_header (g, i) -> (12, g, i, 0)
+  | At_barrier -> (13, 0, 0, 0)
+  | Done_ -> (14, 0, 0, 0)
+
+let pc_of_code t p1 p2 p3 =
+  match t with
+  | 0 -> Idle
+  | 1 -> Have_scan
+  | 2 -> Unlock_scan (cont_of_code p1 p2)
+  | 3 -> Advance_nolock p1
+  | 4 -> Scanning (p1, p2)
+  | 5 -> Lock_pending (p1, p2, p3)
+  | 6 -> Locked_header (p1, p2, p3)
+  | 7 -> Want_free (p1, p2, p3)
+  | 8 -> Have_free (p1, p2, p3)
+  | 9 -> Unlock_free (p1, p2, p3)
+  | 10 -> Copying (p1, p2, p3)
+  | 11 -> Installing (p1, p2, p3)
+  | 12 -> Unlock_header (p1, p2)
+  | 13 -> At_barrier
+  | 14 -> Done_
+  | _ -> invalid_arg "Canon.decode: bad pc tag"
+
+let block st c =
+  let t, p1, p2, p3 = pc_code st.pcs.(c) in
+  let flags =
+    (if st.busy.(c) then 1 else 0)
+    lor (if st.arrived.(c) then 2 else 0)
+    lor (if st.scan_owner = c then 4 else 0)
+    lor if st.free_owner = c then 8 else 0
+  in
+  let b = Bytes.create block_width in
+  Bytes.set b 0 (Char.chr t);
+  Bytes.set b 1 (Char.chr p1);
+  Bytes.set b 2 (Char.chr p2);
+  Bytes.set b 3 (Char.chr p3);
+  Bytes.set b 4 (Char.chr st.hdr.(c));
+  Bytes.set b 5 (Char.chr flags);
+  Bytes.unsafe_to_string b
+
+let encode_with blocks st =
+  let n = Array.length st.pcs in
+  let k = Array.length st.forwarded in
+  let buf = Buffer.create (8 + (block_width * n) + (2 * k)) in
+  Buffer.add_char buf (Char.chr n);
+  Buffer.add_char buf (Char.chr k);
+  Array.iter (Buffer.add_string buf) blocks;
+  Buffer.add_char buf (Char.chr st.release_count);
+  Buffer.add_char buf (Char.chr st.scan);
+  Buffer.add_char buf (Char.chr st.free);
+  Buffer.add_char buf (Char.chr (List.length st.fifo));
+  List.iter (fun o -> Buffer.add_char buf (Char.chr o)) st.fifo;
+  let fwd = ref 0 and nbits = ref 0 in
+  for o = 0 to k - 1 do
+    if st.forwarded.(o) then fwd := !fwd lor (1 lsl !nbits);
+    incr nbits;
+    if !nbits = 8 || o = k - 1 then begin
+      Buffer.add_char buf (Char.chr !fwd);
+      fwd := 0;
+      nbits := 0
+    end
+  done;
+  Array.iter (fun cnt -> Buffer.add_char buf (Char.chr cnt)) st.copies;
+  Buffer.contents buf
+
+let encode st = encode_with (Array.init (Array.length st.pcs) (block st)) st
+
+let decode s =
+  let pos = ref 0 in
+  let byte () =
+    if !pos >= String.length s then invalid_arg "Canon.decode: truncated key";
+    let v = Char.code s.[!pos] in
+    incr pos;
+    v
+  in
+  let n = byte () in
+  let k = byte () in
+  let pcs = Array.make n Idle in
+  let hdr = Array.make n 0 in
+  let busy = Array.make n false in
+  let arrived = Array.make n false in
+  let scan_owner = ref (-1) and free_owner = ref (-1) in
+  for c = 0 to n - 1 do
+    let t = byte () in
+    let p1 = byte () in
+    let p2 = byte () in
+    let p3 = byte () in
+    pcs.(c) <- pc_of_code t p1 p2 p3;
+    hdr.(c) <- byte ();
+    let flags = byte () in
+    busy.(c) <- flags land 1 <> 0;
+    arrived.(c) <- flags land 2 <> 0;
+    if flags land 4 <> 0 then scan_owner := c;
+    if flags land 8 <> 0 then free_owner := c
+  done;
+  let release_count = byte () in
+  let scan = byte () in
+  let free = byte () in
+  let fifo_len = byte () in
+  let fifo = List.init fifo_len (fun _ -> byte ()) in
+  let forwarded = Array.make k false in
+  let o = ref 0 in
+  while !o < k do
+    let bits = byte () in
+    let stop = min (k - 1) (!o + 7) in
+    for j = !o to stop do
+      forwarded.(j) <- bits land (1 lsl (j - !o)) <> 0
+    done;
+    o := stop + 1
+  done;
+  let copies = Array.init k (fun _ -> byte ()) in
+  if !pos <> String.length s then invalid_arg "Canon.decode: trailing bytes";
+  {
+    pcs;
+    hdr;
+    busy;
+    arrived;
+    release_count;
+    scan_owner = !scan_owner;
+    free_owner = !free_owner;
+    scan;
+    free;
+    fifo;
+    forwarded;
+    copies;
+  }
+
+let apply_perm st perm =
+  let n = Array.length st.pcs in
+  let inv = Array.make n 0 in
+  Array.iteri (fun j c -> inv.(c) <- j) perm;
+  {
+    st with
+    pcs = Array.init n (fun j -> st.pcs.(perm.(j)));
+    hdr = Array.init n (fun j -> st.hdr.(perm.(j)));
+    busy = Array.init n (fun j -> st.busy.(perm.(j)));
+    arrived = Array.init n (fun j -> st.arrived.(perm.(j)));
+    scan_owner = (if st.scan_owner = -1 then -1 else inv.(st.scan_owner));
+    free_owner = (if st.free_owner = -1 then -1 else inv.(st.free_owner));
+  }
+
+let sort_perm blocks =
+  let n = Array.length blocks in
+  let perm = Array.init n (fun c -> c) in
+  Array.sort
+    (fun a b ->
+      let cmp = compare blocks.(a) blocks.(b) in
+      if cmp <> 0 then cmp else compare a b)
+    perm;
+  perm
+
+let canon st =
+  let blocks = Array.init (Array.length st.pcs) (block st) in
+  apply_perm st (sort_perm blocks)
+
+let key st =
+  let blocks = Array.init (Array.length st.pcs) (block st) in
+  let perm = sort_perm blocks in
+  encode_with (Array.init (Array.length perm) (fun j -> blocks.(perm.(j)))) st
+
+let canon_core_map st =
+  let blocks = Array.init (Array.length st.pcs) (block st) in
+  let perm = sort_perm blocks in
+  let inv = Array.make (Array.length perm) 0 in
+  Array.iteri (fun j c -> inv.(c) <- j) perm;
+  inv

@@ -1,0 +1,34 @@
+(** State canonicalization for the explorer's visited table.
+
+    Every per-core datum — pc, header-lock register, busy/arrived bits,
+    and whether the core holds the scan or free lock — is folded into
+    one fixed-width byte block per core, so no global field mentions a
+    core index and renaming cores is exactly a permutation of blocks.
+    The canonical representative of a state's symmetry orbit is the
+    state whose blocks are sorted; computing it is a sort, not an [n!]
+    orbit enumeration.
+
+    [encode] is injective and [decode] inverts it, so table keys can
+    never silently merge distinct states and the liveness passes can
+    rebuild any visited state from its key. *)
+
+val encode : Proto.state -> string
+(** Uncanonicalized byte encoding (used when symmetry reduction is off). *)
+
+val decode : string -> Proto.state
+(** Inverse of [encode]. Raises [Invalid_argument] on a malformed key. *)
+
+val apply_perm : Proto.state -> int array -> Proto.state
+(** [apply_perm st perm] renames cores: new core [j] is old core
+    [perm.(j)] ([perm] must be a permutation of [0 .. n-1]). *)
+
+val canon : Proto.state -> Proto.state
+(** The orbit representative: blocks sorted, a valid state itself. *)
+
+val key : Proto.state -> string
+(** [encode (canon st)] — equal for any two core-renamings of [st]. *)
+
+val canon_core_map : Proto.state -> int array
+(** Maps each concrete core index to its slot in the canonical block
+    order — the frame translation the explorer uses to share per-state
+    explored-action masks across symmetric revisits. *)

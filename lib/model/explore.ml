@@ -1,0 +1,464 @@
+(* Explicit-state exploration: BFS (minimal counterexamples) or DFS
+   with sleep sets (partial-order reduction), both over a visited table
+   keyed on the canonical (core-symmetric) state encoding. *)
+
+type config = {
+  graph : Proto.graph;
+  n_cores : int;
+  mutation : Proto.mutation;
+  por : bool;
+  symmetry : bool;
+  max_states : int;
+}
+
+let default_config ~graph ~n_cores =
+  {
+    graph;
+    n_cores;
+    mutation = Proto.Correct;
+    por = true;
+    symmetry = true;
+    max_states = 2_000_000;
+  }
+
+type stats = {
+  states : int;
+  transitions : int;
+  slept : int;
+  max_depth : int;
+  finals : int;
+}
+
+type schedule = (int * Proto.action) list
+
+type outcome =
+  | Verified of stats
+  | Violation of Proto.violation * schedule * stats
+  | Deadlock of schedule * stats
+  | Livelock of schedule * stats
+  | Out_of_bounds of stats
+
+let outcome_stats = function
+  | Verified s | Violation (_, _, s) | Deadlock (_, s) | Livelock (_, s)
+  | Out_of_bounds s ->
+    s
+
+let outcome_name = function
+  | Verified _ -> "verified"
+  | Violation (v, _, _) -> "violation:" ^ Proto.check_name v.Proto.vcheck
+  | Deadlock _ -> "deadlock"
+  | Livelock _ -> "livelock"
+  | Out_of_bounds _ -> "out-of-bounds"
+
+let pp_schedule ppf sched =
+  List.iteri
+    (fun i (c, a) ->
+      Format.fprintf ppf "  #%-3d core %d  %s@." (i + 1) c
+        (Proto.action_name a))
+    sched
+
+(* --- growable arrays (OCaml 5.1 has no Dynarray yet) ---------------- *)
+
+module Dyn = struct
+  type 'a t = { mutable a : 'a array; mutable len : int; dummy : 'a }
+
+  let create dummy = { a = Array.make 1024 dummy; len = 0; dummy }
+
+  let push t x =
+    if t.len = Array.length t.a then begin
+      let b = Array.make (2 * t.len) t.dummy in
+      Array.blit t.a 0 b 0 t.len;
+      t.a <- b
+    end;
+    t.a.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let get t i = t.a.(i)
+  let set t i x = t.a.(i) <- x
+  let len t = t.len
+end
+
+(* --- the independence relation for sleep sets ----------------------- *)
+
+(* An action a mutation rewrites is dependent on everything: violating
+   transitions and their enabling context must never be slept. *)
+let mutated_kind m a =
+  match (m, a) with
+  | Proto.Correct, _ -> false
+  | Proto.Skip_header_lock, (Proto.Acquire_header _ | Proto.Install_forward _)
+    ->
+    true
+  | Proto.Forward_wrong_object, Proto.Install_forward _ -> true
+  | Proto.Double_evacuate, (Proto.Recheck _ | Proto.Install_forward _) -> true
+  | ( Proto.Release_scan_early,
+      (Proto.Check_work | Proto.Release_scan | Proto.Advance_scan_nolock) ) ->
+    true
+  | Proto.Reorder_locks, Proto.Acquire_scan -> true
+  | Proto.Scan_past_free, Proto.Check_work -> true
+  | Proto.Fifo_reorder, Proto.Check_work -> true
+  | Proto.Unprotected_store, Proto.Copy_words _ -> true
+  | Proto.Lockset_race, Proto.Recheck _ -> true
+  | Proto.Barrier_skew_run, Proto.Barrier_arrive -> true
+  | Proto.Lost_core, Proto.Barrier_arrive -> true
+  | Proto.Stuck_child, (Proto.Poll_child _ | Proto.Read_child _) -> true
+  | _ -> false
+
+type cls = Hdr of int | Scan_side | Free_side | Pure | Barrier | Mutated
+
+let cls m a =
+  if mutated_kind m a then Mutated
+  else
+    match a with
+    | Proto.Acquire_header o
+    | Proto.Release_header o
+    | Proto.Read_child o
+    | Proto.Recheck o
+    | Proto.Install_forward o
+    | Proto.Poll_child o ->
+      Hdr o
+    | Proto.Acquire_scan | Proto.Check_work | Proto.Release_scan
+    | Proto.Advance_scan_nolock | Proto.Finish_object _ ->
+      Scan_side
+    | Proto.Acquire_free | Proto.Release_free | Proto.Claim_free _ ->
+      Free_side
+    | Proto.Copy_words _ -> Pure
+    | Proto.Barrier_arrive -> Barrier
+
+(* Pairwise independence of actions by different cores: both orders are
+   enabled and commute. The footprint argument per class:
+   - Hdr o touches only object o's header-lock slot / forwarding bit;
+   - Scan_side touches the scan lock, scan register, worklist and busy
+     bits; Free_side touches the free lock/register, copy counts and the
+     worklist push side — the shared worklist makes the two sides
+     dependent on each other but neither touches headers;
+   - Copy_words only moves the core's own pc;
+   - Barrier arrivals touch only the arrival/release registers. *)
+let independent m (c1, a1) (c2, a2) =
+  c1 <> c2
+  &&
+  match (cls m a1, cls m a2) with
+  | Mutated, _ | _, Mutated -> false
+  | Pure, _ | _, Pure -> true
+  | Barrier, Barrier -> false
+  | Barrier, _ | _, Barrier -> true
+  | Hdr o1, Hdr o2 -> o1 <> o2
+  | Hdr _, (Scan_side | Free_side) | (Scan_side | Free_side), Hdr _ -> true
+  | (Scan_side | Free_side), (Scan_side | Free_side) -> false
+
+(* --- the search ----------------------------------------------------- *)
+
+exception Stop of outcome
+
+type space = {
+  cfg : config;
+  tbl : (string, int) Hashtbl.t;
+  keys : string Dyn.t;
+  parent : int Dyn.t;
+  depth : int Dyn.t;
+  explored : int Dyn.t;  (* per-state bitmask of canonical cores taken *)
+  mutable transitions : int;
+  mutable slept : int;
+  mutable max_depth : int;
+  mutable finals : int;
+}
+
+let key_of sp st = if sp.cfg.symmetry then Canon.key st else Canon.encode st
+
+let core_map sp st =
+  if sp.cfg.symmetry then Canon.canon_core_map st
+  else Array.init sp.cfg.n_cores (fun c -> c)
+
+let stats_of sp =
+  {
+    states = Dyn.len sp.keys;
+    transitions = sp.transitions;
+    slept = sp.slept;
+    max_depth = sp.max_depth;
+    finals = sp.finals;
+  }
+
+let enabled_list sp st =
+  let acc = ref [] in
+  for c = sp.cfg.n_cores - 1 downto 0 do
+    match Proto.enabled sp.cfg.graph sp.cfg.mutation st ~core:c with
+    | Some a -> acc := (c, a) :: !acc
+    | None -> ()
+  done;
+  !acc
+
+(* Rebuild the concrete schedule for a discovered state by walking the
+   parent chain and forward-matching canonical keys from the initial
+   state. Under symmetry the matched core ids may differ from the ones
+   the search happened to take, but the schedule is a genuine concrete
+   interleaving reaching an equivalent state — which is what replay
+   needs. *)
+let path_to sp id =
+  let rec chain id acc =
+    if id = 0 then acc else chain (Dyn.get sp.parent id) (id :: acc)
+  in
+  chain id []
+
+let reconstruct sp id_target =
+  let g = sp.cfg.graph and m = sp.cfg.mutation in
+  let cur = ref (Proto.initial g ~n_cores:sp.cfg.n_cores) in
+  let sched = ref [] in
+  List.iter
+    (fun next_id ->
+      let want = Dyn.get sp.keys next_id in
+      let found = ref false in
+      let c = ref 0 in
+      while (not !found) && !c < sp.cfg.n_cores do
+        (match Proto.enabled g m !cur ~core:!c with
+        | Some a -> (
+          match Proto.apply g m !cur ~core:!c a with
+          | Ok s' when key_of sp s' = want ->
+            sched := (!c, a) :: !sched;
+            cur := s';
+            found := true
+          | _ -> ())
+        | None -> ());
+        incr c
+      done;
+      if not !found then
+        invalid_arg "Explore.reconstruct: parent chain does not replay")
+    (path_to sp id_target);
+  (List.rev !sched, !cur)
+
+(* Register a state; returns (id, was_new). Raises on invariant or
+   quiescence violations and on the state bound. *)
+let register sp ~parent ~via st =
+  let k = key_of sp st in
+  match Hashtbl.find_opt sp.tbl k with
+  | Some id -> (id, false)
+  | None ->
+    let id = Dyn.len sp.keys in
+    if id >= sp.cfg.max_states then raise (Stop (Out_of_bounds (stats_of sp)));
+    Hashtbl.add sp.tbl k id;
+    Dyn.push sp.keys k;
+    Dyn.push sp.parent parent;
+    let d = if parent < 0 then 0 else Dyn.get sp.depth parent + 1 in
+    Dyn.push sp.depth d;
+    Dyn.push sp.explored 0;
+    if d > sp.max_depth then sp.max_depth <- d;
+    ignore via;
+    (* Invariant and quiescence failures are properties of the state just
+       reached: the counterexample is the discovery path itself, whose
+       last action produced the offending state. *)
+    (match Proto.invariant sp.cfg.mutation st with
+    | Some v ->
+      raise (Stop (Violation (v, fst (reconstruct sp id), stats_of sp)))
+    | None -> ());
+    (* A state with nothing enabled anywhere is either quiescent or a
+       deadlock; check it at first discovery. *)
+    if enabled_list sp st = [] then
+      if Proto.is_final st then begin
+        match Proto.quiescence sp.cfg.graph st with
+        | Some v ->
+          raise (Stop (Violation (v, fst (reconstruct sp id), stats_of sp)))
+        | None -> sp.finals <- sp.finals + 1
+      end
+      else raise (Stop (Deadlock (fst (reconstruct sp id), stats_of sp)));
+    (id, true)
+
+(* A transition error was found from the search's representative of
+   state [from_id]; the reconstructed concrete path may reach a
+   core-permuted (but symmetric) twin of it, so re-derive the violating
+   step from the reconstructed state. Core permutations never touch
+   object ids, so a step tripping the same check is guaranteed to be
+   enabled there. *)
+let violation_take sp ~from_id v =
+  let g = sp.cfg.graph and m = sp.cfg.mutation in
+  let sched, st = reconstruct sp from_id in
+  let hit = ref None in
+  List.iter
+    (fun (c, a) ->
+      if !hit = None then
+        match Proto.apply g m st ~core:c a with
+        | Error v' when v'.Proto.vcheck = v.Proto.vcheck ->
+          hit := Some ((c, a), v')
+        | _ -> ())
+    (enabled_list sp st);
+  match !hit with
+  | Some (step, v') -> (v', sched @ [ step ])
+  | None -> invalid_arg "Explore.reconstruct: violating step does not replay"
+
+let take sp ~from_id st (c, a) =
+  sp.transitions <- sp.transitions + 1;
+  match Proto.apply sp.cfg.graph sp.cfg.mutation st ~core:c a with
+  | Error v ->
+    let v', sched = violation_take sp ~from_id v in
+    raise (Stop (Violation (v', sched, stats_of sp)))
+  | Ok s' -> s'
+
+let bfs sp s0 =
+  let q = Queue.create () in
+  let id0, _ = register sp ~parent:(-1) ~via:None s0 in
+  Queue.push (id0, s0) q;
+  while not (Queue.is_empty q) do
+    let id, st = Queue.pop q in
+    List.iter
+      (fun t ->
+        let s' = take sp ~from_id:id st t in
+        let id', fresh = register sp ~parent:id ~via:(Some t) s' in
+        if fresh then Queue.push (id', s') q)
+      (enabled_list sp st)
+  done
+
+(* DFS with sleep sets. Each state carries a bitmask (in canonical core
+   space) of actions already executed from it, so symmetric revisits
+   resume where the orbit left off instead of re-expanding; masks only
+   grow, which bounds revisits. A transition is skipped when it is in
+   the sleep set (it commutes with an already-explored sibling and is
+   covered by that interleaving) or already in the mask. *)
+type frame = {
+  id : int;
+  st : Proto.state;
+  cmap : int array;
+  mutable todo : (int * Proto.action) list;
+  mutable taken : (int * Proto.action) list;
+  sleep : (int * Proto.action) list;
+}
+
+let dfs sp s0 =
+  let m = sp.cfg.mutation in
+  let mk_frame id st sleep =
+    let cmap = core_map sp st in
+    let en = enabled_list sp st in
+    let mask = Dyn.get sp.explored id in
+    let todo =
+      List.filter
+        (fun (c, a) ->
+          if List.exists (fun t -> t = (c, a)) sleep then begin
+            sp.slept <- sp.slept + 1;
+            false
+          end
+          else mask land (1 lsl cmap.(c)) = 0)
+        en
+    in
+    { id; st; cmap; todo; taken = []; sleep }
+  in
+  let id0, _ = register sp ~parent:(-1) ~via:None s0 in
+  let stack = ref [ mk_frame id0 s0 [] ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | f :: rest -> (
+      match f.todo with
+      | [] -> stack := rest
+      | ((c, _) as t) :: todo ->
+        f.todo <- todo;
+        let bit = 1 lsl f.cmap.(c) in
+        let mask = Dyn.get sp.explored f.id in
+        if mask land bit <> 0 then ()  (* raced by a deeper revisit *)
+        else begin
+          Dyn.set sp.explored f.id (mask lor bit);
+          let s' = take sp ~from_id:f.id f.st t in
+          let child_sleep =
+            List.filter (fun t' -> independent m t' t) (f.sleep @ f.taken)
+          in
+          f.taken <- t :: f.taken;
+          let id', _fresh = register sp ~parent:f.id ~via:(Some t) s' in
+          let child = mk_frame id' s' child_sleep in
+          if child.todo <> [] then stack := child :: f :: rest
+        end)
+  done
+
+(* Backward reachability from the final states over the full transition
+   relation: any visited state that cannot reach quiescence loops
+   forever under every (fair or not) scheduler. Sleep sets prune
+   transitions, not states, so recomputing full successor sets here
+   restores the complete edge relation. *)
+let livelock_check sp =
+  let n = Dyn.len sp.keys in
+  let rev = Array.make n [] in
+  let finals = ref [] in
+  for id = 0 to n - 1 do
+    let st = Canon.decode (Dyn.get sp.keys id) in
+    let en = enabled_list sp st in
+    if en = [] && Proto.is_final st then finals := id :: !finals;
+    List.iter
+      (fun (c, a) ->
+        match Proto.apply sp.cfg.graph sp.cfg.mutation st ~core:c a with
+        | Ok s' -> (
+          match Hashtbl.find_opt sp.tbl (key_of sp s') with
+          | Some id' -> rev.(id') <- id :: rev.(id')
+          | None -> ())
+        | Error _ -> ())
+      en
+  done;
+  let coreach = Array.make n false in
+  let q = Queue.create () in
+  List.iter
+    (fun id ->
+      coreach.(id) <- true;
+      Queue.push id q)
+    !finals;
+  while not (Queue.is_empty q) do
+    let id = Queue.pop q in
+    List.iter
+      (fun p ->
+        if not coreach.(p) then begin
+          coreach.(p) <- true;
+          Queue.push p q
+        end)
+      rev.(id)
+  done;
+  let stuck = ref (-1) in
+  for id = n - 1 downto 0 do
+    if not coreach.(id) then stuck := id
+  done;
+  if !stuck >= 0 then
+    raise (Stop (Livelock (fst (reconstruct sp !stuck), stats_of sp)))
+
+let fair_schedule cfg =
+  let g = cfg.graph and m = cfg.mutation in
+  let st = ref (Proto.initial g ~n_cores:cfg.n_cores) in
+  let sched = ref [] in
+  let stuck = ref false in
+  let steps = ref 0 in
+  while (not !stuck) && !steps < 100_000 do
+    let moved = ref false in
+    for c = 0 to cfg.n_cores - 1 do
+      match Proto.enabled g m !st ~core:c with
+      | Some (Proto.Poll_child _) -> ()  (* self-loop: skipping is the fairness *)
+      | Some a -> (
+        match Proto.apply g m !st ~core:c a with
+        | Ok s' ->
+          sched := (c, a) :: !sched;
+          st := s';
+          moved := true;
+          incr steps
+        | Error _ ->
+          sched := (c, a) :: !sched;
+          stuck := true)
+      | None -> ()
+    done;
+    if not !moved then stuck := true
+  done;
+  List.rev !sched
+
+let run cfg =
+  let cfg =
+    if Proto.symmetric cfg.mutation then cfg else { cfg with symmetry = false }
+  in
+  let sp =
+    {
+      cfg;
+      tbl = Hashtbl.create 4096;
+      keys = Dyn.create "";
+      parent = Dyn.create (-1);
+      depth = Dyn.create 0;
+      explored = Dyn.create 0;
+      transitions = 0;
+      slept = 0;
+      max_depth = 0;
+      finals = 0;
+    }
+  in
+  if cfg.n_cores > 60 then invalid_arg "Explore.run: too many cores";
+  let s0 = Proto.initial cfg.graph ~n_cores:cfg.n_cores in
+  try
+    if cfg.por then dfs sp s0 else bfs sp s0;
+    livelock_check sp;
+    Verified (stats_of sp)
+  with Stop o -> o

@@ -1,0 +1,73 @@
+(** The explicit-state explorer: exhaustive bounded search over all
+    core interleavings of the abstract protocol machine.
+
+    Two engines share one visited table:
+
+    - [por = false]: breadth-first search. Counterexamples are minimal
+      (fewest sync-block operations).
+    - [por = true]: depth-first search with sleep sets. Independent
+      sync-block operations (header ops on different objects, scan-side
+      vs free-side register ops, barrier arrivals vs everything else)
+      are not re-interleaved. Sleep sets prune {e transitions}, never
+      states, so the verdict, the visited-state count, the deadlock
+      check and the termination pass are all unchanged — only the
+      transition count (and wall time) shrinks. Any action a mutation
+      rewrites is conservatively dependent on everything, so a
+      violating transition can never be slept away.
+
+    [symmetry = true] keys the visited table on {!Canon.key}, folding
+    the [n!] core renamings of every state into one representative
+    (forced off for asymmetric mutations, see {!Proto.symmetric}).
+
+    Safety violations surface as [Violation] with a replayable
+    counterexample schedule. Liveness comes from two checks: a
+    non-final state with no enabled action anywhere is a [Deadlock],
+    and after a verified search a backward-reachability pass from the
+    final states flags any state that can never reach quiescence
+    ([Livelock] — under fair scheduling such a state loops forever). *)
+
+type config = {
+  graph : Proto.graph;
+  n_cores : int;
+  mutation : Proto.mutation;
+  por : bool;
+  symmetry : bool;
+  max_states : int;
+}
+
+val default_config : graph:Proto.graph -> n_cores:int -> config
+(** por and symmetry on, mutation [Correct], 2M-state bound. *)
+
+type stats = {
+  states : int;       (** distinct (canonical) states visited *)
+  transitions : int;  (** transitions executed *)
+  slept : int;        (** transitions pruned by sleep sets *)
+  max_depth : int;    (** longest discovery path *)
+  finals : int;       (** quiescent terminal states *)
+}
+
+type schedule = (int * Proto.action) list
+(** Concrete interleaving from the initial state: (core, action) pairs. *)
+
+type outcome =
+  | Verified of stats
+  | Violation of Proto.violation * schedule * stats
+      (** the schedule's last action trips the check *)
+  | Deadlock of schedule * stats
+      (** the schedule ends in a non-final state with nothing enabled *)
+  | Livelock of schedule * stats
+      (** the schedule ends in a state from which quiescence is
+          unreachable: no fair scheduler can terminate the collection *)
+  | Out_of_bounds of stats  (** state bound exhausted: inconclusive *)
+
+val run : config -> outcome
+
+val fair_schedule : config -> schedule
+(** One concrete round-robin interleaving from the initial state to
+    quiescence (or to the first blocked/violating step) — the
+    false-positive direction: replaying it for [Correct] must leave the
+    dynamic sanitizer silent. *)
+
+val pp_schedule : Format.formatter -> schedule -> unit
+val outcome_stats : outcome -> stats
+val outcome_name : outcome -> string

@@ -1,0 +1,130 @@
+(* The broken-collector catalog, mirroring test/mutations.ml: the same
+   ten failure classes, expressed as microprogram rewrites of the
+   abstract machine instead of hand-written hook scripts. Each entry
+   names the check the model-level detector fires and the check the
+   dynamic sanitizer is expected to raise when the counterexample
+   schedule is replayed against the real sync block. *)
+
+module Diag = Hsgc_sanitizer.Diag
+
+type entry = {
+  mutation : Proto.mutation;
+  name : string;
+  graph : string;
+  model_check : Proto.check;
+  dynamic_check : Diag.check option;  (* None: liveness demo, nothing to replay *)
+  blurb : string;
+}
+
+let catalog =
+  [
+    {
+      mutation = Proto.Skip_header_lock;
+      name = "skip header lock";
+      graph = "diamond";
+      model_check = Proto.Forward_unlocked;
+      dynamic_check = Some Diag.Forward_unlocked;
+      blurb = "evacuate without taking the child's header lock";
+    };
+    {
+      mutation = Proto.Forward_wrong_object;
+      name = "forward without ownership";
+      graph = "diamond";
+      model_check = Proto.Forward_unlocked;
+      dynamic_check = Some Diag.Forward_unlocked;
+      blurb = "install forwarding while holding the wrong header lock";
+    };
+    {
+      mutation = Proto.Double_evacuate;
+      name = "double evacuate";
+      graph = "diamond";
+      model_check = Proto.Forward_once;
+      dynamic_check = Some Diag.Forward_once;
+      blurb = "locked re-check deleted: the race loser copies again";
+    };
+    {
+      mutation = Proto.Release_scan_early;
+      name = "release scan early";
+      graph = "diamond";
+      model_check = Proto.Scan_protocol;
+      dynamic_check = Some Diag.Scan_protocol;
+      blurb = "scan advanced after the lock was already released";
+    };
+    {
+      mutation = Proto.Reorder_locks;
+      name = "reorder lock acquisition";
+      graph = "diamond";
+      model_check = Proto.Lock_order;
+      dynamic_check = Some Diag.Lock_order;
+      blurb = "scan lock requested while holding a header lock";
+    };
+    {
+      mutation = Proto.Scan_past_free;
+      name = "scan past free";
+      graph = "diamond";
+      model_check = Proto.Scan_protocol;
+      dynamic_check = Some Diag.Scan_protocol;
+      blurb = "grab from an empty worklist: scan overruns free";
+    };
+    {
+      mutation = Proto.Fifo_reorder;
+      name = "fifo reorder";
+      graph = "diamond";
+      model_check = Proto.Fifo_order;
+      dynamic_check = Some Diag.Fifo_order;
+      blurb = "worklist serves the youngest pending push first";
+    };
+    {
+      mutation = Proto.Unprotected_store;
+      name = "unprotected store";
+      graph = "twin";
+      model_check = Proto.Protection;
+      dynamic_check = Some Diag.Unprotected_payload;
+      blurb = "blacken payload words of an object another core owns";
+    };
+    {
+      mutation = Proto.Lockset_race;
+      name = "lockset race";
+      graph = "diamond";
+      model_check = Proto.Protection;
+      dynamic_check = Some Diag.Lockset_race;
+      blurb = "race loser patches the winner's copy under the wrong lock";
+    };
+    {
+      mutation = Proto.Barrier_skew_run;
+      name = "barrier skew";
+      graph = "diamond";
+      model_check = Proto.Barrier_skew;
+      dynamic_check = Some Diag.Barrier_skew;
+      blurb = "pass the barrier without waiting for the other cores";
+    };
+  ]
+
+let demos =
+  [
+    {
+      mutation = Proto.Lost_core;
+      name = "lost core";
+      graph = "diamond";
+      model_check = Proto.Quiescence;
+      dynamic_check = None;
+      blurb = "one core never arrives at the barrier (deadlock demo)";
+    };
+    {
+      mutation = Proto.Stuck_child;
+      name = "stuck child";
+      graph = "diamond";
+      model_check = Proto.Quiescence;
+      dynamic_check = None;
+      blurb = "forwarded-child skip never advances (livelock demo)";
+    };
+  ]
+
+let all = catalog @ demos
+
+let normalize s =
+  String.map (function '-' | '_' -> ' ' | c -> Char.lowercase_ascii c) s
+
+let find name =
+  let name = normalize name in
+  List.find_opt (fun e -> normalize e.name = name) all

@@ -1,0 +1,27 @@
+(** The broken-collector catalog the checker is validated against — the
+    same ten failure classes as [test/mutations.ml], plus two liveness
+    demos ([lost core] deadlocks the barrier, [stuck child] livelocks a
+    scan loop) that exercise the explorer's deadlock and
+    termination-under-fairness passes. *)
+
+type entry = {
+  mutation : Proto.mutation;
+  name : string;  (** matches the test/mutations.ml catalog name *)
+  graph : string;  (** demo graph whose topology exposes the bug *)
+  model_check : Proto.check;  (** check the model-level detector fires *)
+  dynamic_check : Hsgc_sanitizer.Diag.check option;
+      (** check the dynamic sanitizer raises on counterexample replay;
+          [None] for the liveness demos (nothing observable to replay) *)
+  blurb : string;
+}
+
+val catalog : entry list
+(** The ten safety mutants. *)
+
+val demos : entry list
+(** The two liveness demos. *)
+
+val all : entry list
+
+val find : string -> entry option
+(** Lookup by name; spaces, dashes and underscores are interchangeable. *)

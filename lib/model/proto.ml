@@ -1,0 +1,556 @@
+(* The abstracted protocol machine: the collector microprogram reduced
+   to sync-block operations, stepped one core-action at a time. See
+   proto.mli and docs/MODELCHECK.md for the abstraction argument. *)
+
+type graph = {
+  gname : string;
+  n_objects : int;
+  children : int array array;
+  roots : int list;
+}
+
+let mk gname n_objects children roots =
+  assert (n_objects >= 1 && roots <> []);
+  List.iter (fun r -> assert (r >= 1 && r <= n_objects)) roots;
+  Array.iter
+    (fun ks -> Array.iter (fun o -> assert (o >= 1 && o <= n_objects)) ks)
+    children;
+  { gname; n_objects; children; roots }
+
+let range lo hi = Array.init (max 0 (hi - lo + 1)) (fun i -> lo + i)
+
+let diamond ~objects:k =
+  let k = max k 2 in
+  let shared = range 3 k in
+  mk
+    (Printf.sprintf "diamond%d" k)
+    k
+    (Array.init k (fun i -> if i <= 1 then shared else [||]))
+    [ 1; 2 ]
+
+let chain ~objects:k =
+  let k = max k 1 in
+  mk
+    (Printf.sprintf "chain%d" k)
+    k
+    (Array.init k (fun i -> if i + 2 <= k then [| i + 2 |] else [||]))
+    [ 1 ]
+
+let fork ~objects:k =
+  let k = max k 1 in
+  mk
+    (Printf.sprintf "fork%d" k)
+    k
+    (Array.init k (fun i -> if i = 0 then range 2 k else [||]))
+    [ 1 ]
+
+let twin ~objects:k =
+  let k = max k 4 in
+  let mine root = Array.of_list
+      (List.filter (fun o -> o mod 2 = root mod 2)
+         (Array.to_list (range 3 k)))
+  in
+  mk
+    (Printf.sprintf "twin%d" k)
+    k
+    (Array.init k (fun i -> if i <= 1 then mine (i + 1) else [||]))
+    [ 1; 2 ]
+
+let garbage ~objects:k =
+  let k = max k 2 in
+  mk
+    (Printf.sprintf "garbage%d" k)
+    k
+    (Array.init k (fun i -> if i = 0 then range 2 (k - 1) else [||]))
+    [ 1 ]
+
+let graph_names = [ "diamond"; "chain"; "fork"; "twin"; "garbage" ]
+
+let graph_of_string name ~objects =
+  match name with
+  | "diamond" -> Ok (diamond ~objects)
+  | "chain" -> Ok (chain ~objects)
+  | "fork" -> Ok (fork ~objects)
+  | "twin" -> Ok (twin ~objects)
+  | "garbage" -> Ok (garbage ~objects)
+  | _ ->
+    Error
+      (Printf.sprintf "unknown graph %S (expected %s)" name
+         (String.concat "|" graph_names))
+
+let reachable g =
+  let seen = Array.make g.n_objects false in
+  let rec visit o =
+    if not seen.(o - 1) then begin
+      seen.(o - 1) <- true;
+      Array.iter visit g.children.(o - 1)
+    end
+  in
+  List.iter visit g.roots;
+  seen
+
+type check =
+  | Header_mutex
+  | Lock_order
+  | Scan_protocol
+  | Forward_once
+  | Forward_unlocked
+  | Fifo_order
+  | Barrier_skew
+  | Locks_at_barrier
+  | Protection
+  | Quiescence
+
+let check_name = function
+  | Header_mutex -> "header-mutex"
+  | Lock_order -> "lock-order"
+  | Scan_protocol -> "scan-protocol"
+  | Forward_once -> "forward-once"
+  | Forward_unlocked -> "forward-unlocked"
+  | Fifo_order -> "fifo-order"
+  | Barrier_skew -> "barrier-skew"
+  | Locks_at_barrier -> "locks-at-barrier"
+  | Protection -> "protection"
+  | Quiescence -> "quiescence"
+
+type mutation =
+  | Correct
+  | Skip_header_lock
+  | Forward_wrong_object
+  | Double_evacuate
+  | Release_scan_early
+  | Reorder_locks
+  | Scan_past_free
+  | Fifo_reorder
+  | Unprotected_store
+  | Lockset_race
+  | Barrier_skew_run
+  | Lost_core
+  | Stuck_child
+
+let symmetric = function Lost_core -> false | _ -> true
+
+type cont = To_idle | To_barrier | To_scan of int | To_advance of int
+
+type pc =
+  | Idle
+  | Have_scan
+  | Unlock_scan of cont
+  | Advance_nolock of int
+  | Scanning of int * int
+  | Lock_pending of int * int * int
+  | Locked_header of int * int * int
+  | Want_free of int * int * int
+  | Have_free of int * int * int
+  | Unlock_free of int * int * int
+  | Copying of int * int * int
+  | Installing of int * int * int
+  | Unlock_header of int * int
+  | At_barrier
+  | Done_
+
+type state = {
+  pcs : pc array;
+  hdr : int array;
+  busy : bool array;
+  arrived : bool array;
+  release_count : int;
+  scan_owner : int;
+  free_owner : int;
+  scan : int;
+  free : int;
+  fifo : int list;
+  forwarded : bool array;
+  copies : int array;
+}
+
+let initial g ~n_cores =
+  if n_cores < 1 then invalid_arg "Proto.initial: need at least one core";
+  if g.n_objects > 120 then invalid_arg "Proto.initial: graph too large";
+  let forwarded = Array.make g.n_objects false in
+  let copies = Array.make g.n_objects 0 in
+  (* Roots are pre-evacuated by the stop-the-world root phase: their
+     copies sit gray in the worklist, free has advanced past them. *)
+  List.iter
+    (fun r ->
+      forwarded.(r - 1) <- true;
+      copies.(r - 1) <- 1)
+    g.roots;
+  {
+    pcs = Array.make n_cores Idle;
+    hdr = Array.make n_cores 0;
+    busy = Array.make n_cores false;
+    arrived = Array.make n_cores false;
+    release_count = 0;
+    scan_owner = -1;
+    free_owner = -1;
+    scan = 0;
+    free = List.length g.roots;
+    fifo = g.roots;
+    forwarded;
+    copies;
+  }
+
+let is_final st = Array.for_all (fun pc -> pc = Done_) st.pcs
+
+type action =
+  | Acquire_scan
+  | Check_work
+  | Release_scan
+  | Advance_scan_nolock
+  | Read_child of int
+  | Acquire_header of int
+  | Recheck of int
+  | Acquire_free
+  | Claim_free of int
+  | Release_free
+  | Copy_words of int
+  | Install_forward of int
+  | Release_header of int
+  | Finish_object of int
+  | Barrier_arrive
+  | Poll_child of int
+
+let action_name = function
+  | Acquire_scan -> "acquire-scan"
+  | Check_work -> "check-work"
+  | Release_scan -> "release-scan"
+  | Advance_scan_nolock -> "advance-scan-nolock"
+  | Read_child o -> Printf.sprintf "read-child %d" o
+  | Acquire_header o -> Printf.sprintf "acquire-header %d" o
+  | Recheck o -> Printf.sprintf "recheck %d" o
+  | Acquire_free -> "acquire-free"
+  | Claim_free o -> Printf.sprintf "claim-free %d" o
+  | Release_free -> "release-free"
+  | Copy_words o -> Printf.sprintf "copy-words %d" o
+  | Install_forward o -> Printf.sprintf "install-forward %d" o
+  | Release_header o -> Printf.sprintf "release-header %d" o
+  | Finish_object o -> Printf.sprintf "finish-object %d" o
+  | Barrier_arrive -> "barrier-arrive"
+  | Poll_child o -> Printf.sprintf "poll-child %d" o
+
+type violation = { vcheck : check; vdetail : string }
+
+let viol vcheck fmt = Printf.ksprintf (fun vdetail -> { vcheck; vdetail }) fmt
+
+let other_holds st c o =
+  let hit = ref false in
+  Array.iteri (fun c' a -> if c' <> c && a = o then hit := true) st.hdr;
+  !hit
+
+let none_busy_except st c =
+  let ok = ref true in
+  Array.iteri (fun c' b -> if c' <> c && b then ok := false) st.busy;
+  !ok
+
+let arrived_count st = Array.fold_left (fun n a -> if a then n + 1 else n) 0 st.arrived
+
+let victim_of st ~core =
+  let best = ref None in
+  Array.iteri
+    (fun c' pc ->
+      if c' <> core then
+        match pc with
+        | Unlock_free (_, _, v) | Copying (_, _, v) | Installing (_, _, v) ->
+          (match !best with Some b when b <= v -> () | _ -> best := Some v)
+        | _ -> ())
+    st.pcs;
+  !best
+
+let enabled g m st ~core:c =
+  let n = Array.length st.pcs in
+  match st.pcs.(c) with
+  | Idle -> if st.scan_owner = -1 then Some Acquire_scan else None
+  | Have_scan -> Some Check_work
+  | Unlock_scan _ -> Some Release_scan
+  | Advance_nolock _ -> Some Advance_scan_nolock
+  | Scanning (g_, i) ->
+    let ks = g.children.(g_ - 1) in
+    if i >= Array.length ks then Some (Finish_object g_)
+    else
+      let o = ks.(i) in
+      if m = Stuck_child && st.forwarded.(o - 1) then Some (Poll_child o)
+      else Some (Read_child o)
+  | Lock_pending (_, _, o) ->
+    (* The mutated collector that skips the lock also never stalls on
+       the comparator array. *)
+    if m = Skip_header_lock then Some (Acquire_header o)
+    else if other_holds st c o then None
+    else Some (Acquire_header o)
+  | Locked_header (_, _, o) -> Some (Recheck o)
+  | Want_free _ -> if st.free_owner = -1 then Some Acquire_free else None
+  | Have_free (_, _, o) -> Some (Claim_free o)
+  | Unlock_free _ -> Some Release_free
+  | Copying (_, _, o) -> Some (Copy_words o)
+  | Installing (_, _, o) -> Some (Install_forward o)
+  | Unlock_header _ ->
+    if m = Reorder_locks then
+      (* Eagerly grab the scan lock for the next round while still
+         holding the header lock — blocks until scan is free. *)
+      if st.scan_owner = -1 then Some Acquire_scan else None
+    else Some (Release_header st.hdr.(c))
+  | At_barrier ->
+    if m = Lost_core && c = n - 1 then
+      if (not st.arrived.(c)) && st.release_count = 0 then Some Barrier_arrive
+      else None
+    else if st.release_count > 0 then
+      if st.arrived.(c) then Some Barrier_arrive else None
+    else if not st.arrived.(c) then Some Barrier_arrive
+    else None
+  | Done_ -> None
+
+(* Functional update: copy every mutable component, mutate, return. *)
+let dup st =
+  {
+    st with
+    pcs = Array.copy st.pcs;
+    hdr = Array.copy st.hdr;
+    busy = Array.copy st.busy;
+    arrived = Array.copy st.arrived;
+    forwarded = Array.copy st.forwarded;
+    copies = Array.copy st.copies;
+  }
+
+let apply g m st ~core:c action =
+  let n = Array.length st.pcs in
+  match (action, st.pcs.(c)) with
+  | Acquire_scan, pc_before ->
+    if st.hdr.(c) <> 0 then
+      Error
+        (viol Lock_order
+           "core %d requested the scan lock while holding header lock %d \
+            (scan < header < free)"
+           c st.hdr.(c))
+    else if st.free_owner = c then
+      Error
+        (viol Lock_order
+           "core %d requested the scan lock while holding the free lock" c)
+    else begin
+      let s = dup st in
+      s.pcs.(c) <- Have_scan;
+      ignore pc_before;
+      Ok { s with scan_owner = c }
+    end
+  | Check_work, Have_scan -> (
+    match m with
+    | Fifo_reorder when List.length st.fifo >= 2 ->
+      (* The mutated FIFO serves the youngest pending push. *)
+      let front = List.hd st.fifo in
+      let back = List.nth st.fifo (List.length st.fifo - 1) in
+      Error
+        (viol Fifo_order "worklist popped %d but %d was pushed first" back
+           front)
+    | Scan_past_free when st.fifo = [] ->
+      Error
+        (viol Scan_protocol
+           "core %d grabbed from an empty worklist: scan %d would pass free %d"
+           c (st.scan + 1) st.free)
+    | _ -> (
+      match st.fifo with
+      | o :: rest ->
+        let s = dup st in
+        s.busy.(c) <- true;
+        s.pcs.(c) <-
+          (match m with
+          | Release_scan_early -> Unlock_scan (To_advance o)
+          | _ -> Unlock_scan (To_scan o));
+        Ok
+          {
+            s with
+            fifo = rest;
+            scan = (match m with Release_scan_early -> st.scan | _ -> st.scan + 1);
+          }
+      | [] ->
+        let s = dup st in
+        s.pcs.(c) <-
+          (if none_busy_except st c then Unlock_scan To_barrier
+           else Unlock_scan To_idle);
+        Ok s))
+  | Release_scan, Unlock_scan k ->
+    let s = dup st in
+    s.pcs.(c) <-
+      (match k with
+      | To_idle -> Idle
+      | To_barrier -> At_barrier
+      | To_scan o -> Scanning (o, 0)
+      | To_advance o -> Advance_nolock o);
+    Ok { s with scan_owner = -1 }
+  | Advance_scan_nolock, Advance_nolock _ ->
+    (* Always a violation: the lock was released one step earlier. *)
+    Error
+      (viol Scan_protocol
+         "core %d advanced scan without holding the scan lock" c)
+  | Read_child o, Scanning (g_, i) ->
+    let s = dup st in
+    (* The pointer-update store into [g_]'s copy is covered by the grab's
+       range ownership; only the child's forwarding state matters here. *)
+    s.pcs.(c) <-
+      (if st.forwarded.(o - 1) then Scanning (g_, i + 1)
+       else Lock_pending (g_, i, o));
+    Ok s
+  | Poll_child _, Scanning _ ->
+    (* Stuck_child demo: the broken skip never advances the slot. *)
+    Ok st
+  | Acquire_header o, Lock_pending (g_, i, _) ->
+    let s = dup st in
+    if m <> Skip_header_lock then s.hdr.(c) <- o;
+    s.pcs.(c) <- Locked_header (g_, i, o);
+    Ok s
+  | Recheck o, Locked_header (g_, i, _) -> (
+    match m with
+    | Double_evacuate ->
+      (* The locked re-check was deleted: proceed to copy regardless. *)
+      let s = dup st in
+      s.pcs.(c) <- Want_free (g_, i, o);
+      Ok s
+    | Lockset_race when st.forwarded.(o - 1) && List.mem o st.fifo ->
+      (* The fix-up races with the winner's claim-protected header
+         stores only while the copy is still pending scan: once a
+         scanner grabs it, ownership has legally handed over and the
+         mutant's store lands in the new owner's epoch. Firing only
+         inside the window keeps every counterexample dynamically
+         observable (the replayed Eraser check sees the same race). *)
+      Error
+        (viol Protection
+           "core %d lost the evacuation race for object %d and patched the \
+            winner's copy under a header lock the copy's words are not \
+            protected by"
+           c o)
+    | _ ->
+      let s = dup st in
+      s.pcs.(c) <-
+        (if st.forwarded.(o - 1) then Unlock_header (g_, i + 1)
+         else Want_free (g_, i, o));
+      Ok s)
+  | Acquire_free, Want_free (g_, i, o) ->
+    let s = dup st in
+    s.pcs.(c) <- Have_free (g_, i, o);
+    Ok { s with free_owner = c }
+  | Claim_free o, Have_free (g_, i, _) ->
+    let s = dup st in
+    s.copies.(o - 1) <- st.copies.(o - 1) + 1;
+    s.pcs.(c) <- Unlock_free (g_, i, o);
+    Ok { s with free = st.free + 1; fifo = st.fifo @ [ o ] }
+  | Release_free, Unlock_free (g_, i, o) ->
+    let s = dup st in
+    s.pcs.(c) <- Copying (g_, i, o);
+    Ok { s with free_owner = -1 }
+  | Copy_words o, Copying (g_, i, _) -> (
+    match (m, victim_of st ~core:c) with
+    | Unprotected_store, Some v ->
+      Error
+        (viol Protection
+           "core %d blackened payload words of object %d's copy while \
+            another core owns the claim"
+           c v)
+    | _ ->
+      let s = dup st in
+      s.pcs.(c) <- Installing (g_, i, o);
+      Ok s)
+  | Install_forward o, Installing (g_, i, _) ->
+    let target = if m = Forward_wrong_object then (o mod g.n_objects) + 1 else o in
+    if st.hdr.(c) <> target then
+      Error
+        (viol Forward_unlocked
+           "core %d installed forwarding for object %d without holding its \
+            header lock"
+           c target)
+    else if st.forwarded.(target - 1) then
+      Error (viol Forward_once "second forwarding install for object %d" target)
+    else begin
+      let s = dup st in
+      s.forwarded.(target - 1) <- true;
+      s.pcs.(c) <- Unlock_header (g_, i + 1);
+      Ok s
+    end
+  | Release_header _, Unlock_header (g_, i') ->
+    let s = dup st in
+    s.hdr.(c) <- 0;
+    s.pcs.(c) <- Scanning (g_, i');
+    Ok s
+  | Finish_object _, Scanning _ ->
+    let s = dup st in
+    s.busy.(c) <- false;
+    s.pcs.(c) <- Idle;
+    Ok s
+  | Barrier_arrive, At_barrier ->
+    if m = Lost_core && c = n - 1 then begin
+      (* The lost core wanders off without arriving; the others block. *)
+      let s = dup st in
+      s.pcs.(c) <- Done_;
+      Ok s
+    end
+    else if st.release_count > 0 && st.arrived.(c) then begin
+      let s = dup st in
+      s.arrived.(c) <- false;
+      s.pcs.(c) <- Done_;
+      Ok { s with release_count = st.release_count - 1 }
+    end
+    else if st.scan_owner = c || st.free_owner = c || st.hdr.(c) <> 0 then
+      Error (viol Locks_at_barrier "core %d arrived at the barrier holding locks" c)
+    else if m = Barrier_skew_run && arrived_count st + 1 < n then
+      Error
+        (viol Barrier_skew
+           "core %d passed the barrier while %d cores had not arrived" c
+           (n - arrived_count st - 1))
+    else begin
+      let s = dup st in
+      s.arrived.(c) <- true;
+      Ok
+        {
+          s with
+          release_count = (if arrived_count st + 1 = n then n else 0);
+        }
+    end
+  | a, pc ->
+    invalid_arg
+      (Printf.sprintf "Proto.apply: action %s disagrees with pc (core %d, %s)"
+         (action_name a) c
+         (match pc with Done_ -> "done" | _ -> "other"))
+
+let invariant m st =
+  let bad = ref None in
+  Array.iteri
+    (fun c1 a1 ->
+      if a1 <> 0 then
+        Array.iteri
+          (fun c2 a2 ->
+            if c2 > c1 && a2 = a1 && !bad = None then
+              bad :=
+                Some
+                  (viol Header_mutex
+                     "cores %d and %d both hold header lock %d" c1 c2 a1))
+          st.hdr)
+    st.hdr;
+  match !bad with
+  | Some _ as v -> v
+  | None ->
+    if m = Correct && st.free - st.scan <> List.length st.fifo then
+      Some
+        (viol Scan_protocol
+           "scan/free/worklist imbalance: free %d - scan %d <> %d pending"
+           st.free st.scan (List.length st.fifo))
+    else None
+
+let quiescence g st =
+  let reach = reachable g in
+  let bad = ref None in
+  let fail c fmt = Printf.ksprintf (fun d -> if !bad = None then bad := Some { vcheck = c; vdetail = d }) fmt in
+  if st.fifo <> [] then fail Quiescence "worklist not drained at quiescence";
+  if st.scan <> st.free then
+    fail Quiescence "scan %d did not meet free %d at quiescence" st.scan st.free;
+  if st.scan_owner <> -1 || st.free_owner <> -1 then
+    fail Quiescence "a register lock is still held at quiescence";
+  Array.iteri
+    (fun c a -> if a <> 0 then fail Quiescence "core %d still holds header lock %d" c a)
+    st.hdr;
+  for o = 1 to g.n_objects do
+    if reach.(o - 1) then begin
+      if not st.forwarded.(o - 1) then fail Quiescence "lost object %d (never evacuated)" o;
+      if st.copies.(o - 1) <> 1 then
+        fail Quiescence "object %d evacuated %d times" o st.copies.(o - 1)
+    end
+    else if st.forwarded.(o - 1) || st.copies.(o - 1) <> 0 then
+      fail Quiescence "resurrected garbage object %d" o
+  done;
+  !bad

@@ -1,0 +1,182 @@
+(** The abstracted protocol machine the model checker explores.
+
+    This is the paper's collector microprogram (Section IV) reduced to
+    the operations the synchronization block arbitrates: scan/header/
+    free lock acquire-release, the scan/free register advances, the
+    header-FIFO push/pop carried by free claims and work grabs, the
+    forwarding-pointer install, and barrier arrival. Everything between
+    two sync-block operations is collapsed into one atomic step, because
+    between those operations a core only touches words it exclusively
+    owns (its own registers, or heap ranges it has claimed) — see
+    docs/MODELCHECK.md for the soundness argument.
+
+    Objects are numbered [1..n_objects]; object contents are abstracted
+    to the static adjacency of a small object graph. Roots are
+    pre-evacuated into the initial worklist, matching the root phase the
+    real coprocessor runs under the stop-the-world pause.
+
+    Each core has at most one enabled action per state (the microprogram
+    is deterministic; only the interleaving is not), so a schedule is
+    just a core sequence and the nondeterminism explored is exactly the
+    sync-block arbitration order. *)
+
+(** {2 Object graphs} *)
+
+type graph = {
+  gname : string;
+  n_objects : int;
+  children : int array array;  (** indexed by [o - 1] *)
+  roots : int list;
+}
+
+val diamond : objects:int -> graph
+(** Two roots sharing all remaining objects as children — the minimal
+    topology where two cores race to evacuate the same object. *)
+
+val chain : objects:int -> graph
+(** A single root with a linear spine: [1 -> 2 -> ... -> n]. *)
+
+val fork : objects:int -> graph
+(** One root pointing at every other object: maximal worklist fan-out. *)
+
+val twin : objects:int -> graph
+(** Two roots with {e disjoint} child sets (odd vs even objects) — the
+    only topology here where two cores hold tospace claims concurrently,
+    which is the window the [Unprotected_store] mutant needs. *)
+
+val garbage : objects:int -> graph
+(** A fork over [n - 1] objects plus one unreachable object — exercises
+    the no-lost/no-resurrected-objects quiescence check. *)
+
+val graph_of_string : string -> objects:int -> (graph, string) result
+val graph_names : string list
+
+(** {2 Protocol checks} *)
+
+type check =
+  | Header_mutex      (** two cores hold the same header-lock address *)
+  | Lock_order        (** acquisition violating scan < header < free *)
+  | Scan_protocol     (** scan advanced without the lock, or past free *)
+  | Forward_once      (** second evacuation of one object *)
+  | Forward_unlocked  (** forward installed without owning the header lock *)
+  | Fifo_order        (** worklist served out of push order *)
+  | Barrier_skew      (** barrier passed before all cores arrived *)
+  | Locks_at_barrier  (** locks still held on barrier arrival *)
+  | Protection        (** store to words the core neither claimed nor locked *)
+  | Quiescence        (** lost, duplicated or resurrected object at the end *)
+
+val check_name : check -> string
+
+(** {2 Mutations}
+
+    Broken-collector variants mirroring [test/mutations.ml]. A mutation
+    rewrites the microprogram of {e every} core (the broken code is the
+    code they all run), so core symmetry is preserved — except for the
+    liveness demos, which break one core and force symmetry off. *)
+
+type mutation =
+  | Correct
+  | Skip_header_lock      (** evacuate without taking the child's header lock *)
+  | Forward_wrong_object  (** install forwarding over the wrong object *)
+  | Double_evacuate       (** locked re-check deleted: race loser re-copies *)
+  | Release_scan_early    (** scan advanced after the lock was released *)
+  | Reorder_locks         (** scan requested while holding a header lock *)
+  | Scan_past_free        (** grab from an empty worklist: scan overruns free *)
+  | Fifo_reorder          (** worklist pops the youngest entry first *)
+  | Unprotected_store     (** blacken words of an object another core owns *)
+  | Lockset_race          (** race loser "fixes up" the winner's copy *)
+  | Barrier_skew_run      (** pass the barrier without waiting for the others *)
+  | Lost_core             (** one core never arrives: deadlock demo *)
+  | Stuck_child           (** forwarded-child skip never advances: livelock demo *)
+
+val symmetric : mutation -> bool
+(** [false] only for the single-core liveness demos. *)
+
+(** {2 Machine state} *)
+
+type cont = To_idle | To_barrier | To_scan of int | To_advance of int
+
+type pc =
+  | Idle
+  | Have_scan
+  | Unlock_scan of cont
+  | Advance_nolock of int
+  | Scanning of int * int           (** (grabbed object, next child slot) *)
+  | Lock_pending of int * int * int (** (g, slot, child) — read the child
+                                        unforwarded, committed to locking it *)
+  | Locked_header of int * int * int
+  | Want_free of int * int * int
+  | Have_free of int * int * int
+  | Unlock_free of int * int * int
+  | Copying of int * int * int
+  | Installing of int * int * int
+  | Unlock_header of int * int      (** (g, next child slot) *)
+  | At_barrier
+  | Done_
+
+type state = {
+  pcs : pc array;
+  hdr : int array;          (** header-lock registers, 0 = none *)
+  busy : bool array;
+  arrived : bool array;
+  release_count : int;
+  scan_owner : int;         (** -1 = unlocked *)
+  free_owner : int;
+  scan : int;               (** objects grabbed from the worklist *)
+  free : int;               (** objects evacuated (copies claimed) *)
+  fifo : int list;          (** worklist, oldest first *)
+  forwarded : bool array;   (** indexed by [o - 1] *)
+  copies : int array;       (** tospace copies claimed per object *)
+}
+
+val initial : graph -> n_cores:int -> state
+val is_final : state -> bool
+
+(** {2 Actions} *)
+
+type action =
+  | Acquire_scan
+  | Check_work
+  | Release_scan
+  | Advance_scan_nolock
+  | Read_child of int
+  | Acquire_header of int
+  | Recheck of int
+  | Acquire_free
+  | Claim_free of int
+  | Release_free
+  | Copy_words of int
+  | Install_forward of int
+  | Release_header of int
+  | Finish_object of int
+  | Barrier_arrive
+  | Poll_child of int       (** Stuck_child demo: self-loop *)
+
+val action_name : action -> string
+
+type violation = { vcheck : check; vdetail : string }
+
+val enabled : graph -> mutation -> state -> core:int -> action option
+(** The core's unique enabled action, [None] if it is blocked (waiting
+    on a lock or the barrier) or finished. *)
+
+val apply :
+  graph -> mutation -> state -> core:int -> action -> (state, violation) result
+(** Execute the core's enabled action. [Error] means the transition
+    itself breaches the protocol; exploration stops on that path and the
+    schedule up to and including this action is the counterexample. *)
+
+val invariant : mutation -> state -> violation option
+(** State predicate checked on every reachable state: header-lock mutual
+    exclusion, and (under [Correct]) the scan/free/worklist balance
+    [free - scan = |fifo|]. *)
+
+val quiescence : graph -> state -> violation option
+(** Checked at final states: every reachable object evacuated exactly
+    once, no unreachable object touched, worklist drained, registers
+    balanced, no locks held. *)
+
+val victim_of : state -> core:int -> int option
+(** The lowest-numbered object some {e other} core is mid-evacuation on
+    (claimed but not yet released) — the target [Unprotected_store]
+    scribbles over, exposed for the replay layer. *)

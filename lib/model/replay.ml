@@ -1,0 +1,221 @@
+(* Schedule replay against the real sync block + sanitizer. See
+   replay.mli for the contract and docs/MODELCHECK.md for how the
+   address map ties abstract objects to concrete frames. *)
+
+module SB = Hsgc_hwsync.Sync_block
+module Hooks = Hsgc_sanitizer.Hooks
+module San = Hsgc_sanitizer.Sanitizer
+module Diag = Hsgc_sanitizer.Diag
+
+type result = {
+  steps : int;
+  flagged : bool;
+  first : string option;
+  checks : string list;
+}
+
+let obj_words = 8
+let header_words = 2
+
+type rig = {
+  sb : SB.t;
+  hooks : Hooks.t;
+  san : San.t;
+  copy : int array;  (* tospace frame per object, indexed o - 1 *)
+  graph : Proto.graph;
+  mutation : Proto.mutation;
+  n_cores : int;
+}
+
+let fs o = obj_words * o
+let copy r o = r.copy.(o - 1)
+
+(* The correct evacuation sequence, used to pre-evacuate the roots by
+   core 0 (mirroring the model's initial state, where the root phase has
+   already run under the stop-the-world pause). *)
+let evacuate_root r o =
+  let { sb; hooks; _ } = r in
+  ignore (SB.try_lock_header sb ~core:0 ~addr:(fs o));
+  ignore (SB.try_lock_free sb ~core:0);
+  let a = SB.claim_free sb ~core:0 obj_words in
+  SB.unlock_free sb ~core:0;
+  r.copy.(o - 1) <- a;
+  hooks.Hooks.word_written ~core:0 ~base:a ~addr:a;
+  hooks.Hooks.word_written ~core:0 ~base:a ~addr:(a + 1);
+  hooks.Hooks.word_written ~core:0 ~base:(fs o) ~addr:(fs o);
+  hooks.Hooks.forward_installed ~core:0 ~from_:(fs o) ~to_:a;
+  SB.unlock_header sb ~core:0;
+  hooks.Hooks.fifo_pushed ~addr:a ~buffered:true
+
+(* Emit the concrete operations for one abstract action, given the model
+   state st it fires from. Mutated operations the sync block would
+   refuse are driven into the hooks directly. *)
+let emit r st ~core:c action =
+  let { sb; hooks; mutation = m; _ } = r in
+  match action with
+  | Proto.Acquire_scan ->
+    if m = Proto.Reorder_locks && st.Proto.hdr.(c) <> 0 then
+      (* The mutant requests scan while the SB comparator would stall
+         it on the held header lock; the broken microprogram bypassed
+         that stall. *)
+      hooks.Hooks.lock_acquired ~lock:Hooks.scan_lock ~core:c ~addr:(-1)
+    else ignore (SB.try_lock_scan sb ~core:c)
+  | Proto.Check_work -> (
+    let grab o =
+      hooks.Hooks.range_claimed ~core:c ~lo:(copy r o)
+        ~hi:(copy r o + header_words);
+      hooks.Hooks.fifo_popped ~addr:(copy r o);
+      hooks.Hooks.word_read ~core:c ~base:(copy r o) ~addr:(copy r o)
+    in
+    match (m, st.Proto.fifo) with
+    | Proto.Fifo_reorder, (_ :: _ :: _ as q) ->
+      grab (List.nth q (List.length q - 1));
+      SB.advance_scan sb ~core:c obj_words
+    | Proto.Scan_past_free, [] ->
+      (* Phantom grab: the mutant advances scan with nothing pending. *)
+      SB.advance_scan sb ~core:c obj_words
+    | _, [] -> ()
+    | Proto.Release_scan_early, o :: _ -> grab o
+    | _, o :: _ ->
+      grab o;
+      SB.advance_scan sb ~core:c obj_words)
+  | Proto.Release_scan -> SB.unlock_scan sb ~core:c
+  | Proto.Advance_scan_nolock ->
+    let sw = SB.scan sb in
+    hooks.Hooks.scan_advanced ~core:c ~scan_was:sw ~scan_now:(sw + obj_words)
+      ~free:(SB.free sb)
+  | Proto.Read_child _ | Proto.Poll_child _ -> (
+    match st.Proto.pcs.(c) with
+    | Proto.Scanning (g, _) ->
+      hooks.Hooks.word_read ~core:c ~base:(copy r g) ~addr:(copy r g + 1)
+    | _ -> ())
+  | Proto.Acquire_header o ->
+    if m <> Proto.Skip_header_lock then
+      ignore (SB.try_lock_header sb ~core:c ~addr:(fs o))
+  | Proto.Recheck o ->
+    if
+      m = Proto.Lockset_race
+      && st.Proto.forwarded.(o - 1)
+      && List.mem o st.Proto.fifo
+    then begin
+      (* The race loser "fixes up" the winner's copy: drops the
+         fromspace lock, takes the copy frame's lock, and stores into a
+         word the winner wrote under its tospace claim — two protectors
+         with an empty intersection. *)
+      SB.unlock_header sb ~core:c;
+      ignore (SB.try_lock_header sb ~core:c ~addr:(copy r o));
+      hooks.Hooks.word_written ~core:c ~base:(copy r o) ~addr:(copy r o + 1);
+      SB.unlock_header sb ~core:c
+    end
+    else if SB.header_lock_of sb ~core:c <> None then
+      hooks.Hooks.word_read ~core:c ~base:(fs o) ~addr:(fs o)
+  | Proto.Acquire_free -> ignore (SB.try_lock_free sb ~core:c)
+  | Proto.Claim_free o ->
+    (* The gray header is written before the push: the hardware FIFO
+       snoops header stores, so the object is never poppable before its
+       header words exist. Emitting the writes here keeps the replay's
+       store order consistent with the model's claim-time push. *)
+    let a = SB.claim_free sb ~core:c obj_words in
+    r.copy.(o - 1) <- a;
+    hooks.Hooks.word_written ~core:c ~base:a ~addr:a;
+    hooks.Hooks.word_written ~core:c ~base:a ~addr:(a + 1);
+    hooks.Hooks.fifo_pushed ~addr:a ~buffered:true
+  | Proto.Release_free -> SB.unlock_free sb ~core:c
+  | Proto.Copy_words _ -> (
+    match
+      if m = Proto.Unprotected_store then Proto.victim_of st ~core:c else None
+    with
+    | Some v ->
+      (* Blacken a payload word of the victim's half-built copy. *)
+      hooks.Hooks.word_written ~core:c ~base:(copy r v)
+        ~addr:(copy r v + header_words + 1)
+    | None -> ())
+  | Proto.Install_forward o ->
+    let target =
+      if m = Proto.Forward_wrong_object then (o mod r.graph.Proto.n_objects) + 1
+      else o
+    in
+    if SB.header_lock_of sb ~core:c = Some (fs target) then
+      hooks.Hooks.word_written ~core:c ~base:(fs target) ~addr:(fs target);
+    hooks.Hooks.forward_installed ~core:c ~from_:(fs target) ~to_:(copy r o)
+  | Proto.Release_header _ -> SB.unlock_header sb ~core:c
+  | Proto.Finish_object g ->
+    hooks.Hooks.range_released ~core:c ~lo:(copy r g)
+      ~hi:(copy r g + header_words)
+  | Proto.Barrier_arrive ->
+    if m = Proto.Lost_core && c = r.n_cores - 1 then ()
+    else if
+      m = Proto.Barrier_skew_run
+      && (not st.Proto.arrived.(c))
+      && st.Proto.release_count = 0
+      && Array.fold_left (fun k a -> if a then k + 1 else k) 0 st.Proto.arrived
+         + 1
+         < r.n_cores
+    then begin
+      (* The runaway core barrels through this rendezvous and the next
+         one while its peers have not arrived at the first. *)
+      hooks.Hooks.barrier_passed ~core:c;
+      hooks.Hooks.barrier_passed ~core:c
+    end
+    else if st.Proto.release_count > 0 && st.Proto.arrived.(c) then
+      ignore (SB.barrier_arrive sb ~core:c)
+    else begin
+      SB.assert_no_locks sb ~core:c;
+      ignore (SB.barrier_arrive sb ~core:c)
+    end
+
+let run (cfg : Explore.config) sched =
+  let g = cfg.Explore.graph in
+  let n_cores = cfg.Explore.n_cores in
+  let hooks = Hooks.create () in
+  let sb = SB.create ~hooks ~n_cores () in
+  let mem_words = obj_words * (3 * (g.Proto.n_objects + 1)) in
+  let san = San.create ~mode:San.Check ~mem_words ~n_cores ~header_words hooks in
+  hooks.Hooks.cycle <- 0;
+  let r =
+    {
+      sb;
+      hooks;
+      san;
+      copy = Array.make g.Proto.n_objects (-1);
+      graph = g;
+      mutation = cfg.Explore.mutation;
+      n_cores;
+    }
+  in
+  let ts_base = obj_words * (g.Proto.n_objects + 1) in
+  SB.set_scan sb ts_base;
+  SB.set_free sb ts_base;
+  List.iter (evacuate_root r) g.Proto.roots;
+  let st = ref (Proto.initial g ~n_cores) in
+  let steps = ref 0 in
+  let raised = ref None in
+  (try
+     List.iter
+       (fun (c, a) ->
+         incr steps;
+         hooks.Hooks.cycle <- !steps;
+         emit r !st ~core:c a;
+         match Proto.apply g cfg.Explore.mutation !st ~core:c a with
+         | Ok s -> st := s
+         | Error _ -> ())
+       sched
+   with Diag.Violation d -> raised := Some d);
+  let findings = San.findings r.san in
+  let checks =
+    List.map (fun d -> Diag.check_name d.Diag.check) findings
+    @ (match !raised with Some d -> [ Diag.check_name d.Diag.check ] | None -> [])
+  in
+  let rec dedup seen = function
+    | [] -> []
+    | x :: tl -> if List.mem x seen then dedup seen tl else x :: dedup (x :: seen) tl
+  in
+  let checks = dedup [] checks in
+  {
+    steps = !steps;
+    flagged = checks <> [];
+    first = (match checks with [] -> None | x :: _ -> Some x);
+    checks;
+  }
+
+let hits res check = List.mem (Diag.check_name check) res.checks

@@ -1,0 +1,31 @@
+(** Counterexample replay: drive a model-checker schedule through the
+    {e real} synchronization block and dynamic sanitizer.
+
+    Every abstract action is expanded to the concrete sync-block calls
+    and hook events the collector microprogram would issue for it, using
+    a fixed address map (object [o]'s fromspace frame at [8 * o], tospace
+    frames claimed live from the real free register). Operations the
+    mutated hardware would have refused are driven into the hook record
+    directly, exactly as [test/mutations.ml] does — the point of a broken
+    collector is that its own guard rails are gone, so only the
+    sanitizer's independent mirror can notice.
+
+    The sanitizer runs in [Check] mode so every finding is collected;
+    [--sanitize strict] behavior is derived from it (strict raises on the
+    first finding, so [first] is what a strict run would abort with). *)
+
+type result = {
+  steps : int;  (** schedule steps actually replayed *)
+  flagged : bool;  (** a strict run would have raised *)
+  first : string option;  (** check name of the first finding *)
+  checks : string list;  (** distinct finding check names, oldest first *)
+}
+
+val run : Explore.config -> Explore.schedule -> result
+(** Replays the schedule (typically a counterexample from
+    {!Explore.run} under the same config) from a fresh sync block,
+    sanitizer and heap, with the graph's roots pre-evacuated by core 0
+    as in the model's initial state. *)
+
+val hits : result -> Hsgc_sanitizer.Diag.check -> bool
+(** Did the dynamic sanitizer flag this check during the replay? *)

@@ -9,12 +9,16 @@ module Verify = Hsgc_heap.Verify
 module Coprocessor = Hsgc_coproc.Coprocessor
 module Cheney_seq = Hsgc_core.Cheney_seq
 
+(* Integer exponentiation: radix^k stays exact where float ** loses
+   integers past 2^53 and mis-decodes high digits. *)
+let ipow base e =
+  let rec go acc e = if e = 0 then acc else go (acc * base) (e - 1) in
+  go 1 e
+
 (* Enumerate every assignment of [slots] pointer slots over targets
    [-1 (null), 0, .., n-1] as an integer in mixed radix (n+1)^slots. *)
 let assignment ~n ~slots code =
-  Array.init slots (fun i ->
-      let digit = code / int_of_float ((float_of_int (n + 1)) ** float_of_int i) in
-      (digit mod (n + 1)) - 1)
+  Array.init slots (fun i -> (code / ipow (n + 1) i) mod (n + 1) - 1)
 
 let build ~shapes ~edges =
   let plan = Plan.create () in
@@ -58,7 +62,7 @@ let test_all_two_object_graphs () =
     for s1 = 0 to 5 do
       let shapes = [| shapes_of s0; shapes_of s1 |] in
       let slots = fst shapes.(0) + fst shapes.(1) in
-      let codes = int_of_float (3.0 ** float_of_int slots) in
+      let codes = ipow 3 slots in
       for code = 0 to codes - 1 do
         let edges = assignment ~n:2 ~slots code in
         check_one ~shapes ~edges ~n_cores:3;
@@ -76,7 +80,7 @@ let test_all_three_object_graphs () =
   for mask = 0 to 7 do
     let shapes = Array.init 3 (fun i -> ((mask lsr i) land 1, 0)) in
     let slots = Array.fold_left (fun acc (pi, _) -> acc + pi) 0 shapes in
-    let codes = int_of_float (4.0 ** float_of_int slots) in
+    let codes = ipow 4 slots in
     for code = 0 to codes - 1 do
       let edges = assignment ~n:3 ~slots code in
       List.iter (fun n_cores -> check_one ~shapes ~edges ~n_cores) [ 1; 4 ];
@@ -95,7 +99,7 @@ let test_two_object_graphs_with_unit_1 () =
     for s1 = 0 to 5 do
       let shapes = [| shapes_of s0; shapes_of s1 |] in
       let slots = fst shapes.(0) + fst shapes.(1) in
-      let codes = int_of_float (3.0 ** float_of_int slots) in
+      let codes = ipow 3 slots in
       for code = 0 to codes - 1 do
         let edges = assignment ~n:2 ~slots code in
         let plan = build ~shapes ~edges in
@@ -115,8 +119,37 @@ let test_two_object_graphs_with_unit_1 () =
     done
   done
 
+(* The decoder must be exact arithmetic: re-encode the decoded digits
+   and recover the code, including codes past 2^53 where the former
+   float-powers decoder started rounding radix^i and splitting digits
+   wrong. *)
+let test_assignment_roundtrip () =
+  let reencode ~n digits =
+    Array.fold_right (fun d acc -> (acc * (n + 1)) + (d + 1)) digits 0
+  in
+  List.iter
+    (fun (n, slots, code) ->
+      let digits = assignment ~n ~slots code in
+      Array.iter
+        (fun d ->
+          if d < -1 || d >= n then
+            Alcotest.failf "digit %d out of range for n=%d" d n)
+        digits;
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d slots=%d code=%d" n slots code)
+        code (reencode ~n digits))
+    [
+      (2, 4, 0); (2, 4, 80); (3, 3, 63); (2, 35, 0);
+      (* 3^35 - 1 > 2^53: every digit is 2, the float decoder breaks. *)
+      (2, 35, ipow 3 35 - 1);
+      (2, 39, (ipow 3 38 * 2) + 5);
+      (9, 18, ipow 10 18 - 123_456_789);
+    ]
+
 let suite =
   [
+    Alcotest.test_case "mixed-radix decode is exact past 2^53" `Quick
+      test_assignment_roundtrip;
     Alcotest.test_case "all 2-object graphs" `Slow test_all_two_object_graphs;
     Alcotest.test_case "all 3-object graphs" `Slow test_all_three_object_graphs;
     Alcotest.test_case "all 2-object graphs, scan-unit 1" `Slow

@@ -35,4 +35,5 @@ let () =
       ("fault", Test_fault.suite);
       ("sanitizer", Test_sanitizer.suite);
       ("mutations", Mutations.suite);
+      ("model", Test_model.suite);
     ]

@@ -1,0 +1,283 @@
+(* Tests for the bounded model checker (lib/model): canonicalization
+   properties (qcheck), verification of the correct protocol under every
+   reduction combination, the mutant catalog end to end (model violation
+   + counterexample replay through the real sync block), and the
+   liveness demos. *)
+
+module Proto = Hsgc_model.Proto
+module Canon = Hsgc_model.Canon
+module Explore = Hsgc_model.Explore
+module Replay = Hsgc_model.Replay
+module Mutation = Hsgc_model.Mutation
+module Diag = Hsgc_sanitizer.Diag
+
+let graph name ~objects =
+  match Proto.graph_of_string name ~objects with
+  | Ok g -> g
+  | Error m -> Alcotest.fail m
+
+let cfg ?(mutation = Proto.Correct) ?(por = true) ?(symmetry = true) name
+    ~objects ~cores =
+  {
+    (Explore.default_config ~graph:(graph name ~objects) ~n_cores:cores) with
+    Explore.mutation;
+    por;
+    symmetry;
+  }
+
+(* --- random reachable states for the canon properties --------------- *)
+
+(* A tiny deterministic LCG so the walk is a pure function of the
+   qcheck-drawn seed (no hidden global randomness). *)
+let lcg seed =
+  let s = ref (seed land 0x3FFFFFFF) in
+  fun bound ->
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    !s mod bound
+
+(* Walk [steps] random enabled transitions of the correct protocol from
+   the initial state: every state produced is reachable, so the canon
+   layer is exercised on exactly the population the explorer feeds it. *)
+let random_state ~graph:gn ~objects ~cores ~steps ~seed =
+  let g = graph gn ~objects in
+  let next = lcg seed in
+  let st = ref (Proto.initial g ~n_cores:cores) in
+  (try
+     for _ = 1 to steps do
+       let en =
+         List.filter_map
+           (fun c ->
+             match Proto.enabled g Proto.Correct !st ~core:c with
+             | Some a -> Some (c, a)
+             | None -> None)
+           (List.init cores Fun.id)
+       in
+       match en with
+       | [] -> raise Exit
+       | _ -> (
+         let c, a = List.nth en (next (List.length en)) in
+         match Proto.apply g Proto.Correct !st ~core:c a with
+         | Ok s -> st := s
+         | Error _ -> raise Exit)
+     done
+   with Exit -> ());
+  !st
+
+let random_perm ~cores ~seed =
+  let next = lcg (seed lxor 0x2A2A2A) in
+  let p = Array.init cores Fun.id in
+  for i = cores - 1 downto 1 do
+    let j = next (i + 1) in
+    let t = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- t
+  done;
+  p
+
+let state_gen =
+  QCheck.make
+    ~print:(fun (gn, objects, cores, steps, seed) ->
+      Printf.sprintf "%s objects=%d cores=%d steps=%d seed=%d" gn objects
+        cores steps seed)
+    QCheck.Gen.(
+      let* gn = oneofl [ "diamond"; "chain"; "fork"; "twin"; "garbage" ] in
+      let* objects = int_range 3 6 in
+      let* cores = int_range 2 4 in
+      let* steps = int_range 0 60 in
+      let* seed = int_range 0 1_000_000 in
+      return (gn, objects, cores, steps, seed))
+
+let qcheck_key_symmetric =
+  QCheck.Test.make
+    ~name:"canonical key is invariant under any core renaming" ~count:300
+    state_gen
+    (fun (gn, objects, cores, steps, seed) ->
+      let st = random_state ~graph:gn ~objects ~cores ~steps ~seed in
+      let perm = random_perm ~cores ~seed in
+      Canon.key (Canon.apply_perm st perm) = Canon.key st)
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"decode inverts encode (keys never merge states)"
+    ~count:300 state_gen
+    (fun (gn, objects, cores, steps, seed) ->
+      let st = random_state ~graph:gn ~objects ~cores ~steps ~seed in
+      Canon.decode (Canon.encode st) = st)
+
+let qcheck_canon_idempotent =
+  QCheck.Test.make
+    ~name:"canon is idempotent and key-equal states are canon-equal"
+    ~count:300 state_gen
+    (fun (gn, objects, cores, steps, seed) ->
+      let st = random_state ~graph:gn ~objects ~cores ~steps ~seed in
+      let perm = random_perm ~cores ~seed in
+      let twin = Canon.apply_perm st perm in
+      Canon.canon (Canon.canon st) = Canon.canon st
+      && Canon.decode (Canon.key st) = Canon.canon st
+      && Canon.canon twin = Canon.canon st)
+
+(* --- verification of the correct protocol --------------------------- *)
+
+let stats_of name o =
+  match o with
+  | Explore.Verified s -> s
+  | _ -> Alcotest.failf "%s: expected verified, got %s" name
+           (Explore.outcome_name o)
+
+(* All four reduction combinations agree, POR leaves the state count
+   untouched (sleep sets prune transitions, never states), and the DFS
+   actually sleeps something. *)
+let test_verified_all_reductions () =
+  List.iter
+    (fun (gn, objects, cores) ->
+      let run ~por ~symmetry =
+        stats_of
+          (Printf.sprintf "%s%d/%dc por=%b sym=%b" gn objects cores por
+             symmetry)
+          (Explore.run (cfg gn ~objects ~cores ~por ~symmetry))
+      in
+      let ps = run ~por:true ~symmetry:true
+      and s = run ~por:false ~symmetry:true
+      and p = run ~por:true ~symmetry:false
+      and n = run ~por:false ~symmetry:false in
+      Alcotest.(check int)
+        (gn ^ ": states identical por on/off (sym)")
+        s.Explore.states ps.Explore.states;
+      Alcotest.(check int)
+        (gn ^ ": states identical por on/off (no sym)")
+        n.Explore.states p.Explore.states;
+      Alcotest.(check bool)
+        (gn ^ ": symmetry shrinks the table")
+        true
+        (ps.Explore.states < p.Explore.states);
+      Alcotest.(check bool)
+        (gn ^ ": sleep sets prune transitions")
+        true
+        (ps.Explore.slept > 0 && ps.Explore.transitions < s.Explore.transitions))
+    [ ("diamond", 4, 2); ("twin", 4, 2); ("chain", 4, 3) ]
+
+let test_verified_three_cores () =
+  List.iter
+    (fun (gn, objects) ->
+      let s =
+        stats_of gn (Explore.run (cfg gn ~objects ~cores:3))
+      in
+      Alcotest.(check bool)
+        (gn ^ ": explored a nontrivial space")
+        true (s.Explore.states > 100 && s.Explore.finals >= 1))
+    [ ("diamond", 4); ("twin", 4); ("fork", 5); ("garbage", 4) ]
+
+let test_out_of_bounds_inconclusive () =
+  match
+    Explore.run
+      { (cfg "diamond" ~objects:4 ~cores:3) with Explore.max_states = 50 }
+  with
+  | Explore.Out_of_bounds s ->
+    Alcotest.(check int) "stopped at the bound" 50 s.Explore.states
+  | o -> Alcotest.failf "expected out-of-bounds, got %s" (Explore.outcome_name o)
+
+(* --- the mutant catalog, end to end --------------------------------- *)
+
+(* Every safety mutant model-checks to its expected violation, and the
+   counterexample schedule replayed through the real sync block +
+   sanitizer is independently flagged with the expected dynamic check —
+   the checker and the sanitizer corroborate each other. *)
+let test_mutants_flagged () =
+  List.iter
+    (fun (e : Mutation.entry) ->
+      let c =
+        cfg e.Mutation.graph ~objects:4 ~cores:2 ~mutation:e.Mutation.mutation
+      in
+      match Explore.run c with
+      | Explore.Violation (v, sched, _) ->
+        Alcotest.(check string)
+          (e.Mutation.name ^ ": model check")
+          (Proto.check_name e.Mutation.model_check)
+          (Proto.check_name v.Proto.vcheck);
+        Alcotest.(check bool)
+          (e.Mutation.name ^ ": counterexample is non-empty")
+          true (sched <> []);
+        let res = Replay.run c sched in
+        let expected = Option.get e.Mutation.dynamic_check in
+        if not (Replay.hits res expected) then
+          Alcotest.failf "%s: replay found %s, expected %s" e.Mutation.name
+            (String.concat "," res.Replay.checks)
+            (Diag.check_name expected)
+      | o ->
+        Alcotest.failf "%s: expected a violation, got %s" e.Mutation.name
+          (Explore.outcome_name o))
+    Mutation.catalog
+
+(* Reductions must not mask bugs: the same violations surface with POR
+   and symmetry enabled (shorter schedules may differ, the check not). *)
+let test_mutants_flagged_without_reductions () =
+  List.iter
+    (fun (e : Mutation.entry) ->
+      let c =
+        cfg e.Mutation.graph ~objects:4 ~cores:2 ~mutation:e.Mutation.mutation
+          ~por:false ~symmetry:false
+      in
+      match Explore.run c with
+      | Explore.Violation (v, _, _) ->
+        Alcotest.(check string)
+          (e.Mutation.name ^ ": same check without reductions")
+          (Proto.check_name e.Mutation.model_check)
+          (Proto.check_name v.Proto.vcheck)
+      | o ->
+        Alcotest.failf "%s: expected a violation, got %s" e.Mutation.name
+          (Explore.outcome_name o))
+    Mutation.catalog
+
+let test_liveness_demos () =
+  (match
+     Explore.run
+       (cfg "diamond" ~objects:4 ~cores:2 ~mutation:Proto.Lost_core)
+   with
+  | Explore.Deadlock (sched, _) ->
+    Alcotest.(check bool) "deadlock schedule non-empty" true (sched <> [])
+  | o -> Alcotest.failf "lost core: expected deadlock, got %s"
+           (Explore.outcome_name o));
+  match
+    Explore.run
+      (cfg "diamond" ~objects:4 ~cores:2 ~mutation:Proto.Stuck_child)
+  with
+  | Explore.Livelock (sched, _) ->
+    Alcotest.(check bool) "livelock schedule non-empty" true (sched <> [])
+  | o ->
+    Alcotest.failf "stuck child: expected livelock, got %s"
+      (Explore.outcome_name o)
+
+(* The false-positive direction: a fair schedule of the correct protocol
+   replayed through the sync block + sanitizer stays silent. *)
+let test_baseline_replay_silent () =
+  List.iter
+    (fun (gn, objects, cores) ->
+      let c = cfg gn ~objects ~cores in
+      let sched = Explore.fair_schedule c in
+      Alcotest.(check bool) (gn ^ ": fair schedule reaches work") true
+        (List.length sched > 5);
+      let res = Replay.run c sched in
+      if res.Replay.flagged then
+        Alcotest.failf "%s: correct replay flagged %s" gn
+          (String.concat "," res.Replay.checks))
+    [ ("diamond", 4, 3); ("twin", 4, 2); ("chain", 5, 3) ]
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_key_symmetric;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_canon_idempotent;
+    Alcotest.test_case "correct protocol verified under all reductions" `Quick
+      test_verified_all_reductions;
+    Alcotest.test_case "correct protocol verified at 3 cores" `Quick
+      test_verified_three_cores;
+    Alcotest.test_case "state bound exhaustion is inconclusive, not verified"
+      `Quick test_out_of_bounds_inconclusive;
+    Alcotest.test_case "all 10 mutants: violation + corroborating replay"
+      `Quick test_mutants_flagged;
+    Alcotest.test_case "reductions do not mask any mutant" `Quick
+      test_mutants_flagged_without_reductions;
+    Alcotest.test_case "liveness demos: deadlock and livelock" `Quick
+      test_liveness_demos;
+    Alcotest.test_case "fair replay of the correct protocol is silent" `Quick
+      test_baseline_replay_silent;
+  ]
