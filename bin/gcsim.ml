@@ -11,6 +11,7 @@ module Workloads = Hsgc_objgraph.Workloads
 module Mutator = Hsgc_objgraph.Mutator
 module Coprocessor = Hsgc_coproc.Coprocessor
 module Bsp = Hsgc_coproc.Bsp
+module Banked = Hsgc_coproc.Banked
 module Partition = Hsgc_sim.Partition
 module Domain_pool = Hsgc_sim.Domain_pool
 module Counters = Hsgc_coproc.Counters
@@ -473,11 +474,89 @@ let run_with_checkpoints ~workload ~n_cores ~scale ~seed ~mem ~scan_unit
         Format.eprintf "verification FAILED: %a@." Verify.pp_failure f;
         exit_verify_failed)
 
+(* The banked machine is its own run path: every non-default engine or
+   observation mode is either meaningless for it (BSP span supervision,
+   checkpoints of per-bank machines) or has no banked variant (the
+   compiled engine, sub-object scanning, the profiler) — reject them
+   up front with a usage error rather than silently ignoring them. *)
+let run_banked ~workload ~n_cores ~scale ~seed ~mem ~scan_unit ~verify ~engine
+    ~no_skip ~cycle_budget ~sanitize ~profile ~par_domains ~span_timeout
+    ~ckpt_every ~ckpt_dir ~resume_from ~bank_quantum =
+  let reject msg =
+    Format.eprintf "gcsim run: %s@." msg;
+    exit 2
+  in
+  if engine <> None && engine <> Some Skip then
+    reject "--banked uses the event-driven engine (only --engine skip is valid)";
+  if no_skip then reject "--banked is incompatible with --no-skip";
+  if profile then
+    reject "--banked is incompatible with --profile (no banked profiler)";
+  if scan_unit_opt scan_unit <> None then
+    reject "--banked is incompatible with --scan-unit";
+  if span_timeout <> None then
+    reject "--banked is incompatible with --span-timeout (no BSP spans)";
+  if ckpt_every <> None || ckpt_dir <> None || resume_from <> None then
+    reject
+      "--banked is incompatible with checkpointing (per-bank machines are \
+       not snapshottable)";
+  let banks =
+    match par_domains with
+    | Some p -> (
+      match Partition.validate_banked ~n_cores ~n_partitions:p with
+      | Ok () -> p
+      | Error msg -> reject ("--par-domains: " ^ msg))
+    | None -> Partition.default_banked_partitions ~n_cores
+  in
+  let workload = require_workload workload in
+  let heap = Workloads.build_heap ~scale ~seed workload in
+  let pre = if verify then Some (Verify.snapshot heap) else None in
+  let cfg = Coprocessor.config ~mem ?cycle_budget ~sanitize ~n_cores () in
+  match Banked.collect ?quantum:bank_quantum ~banks cfg heap with
+  | exception Coprocessor.Stall_diagnosis d ->
+    prerr_endline (Report.stall_diagnosis d);
+    exit_stalled
+  | exception Hsgc_sanitizer.Diag.Violation d ->
+    Format.eprintf "sanitizer VIOLATION: %s@." (Hsgc_sanitizer.Diag.to_string d);
+    exit_sanitizer
+  | stats, bstats ->
+    Printf.printf "workload %s, %d cores (banked)\n" workload.Workloads.name
+      n_cores;
+    print_stats stats;
+    Format.printf "%a@." Banked.pp_stats bstats;
+    if sanitize <> Hsgc_sanitizer.Sanitizer.Off then
+      if stats.Coprocessor.sanitizer_findings = [] then
+        print_endline "sanitizer           OK (no findings)"
+      else
+        prerr_endline
+          (Report.sanitizer_findings ~total:stats.Coprocessor.sanitizer_total
+             stats.Coprocessor.sanitizer_findings);
+    if stats.Coprocessor.sanitizer_findings <> [] then exit_sanitizer
+    else
+      match pre with
+      | None -> 0
+      | Some pre -> (
+        match Verify.check_collection ~pre heap with
+        | Ok () ->
+          print_endline "verification        OK (graph isomorphic, compacted)";
+          0
+        | Error f ->
+          Format.eprintf "verification FAILED: %a@." Verify.pp_failure f;
+          exit_verify_failed)
+
 let run_cmd =
   let run workload n_cores scale seed extra_latency fifo bandwidth header_cache
       scan_unit verify engine no_skip cycle_budget sanitize profile par_domains
-      span_timeout ckpt_every ckpt_dir resume_from =
+      span_timeout ckpt_every ckpt_dir resume_from banked bank_quantum =
     let mem = mem_config extra_latency fifo bandwidth header_cache in
+    if banked then
+      run_banked ~workload ~n_cores ~scale ~seed ~mem ~scan_unit ~verify
+        ~engine ~no_skip ~cycle_budget ~sanitize ~profile ~par_domains
+        ~span_timeout ~ckpt_every ~ckpt_dir ~resume_from ~bank_quantum
+    else begin
+    if bank_quantum <> None then begin
+      Format.eprintf "gcsim run: --bank-quantum needs --banked@.";
+      exit 2
+    end;
     let engine =
       resolve_engine ~engine ~no_skip ~profile ~sanitize ~par_domains ~scan_unit
     in
@@ -597,6 +676,7 @@ let run_cmd =
           | Error f ->
             Format.eprintf "verification FAILED: %a@." Verify.pp_failure f;
             exit_verify_failed))
+    end
   in
   let profile_arg =
     Arg.(
@@ -674,6 +754,37 @@ let run_cmd =
              build exits with code 6. Combine with the checkpoint flags to \
              keep checkpointing the resumed run.")
   in
+  let banked_arg =
+    Arg.(
+      value & flag
+      & info [ "banked" ]
+          ~doc:
+            "Run the banked variant machine instead of the paper's dense \
+             machine: the cores are split into equal banks, each with a \
+             private synchronization block over a home range of the heap \
+             and a private memory-arbitration lane; banks step \
+             concurrently on real domains and cross-bank pointers are \
+             routed through a barrier-drained header-FIFO arbitration \
+             step. Cycle counts are $(i,not) comparable to the dense \
+             machine — collection semantics are (checked by the \
+             differential harness; see docs/PARALLEL.md). \
+             $(b,--par-domains) selects the bank count (default: auto; \
+             must divide the core count, exit code 2 otherwise). \
+             Incompatible with $(b,--engine naive/compiled), \
+             $(b,--no-skip), $(b,--profile), $(b,--scan-unit), \
+             $(b,--span-timeout) and checkpointing.")
+  in
+  let bank_quantum_arg =
+    Arg.(
+      value
+      & opt (some (positive_conv "bank quantum")) None
+      & info [ "bank-quantum" ] ~docv:"STEPS"
+          ~doc:
+            "Step calls each bank gets per superstep between arbitration \
+             barriers (default 512). Any value yields the same final heap \
+             and live-set statistics; only the arbitration interleave's \
+             cycle accounting shifts. Needs $(b,--banked).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"run one collection and print full statistics")
     Term.(
@@ -681,7 +792,8 @@ let run_cmd =
       $ latency_arg $ fifo_arg $ bandwidth_arg $ header_cache_arg
       $ scan_unit_arg $ verify_arg $ engine_arg $ no_skip_arg $ cycle_budget_arg
       $ sanitize_arg $ profile_arg $ par_domains_arg $ span_timeout_arg
-      $ ckpt_every_arg $ ckpt_dir_arg $ resume_from_arg)
+      $ ckpt_every_arg $ ckpt_dir_arg $ resume_from_arg $ banked_arg
+      $ bank_quantum_arg)
 
 let sweep_cmd =
   let run workload scale seed extra_latency fifo bandwidth header_cache verify
@@ -1108,9 +1220,12 @@ let bench_cmd =
           ~doc:
             "Compare against a committed BENCH_sim.json and fail (exit code 3) \
              on a >20% regression of any host-independent metric: skipped \
-             fraction, minor words per cycle, latency-bound skip speedup, and \
-             the BSP kernel's exclusive-span fraction. Absolute Mcycles/s and \
-             the parallel speedup are never gated — they depend on the host.")
+             fraction, minor words per cycle, latency-bound skip speedup, the \
+             BSP kernel's exclusive-span fraction, and the banked machine's \
+             modeled-cycle ratio and remote-request fraction. Absolute \
+             Mcycles/s and the wall-clock speedups are never gated — they \
+             depend on the host (the banked self-speedup floor arms only on \
+             hosts with at least 4 recommended domains).")
   in
   let quiet_arg =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress per-leg progress.")

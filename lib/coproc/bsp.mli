@@ -35,7 +35,19 @@
     With [config.skip = false] (naive stepping, forced by [--profile]
     and [--no-skip]) every core is due every cycle, so every superstep
     is contended and the schedule degenerates to leader-only stepping;
-    the observation layers then see the machine exactly as before. *)
+    the observation layers then see the machine exactly as before.
+
+    This driver sits at one end of a two-point design space. Because
+    the dense machine's cross-partition interfaces are reachable from
+    every core on any cycle, bit-identity forces serialization whenever
+    two partitions are simultaneously awake — parallelism here is
+    opportunistic, harvested only from naturally exclusive spans. The
+    {!Banked} machine takes the opposite trade: it {e changes} the
+    machine (private per-bank sync blocks and memory lanes, cross-bank
+    traffic only through a barrier-drained FIFO arbitration step) so
+    banks step concurrently {e every} superstep, and replaces
+    bit-identity with an explicitly checked semantic-equivalence
+    contract ({!Banked.differential}). *)
 
 type t
 

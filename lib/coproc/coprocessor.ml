@@ -99,6 +99,86 @@ let config ?(mem = Mem.default_config) ?scan_unit ?(skip = true) ?faults
 exception Heap_overflow
 exception Simulation_diverged of string
 
+(* ------------------------------------------------------------------ *)
+(* Banked-machine attachment (the [Banked] driver's half of the
+   machine-variant contract; see docs/PARALLEL.md).
+
+   A machine started with a [remote] record is one *bank* of the banked
+   machine: it owns the fromspace home range [rm_lo, rm_hi) and runs a
+   private sync block, memory lane and header FIFO. Pointer slots whose
+   child lies outside the home range are *not* chased (no header lock,
+   no evacuation): the stale fromspace address is stored verbatim and
+   the slot is recorded in the bank's outbox, which the driver drains
+   at every superstep barrier and routes through the global FIFO
+   arbitration step to the child's home bank. Local termination is
+   suppressed until the driver observes global quiescence and sets
+   [rm_allow_finish]. *)
+(* ------------------------------------------------------------------ *)
+
+type remote = {
+  rm_bank : int;
+  rm_lo : int;  (* home fromspace range [rm_lo, rm_hi) *)
+  rm_hi : int;
+  mutable rm_allow_finish : bool;
+      (* the scan-lock termination probe is a no-op until the driver
+         grants it: a bank's worklist can be refilled from outside at
+         any barrier, so only the driver can observe termination *)
+  (* Outbox of bank-crossing pointer slots, as two parallel flat arrays
+     (live prefix [0, rm_n)): the tospace slot address that received
+     the stale pointer, and the foreign fromspace child it names. The
+     driver drains and resets it at each barrier. *)
+  mutable rm_slots : int array;
+  mutable rm_children : int array;
+  mutable rm_n : int;
+  mutable rm_requests : int;  (* total pushes over the run *)
+}
+
+let remote_create ~bank ~lo ~hi =
+  if lo > hi then invalid_arg "Coprocessor.remote_create: lo > hi";
+  {
+    rm_bank = bank;
+    rm_lo = lo;
+    rm_hi = hi;
+    rm_allow_finish = false;
+    rm_slots = Array.make 16 0;
+    rm_children = Array.make 16 0;
+    rm_n = 0;
+    rm_requests = 0;
+  }
+
+(* Dense machines share one inert sentinel: its home range is the whole
+   address space (the foreign test [v < rm_lo || v >= rm_hi] is never
+   true) and termination is always allowed, so the dense hot path pays
+   two integer compares and no option branch. Nothing ever mutates it. *)
+let remote_disabled =
+  {
+    rm_bank = -1;
+    rm_lo = min_int;
+    rm_hi = max_int;
+    rm_allow_finish = true;
+    rm_slots = [||];
+    rm_children = [||];
+    rm_n = 0;
+    rm_requests = 0;
+  }
+
+let remote_push r ~slot ~child =
+  let n = r.rm_n in
+  if n = Array.length r.rm_slots then begin
+    let cap = if n = 0 then 16 else 2 * n in
+    let grow a =
+      let b = Array.make cap 0 in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    r.rm_slots <- grow r.rm_slots;
+    r.rm_children <- grow r.rm_children
+  end;
+  r.rm_slots.(n) <- slot;
+  r.rm_children.(n) <- child;
+  r.rm_n <- n + 1;
+  r.rm_requests <- r.rm_requests + 1
+
 (* Stall diagnosis: everything a deadlock post-mortem needs, captured at
    the moment the watchdog tripped. *)
 
@@ -288,6 +368,9 @@ type t = {
   sb : SB.t;
   mem : Mem.t;
   fifo : Fifo.t;
+  (* Banked-machine attachment; [remote_disabled] (physically shared)
+     for the paper's dense machine. *)
+  remote : remote;
   (* One hook record shared by the SB, the memory system, every port
      and the microprogram call sites below. Always present — even with
      the sanitizer off it carries the current cycle, so structured
@@ -621,8 +704,12 @@ let step_try_lock_scan t core =
     t.saw_empty <- true;
     (* Termination: the worklist is empty and no core is scanning an
        object (its evacuations could refill the worklist). Checked while
-       holding the scan lock, so no evacuation can race with it. *)
-    if SB.none_busy_except t.sb ~core:core.id then begin
+       holding the scan lock, so no evacuation can race with it. A bank
+       of the banked machine must additionally hold the driver's grant
+       ([rm_allow_finish]): its worklist can be refilled from another
+       bank at any superstep barrier. *)
+    if t.remote.rm_allow_finish && SB.none_busy_except t.sb ~core:core.id
+    then begin
       t.finished <- true;
       SB.unlock_scan t.sb ~core:core.id;
       core.state <- Flush;
@@ -665,15 +752,27 @@ let step_body_wait t core =
       t.hooks.Hooks.word_read ~core:core.id ~base:core.obj_from
         ~addr:(core.obj_from + Hdr.header_words + core.slot);
     let v = t.heap.H.mem.(core.obj_from + Hdr.header_words + core.slot) in
-    if core.slot < Hdr.pi core.h0 && v <> H.null then begin
+    if
+      core.slot < Hdr.pi core.h0
+      && v <> H.null
+      && v >= t.remote.rm_lo
+      && v < t.remote.rm_hi
+    then begin
       Port.consume core.bl;
       core.child <- v;
       core.state <- Lock_child
     end
     else if port_idle core.bs then begin
       (* Data word (or null pointer): copied verbatim. Store of this word
-         and load of the next are initiated in the same cycle. *)
+         and load of the next are initiated in the same cycle. A
+         bank-crossing pointer (banked machine only) takes this path
+         too — stored stale and recorded in the outbox, to be patched by
+         the driver's FIFO arbitration step at a superstep barrier. *)
       Port.consume core.bl;
+      if core.slot < Hdr.pi core.h0 && v <> H.null then
+        remote_push t.remote
+          ~slot:(core.obj_to + Hdr.header_words + core.slot)
+          ~child:v;
       store_and_advance t core v
     end
     else stall t core Body_store
@@ -974,12 +1073,26 @@ let step_core t core =
 
 let all_halted t = t.n_halted = Array.length t.cores
 
-let start ?(obs = Obs.disabled) ?(prof = Prof.disabled) cfg heap =
+let start ?(obs = Obs.disabled) ?(prof = Prof.disabled) ?remote cfg heap =
   if cfg.n_cores < 1 then invalid_arg "Coprocessor.start: n_cores must be >= 1";
   if obs.Obs.on && Obs.n_cores obs < cfg.n_cores then
     invalid_arg "Coprocessor.start: tracer sized for fewer cores";
   if prof.Prof.on && Prof.n_cores prof < cfg.n_cores then
     invalid_arg "Coprocessor.start: profiler sized for fewer cores";
+  (match remote with
+  | None -> ()
+  | Some _ ->
+    (* A bank of the banked machine: the compiled engine's specialized
+       body loop knows nothing of home ranges, and sub-object pieces
+       would split one object's slots across arbitration rounds. *)
+    if cfg.compiled then
+      invalid_arg
+        "Coprocessor.start: a banked-machine bank cannot use the compiled \
+         engine";
+    if cfg.scan_unit <> None then
+      invalid_arg
+        "Coprocessor.start: a banked-machine bank does not support \
+         sub-object scanning (scan_unit)");
   if cfg.compiled then begin
     (* The compiled engine is a specialization of the event-driven
        skipper; configurations it cannot specialize are rejected here
@@ -1008,7 +1121,11 @@ let start ?(obs = Obs.disabled) ?(prof = Prof.disabled) cfg heap =
     San.create ~mode:cfg.sanitize ~mem_words:(Array.length heap.H.mem)
       ~n_cores:cfg.n_cores ~header_words:Hdr.header_words hooks
   in
-  let mem = Mem.create ~faults ~hooks ~obs cfg.mem in
+  let mem =
+    Mem.create ~faults ~hooks ~obs
+      ?lane:(match remote with None -> None | Some r -> Some r.rm_bank)
+      cfg.mem
+  in
   let events = ref 0 in
   let to_space = H.to_space heap in
   let pieces_base = to_space.Semispace.base in
@@ -1030,9 +1147,13 @@ let start ?(obs = Obs.disabled) ?(prof = Prof.disabled) cfg heap =
     due_ids = Array.make cfg.n_cores 0;
     awake_ids = Array.make cfg.n_cores 0;
     heap;
-    sb = SB.create ~hooks ~obs ~n_cores:cfg.n_cores ();
+    sb =
+      SB.create ~hooks ~obs
+        ?bank:(match remote with None -> None | Some r -> Some r.rm_bank)
+        ~n_cores:cfg.n_cores ();
     mem;
     fifo = Mem.fifo mem;
+    remote = (match remote with None -> remote_disabled | Some r -> r);
     hooks;
     san;
     san_seen = 0;
@@ -1067,6 +1188,35 @@ let executed_cycles t = Kernel.executed_cycles t.clock
 let skipped_cycles t = Kernel.skipped_cycles t.clock
 
 let pieces_outstanding t = Array.fold_left ( + ) 0 t.pieces
+
+(* Bank-parking probe for the banked driver: the machine can make no
+   transition until something external (an arbitration-step evacuation
+   into its worklist, or the termination grant) changes its inputs.
+   Every core spins in [Try_lock_scan] on an empty worklist with all
+   four buffers drained, no lock is held and no busy bit set — so not
+   stepping it is observationally equivalent to stepping it, except
+   that its clock does not advance (per-bank cycle counts are active
+   cycles). A pure read. *)
+let quiescent t =
+  t.parallel_phase
+  && (not t.finished)
+  && t.sb.SB.scan = t.sb.SB.free
+  && t.sb.SB.busy_count = 0
+  && t.sb.SB.scan_owner < 0
+  && t.sb.SB.free_owner < 0
+  && t.sb.SB.hdr_locked_count = 0
+  && t.cur_frame = 0
+  &&
+  let n = Array.length t.cores in
+  let rec all i =
+    i >= n
+    ||
+    let c = t.cores.(i) in
+    c.state = Try_lock_scan
+    && port_idle c.hl && port_idle c.hs && port_idle c.bl && port_idle c.bs
+    && all (i + 1)
+  in
+  all 0
 
 (* ------------------------------------------------------------------ *)
 (* Event-driven core scheduling.
@@ -1117,11 +1267,17 @@ let replay_of t c =
   | Body_wait ->
     if not (port_ready c.bl) then rp_body_load
     else
-      (* The loaded word is in the (frozen) fromspace body: a pointer
-         slot transitions to Lock_child, a data word either stores
+      (* The loaded word is in the (frozen) fromspace body: a home
+         pointer slot transitions to Lock_child, while a data word — or
+         a bank-crossing pointer, stored stale like one — either stores
          immediately (bs idle) or stalls on the store buffer. *)
       let v = t.heap.H.mem.(c.obj_from + Hdr.header_words + c.slot) in
-      if c.slot < Hdr.pi c.h0 && v <> H.null then rp_no_sleep
+      if
+        c.slot < Hdr.pi c.h0
+        && v <> H.null
+        && v >= t.remote.rm_lo
+        && v < t.remote.rm_hi
+      then rp_no_sleep
       else if port_idle c.bs then rp_no_sleep
       else rp_body_store
   | Store_slot -> if port_idle c.bs then rp_no_sleep else rp_body_store
@@ -2419,7 +2575,17 @@ let mutator_evacuate t addr =
       let size = Hdr.size w0 in
       let naddr = t.sb.SB.free in
       if naddr + size > t.tospace_limit then raise Heap_overflow;
+      (* This interface is modeled hardware (the read barrier's
+         evacuation port; the banked machine's FIFO arbitration step)
+         acting between cycles — not a core, so the lockset protocol's
+         register-poke rule does not apply to its free claim. The FIFO
+         push below stays hooked: the shadow queue must see every
+         buffered frame. *)
+      let hooks = t.sb.SB.hooks in
+      let hooks_were_on = hooks.Hsgc_sanitizer.Hooks.on in
+      hooks.Hsgc_sanitizer.Hooks.on <- false;
       SB.set_free t.sb (naddr + size);
+      hooks.Hsgc_sanitizer.Hooks.on <- hooks_were_on;
       H.set_header0 t.heap addr (Hdr.with_state w0 Gray);
       H.set_header1 t.heap addr naddr;
       H.set_header0 t.heap naddr
@@ -2700,6 +2866,12 @@ module Snapshot = struct
     if t.cfg.sanitize <> San.Off then
       invalid_arg
         "Coprocessor.Snapshot.save: sanitizer state is not checkpointable";
+    if t.remote != remote_disabled then
+      (* A bank's outbox, home range and termination grant live in the
+         driver, not the config the restore path reconstructs from. *)
+      invalid_arg
+        "Coprocessor.Snapshot.save: banked-machine banks are not \
+         snapshottable";
     (* Parked spinners are a compiled-engine scheduling artifact: flush
        them to plain due cores so the snapshot is engine-independent
        (the credited stalls are exactly the per-cycle ones). *)

@@ -120,6 +120,39 @@ val config :
 exception Heap_overflow
 (** Tospace could not hold the live data. *)
 
+(** {2 Banked-machine attachment}
+
+    A machine {!start}ed with a [remote] record becomes one {e bank} of
+    the banked variant machine ({!Banked}): it owns the fromspace home
+    range [[rm_lo, rm_hi)], runs its private sync block, memory lane
+    and header FIFO, and interacts with the other banks only through
+    the driver. Pointer slots naming a child outside the home range are
+    stored stale (like data words — no header lock, no evacuation) and
+    recorded in the bank's outbox; the driver drains the outbox at
+    every superstep barrier and routes each request through the global
+    FIFO arbitration step to the child's home bank. The scan-lock
+    termination probe is suppressed until the driver, having observed
+    global quiescence, sets [rm_allow_finish].
+
+    The record is exposed for the driver (it drains [rm_slots]/
+    [rm_children] and resets [rm_n] at barriers); microprogram code
+    only ever appends. Not snapshottable; incompatible with the
+    compiled engine and sub-object scanning (checked by {!start}). *)
+type remote = {
+  rm_bank : int;
+  rm_lo : int;
+  rm_hi : int;
+  mutable rm_allow_finish : bool;
+  mutable rm_slots : int array;  (** outbox: stale tospace slot addresses *)
+  mutable rm_children : int array;  (** parallel: foreign fromspace children *)
+  mutable rm_n : int;  (** live outbox prefix length *)
+  mutable rm_requests : int;  (** total outbox pushes over the run *)
+}
+
+val remote_create : bank:int -> lo:int -> hi:int -> remote
+(** A fresh bank attachment with an empty outbox and the termination
+    grant withheld. *)
+
 exception Simulation_diverged of string
 (** The cycle bound was exceeded — indicates a simulator bug; the
     algorithm itself is deadlock-free by lock ordering. *)
@@ -243,10 +276,14 @@ type sim
 val start :
   ?obs:Hsgc_obs.Tracer.t ->
   ?prof:Hsgc_obs.Profiler.t ->
+  ?remote:remote ->
   config -> Hsgc_heap.Heap.t -> sim
 (** Set up a collection without running it. [obs]/[prof] as in
     {!collect}; when enabled they must be sized for at least
-    [config.n_cores] (checked here). *)
+    [config.n_cores] (checked here). [remote] makes the machine one
+    bank of the banked machine (see {!remote}); the heap passed is then
+    the bank's view — its fromspace is the home range and its tospace
+    the bank's slice — sharing the memory array with the real heap. *)
 
 val step : ?trace:Trace.t -> ?horizon:int -> sim -> unit
 (** Advance the coprocessor by one clock cycle — or, when the cycle turns
@@ -313,6 +350,16 @@ val sanitizer_findings : sim -> Hsgc_sanitizer.Diag.t list
 
 val sanitizer_total : sim -> int
 
+val quiescent : sim -> bool
+(** The machine cannot transition until an external agent changes its
+    inputs: past the start barrier, every core spinning in the
+    scan-lock loop on an empty worklist with all four buffers drained,
+    no lock held, no busy bit set, termination not yet detected. The
+    banked driver parks such a bank (skips stepping it) until an
+    arbitration-step evacuation refills its worklist or the
+    termination grant arrives — observationally equivalent to stepping
+    it, except the bank's clock does not advance. A pure read. *)
+
 val pieces_outstanding : sim -> int
 (** Sub-object mode: total outstanding (handed-out, not yet retired)
     pieces across all split frames — 0 except mid-collection, and 0
@@ -347,7 +394,10 @@ val mutator_alloc : sim -> pi:int -> delta:int -> [ `Done of int * int | `Wait ]
     {!start}ed machine of the same configuration resumes the run
     bit-identically. Incompatible with the sanitizer (its interned
     lockset state is process-local): [save]/[restore] reject machines
-    started with [sanitize <> Off]. *)
+    started with [sanitize <> Off]. Also incompatible with
+    banked-machine banks (their outbox and termination grant live in
+    the {!Banked} driver, outside the config): [save] rejects machines
+    started with [?remote]. *)
 
 module Snapshot : sig
   val save : sim -> fingerprint:string -> Hsgc_checkpoint.Checkpoint.writer

@@ -99,6 +99,42 @@ type par_probe = {
     finding — the host-independent acceptance bars of the parallel
     kernel. *)
 
+type banked_probe = {
+  bk_workload : string;
+  bk_cores : int;
+  bk_dense_cycles : int;  (** dense-machine modeled collection length *)
+  bk_dense_wall_s : float;
+  bk_points : (int * int * float) list;
+      (** (banks, banked modeled cycles, banked wall seconds at auto
+          lanes) *)
+  bk_speedup : float;
+      (** dense wall over the best banked wall — recorded for humans;
+          gated only on hosts with enough domains (see {!check}) *)
+  bk_self_speedup : float;
+      (** banked 1-lane wall over banked auto-lane wall at the deepest
+          banking — the physically demonstrable concurrency win; gated
+          only when the host has >= 4 recommended domains *)
+  bk_host_lanes : int;
+      (** [Domain.recommended_domain_count] at measurement time — the
+          context a reader (and {!check}) needs to interpret the wall
+          ratios *)
+  bk_modeled_ratio : float;
+      (** dense modeled cycles over banked modeled cycles at the deepest
+          banking — deterministic, host-independent (below 1.0 is
+          expected: the serial arbitration and stitch steps are charged
+          in full) *)
+  bk_remote_frac : float;
+      (** remote (bank-crossing) requests per live object at the deepest
+          banking — a deterministic statistic of the home-range cut *)
+  bk_supersteps : int;
+}
+(** One collection (db at 16 cores) run on the dense machine and on the
+    banked machine at 2/4/8 banks. The probe raises {!Perf_regression}
+    if any banked point violates the semantic-equivalence contract
+    ({!Hsgc_coproc.Banked.differential}) or if the sanitized banked leg
+    reports a finding — the host-independent acceptance bars of the
+    banked machine. *)
+
 type suite = {
   scale : float;
   seed : int;
@@ -108,6 +144,7 @@ type suite = {
   latency : aggregate;
   obs : obs_probe;
   par : par_probe;
+  banked : banked_probe;
 }
 
 val default_cores : int list
@@ -151,16 +188,21 @@ val to_json : suite -> string
 (** Render the tracked [BENCH_sim.json] artifact. *)
 
 val summary : suite -> string
-(** Multi-line human summary (base, latency-bound, observability and
-    parallel probes). *)
+(** Multi-line human summary (base, latency-bound, observability,
+    parallel and banked probes). *)
 
 val check : baseline:string -> suite -> (unit, string list) result
 (** Compare a fresh suite against the committed [BENCH_sim.json]
     contents. Gates only host-independent metrics — skipped fractions
     (deterministic statistics), allocation rates, the latency-bound
     skip-speedup ratio and the compiled/skip speedup ratios (each a
-    pair of walls from the same process), and the BSP kernel's
-    exclusive-span fraction — each with 20% tolerance plus the hard
+    pair of walls from the same process), the BSP kernel's
+    exclusive-span fraction, and the banked machine's modeled-cycle
+    ratio and remote-request fraction — each with 20% tolerance plus
+    the hard
     {!compiled_speedup_floor_base}/{!compiled_speedup_floor_latency}
     bars; absolute Mcycles/s and the parallel speedup are
-    informational. [Error] carries one message per violated gate. *)
+    informational. The banked self-speedup carries a hard 1.30x floor
+    that arms only on hosts with at least 4 recommended domains — on a
+    single-thread runner a wall gate would test the host, not the
+    code. [Error] carries one message per violated gate. *)

@@ -4,6 +4,7 @@ module Obs = Hsgc_obs.Tracer
 
 type t = {
   n : int;
+  bank : int; (* -1 = the dense machine's single block *)
   mutable scan : int;
   mutable free : int;
   mutable scan_owner : int; (* -1 = unlocked *)
@@ -24,11 +25,12 @@ type t = {
   obs : Obs.t;
 }
 
-let create ?hooks ?(obs = Obs.disabled) ~n_cores () =
+let create ?hooks ?(obs = Obs.disabled) ?(bank = -1) ~n_cores () =
   if n_cores <= 0 then invalid_arg "Sync_block.create";
   let hooks = match hooks with Some h -> h | None -> Hooks.create () in
   {
     n = n_cores;
+    bank;
     scan = 0;
     free = 0;
     scan_owner = -1;
@@ -45,6 +47,7 @@ let create ?hooks ?(obs = Obs.disabled) ~n_cores () =
   }
 
 let n_cores t = t.n
+let bank t = t.bank
 
 let locks_held t ~core =
   let b = Buffer.create 16 in

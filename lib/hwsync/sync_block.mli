@@ -40,6 +40,14 @@
    rules. *)
 type t = {
   n : int;
+  bank : int;
+      (** which sync-block bank this register file is, in a banked
+          machine ({!Hsgc_coproc.Banked}): each bank is a complete
+          private SB serving one partition of cores. [-1] (the
+          default) is the paper's dense machine — one block shared by
+          every core. A label only: it never changes protocol
+          behavior, but stamps diagnostics so a banked stall dump
+          names the bank. *)
   mutable scan : int;
   mutable free : int;
   mutable scan_owner : int;  (** -1 = unlocked *)
@@ -63,12 +71,15 @@ type t = {
 val create :
   ?hooks:Hsgc_sanitizer.Hooks.t ->
   ?obs:Hsgc_obs.Tracer.t ->
+  ?bank:int ->
   n_cores:int -> unit -> t
 (** [obs] (default disabled) feeds the tracer's lock hold-time
     histograms: every successful acquire stamps the cycle, every
-    release observes the hold duration. *)
+    release observes the hold duration. [bank] (default [-1]) labels
+    the register file as one bank of a banked machine. *)
 
 val n_cores : t -> int
+val bank : t -> int
 
 (** {2 The scan and free registers} *)
 

@@ -51,6 +51,7 @@ type t = {
   fifo : Header_fifo.t;
   faults : Injector.t;
   hooks : Hsgc_sanitizer.Hooks.t;
+  lane : int; (* -1 = the dense machine's single shared bus *)
   (* Direct-mapped header cache: slot i holds the address cached there
      (0 = empty). Contents live in the heap; only presence is modeled. *)
   header_cache : int array;
@@ -80,7 +81,7 @@ type t = {
 }
 
 let create ?(faults = Injector.disabled) ?hooks
-    ?(obs = Hsgc_obs.Tracer.disabled) config =
+    ?(obs = Hsgc_obs.Tracer.disabled) ?(lane = -1) config =
   (match validate_config config with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Memsys.create: " ^ msg));
@@ -93,6 +94,7 @@ let create ?(faults = Injector.disabled) ?hooks
       Header_fifo.create ~faults ~hooks ~obs ~capacity:config.fifo_capacity ();
     faults;
     hooks;
+    lane;
     header_cache = Array.make (max 1 config.header_cache_entries) 0;
     ps_addr = Array.make 64 0;
     ps_commit = Array.make 64 0;
@@ -109,6 +111,7 @@ let create ?(faults = Injector.disabled) ?hooks
   }
 
 let fifo t = t.fifo
+let lane t = t.lane
 
 let begin_cycle t ~now =
   t.cycle <- now;

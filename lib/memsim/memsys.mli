@@ -64,6 +64,13 @@ type t = {
   fifo : Header_fifo.t;
   faults : Hsgc_fault.Injector.t;
   hooks : Hsgc_sanitizer.Hooks.t;
+  lane : int;
+      (** which private memory-arbitration lane this scheduler is, in a
+          banked machine ({!Hsgc_coproc.Banked}): each bank's cores
+          arbitrate a lane of their own (full [bandwidth] per cycle,
+          invisible to other banks). [-1] (the default) is the paper's
+          dense machine — one bus shared by every core. A label only:
+          it stamps reports; the scheduling model is unchanged. *)
   header_cache : int array;  (** slot -> cached address (0 = empty) *)
   mutable ps_addr : int array;
       (** comparator array: pending header-store addresses, live prefix
@@ -86,6 +93,7 @@ type t = {
 val create :
   ?faults:Hsgc_fault.Injector.t -> ?hooks:Hsgc_sanitizer.Hooks.t ->
   ?obs:Hsgc_obs.Tracer.t ->
+  ?lane:int ->
   config -> t
 (** Raises [Invalid_argument] when {!validate_config} rejects the
     config. [faults] (default disabled) injects delay-class
@@ -99,6 +107,7 @@ val create :
     overflow-episode tracing. *)
 
 val fifo : t -> Header_fifo.t
+val lane : t -> int
 
 val begin_cycle : t -> now:int -> unit
 (** Reset the per-cycle acceptance budget. Must be called once per

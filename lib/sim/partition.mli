@@ -10,24 +10,43 @@
 
     The plan also names the {e cross-partition interface set}: the
     shared structures through which partitions can observe each other.
-    For this machine that set is dense — the synchronization block
-    (scan/free registers, locks, barrier), the header FIFO, and the
-    shared memory bus with its per-cycle bandwidth budget are all
-    reachable from every core on any cycle — which is exactly why the
-    superstep scheduler synchronizes conservatively (see
-    docs/PARALLEL.md). *)
+    A {!plan} describes the paper's machine, whose set is dense — the
+    synchronization block (scan/free registers, locks, barrier), the
+    header FIFO, and the shared memory bus with its per-cycle bandwidth
+    budget are all reachable from every core on any cycle — which is
+    exactly why the superstep scheduler synchronizes conservatively
+    (see docs/PARALLEL.md). A {!banking} plan describes the banked
+    variant machine ({!Hsgc_coproc.Banked}): each partition owns a
+    private sync-block bank and memory lane, and only the header FIFO
+    arbitration step serializes partitions. *)
 
 type t
 
+(** The machine variant a plan describes. *)
+type kind = Dense | Banked
+
+val kind_name : kind -> string
+
 val plan : n_cores:int -> n_partitions:int -> t
-(** Contiguous near-equal blocks; the remainder cores go to the leading
-    partitions. Raises [Invalid_argument] when {!validate} rejects the
-    pair. *)
+(** A {!Dense} plan: contiguous near-equal blocks; the remainder cores
+    go to the leading partitions. Raises [Invalid_argument] when
+    {!validate} rejects the pair. *)
+
+val banking : n_cores:int -> n_partitions:int -> t
+(** A {!Banked} plan: equal contiguous blocks (one per sync-block bank
+    and memory lane). Raises [Invalid_argument] when {!validate_banked}
+    rejects the pair. *)
 
 val validate : n_cores:int -> n_partitions:int -> (unit, string) result
 (** [Error msg] when either count is [< 1], when there are more
     partitions than cores, or when the partition count exceeds
     {!max_partitions}. The message is suitable for a CLI error. *)
+
+val validate_banked : n_cores:int -> n_partitions:int -> (unit, string) result
+(** {!validate} plus the banked-machine constraint: the partition count
+    must divide the core count exactly (equal banks; covering it with
+    one core per bank is the limit case). With 1 core only 1 bank is
+    valid; more partitions than cores is always rejected. *)
 
 val max_partitions : int
 (** Largest supported partition count (awake masks are one bit per
@@ -35,10 +54,17 @@ val max_partitions : int
 
 val default_partitions : n_cores:int -> int
 (** [Domain.recommended_domain_count ()] clamped to [1 .. n_cores] (and
-    {!max_partitions}) — the [--par-domains] auto default. *)
+    {!max_partitions}) — the [--par-domains] auto default for dense
+    plans. Banked plans must additionally divide the core count; use
+    {!default_banked_partitions} there. *)
+
+val default_banked_partitions : n_cores:int -> int
+(** Largest divisor of [n_cores] that is [<= default_partitions] — the
+    auto default for banked plans; always passes {!validate_banked}. *)
 
 val n_cores : t -> int
 val n_partitions : t -> int
+val kind : t -> kind
 
 val owner : t -> int array
 (** Core id -> owning partition, one entry per core. The array is the
@@ -54,7 +80,8 @@ type interface = Sync_block | Header_fifo | Memory_bus
 val interface_name : interface -> string
 
 val interfaces : t -> interface list
-(** Empty for a single partition; all three otherwise (every one of
-    these structures is shared by all cores in this machine). *)
+(** Empty for a single partition. Dense plans share all three
+    structures; banked plans share only the header FIFO (the
+    per-superstep arbitration step). *)
 
 val pp : Format.formatter -> t -> unit

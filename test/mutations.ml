@@ -173,6 +173,28 @@ let m_barrier_skew r =
   hooks.Hooks.barrier_passed ~core:0;
   hooks.Hooks.barrier_passed ~core:0
 
+(* 11. Banked-machine banking mutant: a bank-crossing evacuation that
+   skips the header-FIFO arbitration step. The core holds its own
+   bank's scan and free locks — perfectly legal for home-range work —
+   but pokes the foreign object directly instead of posting the
+   (slot, child) request to the arbitration interface. Its own bank's
+   locks protect nothing in the foreign bank, so the foreign header
+   store and the forwarding install are unowned; the sanitizer's
+   mirror must flag them even though every lock the core *does* hold
+   was acquired by the book. *)
+let m_banked_bypass_arbitration r =
+  let { sb; hooks; _ } = r in
+  SB.set_free sb 16;
+  ignore (SB.try_lock_scan sb ~core:0);
+  ignore (SB.try_lock_free sb ~core:0);
+  let new_addr = SB.claim_free sb ~core:0 8 in
+  SB.unlock_free sb ~core:0;
+  (* foreign bank's home range: this bank's sync block never covers it *)
+  let foreign = 200 in
+  hooks.Hooks.word_written ~core:0 ~base:foreign ~addr:foreign;
+  hooks.Hooks.forward_installed ~core:0 ~from_:foreign ~to_:new_addr;
+  SB.unlock_scan sb ~core:0
+
 let mutants =
   [
     ("skip header lock", Diag.Forward_unlocked, m_skip_header_lock);
@@ -185,6 +207,9 @@ let mutants =
     ("unprotected store", Diag.Unprotected_payload, m_unprotected_store);
     ("lockset race", Diag.Lockset_race, m_lockset_race);
     ("barrier skew", Diag.Barrier_skew, m_barrier_skew);
+    ( "bank-crossing write skips FIFO arbitration",
+      Diag.Forward_unlocked,
+      m_banked_bypass_arbitration );
   ]
 
 let test_baseline_silent () =

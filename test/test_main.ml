@@ -31,6 +31,7 @@ let () =
       ("kernel", Test_kernel.suite);
       ("compiled", Test_compiled.suite);
       ("bsp", Test_bsp.suite);
+      ("banked", Test_banked.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("fault", Test_fault.suite);
       ("sanitizer", Test_sanitizer.suite);
